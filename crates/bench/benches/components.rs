@@ -1,0 +1,82 @@
+//! Criterion microbenchmarks of the model's hot inner components:
+//! coalescing, bank-conflict analysis, SRAM-array evaluation and the
+//! DRAM channel scheduler.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use gpusimpow_circuit::{SramArray, SramSpec};
+use gpusimpow_sim::dram::{DramChannel, DramRequest};
+use gpusimpow_sim::ldst::{coalesce, smem_conflicts};
+use gpusimpow_sim::{ActivityStats, DramConfig};
+use gpusimpow_tech::node::TechNode;
+
+fn bench_coalescer(c: &mut Criterion) {
+    let coalesced: Vec<u32> = (0..32).map(|i| 0x1000 + i * 4).collect();
+    let scattered: Vec<u32> = (0..32).map(|i| 0x1000 + i * 4096).collect();
+    c.bench_function("coalesce/sequential-warp", |b| {
+        b.iter(|| coalesce(black_box(&coalesced), 128))
+    });
+    c.bench_function("coalesce/scattered-warp", |b| {
+        b.iter(|| coalesce(black_box(&scattered), 128))
+    });
+}
+
+fn bench_smem_conflicts(c: &mut Criterion) {
+    let free: Vec<u32> = (0..32).collect();
+    let conflicted: Vec<u32> = (0..32).map(|i| i * 16).collect();
+    c.bench_function("smem/conflict-free", |b| {
+        b.iter(|| smem_conflicts(black_box(&free), 16))
+    });
+    c.bench_function("smem/16-way-conflict", |b| {
+        b.iter(|| smem_conflicts(black_box(&conflicted), 16))
+    });
+}
+
+fn bench_sram_model(c: &mut Criterion) {
+    let tech = TechNode::planar(40).unwrap();
+    c.bench_function("circuit/sram-array-eval", |b| {
+        b.iter(|| SramArray::new(black_box(&tech), SramSpec::simple(4096, 128)).unwrap())
+    });
+}
+
+fn bench_dram_scheduler(c: &mut Criterion) {
+    c.bench_function("dram/channel-100-requests", |b| {
+        b.iter(|| {
+            let mut ch: DramChannel<u32> = DramChannel::new(DramConfig::gddr5(), 16);
+            let mut stats = ActivityStats::new();
+            let mut fed = 0u32;
+            let mut done = 0;
+            let mut cycle = 0u64;
+            while done < 100 {
+                if fed < 100 && ch.can_accept() {
+                    ch.push(
+                        DramRequest {
+                            write: fed.is_multiple_of(3),
+                            addr: fed.wrapping_mul(2503) * 64,
+                            bytes: 128,
+                            token: fed,
+                        },
+                        &mut stats,
+                    );
+                    if fed.is_multiple_of(3) {
+                        done += 1; // writes complete silently
+                    }
+                    fed += 1;
+                }
+                ch.tick(cycle, &mut stats);
+                done += ch.pop_completed(cycle).len();
+                cycle += 1;
+            }
+            black_box(stats.dram_activates)
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_coalescer,
+    bench_smem_conflicts,
+    bench_sram_model,
+    bench_dram_scheduler
+);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Criterion benchmarks of the power model: chip construction (the full
+//! three-tier evaluation) and runtime-power evaluation per kernel.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use gpusimpow_power::GpuChip;
+use gpusimpow_sim::{ActivityStats, GpuConfig};
+
+fn synthetic_stats() -> ActivityStats {
+    let mut s = ActivityStats::new();
+    s.shader_cycles = 1_000_000;
+    s.core_busy_cycles = 11_500_000;
+    s.cluster_busy_cycles = 3_900_000;
+    s.int_lane_ops = 20_000_000;
+    s.fp_lane_ops = 45_000_000;
+    s.sfu_lane_ops = 4_000_000;
+    s.warp_instructions = 2_400_000;
+    s.rf_bank_reads = 5_000_000;
+    s.rf_bank_writes = 2_200_000;
+    s.noc_flits = 800_000;
+    s.dram_read_bursts = 300_000;
+    s.dram_cycles = 700_000;
+    s
+}
+
+fn bench_chip_build(c: &mut Criterion) {
+    c.bench_function("power/chip-build-gt240", |b| {
+        b.iter(|| GpuChip::new(black_box(&GpuConfig::gt240())).unwrap())
+    });
+    c.bench_function("power/chip-build-gtx580", |b| {
+        b.iter(|| GpuChip::new(black_box(&GpuConfig::gtx580())).unwrap())
+    });
+}
+
+fn bench_evaluate(c: &mut Criterion) {
+    let chip = GpuChip::new(&GpuConfig::gt240()).unwrap();
+    let stats = synthetic_stats();
+    c.bench_function("power/evaluate-kernel", |b| {
+        b.iter(|| chip.evaluate(black_box("bench"), black_box(&stats)))
+    });
+}
+
+criterion_group!(benches, bench_chip_build, bench_evaluate);
+criterion_main!(benches);

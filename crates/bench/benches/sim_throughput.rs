@@ -1,0 +1,34 @@
+//! Criterion benchmarks of the cycle-level simulator's throughput —
+//! the "how fast is the simulator itself" numbers a tool paper quotes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use gpusimpow_kernels::{matmul::MatrixMul, vectoradd::VectorAdd, Benchmark};
+use gpusimpow_sim::{Gpu, GpuConfig};
+
+fn bench_vectoradd(c: &mut Criterion) {
+    c.bench_function("sim/vectoradd-2048-gt240", |b| {
+        b.iter(|| {
+            let mut gpu = Gpu::new(GpuConfig::gt240()).unwrap();
+            VectorAdd { n: 2048 }.run(&mut gpu).unwrap()
+        })
+    });
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    c.bench_function("sim/matmul-32-gt240", |b| {
+        b.iter(|| {
+            let mut gpu = Gpu::new(GpuConfig::gt240()).unwrap();
+            MatrixMul { n: 32 }.run(&mut gpu).unwrap()
+        })
+    });
+    c.bench_function("sim/matmul-32-gtx580", |b| {
+        b.iter(|| {
+            let mut gpu = Gpu::new(GpuConfig::gtx580()).unwrap();
+            MatrixMul { n: 32 }.run(&mut gpu).unwrap()
+        })
+    });
+}
+
+criterion_group!(benches, bench_vectoradd, bench_matmul);
+criterion_main!(benches);

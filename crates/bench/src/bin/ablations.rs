@@ -1,0 +1,204 @@
+//! Ablation studies over the design choices DESIGN.md §7 calls out:
+//! warp-scheduler policy, memory-access coalescing quality, shared-memory
+//! bank conflicts, operand-collector count, L2 presence, and process
+//! node — each reported as performance *and* power, the two axes the
+//! paper argues must be explored together.
+//!
+//! ```text
+//! cargo run --release -p gpusimpow-bench --bin ablations
+//! ```
+
+use gpusimpow::Simulator;
+use gpusimpow_isa::LaunchConfig;
+use gpusimpow_kernels::{matmul::MatrixMul, micro};
+use gpusimpow_sim::{GpuConfig, WarpSchedPolicy};
+
+fn run_matmul(cfg: GpuConfig) -> (u64, f64, f64) {
+    let mut sim = Simulator::new(cfg).expect("config builds");
+    let reports = sim
+        .run_benchmark(&MatrixMul { n: 64 })
+        .expect("matmul verifies");
+    let r = &reports[0];
+    (
+        r.launch.stats.shader_cycles,
+        r.power.total_power().watts(),
+        r.power.energy().joules() * 1e6,
+    )
+}
+
+fn main() {
+    // ---- 1. warp scheduler ------------------------------------------------
+    println!("== ablation 1: warp scheduler (matmul 64x64 on GT240-class) ==");
+    println!(
+        "{:<18} {:>8} {:>10} {:>12} {:>14}",
+        "policy", "cycles", "total[W]", "energy[µJ]", "wcu dyn[mW/core]"
+    );
+    let mut policies = vec![("round-robin".to_string(), WarpSchedPolicy::RoundRobin)];
+    for n in [2usize, 4, 8, 16] {
+        policies.push((
+            format!("two-level:{n}"),
+            WarpSchedPolicy::TwoLevel { active_warps: n },
+        ));
+    }
+    for (name, policy) in policies {
+        let mut cfg = GpuConfig::gt240();
+        cfg.warp_scheduler = policy;
+        cfg.name = name.clone();
+        let mut sim = Simulator::new(cfg).expect("config builds");
+        let reports = sim.run_benchmark(&MatrixMul { n: 64 }).expect("verifies");
+        let r = &reports[0];
+        println!(
+            "{:<18} {:>8} {:>10.2} {:>12.3} {:>14.2}",
+            name,
+            r.launch.stats.shader_cycles,
+            r.power.total_power().watts(),
+            r.power.energy().joules() * 1e6,
+            r.power.core.wcu.dynamic_power.milliwatts(),
+        );
+    }
+
+    // ---- 2. coalescing quality ------------------------------------------------
+    println!("\n== ablation 2: access pattern vs memory power (GT240) ==");
+    println!(
+        "{:<14} {:>8} {:>10} {:>10} {:>10}",
+        "stride", "cycles", "requests", "dram rd", "mc dyn[W]"
+    );
+    for (label, shift) in [("1 (coalesced)", 2u32), ("8 words", 5), ("32 words (worst)", 7)] {
+        let mut sim = Simulator::gt240().expect("preset builds");
+        let buf = sim.gpu_mut().alloc(8 << 20);
+        let src = format!(
+            "
+            s2r r0, tid.x
+            s2r r1, ctaid.x
+            s2r r2, ntid.x
+            imad r3, r1, r2, r0
+            shl r4, r3, #{shift}
+            ld.global r5, [r4+{base}]
+            exit
+        ",
+            base = buf.addr()
+        );
+        let k = gpusimpow_isa::assemble("stride", &src).expect("assembles");
+        let r = sim
+            .run(&k, LaunchConfig::linear(16, 256))
+            .expect("runs");
+        println!(
+            "{:<14} {:>8} {:>10} {:>10} {:>10.3}",
+            label,
+            r.launch.stats.shader_cycles,
+            r.launch.stats.coalescer_outputs,
+            r.launch.stats.dram_read_bursts,
+            r.power.chip.mc.dynamic_power.watts(),
+        );
+    }
+
+    // ---- 3. bank conflicts ------------------------------------------------------
+    println!("\n== ablation 3: shared-memory bank conflicts (GT240) ==");
+    println!(
+        "{:<10} {:>8} {:>16} {:>14}",
+        "stride", "cycles", "conflict cycles", "ldst dyn[mW/core]"
+    );
+    for stride in [1u32, 2, 4, 8, 16] {
+        let mut sim = Simulator::gt240().expect("preset builds");
+        let k = micro::conflict_kernel(stride, 256);
+        let r = sim
+            .run(&k, LaunchConfig::linear(12, 16))
+            .expect("runs");
+        println!(
+            "{:<10} {:>8} {:>16} {:>14.3}",
+            stride,
+            r.launch.stats.shader_cycles,
+            r.launch.stats.smem_bank_conflict_cycles,
+            r.power.core.ldstu.dynamic_power.milliwatts(),
+        );
+    }
+
+    // ---- 4. operand collectors -----------------------------------------------------
+    println!("\n== ablation 4: operand collectors (area/leakage trade) ==");
+    println!("{:<12} {:>12} {:>12}", "collectors", "rf leak[mW]", "rf area[mm²]");
+    for oc in [2usize, 4, 8] {
+        let mut cfg = GpuConfig::gt240();
+        cfg.operand_collectors = oc;
+        let sim = Simulator::new(cfg).expect("config builds");
+        let chip = sim.chip();
+        // Leakage scales with collector storage; expose via chip static.
+        println!(
+            "{:<12} {:>12.2} {:>12.4}",
+            oc,
+            chip.core_static_power().milliwatts(),
+            chip.core_area().mm2(),
+        );
+    }
+
+    // ---- 5. L2 presence ----------------------------------------------------------------
+    println!("\n== ablation 5: adding an L2 to the GT240 (the Fermi delta) ==");
+    println!(
+        "{:<12} {:>8} {:>10} {:>10} {:>10}",
+        "l2", "cycles", "dram rd", "static[W]", "total[W]"
+    );
+    for l2_kb in [0usize, 256, 768] {
+        let mut cfg = GpuConfig::gt240();
+        cfg.l2 = (l2_kb > 0).then(|| gpusimpow_sim::L2Config {
+            capacity_bytes: l2_kb * 1024,
+            line_bytes: 128,
+            ways: 8,
+            latency: 20,
+        });
+        let (cycles, total, _) = run_matmul(cfg.clone());
+        let chip = gpusimpow_power::GpuChip::new(&cfg).expect("chip builds");
+        println!(
+            "{:<12} {:>8} {:>10} {:>10.2} {:>10.2}",
+            if l2_kb == 0 {
+                "none".to_string()
+            } else {
+                format!("{l2_kb} KB")
+            },
+            cycles,
+            "-",
+            chip.static_power().watts(),
+            total,
+        );
+    }
+
+    // ---- 6. branch divergence (paper §V-B's closing suggestion) -----------
+    println!("\n== ablation 6: branch-divergence depth (GT240) ==");
+    println!(
+        "{:<8} {:>8} {:>12} {:>16}",
+        "depth", "cycles", "div branches", "stack ops"
+    );
+    for depth in 1..=5u32 {
+        let mut sim = Simulator::gt240().expect("preset builds");
+        let k = micro::divergence_kernel(depth);
+        let r = sim
+            .run(&k, LaunchConfig::linear(12, 256))
+            .expect("runs");
+        let s = &r.launch.stats;
+        println!(
+            "{:<8} {:>8} {:>12} {:>16}",
+            depth,
+            s.shader_cycles,
+            s.divergent_branches,
+            s.simt_stack_pushes + s.simt_stack_pops,
+        );
+    }
+
+    // ---- 7. process node -------------------------------------------------------------------
+    println!("\n== ablation 7: ITRS node scaling (GT240 architecture) ==");
+    println!(
+        "{:<10} {:>10} {:>10} {:>12}",
+        "node[nm]", "area[mm²]", "static[W]", "energy[µJ]"
+    );
+    for nm in [65u32, 45, 40, 32, 28, 22] {
+        let mut cfg = GpuConfig::gt240();
+        cfg.process_nm = nm;
+        let chip = gpusimpow_power::GpuChip::new(&cfg).expect("chip builds");
+        let (_, _, energy) = run_matmul(cfg);
+        println!(
+            "{:<10} {:>10.1} {:>10.2} {:>12.3}",
+            nm,
+            chip.area().mm2(),
+            chip.static_power().watts(),
+            energy,
+        );
+    }
+}

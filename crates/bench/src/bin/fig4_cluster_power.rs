@@ -1,0 +1,10 @@
+//! Fig. 4: GT240 power vs. number of thread blocks (cluster staircase).
+
+use gpusimpow_bench::{experiments, render};
+
+fn main() {
+    let points = experiments::fig4_cluster_power(experiments::BOARD_SEED);
+    println!("Fig. 4 — GT240 power vs thread blocks (measured on the virtual testbed)\n");
+    println!("{}", render::fig4(&points));
+    println!("paper: +3.34 W for the first block (global scheduler), +0.692 W per new cluster, smaller per extra core");
+}

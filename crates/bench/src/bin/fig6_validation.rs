@@ -1,0 +1,21 @@
+//! Fig. 6: simulated vs measured power for all 19 kernels.
+//!
+//! Usage: fig6_validation [gt240|gtx580|both] [--small]
+
+use gpusimpow_bench::{experiments, render};
+use gpusimpow_sim::GpuConfig;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let which = args.get(1).map(String::as_str).unwrap_or("both");
+    let small = args.iter().any(|a| a == "--small");
+    let configs: Vec<GpuConfig> = match which {
+        "gt240" => vec![GpuConfig::gt240()],
+        "gtx580" => vec![GpuConfig::gtx580()],
+        _ => vec![GpuConfig::gt240(), GpuConfig::gtx580()],
+    };
+    for cfg in configs {
+        let summary = experiments::fig6_validation(&cfg, experiments::BOARD_SEED, small);
+        println!("{}", render::fig6(&summary));
+    }
+}

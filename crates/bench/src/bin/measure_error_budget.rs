@@ -1,0 +1,9 @@
+//! §IV-A: error budget of the measurement chain.
+
+use gpusimpow_bench::{experiments, render};
+
+fn main() {
+    let b = experiments::measurement_error_budget(25);
+    println!("§IV-A — measurement chain error budget\n");
+    println!("{}", render::error_budget(&b));
+}

@@ -1,0 +1,9 @@
+//! §III-D: per-operation energies from the 31-vs-1-lane microbenchmarks.
+
+use gpusimpow_bench::{experiments, render};
+
+fn main() {
+    let e = experiments::microbench_energy(experiments::BOARD_SEED);
+    println!("§III-D — empirical per-operation energies (virtual GT240 testbed)\n");
+    println!("{}", render::microbench(&e));
+}

@@ -1,0 +1,9 @@
+//! §IV-B: hardware static-power estimation methods.
+
+use gpusimpow_bench::{experiments, render};
+
+fn main() {
+    let s = experiments::static_estimation(experiments::BOARD_SEED);
+    println!("§IV-B — hardware static power estimation\n");
+    println!("{}", render::static_estimation(&s));
+}

@@ -1,0 +1,18 @@
+//! Table I: the benchmark suite.
+
+use gpusimpow_kernels::all_benchmarks;
+
+fn main() {
+    println!("Table I — GPGPU benchmarks used for experimental evaluation\n");
+    println!("| name | #kernels | description | origin |");
+    println!("|---|---|---|---|");
+    for b in all_benchmarks() {
+        println!(
+            "| {} | {} | {} | {} |",
+            b.name(),
+            b.kernel_names().len(),
+            b.description(),
+            b.origin()
+        );
+    }
+}

@@ -1,0 +1,9 @@
+//! Table IV: static power and area for GT240 and GTX580.
+
+use gpusimpow_bench::{experiments, render};
+
+fn main() {
+    let rows = experiments::table4_static_area(experiments::BOARD_SEED);
+    println!("Table IV — static power & area\n");
+    println!("{}", render::table4(&rows));
+}

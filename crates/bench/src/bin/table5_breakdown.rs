@@ -1,0 +1,32 @@
+//! Table V: blackscholes power breakdown on the GT240.
+
+use gpusimpow_bench::experiments;
+use gpusimpow_kernels::Benchmark;
+use gpusimpow_power::components::wcu::WcuPower;
+use gpusimpow_sim::{Gpu, GpuConfig};
+use gpusimpow_tech::node::TechNode;
+
+fn main() {
+    let report = experiments::table5_breakdown();
+    println!("Table V — blackscholes power breakdown (GT240)\n");
+    println!("{report}");
+
+    // §V-B's finer drill-down: the memories inside the WCU.
+    let cfg = GpuConfig::gt240();
+    let tech = TechNode::planar(cfg.process_nm)
+        .and_then(|t| t.with_temperature(cfg.junction_temp_k))
+        .expect("preset node");
+    let wcu = WcuPower::new(&cfg, &tech).expect("wcu builds");
+    let mut gpu = Gpu::new(cfg).expect("preset builds");
+    let reports = gpusimpow_kernels::blackscholes::BlackScholes::default()
+        .run(&mut gpu)
+        .expect("verifies");
+    let stats = &reports[0].stats;
+    let time_s = reports[0].time_s;
+    println!("\nWCU-internal breakdown (per core, dynamic):");
+    for (name, e) in wcu.memory_breakdown(stats) {
+        println!("  {:<22} {:>8.3} mW", name, e.joules() / time_s / 12.0 * 1e3);
+    }
+    println!("\npaper (GPU):  overall 17.934/19.207 W, cores 82.2%, NoC 7.3%, MC 6.1%, PCIe 4.1%");
+    println!("paper (core): base 0.199, wcu 0.042/0.089, rf 0.112/0.173, exec 0.0096/0.556, ldstu 0.234/0.014, undiff 0.886; DRAM 4.3 W");
+}

@@ -1,0 +1,350 @@
+//! The experiment implementations, one per paper table/figure.
+
+use gpusimpow::{validate_suite, Simulator, ValidationSummary};
+use gpusimpow_isa::LaunchConfig;
+use gpusimpow_kernels::micro;
+use gpusimpow_measure::{
+    per_op_energy, static_est, KernelExec, Testbed,
+};
+use gpusimpow_power::GpuChip;
+use gpusimpow_sim::{Gpu, GpuConfig};
+
+/// Default seed fixing the virtual board's systematic errors.
+pub const BOARD_SEED: u64 = 0x1597;
+
+/// One Fig. 4 data point.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig4Point {
+    /// Thread blocks launched.
+    pub blocks: u32,
+    /// Measured card power (W).
+    pub measured_w: f64,
+    /// Increment over the previous point (W).
+    pub delta_w: f64,
+    /// Clusters the scheduler activated.
+    pub clusters_active: usize,
+}
+
+/// Fig. 4: power of the GT240 running the same kernel with an
+/// increasing number of thread blocks, measured on the testbed.
+///
+/// # Panics
+///
+/// Panics if the simulator rejects the probe kernel.
+pub fn fig4_cluster_power(seed: u64) -> Vec<Fig4Point> {
+    let cfg = GpuConfig::gt240();
+    let mut gpu = Gpu::new(cfg.clone()).expect("preset is valid");
+    let mut testbed = Testbed::new(cfg.clone(), seed);
+    let kernel = micro::cluster_step_kernel(1500);
+    let mut points = Vec::new();
+    let mut prev = 0.0;
+    for blocks in 1..=cfg.total_cores() as u32 {
+        let report = gpu
+            .launch(&kernel, LaunchConfig::linear(blocks, 256))
+            .expect("probe kernel runs");
+        let m = &testbed.measure(&[KernelExec::from_report(&report)])[0];
+        let w = m.avg_power.watts();
+        points.push(Fig4Point {
+            blocks,
+            measured_w: w,
+            delta_w: if blocks == 1 { 0.0 } else { w - prev },
+            clusters_active: report.stats.peak_clusters_busy,
+        });
+        prev = w;
+    }
+    points
+}
+
+/// One Table IV row.
+#[derive(Debug, Clone)]
+pub struct Table4Row {
+    /// GPU name.
+    pub gpu: String,
+    /// Simulated chip static power (W).
+    pub sim_static_w: f64,
+    /// Hardware static estimate via the §IV-B methodology (W).
+    pub hw_static_w: f64,
+    /// Which estimation method produced it.
+    pub method: &'static str,
+    /// Simulated die area (mm²).
+    pub sim_area_mm2: f64,
+    /// Paper's values for reference: (sim static, real static, sim area, real area).
+    pub paper: (f64, f64, f64, f64),
+}
+
+/// Table IV: static power and area for both GPUs, with the hardware side
+/// estimated through the paper's §IV-B methods on the virtual testbed.
+pub fn table4_static_area(seed: u64) -> Vec<Table4Row> {
+    // GT240: clock extrapolation.
+    let gt_cfg = GpuConfig::gt240();
+    let gt_chip = GpuChip::new(&gt_cfg).expect("chip builds");
+    let mut gt_gpu = Gpu::new(gt_cfg.clone()).expect("preset is valid");
+    let probe = micro::cluster_step_kernel(1500);
+    let report = gt_gpu
+        .launch(&probe, LaunchConfig::linear(12, 256))
+        .expect("probe runs");
+    let mut gt_tb = Testbed::new(gt_cfg.clone(), seed);
+    let exec = KernelExec::from_report(&report);
+    let extrapolation = static_est::estimate_by_clock_scaling(&mut gt_tb, &exec);
+    let gt_between = gt_tb.measure_state(
+        gt_tb.hardware().pre_kernel_power(),
+        gpusimpow_tech::units::Time::from_millis(60.0),
+    );
+    let ratio =
+        static_est::static_to_idle_ratio(extrapolation.static_estimate, gt_between);
+
+    // GTX580: idle-ratio method with the GT240-derived ratio (the
+    // NVIDIA Linux driver cannot change its clocks, §IV-B).
+    let gtx_cfg = GpuConfig::gtx580();
+    let gtx_chip = GpuChip::new(&gtx_cfg).expect("chip builds");
+    let mut gtx_tb = Testbed::new(gtx_cfg.clone(), seed.wrapping_add(1));
+    let gtx_static = static_est::estimate_by_idle_ratio(&mut gtx_tb, ratio);
+
+    vec![
+        Table4Row {
+            gpu: "GT240".to_string(),
+            sim_static_w: gt_chip.static_power().watts(),
+            hw_static_w: extrapolation.static_estimate.watts(),
+            method: "0 Hz clock extrapolation",
+            sim_area_mm2: gt_chip.area().mm2(),
+            paper: (17.9, 17.6, 105.0, 133.0),
+        },
+        Table4Row {
+            gpu: "GTX580".to_string(),
+            sim_static_w: gtx_chip.static_power().watts(),
+            hw_static_w: gtx_static.watts(),
+            method: "idle-ratio (GT240-calibrated)",
+            sim_area_mm2: gtx_chip.area().mm2(),
+            paper: (81.5, 80.0, 306.0, 520.0),
+        },
+    ]
+}
+
+/// Fig. 6: full-suite validation for one GPU. `small` selects reduced
+/// workload sizes for quick runs.
+///
+/// # Panics
+///
+/// Panics if a benchmark fails CPU verification.
+pub fn fig6_validation(cfg: &GpuConfig, seed: u64, small: bool) -> ValidationSummary {
+    let suite = if small {
+        gpusimpow_kernels::small_benchmarks()
+    } else {
+        gpusimpow_kernels::all_benchmarks()
+    };
+    validate_suite(cfg, &suite, seed).expect("suite validates")
+}
+
+/// Table V: the blackscholes power breakdown on the GT240.
+///
+/// # Panics
+///
+/// Panics if blackscholes fails verification.
+pub fn table5_breakdown() -> gpusimpow_power::PowerReport {
+    let mut sim = Simulator::gt240().expect("preset builds");
+    let reports = sim
+        .run_benchmark(&gpusimpow_kernels::blackscholes::BlackScholes::default())
+        .expect("blackscholes verifies");
+    reports[0].power.clone()
+}
+
+/// §III-D: measured per-operation energies.
+#[derive(Debug, Clone, Copy)]
+pub struct MicrobenchEnergies {
+    /// Measured integer energy per lane-op (pJ); paper ≈ 40 pJ.
+    pub int_pj: f64,
+    /// Measured FP energy per lane-op (pJ); paper ≈ 75 pJ.
+    pub fp_pj: f64,
+}
+
+/// §III-D: runs the LFSR and Mandelbrot microbenchmarks with 31 and 1
+/// enabled lanes per warp through the testbed and derives the
+/// per-operation energies from the energy difference.
+pub fn microbench_energy(seed: u64) -> MicrobenchEnergies {
+    let cfg = GpuConfig::gt240();
+    let mut gpu = Gpu::new(cfg.clone()).expect("preset is valid");
+    let mut testbed = Testbed::new(cfg.clone(), seed);
+    let launch = micro::micro_launch(cfg.total_cores() as u32);
+
+    let mut run = |kernel: &gpusimpow_isa::Kernel| {
+        let report = gpu.launch(kernel, launch).expect("micro runs");
+        let m = testbed.measure(&[KernelExec::from_report(&report)]);
+        (m[0].clone(), report.stats)
+    };
+
+    let (m31, s31) = run(&micro::lfsr_kernel(31, 64));
+    let (m01, s01) = run(&micro::lfsr_kernel(1, 64));
+    let int_pj = per_op_energy(&m31, &m01, s31.int_lane_ops, s01.int_lane_ops).picojoules();
+
+    let (f31, fs31) = run(&micro::mandelbrot_kernel(31, 64));
+    let (f01, fs01) = run(&micro::mandelbrot_kernel(1, 64));
+    let fp_pj = per_op_energy(&f31, &f01, fs31.fp_lane_ops, fs01.fp_lane_ops).picojoules();
+
+    MicrobenchEnergies { int_pj, fp_pj }
+}
+
+/// §IV-B: both static estimation methods, with truth for comparison.
+#[derive(Debug, Clone)]
+pub struct StaticEstimation {
+    /// GT240 measured at full clock (W).
+    pub gt240_full_w: f64,
+    /// GT240 measured at 80 % clock (W).
+    pub gt240_scaled_w: f64,
+    /// GT240 extrapolated static (W).
+    pub gt240_static_w: f64,
+    /// GT240 ground truth (W).
+    pub gt240_truth_w: f64,
+    /// The static-to-idle ratio carried to the GTX580.
+    pub ratio: f64,
+    /// GTX580 idle-ratio static estimate (W).
+    pub gtx580_static_w: f64,
+    /// GTX580 ground truth (W).
+    pub gtx580_truth_w: f64,
+}
+
+/// §IV-B: runs the clock-extrapolation method on the GT240 and the
+/// idle-ratio method on the GTX580.
+pub fn static_estimation(seed: u64) -> StaticEstimation {
+    let gt_cfg = GpuConfig::gt240();
+    let mut gpu = Gpu::new(gt_cfg.clone()).expect("preset is valid");
+    let probe = micro::cluster_step_kernel(1500);
+    let report = gpu
+        .launch(&probe, LaunchConfig::linear(12, 256))
+        .expect("probe runs");
+    let mut gt_tb = Testbed::new(gt_cfg, seed);
+    let exec = KernelExec::from_report(&report);
+    let r = static_est::estimate_by_clock_scaling(&mut gt_tb, &exec);
+    let between = gt_tb.measure_state(
+        gt_tb.hardware().pre_kernel_power(),
+        gpusimpow_tech::units::Time::from_millis(60.0),
+    );
+    let ratio = static_est::static_to_idle_ratio(r.static_estimate, between);
+    let gt_truth = gt_tb.hardware().true_static_power().watts();
+
+    let mut gtx_tb = Testbed::new(GpuConfig::gtx580(), seed.wrapping_add(7));
+    let gtx_est = static_est::estimate_by_idle_ratio(&mut gtx_tb, ratio);
+    let gtx_truth = gtx_tb.hardware().true_static_power().watts();
+
+    StaticEstimation {
+        gt240_full_w: r.power_full.watts(),
+        gt240_scaled_w: r.power_scaled.watts(),
+        gt240_static_w: r.static_estimate.watts(),
+        gt240_truth_w: gt_truth,
+        ratio,
+        gtx580_static_w: gtx_est.watts(),
+        gtx580_truth_w: gtx_truth,
+    }
+}
+
+/// §IV-A: empirical error budget of the measurement chain.
+#[derive(Debug, Clone, Copy)]
+pub struct ErrorBudget {
+    /// Worst observed relative power error over boards and operating
+    /// points (paper budget: ±3.2 %).
+    pub worst_rel_error: f64,
+    /// Mean absolute relative error.
+    pub mean_rel_error: f64,
+    /// Boards (seeds) exercised.
+    pub boards: usize,
+}
+
+/// §IV-A: sweeps DC operating points through many boards and compares
+/// the reconstructed power against the ground truth.
+pub fn measurement_error_budget(boards: usize) -> ErrorBudget {
+    let mut worst = 0.0f64;
+    let mut sum = 0.0;
+    let mut n = 0;
+    for seed in 0..boards as u64 {
+        let mut tb = Testbed::new(GpuConfig::gt240(), seed);
+        for watts in [16.0, 25.0, 40.0, 60.0] {
+            let truth = gpusimpow_tech::units::Power::new(watts);
+            let measured = tb.measure_state(
+                truth,
+                gpusimpow_tech::units::Time::from_millis(30.0),
+            );
+            let rel = ((measured.watts() - watts) / watts).abs();
+            worst = worst.max(rel);
+            sum += rel;
+            n += 1;
+        }
+    }
+    ErrorBudget {
+        worst_rel_error: worst,
+        mean_rel_error: sum / n as f64,
+        boards,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig4_shows_the_staircase() {
+        let points = fig4_cluster_power(BOARD_SEED);
+        assert_eq!(points.len(), 12);
+        // Blocks 2..4 land on fresh clusters.
+        assert_eq!(points[1].clusters_active, 2);
+        assert_eq!(points[3].clusters_active, 4);
+        // Every step carries the block's own compute power; the paper's
+        // observation is the *difference*: a fresh-cluster step exceeds a
+        // same-cluster step by the cluster overhead (0.692 − 0.199 ≈
+        // 0.49 W).
+        let cluster_step = points[1].delta_w;
+        let core_step = points[5].delta_w;
+        let overhead = cluster_step - core_step;
+        assert!(
+            (0.30..0.70).contains(&overhead),
+            "cluster-vs-core step difference {overhead} W (paper ≈ 0.49 W)"
+        );
+        // Power rises monotonically (within measurement noise).
+        for w in points.windows(2) {
+            assert!(w[1].measured_w > w[0].measured_w - 0.3);
+        }
+    }
+
+    #[test]
+    fn microbench_methodology_recovers_the_silicon_truth() {
+        let e = microbench_energy(BOARD_SEED);
+        // The §III-D method must recover the *synthetic silicon's* true
+        // per-op energies (the paper's real card measured ≈40/75 pJ; our
+        // emulated card's truth is deliberately different so the Fig. 6
+        // error is emergent — see DESIGN.md).
+        let truth =
+            gpusimpow_measure::SiliconTruth::for_config(&GpuConfig::gt240());
+        let int_truth = truth.int_op_j * 1e12;
+        let fp_truth = truth.fp_op_j * 1e12;
+        assert!(
+            (e.int_pj - int_truth).abs() / int_truth < 0.15,
+            "int {} pJ vs truth {int_truth} pJ",
+            e.int_pj
+        );
+        // The FP microbenchmark loop carries one INT op per six FP ops,
+        // inflating the estimate slightly — as on real hardware.
+        assert!(
+            e.fp_pj > fp_truth * 0.9 && e.fp_pj < fp_truth * 1.35,
+            "fp {} pJ vs truth {fp_truth} pJ",
+            e.fp_pj
+        );
+        assert!(e.fp_pj > e.int_pj, "fp ops cost more than int ops");
+    }
+
+    #[test]
+    fn error_budget_within_spec() {
+        let b = measurement_error_budget(10);
+        assert!(
+            b.worst_rel_error < 0.032,
+            "worst error {} exceeds the ±3.2 % budget",
+            b.worst_rel_error
+        );
+        assert!(b.mean_rel_error < b.worst_rel_error);
+    }
+
+    #[test]
+    fn static_estimation_methods_agree_with_truth() {
+        let s = static_estimation(BOARD_SEED);
+        assert!((s.gt240_static_w - s.gt240_truth_w).abs() / s.gt240_truth_w < 0.12);
+        assert!((s.gtx580_static_w - s.gtx580_truth_w).abs() / s.gtx580_truth_w < 0.15);
+        assert!((0.8..1.0).contains(&s.ratio), "ratio {}", s.ratio);
+    }
+}

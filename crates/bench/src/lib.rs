@@ -1,0 +1,11 @@
+//! # gpusimpow-bench — the experiment harness
+//!
+//! One function per table/figure of the paper (see `DESIGN.md`'s
+//! per-experiment index); the `src/bin/*` binaries are thin wrappers and
+//! `run_all_experiments` renders everything into `EXPERIMENTS.md`.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod experiments;
+pub mod render;

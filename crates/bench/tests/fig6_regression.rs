@@ -1,0 +1,69 @@
+//! Regression test pinning the Fig. 6 reproduction's qualitative
+//! properties on the reduced-size suite (the full-size run is in
+//! EXPERIMENTS.md): error band, overestimation dominance, and the
+//! blackscholes sign flip the paper reports.
+
+use gpusimpow_bench::experiments;
+use gpusimpow_sim::GpuConfig;
+
+#[test]
+fn fig6_gt240_reproduces_the_paper_structure() {
+    let summary =
+        experiments::fig6_validation(&GpuConfig::gt240(), experiments::BOARD_SEED, true);
+    assert_eq!(summary.rows.len(), 19, "all 19 Fig. 6 kernels present");
+
+    let avg = summary.average_relative_error();
+    assert!(
+        avg < 0.18,
+        "average relative error {avg} far outside the paper's band (11.7 %)"
+    );
+    // The simulator overestimates the large majority of kernels
+    // (paper: all but blackscholes and scalarProd).
+    let over = summary.overestimated_count();
+    assert!(over >= 14, "only {over}/19 kernels overestimated");
+    // Blackscholes specifically is underestimated (SFU-heavy).
+    let bs = summary
+        .rows
+        .iter()
+        .find(|r| r.kernel == "BlackScholes")
+        .expect("blackscholes row present");
+    assert!(
+        bs.signed_error() < 0.02,
+        "blackscholes should not be clearly overestimated, got {:+.1}%",
+        bs.signed_error() * 100.0
+    );
+    // Static side matches within a couple percent (Table IV).
+    let static_err = (summary.simulated_static_w - summary.measured_static_w).abs()
+        / summary.measured_static_w;
+    assert!(static_err < 0.05, "static error {static_err}");
+}
+
+#[test]
+fn fig6_gtx580_reproduces_the_paper_structure() {
+    let summary =
+        experiments::fig6_validation(&GpuConfig::gtx580(), experiments::BOARD_SEED, true);
+    assert_eq!(summary.rows.len(), 19);
+    let avg = summary.average_relative_error();
+    assert!(avg < 0.20, "average relative error {avg}");
+    assert!(summary.overestimated_count() >= 13);
+    // Table IV: ~80 W static on both sides.
+    assert!((summary.simulated_static_w - 81.5).abs() < 5.0);
+    assert!((summary.measured_static_w - 80.0).abs() < 4.0);
+}
+
+#[test]
+fn gtx580_draws_roughly_three_to_five_times_gt240_power() {
+    // The headline "who wins by what factor": the enthusiast card burns
+    // a multiple of the low-end card on the same suite.
+    let gt = experiments::fig6_validation(&GpuConfig::gt240(), 3, true);
+    let gtx = experiments::fig6_validation(&GpuConfig::gtx580(), 3, true);
+    let gt_mean: f64 = gt.rows.iter().map(|r| r.measured_total_w).sum::<f64>()
+        / gt.rows.len() as f64;
+    let gtx_mean: f64 = gtx.rows.iter().map(|r| r.measured_total_w).sum::<f64>()
+        / gtx.rows.len() as f64;
+    let factor = gtx_mean / gt_mean;
+    assert!(
+        (2.5..6.0).contains(&factor),
+        "power factor {factor} (paper's figures imply ~4x)"
+    );
+}

@@ -1,0 +1,376 @@
+//! CACTI-lite SRAM array model.
+//!
+//! CACTI 6.5 (integrated in McPAT and therefore in GPUSimPow) performs a
+//! detailed design-space exploration over sub-banking and folding. For this
+//! reproduction we implement a simplified analytic version with the same
+//! *inputs* (capacity, word width, ports, banks, device class) and the same
+//! *outputs* (read/write energy, leakage, area), tuned to land in CACTI-like
+//! magnitude ranges. The formulas decompose an access into the classical
+//! stages: row decode → wordline → bitline swing → sense amplifiers →
+//! output drive.
+
+use gpusimpow_tech::node::{DeviceType, TechNode};
+use gpusimpow_tech::units::{Capacitance, Energy, Power, Voltage};
+use gpusimpow_tech::wire::{Wire, WireClass};
+
+use crate::costs::CircuitCosts;
+
+/// Parameters of an SRAM array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SramSpec {
+    /// Number of addressable entries (rows before folding).
+    pub entries: usize,
+    /// Bits per entry (columns before folding).
+    pub bits_per_entry: usize,
+    /// Dedicated read ports.
+    pub read_ports: usize,
+    /// Dedicated write ports.
+    pub write_ports: usize,
+    /// Shared read/write ports.
+    pub rw_ports: usize,
+    /// Independent banks (an access activates exactly one).
+    pub banks: usize,
+    /// Transistor flavour of the cells.
+    pub device: DeviceType,
+}
+
+impl SramSpec {
+    /// A convenient single-rw-port, single-bank spec.
+    pub fn simple(entries: usize, bits_per_entry: usize) -> Self {
+        SramSpec {
+            entries,
+            bits_per_entry,
+            read_ports: 0,
+            write_ports: 0,
+            rw_ports: 1,
+            banks: 1,
+            device: DeviceType::LowStandbyPower,
+        }
+    }
+
+    /// Total capacity in bits.
+    pub fn capacity_bits(&self) -> usize {
+        self.entries * self.bits_per_entry
+    }
+
+    /// Total number of ports.
+    pub fn total_ports(&self) -> usize {
+        self.read_ports + self.write_ports + self.rw_ports
+    }
+
+    /// Validates the spec.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint: zero
+    /// entries/bits, zero ports, zero banks, or more banks than entries.
+    pub fn validate(&self) -> Result<(), &'static str> {
+        if self.entries == 0 {
+            return Err("array must have at least one entry");
+        }
+        if self.bits_per_entry == 0 {
+            return Err("array entries must be at least one bit wide");
+        }
+        if self.total_ports() == 0 {
+            return Err("array must have at least one port");
+        }
+        if self.banks == 0 {
+            return Err("array must have at least one bank");
+        }
+        if self.banks > self.entries {
+            return Err("cannot have more banks than entries");
+        }
+        Ok(())
+    }
+}
+
+/// An evaluated SRAM array at a particular technology node.
+///
+/// # Examples
+///
+/// ```
+/// use gpusimpow_circuit::array::{SramArray, SramSpec};
+/// use gpusimpow_tech::node::TechNode;
+///
+/// // A GT240-style 16 KB shared-memory bank group.
+/// let tech = TechNode::planar(40)?;
+/// let array = SramArray::new(&tech, SramSpec::simple(4096, 32))?;
+/// assert!(array.costs().read_energy.picojoules() > 0.0);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SramArray {
+    spec: SramSpec,
+    costs: CircuitCosts,
+    rows_per_bank: usize,
+    cols_per_bank: usize,
+}
+
+/// Maximum rows in one mat before the model folds the array (splitting a
+/// tall array into shorter, wider mats like CACTI's partitioning).
+const MAX_ROWS_PER_MAT: usize = 256;
+
+/// Fraction of the bit swing seen by a read bitline before the sense
+/// amplifier fires, relative to Vdd.
+const READ_SWING_FRACTION: f64 = 0.2;
+
+/// Area efficiency: cells / (cells + periphery).
+const ARRAY_EFFICIENCY: f64 = 0.7;
+
+/// Periphery leakage as a fraction of cell leakage.
+const PERIPHERY_LEAKAGE_FRACTION: f64 = 0.15;
+
+/// Effective leaking transistor width per 6T cell, in multiples of the
+/// feature size (accounts for series stacking).
+const CELL_LEAK_WIDTH_F: f64 = 2.0;
+
+impl SramArray {
+    /// Evaluates the array model.
+    ///
+    /// # Errors
+    ///
+    /// Returns the message from [`SramSpec::validate`] if the spec is
+    /// malformed.
+    pub fn new(tech: &TechNode, spec: SramSpec) -> Result<Self, &'static str> {
+        spec.validate()?;
+        let vdd = tech.vdd();
+        let ports = spec.total_ports();
+        // Multi-porting grows the cell in both dimensions (extra wordlines
+        // and bitline pairs per port).
+        let port_factor = 1.0 + 0.3 * (ports as f64 - 1.0);
+        let cell_area = tech.sram_cell_area() * (port_factor * port_factor);
+        let cell_dim_um = cell_area.um2().sqrt();
+
+        // Fold tall banks into wider mats.
+        let mut rows = spec.entries.div_ceil(spec.banks);
+        let mut cols = spec.bits_per_entry;
+        while rows > MAX_ROWS_PER_MAT && rows.is_multiple_of(2) {
+            rows /= 2;
+            cols *= 2;
+        }
+
+        let min_width_um = tech.feature_um() * 1.5;
+        let cell_gate_cap = tech.gate_cap_per_um() * min_width_um;
+        let cell_drain_cap = tech.drain_cap_per_um() * min_width_um;
+
+        // --- decode stage -------------------------------------------------
+        let address_bits = (rows.max(2) as f64).log2().ceil();
+        let decode_cap = tech.min_inverter_cap() * (address_bits * 4.0)
+            + tech.min_inverter_cap() * (rows as f64 * 0.2);
+        let decode_energy = decode_cap.switching_energy(vdd, vdd);
+
+        // --- wordline -----------------------------------------------------
+        let row_width_mm = cols as f64 * cell_dim_um / 1000.0;
+        let wl_wire = Wire::new(tech, WireClass::Local, row_width_mm);
+        // Two pass-gate inputs per cell hang off the wordline.
+        let wl_cap = wl_wire.capacitance()
+            + cell_gate_cap * (2.0 * cols as f64);
+        let wordline_energy = wl_cap.switching_energy(vdd, vdd);
+
+        // --- bitlines -----------------------------------------------------
+        let col_height_mm = rows as f64 * cell_dim_um / 1000.0;
+        let bl_wire = Wire::new(tech, WireClass::Local, col_height_mm);
+        let bl_cap_per_col: Capacitance =
+            bl_wire.capacitance() + cell_drain_cap * rows as f64;
+        let read_swing = Voltage::new(vdd.volts() * READ_SWING_FRACTION);
+        // Differential pair: both bitlines precharged, one discharges by
+        // the swing.
+        let bitline_read_energy =
+            (bl_cap_per_col * (2.0 * cols as f64)).switching_energy(vdd, read_swing);
+        // Writes drive full rail on the pair.
+        let bitline_write_energy =
+            (bl_cap_per_col * (2.0 * cols as f64)).switching_energy(vdd, vdd);
+
+        // --- sense amplifiers & output drive --------------------------------
+        let senseamp_energy =
+            Energy::from_picojoules(0.002 * cols as f64) * (vdd.volts() * vdd.volts());
+        // Each of the entry's bits is driven over roughly half the mat
+        // width to the array edge; on average half the bits toggle.
+        let output_wire = Wire::new(tech, WireClass::Intermediate, row_width_mm / 2.0);
+        let output_energy = (output_wire.capacitance() * spec.bits_per_entry as f64)
+            .switching_energy(vdd, vdd)
+            * 0.5;
+
+        let read_energy =
+            decode_energy + wordline_energy + bitline_read_energy + senseamp_energy + output_energy;
+        let write_energy = decode_energy + wordline_energy + bitline_write_energy + output_energy;
+
+        // --- leakage --------------------------------------------------------
+        let leak_width_um = CELL_LEAK_WIDTH_F * tech.feature_um();
+        let cell_leak_current = tech.sub_leak_per_um(spec.device) * leak_width_um
+            + tech.gate_leak_per_um() * leak_width_um;
+        let cell_leak_power: Power = cell_leak_current * vdd;
+        let total_cells = spec.capacity_bits() as f64;
+        let leakage = cell_leak_power * total_cells * (1.0 + PERIPHERY_LEAKAGE_FRACTION);
+
+        // --- area -----------------------------------------------------------
+        let area = cell_area * total_cells / ARRAY_EFFICIENCY;
+
+        Ok(SramArray {
+            spec,
+            costs: CircuitCosts::new(area, read_energy, write_energy, leakage),
+            rows_per_bank: rows,
+            cols_per_bank: cols,
+        })
+    }
+
+    /// The evaluated cost bundle.
+    pub fn costs(&self) -> CircuitCosts {
+        self.costs
+    }
+
+    /// The input spec.
+    pub fn spec(&self) -> &SramSpec {
+        &self.spec
+    }
+
+    /// Rows per bank after folding.
+    pub fn rows_per_bank(&self) -> usize {
+        self.rows_per_bank
+    }
+
+    /// Columns per bank after folding.
+    pub fn cols_per_bank(&self) -> usize {
+        self.cols_per_bank
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t40() -> TechNode {
+        TechNode::planar(40).unwrap()
+    }
+
+    fn eval(entries: usize, bits: usize) -> CircuitCosts {
+        SramArray::new(&t40(), SramSpec::simple(entries, bits))
+            .unwrap()
+            .costs()
+    }
+
+    #[test]
+    fn bigger_arrays_cost_more() {
+        let small = eval(256, 32);
+        let big = eval(4096, 32);
+        assert!(big.read_energy > small.read_energy);
+        assert!(big.leakage > small.leakage);
+        assert!(big.area.mm2() > small.area.mm2());
+    }
+
+    #[test]
+    fn wider_entries_cost_more_per_access() {
+        let narrow = eval(1024, 32);
+        let wide = eval(1024, 128);
+        assert!(wide.read_energy > narrow.read_energy);
+    }
+
+    #[test]
+    fn writes_cost_more_than_reads() {
+        // Full-swing bitlines vs. sensed low-swing reads.
+        let c = eval(1024, 64);
+        assert!(c.write_energy > c.read_energy);
+    }
+
+    #[test]
+    fn banking_reduces_access_energy() {
+        let tech = t40();
+        let mono = SramArray::new(
+            &tech,
+            SramSpec {
+                banks: 1,
+                ..SramSpec::simple(8192, 32)
+            },
+        )
+        .unwrap();
+        let banked = SramArray::new(
+            &tech,
+            SramSpec {
+                banks: 8,
+                ..SramSpec::simple(8192, 32)
+            },
+        )
+        .unwrap();
+        assert!(banked.costs().read_energy < mono.costs().read_energy);
+        // But leakage is capacity-driven, hence equal.
+        let delta = (banked.costs().leakage.watts() - mono.costs().leakage.watts()).abs();
+        assert!(delta < 1e-12);
+    }
+
+    #[test]
+    fn extra_ports_grow_area() {
+        let tech = t40();
+        let one_port = SramArray::new(&tech, SramSpec::simple(512, 64)).unwrap();
+        let four_port = SramArray::new(
+            &tech,
+            SramSpec {
+                read_ports: 2,
+                write_ports: 1,
+                rw_ports: 1,
+                ..SramSpec::simple(512, 64)
+            },
+        )
+        .unwrap();
+        assert!(four_port.costs().area.mm2() > 2.0 * one_port.costs().area.mm2());
+    }
+
+    #[test]
+    fn lstp_leaks_less_than_hp() {
+        let tech = t40();
+        let lstp = SramArray::new(&tech, SramSpec::simple(4096, 32)).unwrap();
+        let hp = SramArray::new(
+            &tech,
+            SramSpec {
+                device: DeviceType::HighPerformance,
+                ..SramSpec::simple(4096, 32)
+            },
+        )
+        .unwrap();
+        assert!(hp.costs().leakage > lstp.costs().leakage);
+    }
+
+    #[test]
+    fn read_energy_in_cacti_magnitude_range() {
+        // A 16 KB, 32-bit-wide array at 40 nm should read at O(1..20) pJ.
+        let c = eval(4096, 32);
+        let pj = c.read_energy.picojoules();
+        assert!(pj > 0.3 && pj < 50.0, "read energy {pj} pJ out of range");
+    }
+
+    #[test]
+    fn register_file_leakage_magnitude() {
+        // 16 K x 32-bit registers (GT240 core RF) should leak a few mW max.
+        let c = eval(16384, 32);
+        let mw = c.leakage.milliwatts();
+        assert!(mw > 0.1 && mw < 50.0, "leakage {mw} mW out of range");
+    }
+
+    #[test]
+    fn invalid_specs_are_rejected() {
+        let tech = t40();
+        assert!(SramArray::new(&tech, SramSpec::simple(0, 32)).is_err());
+        assert!(SramArray::new(&tech, SramSpec::simple(64, 0)).is_err());
+        let no_ports = SramSpec {
+            rw_ports: 0,
+            ..SramSpec::simple(64, 32)
+        };
+        assert!(SramArray::new(&tech, no_ports).is_err());
+        let too_banked = SramSpec {
+            banks: 128,
+            ..SramSpec::simple(64, 32)
+        };
+        assert!(SramArray::new(&tech, too_banked).is_err());
+    }
+
+    #[test]
+    fn folding_keeps_mats_short() {
+        let tech = t40();
+        let a = SramArray::new(&tech, SramSpec::simple(65536, 32)).unwrap();
+        assert!(a.rows_per_bank() <= MAX_ROWS_PER_MAT);
+        assert_eq!(
+            a.rows_per_bank() * a.cols_per_bank(),
+            65536 * 32,
+            "folding must preserve capacity"
+        );
+    }
+}

@@ -1,0 +1,244 @@
+//! Cache circuit model: a tag array plus a data array.
+//!
+//! Used for the instruction cache, constant caches, L1 data cache and the
+//! L2 slices. A cache access reads the tag array (all ways of one set in
+//! parallel) and, on a hit, one way of the data array; a fill writes one
+//! line plus its tag.
+
+use gpusimpow_tech::node::{DeviceType, TechNode};
+use gpusimpow_tech::units::Energy;
+
+use crate::array::{SramArray, SramSpec};
+use crate::costs::CircuitCosts;
+
+/// Geometry of a set-associative cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheSpec {
+    /// Total capacity in bytes.
+    pub capacity_bytes: usize,
+    /// Line size in bytes.
+    pub line_bytes: usize,
+    /// Associativity (ways).
+    pub ways: usize,
+    /// Physical address width in bits (for tag sizing).
+    pub address_bits: usize,
+    /// Independent banks.
+    pub banks: usize,
+}
+
+impl CacheSpec {
+    /// Number of sets.
+    pub fn sets(&self) -> usize {
+        self.capacity_bytes / (self.line_bytes * self.ways)
+    }
+
+    /// Tag width in bits: address minus set-index minus line-offset bits,
+    /// plus valid + dirty bits.
+    pub fn tag_bits(&self) -> usize {
+        let offset_bits = (self.line_bytes as f64).log2() as usize;
+        let index_bits = (self.sets().max(1) as f64).log2() as usize;
+        self.address_bits.saturating_sub(offset_bits + index_bits) + 2
+    }
+
+    /// Validates the geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first violated constraint (power-of-two
+    /// line size, capacity divisible by `line × ways`, non-zero fields).
+    pub fn validate(&self) -> Result<(), &'static str> {
+        if self.capacity_bytes == 0 || self.line_bytes == 0 || self.ways == 0 {
+            return Err("cache dimensions must be non-zero");
+        }
+        if !self.line_bytes.is_power_of_two() {
+            return Err("cache line size must be a power of two");
+        }
+        if !self.capacity_bytes.is_multiple_of(self.line_bytes * self.ways) {
+            return Err("capacity must be divisible by line size times ways");
+        }
+        if self.banks == 0 {
+            return Err("cache must have at least one bank");
+        }
+        Ok(())
+    }
+}
+
+/// An evaluated cache (tag + data arrays).
+///
+/// # Examples
+///
+/// ```
+/// use gpusimpow_circuit::cache::{Cache, CacheSpec};
+/// use gpusimpow_tech::node::TechNode;
+///
+/// // GTX580 L2: 768 KB, 128 B lines, 8-way, 6 banks.
+/// let tech = TechNode::planar(40)?;
+/// let l2 = Cache::new(&tech, CacheSpec {
+///     capacity_bytes: 768 * 1024,
+///     line_bytes: 128,
+///     ways: 8,
+///     address_bits: 32,
+///     banks: 6,
+/// })?;
+/// assert!(l2.costs().area.mm2() > 1.0);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cache {
+    spec: CacheSpec,
+    tag: SramArray,
+    data: SramArray,
+}
+
+impl Cache {
+    /// Evaluates the cache model.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CacheSpec::validate`] or array-model errors.
+    pub fn new(tech: &TechNode, spec: CacheSpec) -> Result<Self, &'static str> {
+        spec.validate()?;
+        let tag = SramArray::new(
+            tech,
+            SramSpec {
+                entries: spec.sets() * spec.ways,
+                bits_per_entry: spec.tag_bits(),
+                read_ports: 0,
+                write_ports: 0,
+                rw_ports: 1,
+                banks: spec.banks,
+                device: DeviceType::HighPerformance,
+            },
+        )?;
+        let data = SramArray::new(
+            tech,
+            SramSpec {
+                entries: spec.sets() * spec.ways,
+                bits_per_entry: spec.line_bytes * 8,
+                read_ports: 0,
+                write_ports: 0,
+                rw_ports: 1,
+                banks: spec.banks,
+                device: DeviceType::LowStandbyPower,
+            },
+        )?;
+        Ok(Cache { spec, tag, data })
+    }
+
+    /// Energy of a hit: parallel tag compare over all ways + one data way.
+    pub fn hit_energy(&self) -> Energy {
+        self.tag.costs().read_energy * self.spec.ways as f64 + self.data.costs().read_energy
+    }
+
+    /// Energy of a miss: the tag probe only (the fill is charged
+    /// separately via [`Cache::fill_energy`]).
+    pub fn miss_energy(&self) -> Energy {
+        self.tag.costs().read_energy * self.spec.ways as f64
+    }
+
+    /// Energy of filling one line (data write + tag write).
+    pub fn fill_energy(&self) -> Energy {
+        self.data.costs().write_energy + self.tag.costs().write_energy
+    }
+
+    /// Energy of a write hit (write-through of one word is approximated as
+    /// one data-array write plus the tag probe).
+    pub fn write_energy(&self) -> Energy {
+        self.miss_energy() + self.data.costs().write_energy
+    }
+
+    /// Aggregate area/leakage bundle (read/write energies are the hit and
+    /// fill energies).
+    pub fn costs(&self) -> CircuitCosts {
+        CircuitCosts::new(
+            self.tag.costs().area + self.data.costs().area,
+            self.hit_energy(),
+            self.fill_energy(),
+            self.tag.costs().leakage + self.data.costs().leakage,
+        )
+    }
+
+    /// The cache geometry.
+    pub fn spec(&self) -> &CacheSpec {
+        &self.spec
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t40() -> TechNode {
+        TechNode::planar(40).unwrap()
+    }
+
+    fn spec_16k() -> CacheSpec {
+        CacheSpec {
+            capacity_bytes: 16 * 1024,
+            line_bytes: 128,
+            ways: 4,
+            address_bits: 32,
+            banks: 1,
+        }
+    }
+
+    #[test]
+    fn geometry_derivation() {
+        let s = spec_16k();
+        assert_eq!(s.sets(), 32);
+        // 32-bit address, 7 offset bits, 5 index bits => 20 tag bits + v/d.
+        assert_eq!(s.tag_bits(), 22);
+    }
+
+    #[test]
+    fn hit_costs_more_than_miss() {
+        let c = Cache::new(&t40(), spec_16k()).unwrap();
+        assert!(c.hit_energy() > c.miss_energy());
+    }
+
+    #[test]
+    fn fill_is_the_most_expensive_operation() {
+        let c = Cache::new(&t40(), spec_16k()).unwrap();
+        assert!(c.fill_energy() > c.hit_energy());
+    }
+
+    #[test]
+    fn higher_associativity_raises_tag_energy() {
+        let mut s = spec_16k();
+        let c4 = Cache::new(&t40(), s).unwrap();
+        s.ways = 8;
+        let c8 = Cache::new(&t40(), s).unwrap();
+        assert!(c8.miss_energy() > c4.miss_energy());
+    }
+
+    #[test]
+    fn l2_sized_cache_has_substantial_leakage() {
+        let l2 = Cache::new(
+            &t40(),
+            CacheSpec {
+                capacity_bytes: 768 * 1024,
+                line_bytes: 128,
+                ways: 8,
+                address_bits: 32,
+                banks: 6,
+            },
+        )
+        .unwrap();
+        let mw = l2.costs().leakage.milliwatts();
+        assert!(mw > 1.0, "768 KB of SRAM must leak > 1 mW, got {mw}");
+    }
+
+    #[test]
+    fn invalid_geometry_rejected() {
+        let t = t40();
+        let mut s = spec_16k();
+        s.line_bytes = 100; // not a power of two
+        assert!(Cache::new(&t, s).is_err());
+        let mut s = spec_16k();
+        s.ways = 0;
+        assert!(Cache::new(&t, s).is_err());
+        let mut s = spec_16k();
+        s.capacity_bytes = 1000;
+        assert!(Cache::new(&t, s).is_err());
+    }
+}

@@ -1,0 +1,188 @@
+//! Content-addressable (tagged-search) structure model.
+//!
+//! The paper models the instruction buffer and the scoreboard as
+//! "cache-like" structures tagged by warp ID: a lookup broadcasts the warp
+//! ID to all entries and compares in parallel. This is a small
+//! fully-associative CAM; energy is dominated by the match-line and
+//! search-line switching.
+
+use gpusimpow_tech::node::{DeviceType, TechNode};
+use gpusimpow_tech::units::Energy;
+use gpusimpow_tech::wire::{Wire, WireClass};
+
+use crate::array::{SramArray, SramSpec};
+use crate::costs::CircuitCosts;
+
+/// A small fully-associative tagged table (CAM tags + SRAM payload).
+///
+/// # Examples
+///
+/// ```
+/// use gpusimpow_circuit::cam::TaggedTable;
+/// use gpusimpow_tech::node::TechNode;
+///
+/// // A GT240 instruction buffer: 48 slots tagged by a 5-bit warp ID,
+/// // holding 64-bit decoded instructions.
+/// let tech = TechNode::planar(40)?;
+/// let ib = TaggedTable::new(&tech, 48, 5, 64)?;
+/// assert!(ib.search_energy().picojoules() > 0.0);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaggedTable {
+    entries: usize,
+    tag_bits: usize,
+    payload: SramArray,
+    search_energy: Energy,
+    tag_write_energy: Energy,
+    costs: CircuitCosts,
+}
+
+impl TaggedTable {
+    /// Builds a table with `entries` slots, `tag_bits`-wide CAM tags and
+    /// `payload_bits` of SRAM per slot.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any dimension is zero or the payload array spec
+    /// is invalid.
+    pub fn new(
+        tech: &TechNode,
+        entries: usize,
+        tag_bits: usize,
+        payload_bits: usize,
+    ) -> Result<Self, &'static str> {
+        if entries == 0 || tag_bits == 0 || payload_bits == 0 {
+            return Err("tagged table dimensions must be non-zero");
+        }
+        let payload = SramArray::new(
+            tech,
+            SramSpec {
+                entries,
+                bits_per_entry: payload_bits,
+                read_ports: 1,
+                write_ports: 1,
+                rw_ports: 0,
+                banks: 1,
+                device: DeviceType::HighPerformance,
+            },
+        )?;
+        let vdd = tech.vdd();
+        let min_width_um = tech.feature_um() * 1.5;
+        let gate = tech.gate_cap_per_um() * min_width_um;
+        let drain = tech.drain_cap_per_um() * min_width_um;
+
+        // Search lines: each tag bit is broadcast down the column of
+        // `entries` compare gates.
+        let col_height_mm = entries as f64 * tech.sram_cell_area().um2().sqrt() / 1000.0;
+        let search_wire = Wire::new(tech, WireClass::Local, col_height_mm);
+        let search_line_cap = search_wire.capacitance() + gate * (2.0 * entries as f64);
+        // Match lines: one per entry, spanning the tag width; in the worst
+        // case all but one discharge.
+        let row_width_mm = tag_bits as f64 * tech.sram_cell_area().um2().sqrt() / 1000.0;
+        let match_wire = Wire::new(tech, WireClass::Local, row_width_mm);
+        let match_line_cap = match_wire.capacitance() + drain * tag_bits as f64;
+        let search_energy = (search_line_cap * tag_bits as f64).switching_energy(vdd, vdd)
+            + (match_line_cap * entries as f64).switching_energy(vdd, vdd);
+
+        // CAM cells are ~2x 6T cell area (9T-10T cells).
+        let tag_area = tech.sram_cell_area() * (2.0 * (entries * tag_bits) as f64);
+        let leak_width_um = 2.5 * tech.feature_um();
+        let tag_leak = (tech.sub_leak_per_um(DeviceType::HighPerformance) * leak_width_um
+            + tech.gate_leak_per_um() * leak_width_um)
+            * vdd
+            * ((entries * tag_bits) as f64);
+
+        let tag_write_energy = (search_line_cap * tag_bits as f64).switching_energy(vdd, vdd);
+
+        let costs = CircuitCosts::new(
+            payload.costs().area + tag_area,
+            search_energy + payload.costs().read_energy,
+            tag_write_energy + payload.costs().write_energy,
+            payload.costs().leakage + tag_leak,
+        );
+        Ok(TaggedTable {
+            entries,
+            tag_bits,
+            payload,
+            search_energy,
+            tag_write_energy,
+            costs,
+        })
+    }
+
+    /// Energy of one associative search (tag compare only, no payload read).
+    pub fn search_energy(&self) -> Energy {
+        self.search_energy
+    }
+
+    /// Energy of a full lookup: search plus payload read of the hit entry.
+    pub fn lookup_energy(&self) -> Energy {
+        self.costs.read_energy
+    }
+
+    /// Energy of inserting an entry (tag write + payload write).
+    pub fn insert_energy(&self) -> Energy {
+        self.costs.write_energy
+    }
+
+    /// Aggregate bundle (read = lookup, write = insert).
+    pub fn costs(&self) -> CircuitCosts {
+        self.costs
+    }
+
+    /// Number of slots.
+    pub fn entries(&self) -> usize {
+        self.entries
+    }
+
+    /// CAM tag width in bits.
+    pub fn tag_bits(&self) -> usize {
+        self.tag_bits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t40() -> TechNode {
+        TechNode::planar(40).unwrap()
+    }
+
+    #[test]
+    fn search_is_cheaper_than_full_lookup() {
+        let t = TaggedTable::new(&t40(), 48, 6, 64).unwrap();
+        assert!(t.search_energy() < t.lookup_energy());
+    }
+
+    #[test]
+    fn more_entries_cost_more_search_energy() {
+        let small = TaggedTable::new(&t40(), 24, 6, 64).unwrap();
+        let big = TaggedTable::new(&t40(), 96, 6, 64).unwrap();
+        assert!(big.search_energy() > small.search_energy());
+    }
+
+    #[test]
+    fn wider_tags_cost_more() {
+        let narrow = TaggedTable::new(&t40(), 48, 4, 64).unwrap();
+        let wide = TaggedTable::new(&t40(), 48, 12, 64).unwrap();
+        assert!(wide.search_energy() > narrow.search_energy());
+    }
+
+    #[test]
+    fn zero_dimensions_rejected() {
+        let t = t40();
+        assert!(TaggedTable::new(&t, 0, 6, 64).is_err());
+        assert!(TaggedTable::new(&t, 48, 0, 64).is_err());
+        assert!(TaggedTable::new(&t, 48, 6, 0).is_err());
+    }
+
+    #[test]
+    fn scoreboard_scale_energy_is_sub_picojoule_to_few_pj() {
+        // 24-warp scoreboard with 2 destination registers (paper Fig. 2).
+        let sb = TaggedTable::new(&t40(), 24, 5, 16).unwrap();
+        let pj = sb.lookup_energy().picojoules();
+        assert!(pj > 0.001 && pj < 10.0, "scoreboard lookup {pj} pJ");
+    }
+}

@@ -1,0 +1,153 @@
+//! Clock distribution network model.
+//!
+//! Clock power is a first-order term in any synchronous chip. We model a
+//! per-domain H-tree: wire capacitance proportional to the covered area
+//! plus the clock pins of all sequential elements in the domain. Dynamic
+//! clock power is `C_total · Vdd² · f` (activity factor 1: the clock
+//! toggles every cycle), which the architecture tier can gate per
+//! component.
+
+use gpusimpow_tech::node::TechNode;
+use gpusimpow_tech::units::{Area, Capacitance, Energy, Freq, Power};
+use gpusimpow_tech::wire::{Wire, WireClass};
+
+use crate::costs::CircuitCosts;
+
+/// A clock tree covering `covered_area` and driving `sequential_bits`
+/// flip-flop clock pins.
+///
+/// # Examples
+///
+/// ```
+/// use gpusimpow_circuit::clocknet::ClockNetwork;
+/// use gpusimpow_tech::node::TechNode;
+/// use gpusimpow_tech::units::{Area, Freq};
+///
+/// let tech = TechNode::planar(40)?;
+/// let net = ClockNetwork::new(&tech, Area::from_mm2(8.0), 60_000)?;
+/// let p = net.dynamic_power(Freq::from_ghz(1.34), 1.0);
+/// assert!(p.watts() > 0.0);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClockNetwork {
+    total_cap: Capacitance,
+    costs: CircuitCosts,
+}
+
+/// H-tree wire length per mm² of covered area (empirically ~2 mm of global
+/// wire and ~8 mm of local distribution per mm² in CACTI-class models).
+const TREE_MM_PER_MM2: f64 = 6.0;
+
+impl ClockNetwork {
+    /// Builds a clock network model.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for a non-positive covered area.
+    pub fn new(
+        tech: &TechNode,
+        covered_area: Area,
+        sequential_bits: usize,
+    ) -> Result<Self, &'static str> {
+        if covered_area.mm2() <= 0.0 || !covered_area.mm2().is_finite() {
+            return Err("clock network must cover a positive area");
+        }
+        let tree_wire = Wire::new(
+            tech,
+            WireClass::Global,
+            covered_area.mm2() * TREE_MM_PER_MM2,
+        );
+        // Each FF clock pin loads roughly one min-inverter input.
+        let pin_cap = tech.min_inverter_cap() * sequential_bits as f64;
+        // Buffers in the tree add ~50 % on top of the wire capacitance.
+        let total_cap = tree_wire.capacitance() * 1.5 + pin_cap;
+        let cycle_energy = total_cap.switching_energy(tech.vdd(), tech.vdd());
+        // Clock buffers leak; small next to arrays, non-zero.
+        let leakage = Power::from_milliwatts(0.02 * covered_area.mm2());
+        let costs = CircuitCosts::uniform(covered_area * 0.01, cycle_energy, leakage);
+        Ok(ClockNetwork { total_cap, costs })
+    }
+
+    /// Energy dissipated per clock cycle.
+    pub fn cycle_energy(&self) -> Energy {
+        self.costs.read_energy
+    }
+
+    /// Dynamic clock power at frequency `f` with `gating_factor` of the
+    /// tree active (1.0 = no clock gating).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gating_factor` is outside `[0, 1]`.
+    pub fn dynamic_power(&self, f: Freq, gating_factor: f64) -> Power {
+        assert!(
+            (0.0..=1.0).contains(&gating_factor),
+            "gating factor must be in [0, 1]"
+        );
+        self.cycle_energy() * f * gating_factor
+    }
+
+    /// Total switched capacitance.
+    pub fn total_cap(&self) -> Capacitance {
+        self.total_cap
+    }
+
+    /// Aggregate bundle.
+    pub fn costs(&self) -> CircuitCosts {
+        self.costs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t40() -> TechNode {
+        TechNode::planar(40).unwrap()
+    }
+
+    #[test]
+    fn power_scales_linearly_with_frequency() {
+        let net = ClockNetwork::new(&t40(), Area::from_mm2(8.0), 50_000).unwrap();
+        let p1 = net.dynamic_power(Freq::from_mhz(550.0), 1.0);
+        let p2 = net.dynamic_power(Freq::from_mhz(1100.0), 1.0);
+        assert!((p2.watts() / p1.watts() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gating_reduces_power() {
+        let net = ClockNetwork::new(&t40(), Area::from_mm2(8.0), 50_000).unwrap();
+        let full = net.dynamic_power(Freq::from_ghz(1.0), 1.0);
+        let gated = net.dynamic_power(Freq::from_ghz(1.0), 0.25);
+        assert!((full.watts() * 0.25 - gated.watts()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bigger_domains_burn_more() {
+        let small = ClockNetwork::new(&t40(), Area::from_mm2(2.0), 10_000).unwrap();
+        let big = ClockNetwork::new(&t40(), Area::from_mm2(20.0), 100_000).unwrap();
+        assert!(big.cycle_energy() > small.cycle_energy());
+    }
+
+    #[test]
+    fn core_clock_power_magnitude() {
+        // A ~8 mm² core domain at 1.34 GHz should burn O(0.1..1) W of clock
+        // power — a significant but not dominant share.
+        let net = ClockNetwork::new(&t40(), Area::from_mm2(8.0), 80_000).unwrap();
+        let w = net.dynamic_power(Freq::from_ghz(1.34), 1.0).watts();
+        assert!(w > 0.02 && w < 5.0, "clock power {w} W");
+    }
+
+    #[test]
+    #[should_panic(expected = "gating factor")]
+    fn invalid_gating_factor_panics() {
+        let net = ClockNetwork::new(&t40(), Area::from_mm2(1.0), 100).unwrap();
+        let _ = net.dynamic_power(Freq::from_ghz(1.0), 1.5);
+    }
+
+    #[test]
+    fn zero_area_rejected() {
+        assert!(ClockNetwork::new(&t40(), Area::ZERO, 100).is_err());
+    }
+}

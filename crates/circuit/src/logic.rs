@@ -1,0 +1,302 @@
+//! Small logic-block models: priority encoders (warp schedulers),
+//! instruction decoders, flip-flop buffers and generic FSMs.
+//!
+//! The paper models the rotating-priority warp schedulers as "a set of
+//! inverters, a wide priority encoder, and a phase counter" following the
+//! power-optimized 64-bit priority encoder of Kun et al. (ISCAS 2004), and
+//! models the coalescer's large-entry buffers as D-flip-flop storage
+//! because CACTI cannot handle few-but-huge entries.
+
+use gpusimpow_tech::node::{DeviceType, TechNode};
+use gpusimpow_tech::units::{Area, Energy, Power};
+
+use crate::costs::CircuitCosts;
+
+/// Returns the leakage of `gates` NAND2-equivalent logic gates.
+fn gate_leakage(tech: &TechNode, gates: f64) -> Power {
+    let min_width_um = tech.feature_um() * 1.5;
+    // Four transistors per NAND2; roughly half leak at any input state.
+    let leak = (tech.sub_leak_per_um(DeviceType::HighPerformance) * (min_width_um * 2.0)
+        + tech.gate_leak_per_um() * (min_width_um * 4.0))
+        * tech.vdd();
+    leak * gates
+}
+
+/// Returns the switching energy of `gates` NAND2-equivalent gates with
+/// activity factor `alpha`.
+fn gate_energy(tech: &TechNode, gates: f64, alpha: f64) -> Energy {
+    let cap = tech.min_inverter_cap() * (1.6 * gates);
+    cap.switching_energy(tech.vdd(), tech.vdd()) * alpha
+}
+
+/// Returns the area of `gates` NAND2-equivalent gates.
+fn gate_area(tech: &TechNode, gates: f64) -> Area {
+    tech.logic_gate_area() * gates
+}
+
+/// A rotating-priority (round-robin) selector over `width` candidates:
+/// inverter rank + parallel-look-ahead priority encoder + phase counter.
+///
+/// # Examples
+///
+/// ```
+/// use gpusimpow_circuit::logic::PriorityEncoder;
+/// use gpusimpow_tech::node::TechNode;
+///
+/// // GT240 warp issue scheduler: picks among 24 in-flight warps.
+/// let tech = TechNode::planar(40)?;
+/// let sched = PriorityEncoder::new(&tech, 24)?;
+/// assert!(sched.select_energy().picojoules() > 0.0);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PriorityEncoder {
+    width: usize,
+    costs: CircuitCosts,
+}
+
+impl PriorityEncoder {
+    /// Builds a priority encoder over `width` request lines.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `width` is zero.
+    pub fn new(tech: &TechNode, width: usize) -> Result<Self, &'static str> {
+        if width == 0 {
+            return Err("priority encoder width must be non-zero");
+        }
+        let w = width as f64;
+        // Parallel priority look-ahead: ~N·log2(N) gates for the encoder
+        // tree, N inverters for the rotation mask, log2(N) FFs for the
+        // phase counter.
+        let log_w = w.log2().max(1.0);
+        let encoder_gates = w * log_w * 1.5;
+        let inverter_gates = w * 0.5;
+        let counter_gates = log_w * 6.0;
+        let gates = encoder_gates + inverter_gates + counter_gates;
+        let costs = CircuitCosts::uniform(
+            gate_area(tech, gates),
+            gate_energy(tech, gates, 0.3),
+            gate_leakage(tech, gates),
+        );
+        Ok(PriorityEncoder { width, costs })
+    }
+
+    /// Energy of one selection operation.
+    pub fn select_energy(&self) -> Energy {
+        self.costs.read_energy
+    }
+
+    /// Aggregate bundle.
+    pub fn costs(&self) -> CircuitCosts {
+        self.costs
+    }
+
+    /// Number of request lines.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+}
+
+/// An instruction decoder (borrowed from McPAT's in-order decode model):
+/// PLA-style decode of `opcode_bits` into `control_signals`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InstructionDecoder {
+    costs: CircuitCosts,
+}
+
+impl InstructionDecoder {
+    /// Builds a decoder for `opcode_bits`-wide opcodes driving
+    /// `control_signals` control lines.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if either dimension is zero.
+    pub fn new(
+        tech: &TechNode,
+        opcode_bits: usize,
+        control_signals: usize,
+    ) -> Result<Self, &'static str> {
+        if opcode_bits == 0 || control_signals == 0 {
+            return Err("decoder dimensions must be non-zero");
+        }
+        // AND-plane: 2^min(opcode_bits, 8) product terms of opcode_bits
+        // literals; OR-plane: control_signals outputs.
+        let product_terms = 2f64.powi(opcode_bits.min(8) as i32);
+        let gates =
+            product_terms * opcode_bits as f64 * 0.25 + control_signals as f64 * 2.0;
+        let costs = CircuitCosts::uniform(
+            gate_area(tech, gates),
+            gate_energy(tech, gates, 0.2),
+            gate_leakage(tech, gates),
+        );
+        Ok(InstructionDecoder { costs })
+    }
+
+    /// Energy of decoding one instruction.
+    pub fn decode_energy(&self) -> Energy {
+        self.costs.read_energy
+    }
+
+    /// Aggregate bundle.
+    pub fn costs(&self) -> CircuitCosts {
+        self.costs
+    }
+}
+
+/// A bank of D flip-flops used where CACTI-style arrays do not apply:
+/// the coalescer's pending-request table and input/output queues, whose
+/// entries are few but very wide (paper §III-C4).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DffBuffer {
+    bits: usize,
+    costs: CircuitCosts,
+}
+
+impl DffBuffer {
+    /// Builds a flip-flop buffer holding `bits` bits in total.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `bits` is zero.
+    pub fn new(tech: &TechNode, bits: usize) -> Result<Self, &'static str> {
+        if bits == 0 {
+            return Err("flip-flop buffer must hold at least one bit");
+        }
+        // A standard-cell DFF is ~6 NAND2 equivalents.
+        let gates_per_bit = 6.0;
+        let gates = bits as f64 * gates_per_bit;
+        // Writing a word toggles data + clock pins of the written bits;
+        // energy reported per bit and scaled by the caller.
+        let per_bit_energy = gate_energy(tech, gates_per_bit, 0.5);
+        let costs = CircuitCosts::uniform(
+            gate_area(tech, gates),
+            per_bit_energy,
+            gate_leakage(tech, gates),
+        );
+        Ok(DffBuffer { bits, costs })
+    }
+
+    /// Energy of clocking one bit with a 0.5 data-toggle probability.
+    pub fn per_bit_energy(&self) -> Energy {
+        self.costs.read_energy
+    }
+
+    /// Energy of writing a `width`-bit word into the buffer.
+    pub fn write_energy(&self, width: usize) -> Energy {
+        self.per_bit_energy() * width as f64
+    }
+
+    /// Total stored bits.
+    pub fn bits(&self) -> usize {
+        self.bits
+    }
+
+    /// Aggregate bundle (read/write report the per-bit energy).
+    pub fn costs(&self) -> CircuitCosts {
+        self.costs
+    }
+}
+
+/// A generic finite-state machine (the coalescer control, DRAM bank
+/// control, etc.): `states` states and `inputs` input signals.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fsm {
+    costs: CircuitCosts,
+}
+
+impl Fsm {
+    /// Builds an FSM model.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `states < 2`.
+    pub fn new(tech: &TechNode, states: usize, inputs: usize) -> Result<Self, &'static str> {
+        if states < 2 {
+            return Err("an fsm needs at least two states");
+        }
+        let state_bits = (states as f64).log2().ceil();
+        let gates = state_bits * 6.0 // state FFs
+            + states as f64 * (inputs as f64 + state_bits) * 0.5; // next-state logic
+        let costs = CircuitCosts::uniform(
+            gate_area(tech, gates),
+            gate_energy(tech, gates, 0.25),
+            gate_leakage(tech, gates),
+        );
+        Ok(Fsm { costs })
+    }
+
+    /// Energy of one state transition.
+    pub fn transition_energy(&self) -> Energy {
+        self.costs.read_energy
+    }
+
+    /// Aggregate bundle.
+    pub fn costs(&self) -> CircuitCosts {
+        self.costs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t40() -> TechNode {
+        TechNode::planar(40).unwrap()
+    }
+
+    #[test]
+    fn wider_encoders_cost_more() {
+        let w24 = PriorityEncoder::new(&t40(), 24).unwrap();
+        let w48 = PriorityEncoder::new(&t40(), 48).unwrap();
+        assert!(w48.select_energy() > w24.select_energy());
+        assert!(w48.costs().leakage > w24.costs().leakage);
+    }
+
+    #[test]
+    fn encoder_energy_is_sub_picojoule() {
+        // A 48-wide scheduler pick is small logic: well under a pJ at 40 nm.
+        let e = PriorityEncoder::new(&t40(), 48).unwrap().select_energy();
+        assert!(e.picojoules() < 1.0 && e.picojoules() > 0.0001);
+    }
+
+    #[test]
+    fn decoder_scales_with_control_signals() {
+        let small = InstructionDecoder::new(&t40(), 8, 20).unwrap();
+        let big = InstructionDecoder::new(&t40(), 8, 200).unwrap();
+        assert!(big.decode_energy() > small.decode_energy());
+    }
+
+    #[test]
+    fn dff_write_scales_linearly_with_width() {
+        let buf = DffBuffer::new(&t40(), 4096).unwrap();
+        let w32 = buf.write_energy(32);
+        let w256 = buf.write_energy(256);
+        assert!((w256 / w32 - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dff_leakage_scales_with_capacity() {
+        let small = DffBuffer::new(&t40(), 1024).unwrap();
+        let big = DffBuffer::new(&t40(), 8192).unwrap();
+        let ratio = big.costs().leakage / small.costs().leakage;
+        assert!((ratio - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fsm_with_more_states_costs_more() {
+        let s4 = Fsm::new(&t40(), 4, 8).unwrap();
+        let s32 = Fsm::new(&t40(), 32, 8).unwrap();
+        assert!(s32.transition_energy() > s4.transition_energy());
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        let t = t40();
+        assert!(PriorityEncoder::new(&t, 0).is_err());
+        assert!(InstructionDecoder::new(&t, 0, 10).is_err());
+        assert!(InstructionDecoder::new(&t, 8, 0).is_err());
+        assert!(DffBuffer::new(&t, 0).is_err());
+        assert!(Fsm::new(&t, 1, 4).is_err());
+    }
+}

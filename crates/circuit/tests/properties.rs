@@ -1,0 +1,121 @@
+//! Property-based tests on the circuit tier: cost monotonicity and
+//! physical sanity over randomly drawn geometries and nodes.
+
+use proptest::prelude::*;
+
+use gpusimpow_circuit::{Cache, CacheSpec, Crossbar, PriorityEncoder, SramArray, SramSpec, TaggedTable};
+use gpusimpow_tech::node::TechNode;
+
+fn arb_node() -> impl Strategy<Value = TechNode> {
+    prop_oneof![
+        Just(90u32),
+        Just(65),
+        Just(45),
+        Just(40),
+        Just(32),
+        Just(28),
+        Just(22)
+    ]
+    .prop_map(|nm| TechNode::planar(nm).expect("table node"))
+}
+
+proptest! {
+    /// All array costs are positive and finite for any sane geometry.
+    #[test]
+    fn sram_costs_positive_and_finite(
+        node in arb_node(),
+        entries_log in 4u32..14,
+        bits in prop_oneof![Just(16usize), Just(32), Just(64), Just(128)],
+    ) {
+        let a = SramArray::new(&node, SramSpec::simple(1 << entries_log, bits)).unwrap();
+        let c = a.costs();
+        prop_assert!(c.read_energy.joules() > 0.0 && c.read_energy.is_finite());
+        prop_assert!(c.write_energy.joules() > 0.0);
+        prop_assert!(c.leakage.watts() > 0.0 && c.leakage.is_finite());
+        prop_assert!(c.area.mm2() > 0.0);
+        prop_assert!(c.write_energy >= c.read_energy, "full-swing writes cost more");
+    }
+
+    /// Doubling the capacity never decreases leakage or area.
+    #[test]
+    fn sram_monotone_in_capacity(
+        node in arb_node(),
+        entries_log in 4u32..12,
+        bits in prop_oneof![Just(32usize), Just(64)],
+    ) {
+        let small = SramArray::new(&node, SramSpec::simple(1 << entries_log, bits)).unwrap();
+        let big = SramArray::new(&node, SramSpec::simple(1 << (entries_log + 1), bits)).unwrap();
+        prop_assert!(big.costs().leakage.watts() >= small.costs().leakage.watts());
+        prop_assert!(big.costs().area.mm2() >= small.costs().area.mm2());
+        prop_assert!(big.costs().read_energy.joules() >= small.costs().read_energy.joules() * 0.99);
+    }
+
+    /// Shrinking the node never increases area, and leakage stays finite.
+    #[test]
+    fn sram_area_shrinks_with_node(entries_log in 6u32..12) {
+        let mut prev_area = f64::INFINITY;
+        for nm in [90u32, 65, 45, 40, 32, 28, 22] {
+            let node = TechNode::planar(nm).unwrap();
+            let a = SramArray::new(&node, SramSpec::simple(1 << entries_log, 32)).unwrap();
+            prop_assert!(a.costs().area.mm2() <= prev_area * 1.0001);
+            prev_area = a.costs().area.mm2();
+        }
+    }
+
+    /// Cache hit energy always exceeds miss (tag-only) energy and fill
+    /// exceeds hit, for any geometry.
+    #[test]
+    fn cache_energy_ordering(
+        node in arb_node(),
+        capacity_log in 12u32..20,
+        ways in prop_oneof![Just(1usize), Just(2), Just(4), Just(8)],
+    ) {
+        let spec = CacheSpec {
+            capacity_bytes: 1 << capacity_log,
+            line_bytes: 128,
+            ways,
+            address_bits: 32,
+            banks: 1,
+        };
+        prop_assume!(spec.capacity_bytes.is_multiple_of(spec.line_bytes * spec.ways));
+        prop_assume!(spec.sets() >= 1);
+        let c = Cache::new(&node, spec).unwrap();
+        prop_assert!(c.hit_energy() > c.miss_energy());
+        prop_assert!(c.fill_energy() > c.hit_energy());
+    }
+
+    /// Crossbar transfer energy grows monotonically with port count and
+    /// width.
+    #[test]
+    fn crossbar_monotonicity(
+        node in arb_node(),
+        ports in 2usize..32,
+        width in prop_oneof![Just(16usize), Just(32), Just(64)],
+    ) {
+        let small = Crossbar::new(&node, ports, ports, width, 0.05).unwrap();
+        let wider = Crossbar::new(&node, ports, ports, width * 2, 0.05).unwrap();
+        let more_ports = Crossbar::new(&node, ports * 2, ports * 2, width, 0.05).unwrap();
+        prop_assert!(wider.transfer_energy() > small.transfer_energy());
+        prop_assert!(more_ports.transfer_energy() > small.transfer_energy());
+    }
+
+    /// Priority encoders grow monotonically and stay sub-picojoule over
+    /// realistic warp counts.
+    #[test]
+    fn encoder_monotone_and_small(node in arb_node(), width in 2usize..128) {
+        let e = PriorityEncoder::new(&node, width).unwrap();
+        let bigger = PriorityEncoder::new(&node, width * 2).unwrap();
+        prop_assert!(bigger.select_energy() >= e.select_energy());
+        prop_assert!(e.select_energy().picojoules() < 5.0);
+    }
+
+    /// CAM search energy grows with both entries and tag bits.
+    #[test]
+    fn cam_monotone(node in arb_node(), entries in 4usize..96, tag_bits in 2usize..12) {
+        let t = TaggedTable::new(&node, entries, tag_bits, 32).unwrap();
+        let taller = TaggedTable::new(&node, entries * 2, tag_bits, 32).unwrap();
+        let wider = TaggedTable::new(&node, entries, tag_bits + 4, 32).unwrap();
+        prop_assert!(taller.search_energy() > t.search_energy());
+        prop_assert!(wider.search_energy() > t.search_energy());
+    }
+}

@@ -1,0 +1,78 @@
+//! The facade error type.
+
+use std::fmt;
+
+use gpusimpow_kernels::BenchError;
+use gpusimpow_power::ChipError;
+use gpusimpow_sim::SimError;
+
+/// Any error surfaced by the GPUSimPow facade.
+#[derive(Debug)]
+pub enum Error {
+    /// Performance-simulator error.
+    Sim(SimError),
+    /// Power-model construction error.
+    Chip(ChipError),
+    /// Benchmark execution / verification error.
+    Bench(BenchError),
+    /// Configuration-file error.
+    ConfigFile(crate::config_file::ConfigFileError),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Sim(e) => write!(f, "{e}"),
+            Error::Chip(e) => write!(f, "{e}"),
+            Error::Bench(e) => write!(f, "{e}"),
+            Error::ConfigFile(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Sim(e) => Some(e),
+            Error::Chip(e) => Some(e),
+            Error::Bench(e) => Some(e),
+            Error::ConfigFile(e) => Some(e),
+        }
+    }
+}
+
+impl From<SimError> for Error {
+    fn from(e: SimError) -> Self {
+        Error::Sim(e)
+    }
+}
+
+impl From<ChipError> for Error {
+    fn from(e: ChipError) -> Self {
+        Error::Chip(e)
+    }
+}
+
+impl From<BenchError> for Error {
+    fn from(e: BenchError) -> Self {
+        Error::Bench(e)
+    }
+}
+
+impl From<crate::config_file::ConfigFileError> for Error {
+    fn from(e: crate::config_file::ConfigFileError) -> Self {
+        Error::ConfigFile(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_wrap_sources() {
+        let e = Error::Sim(SimError::Watchdog { cycles: 5 });
+        assert!(e.to_string().contains("watchdog"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

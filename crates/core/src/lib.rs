@@ -1,0 +1,193 @@
+//! # gpusimpow — a GPGPU power simulator
+//!
+//! A from-scratch Rust reproduction of **GPUSimPow** (Lucas, Lal,
+//! Andersch, Álvarez-Mesa, Juurlink — ISPASS 2013): a power simulation
+//! framework for GPGPU architectures that couples a cycle-level SIMT
+//! performance simulator with a McPAT-style three-tier power model, plus
+//! a virtual reproduction of the paper's measurement testbed for
+//! validation.
+//!
+//! The [`Simulator`] is the front door (paper Fig. 1): give it a GPU
+//! configuration and a kernel, get performance *and* power:
+//!
+//! ```
+//! use gpusimpow::Simulator;
+//! use gpusimpow_isa::{assemble, LaunchConfig};
+//!
+//! let mut sim = Simulator::gt240()?;
+//! let out = sim.gpu_mut().alloc_f32(256);
+//! let kernel = assemble("scale", &format!("
+//!     s2r r0, tid.x
+//!     shl r1, r0, #2
+//!     i2f r2, r0
+//!     fmul r2, r2, #0.5
+//!     st.global [r1+{}], r2
+//!     exit
+//! ", out.addr())).expect("valid kernel");
+//! let report = sim.run(&kernel, LaunchConfig::linear(8, 32))?;
+//! assert!(report.power.total_power().watts() > report.power.static_power().watts());
+//! println!("{}", report.power);
+//! # Ok::<(), gpusimpow::Error>(())
+//! ```
+//!
+//! The workspace crates behind this facade:
+//!
+//! | crate | paper role |
+//! |---|---|
+//! | `gpusimpow-tech` | McPAT technology tier (ITRS nodes, wires) |
+//! | `gpusimpow-circuit` | CACTI-lite circuit tier |
+//! | `gpusimpow-isa` | kernel ISA + assembler (PTX stand-in) |
+//! | `gpusimpow-sim` | cycle-level GPGPU simulator (GPGPU-Sim stand-in) |
+//! | `gpusimpow-kernels` | Table I / Fig. 6 workloads + microbenchmarks |
+//! | `gpusimpow-power` | GPGPU-Pow chip representation |
+//! | `gpusimpow-measure` | virtual §IV-A measurement testbed |
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod config_file;
+pub mod error;
+pub mod validate;
+
+use gpusimpow_isa::{Kernel, LaunchConfig};
+use gpusimpow_kernels::Benchmark;
+use gpusimpow_power::{GpuChip, PowerReport};
+use gpusimpow_sim::{Gpu, GpuConfig, LaunchReport};
+
+pub use config_file::{parse_config, write_config};
+pub use error::Error;
+pub use validate::{validate_suite, KernelComparison, ValidationSummary};
+
+/// One kernel execution's combined performance + power result.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// Performance side: cycles, activity counters, wall time.
+    pub launch: LaunchReport,
+    /// Power side: Table V-style breakdown.
+    pub power: PowerReport,
+}
+
+/// The GPUSimPow tool: a performance simulator and a chip power model
+/// joined at the activity interface (paper Fig. 1).
+#[derive(Debug)]
+pub struct Simulator {
+    gpu: Gpu,
+    chip: GpuChip,
+}
+
+impl Simulator {
+    /// Builds a simulator for an arbitrary configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error`] when the configuration fails validation in
+    /// either the performance or the power model.
+    pub fn new(config: GpuConfig) -> Result<Self, Error> {
+        let chip = GpuChip::new(&config)?;
+        let gpu = Gpu::new(config)?;
+        Ok(Simulator { gpu, chip })
+    }
+
+    /// The GeForce GT240 preset (Table II).
+    ///
+    /// # Errors
+    ///
+    /// Never fails in practice; kept fallible for API uniformity.
+    pub fn gt240() -> Result<Self, Error> {
+        Simulator::new(GpuConfig::gt240())
+    }
+
+    /// The GeForce GTX580 preset (Table II).
+    ///
+    /// # Errors
+    ///
+    /// Never fails in practice; kept fallible for API uniformity.
+    pub fn gtx580() -> Result<Self, Error> {
+        Simulator::new(GpuConfig::gtx580())
+    }
+
+    /// Builds a simulator from a configuration file (see
+    /// [`config_file`] for the format).
+    ///
+    /// # Errors
+    ///
+    /// Returns parse or validation errors with line numbers.
+    pub fn from_config_text(text: &str) -> Result<Self, Error> {
+        Simulator::new(parse_config(text)?)
+    }
+
+    /// The architecture being simulated.
+    pub fn config(&self) -> &GpuConfig {
+        self.gpu.config()
+    }
+
+    /// The chip representation (area, static power, peak power).
+    pub fn chip(&self) -> &GpuChip {
+        &self.chip
+    }
+
+    /// Host-side device access (allocations, H2D/D2H copies).
+    pub fn gpu_mut(&mut self) -> &mut Gpu {
+        &mut self.gpu
+    }
+
+    /// Runs a kernel and evaluates its power.
+    ///
+    /// # Errors
+    ///
+    /// Propagates launch-rejection and watchdog errors.
+    pub fn run(&mut self, kernel: &Kernel, launch: LaunchConfig) -> Result<SimReport, Error> {
+        let report = self.gpu.launch(kernel, launch)?;
+        let power = self.chip.evaluate(&report.kernel, &report.stats);
+        Ok(SimReport {
+            launch: report,
+            power,
+        })
+    }
+
+    /// Runs a complete self-verifying benchmark, returning one report
+    /// per kernel launch.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors and CPU-reference verification
+    /// failures.
+    pub fn run_benchmark(&mut self, bench: &dyn Benchmark) -> Result<Vec<SimReport>, Error> {
+        let reports = bench.run(&mut self.gpu)?;
+        Ok(reports
+            .into_iter()
+            .map(|launch| {
+                let power = self.chip.evaluate(&launch.kernel, &launch.stats);
+                SimReport { launch, power }
+            })
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simulator_runs_a_benchmark_end_to_end() {
+        let mut sim = Simulator::gt240().unwrap();
+        let bench = gpusimpow_kernels::vectoradd::VectorAdd { n: 1024 };
+        let reports = sim.run_benchmark(&bench).unwrap();
+        assert_eq!(reports.len(), 1);
+        let r = &reports[0];
+        assert!(r.launch.stats.shader_cycles > 0);
+        assert!(r.power.total_power().watts() > 17.0, "static floor");
+        assert_eq!(r.power.kernel, "vectorAdd");
+    }
+
+    #[test]
+    fn config_text_to_simulator() {
+        let sim = Simulator::from_config_text("base = gt240\nclusters = 2").unwrap();
+        assert_eq!(sim.config().total_cores(), 6);
+    }
+
+    #[test]
+    fn bad_config_text_errors() {
+        assert!(Simulator::from_config_text("clusters = banana").is_err());
+    }
+}

@@ -1,0 +1,178 @@
+//! Simulation-vs-measurement validation (the Fig. 6 methodology).
+//!
+//! Runs each benchmark on the performance simulator, evaluates the power
+//! model on the resulting activity, measures the same executions on the
+//! virtual testbed, and aggregates per kernel name with arithmetic
+//! averages (paper §V-A: "for kernels that are executed multiple times
+//! during one benchmark run, we calculated arithmetic averages of all
+//! relevant power numbers").
+
+use std::collections::BTreeMap;
+
+use gpusimpow_kernels::Benchmark;
+use gpusimpow_measure::{KernelExec, Testbed, ValidationRow};
+use gpusimpow_power::GpuChip;
+use gpusimpow_sim::{Gpu, GpuConfig};
+
+use crate::error::Error;
+
+/// Per-kernel comparison of simulated and measured power.
+#[derive(Debug, Clone)]
+pub struct KernelComparison {
+    /// Kernel name (Fig. 6 bar label).
+    pub kernel: String,
+    /// Simulated total card power: chip static + dynamic + DRAM (W).
+    pub simulated_total_w: f64,
+    /// Simulated static share (W).
+    pub simulated_static_w: f64,
+    /// Measured card power through the testbed (W).
+    pub measured_total_w: f64,
+    /// Hardware static estimate (shared across kernels, W).
+    pub measured_static_w: f64,
+    /// Number of launches averaged.
+    pub launches: usize,
+}
+
+impl KernelComparison {
+    /// Signed relative error (positive = simulator overestimates).
+    pub fn signed_error(&self) -> f64 {
+        (self.simulated_total_w - self.measured_total_w) / self.measured_total_w
+    }
+}
+
+/// The complete Fig. 6-style validation result for one GPU.
+#[derive(Debug, Clone)]
+pub struct ValidationSummary {
+    /// GPU name.
+    pub gpu: String,
+    /// Per-kernel rows in suite order.
+    pub rows: Vec<KernelComparison>,
+    /// Simulated chip static power (Table IV).
+    pub simulated_static_w: f64,
+    /// Hardware static power estimate (Table IV "Real").
+    pub measured_static_w: f64,
+    /// Simulated die area in mm² (Table IV).
+    pub simulated_area_mm2: f64,
+}
+
+impl ValidationSummary {
+    /// Average relative error over all kernels (absolute values, as the
+    /// paper averages — paper result: 11.7 % GT240, 10.8 % GTX580).
+    pub fn average_relative_error(&self) -> f64 {
+        let rows: Vec<ValidationRow> = self.rows.iter().map(to_row).collect();
+        gpusimpow_measure::average_relative_error(&rows)
+    }
+
+    /// Average relative error of the *dynamic* power alone
+    /// (paper: 28.3 % GT240, 20.9 % GTX580).
+    pub fn average_dynamic_error(&self) -> f64 {
+        if self.rows.is_empty() {
+            return 0.0;
+        }
+        self.rows
+            .iter()
+            .map(|r| {
+                let sim_dyn = r.simulated_total_w - r.simulated_static_w;
+                let hw_dyn = (r.measured_total_w - r.measured_static_w).max(1e-6);
+                ((sim_dyn - hw_dyn) / hw_dyn).abs()
+            })
+            .sum::<f64>()
+            / self.rows.len() as f64
+    }
+
+    /// Kernel with the largest error.
+    pub fn max_relative_error(&self) -> Option<(String, f64)> {
+        let rows: Vec<ValidationRow> = self.rows.iter().map(to_row).collect();
+        gpusimpow_measure::max_relative_error(&rows).map(|(k, e)| (k.to_string(), e))
+    }
+
+    /// How many kernels the simulator overestimates (paper: all but
+    /// blackscholes and scalarProd on the GT240).
+    pub fn overestimated_count(&self) -> usize {
+        self.rows.iter().filter(|r| r.signed_error() > 0.0).count()
+    }
+}
+
+fn to_row(c: &KernelComparison) -> ValidationRow {
+    ValidationRow {
+        kernel: c.kernel.clone(),
+        simulated_w: c.simulated_total_w,
+        measured_w: c.measured_total_w,
+    }
+}
+
+/// Runs the full validation flow for `config` over `benchmarks`.
+///
+/// `seed` fixes the testbed's systematic board errors.
+///
+/// # Errors
+///
+/// Propagates simulator, chip-model and benchmark-verification errors.
+pub fn validate_suite(
+    config: &GpuConfig,
+    benchmarks: &[Box<dyn Benchmark>],
+    seed: u64,
+) -> Result<ValidationSummary, Error> {
+    let chip = GpuChip::new(config)?;
+    let mut gpu = Gpu::new(config.clone())?;
+    let mut testbed = Testbed::new(config.clone(), seed);
+
+    // Hardware static estimate: the testbed's ground truth exposed the
+    // way the paper estimates it (clock extrapolation / idle ratio give
+    // values close to this; the dedicated experiment binary exercises
+    // those methods in full).
+    let measured_static_w = testbed.hardware().true_static_power().watts();
+
+    // name -> (sum sim total, sum sim static, sum measured, count)
+    let mut agg: BTreeMap<String, (f64, f64, f64, usize)> = BTreeMap::new();
+    let mut order: Vec<String> = Vec::new();
+
+    for bench in benchmarks {
+        let reports = bench.run(&mut gpu)?;
+        for report in &reports {
+            let power = chip.evaluate(&report.kernel, &report.stats);
+            // Card-level simulated power. The chip static estimate is
+            // calibrated against the paper's Table IV, whose hardware
+            // side is a *card-level* 0 Hz extrapolation — i.e. it already
+            // contains the clock-independent DRAM background. Adding the
+            // DRAM model's background again would double-count it, so
+            // only the traffic-dependent DRAM terms join the total here.
+            let sim_total = power.total_power().watts() + power.dram.total().watts()
+                - power.dram.background.watts();
+            let sim_static = power.static_power().watts();
+            let measured = testbed.measure(&[KernelExec::from_report(report)]);
+            let m = measured[0].avg_power.watts();
+            let entry = agg.entry(report.kernel.clone()).or_insert_with(|| {
+                order.push(report.kernel.clone());
+                (0.0, 0.0, 0.0, 0)
+            });
+            entry.0 += sim_total;
+            entry.1 += sim_static;
+            entry.2 += m;
+            entry.3 += 1;
+        }
+    }
+
+    let rows = order
+        .into_iter()
+        .map(|kernel| {
+            let (sim, sim_static, meas, n) = agg[&kernel];
+            KernelComparison {
+                kernel,
+                simulated_total_w: sim / n as f64,
+                simulated_static_w: sim_static / n as f64,
+                measured_total_w: meas / n as f64,
+                measured_static_w,
+                launches: n,
+            }
+        })
+        .collect();
+
+    Ok(ValidationSummary {
+        gpu: config.name.clone(),
+        rows,
+        simulated_static_w: chip.static_power().watts(),
+        measured_static_w,
+        simulated_area_mm2: chip.area().mm2(),
+    })
+}

@@ -1,0 +1,62 @@
+//! Property test: any valid configuration survives a
+//! serialize-parse round trip through the config-file format.
+
+use proptest::prelude::*;
+
+use gpusimpow::{parse_config, write_config};
+use gpusimpow_sim::{GpuConfig, WarpSchedPolicy};
+
+fn arb_config() -> impl Strategy<Value = GpuConfig> {
+    (
+        1usize..8,                        // clusters
+        1usize..4,                        // cores per cluster
+        prop_oneof![Just(8usize), Just(16), Just(32)], // simd width
+        prop_oneof![Just(40u32), Just(32), Just(28)],  // node
+        prop_oneof![
+            Just(WarpSchedPolicy::RoundRobin),
+            (1usize..16).prop_map(|n| WarpSchedPolicy::TwoLevel { active_warps: n }),
+        ],
+        prop::bool::ANY, // l2 present
+        prop::bool::ANY, // scoreboard
+    )
+        .prop_map(|(clusters, cpc, simd, node, sched, l2, scoreboard)| {
+            let mut cfg = GpuConfig::gt240();
+            cfg.name = "prop".to_string();
+            cfg.clusters = clusters;
+            cfg.cores_per_cluster = cpc;
+            cfg.simd_width = simd;
+            cfg.process_nm = node;
+            cfg.warp_scheduler = sched;
+            cfg.scoreboard = scoreboard;
+            if l2 {
+                cfg.l2 = Some(gpusimpow_sim::L2Config {
+                    capacity_bytes: 256 * 1024,
+                    line_bytes: 128,
+                    ways: 8,
+                    latency: 20,
+                });
+            }
+            cfg
+        })
+        .prop_filter("must validate", |cfg| cfg.validate().is_ok())
+}
+
+proptest! {
+    #[test]
+    fn config_file_roundtrips(cfg in arb_config()) {
+        let text = write_config(&cfg);
+        let parsed = parse_config(&text).expect("serialized config parses");
+        prop_assert_eq!(parsed, cfg);
+    }
+
+    /// Any line of garbage produces an error with that line number, never
+    /// a panic.
+    #[test]
+    fn garbage_lines_error_gracefully(junk in "[a-z_]{1,12} = [a-z0-9]{1,8}") {
+        let text = format!("clusters = 2\n{junk}\n");
+        match parse_config(&text) {
+            Ok(cfg) => prop_assert!(cfg.validate().is_ok(), "accepted configs validate"),
+            Err(e) => prop_assert!(e.line == 2 || e.line == 0, "line {} for `{junk}`", e.line),
+        }
+    }
+}

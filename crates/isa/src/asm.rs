@@ -1,0 +1,807 @@
+//! Textual assembler and disassembler for the SIMT ISA.
+//!
+//! The assembly syntax mirrors the instruction set one-to-one:
+//!
+//! ```text
+//! ; vectoradd: out[i] = a[i] + b[i]
+//! .regs 8            ; optional, inferred if omitted
+//! .smem 0
+//! .const 0 4096 8192 ; constant bank words
+//!     s2r   r0, tid.x
+//!     s2r   r1, ctaid.x
+//!     s2r   r2, ntid.x
+//!     imad  r3, r1, r2, r0
+//!     shl   r4, r3, #2
+//!     ld.global r5, [r4+0]
+//!     st.global [r4+4096], r5
+//!     bra   r5, @skip, @skip
+//! @skip:
+//!     exit
+//! ```
+//!
+//! Labels are `@name:` definitions and `@name` references; branches take
+//! `cond, @target, @reconv` with a `.z` suffix for branch-if-zero.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::instr::{CmpOp, FpOp, Instr, IntOp, MemSpace, Operand, Reg, SfuOp, SpecialReg};
+use crate::kernel::{Kernel, KernelError};
+
+/// An assembly error with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Problem description.
+    pub message: String,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+impl From<KernelError> for AsmError {
+    fn from(e: KernelError) -> Self {
+        AsmError {
+            line: 0,
+            message: e.to_string(),
+        }
+    }
+}
+
+fn err(line: usize, message: impl Into<String>) -> AsmError {
+    AsmError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Assembles `source` into a [`Kernel`] named `name`.
+///
+/// # Errors
+///
+/// Returns an [`AsmError`] locating the first syntax problem, or a wrapped
+/// [`KernelError`] if the assembled kernel fails validation.
+///
+/// # Examples
+///
+/// ```
+/// use gpusimpow_isa::asm::assemble;
+///
+/// let k = assemble("copy", "
+///     s2r r0, tid.x
+///     shl r1, r0, #2
+///     ld.global r2, [r1+0]
+///     st.global [r1+256], r2
+///     exit
+/// ")?;
+/// assert_eq!(k.code().len(), 5);
+/// # Ok::<(), gpusimpow_isa::asm::AsmError>(())
+/// ```
+pub fn assemble(name: &str, source: &str) -> Result<Kernel, AsmError> {
+    let mut parser = Parser::new();
+    for (idx, raw) in source.lines().enumerate() {
+        parser.line(idx + 1, raw)?;
+    }
+    parser.finish(name)
+}
+
+/// A pending label reference in a branch/jump.
+#[derive(Debug)]
+enum PendingRef {
+    BraTarget(String),
+    BraReconv(String),
+    Jmp(String),
+}
+
+#[derive(Debug)]
+struct Parser {
+    code: Vec<Instr>,
+    pending: Vec<(usize, usize, PendingRef)>, // (line, code index, ref)
+    labels: HashMap<String, u32>,
+    regs: Option<u8>,
+    smem: u32,
+    consts: Vec<u32>,
+}
+
+impl Parser {
+    fn new() -> Self {
+        Parser {
+            code: Vec::new(),
+            pending: Vec::new(),
+            labels: HashMap::new(),
+            regs: None,
+            smem: 0,
+            consts: Vec::new(),
+        }
+    }
+
+    fn line(&mut self, lno: usize, raw: &str) -> Result<(), AsmError> {
+        let text = match raw.split(';').next() {
+            Some(t) => t.trim(),
+            None => return Ok(()),
+        };
+        if text.is_empty() {
+            return Ok(());
+        }
+        if let Some(label) = text.strip_prefix('@') {
+            let label = label
+                .strip_suffix(':')
+                .ok_or_else(|| err(lno, "label definition must end with ':'"))?;
+            if self
+                .labels
+                .insert(label.to_string(), self.code.len() as u32)
+                .is_some()
+            {
+                return Err(err(lno, format!("label @{label} defined twice")));
+            }
+            return Ok(());
+        }
+        if let Some(rest) = text.strip_prefix('.') {
+            return self.directive(lno, rest);
+        }
+        self.instruction(lno, text)
+    }
+
+    fn directive(&mut self, lno: usize, text: &str) -> Result<(), AsmError> {
+        let mut parts = text.split_whitespace();
+        match parts.next() {
+            Some("regs") => {
+                let n: u8 = parts
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| err(lno, ".regs needs a count"))?;
+                self.regs = Some(n);
+            }
+            Some("smem") => {
+                let n: u32 = parts
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| err(lno, ".smem needs a byte count"))?;
+                self.smem = n;
+            }
+            Some("const") => {
+                for word in parts {
+                    let v: u32 = word
+                        .parse()
+                        .map_err(|_| err(lno, format!("bad constant word `{word}`")))?;
+                    self.consts.push(v);
+                }
+            }
+            Some(other) => return Err(err(lno, format!("unknown directive .{other}"))),
+            None => return Err(err(lno, "empty directive")),
+        }
+        Ok(())
+    }
+
+    fn instruction(&mut self, lno: usize, text: &str) -> Result<(), AsmError> {
+        let (mnemonic, rest) = match text.find(char::is_whitespace) {
+            Some(i) => (&text[..i], text[i..].trim()),
+            None => (text, ""),
+        };
+        let ops: Vec<String> = if rest.is_empty() {
+            vec![]
+        } else {
+            split_operands(rest)
+        };
+        let at = self.code.len();
+        let instr = match mnemonic {
+            "iadd" => self.int3(lno, &ops, IntOp::Add)?,
+            "isub" => self.int3(lno, &ops, IntOp::Sub)?,
+            "imul" => self.int3(lno, &ops, IntOp::Mul)?,
+            "imin" => self.int3(lno, &ops, IntOp::Min)?,
+            "imax" => self.int3(lno, &ops, IntOp::Max)?,
+            "and" => self.int3(lno, &ops, IntOp::And)?,
+            "or" => self.int3(lno, &ops, IntOp::Or)?,
+            "xor" => self.int3(lno, &ops, IntOp::Xor)?,
+            "shl" => self.int3(lno, &ops, IntOp::Shl)?,
+            "shr" => self.int3(lno, &ops, IntOp::Shr)?,
+            "sra" => self.int3(lno, &ops, IntOp::Sra)?,
+            "imad" => {
+                let (dst, a, b, c) = self.quad(lno, &ops)?;
+                Instr::IMad { dst, a, b, c }
+            }
+            "fadd" => self.fp3(lno, &ops, FpOp::Add)?,
+            "fsub" => self.fp3(lno, &ops, FpOp::Sub)?,
+            "fmul" => self.fp3(lno, &ops, FpOp::Mul)?,
+            "fmin" => self.fp3(lno, &ops, FpOp::Min)?,
+            "fmax" => self.fp3(lno, &ops, FpOp::Max)?,
+            "ffma" => {
+                let (dst, a, b, c) = self.quad(lno, &ops)?;
+                Instr::FFma { dst, a, b, c }
+            }
+            "rcp" | "sqrt" | "rsqrt" | "sin" | "cos" | "ex2" | "lg2" => {
+                let op = match mnemonic {
+                    "rcp" => SfuOp::Rcp,
+                    "sqrt" => SfuOp::Sqrt,
+                    "rsqrt" => SfuOp::Rsqrt,
+                    "sin" => SfuOp::Sin,
+                    "cos" => SfuOp::Cos,
+                    "ex2" => SfuOp::Ex2,
+                    _ => SfuOp::Lg2,
+                };
+                let (dst, a) = self.pair(lno, &ops)?;
+                Instr::Sfu { op, dst, a }
+            }
+            m if m.starts_with("isetp.") || m.starts_with("fsetp.") => {
+                let cmp = parse_cmp(lno, &m[6..])?;
+                let (dst, a, b) = self.triple(lno, &ops)?;
+                if m.starts_with('i') {
+                    Instr::ISetp { op: cmp, dst, a, b }
+                } else {
+                    Instr::FSetp { op: cmp, dst, a, b }
+                }
+            }
+            "i2f" => {
+                let (dst, a) = self.pair(lno, &ops)?;
+                Instr::I2F { dst, a }
+            }
+            "f2i" => {
+                let (dst, a) = self.pair(lno, &ops)?;
+                Instr::F2I { dst, a }
+            }
+            "mov" => {
+                let (dst, src) = self.pair(lno, &ops)?;
+                Instr::Mov { dst, src }
+            }
+            "sel" => {
+                let (dst, cond, a, b) = self.quad(lno, &ops)?;
+                let cond = match cond {
+                    Operand::Reg(r) => r,
+                    Operand::Imm(_) => {
+                        return Err(err(lno, "sel condition must be a register"))
+                    }
+                };
+                Instr::Sel { dst, cond, a, b }
+            }
+            "s2r" => {
+                let dst = parse_reg(lno, ops.first().map(String::as_str).unwrap_or(""))?;
+                let sr = parse_special(
+                    lno,
+                    ops.get(1).map(String::as_str).unwrap_or(""),
+                )?;
+                Instr::S2R { dst, sr }
+            }
+            "ld.global" | "ld.shared" | "ld.const" => {
+                let space = parse_space(&mnemonic[3..]);
+                let dst = parse_reg(lno, ops.first().map(String::as_str).unwrap_or(""))?;
+                let (addr, offset) =
+                    parse_mem(lno, ops.get(1).map(String::as_str).unwrap_or(""))?;
+                Instr::Ld {
+                    space,
+                    dst,
+                    addr,
+                    offset,
+                }
+            }
+            "st.global" | "st.shared" => {
+                let space = parse_space(&mnemonic[3..]);
+                let (addr, offset) =
+                    parse_mem(lno, ops.first().map(String::as_str).unwrap_or(""))?;
+                let src = parse_reg(lno, ops.get(1).map(String::as_str).unwrap_or(""))?;
+                Instr::St {
+                    space,
+                    src,
+                    addr,
+                    offset,
+                }
+            }
+            "bra" | "bra.z" => {
+                let cond = parse_reg(lno, ops.first().map(String::as_str).unwrap_or(""))?;
+                let target = parse_label(lno, ops.get(1).map(String::as_str).unwrap_or(""))?;
+                let reconv = parse_label(lno, ops.get(2).map(String::as_str).unwrap_or(""))?;
+                self.pending
+                    .push((lno, at, PendingRef::BraTarget(target)));
+                self.pending
+                    .push((lno, at, PendingRef::BraReconv(reconv)));
+                Instr::Bra {
+                    cond,
+                    negate: mnemonic.ends_with(".z"),
+                    target: u32::MAX,
+                    reconv: u32::MAX,
+                }
+            }
+            "jmp" => {
+                let target = parse_label(lno, ops.first().map(String::as_str).unwrap_or(""))?;
+                self.pending.push((lno, at, PendingRef::Jmp(target)));
+                Instr::Jmp { target: u32::MAX }
+            }
+            "bar" => Instr::Bar,
+            "exit" => Instr::Exit,
+            "nop" => Instr::Nop,
+            other => return Err(err(lno, format!("unknown mnemonic `{other}`"))),
+        };
+        self.code.push(instr);
+        Ok(())
+    }
+
+    fn pair(&self, lno: usize, ops: &[String]) -> Result<(Reg, Operand), AsmError> {
+        if ops.len() != 2 {
+            return Err(err(lno, "expected 2 operands"));
+        }
+        Ok((parse_reg(lno, &ops[0])?, parse_operand(lno, &ops[1])?))
+    }
+
+    fn triple(&self, lno: usize, ops: &[String]) -> Result<(Reg, Operand, Operand), AsmError> {
+        if ops.len() != 3 {
+            return Err(err(lno, "expected 3 operands"));
+        }
+        Ok((
+            parse_reg(lno, &ops[0])?,
+            parse_operand(lno, &ops[1])?,
+            parse_operand(lno, &ops[2])?,
+        ))
+    }
+
+    fn quad(
+        &self,
+        lno: usize,
+        ops: &[String],
+    ) -> Result<(Reg, Operand, Operand, Operand), AsmError> {
+        if ops.len() != 4 {
+            return Err(err(lno, "expected 4 operands"));
+        }
+        Ok((
+            parse_reg(lno, &ops[0])?,
+            parse_operand(lno, &ops[1])?,
+            parse_operand(lno, &ops[2])?,
+            parse_operand(lno, &ops[3])?,
+        ))
+    }
+
+    fn int3(&self, lno: usize, ops: &[String], op: IntOp) -> Result<Instr, AsmError> {
+        let (dst, a, b) = self.triple(lno, ops)?;
+        Ok(Instr::IAlu { op, dst, a, b })
+    }
+
+    fn fp3(&self, lno: usize, ops: &[String], op: FpOp) -> Result<Instr, AsmError> {
+        let (dst, a, b) = self.triple(lno, ops)?;
+        Ok(Instr::FAlu { op, dst, a, b })
+    }
+
+    fn finish(mut self, name: &str) -> Result<Kernel, AsmError> {
+        for (lno, at, pend) in std::mem::take(&mut self.pending) {
+            let resolve = |label: &str| -> Result<u32, AsmError> {
+                self.labels
+                    .get(label)
+                    .copied()
+                    .ok_or_else(|| err(lno, format!("undefined label @{label}")))
+            };
+            match (&mut self.code[at], pend) {
+                (Instr::Bra { target, .. }, PendingRef::BraTarget(l)) => *target = resolve(&l)?,
+                (Instr::Bra { reconv, .. }, PendingRef::BraReconv(l)) => *reconv = resolve(&l)?,
+                (Instr::Jmp { target }, PendingRef::Jmp(l)) => *target = resolve(&l)?,
+                _ => unreachable!("pending ref does not match instruction"),
+            }
+        }
+        let max_reg = self
+            .code
+            .iter()
+            .flat_map(|i| i.srcs().into_iter().chain(i.dst()))
+            .map(|r| r.0)
+            .max()
+            .unwrap_or(0);
+        let regs = self.regs.unwrap_or(max_reg + 1).max(max_reg + 1);
+        Ok(Kernel::new(name, self.code, regs, self.smem, self.consts)?)
+    }
+}
+
+fn split_operands(rest: &str) -> Vec<String> {
+    // Split on commas that are not inside a [..] memory operand.
+    let mut out = Vec::new();
+    let mut depth = 0;
+    let mut cur = String::new();
+    for c in rest.chars() {
+        match c {
+            '[' => {
+                depth += 1;
+                cur.push(c);
+            }
+            ']' => {
+                depth -= 1;
+                cur.push(c);
+            }
+            ',' if depth == 0 => {
+                out.push(cur.trim().to_string());
+                cur = String::new();
+            }
+            _ => cur.push(c),
+        }
+    }
+    if !cur.trim().is_empty() {
+        out.push(cur.trim().to_string());
+    }
+    out
+}
+
+fn parse_reg(lno: usize, s: &str) -> Result<Reg, AsmError> {
+    s.strip_prefix('r')
+        .and_then(|n| n.parse::<u8>().ok())
+        .map(Reg)
+        .ok_or_else(|| err(lno, format!("expected register, found `{s}`")))
+}
+
+fn parse_operand(lno: usize, s: &str) -> Result<Operand, AsmError> {
+    if let Some(imm) = s.strip_prefix('#') {
+        if let Some(hex) = imm.strip_prefix("0x") {
+            return u32::from_str_radix(hex, 16)
+                .map(Operand::Imm)
+                .map_err(|_| err(lno, format!("bad hex immediate `{s}`")));
+        }
+        if imm.contains('.') || imm.ends_with('f') {
+            let f: f32 = imm
+                .trim_end_matches('f')
+                .parse()
+                .map_err(|_| err(lno, format!("bad float immediate `{s}`")))?;
+            return Ok(Operand::imm_f32(f));
+        }
+        if let Ok(v) = imm.parse::<i64>() {
+            if (i32::MIN as i64..=u32::MAX as i64).contains(&v) {
+                return Ok(Operand::Imm(v as u32));
+            }
+        }
+        return Err(err(lno, format!("bad immediate `{s}`")));
+    }
+    parse_reg(lno, s).map(Operand::Reg)
+}
+
+fn parse_label(lno: usize, s: &str) -> Result<String, AsmError> {
+    s.strip_prefix('@')
+        .map(str::to_string)
+        .ok_or_else(|| err(lno, format!("expected @label, found `{s}`")))
+}
+
+fn parse_space(s: &str) -> MemSpace {
+    match s {
+        "global" => MemSpace::Global,
+        "shared" => MemSpace::Shared,
+        _ => MemSpace::Const,
+    }
+}
+
+fn parse_mem(lno: usize, s: &str) -> Result<(Reg, i32), AsmError> {
+    let inner = s
+        .strip_prefix('[')
+        .and_then(|t| t.strip_suffix(']'))
+        .ok_or_else(|| err(lno, format!("expected [reg+offset], found `{s}`")))?;
+    if let Some(pos) = inner.rfind(['+', '-']) {
+        if pos > 0 {
+            let reg = parse_reg(lno, inner[..pos].trim())?;
+            let off: i32 = inner[pos..]
+                .trim()
+                .parse()
+                .map_err(|_| err(lno, format!("bad offset in `{s}`")))?;
+            return Ok((reg, off));
+        }
+    }
+    Ok((parse_reg(lno, inner.trim())?, 0))
+}
+
+fn parse_cmp(lno: usize, s: &str) -> Result<CmpOp, AsmError> {
+    Ok(match s {
+        "eq" => CmpOp::Eq,
+        "ne" => CmpOp::Ne,
+        "lt" => CmpOp::Lt,
+        "le" => CmpOp::Le,
+        "gt" => CmpOp::Gt,
+        "ge" => CmpOp::Ge,
+        other => return Err(err(lno, format!("unknown comparison `{other}`"))),
+    })
+}
+
+/// Disassembles a kernel back into the assembly syntax accepted by
+/// [`assemble`]. Round-tripping is lossless up to label naming.
+pub fn disassemble(kernel: &Kernel) -> String {
+    use std::collections::BTreeSet;
+    let mut targets = BTreeSet::new();
+    for instr in kernel.code() {
+        match *instr {
+            Instr::Bra { target, reconv, .. } => {
+                targets.insert(target);
+                targets.insert(reconv);
+            }
+            Instr::Jmp { target } => {
+                targets.insert(target);
+            }
+            _ => {}
+        }
+    }
+    let label = |pc: u32| format!("@L{pc}");
+    let mut out = String::new();
+    out.push_str(&format!("; kernel {}\n", kernel.name()));
+    out.push_str(&format!(".regs {}\n", kernel.num_regs()));
+    if kernel.smem_bytes() > 0 {
+        out.push_str(&format!(".smem {}\n", kernel.smem_bytes()));
+    }
+    if !kernel.const_words().is_empty() {
+        out.push_str(".const");
+        for w in kernel.const_words() {
+            out.push_str(&format!(" {w}"));
+        }
+        out.push('\n');
+    }
+    for (pc, instr) in kernel.code().iter().enumerate() {
+        let pc = pc as u32;
+        if targets.contains(&pc) {
+            out.push_str(&format!("{}:\n", label(pc)));
+        }
+        out.push_str("    ");
+        out.push_str(&format_instr(instr, &label));
+        out.push('\n');
+    }
+    if targets.contains(&(kernel.code().len() as u32)) {
+        out.push_str(&format!("{}:\n", label(kernel.code().len() as u32)));
+        out.push_str("    nop\n");
+    }
+    out
+}
+
+fn format_instr(instr: &Instr, label: &dyn Fn(u32) -> String) -> String {
+    fn cmp(op: CmpOp) -> &'static str {
+        match op {
+            CmpOp::Eq => "eq",
+            CmpOp::Ne => "ne",
+            CmpOp::Lt => "lt",
+            CmpOp::Le => "le",
+            CmpOp::Gt => "gt",
+            CmpOp::Ge => "ge",
+        }
+    }
+    match *instr {
+        Instr::IAlu { op, dst, a, b } => {
+            let m = match op {
+                IntOp::Add => "iadd",
+                IntOp::Sub => "isub",
+                IntOp::Mul => "imul",
+                IntOp::Min => "imin",
+                IntOp::Max => "imax",
+                IntOp::And => "and",
+                IntOp::Or => "or",
+                IntOp::Xor => "xor",
+                IntOp::Shl => "shl",
+                IntOp::Shr => "shr",
+                IntOp::Sra => "sra",
+            };
+            format!("{m} {dst}, {a}, {b}")
+        }
+        Instr::IMad { dst, a, b, c } => format!("imad {dst}, {a}, {b}, {c}"),
+        Instr::FAlu { op, dst, a, b } => {
+            let m = match op {
+                FpOp::Add => "fadd",
+                FpOp::Sub => "fsub",
+                FpOp::Mul => "fmul",
+                FpOp::Min => "fmin",
+                FpOp::Max => "fmax",
+            };
+            format!("{m} {dst}, {a}, {b}")
+        }
+        Instr::FFma { dst, a, b, c } => format!("ffma {dst}, {a}, {b}, {c}"),
+        Instr::Sfu { op, dst, a } => {
+            let m = match op {
+                SfuOp::Rcp => "rcp",
+                SfuOp::Sqrt => "sqrt",
+                SfuOp::Rsqrt => "rsqrt",
+                SfuOp::Sin => "sin",
+                SfuOp::Cos => "cos",
+                SfuOp::Ex2 => "ex2",
+                SfuOp::Lg2 => "lg2",
+            };
+            format!("{m} {dst}, {a}")
+        }
+        Instr::ISetp { op, dst, a, b } => format!("isetp.{} {dst}, {a}, {b}", cmp(op)),
+        Instr::FSetp { op, dst, a, b } => format!("fsetp.{} {dst}, {a}, {b}", cmp(op)),
+        Instr::I2F { dst, a } => format!("i2f {dst}, {a}"),
+        Instr::F2I { dst, a } => format!("f2i {dst}, {a}"),
+        Instr::Mov { dst, src } => format!("mov {dst}, {src}"),
+        Instr::Sel { dst, cond, a, b } => format!("sel {dst}, {cond}, {a}, {b}"),
+        Instr::S2R { dst, sr } => {
+            let name = match sr {
+                SpecialReg::TidX => "tid.x",
+                SpecialReg::TidY => "tid.y",
+                SpecialReg::CtaIdX => "ctaid.x",
+                SpecialReg::CtaIdY => "ctaid.y",
+                SpecialReg::NTidX => "ntid.x",
+                SpecialReg::NTidY => "ntid.y",
+                SpecialReg::NCtaIdX => "nctaid.x",
+                SpecialReg::NCtaIdY => "nctaid.y",
+            };
+            format!("s2r {dst}, {name}")
+        }
+        Instr::Ld {
+            space,
+            dst,
+            addr,
+            offset,
+        } => {
+            let s = match space {
+                MemSpace::Global => "global",
+                MemSpace::Shared => "shared",
+                MemSpace::Const => "const",
+            };
+            format!("ld.{s} {dst}, [{addr}{offset:+}]")
+        }
+        Instr::St {
+            space,
+            src,
+            addr,
+            offset,
+        } => {
+            let s = match space {
+                MemSpace::Global => "global",
+                MemSpace::Shared => "shared",
+                MemSpace::Const => "const",
+            };
+            format!("st.{s} [{addr}{offset:+}], {src}")
+        }
+        Instr::Bra {
+            cond,
+            negate,
+            target,
+            reconv,
+        } => {
+            let m = if negate { "bra.z" } else { "bra" };
+            format!("{m} {cond}, {}, {}", label(target), label(reconv))
+        }
+        Instr::Jmp { target } => format!("jmp {}", label(target)),
+        Instr::Bar => "bar".to_string(),
+        Instr::Exit => "exit".to_string(),
+        Instr::Nop => "nop".to_string(),
+    }
+}
+
+fn parse_special(lno: usize, s: &str) -> Result<SpecialReg, AsmError> {
+    Ok(match s {
+        "tid.x" => SpecialReg::TidX,
+        "tid.y" => SpecialReg::TidY,
+        "ctaid.x" => SpecialReg::CtaIdX,
+        "ctaid.y" => SpecialReg::CtaIdY,
+        "ntid.x" => SpecialReg::NTidX,
+        "ntid.y" => SpecialReg::NTidY,
+        "nctaid.x" => SpecialReg::NCtaIdX,
+        "nctaid.y" => SpecialReg::NCtaIdY,
+        other => return Err(err(lno, format!("unknown special register `{other}`"))),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assembles_arithmetic_and_memory() {
+        let k = assemble(
+            "t",
+            "
+            s2r r0, tid.x
+            shl r1, r0, #2
+            ld.global r2, [r1+0]
+            fadd r3, r2, #1.5
+            st.global [r1+1024], r3
+            exit
+        ",
+        )
+        .unwrap();
+        assert_eq!(k.code().len(), 6);
+        match k.code()[3] {
+            Instr::FAlu {
+                op: FpOp::Add,
+                b: Operand::Imm(bits),
+                ..
+            } => assert_eq!(f32::from_bits(bits), 1.5),
+            ref other => panic!("expected fadd, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn labels_and_branches_resolve() {
+        let k = assemble(
+            "t",
+            "
+            mov r0, #3
+        @top:
+            isub r0, r0, #1
+            isetp.gt r1, r0, #0
+            bra r1, @top, @done
+        @done:
+            exit
+        ",
+        )
+        .unwrap();
+        match k.code()[3] {
+            Instr::Bra { target, reconv, .. } => {
+                assert_eq!(target, 1, "@top is after the mov");
+                assert_eq!(reconv, 4, "@done is the exit");
+            }
+            ref other => panic!("expected bra, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn directives_are_applied() {
+        let k = assemble(
+            "t",
+            "
+            .regs 16
+            .smem 512
+            .const 10 20 30
+            exit
+        ",
+        )
+        .unwrap();
+        assert_eq!(k.num_regs(), 16);
+        assert_eq!(k.smem_bytes(), 512);
+        assert_eq!(k.const_words(), &[10, 20, 30]);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = assemble("t", "nop\nbogus r1, r2\nexit").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("bogus"));
+    }
+
+    #[test]
+    fn undefined_label_is_an_error() {
+        let e = assemble("t", "jmp @nowhere\nexit").unwrap_err();
+        assert!(e.message.contains("nowhere"));
+    }
+
+    #[test]
+    fn duplicate_label_is_an_error() {
+        let e = assemble("t", "@a:\nnop\n@a:\nexit").unwrap_err();
+        assert!(e.message.contains("twice"));
+    }
+
+    #[test]
+    fn negative_offsets_parse() {
+        let k = assemble("t", "ld.shared r1, [r0-8]\nexit").unwrap();
+        match k.code()[0] {
+            Instr::Ld { offset, .. } => assert_eq!(offset, -8),
+            ref other => panic!("expected load, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn roundtrip_through_disassembler() {
+        let source = "
+            s2r r0, tid.x
+            isetp.lt r1, r0, #16
+            bra.z r1, @end, @end
+            ffma r2, r0, r0, #2.0
+            sin r3, r2
+            st.shared [r0+0], r3
+            bar
+        @end:
+            exit
+        ";
+        let k1 = assemble("t", source).unwrap();
+        let text = disassemble(&k1);
+        let k2 = assemble("t", &text).unwrap();
+        assert_eq!(k1.code(), k2.code());
+        assert_eq!(k1.num_regs(), k2.num_regs());
+    }
+
+    #[test]
+    fn hex_immediates() {
+        let k = assemble("t", "mov r0, #0xff\nexit").unwrap();
+        match k.code()[0] {
+            Instr::Mov {
+                src: Operand::Imm(v),
+                ..
+            } => assert_eq!(v, 255),
+            ref other => panic!("expected mov, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn validation_errors_propagate() {
+        // Kernel without exit fails kernel validation, not parsing.
+        let e = assemble("t", "nop").unwrap_err();
+        assert!(e.message.contains("exit"));
+    }
+}

@@ -1,0 +1,135 @@
+//! Grid and block dimensions of a kernel launch.
+
+use std::fmt;
+
+/// A 2-D dimension (the modelled kernels use x/y only; z is omitted).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Dim2 {
+    /// Extent in x.
+    pub x: u32,
+    /// Extent in y.
+    pub y: u32,
+}
+
+impl Dim2 {
+    /// A 1-D dimension `(x, 1)`.
+    pub const fn linear(x: u32) -> Self {
+        Dim2 { x, y: 1 }
+    }
+
+    /// A 2-D dimension.
+    pub const fn xy(x: u32, y: u32) -> Self {
+        Dim2 { x, y }
+    }
+
+    /// Total element count `x·y`.
+    pub fn count(self) -> u32 {
+        self.x * self.y
+    }
+}
+
+impl fmt::Display for Dim2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+/// The launch configuration of a kernel: grid of blocks, block of threads.
+///
+/// # Examples
+///
+/// ```
+/// use gpusimpow_isa::grid::{Dim2, LaunchConfig};
+///
+/// let cfg = LaunchConfig::new(Dim2::linear(128), Dim2::linear(256));
+/// assert_eq!(cfg.total_threads(), 128 * 256);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LaunchConfig {
+    /// Grid dimension in blocks.
+    pub grid: Dim2,
+    /// Block dimension in threads.
+    pub block: Dim2,
+}
+
+impl LaunchConfig {
+    /// Creates a launch configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero or the block exceeds 1024 threads
+    /// (the architectural limit of the modelled GPUs).
+    pub fn new(grid: Dim2, block: Dim2) -> Self {
+        assert!(grid.count() > 0, "grid must contain at least one block");
+        assert!(block.count() > 0, "block must contain at least one thread");
+        assert!(
+            block.count() <= 1024,
+            "block exceeds the 1024-thread architectural limit"
+        );
+        LaunchConfig { grid, block }
+    }
+
+    /// 1-D helper: `blocks × threads`.
+    pub fn linear(blocks: u32, threads_per_block: u32) -> Self {
+        LaunchConfig::new(Dim2::linear(blocks), Dim2::linear(threads_per_block))
+    }
+
+    /// Total number of blocks.
+    pub fn total_blocks(&self) -> u32 {
+        self.grid.count()
+    }
+
+    /// Threads per block.
+    pub fn threads_per_block(&self) -> u32 {
+        self.block.count()
+    }
+
+    /// Total threads in the launch.
+    pub fn total_threads(&self) -> u64 {
+        self.grid.count() as u64 * self.block.count() as u64
+    }
+
+    /// Warps per block for the given warp size (rounded up).
+    pub fn warps_per_block(&self, warp_size: u32) -> u32 {
+        self.block.count().div_ceil(warp_size)
+    }
+}
+
+impl fmt::Display for LaunchConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "grid {} x block {}", self.grid, self.block)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals() {
+        let cfg = LaunchConfig::new(Dim2::xy(4, 2), Dim2::xy(16, 8));
+        assert_eq!(cfg.total_blocks(), 8);
+        assert_eq!(cfg.threads_per_block(), 128);
+        assert_eq!(cfg.total_threads(), 1024);
+    }
+
+    #[test]
+    fn warps_round_up() {
+        let cfg = LaunchConfig::linear(1, 100);
+        assert_eq!(cfg.warps_per_block(32), 4);
+        let exact = LaunchConfig::linear(1, 128);
+        assert_eq!(exact.warps_per_block(32), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "1024-thread")]
+    fn oversized_block_panics() {
+        let _ = LaunchConfig::linear(1, 2048);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one block")]
+    fn empty_grid_panics() {
+        let _ = LaunchConfig::new(Dim2::xy(0, 1), Dim2::linear(32));
+    }
+}

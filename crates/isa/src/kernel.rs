@@ -1,0 +1,289 @@
+//! Kernel container and static validation.
+
+use std::fmt;
+
+use crate::instr::{Instr, MemSpace, Reg};
+
+/// Errors found by [`Kernel::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KernelError {
+    /// The kernel has no instructions.
+    Empty,
+    /// An instruction references a register ≥ `num_regs`.
+    RegisterOutOfRange {
+        /// Offending instruction index.
+        pc: u32,
+        /// Offending register.
+        reg: Reg,
+    },
+    /// A branch or jump targets a PC outside the code.
+    TargetOutOfRange {
+        /// Offending instruction index.
+        pc: u32,
+        /// Offending target.
+        target: u32,
+    },
+    /// A store targets constant memory.
+    StoreToConst {
+        /// Offending instruction index.
+        pc: u32,
+    },
+    /// No `Exit` instruction is reachable textually.
+    NoExit,
+}
+
+impl fmt::Display for KernelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KernelError::Empty => write!(f, "kernel has no instructions"),
+            KernelError::RegisterOutOfRange { pc, reg } => {
+                write!(f, "instruction {pc} uses {reg} beyond the declared register count")
+            }
+            KernelError::TargetOutOfRange { pc, target } => {
+                write!(f, "instruction {pc} targets pc {target} outside the code")
+            }
+            KernelError::StoreToConst { pc } => {
+                write!(f, "instruction {pc} stores to read-only constant memory")
+            }
+            KernelError::NoExit => write!(f, "kernel contains no exit instruction"),
+        }
+    }
+}
+
+impl std::error::Error for KernelError {}
+
+/// A compiled kernel: code plus its static resource demands.
+///
+/// # Examples
+///
+/// ```
+/// use gpusimpow_isa::builder::KernelBuilder;
+///
+/// let mut b = KernelBuilder::new("noop");
+/// b.exit();
+/// let kernel = b.build()?;
+/// assert_eq!(kernel.code().len(), 1);
+/// # Ok::<(), gpusimpow_isa::kernel::KernelError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Kernel {
+    name: String,
+    code: Vec<Instr>,
+    num_regs: u8,
+    smem_bytes: u32,
+    const_words: Vec<u32>,
+}
+
+impl Kernel {
+    /// Assembles a kernel from parts and validates it.
+    ///
+    /// `num_regs` is the per-thread register demand, `smem_bytes` the
+    /// per-CTA shared-memory demand, `const_words` the contents of the
+    /// constant bank.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`KernelError`] found by [`Kernel::validate`].
+    pub fn new(
+        name: impl Into<String>,
+        code: Vec<Instr>,
+        num_regs: u8,
+        smem_bytes: u32,
+        const_words: Vec<u32>,
+    ) -> Result<Self, KernelError> {
+        let k = Kernel {
+            name: name.into(),
+            code,
+            num_regs,
+            smem_bytes,
+            const_words,
+        };
+        k.validate()?;
+        Ok(k)
+    }
+
+    /// Kernel name (for reports).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The instruction stream.
+    pub fn code(&self) -> &[Instr] {
+        &self.code
+    }
+
+    /// Per-thread register count.
+    pub fn num_regs(&self) -> u8 {
+        self.num_regs
+    }
+
+    /// Per-CTA shared-memory bytes.
+    pub fn smem_bytes(&self) -> u32 {
+        self.smem_bytes
+    }
+
+    /// Constant-bank contents (32-bit words).
+    pub fn const_words(&self) -> &[u32] {
+        &self.const_words
+    }
+
+    /// Replaces the constant bank (kernel "arguments" are passed through
+    /// constant memory, as on real GPUs).
+    pub fn set_const_words(&mut self, words: Vec<u32>) {
+        self.const_words = words;
+    }
+
+    /// Checks the static well-formedness of the kernel.
+    ///
+    /// # Errors
+    ///
+    /// See [`KernelError`].
+    pub fn validate(&self) -> Result<(), KernelError> {
+        if self.code.is_empty() {
+            return Err(KernelError::Empty);
+        }
+        let len = self.code.len() as u32;
+        let mut has_exit = false;
+        for (pc, instr) in self.code.iter().enumerate() {
+            let pc = pc as u32;
+            for reg in instr.srcs().into_iter().chain(instr.dst()) {
+                if reg.index() >= self.num_regs as usize {
+                    return Err(KernelError::RegisterOutOfRange { pc, reg });
+                }
+            }
+            match *instr {
+                Instr::Bra { target, reconv, .. }
+                    if (target > len || reconv > len) => {
+                        return Err(KernelError::TargetOutOfRange {
+                            pc,
+                            target: target.max(reconv),
+                        });
+                    }
+                Instr::Jmp { target }
+                    if target > len => {
+                        return Err(KernelError::TargetOutOfRange { pc, target });
+                    }
+                Instr::St {
+                    space: MemSpace::Const,
+                    ..
+                } => return Err(KernelError::StoreToConst { pc }),
+                Instr::Exit => has_exit = true,
+                _ => {}
+            }
+        }
+        if !has_exit {
+            return Err(KernelError::NoExit);
+        }
+        Ok(())
+    }
+
+    /// Static instruction count.
+    pub fn len(&self) -> usize {
+        self.code.len()
+    }
+
+    /// `true` if the kernel has no instructions (never true for a
+    /// validated kernel).
+    pub fn is_empty(&self) -> bool {
+        self.code.is_empty()
+    }
+}
+
+impl fmt::Display for Kernel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "kernel `{}`: {} instrs, {} regs, {} B smem",
+            self.name,
+            self.code.len(),
+            self.num_regs,
+            self.smem_bytes
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::{IntOp, Operand};
+
+    fn exit_only() -> Vec<Instr> {
+        vec![Instr::Exit]
+    }
+
+    #[test]
+    fn minimal_kernel_validates() {
+        let k = Kernel::new("k", exit_only(), 1, 0, vec![]).unwrap();
+        assert_eq!(k.len(), 1);
+        assert!(!k.is_empty());
+    }
+
+    #[test]
+    fn empty_kernel_rejected() {
+        assert_eq!(
+            Kernel::new("k", vec![], 1, 0, vec![]).unwrap_err(),
+            KernelError::Empty
+        );
+    }
+
+    #[test]
+    fn register_overflow_detected() {
+        let code = vec![
+            Instr::IAlu {
+                op: IntOp::Add,
+                dst: Reg(7),
+                a: Operand::Imm(0),
+                b: Operand::Imm(0),
+            },
+            Instr::Exit,
+        ];
+        let err = Kernel::new("k", code, 4, 0, vec![]).unwrap_err();
+        assert_eq!(err, KernelError::RegisterOutOfRange { pc: 0, reg: Reg(7) });
+    }
+
+    #[test]
+    fn branch_target_bounds_checked() {
+        let code = vec![
+            Instr::Bra {
+                cond: Reg(0),
+                negate: false,
+                target: 99,
+                reconv: 1,
+            },
+            Instr::Exit,
+        ];
+        let err = Kernel::new("k", code, 1, 0, vec![]).unwrap_err();
+        assert!(matches!(err, KernelError::TargetOutOfRange { pc: 0, .. }));
+    }
+
+    #[test]
+    fn const_store_rejected() {
+        let code = vec![
+            Instr::St {
+                space: MemSpace::Const,
+                src: Reg(0),
+                addr: Reg(0),
+                offset: 0,
+            },
+            Instr::Exit,
+        ];
+        let err = Kernel::new("k", code, 1, 0, vec![]).unwrap_err();
+        assert_eq!(err, KernelError::StoreToConst { pc: 0 });
+    }
+
+    #[test]
+    fn missing_exit_rejected() {
+        let code = vec![Instr::Nop];
+        assert_eq!(
+            Kernel::new("k", code, 1, 0, vec![]).unwrap_err(),
+            KernelError::NoExit
+        );
+    }
+
+    #[test]
+    fn const_words_replaceable() {
+        let mut k = Kernel::new("k", exit_only(), 1, 0, vec![1, 2]).unwrap();
+        k.set_const_words(vec![9, 8, 7]);
+        assert_eq!(k.const_words(), &[9, 8, 7]);
+    }
+}

@@ -1,0 +1,50 @@
+//! # gpusimpow-isa — the SIMT kernel ISA
+//!
+//! GPUSimPow's original frontend consumes CUDA/OpenCL through GPGPU-Sim's
+//! PTX path. This crate defines the compact SIMT instruction set used by
+//! the Rust reproduction, together with:
+//!
+//! * [`instr`] — the instruction definitions and their execution classes;
+//! * [`kernel`] — the validated [`kernel::Kernel`] container;
+//! * [`grid`] — launch configurations (grid × block);
+//! * [`builder`] — a programmatic [`builder::KernelBuilder`] whose
+//!   structured control-flow helpers compute the reconvergence PCs the
+//!   divergence stack needs;
+//! * [`asm`] — a textual assembler/disassembler for writing kernels by
+//!   hand.
+//!
+//! # Examples
+//!
+//! ```
+//! use gpusimpow_isa::asm::assemble;
+//! use gpusimpow_isa::grid::LaunchConfig;
+//!
+//! let kernel = assemble("scale", "
+//!     s2r r0, tid.x
+//!     shl r1, r0, #2
+//!     ld.global r2, [r1+0]
+//!     fmul r2, r2, #2.0
+//!     st.global [r1+4096], r2
+//!     exit
+//! ")?;
+//! let launch = LaunchConfig::linear(4, 256);
+//! assert_eq!(launch.warps_per_block(32), 8);
+//! # Ok::<(), gpusimpow_isa::asm::AsmError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod asm;
+pub mod builder;
+pub mod grid;
+pub mod instr;
+pub mod kernel;
+
+pub use asm::{assemble, disassemble, AsmError};
+pub use builder::{KernelBuilder, Label};
+pub use grid::{Dim2, LaunchConfig};
+pub use instr::{
+    CmpOp, FpOp, Instr, InstrClass, IntOp, MemSpace, Operand, Pc, Reg, SfuOp, SpecialReg,
+};
+pub use kernel::{Kernel, KernelError};

@@ -1,0 +1,187 @@
+//! Property-based tests: assembler/disassembler round-trips over
+//! randomly generated kernels, and builder-emitted control flow is
+//! always well-formed.
+
+use proptest::prelude::*;
+
+use gpusimpow_isa::{
+    assemble, disassemble, CmpOp, FpOp, Instr, IntOp, KernelBuilder, MemSpace, Operand, Reg,
+    SfuOp, SpecialReg,
+};
+
+fn arb_reg() -> impl Strategy<Value = Reg> {
+    (0u8..16).prop_map(Reg)
+}
+
+fn arb_operand() -> impl Strategy<Value = Operand> {
+    prop_oneof![
+        arb_reg().prop_map(Operand::Reg),
+        any::<u32>().prop_map(Operand::Imm),
+    ]
+}
+
+fn arb_int_op() -> impl Strategy<Value = IntOp> {
+    prop_oneof![
+        Just(IntOp::Add),
+        Just(IntOp::Sub),
+        Just(IntOp::Mul),
+        Just(IntOp::Min),
+        Just(IntOp::Max),
+        Just(IntOp::And),
+        Just(IntOp::Or),
+        Just(IntOp::Xor),
+        Just(IntOp::Shl),
+        Just(IntOp::Shr),
+        Just(IntOp::Sra),
+    ]
+}
+
+fn arb_fp_op() -> impl Strategy<Value = FpOp> {
+    prop_oneof![
+        Just(FpOp::Add),
+        Just(FpOp::Sub),
+        Just(FpOp::Mul),
+        Just(FpOp::Min),
+        Just(FpOp::Max),
+    ]
+}
+
+fn arb_sfu_op() -> impl Strategy<Value = SfuOp> {
+    prop_oneof![
+        Just(SfuOp::Rcp),
+        Just(SfuOp::Sqrt),
+        Just(SfuOp::Rsqrt),
+        Just(SfuOp::Sin),
+        Just(SfuOp::Cos),
+        Just(SfuOp::Ex2),
+        Just(SfuOp::Lg2),
+    ]
+}
+
+fn arb_cmp() -> impl Strategy<Value = CmpOp> {
+    prop_oneof![
+        Just(CmpOp::Eq),
+        Just(CmpOp::Ne),
+        Just(CmpOp::Lt),
+        Just(CmpOp::Le),
+        Just(CmpOp::Gt),
+        Just(CmpOp::Ge),
+    ]
+}
+
+fn arb_special() -> impl Strategy<Value = SpecialReg> {
+    prop_oneof![
+        Just(SpecialReg::TidX),
+        Just(SpecialReg::TidY),
+        Just(SpecialReg::CtaIdX),
+        Just(SpecialReg::CtaIdY),
+        Just(SpecialReg::NTidX),
+        Just(SpecialReg::NTidY),
+        Just(SpecialReg::NCtaIdX),
+        Just(SpecialReg::NCtaIdY),
+    ]
+}
+
+/// Straight-line (no control flow) instructions; branches are exercised
+/// separately because their targets must stay in range.
+fn arb_straightline() -> impl Strategy<Value = Instr> {
+    prop_oneof![
+        (arb_int_op(), arb_reg(), arb_operand(), arb_operand())
+            .prop_map(|(op, dst, a, b)| Instr::IAlu { op, dst, a, b }),
+        (arb_reg(), arb_operand(), arb_operand(), arb_operand())
+            .prop_map(|(dst, a, b, c)| Instr::IMad { dst, a, b, c }),
+        (arb_fp_op(), arb_reg(), arb_operand(), arb_operand())
+            .prop_map(|(op, dst, a, b)| Instr::FAlu { op, dst, a, b }),
+        (arb_reg(), arb_operand(), arb_operand(), arb_operand())
+            .prop_map(|(dst, a, b, c)| Instr::FFma { dst, a, b, c }),
+        (arb_sfu_op(), arb_reg(), arb_operand())
+            .prop_map(|(op, dst, a)| Instr::Sfu { op, dst, a }),
+        (arb_cmp(), arb_reg(), arb_operand(), arb_operand())
+            .prop_map(|(op, dst, a, b)| Instr::ISetp { op, dst, a, b }),
+        (arb_cmp(), arb_reg(), arb_operand(), arb_operand())
+            .prop_map(|(op, dst, a, b)| Instr::FSetp { op, dst, a, b }),
+        (arb_reg(), arb_operand()).prop_map(|(dst, a)| Instr::I2F { dst, a }),
+        (arb_reg(), arb_operand()).prop_map(|(dst, a)| Instr::F2I { dst, a }),
+        (arb_reg(), arb_operand()).prop_map(|(dst, src)| Instr::Mov { dst, src }),
+        (arb_reg(), arb_reg(), arb_operand(), arb_operand())
+            .prop_map(|(dst, cond, a, b)| Instr::Sel { dst, cond, a, b }),
+        (arb_reg(), arb_special()).prop_map(|(dst, sr)| Instr::S2R { dst, sr }),
+        (arb_reg(), arb_reg(), -512i32..512)
+            .prop_map(|(dst, addr, offset)| Instr::Ld {
+                space: MemSpace::Global,
+                dst,
+                addr,
+                offset: offset * 4,
+            }),
+        (arb_reg(), arb_reg(), -512i32..512)
+            .prop_map(|(dst, addr, offset)| Instr::Ld {
+                space: MemSpace::Shared,
+                dst,
+                addr,
+                offset: offset * 4,
+            }),
+        (arb_reg(), arb_reg(), -512i32..512)
+            .prop_map(|(src, addr, offset)| Instr::St {
+                space: MemSpace::Global,
+                src,
+                addr,
+                offset: offset * 4,
+            }),
+        Just(Instr::Bar),
+        Just(Instr::Nop),
+    ]
+}
+
+proptest! {
+    /// assemble(disassemble(k)) == k for arbitrary straight-line kernels.
+    #[test]
+    fn disassembly_roundtrips(body in proptest::collection::vec(arb_straightline(), 1..40)) {
+        let mut code = body;
+        code.push(Instr::Exit);
+        let n = code.len() as u32;
+        // Sprinkle a couple of branches with in-range targets.
+        code.insert(0, Instr::Bra { cond: Reg(0), negate: true, target: n, reconv: n });
+        let kernel = gpusimpow_isa::Kernel::new("prop", code, 16, 64, vec![1, 2, 3])
+            .expect("generated kernel is valid");
+        let text = disassemble(&kernel);
+        let back = assemble("prop", &text).expect("disassembly must reassemble");
+        prop_assert_eq!(kernel.code(), back.code());
+        prop_assert_eq!(kernel.smem_bytes(), back.smem_bytes());
+        prop_assert_eq!(kernel.const_words(), back.const_words());
+        prop_assert!(back.num_regs() >= kernel.code().iter()
+            .flat_map(|i| i.srcs().into_iter().chain(i.dst()))
+            .map(|r| r.index() + 1).max().unwrap_or(1) as u8);
+    }
+
+    /// Builder-emitted structured control flow always validates, and
+    /// every branch reconverges at or after its target region.
+    #[test]
+    fn builder_nesting_always_validates(depth in 1usize..5, width in 1usize..4) {
+        let mut b = KernelBuilder::new("nested");
+        b.s2r(Reg(0), SpecialReg::TidX);
+        fn nest(b: &mut KernelBuilder, depth: usize, width: usize) {
+            if depth == 0 {
+                b.iadd(Reg(1), Reg(1), Operand::imm_u32(1));
+                return;
+            }
+            for _ in 0..width {
+                b.isetp(CmpOp::Lt, Reg(2), Reg(0), Operand::imm_u32(16));
+                b.if_then_else(
+                    Reg(2),
+                    |b| nest(b, depth - 1, width),
+                    |b| nest(b, depth - 1, width),
+                );
+            }
+        }
+        nest(&mut b, depth, width);
+        b.exit();
+        let kernel = b.build().expect("structured nesting is always valid");
+        // All branch reconvergence points follow their branch.
+        for (pc, instr) in kernel.code().iter().enumerate() {
+            if let Instr::Bra { reconv, target, .. } = instr {
+                prop_assert!(*reconv as usize > pc);
+                prop_assert!(*target as usize > pc, "structured code branches forward");
+            }
+        }
+    }
+}

@@ -1,0 +1,263 @@
+//! `backprop` (Rodinia): multi-layer perceptron training.
+//!
+//! Two kernels, following the Rodinia structure:
+//!
+//! * `backprop1` (`layerforward`) — each 16×16 block computes partial
+//!   weighted sums of 16 inputs against the 16 hidden units, reducing
+//!   over the input dimension in shared memory (log-tree with barriers);
+//! * `backprop2` (`adjust_weights`) — applies the delta rule with
+//!   momentum to every weight: `w += lr·δ[j]·x[i] + m·Δw_old`, an
+//!   embarrassingly parallel FP update.
+
+use gpusimpow_isa::{CmpOp, Dim2, KernelBuilder, LaunchConfig, Operand, Reg, SpecialReg};
+use gpusimpow_sim::{Gpu, LaunchReport};
+
+use crate::common::{check_f32, BenchError, Benchmark, Origin, XorShift};
+
+const HID: u32 = 16;
+const LEARNING_RATE: f32 = 0.3;
+const MOMENTUM: f32 = 0.3;
+
+/// The backprop benchmark.
+#[derive(Debug, Clone, Copy)]
+pub struct Backprop {
+    /// Input-layer size (multiple of 16).
+    pub inputs: u32,
+}
+
+impl Default for Backprop {
+    fn default() -> Self {
+        Backprop { inputs: 256 }
+    }
+}
+
+impl Benchmark for Backprop {
+    fn name(&self) -> &'static str {
+        "backprop"
+    }
+
+    fn origin(&self) -> Origin {
+        Origin::Rodinia
+    }
+
+    fn description(&self) -> &'static str {
+        "Multi-layer perceptron training"
+    }
+
+    fn kernel_names(&self) -> Vec<String> {
+        vec!["backprop1".to_string(), "backprop2".to_string()]
+    }
+
+    fn run(&self, gpu: &mut Gpu) -> Result<Vec<LaunchReport>, BenchError> {
+        let n = self.inputs;
+        assert!(n.is_multiple_of(HID));
+        let blocks = n / HID;
+        let mut rng = XorShift::new(0xB9);
+        let input: Vec<f32> = (0..n).map(|_| rng.next_range(0.0, 1.0)).collect();
+        let weights: Vec<f32> = (0..n * HID).map(|_| rng.next_range(-0.5, 0.5)).collect();
+        let delta: Vec<f32> = (0..HID).map(|_| rng.next_range(-0.1, 0.1)).collect();
+        let oldw: Vec<f32> = (0..n * HID).map(|_| rng.next_range(-0.01, 0.01)).collect();
+
+        let d_input = gpu.alloc_f32(n);
+        let d_weights = gpu.alloc_f32(n * HID);
+        let d_partial = gpu.alloc_f32(blocks * HID);
+        let d_delta = gpu.alloc_f32(HID);
+        let d_oldw = gpu.alloc_f32(n * HID);
+        gpu.h2d_f32(d_input, &input);
+        gpu.h2d_f32(d_weights, &weights);
+        gpu.h2d_f32(d_delta, &delta);
+        gpu.h2d_f32(d_oldw, &oldw);
+
+        let mut reports = Vec::new();
+
+        // backprop1: partial forward sums.
+        let k1 = build_layerforward(d_input.addr(), d_weights.addr(), d_partial.addr(), n);
+        reports.push(gpu.launch(
+            &k1,
+            LaunchConfig::new(Dim2::xy(1, blocks), Dim2::xy(HID, HID)),
+        )?);
+        let got_partial = gpu.d2h_f32(d_partial, (blocks * HID) as usize);
+        let mut want_partial = vec![0f32; (blocks * HID) as usize];
+        for b in 0..blocks as usize {
+            for j in 0..HID as usize {
+                // Tree reduction order: pairwise, matching the kernel.
+                let mut vals: Vec<f32> = (0..HID as usize)
+                    .map(|i| {
+                        let gi = b * HID as usize + i;
+                        input[gi] * weights[gi * HID as usize + j]
+                    })
+                    .collect();
+                let mut len = HID as usize / 2;
+                while len > 0 {
+                    for i in 0..len {
+                        vals[i] += vals[i + len];
+                    }
+                    len /= 2;
+                }
+                want_partial[b * HID as usize + j] = vals[0];
+            }
+        }
+        check_f32("backprop", &got_partial, &want_partial, 1e-4)?;
+
+        // backprop2: weight adjustment.
+        let k2 = build_adjust(
+            d_input.addr(),
+            d_weights.addr(),
+            d_delta.addr(),
+            d_oldw.addr(),
+        );
+        reports.push(gpu.launch(
+            &k2,
+            LaunchConfig::new(Dim2::xy(1, blocks), Dim2::xy(HID, HID)),
+        )?);
+        let got_w = gpu.d2h_f32(d_weights, (n * HID) as usize);
+        let mut want_w = weights.clone();
+        for i in 0..n as usize {
+            for j in 0..HID as usize {
+                let dw = LEARNING_RATE * delta[j] * input[i] + MOMENTUM * oldw[i * HID as usize + j];
+                want_w[i * HID as usize + j] += dw;
+            }
+        }
+        check_f32("backprop", &got_w, &want_w, 1e-4)?;
+        Ok(reports)
+    }
+}
+
+/// backprop1: block (1, b) computes
+/// `partial[b][j] = Σ_{i in block} input[b*16+i] · w[(b*16+i)][j]`
+/// with a shared-memory log-tree over `i`.
+fn build_layerforward(input: u32, weights: u32, partial: u32, _n: u32) -> gpusimpow_isa::Kernel {
+    let mut k = KernelBuilder::new("backprop1");
+    let smem = k.alloc_smem(HID * HID * 4);
+
+    let tx = Reg(0); // j: hidden unit
+    let ty = Reg(1); // i: input within block
+    let by = Reg(2);
+    k.s2r(tx, SpecialReg::TidX);
+    k.s2r(ty, SpecialReg::TidY);
+    k.s2r(by, SpecialReg::CtaIdY);
+
+    // gi = by*16 + ty
+    let gi = Reg(3);
+    k.imad(gi, by, Operand::imm_u32(HID), ty);
+
+    // prod = input[gi] * w[gi*16 + tx]
+    let ia = Reg(4);
+    k.shl(ia, gi, Operand::imm_u32(2));
+    let x = Reg(5);
+    k.ld_global(x, ia, input as i32);
+    let wa = Reg(6);
+    k.imad(wa, gi, Operand::imm_u32(HID), tx);
+    k.shl(wa, wa, Operand::imm_u32(2));
+    let w = Reg(7);
+    k.ld_global(w, wa, weights as i32);
+    let prod = Reg(8);
+    k.fmul(prod, x, w);
+
+    // smem[ty][tx] = prod
+    let sa = Reg(9);
+    k.imad(sa, ty, Operand::imm_u32(HID), tx);
+    k.shl(sa, sa, Operand::imm_u32(2));
+    k.iadd(sa, sa, Operand::imm_u32(smem));
+    k.st_shared(prod, sa, 0);
+    k.bar();
+
+    // Tree-reduce over ty.
+    let stride = Reg(10);
+    k.movi(stride, HID / 2);
+    let cond = Reg(11);
+    k.while_loop(
+        |k| {
+            k.isetp(CmpOp::Gt, cond, stride, Operand::imm_u32(0));
+            cond
+        },
+        |k| {
+            let active = Reg(12);
+            k.isetp(CmpOp::Lt, active, ty, stride);
+            k.if_then(active, |k| {
+                let other = Reg(13);
+                let mine = Reg(14);
+                let theirs = Reg(15);
+                // other = smem + ((ty+stride)*16 + tx)*4
+                k.iadd(other, ty, stride);
+                k.imad(other, other, Operand::imm_u32(HID), tx);
+                k.shl(other, other, Operand::imm_u32(2));
+                k.iadd(other, other, Operand::imm_u32(smem));
+                k.ld_shared(theirs, other, 0);
+                k.ld_shared(mine, sa, 0);
+                k.fadd(mine, mine, theirs);
+                k.st_shared(mine, sa, 0);
+            });
+            k.bar();
+            k.shr(stride, stride, Operand::imm_u32(1));
+        },
+    );
+
+    // ty == 0 stores partial[by*16 + tx].
+    let is0 = Reg(16);
+    k.isetp(CmpOp::Eq, is0, ty, Operand::imm_u32(0));
+    k.if_then(is0, |k| {
+        let res = Reg(17);
+        k.ld_shared(res, sa, 0);
+        let pa = Reg(18);
+        k.imad(pa, by, Operand::imm_u32(HID), tx);
+        k.shl(pa, pa, Operand::imm_u32(2));
+        k.st_global(res, pa, partial as i32);
+    });
+    k.exit();
+    k.build().expect("backprop1 kernel is valid")
+}
+
+/// backprop2: `w[i][j] += lr·δ[j]·x[i] + m·Δw_old[i][j]`.
+fn build_adjust(input: u32, weights: u32, delta: u32, oldw: u32) -> gpusimpow_isa::Kernel {
+    let mut k = KernelBuilder::new("backprop2");
+    let tx = Reg(0); // j
+    let ty = Reg(1); // i within block
+    let by = Reg(2);
+    k.s2r(tx, SpecialReg::TidX);
+    k.s2r(ty, SpecialReg::TidY);
+    k.s2r(by, SpecialReg::CtaIdY);
+    let gi = Reg(3);
+    k.imad(gi, by, Operand::imm_u32(HID), ty);
+
+    let da = Reg(4);
+    k.shl(da, tx, Operand::imm_u32(2));
+    let dj = Reg(5);
+    k.ld_global(dj, da, delta as i32);
+    let ia = Reg(6);
+    k.shl(ia, gi, Operand::imm_u32(2));
+    let x = Reg(7);
+    k.ld_global(x, ia, input as i32);
+    let wa = Reg(8);
+    k.imad(wa, gi, Operand::imm_u32(HID), tx);
+    k.shl(wa, wa, Operand::imm_u32(2));
+    let old = Reg(9);
+    k.ld_global(old, wa, oldw as i32);
+    let w = Reg(10);
+    k.ld_global(w, wa, weights as i32);
+
+    // dw = lr*dj*x + m*old
+    let dw = Reg(11);
+    k.fmul(dw, dj, x);
+    k.fmul(dw, dw, Operand::imm_f32(LEARNING_RATE));
+    k.ffma(dw, old, Operand::imm_f32(MOMENTUM), dw);
+    k.fadd(w, w, dw);
+    k.st_global(w, wa, weights as i32);
+    k.exit();
+    k.build().expect("backprop2 kernel is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpusimpow_sim::GpuConfig;
+
+    #[test]
+    fn runs_and_verifies_on_gt240() {
+        let mut gpu = Gpu::new(GpuConfig::gt240()).unwrap();
+        let reports = Backprop { inputs: 64 }.run(&mut gpu).unwrap();
+        assert_eq!(reports.len(), 2);
+        assert!(reports[0].stats.barrier_waits > 0, "layerforward reduces");
+        assert!(reports[1].stats.fp_instructions > 0);
+    }
+}

@@ -1,0 +1,254 @@
+//! `BlackScholes` (CUDA SDK): European option pricing.
+//!
+//! One thread per option, evaluating the closed-form Black-Scholes
+//! solution with the Abramowitz-Stegun polynomial for the cumulative
+//! normal distribution. FP- and SFU-heavy with minimal memory traffic —
+//! the kernel the paper uses for its Table V power breakdown.
+
+use gpusimpow_isa::{CmpOp, KernelBuilder, LaunchConfig, Operand, Reg, SpecialReg};
+use gpusimpow_sim::{Gpu, LaunchReport};
+
+use crate::common::{check_f32, BenchError, Benchmark, Origin, XorShift};
+
+/// Risk-free rate.
+const RISK_FREE: f32 = 0.02;
+/// Volatility.
+const VOLATILITY: f32 = 0.30;
+
+/// The BlackScholes benchmark.
+#[derive(Debug, Clone, Copy)]
+pub struct BlackScholes {
+    /// Option count (multiple of 256).
+    pub options: u32,
+}
+
+impl Default for BlackScholes {
+    fn default() -> Self {
+        BlackScholes { options: 8192 }
+    }
+}
+
+impl Benchmark for BlackScholes {
+    fn name(&self) -> &'static str {
+        "blackscholes"
+    }
+
+    fn origin(&self) -> Origin {
+        Origin::CudaSdk
+    }
+
+    fn description(&self) -> &'static str {
+        "Black-Scholes PDE solver"
+    }
+
+    fn kernel_names(&self) -> Vec<String> {
+        vec!["BlackScholes".to_string()]
+    }
+
+    fn run(&self, gpu: &mut Gpu) -> Result<Vec<LaunchReport>, BenchError> {
+        let n = self.options;
+        let mut rng = XorShift::new(0xB5);
+        let price: Vec<f32> = (0..n).map(|_| rng.next_range(5.0, 30.0)).collect();
+        let strike: Vec<f32> = (0..n).map(|_| rng.next_range(1.0, 100.0)).collect();
+        let years: Vec<f32> = (0..n).map(|_| rng.next_range(0.25, 10.0)).collect();
+
+        let d_price = gpu.alloc_f32(n);
+        let d_strike = gpu.alloc_f32(n);
+        let d_years = gpu.alloc_f32(n);
+        let d_call = gpu.alloc_f32(n);
+        let d_put = gpu.alloc_f32(n);
+        gpu.h2d_f32(d_price, &price);
+        gpu.h2d_f32(d_strike, &strike);
+        gpu.h2d_f32(d_years, &years);
+
+        let kernel = build_kernel(
+            d_price.addr(),
+            d_strike.addr(),
+            d_years.addr(),
+            d_call.addr(),
+            d_put.addr(),
+        );
+        let report = gpu.launch(&kernel, LaunchConfig::linear(n / 256, 256))?;
+
+        let got_call = gpu.d2h_f32(d_call, n as usize);
+        let got_put = gpu.d2h_f32(d_put, n as usize);
+        let mut want_call = vec![0f32; n as usize];
+        let mut want_put = vec![0f32; n as usize];
+        for i in 0..n as usize {
+            let (c, p) = reference(price[i], strike[i], years[i]);
+            want_call[i] = c;
+            want_put[i] = p;
+        }
+        check_f32("blackscholes", &got_call, &want_call, 1e-3)?;
+        check_f32("blackscholes", &got_put, &want_put, 1e-3)?;
+        Ok(vec![report])
+    }
+}
+
+/// CPU reference (same polynomial, f32 arithmetic).
+pub fn reference(s: f32, x: f32, t: f32) -> (f32, f32) {
+    let sqrt_t = t.sqrt();
+    let d1 = ((s / x).ln() + (RISK_FREE + 0.5 * VOLATILITY * VOLATILITY) * t)
+        / (VOLATILITY * sqrt_t);
+    let d2 = d1 - VOLATILITY * sqrt_t;
+    let exp_rt = (-RISK_FREE * t).exp();
+    let call = s * cnd(d1) - x * exp_rt * cnd(d2);
+    let put = x * exp_rt * (1.0 - cnd(d2)) - s * (1.0 - cnd(d1));
+    (call, put)
+}
+
+fn cnd(d: f32) -> f32 {
+    const A1: f32 = 0.319_381_54;
+    const A2: f32 = -0.356_563_78;
+    const A3: f32 = 1.781_477_9;
+    const A4: f32 = -1.821_255_9;
+    const A5: f32 = 1.330_274_5;
+    let ad = d.abs();
+    let k = 1.0 / (1.0 + 0.2316419 * ad);
+    let poly = k * (A1 + k * (A2 + k * (A3 + k * (A4 + k * A5))));
+    let w = 0.398_942_3 * (-0.5 * ad * ad).exp();
+    let c = 1.0 - w * poly;
+    if d < 0.0 {
+        1.0 - c
+    } else {
+        c
+    }
+}
+
+/// Emits the CND polynomial for the value in `d`, writing to `dst`.
+/// Uses scratch registers `s0..s3` (distinct from `d` and `dst`).
+fn emit_cnd(k: &mut KernelBuilder, dst: Reg, d: Reg, s0: Reg, s1: Reg, s2: Reg, s3: Reg) {
+    use gpusimpow_isa::SfuOp;
+    // ad = |d|
+    k.fsub(s0, Operand::imm_f32(0.0), d);
+    k.fmax(s0, s0, d);
+    // kk = 1 / (1 + 0.2316419 * ad)
+    k.ffma(s1, s0, Operand::imm_f32(0.2316419), Operand::imm_f32(1.0));
+    k.sfu(SfuOp::Rcp, s1, s1);
+    // poly = kk*(A1 + kk*(A2 + kk*(A3 + kk*(A4 + kk*A5))))
+    k.movf(s2, 1.330_274_5);
+    k.ffma(s2, s2, s1, Operand::imm_f32(-1.821_255_9));
+    k.ffma(s2, s2, s1, Operand::imm_f32(1.781_477_9));
+    k.ffma(s2, s2, s1, Operand::imm_f32(-0.356_563_78));
+    k.ffma(s2, s2, s1, Operand::imm_f32(0.319_381_54));
+    k.fmul(s2, s2, s1);
+    // w = invsqrt2pi * exp(-ad^2/2)  via ex2(ad^2 * -0.5*log2(e))
+    k.fmul(s1, s0, s0);
+    k.fmul(s1, s1, Operand::imm_f32(-0.5 * std::f32::consts::LOG2_E));
+    k.sfu(SfuOp::Ex2, s1, s1);
+    k.fmul(s1, s1, Operand::imm_f32(0.398_942_3));
+    // dst = 1 - w*poly, flipped when d < 0
+    k.fmul(s1, s1, s2);
+    k.fsub(s2, Operand::imm_f32(1.0), s1);
+    k.fsetp(CmpOp::Lt, s3, d, Operand::imm_f32(0.0));
+    k.fsub(s1, Operand::imm_f32(1.0), s2);
+    k.sel(dst, s3, s1, s2);
+}
+
+fn build_kernel(price: u32, strike: u32, years: u32, call: u32, put: u32) -> gpusimpow_isa::Kernel {
+    use gpusimpow_isa::SfuOp;
+    let mut k = KernelBuilder::new("BlackScholes");
+    let tid = Reg(0);
+    let bid = Reg(1);
+    let ntid = Reg(2);
+    let addr = Reg(3);
+    k.s2r(tid, SpecialReg::TidX);
+    k.s2r(bid, SpecialReg::CtaIdX);
+    k.s2r(ntid, SpecialReg::NTidX);
+    k.imad(addr, bid, ntid, tid);
+    k.shl(addr, addr, Operand::imm_u32(2));
+
+    let s = Reg(4);
+    let x = Reg(5);
+    let t = Reg(6);
+    k.ld_global(s, addr, price as i32);
+    k.ld_global(x, addr, strike as i32);
+    k.ld_global(t, addr, years as i32);
+
+    // sqrt_t, d1, d2
+    let sqrt_t = Reg(7);
+    k.sfu(SfuOp::Sqrt, sqrt_t, t);
+    let d1 = Reg(8);
+    let d2 = Reg(9);
+    let tmp = Reg(10);
+    let tmp2 = Reg(11);
+    // ln(S/X) = (lg2(S) - lg2(X)) * ln(2)
+    k.sfu(SfuOp::Lg2, tmp, s);
+    k.sfu(SfuOp::Lg2, tmp2, x);
+    k.fsub(tmp, tmp, tmp2);
+    k.fmul(tmp, tmp, Operand::imm_f32(std::f32::consts::LN_2));
+    // + (r + v^2/2) * t
+    k.ffma(
+        tmp,
+        t,
+        Operand::imm_f32(RISK_FREE + 0.5 * VOLATILITY * VOLATILITY),
+        tmp,
+    );
+    // / (v * sqrt_t)
+    k.fmul(tmp2, sqrt_t, Operand::imm_f32(VOLATILITY));
+    k.sfu(SfuOp::Rcp, tmp2, tmp2);
+    k.fmul(d1, tmp, tmp2);
+    // d2 = d1 - v*sqrt_t
+    k.fmul(tmp, sqrt_t, Operand::imm_f32(VOLATILITY));
+    k.fsub(d2, d1, tmp);
+
+    let cnd1 = Reg(12);
+    let cnd2 = Reg(13);
+    emit_cnd(&mut k, cnd1, d1, Reg(14), Reg(15), Reg(16), Reg(17));
+    emit_cnd(&mut k, cnd2, d2, Reg(14), Reg(15), Reg(16), Reg(17));
+
+    // exp_rt = exp(-r*t)
+    let exp_rt = Reg(18);
+    k.fmul(exp_rt, t, Operand::imm_f32(-RISK_FREE * std::f32::consts::LOG2_E));
+    k.sfu(SfuOp::Ex2, exp_rt, exp_rt);
+
+    // call = S*cnd1 - X*exp_rt*cnd2
+    let vcall = Reg(19);
+    let vput = Reg(20);
+    let xe = Reg(21);
+    k.fmul(xe, x, exp_rt);
+    k.fmul(vcall, s, cnd1);
+    k.fmul(tmp, xe, cnd2);
+    k.fsub(vcall, vcall, tmp);
+    // put = X*exp_rt*(1-cnd2) - S*(1-cnd1)
+    k.fsub(tmp, Operand::imm_f32(1.0), cnd2);
+    k.fmul(vput, xe, tmp);
+    k.fsub(tmp, Operand::imm_f32(1.0), cnd1);
+    k.fmul(tmp, s, tmp);
+    k.fsub(vput, vput, tmp);
+
+    k.st_global(vcall, addr, call as i32);
+    k.st_global(vput, addr, put as i32);
+    k.exit();
+    k.build().expect("blackscholes kernel is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpusimpow_sim::GpuConfig;
+
+    #[test]
+    fn cpu_reference_sanity() {
+        // Deep in-the-money call is worth about S - X·exp(-rT).
+        let (c, _p) = reference(100.0, 1.0, 1.0);
+        assert!((c - (100.0 - (-0.02f32).exp())).abs() < 0.5);
+        // Deep out-of-the-money call is nearly worthless.
+        let (c2, _) = reference(1.0, 100.0, 0.25);
+        assert!(c2.abs() < 1e-3);
+    }
+
+    #[test]
+    fn runs_and_verifies_on_gt240() {
+        let mut gpu = Gpu::new(GpuConfig::gt240()).unwrap();
+        let reports = BlackScholes { options: 1024 }.run(&mut gpu).unwrap();
+        let s = &reports[0].stats;
+        assert!(s.sfu_instructions > 0, "SFU exercised");
+        assert!(
+            s.fp_lane_ops > s.int_lane_ops,
+            "FP-dominated kernel: {} fp vs {} int",
+            s.fp_lane_ops,
+            s.int_lane_ops
+        );
+    }
+}

@@ -1,0 +1,234 @@
+//! `heartwall` (Rodinia): ultrasound image tracking.
+//!
+//! The full Rodinia application tracks dozens of heart-wall points
+//! through an ultrasound sequence; its hot loop is template matching
+//! around each tracking point. This reproduction implements that hot
+//! loop: one block per tracking point, the point's template staged in
+//! shared memory, each thread computing the sum of squared differences
+//! (SSD) of the template at one displacement of the search window.
+//! FP-heavy with nested loops and shared-memory reuse.
+
+use gpusimpow_isa::{Dim2, KernelBuilder, LaunchConfig, Operand, Reg, SpecialReg};
+use gpusimpow_sim::{Gpu, LaunchReport};
+
+use crate::common::{check_f32, BenchError, Benchmark, Origin, XorShift};
+
+/// Template edge length.
+const TPL: u32 = 8;
+/// Search-window edge (threads per block = SEARCH²).
+const SEARCH: u32 = 16;
+
+/// The heartwall benchmark.
+#[derive(Debug, Clone, Copy)]
+pub struct Heartwall {
+    /// Number of tracking points (= blocks).
+    pub points: u32,
+    /// Frame edge length.
+    pub frame: u32,
+}
+
+impl Default for Heartwall {
+    fn default() -> Self {
+        Heartwall {
+            points: 16,
+            frame: 64,
+        }
+    }
+}
+
+impl Benchmark for Heartwall {
+    fn name(&self) -> &'static str {
+        "heartwall"
+    }
+
+    fn origin(&self) -> Origin {
+        Origin::Rodinia
+    }
+
+    fn description(&self) -> &'static str {
+        "Ultrasound image tracking"
+    }
+
+    fn kernel_names(&self) -> Vec<String> {
+        vec!["heartwall".to_string()]
+    }
+
+    fn run(&self, gpu: &mut Gpu) -> Result<Vec<LaunchReport>, BenchError> {
+        let (pts, frame) = (self.points, self.frame);
+        assert!(frame >= SEARCH + TPL);
+        let mut rng = XorShift::new(0x4EA);
+        let image: Vec<f32> = (0..frame * frame)
+            .map(|_| rng.next_range(0.0, 255.0))
+            .collect();
+        let templates: Vec<f32> = (0..pts * TPL * TPL)
+            .map(|_| rng.next_range(0.0, 255.0))
+            .collect();
+        // Search-window origins, clamped inside the frame.
+        let origins: Vec<(u32, u32)> = (0..pts)
+            .map(|_| {
+                (
+                    rng.next_below(frame - SEARCH - TPL),
+                    rng.next_below(frame - SEARCH - TPL),
+                )
+            })
+            .collect();
+        let origin_words: Vec<u32> = origins.iter().flat_map(|&(x, y)| [x, y]).collect();
+
+        let d_image = gpu.alloc_f32(frame * frame);
+        let d_tpl = gpu.alloc_f32(pts * TPL * TPL);
+        let d_org = gpu.alloc_f32(pts * 2);
+        let d_out = gpu.alloc_f32(pts * SEARCH * SEARCH);
+        gpu.h2d_f32(d_image, &image);
+        gpu.h2d_f32(d_tpl, &templates);
+        gpu.h2d_u32(d_org, &origin_words);
+
+        let kernel = build_kernel(d_image.addr(), d_tpl.addr(), d_org.addr(), d_out.addr(), frame);
+        let launch = LaunchConfig::new(Dim2::linear(pts), Dim2::xy(SEARCH, SEARCH));
+        let report = gpu.launch(&kernel, launch)?;
+
+        let got = gpu.d2h_f32(d_out, (pts * SEARCH * SEARCH) as usize);
+        let want = reference(&image, &templates, &origins, frame);
+        check_f32("heartwall", &got, &want, 1e-2)?;
+        Ok(vec![report])
+    }
+}
+
+/// CPU reference: SSD of each template at each displacement.
+pub fn reference(
+    image: &[f32],
+    templates: &[f32],
+    origins: &[(u32, u32)],
+    frame: u32,
+) -> Vec<f32> {
+    let mut out = Vec::with_capacity(origins.len() * (SEARCH * SEARCH) as usize);
+    for (p, &(ox, oy)) in origins.iter().enumerate() {
+        for dy in 0..SEARCH {
+            for dx in 0..SEARCH {
+                let mut ssd = 0f32;
+                for ty in 0..TPL {
+                    for tx in 0..TPL {
+                        let iv = image
+                            [((oy + dy + ty) * frame + ox + dx + tx) as usize];
+                        let tv = templates
+                            [p * (TPL * TPL) as usize + (ty * TPL + tx) as usize];
+                        let d = iv - tv;
+                        ssd = d.mul_add(d, ssd);
+                    }
+                }
+                out.push(ssd);
+            }
+        }
+    }
+    out
+}
+
+fn build_kernel(image: u32, tpl: u32, org: u32, out: u32, frame: u32) -> gpusimpow_isa::Kernel {
+    let mut k = KernelBuilder::new("heartwall");
+    let smem_tpl = k.alloc_smem(TPL * TPL * 4);
+
+    let tx = Reg(0);
+    let ty = Reg(1);
+    let bid = Reg(2);
+    k.s2r(tx, SpecialReg::TidX);
+    k.s2r(ty, SpecialReg::TidY);
+    k.s2r(bid, SpecialReg::CtaIdX);
+
+    // Linear thread index; the first TPL*TPL threads stage the template.
+    let lin = Reg(3);
+    k.imad(lin, ty, Operand::imm_u32(SEARCH), tx);
+    let stager = Reg(4);
+    k.isetp(gpusimpow_isa::CmpOp::Lt, stager, lin, Operand::imm_u32(TPL * TPL));
+    let tmp = Reg(5);
+    let val = Reg(6);
+    k.if_then(stager, |k| {
+        // tpl[bid*64 + lin]
+        k.imad(tmp, bid, Operand::imm_u32(TPL * TPL), lin);
+        k.shl(tmp, tmp, Operand::imm_u32(2));
+        k.ld_global(val, tmp, tpl as i32);
+        let sa = Reg(7);
+        k.shl(sa, lin, Operand::imm_u32(2));
+        k.iadd(sa, sa, Operand::imm_u32(smem_tpl));
+        k.st_shared(val, sa, 0);
+    });
+    k.bar();
+
+    // Window origin for this point.
+    let ox = Reg(8);
+    let oy = Reg(9);
+    k.shl(tmp, bid, Operand::imm_u32(3)); // bid * 8 bytes
+    k.ld_global(ox, tmp, org as i32);
+    k.ld_global(oy, tmp, org as i32 + 4);
+
+    // Base pixel of this thread's displacement.
+    let px = Reg(10);
+    let py = Reg(11);
+    k.iadd(px, ox, tx);
+    k.iadd(py, oy, ty);
+
+    let ssd = Reg(12);
+    k.movf(ssd, 0.0);
+    let iv = Reg(13);
+    let tv = Reg(14);
+    let diff = Reg(15);
+    let ia = Reg(16);
+    let sa = Reg(17);
+    for tyy in 0..TPL {
+        for txx in 0..TPL {
+            // iv = image[(py+tyy)*frame + px+txx]
+            k.iadd(ia, py, Operand::imm_u32(tyy));
+            k.imul(ia, ia, Operand::imm_u32(frame));
+            k.iadd(ia, ia, px);
+            k.iadd(ia, ia, Operand::imm_u32(txx));
+            k.shl(ia, ia, Operand::imm_u32(2));
+            k.ld_global(iv, ia, image as i32);
+            // tv = smem_tpl[tyy*TPL + txx] (same address for the whole
+            // warp: a broadcast)
+            k.movi(sa, smem_tpl + (tyy * TPL + txx) * 4);
+            k.ld_shared(tv, sa, 0);
+            k.fsub(diff, iv, tv);
+            k.ffma(ssd, diff, diff, ssd);
+        }
+    }
+    // out[bid*256 + lin] = ssd
+    k.imad(tmp, bid, Operand::imm_u32(SEARCH * SEARCH), lin);
+    k.shl(tmp, tmp, Operand::imm_u32(2));
+    k.st_global(ssd, tmp, out as i32);
+    k.exit();
+    k.build().expect("heartwall kernel is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpusimpow_sim::GpuConfig;
+
+    #[test]
+    fn reference_ssd_zero_at_perfect_match() {
+        // Template cut from the image itself: SSD 0 at displacement (0,0).
+        let frame = 32u32;
+        let image: Vec<f32> = (0..frame * frame).map(|i| i as f32).collect();
+        let mut tplv = Vec::new();
+        for ty in 0..TPL {
+            for tx in 0..TPL {
+                tplv.push(image[(ty * frame + tx) as usize]);
+            }
+        }
+        let out = reference(&image, &tplv, &[(0, 0)], frame);
+        assert_eq!(out[0], 0.0);
+        assert!(out[1] > 0.0);
+    }
+
+    #[test]
+    fn runs_and_verifies_on_gt240() {
+        let mut gpu = Gpu::new(GpuConfig::gt240()).unwrap();
+        let reports = Heartwall {
+            points: 4,
+            frame: 48,
+        }
+        .run(&mut gpu)
+        .unwrap();
+        let s = &reports[0].stats;
+        assert!(s.fp_lane_ops > 0);
+        assert!(s.smem_accesses > 0, "template reads broadcast from smem");
+    }
+}

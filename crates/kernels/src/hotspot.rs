@@ -1,0 +1,216 @@
+//! `hotspot` (Rodinia): processor temperature estimation.
+//!
+//! A 2-D five-point stencil over the die: each block stages its tile in
+//! shared memory; threads on tile edges fetch halo cells from global
+//! memory (mild, structured divergence), interior threads read
+//! neighbours from shared memory. The host ping-pongs two temperature
+//! grids over several time steps.
+
+use gpusimpow_isa::{CmpOp, Dim2, KernelBuilder, LaunchConfig, Operand, Reg, SpecialReg};
+use gpusimpow_sim::{DevicePtr, Gpu, LaunchReport};
+
+use crate::common::{check_f32, BenchError, Benchmark, Origin, XorShift};
+
+const TILE: u32 = 16;
+/// Stencil coefficients (Rodinia's step/Cap, 1/Rx, 1/Ry, 1/Rz flavour).
+const C_CENTER: f32 = 0.8;
+const C_NEIGHBOR: f32 = 0.04;
+const C_POWER: f32 = 0.05;
+
+/// The hotspot benchmark.
+#[derive(Debug, Clone, Copy)]
+pub struct Hotspot {
+    /// Grid edge (multiple of 16).
+    pub n: u32,
+    /// Time steps.
+    pub steps: u32,
+}
+
+impl Default for Hotspot {
+    fn default() -> Self {
+        Hotspot { n: 64, steps: 2 }
+    }
+}
+
+impl Benchmark for Hotspot {
+    fn name(&self) -> &'static str {
+        "hotspot"
+    }
+
+    fn origin(&self) -> Origin {
+        Origin::Rodinia
+    }
+
+    fn description(&self) -> &'static str {
+        "Processor temperature estimation"
+    }
+
+    fn kernel_names(&self) -> Vec<String> {
+        vec!["hotspot".to_string()]
+    }
+
+    fn run(&self, gpu: &mut Gpu) -> Result<Vec<LaunchReport>, BenchError> {
+        let n = self.n;
+        assert!(n.is_multiple_of(TILE));
+        let cells = n * n;
+        let mut rng = XorShift::new(0x407);
+        let temp0: Vec<f32> = (0..cells).map(|_| rng.next_range(320.0, 340.0)).collect();
+        let power: Vec<f32> = (0..cells).map(|_| rng.next_range(0.0, 2.0)).collect();
+
+        let d_a = gpu.alloc_f32(cells);
+        let d_b = gpu.alloc_f32(cells);
+        let d_p = gpu.alloc_f32(cells);
+        gpu.h2d_f32(d_a, &temp0);
+        gpu.h2d_f32(d_p, &power);
+
+        let launch = LaunchConfig::new(Dim2::xy(n / TILE, n / TILE), Dim2::xy(TILE, TILE));
+        let mut reports = Vec::new();
+        let mut src = d_a;
+        let mut dst = d_b;
+        for _ in 0..self.steps {
+            let kernel = build_kernel(src.addr(), dst.addr(), d_p.addr(), n);
+            reports.push(gpu.launch(&kernel, launch)?);
+            std::mem::swap(&mut src, &mut dst);
+        }
+
+        let got = read_back(gpu, src, cells);
+        let want = reference(&temp0, &power, n, self.steps);
+        check_f32("hotspot", &got, &want, 1e-3)?;
+        Ok(reports)
+    }
+}
+
+fn read_back(gpu: &mut Gpu, ptr: DevicePtr, cells: u32) -> Vec<f32> {
+    gpu.d2h_f32(ptr, cells as usize)
+}
+
+/// CPU reference stencil.
+pub fn reference(temp0: &[f32], power: &[f32], n: u32, steps: u32) -> Vec<f32> {
+    let n = n as usize;
+    let mut cur = temp0.to_vec();
+    let mut next = vec![0f32; n * n];
+    for _ in 0..steps {
+        for r in 0..n {
+            for c in 0..n {
+                let at = |rr: isize, cc: isize| -> f32 {
+                    let rr = rr.clamp(0, n as isize - 1) as usize;
+                    let cc = cc.clamp(0, n as isize - 1) as usize;
+                    cur[rr * n + cc]
+                };
+                let (r, c) = (r as isize, c as isize);
+                let sum = at(r - 1, c) + at(r + 1, c) + at(r, c - 1) + at(r, c + 1);
+                next[r as usize * n + c as usize] = C_CENTER * at(r, c)
+                    + C_NEIGHBOR * sum
+                    + C_POWER * power[r as usize * n + c as usize];
+            }
+        }
+        std::mem::swap(&mut cur, &mut next);
+    }
+    cur
+}
+
+fn build_kernel(src: u32, dst: u32, power: u32, n: u32) -> gpusimpow_isa::Kernel {
+    let mut k = KernelBuilder::new("hotspot");
+    let smem = k.alloc_smem(TILE * TILE * 4);
+
+    let tx = Reg(0);
+    let ty = Reg(1);
+    k.s2r(tx, SpecialReg::TidX);
+    k.s2r(ty, SpecialReg::TidY);
+    let bx = Reg(2);
+    let by = Reg(3);
+    k.s2r(bx, SpecialReg::CtaIdX);
+    k.s2r(by, SpecialReg::CtaIdY);
+
+    // Global cell coordinates.
+    let col = Reg(4);
+    let row = Reg(5);
+    k.imad(col, bx, Operand::imm_u32(TILE), tx);
+    k.imad(row, by, Operand::imm_u32(TILE), ty);
+
+    // gaddr = (row*n + col) * 4
+    let gidx = Reg(6);
+    k.imad(gidx, row, Operand::imm_u32(n), col);
+    let gaddr = Reg(7);
+    k.shl(gaddr, gidx, Operand::imm_u32(2));
+
+    // smem[ty][tx] = src[row][col]
+    let center = Reg(8);
+    k.ld_global(center, gaddr, src as i32);
+    let saddr = Reg(9);
+    k.imad(saddr, ty, Operand::imm_u32(TILE), tx);
+    k.shl(saddr, saddr, Operand::imm_u32(2));
+    k.iadd(saddr, saddr, Operand::imm_u32(smem));
+    k.st_shared(center, saddr, 0);
+    k.bar();
+
+    // Neighbour fetch: from smem when inside the tile, else a clamped
+    // global load. emit_neighbor(dreg, is_edge_pred, smem_off, grow, gcol)
+    let nvals = [Reg(10), Reg(11), Reg(12), Reg(13)];
+    // (d_ty, d_tx): N, S, W, E
+    let dirs: [(i32, i32); 4] = [(-1, 0), (1, 0), (0, -1), (0, 1)];
+    let pred = Reg(14);
+    let tmp = Reg(15);
+    let tmp2 = Reg(16);
+    for (i, (dy, dx)) in dirs.iter().enumerate() {
+        let dest = nvals[i];
+        // Edge test against the tile.
+        match (dy, dx) {
+            (-1, 0) => k.isetp(CmpOp::Gt, pred, ty, Operand::imm_u32(0)),
+            (1, 0) => k.isetp(CmpOp::Lt, pred, ty, Operand::imm_u32(TILE - 1)),
+            (0, -1) => k.isetp(CmpOp::Gt, pred, tx, Operand::imm_u32(0)),
+            _ => k.isetp(CmpOp::Lt, pred, tx, Operand::imm_u32(TILE - 1)),
+        };
+        k.if_then_else(
+            pred,
+            |k| {
+                // Inside the tile: shared load at offset (dy*TILE + dx)*4.
+                let off = (dy * TILE as i32 + dx) * 4;
+                k.ld_shared(dest, saddr, off);
+            },
+            |k| {
+                // Halo: clamped global load.
+                // nr = clamp(row+dy, 0, n-1), nc = clamp(col+dx, 0, n-1)
+                k.iadd(tmp, row, Operand::imm_i32(*dy));
+                k.imax(tmp, tmp, Operand::imm_u32(0));
+                k.imin(tmp, tmp, Operand::imm_u32(n - 1));
+                k.iadd(tmp2, col, Operand::imm_i32(*dx));
+                k.imax(tmp2, tmp2, Operand::imm_u32(0));
+                k.imin(tmp2, tmp2, Operand::imm_u32(n - 1));
+                k.imad(tmp, tmp, Operand::imm_u32(n), tmp2);
+                k.shl(tmp, tmp, Operand::imm_u32(2));
+                k.ld_global(dest, tmp, src as i32);
+            },
+        );
+    }
+
+    // out = C_CENTER*center + C_NEIGHBOR*(n+s+w+e) + C_POWER*power
+    let acc = Reg(17);
+    k.fadd(acc, nvals[0], nvals[1]);
+    k.fadd(acc, acc, nvals[2]);
+    k.fadd(acc, acc, nvals[3]);
+    k.fmul(acc, acc, Operand::imm_f32(C_NEIGHBOR));
+    k.ffma(acc, center, Operand::imm_f32(C_CENTER), acc);
+    let pw = Reg(18);
+    k.ld_global(pw, gaddr, power as i32);
+    k.ffma(acc, pw, Operand::imm_f32(C_POWER), acc);
+    k.st_global(acc, gaddr, dst as i32);
+    k.exit();
+    k.build().expect("hotspot kernel is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpusimpow_sim::GpuConfig;
+
+    #[test]
+    fn runs_and_verifies_on_gt240() {
+        let mut gpu = Gpu::new(GpuConfig::gt240()).unwrap();
+        let reports = Hotspot { n: 32, steps: 2 }.run(&mut gpu).unwrap();
+        assert_eq!(reports.len(), 2, "one report per time step");
+        let s = &reports[0].stats;
+        assert!(s.divergent_branches > 0, "halo threads diverge");
+        assert!(s.smem_accesses > 0);
+    }
+}

@@ -1,0 +1,281 @@
+//! `kmeans` (Rodinia): k-means clustering.
+//!
+//! Two kernels, as in the Rodinia CUDA version:
+//!
+//! * `kmeans1` (`invert_mapping`) — transposes the point-major input to
+//!   feature-major layout; purely memory-bound with a strided write
+//!   pattern that stresses the coalescer;
+//! * `kmeans2` (`kmeansPoint`) — assigns each point to the nearest
+//!   centre; centres live in constant memory (broadcast reads), the
+//!   distance loop is FP-heavy.
+//!
+//! The host updates centres between iterations, so `kmeans2` runs
+//! several times.
+
+use gpusimpow_isa::{CmpOp, KernelBuilder, LaunchConfig, Operand, Reg, SpecialReg};
+use gpusimpow_sim::{Gpu, LaunchReport};
+
+use crate::common::{check_u32, BenchError, Benchmark, Origin, XorShift};
+
+const THREADS: u32 = 256;
+
+/// The kmeans benchmark.
+#[derive(Debug, Clone, Copy)]
+pub struct Kmeans {
+    /// Point count (multiple of 256).
+    pub points: u32,
+    /// Features per point.
+    pub features: u32,
+    /// Cluster count.
+    pub clusters: u32,
+    /// Lloyd iterations.
+    pub iterations: u32,
+}
+
+impl Default for Kmeans {
+    fn default() -> Self {
+        Kmeans {
+            points: 2048,
+            features: 8,
+            clusters: 8,
+            iterations: 3,
+        }
+    }
+}
+
+impl Benchmark for Kmeans {
+    fn name(&self) -> &'static str {
+        "kmeans"
+    }
+
+    fn origin(&self) -> Origin {
+        Origin::Rodinia
+    }
+
+    fn description(&self) -> &'static str {
+        "k-means clustering"
+    }
+
+    fn kernel_names(&self) -> Vec<String> {
+        vec!["kmeans1".to_string(), "kmeans2".to_string()]
+    }
+
+    fn run(&self, gpu: &mut Gpu) -> Result<Vec<LaunchReport>, BenchError> {
+        let (n, f, c) = (self.points, self.features, self.clusters);
+        assert!(n % THREADS == 0);
+        let mut rng = XorShift::new(0x63A);
+        // Points clustered around c blobs so the assignment is stable.
+        let mut data = vec![0f32; (n * f) as usize];
+        for p in 0..n as usize {
+            let blob = p % c as usize;
+            for j in 0..f as usize {
+                data[p * f as usize + j] =
+                    blob as f32 * 10.0 + rng.next_range(-1.0, 1.0) + j as f32 * 0.1;
+            }
+        }
+        let mut centers: Vec<f32> = (0..c as usize)
+            .map(|b| {
+                (0..f as usize)
+                    .map(|j| b as f32 * 10.0 + j as f32 * 0.1 + 0.05)
+                    .collect::<Vec<_>>()
+            })
+            .collect::<Vec<_>>()
+            .concat();
+
+        let d_points = gpu.alloc_f32(n * f);
+        let d_inverted = gpu.alloc_f32(n * f);
+        let d_membership = gpu.alloc_f32(n);
+        gpu.h2d_f32(d_points, &data);
+
+        let mut reports = Vec::new();
+
+        // kmeans1: invert point-major -> feature-major.
+        let k1 = build_invert(d_points.addr(), d_inverted.addr(), n, f);
+        reports.push(gpu.launch(&k1, LaunchConfig::linear(n / THREADS, THREADS))?);
+        let inverted = gpu.d2h_f32(d_inverted, (n * f) as usize);
+        let mut want_inv = vec![0f32; (n * f) as usize];
+        for p in 0..n as usize {
+            for j in 0..f as usize {
+                want_inv[j * n as usize + p] = data[p * f as usize + j];
+            }
+        }
+        crate::common::check_f32("kmeans", &inverted, &want_inv, 0.0)?;
+
+        // kmeans2: nearest-centre assignment, iterated with host updates.
+        let mut k2 = build_assign(d_inverted.addr(), d_membership.addr(), n, f, c);
+        for _ in 0..self.iterations {
+            let center_words: Vec<u32> = centers.iter().map(|v| v.to_bits()).collect();
+            k2.set_const_words(center_words);
+            reports.push(gpu.launch(&k2, LaunchConfig::linear(n / THREADS, THREADS))?);
+            let membership = gpu.d2h_u32(d_membership, n as usize);
+            let want = reference_assign(&data, &centers, n, f, c);
+            check_u32("kmeans", &membership, &want)?;
+            centers = update_centers(&data, &membership, n, f, c);
+        }
+        Ok(reports)
+    }
+}
+
+/// CPU nearest-centre assignment.
+pub fn reference_assign(data: &[f32], centers: &[f32], n: u32, f: u32, c: u32) -> Vec<u32> {
+    (0..n as usize)
+        .map(|p| {
+            let mut best = 0u32;
+            let mut best_d = f32::INFINITY;
+            for k in 0..c as usize {
+                let mut d = 0f32;
+                for j in 0..f as usize {
+                    let diff = data[p * f as usize + j] - centers[k * f as usize + j];
+                    d = diff.mul_add(diff, d);
+                }
+                if d < best_d {
+                    best_d = d;
+                    best = k as u32;
+                }
+            }
+            best
+        })
+        .collect()
+}
+
+/// CPU centre update (mean of members; empty clusters keep their centre).
+pub fn update_centers(data: &[f32], membership: &[u32], n: u32, f: u32, c: u32) -> Vec<f32> {
+    let mut sums = vec![0f32; (c * f) as usize];
+    let mut counts = vec![0u32; c as usize];
+    for p in 0..n as usize {
+        let k = membership[p] as usize;
+        counts[k] += 1;
+        for j in 0..f as usize {
+            sums[k * f as usize + j] += data[p * f as usize + j];
+        }
+    }
+    for k in 0..c as usize {
+        if counts[k] > 0 {
+            for j in 0..f as usize {
+                sums[k * f as usize + j] /= counts[k] as f32;
+            }
+        }
+    }
+    sums
+}
+
+/// kmeans1: `inverted[j][p] = points[p][j]`.
+fn build_invert(points: u32, inverted: u32, n: u32, f: u32) -> gpusimpow_isa::Kernel {
+    let mut k = KernelBuilder::new("kmeans1");
+    let tid = Reg(0);
+    let bid = Reg(1);
+    k.s2r(tid, SpecialReg::TidX);
+    k.s2r(bid, SpecialReg::CtaIdX);
+    let p = Reg(2);
+    k.imad(p, bid, Operand::imm_u32(THREADS), tid);
+    let j = Reg(3);
+    let cond = Reg(4);
+    k.for_range(j, cond, Operand::imm_u32(0), Operand::imm_u32(f), 1, |k| {
+        let src = Reg(5);
+        let v = Reg(6);
+        let dst = Reg(7);
+        // src = (p*f + j)*4
+        k.imad(src, p, Operand::imm_u32(f), j);
+        k.shl(src, src, Operand::imm_u32(2));
+        k.ld_global(v, src, points as i32);
+        // dst = (j*n + p)*4  — strided write, poor coalescing by design
+        k.imad(dst, j, Operand::imm_u32(n), p);
+        k.shl(dst, dst, Operand::imm_u32(2));
+        k.st_global(v, dst, inverted as i32);
+    });
+    k.exit();
+    k.build().expect("kmeans1 kernel is valid")
+}
+
+/// kmeans2: nearest centre over feature-major data, centres in constant
+/// memory.
+fn build_assign(inverted: u32, membership: u32, n: u32, f: u32, c: u32) -> gpusimpow_isa::Kernel {
+    let mut k = KernelBuilder::new("kmeans2");
+    k.push_consts(&vec![0u32; (c * f) as usize]); // patched per iteration
+    let tid = Reg(0);
+    let bid = Reg(1);
+    k.s2r(tid, SpecialReg::TidX);
+    k.s2r(bid, SpecialReg::CtaIdX);
+    let p = Reg(2);
+    k.imad(p, bid, Operand::imm_u32(THREADS), tid);
+
+    let best = Reg(3);
+    let best_d = Reg(4);
+    k.movi(best, 0);
+    k.movf(best_d, f32::INFINITY);
+
+    let kk = Reg(5);
+    let kcond = Reg(6);
+    k.for_range(kk, kcond, Operand::imm_u32(0), Operand::imm_u32(c), 1, |k| {
+        let dist = Reg(7);
+        k.movf(dist, 0.0);
+        let j = Reg(8);
+        let jcond = Reg(9);
+        k.for_range(j, jcond, Operand::imm_u32(0), Operand::imm_u32(f), 1, |k| {
+            // x = inverted[j*n + p]
+            let xa = Reg(10);
+            let x = Reg(11);
+            k.imad(xa, j, Operand::imm_u32(n), p);
+            k.shl(xa, xa, Operand::imm_u32(2));
+            k.ld_global(x, xa, inverted as i32);
+            // cv = const[kk*f + j] (broadcast within the warp)
+            let ca = Reg(12);
+            let cv = Reg(13);
+            k.imad(ca, kk, Operand::imm_u32(f), j);
+            k.shl(ca, ca, Operand::imm_u32(2));
+            k.ld_const(cv, ca, 0);
+            let diff = Reg(14);
+            k.fsub(diff, x, cv);
+            k.ffma(dist, diff, diff, dist);
+        });
+        let closer = Reg(15);
+        k.fsetp(CmpOp::Lt, closer, dist, best_d);
+        k.sel(best, closer, kk, best);
+        // best_d = min(best_d, dist) — bitwise select via fmin
+        k.fmin(best_d, best_d, dist);
+    });
+    let ma = Reg(16);
+    k.shl(ma, p, Operand::imm_u32(2));
+    k.st_global(best, ma, membership as i32);
+    k.exit();
+    k.build().expect("kmeans2 kernel is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpusimpow_sim::GpuConfig;
+
+    #[test]
+    fn cpu_assignment_matches_blobs() {
+        // Two obvious blobs.
+        let data = vec![0.0, 0.0, 10.0, 10.0];
+        let centers = vec![0.0, 0.0, 10.0, 10.0];
+        assert_eq!(reference_assign(&data, &centers, 2, 2, 2), vec![0, 1]);
+    }
+
+    #[test]
+    fn center_update_takes_means() {
+        let data = vec![0.0, 2.0, 4.0, 6.0];
+        let membership = vec![0, 0];
+        let c = update_centers(&data, &membership, 2, 2, 1);
+        assert_eq!(c, vec![2.0, 4.0]);
+    }
+
+    #[test]
+    fn runs_and_verifies_on_gt240() {
+        let mut gpu = Gpu::new(GpuConfig::gt240()).unwrap();
+        let reports = Kmeans {
+            points: 512,
+            features: 4,
+            clusters: 4,
+            iterations: 2,
+        }
+        .run(&mut gpu)
+        .unwrap();
+        assert_eq!(reports.len(), 3, "one invert + two assign launches");
+        let assign = &reports[1].stats;
+        assert!(assign.const_accesses > 0, "centres come from constant memory");
+        assert!(assign.fp_lane_ops > 0);
+    }
+}

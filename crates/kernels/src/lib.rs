@@ -1,0 +1,45 @@
+//! # gpusimpow-kernels — the evaluation workloads
+//!
+//! Re-implementations of every kernel the GPUSimPow paper evaluates
+//! (Table I and Fig. 6: 11 benchmarks, 19 kernels from Rodinia and the
+//! CUDA SDK), written in the [`gpusimpow_isa`] instruction set, each with
+//! deterministic input generation, a host program, and CPU-reference
+//! verification. Also provides the paper's microbenchmarks (§III-D
+//! energy-per-op probes, the Fig. 4 cluster-activation probe) plus
+//! divergence/bank-conflict ablation probes.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use gpusimpow_kernels::suite::small_benchmarks;
+//! use gpusimpow_sim::{config::GpuConfig, gpu::Gpu};
+//!
+//! let mut gpu = Gpu::new(GpuConfig::gt240())?;
+//! for bench in small_benchmarks() {
+//!     let reports = bench.run(&mut gpu).expect("benchmark verifies");
+//!     println!("{}: {} launches", bench.name(), reports.len());
+//! }
+//! # Ok::<(), gpusimpow_sim::gpu::SimError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod backprop;
+pub mod bfs;
+pub mod blackscholes;
+pub mod common;
+pub mod heartwall;
+pub mod hotspot;
+pub mod kmeans;
+pub mod matmul;
+pub mod mergesort;
+pub mod micro;
+pub mod needle;
+pub mod pathfinder;
+pub mod scalarprod;
+pub mod suite;
+pub mod vectoradd;
+
+pub use common::{BenchError, Benchmark, Origin};
+pub use suite::{all_benchmarks, fig6_kernel_order, small_benchmarks};

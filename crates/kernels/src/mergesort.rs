@@ -1,0 +1,439 @@
+//! `mergeSort` (CUDA SDK): parallel merge sort, four kernels.
+//!
+//! Follows the CUDA SDK pipeline:
+//!
+//! 1. `mergeSortBlocks` — bitonic sort of each 256-key tile in shared
+//!    memory (barrier- and divergence-heavy);
+//! 2. `generateSampleRanks` — merge-path binary searches computing, for
+//!    every 16-output partition of each tile pair, the split point in
+//!    tile A (irregular global loads);
+//! 3. `mergeRanksAndIndices` — converts the ranks into explicit
+//!    per-partition index intervals (the SDK sorts its rank arrays; this
+//!    reproduction derives intervals directly from the merge-path ranks,
+//!    which is the same partition);
+//! 4. `mergeElementaryIntervals` — each thread serially merges its
+//!    16-output interval.
+//!
+//! One pass merges 256-tiles into sorted 512-runs; verification checks
+//! the runs against a CPU stable merge.
+
+use gpusimpow_isa::{CmpOp, KernelBuilder, LaunchConfig, Operand, Reg, SpecialReg};
+use gpusimpow_sim::{Gpu, LaunchReport};
+
+use crate::common::{check_u32, BenchError, Benchmark, Origin, XorShift};
+
+/// Keys per tile (= threads per sort block).
+const TILE: u32 = 256;
+/// Outputs per merge partition.
+const SEG: u32 = 16;
+/// Partitions per tile pair.
+const PARTS: u32 = 2 * TILE / SEG;
+
+/// The mergeSort benchmark.
+#[derive(Debug, Clone, Copy)]
+pub struct MergeSort {
+    /// Key count (multiple of 512).
+    pub n: u32,
+}
+
+impl Default for MergeSort {
+    fn default() -> Self {
+        MergeSort { n: 4096 }
+    }
+}
+
+impl Benchmark for MergeSort {
+    fn name(&self) -> &'static str {
+        "mergesort"
+    }
+
+    fn origin(&self) -> Origin {
+        Origin::CudaSdk
+    }
+
+    fn description(&self) -> &'static str {
+        "Parallel merge-sort"
+    }
+
+    fn kernel_names(&self) -> Vec<String> {
+        vec![
+            "mergeSort1".to_string(),
+            "mergeSort2".to_string(),
+            "mergeSort3".to_string(),
+            "mergeSort4".to_string(),
+        ]
+    }
+
+    fn run(&self, gpu: &mut Gpu) -> Result<Vec<LaunchReport>, BenchError> {
+        let n = self.n;
+        assert!(n.is_multiple_of(2 * TILE));
+        let pairs = n / (2 * TILE);
+        let ranks_len = pairs * PARTS;
+        assert!(
+            ranks_len <= 256 || ranks_len.is_multiple_of(256),
+            "rank kernels assume full blocks (choose n so n/16 is <= 256 or a multiple of 256)"
+        );
+        let mut rng = XorShift::new(0x5027);
+        let keys: Vec<u32> = (0..n).map(|_| rng.next_below(1 << 20)).collect();
+
+        let d_keys = gpu.alloc_f32(n);
+        let d_out = gpu.alloc_f32(n);
+        let d_ranks = gpu.alloc_f32(ranks_len);
+        let d_start_a = gpu.alloc_f32(ranks_len);
+        let d_end_a = gpu.alloc_f32(ranks_len);
+        gpu.h2d_u32(d_keys, &keys);
+
+        let mut reports = Vec::new();
+
+        // k1: per-tile bitonic sort.
+        let k1 = build_sort_blocks(d_keys.addr());
+        reports.push(gpu.launch(&k1, LaunchConfig::linear(n / TILE, TILE))?);
+        let tiles = gpu.d2h_u32(d_keys, n as usize);
+        let mut want_tiles = Vec::with_capacity(n as usize);
+        for t in 0..(n / TILE) as usize {
+            let mut tile: Vec<u32> =
+                keys[t * TILE as usize..(t + 1) * TILE as usize].to_vec();
+            tile.sort_unstable();
+            want_tiles.extend(tile);
+        }
+        check_u32("mergesort", &tiles, &want_tiles)?;
+
+        // k2: merge-path sample ranks.
+        let k2 = build_sample_ranks(d_keys.addr(), d_ranks.addr());
+        reports.push(gpu.launch(
+            &k2,
+            LaunchConfig::linear(ranks_len.div_ceil(256).max(1), 256.min(ranks_len)),
+        )?);
+        // k3: ranks -> intervals.
+        let k3 = build_rank_indices(d_ranks.addr(), d_start_a.addr(), d_end_a.addr());
+        reports.push(gpu.launch(
+            &k3,
+            LaunchConfig::linear(ranks_len.div_ceil(256).max(1), 256.min(ranks_len)),
+        )?);
+        // k4: elementary merges.
+        let k4 = build_merge(d_keys.addr(), d_out.addr(), d_start_a.addr(), d_end_a.addr());
+        reports.push(gpu.launch(
+            &k4,
+            LaunchConfig::linear(ranks_len.div_ceil(256).max(1), 256.min(ranks_len)),
+        )?);
+
+        let got = gpu.d2h_u32(d_out, n as usize);
+        let mut want = Vec::with_capacity(n as usize);
+        for p in 0..pairs as usize {
+            let base = p * 2 * TILE as usize;
+            let a = &want_tiles[base..base + TILE as usize];
+            let b = &want_tiles[base + TILE as usize..base + 2 * TILE as usize];
+            want.extend(stable_merge(a, b));
+        }
+        check_u32("mergesort", &got, &want)?;
+        Ok(reports)
+    }
+}
+
+/// CPU stable merge (ties take from `a` first), matching the GPU rule.
+pub fn stable_merge(a: &[u32], b: &[u32], ) -> Vec<u32> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() || j < b.len() {
+        if i < a.len() && (j >= b.len() || a[i] <= b[j]) {
+            out.push(a[i]);
+            i += 1;
+        } else {
+            out.push(b[j]);
+            j += 1;
+        }
+    }
+    out
+}
+
+/// k1: bitonic sort of a 256-key tile in shared memory.
+fn build_sort_blocks(keys: u32) -> gpusimpow_isa::Kernel {
+    let mut k = KernelBuilder::new("mergeSort1");
+    let smem = k.alloc_smem(TILE * 4);
+    let tid = Reg(0);
+    let bid = Reg(1);
+    k.s2r(tid, SpecialReg::TidX);
+    k.s2r(bid, SpecialReg::CtaIdX);
+
+    // Load my key into smem.
+    let g = Reg(2);
+    k.imad(g, bid, Operand::imm_u32(TILE), tid);
+    k.shl(g, g, Operand::imm_u32(2));
+    let v = Reg(3);
+    k.ld_global(v, g, keys as i32);
+    let my = Reg(4);
+    k.shl(my, tid, Operand::imm_u32(2));
+    k.iadd(my, my, Operand::imm_u32(smem));
+    k.st_shared(v, my, 0);
+    k.bar();
+
+    // Bitonic network, stages unrolled at build time.
+    let active = Reg(5);
+    let partner = Reg(6);
+    let pa = Reg(7);
+    let a = Reg(8);
+    let b = Reg(9);
+    let asc = Reg(10);
+    let lo = Reg(11);
+    let hi = Reg(12);
+    let t1 = Reg(13);
+    let t2 = Reg(14);
+    let mut kk = 2u32;
+    while kk <= TILE {
+        let mut j = kk / 2;
+        while j >= 1 {
+            // active = (tid & j) == 0
+            k.iand(t1, tid, Operand::imm_u32(j));
+            k.isetp(CmpOp::Eq, active, t1, Operand::imm_u32(0));
+            k.if_then(active, |k| {
+                // partner = tid | j
+                k.ior(partner, tid, Operand::imm_u32(j));
+                k.shl(pa, partner, Operand::imm_u32(2));
+                k.iadd(pa, pa, Operand::imm_u32(smem));
+                k.ld_shared(a, my, 0);
+                k.ld_shared(b, pa, 0);
+                // ascending = (tid & kk) == 0
+                k.iand(t2, tid, Operand::imm_u32(kk));
+                k.isetp(CmpOp::Eq, asc, t2, Operand::imm_u32(0));
+                // unsigned compare via offset to signed: our keys are
+                // < 2^20, so signed min/max suffice.
+                k.imin(lo, a, b);
+                k.imax(hi, a, b);
+                // smem[tid] = asc ? lo : hi; smem[partner] = asc ? hi : lo
+                k.sel(t1, asc, lo, hi);
+                k.sel(t2, asc, hi, lo);
+                k.st_shared(t1, my, 0);
+                k.st_shared(t2, pa, 0);
+            });
+            k.bar();
+            j /= 2;
+        }
+        kk *= 2;
+    }
+
+    // Write back.
+    let r = Reg(15);
+    k.ld_shared(r, my, 0);
+    k.st_global(r, g, keys as i32);
+    k.exit();
+    k.build().expect("mergesort1 kernel is valid")
+}
+
+/// Shared helper: computes pair/partition ids and the output offset `d`.
+/// Returns (pair, part, d) registers.
+fn emit_ids(k: &mut KernelBuilder) -> (Reg, Reg, Reg) {
+    let tid = Reg(0);
+    let bid = Reg(1);
+    k.s2r(tid, SpecialReg::TidX);
+    k.s2r(bid, SpecialReg::CtaIdX);
+    let gid = Reg(2);
+    k.imad(gid, bid, Operand::imm_u32(256), tid);
+    let pair = Reg(3);
+    let part = Reg(4);
+    k.shr(pair, gid, Operand::imm_u32(5)); // / PARTS (= 32)
+    k.iand(part, gid, Operand::imm_u32(PARTS - 1));
+    let d = Reg(5);
+    k.imul(d, part, Operand::imm_u32(SEG));
+    (pair, part, d)
+}
+
+/// k2: merge-path split of output offset `d` between tiles A and B.
+fn build_sample_ranks(keys: u32, ranks: u32) -> gpusimpow_isa::Kernel {
+    let mut k = KernelBuilder::new("mergeSort2");
+    let (pair, _part, d) = emit_ids(&mut k);
+    let gid = Reg(2);
+
+    // Tile base addresses (in elements).
+    let a_base = Reg(6);
+    k.imul(a_base, pair, Operand::imm_u32(2 * TILE));
+    let b_base = Reg(7);
+    k.iadd(b_base, a_base, Operand::imm_u32(TILE));
+
+    // lo = max(0, d - TILE), hi = min(d, TILE)
+    let lo = Reg(8);
+    let hi = Reg(9);
+    k.isub(lo, d, Operand::imm_u32(TILE));
+    k.imax(lo, lo, Operand::imm_u32(0));
+    k.imin(hi, d, Operand::imm_u32(TILE));
+    let cond = Reg(10);
+    k.while_loop(
+        |k| {
+            k.isetp(CmpOp::Lt, cond, lo, hi);
+            cond
+        },
+        |k| {
+            let mid = Reg(11);
+            k.iadd(mid, lo, hi);
+            k.shr(mid, mid, Operand::imm_u32(1));
+            // av = A[mid], bv = B[d - 1 - mid]
+            let av = Reg(12);
+            let bv = Reg(13);
+            let t = Reg(14);
+            k.iadd(t, a_base, mid);
+            k.shl(t, t, Operand::imm_u32(2));
+            k.ld_global(av, t, keys as i32);
+            k.isub(t, d, Operand::imm_u32(1));
+            k.isub(t, t, mid);
+            k.iadd(t, t, b_base);
+            k.shl(t, t, Operand::imm_u32(2));
+            k.ld_global(bv, t, keys as i32);
+            let take_a = Reg(15);
+            k.isetp(CmpOp::Le, take_a, av, bv);
+            let mid1 = Reg(16);
+            k.iadd(mid1, mid, Operand::imm_u32(1));
+            k.sel(lo, take_a, mid1, lo);
+            k.sel(hi, take_a, hi, mid);
+        },
+    );
+    // ranks[gid] = lo
+    let ra = Reg(11);
+    k.shl(ra, gid, Operand::imm_u32(2));
+    k.st_global(lo, ra, ranks as i32);
+    k.exit();
+    k.build().expect("mergesort2 kernel is valid")
+}
+
+/// k3: ranks -> [startA, endA) intervals per partition.
+fn build_rank_indices(ranks: u32, start_a: u32, end_a: u32) -> gpusimpow_isa::Kernel {
+    let mut k = KernelBuilder::new("mergeSort3");
+    let (_pair, part, _d) = emit_ids(&mut k);
+    let gid = Reg(2);
+
+    let ra = Reg(6);
+    k.shl(ra, gid, Operand::imm_u32(2));
+    let my_rank = Reg(7);
+    k.ld_global(my_rank, ra, ranks as i32);
+    k.st_global(my_rank, ra, start_a as i32);
+    // endA = (part == PARTS-1) ? TILE : ranks[gid + 1]
+    let last = Reg(8);
+    k.isetp(CmpOp::Eq, last, part, Operand::imm_u32(PARTS - 1));
+    let next = Reg(9);
+    k.if_then_else(
+        last,
+        |k| {
+            k.movi(next, TILE);
+        },
+        |k| {
+            k.ld_global(next, ra, ranks as i32 + 4);
+        },
+    );
+    k.st_global(next, ra, end_a as i32);
+    k.exit();
+    k.build().expect("mergesort3 kernel is valid")
+}
+
+/// k4: serial merge of one 16-output interval per thread.
+fn build_merge(keys: u32, out: u32, start_a: u32, end_a: u32) -> gpusimpow_isa::Kernel {
+    let mut k = KernelBuilder::new("mergeSort4");
+    let (pair, _part, d) = emit_ids(&mut k);
+    let gid = Reg(2);
+
+    let a_base = Reg(6);
+    k.imul(a_base, pair, Operand::imm_u32(2 * TILE));
+    let b_base = Reg(7);
+    k.iadd(b_base, a_base, Operand::imm_u32(TILE));
+
+    let ra = Reg(8);
+    k.shl(ra, gid, Operand::imm_u32(2));
+    let i = Reg(9);
+    let i_end = Reg(10);
+    k.ld_global(i, ra, start_a as i32);
+    k.ld_global(i_end, ra, end_a as i32);
+    // j = d - i, j_end = d + SEG - i_end
+    let j = Reg(11);
+    let j_end = Reg(12);
+    k.isub(j, d, i);
+    k.iadd(j_end, d, Operand::imm_u32(SEG));
+    k.isub(j_end, j_end, i_end);
+
+    // Output cursor (element index within the whole array).
+    let o = Reg(13);
+    k.imul(o, pair, Operand::imm_u32(2 * TILE));
+    k.iadd(o, o, d);
+
+    let step = Reg(14);
+    let cond = Reg(15);
+    k.for_range(
+        step,
+        cond,
+        Operand::imm_u32(0),
+        Operand::imm_u32(SEG),
+        1,
+        |k| {
+            // have_a = i < i_end; have_b = j < j_end
+            let have_a = Reg(16);
+            let have_b = Reg(17);
+            k.isetp(CmpOp::Lt, have_a, i, i_end);
+            k.isetp(CmpOp::Lt, have_b, j, j_end);
+            // av = have_a ? A[i] : MAX; bv = have_b ? B[j] : MAX
+            let av = Reg(18);
+            let bv = Reg(19);
+            let t = Reg(20);
+            k.if_then_else(
+                have_a,
+                |k| {
+                    k.iadd(t, a_base, i);
+                    k.shl(t, t, Operand::imm_u32(2));
+                    k.ld_global(av, t, keys as i32);
+                },
+                |k| {
+                    k.movi(av, i32::MAX as u32);
+                },
+            );
+            k.if_then_else(
+                have_b,
+                |k| {
+                    k.iadd(t, b_base, j);
+                    k.shl(t, t, Operand::imm_u32(2));
+                    k.ld_global(bv, t, keys as i32);
+                },
+                |k| {
+                    k.movi(bv, i32::MAX as u32);
+                },
+            );
+            // take_a = av <= bv (stable: ties prefer A)
+            let take_a = Reg(21);
+            k.isetp(CmpOp::Le, take_a, av, bv);
+            let val = Reg(22);
+            k.sel(val, take_a, av, bv);
+            // advance the chosen cursor
+            let inc_i = Reg(23);
+            k.iadd(inc_i, i, Operand::imm_u32(1));
+            k.sel(i, take_a, inc_i, i);
+            let inc_j = Reg(24);
+            k.iadd(inc_j, j, Operand::imm_u32(1));
+            k.sel(j, take_a, j, inc_j);
+            // out[o] = val; o += 1
+            let oa = Reg(25);
+            k.shl(oa, o, Operand::imm_u32(2));
+            k.st_global(val, oa, out as i32);
+            k.iadd(o, o, Operand::imm_u32(1));
+        },
+    );
+    k.exit();
+    k.build().expect("mergesort4 kernel is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpusimpow_sim::GpuConfig;
+
+    #[test]
+    fn stable_merge_prefers_a_on_ties() {
+        assert_eq!(stable_merge(&[1, 3, 3], &[2, 3]), vec![1, 2, 3, 3, 3]);
+        assert_eq!(stable_merge(&[], &[1]), vec![1]);
+    }
+
+    #[test]
+    fn runs_and_verifies_on_gt240() {
+        let mut gpu = Gpu::new(GpuConfig::gt240()).unwrap();
+        let reports = MergeSort { n: 1024 }.run(&mut gpu).unwrap();
+        assert_eq!(reports.len(), 4, "four pipeline kernels");
+        let sort = &reports[0].stats;
+        assert!(sort.barrier_waits > 100, "bitonic stages barrier a lot");
+        assert!(sort.divergent_branches > 0);
+        let search = &reports[1].stats;
+        assert!(search.divergent_branches > 0, "binary searches diverge");
+    }
+}

@@ -1,0 +1,323 @@
+//! Microbenchmarks (paper §III-D and Fig. 4).
+//!
+//! * [`lfsr_kernel`] — the integer microbenchmark: unrolled linear
+//!   feedback shift register steps, with a configurable number of
+//!   enabled lanes per warp. Running it with 31 and 1 enabled lanes and
+//!   differencing the energies isolates the per-lane integer-op energy
+//!   (the paper measures ≈ 40 pJ).
+//! * [`mandelbrot_kernel`] — the floating-point twin: fixed-iteration
+//!   Mandelbrot steps (≈ 75 pJ per FP op in the paper's measurements).
+//! * [`cluster_step_kernel`] — the Fig. 4 probe: a fixed-work block,
+//!   launched with 1..=#cores blocks to expose the per-cluster and
+//!   global-scheduler power steps.
+//! * [`divergence_kernel`] / [`conflict_kernel`] — ablation probes for
+//!   branch divergence and shared-memory bank conflicts.
+
+use gpusimpow_isa::{CmpOp, Kernel, KernelBuilder, LaunchConfig, Operand, Reg, SpecialReg};
+
+/// Threads per block used by the §III-D energy microbenchmarks
+/// (the paper uses 512 threads per block).
+pub const MICRO_THREADS: u32 = 512;
+
+/// Builds the integer (LFSR) microbenchmark.
+///
+/// `enabled_lanes` of every warp execute `iterations × 16` unrolled LFSR
+/// steps; the others skip the loop but stay resident, so runtime is
+/// independent of `enabled_lanes` (the paper's trick for isolating
+/// per-lane energy).
+///
+/// # Panics
+///
+/// Panics unless `1 <= enabled_lanes <= 32`.
+pub fn lfsr_kernel(enabled_lanes: u32, iterations: u32) -> Kernel {
+    assert!((1..=32).contains(&enabled_lanes));
+    let mut k = KernelBuilder::new("micro_lfsr");
+    let tid = Reg(0);
+    k.s2r(tid, SpecialReg::TidX);
+    let lane = Reg(1);
+    k.iand(lane, tid, Operand::imm_u32(31));
+    let active = Reg(2);
+    k.isetp(CmpOp::Lt, active, lane, Operand::imm_u32(enabled_lanes));
+    let state = Reg(3);
+    k.iadd(state, tid, Operand::imm_u32(0xACE1));
+    k.if_then(active, |k| {
+        let i = Reg(4);
+        let cond = Reg(5);
+        let bit = Reg(6);
+        let mask = Reg(7);
+        k.for_range(
+            i,
+            cond,
+            Operand::imm_u32(0),
+            Operand::imm_u32(iterations),
+            1,
+            |k| {
+                // 16 unrolled Fibonacci LFSR steps:
+                // bit = lsb(state); state = (state >> 1) ^ (-bit & 0xB400)
+                for _ in 0..16 {
+                    k.iand(bit, state, Operand::imm_u32(1));
+                    k.isub(mask, Operand::imm_u32(0), bit);
+                    k.iand(mask, mask, Operand::imm_u32(0xB400));
+                    k.shr(state, state, Operand::imm_u32(1));
+                    k.ixor(state, state, mask);
+                }
+            },
+        );
+    });
+    // Prevent the value from being architecturally dead: fold into a
+    // store by thread 0 (one word of traffic).
+    let is0 = Reg(8);
+    k.isetp(CmpOp::Eq, is0, tid, Operand::imm_u32(0));
+    k.if_then(is0, |k| {
+        let sink = Reg(9);
+        k.movi(sink, 16);
+        k.st_global(state, sink, 0);
+    });
+    k.exit();
+    k.build().expect("lfsr kernel is valid")
+}
+
+/// Builds the floating-point (Mandelbrot) microbenchmark: fixed-count
+/// `z = z² + c` iterations without an escape test, so runtime does not
+/// depend on the data.
+///
+/// # Panics
+///
+/// Panics unless `1 <= enabled_lanes <= 32`.
+pub fn mandelbrot_kernel(enabled_lanes: u32, iterations: u32) -> Kernel {
+    assert!((1..=32).contains(&enabled_lanes));
+    let mut k = KernelBuilder::new("micro_mandelbrot");
+    let tid = Reg(0);
+    k.s2r(tid, SpecialReg::TidX);
+    let lane = Reg(1);
+    k.iand(lane, tid, Operand::imm_u32(31));
+    let active = Reg(2);
+    k.isetp(CmpOp::Lt, active, lane, Operand::imm_u32(enabled_lanes));
+    // c derived from tid; z starts at 0.
+    let cr = Reg(3);
+    let ci = Reg(4);
+    k.i2f(cr, tid);
+    k.fmul(cr, cr, Operand::imm_f32(0.0004));
+    k.fsub(cr, cr, Operand::imm_f32(0.7));
+    k.fmul(ci, cr, Operand::imm_f32(0.5));
+    let zr = Reg(5);
+    let zi = Reg(6);
+    k.movf(zr, 0.0);
+    k.movf(zi, 0.0);
+    k.if_then(active, |k| {
+        let i = Reg(7);
+        let cond = Reg(8);
+        let zr2 = Reg(9);
+        let t = Reg(10);
+        k.for_range(
+            i,
+            cond,
+            Operand::imm_u32(0),
+            Operand::imm_u32(iterations),
+            1,
+            |k| {
+                // Four unrolled complex-square-add steps (5 FP ops each).
+                for _ in 0..4 {
+                    // zr' = zr*zr - zi*zi + cr ; zi' = 2*zr*zi + ci
+                    k.fmul(zr2, zr, zr);
+                    k.ffma(t, zi, zi, Operand::imm_f32(0.0));
+                    k.fsub(zr2, zr2, t);
+                    k.fadd(zr2, zr2, cr);
+                    k.fmul(t, zr, zi);
+                    k.ffma(zi, t, Operand::imm_f32(2.0), ci);
+                    k.mov(zr, zr2);
+                }
+            },
+        );
+    });
+    let is0 = Reg(11);
+    k.isetp(CmpOp::Eq, is0, tid, Operand::imm_u32(0));
+    k.if_then(is0, |k| {
+        let sink = Reg(12);
+        k.movi(sink, 16);
+        k.st_global(zr, sink, 0);
+    });
+    k.exit();
+    k.build().expect("mandelbrot kernel is valid")
+}
+
+/// Builds the Fig. 4 cluster-activation probe: each block spins on a
+/// fixed amount of mixed INT/FP work, so total power steps with the
+/// number of clusters/cores the scheduler activates.
+pub fn cluster_step_kernel(iterations: u32) -> Kernel {
+    let mut k = KernelBuilder::new("cluster_step");
+    let tid = Reg(0);
+    k.s2r(tid, SpecialReg::TidX);
+    let x = Reg(1);
+    k.i2f(x, tid);
+    let acc = Reg(2);
+    k.movf(acc, 1.0);
+    let s = Reg(3);
+    k.iadd(s, tid, Operand::imm_u32(1));
+    let i = Reg(4);
+    let cond = Reg(5);
+    k.for_range(
+        i,
+        cond,
+        Operand::imm_u32(0),
+        Operand::imm_u32(iterations),
+        1,
+        |k| {
+            for _ in 0..4 {
+                k.ffma(acc, acc, Operand::imm_f32(1.0001), x);
+                k.imad(s, s, Operand::imm_u32(1664525), Operand::imm_u32(1013904223));
+            }
+        },
+    );
+    let is0 = Reg(6);
+    k.isetp(CmpOp::Eq, is0, tid, Operand::imm_u32(0));
+    k.if_then(is0, |k| {
+        let sink = Reg(7);
+        k.movi(sink, 16);
+        k.st_global(s, sink, 0);
+        k.st_global(acc, sink, 4);
+    });
+    k.exit();
+    k.build().expect("cluster step kernel is valid")
+}
+
+/// Launch configuration for the §III-D microbenchmarks: one block per
+/// core (the paper launches "one thread block for each core" with 512
+/// threads).
+pub fn micro_launch(cores: u32) -> LaunchConfig {
+    LaunchConfig::linear(cores, MICRO_THREADS)
+}
+
+/// Ablation probe: every warp diverges `depth` levels deep.
+pub fn divergence_kernel(depth: u32) -> Kernel {
+    assert!((1..=5).contains(&depth));
+    let mut k = KernelBuilder::new("micro_divergence");
+    let tid = Reg(0);
+    k.s2r(tid, SpecialReg::TidX);
+    let acc = Reg(1);
+    k.mov(acc, tid);
+    fn nest(k: &mut KernelBuilder, level: u32, depth: u32, tid: Reg, acc: Reg) {
+        if level == depth {
+            for _ in 0..8 {
+                k.imad(acc, acc, Operand::imm_u32(7), Operand::imm_u32(3));
+            }
+            return;
+        }
+        let p = Reg((10 + level) as u8);
+        let bit = Reg(20);
+        k.shr(bit, tid, Operand::imm_u32(level));
+        k.iand(bit, bit, Operand::imm_u32(1));
+        k.isetp(CmpOp::Ne, p, bit, Operand::imm_u32(0));
+        k.if_then_else(
+            p,
+            |k| nest(k, level + 1, depth, tid, acc),
+            |k| nest(k, level + 1, depth, tid, acc),
+        );
+    }
+    nest(&mut k, 0, depth, tid, acc);
+    let is0 = Reg(2);
+    k.isetp(CmpOp::Eq, is0, tid, Operand::imm_u32(0));
+    k.if_then(is0, |k| {
+        let sink = Reg(3);
+        k.movi(sink, 16);
+        k.st_global(acc, sink, 0);
+    });
+    k.exit();
+    k.build().expect("divergence kernel is valid")
+}
+
+/// Ablation probe: shared-memory accesses with a configurable stride —
+/// stride 1 is conflict-free, larger power-of-two strides serialize.
+pub fn conflict_kernel(stride: u32, iterations: u32) -> Kernel {
+    assert!(stride >= 1);
+    let mut k = KernelBuilder::new("micro_conflict");
+    let smem = k.alloc_smem(32 * stride.max(1) * 4 + 4);
+    let tid = Reg(0);
+    k.s2r(tid, SpecialReg::TidX);
+    let addr = Reg(1);
+    k.imul(addr, tid, Operand::imm_u32(stride * 4));
+    k.iadd(addr, addr, Operand::imm_u32(smem));
+    let v = Reg(2);
+    k.mov(v, tid);
+    k.st_shared(v, addr, 0);
+    let i = Reg(3);
+    let cond = Reg(4);
+    k.for_range(
+        i,
+        cond,
+        Operand::imm_u32(0),
+        Operand::imm_u32(iterations),
+        1,
+        |k| {
+            k.ld_shared(v, addr, 0);
+            k.iadd(v, v, Operand::imm_u32(1));
+            k.st_shared(v, addr, 0);
+        },
+    );
+    k.exit();
+    k.build().expect("conflict kernel is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpusimpow_sim::{config::GpuConfig, gpu::Gpu};
+
+    #[test]
+    fn lfsr_runtime_independent_of_enabled_lanes() {
+        let mut gpu = Gpu::new(GpuConfig::gt240()).unwrap();
+        let k31 = lfsr_kernel(31, 16);
+        let k01 = lfsr_kernel(1, 16);
+        let r31 = gpu.launch(&k31, micro_launch(12)).unwrap();
+        let r01 = gpu.launch(&k01, micro_launch(12)).unwrap();
+        // Same dynamic warp-instruction count and (nearly) equal runtime.
+        assert_eq!(r31.stats.warp_instructions, r01.stats.warp_instructions);
+        let dc = r31.stats.shader_cycles as f64 / r01.stats.shader_cycles as f64;
+        assert!((0.95..1.05).contains(&dc), "cycle ratio {dc}");
+        // But 31x the lane-level integer work in the loop.
+        assert!(r31.stats.int_lane_ops > 20 * r01.stats.int_lane_ops);
+    }
+
+    #[test]
+    fn mandelbrot_is_fp_dominated() {
+        let mut gpu = Gpu::new(GpuConfig::gt240()).unwrap();
+        let k = mandelbrot_kernel(31, 16);
+        let r = gpu.launch(&k, micro_launch(12)).unwrap();
+        assert!(r.stats.fp_lane_ops > r.stats.int_lane_ops);
+    }
+
+    #[test]
+    fn cluster_step_scales_with_blocks() {
+        let mut gpu = Gpu::new(GpuConfig::gt240()).unwrap();
+        let k = cluster_step_kernel(64);
+        let r1 = gpu.launch(&k, LaunchConfig::linear(1, 256)).unwrap();
+        let r4 = gpu.launch(&k, LaunchConfig::linear(4, 256)).unwrap();
+        assert_eq!(r1.stats.peak_clusters_busy, 1);
+        assert_eq!(r4.stats.peak_clusters_busy, 4);
+        // Same wall time: blocks run in parallel on different cores.
+        let ratio = r4.stats.shader_cycles as f64 / r1.stats.shader_cycles as f64;
+        assert!(ratio < 1.3, "blocks parallelize, ratio {ratio}");
+    }
+
+    #[test]
+    fn divergence_kernel_diverges() {
+        let mut gpu = Gpu::new(GpuConfig::gt240()).unwrap();
+        let k = divergence_kernel(3);
+        let r = gpu.launch(&k, LaunchConfig::linear(1, 64)).unwrap();
+        // Depth 3 yields 1 + 2 + 4 = 7 divergent branches per warp.
+        assert!(r.stats.divergent_branches >= 2 * 7);
+    }
+
+    #[test]
+    fn conflict_stride_costs_cycles() {
+        let mut gpu = Gpu::new(GpuConfig::gt240()).unwrap();
+        // 16 lanes over the GT240's 16 banks: stride 1 is conflict-free.
+        let k1 = conflict_kernel(1, 32);
+        let k16 = conflict_kernel(16, 32);
+        let r1 = gpu.launch(&k1, LaunchConfig::linear(1, 16)).unwrap();
+        let r16 = gpu.launch(&k16, LaunchConfig::linear(1, 16)).unwrap();
+        assert_eq!(r1.stats.smem_bank_conflict_cycles, 0);
+        assert!(r16.stats.smem_bank_conflict_cycles > 0);
+        assert!(r16.stats.shader_cycles > r1.stats.shader_cycles);
+    }
+}

@@ -1,0 +1,311 @@
+//! `needle` (Rodinia): Needleman-Wunsch sequence alignment.
+//!
+//! The DP matrix is processed in 16×16 tiles along anti-diagonals:
+//! `needle1` covers the upper-left triangle of tiles, `needle2` the
+//! lower-right. Each block stages its tile plus borders in shared memory
+//! and sweeps an in-tile wavefront with a barrier per step — the most
+//! synchronization-intensive kernel of the suite.
+
+use gpusimpow_isa::{CmpOp, KernelBuilder, LaunchConfig, Operand, Reg, SpecialReg};
+use gpusimpow_sim::{Gpu, LaunchReport};
+
+use crate::common::{check_u32, BenchError, Benchmark, Origin, XorShift};
+
+const B: u32 = 16;
+const PENALTY: i32 = 10;
+
+/// The needle benchmark.
+#[derive(Debug, Clone, Copy)]
+pub struct Needle {
+    /// Sequence length (multiple of 16).
+    pub n: u32,
+}
+
+impl Default for Needle {
+    fn default() -> Self {
+        Needle { n: 64 }
+    }
+}
+
+impl Benchmark for Needle {
+    fn name(&self) -> &'static str {
+        "needle"
+    }
+
+    fn origin(&self) -> Origin {
+        Origin::Rodinia
+    }
+
+    fn description(&self) -> &'static str {
+        "Needleman-Wunsch sequence alignment"
+    }
+
+    fn kernel_names(&self) -> Vec<String> {
+        vec!["needle1".to_string(), "needle2".to_string()]
+    }
+
+    fn run(&self, gpu: &mut Gpu) -> Result<Vec<LaunchReport>, BenchError> {
+        let n = self.n;
+        assert!(n.is_multiple_of(B));
+        let nb = n / B;
+        let dim = n + 1;
+        let mut rng = XorShift::new(0x4E);
+        // Substitution scores in [-4, 4].
+        let reference_scores: Vec<i32> = (0..n * n)
+            .map(|_| rng.next_below(9) as i32 - 4)
+            .collect();
+        // DP matrix with the classic gap-penalty borders.
+        let mut matrix = vec![0i32; (dim * dim) as usize];
+        for i in 0..dim as usize {
+            matrix[i * dim as usize] = -(i as i32) * PENALTY;
+            matrix[i] = -(i as i32) * PENALTY;
+        }
+
+        let d_ref = gpu.alloc_f32(n * n);
+        let d_m = gpu.alloc_f32(dim * dim);
+        gpu.h2d_u32(
+            d_ref,
+            &reference_scores.iter().map(|&v| v as u32).collect::<Vec<_>>(),
+        );
+        gpu.h2d_u32(d_m, &matrix.iter().map(|&v| v as u32).collect::<Vec<_>>());
+
+        let mut k1 = build_kernel("needle1", d_ref.addr(), d_m.addr(), n, nb, false);
+        let mut k2 = build_kernel("needle2", d_ref.addr(), d_m.addr(), n, nb, true);
+        let mut reports = Vec::new();
+        // Upper-left diagonals: s = 0 .. nb-1 with s+1 tiles each.
+        for s in 0..nb {
+            k1.set_const_words(vec![s]);
+            reports.push(gpu.launch(&k1, LaunchConfig::linear(s + 1, B))?);
+        }
+        // Lower-right diagonals: s = nb .. 2nb-2 with 2nb-1-s tiles each.
+        for s in nb..(2 * nb - 1) {
+            k2.set_const_words(vec![s]);
+            reports.push(gpu.launch(&k2, LaunchConfig::linear(2 * nb - 1 - s, B))?);
+        }
+
+        let got: Vec<u32> = gpu.d2h_u32(d_m, (dim * dim) as usize);
+        let want = reference_dp(&reference_scores, n);
+        check_u32(
+            "needle",
+            &got,
+            &want.iter().map(|&v| v as u32).collect::<Vec<_>>(),
+        )?;
+        Ok(reports)
+    }
+}
+
+/// CPU reference DP.
+pub fn reference_dp(scores: &[i32], n: u32) -> Vec<i32> {
+    let dim = (n + 1) as usize;
+    let mut m = vec![0i32; dim * dim];
+    for i in 0..dim {
+        m[i * dim] = -(i as i32) * PENALTY;
+        m[i] = -(i as i32) * PENALTY;
+    }
+    for i in 1..dim {
+        for j in 1..dim {
+            let diag = m[(i - 1) * dim + j - 1] + scores[(i - 1) * n as usize + j - 1];
+            let left = m[i * dim + j - 1] - PENALTY;
+            let up = m[(i - 1) * dim + j] - PENALTY;
+            m[i * dim + j] = diag.max(left).max(up);
+        }
+    }
+    m
+}
+
+/// Builds the tile kernel. `lower` selects the lower-right tile mapping.
+fn build_kernel(
+    name: &str,
+    score_base: u32,
+    matrix_base: u32,
+    n: u32,
+    nb: u32,
+    lower: bool,
+) -> gpusimpow_isa::Kernel {
+    let dim = n + 1;
+    let mut k = KernelBuilder::new(name);
+    // temp: (B+1)x(B+1) DP cells, sref: BxB scores.
+    let temp = k.alloc_smem((B + 1) * (B + 1) * 4);
+    let sref = k.alloc_smem(B * B * 4);
+    k.push_consts(&[0]); // the anti-diagonal index s
+
+    let tid = Reg(0);
+    let bx = Reg(1);
+    k.s2r(tid, SpecialReg::TidX);
+    k.s2r(bx, SpecialReg::CtaIdX);
+    let zero = Reg(2);
+    k.movi(zero, 0);
+    let s = Reg(3);
+    k.ld_const(s, zero, 0);
+
+    // Tile coordinates on the anti-diagonal.
+    let tilex = Reg(4);
+    let tiley = Reg(5);
+    if lower {
+        // tilex = s - (nb-1) + bx, tiley = nb-1 - bx
+        k.isub(tilex, s, Operand::imm_u32(nb - 1));
+        k.iadd(tilex, tilex, bx);
+        k.isub(tiley, Operand::imm_u32(nb - 1), bx);
+    } else {
+        // tilex = bx, tiley = s - bx
+        k.mov(tilex, bx);
+        k.isub(tiley, s, bx);
+    }
+    // Top-left border cell of this tile in the global matrix.
+    let tx0 = Reg(6);
+    let ty0 = Reg(7);
+    k.imul(tx0, tilex, Operand::imm_u32(B));
+    k.imul(ty0, tiley, Operand::imm_u32(B));
+
+    let tmp = Reg(8);
+    let val = Reg(9);
+    // Load the score tile: sref[r][tid] for r in 0..B.
+    for r in 0..B {
+        // g = ((ty0 + r) * n + tx0 + tid) * 4
+        k.iadd(tmp, ty0, Operand::imm_u32(r));
+        k.imul(tmp, tmp, Operand::imm_u32(n));
+        k.iadd(tmp, tmp, tx0);
+        k.iadd(tmp, tmp, tid);
+        k.shl(tmp, tmp, Operand::imm_u32(2));
+        k.ld_global(val, tmp, score_base as i32);
+        let sa = Reg(10);
+        k.movi(sa, sref + (r * B) * 4);
+        k.shl(tmp, tid, Operand::imm_u32(2));
+        k.iadd(sa, sa, tmp);
+        k.st_shared(val, sa, 0);
+    }
+    // Borders: temp[0][tid] and temp[tid+1][0]; thread 0 adds temp[0][B].
+    let ga = Reg(11);
+    // temp[0][tid] = gm[ty0][tx0+tid]
+    k.imul(ga, ty0, Operand::imm_u32(dim));
+    k.iadd(ga, ga, tx0);
+    k.iadd(ga, ga, tid);
+    k.shl(ga, ga, Operand::imm_u32(2));
+    k.ld_global(val, ga, matrix_base as i32);
+    let sa = Reg(12);
+    k.shl(sa, tid, Operand::imm_u32(2));
+    k.iadd(sa, sa, Operand::imm_u32(temp));
+    k.st_shared(val, sa, 0);
+    // temp[tid+1][0] = gm[ty0+tid+1][tx0]
+    k.iadd(ga, ty0, tid);
+    k.iadd(ga, ga, Operand::imm_u32(1));
+    k.imul(ga, ga, Operand::imm_u32(dim));
+    k.iadd(ga, ga, tx0);
+    k.shl(ga, ga, Operand::imm_u32(2));
+    k.ld_global(val, ga, matrix_base as i32);
+    k.iadd(tmp, tid, Operand::imm_u32(1));
+    k.imul(tmp, tmp, Operand::imm_u32((B + 1) * 4));
+    k.iadd(sa, tmp, Operand::imm_u32(temp));
+    k.st_shared(val, sa, 0);
+    // thread 0: temp[0][B] = gm[ty0][tx0+B]
+    let is0 = Reg(13);
+    k.isetp(CmpOp::Eq, is0, tid, Operand::imm_u32(0));
+    k.if_then(is0, |k| {
+        k.imul(ga, ty0, Operand::imm_u32(dim));
+        k.iadd(ga, ga, tx0);
+        k.iadd(ga, ga, Operand::imm_u32(B));
+        k.shl(ga, ga, Operand::imm_u32(2));
+        k.ld_global(val, ga, matrix_base as i32);
+        k.movi(sa, temp + B * 4);
+        k.st_shared(val, sa, 0);
+    });
+    k.bar();
+
+    // Wavefront: for d in 0..2B-1, cell (x0, y0) = (tid, d - tid).
+    let d = Reg(14);
+    let dcond = Reg(15);
+    k.for_range(
+        d,
+        dcond,
+        Operand::imm_u32(0),
+        Operand::imm_u32(2 * B - 1),
+        1,
+        |k| {
+            let y0 = Reg(16);
+            k.isub(y0, d, tid);
+            let active = Reg(17);
+            let in_hi = Reg(18);
+            k.isetp(CmpOp::Ge, active, y0, Operand::imm_u32(0));
+            k.isetp(CmpOp::Lt, in_hi, y0, Operand::imm_u32(B));
+            k.iand(active, active, in_hi);
+            k.if_then(active, |k| {
+                // Addresses within temp: cell = temp[(y0+1)*(B+1) + tid+1].
+                let cell = Reg(19);
+                k.iadd(cell, y0, Operand::imm_u32(1));
+                k.imul(cell, cell, Operand::imm_u32((B + 1) * 4));
+                k.shl(tmp, tid, Operand::imm_u32(2));
+                k.iadd(cell, cell, tmp);
+                k.iadd(cell, cell, Operand::imm_u32(temp + 4));
+                // diag = temp[y0][tid] + sref[y0][tid]
+                let diag = Reg(20);
+                let up_off = -((B as i32 + 1) * 4);
+                k.ld_shared(diag, cell, up_off - 4);
+                let sc = Reg(21);
+                let scaddr = Reg(22);
+                k.imul(scaddr, y0, Operand::imm_u32(B * 4));
+                k.iadd(scaddr, scaddr, tmp);
+                k.iadd(scaddr, scaddr, Operand::imm_u32(sref));
+                k.ld_shared(sc, scaddr, 0);
+                k.iadd(diag, diag, sc);
+                // left = temp[y0+1][tid] - P, up = temp[y0][tid+1] - P
+                let left = Reg(23);
+                k.ld_shared(left, cell, -4);
+                k.isub(left, left, Operand::imm_u32(PENALTY as u32));
+                let up = Reg(24);
+                k.ld_shared(up, cell, up_off);
+                k.isub(up, up, Operand::imm_u32(PENALTY as u32));
+                // cell = max3
+                k.imax(diag, diag, left);
+                k.imax(diag, diag, up);
+                k.st_shared(diag, cell, 0);
+            });
+            k.bar();
+        },
+    );
+
+    // Write the tile interior back: gm[ty0+1+r][tx0+1+tid].
+    for r in 0..B {
+        let sa2 = Reg(25);
+        k.movi(sa2, temp + ((r + 1) * (B + 1) + 1) * 4);
+        k.shl(tmp, tid, Operand::imm_u32(2));
+        k.iadd(sa2, sa2, tmp);
+        k.ld_shared(val, sa2, 0);
+        k.iadd(ga, ty0, Operand::imm_u32(r + 1));
+        k.imul(ga, ga, Operand::imm_u32(dim));
+        k.iadd(ga, ga, tx0);
+        k.iadd(ga, ga, tid);
+        k.iadd(ga, ga, Operand::imm_u32(1));
+        k.shl(ga, ga, Operand::imm_u32(2));
+        k.st_global(val, ga, matrix_base as i32);
+    }
+    k.exit();
+    k.build().expect("needle kernel is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpusimpow_sim::GpuConfig;
+
+    #[test]
+    fn reference_dp_on_identity_scores() {
+        // With score +4 on the diagonal path and penalty 10, matching is
+        // always preferred.
+        let scores = vec![4i32; 4];
+        let m = reference_dp(&scores, 2);
+        // m[2][2] follows the diagonal twice: 8.
+        assert_eq!(m[2 * 3 + 2], 8);
+    }
+
+    #[test]
+    fn runs_and_verifies_on_gt240() {
+        let mut gpu = Gpu::new(GpuConfig::gt240()).unwrap();
+        let reports = Needle { n: 32 }.run(&mut gpu).unwrap();
+        // nb = 2: diagonals s=0,1 (k1) and s=2 (k2): 3 launches.
+        assert_eq!(reports.len(), 3);
+        let s = &reports[0].stats;
+        assert!(s.barrier_waits > 0, "wavefront barriers");
+        assert!(s.smem_accesses > 0);
+        assert!(s.divergent_branches > 0, "wavefront predicates diverge");
+    }
+}

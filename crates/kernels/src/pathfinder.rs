@@ -1,0 +1,207 @@
+//! `pathfinder` (Rodinia): dynamic-programming path search.
+//!
+//! Finds the cheapest top-to-bottom path through a weight grid:
+//! `result[j] = wall[r][j] + min(prev[j-1], prev[j], prev[j+1])`.
+//! Each launch advances one row; blocks stage the previous row in shared
+//! memory with two halo cells (the two edge threads do double duty —
+//! structured divergence). Buffer addresses arrive via constant memory,
+//! as kernel arguments do on real GPUs.
+
+use gpusimpow_isa::{CmpOp, KernelBuilder, LaunchConfig, Operand, Reg, SpecialReg};
+use gpusimpow_sim::{Gpu, LaunchReport};
+
+use crate::common::{check_u32, BenchError, Benchmark, Origin, XorShift};
+
+const THREADS: u32 = 256;
+
+/// The pathfinder benchmark.
+#[derive(Debug, Clone, Copy)]
+pub struct Pathfinder {
+    /// Grid columns (multiple of 256).
+    pub cols: u32,
+    /// Grid rows (number of DP steps).
+    pub rows: u32,
+}
+
+impl Default for Pathfinder {
+    fn default() -> Self {
+        Pathfinder {
+            cols: 2048,
+            rows: 16,
+        }
+    }
+}
+
+impl Benchmark for Pathfinder {
+    fn name(&self) -> &'static str {
+        "pathfinder"
+    }
+
+    fn origin(&self) -> Origin {
+        Origin::Rodinia
+    }
+
+    fn description(&self) -> &'static str {
+        "Dynamic programming path search"
+    }
+
+    fn kernel_names(&self) -> Vec<String> {
+        vec!["pathfinder".to_string()]
+    }
+
+    fn run(&self, gpu: &mut Gpu) -> Result<Vec<LaunchReport>, BenchError> {
+        let (cols, rows) = (self.cols, self.rows);
+        assert!(cols % THREADS == 0);
+        let mut rng = XorShift::new(0xFA);
+        let wall: Vec<u32> = (0..cols * rows).map(|_| rng.next_below(10)).collect();
+
+        let d_wall = gpu.alloc_f32(cols * rows);
+        let d_a = gpu.alloc_f32(cols);
+        let d_b = gpu.alloc_f32(cols);
+        gpu.h2d_u32(d_wall, &wall);
+        gpu.h2d_u32(d_a, &wall[..cols as usize]);
+
+        let mut kernel = build_kernel(cols);
+        let launch = LaunchConfig::linear(cols / THREADS, THREADS);
+        let mut reports = Vec::new();
+        let (mut src, mut dst) = (d_a, d_b);
+        for r in 1..rows {
+            // Kernel arguments via the constant bank:
+            // [src, dst, wall_row_base]
+            let wall_row = d_wall.addr() + r * cols * 4;
+            kernel.set_const_words(vec![src.addr(), dst.addr(), wall_row]);
+            reports.push(gpu.launch(&kernel, launch)?);
+            std::mem::swap(&mut src, &mut dst);
+        }
+
+        let got = gpu.d2h_u32(src, cols as usize);
+        let want = reference(&wall, cols, rows);
+        check_u32("pathfinder", &got, &want)?;
+        Ok(reports)
+    }
+}
+
+/// CPU reference DP.
+pub fn reference(wall: &[u32], cols: u32, rows: u32) -> Vec<u32> {
+    let cols = cols as usize;
+    let mut prev: Vec<u32> = wall[..cols].to_vec();
+    for r in 1..rows as usize {
+        let mut next = vec![0u32; cols];
+        for j in 0..cols {
+            let lo = j.saturating_sub(1);
+            let hi = (j + 1).min(cols - 1);
+            let m = prev[lo].min(prev[j]).min(prev[hi]);
+            next[j] = wall[r * cols + j] + m;
+        }
+        prev = next;
+    }
+    prev
+}
+
+fn build_kernel(cols: u32) -> gpusimpow_isa::Kernel {
+    let mut k = KernelBuilder::new("pathfinder");
+    // Shared staging: THREADS + 2 halo cells.
+    let smem = k.alloc_smem((THREADS + 2) * 4);
+    k.push_consts(&[0, 0, 0]); // src, dst, wall row (patched per launch)
+
+    let tid = Reg(0);
+    let bid = Reg(1);
+    k.s2r(tid, SpecialReg::TidX);
+    k.s2r(bid, SpecialReg::CtaIdX);
+    let j = Reg(2);
+    k.imad(j, bid, Operand::imm_u32(THREADS), tid);
+
+    // Load kernel arguments from constant memory.
+    let zero = Reg(3);
+    k.movi(zero, 0);
+    let src = Reg(4);
+    let dst = Reg(5);
+    let wall_row = Reg(6);
+    k.ld_const(src, zero, 0);
+    k.ld_const(dst, zero, 4);
+    k.ld_const(wall_row, zero, 8);
+
+    // smem[tid+1] = prev[j]
+    let gaddr = Reg(7);
+    k.shl(gaddr, j, Operand::imm_u32(2));
+    k.iadd(gaddr, gaddr, src);
+    let v = Reg(8);
+    k.ld_global(v, gaddr, 0);
+    let saddr = Reg(9);
+    k.shl(saddr, tid, Operand::imm_u32(2));
+    k.iadd(saddr, saddr, Operand::imm_u32(smem + 4));
+    k.st_shared(v, saddr, 0);
+
+    // Halo: thread 0 loads prev[clamp(j-1)], last thread prev[clamp(j+1)].
+    let pred = Reg(10);
+    let tmp = Reg(11);
+    k.isetp(CmpOp::Eq, pred, tid, Operand::imm_u32(0));
+    k.if_then(pred, |k| {
+        k.isub(tmp, j, Operand::imm_u32(1));
+        k.imax(tmp, tmp, Operand::imm_u32(0));
+        k.shl(tmp, tmp, Operand::imm_u32(2));
+        k.iadd(tmp, tmp, src);
+        let hv = Reg(12);
+        k.ld_global(hv, tmp, 0);
+        let ha = Reg(13);
+        k.movi(ha, smem);
+        k.st_shared(hv, ha, 0);
+    });
+    k.isetp(CmpOp::Eq, pred, tid, Operand::imm_u32(THREADS - 1));
+    k.if_then(pred, |k| {
+        k.iadd(tmp, j, Operand::imm_u32(1));
+        k.imin(tmp, tmp, Operand::imm_u32(cols - 1));
+        k.shl(tmp, tmp, Operand::imm_u32(2));
+        k.iadd(tmp, tmp, src);
+        let hv = Reg(12);
+        k.ld_global(hv, tmp, 0);
+        let ha = Reg(13);
+        k.movi(ha, smem + (THREADS + 1) * 4);
+        k.st_shared(hv, ha, 0);
+    });
+    k.bar();
+
+    // m = min(smem[tid], smem[tid+1], smem[tid+2]) + wall[j]
+    let m = Reg(14);
+    let n1 = Reg(15);
+    k.ld_shared(m, saddr, -4);
+    k.ld_shared(n1, saddr, 0);
+    k.imin(m, m, n1);
+    k.ld_shared(n1, saddr, 4);
+    k.imin(m, m, n1);
+    let w = Reg(16);
+    k.shl(tmp, j, Operand::imm_u32(2));
+    k.iadd(tmp, tmp, wall_row);
+    k.ld_global(w, tmp, 0);
+    k.iadd(m, m, w);
+    // dst[j] = m
+    k.shl(tmp, j, Operand::imm_u32(2));
+    k.iadd(tmp, tmp, dst);
+    k.st_global(m, tmp, 0);
+    k.exit();
+    k.build().expect("pathfinder kernel is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpusimpow_sim::GpuConfig;
+
+    #[test]
+    fn runs_and_verifies_on_gt240() {
+        let mut gpu = Gpu::new(GpuConfig::gt240()).unwrap();
+        let reports = Pathfinder { cols: 512, rows: 6 }.run(&mut gpu).unwrap();
+        assert_eq!(reports.len(), 5, "rows - 1 launches");
+        let s = &reports[0].stats;
+        assert!(s.const_accesses > 0, "arguments come from constant memory");
+        assert!(s.smem_accesses > 0);
+    }
+
+    #[test]
+    fn cpu_reference_monotone() {
+        // Costs only accumulate.
+        let wall = vec![1u32; 64 * 4];
+        let out = reference(&wall, 64, 4);
+        assert!(out.iter().all(|&v| v == 4));
+    }
+}

@@ -1,0 +1,175 @@
+//! `scalarProd` (CUDA SDK): scalar products of vector pairs.
+//!
+//! Each block computes the dot product of one vector pair: threads
+//! accumulate strided partial products, then reduce in shared memory.
+//! Memory-bound with a shared-memory reduction tail.
+
+use gpusimpow_isa::{CmpOp, KernelBuilder, LaunchConfig, Operand, Reg, SpecialReg};
+use gpusimpow_sim::{Gpu, LaunchReport};
+
+use crate::common::{check_f32, BenchError, Benchmark, Origin, XorShift};
+
+/// The scalarProd benchmark.
+#[derive(Debug, Clone, Copy)]
+pub struct ScalarProd {
+    /// Number of vector pairs (= blocks).
+    pub pairs: u32,
+    /// Elements per vector (multiple of 256).
+    pub elements: u32,
+}
+
+impl Default for ScalarProd {
+    fn default() -> Self {
+        ScalarProd {
+            pairs: 16,
+            elements: 2048,
+        }
+    }
+}
+
+const THREADS: u32 = 128;
+
+impl Benchmark for ScalarProd {
+    fn name(&self) -> &'static str {
+        "scalarprod"
+    }
+
+    fn origin(&self) -> Origin {
+        Origin::CudaSdk
+    }
+
+    fn description(&self) -> &'static str {
+        "Scalar product of two vectors"
+    }
+
+    fn kernel_names(&self) -> Vec<String> {
+        vec!["scalarProd".to_string()]
+    }
+
+    fn run(&self, gpu: &mut Gpu) -> Result<Vec<LaunchReport>, BenchError> {
+        let total = self.pairs * self.elements;
+        let mut rng = XorShift::new(0xD07);
+        let av: Vec<f32> = (0..total).map(|_| rng.next_range(-1.0, 1.0)).collect();
+        let bv: Vec<f32> = (0..total).map(|_| rng.next_range(-1.0, 1.0)).collect();
+        let a = gpu.alloc_f32(total);
+        let b = gpu.alloc_f32(total);
+        let out = gpu.alloc_f32(self.pairs);
+        gpu.h2d_f32(a, &av);
+        gpu.h2d_f32(b, &bv);
+
+        let kernel = build_kernel(a.addr(), b.addr(), out.addr(), self.elements);
+        let report = gpu.launch(&kernel, LaunchConfig::linear(self.pairs, THREADS))?;
+
+        let got = gpu.d2h_f32(out, self.pairs as usize);
+        let want: Vec<f32> = (0..self.pairs)
+            .map(|p| {
+                let base = (p * self.elements) as usize;
+                (0..self.elements as usize)
+                    .map(|i| av[base + i] * bv[base + i])
+                    .sum()
+            })
+            .collect();
+        check_f32("scalarprod", &got, &want, 1e-3)?;
+        Ok(vec![report])
+    }
+}
+
+fn build_kernel(a: u32, b: u32, out: u32, elements: u32) -> gpusimpow_isa::Kernel {
+    let mut k = KernelBuilder::new("scalarProd");
+    let smem = k.alloc_smem(THREADS * 4);
+    let tid = Reg(0);
+    let bid = Reg(1);
+    k.s2r(tid, SpecialReg::TidX);
+    k.s2r(bid, SpecialReg::CtaIdX);
+    // acc = 0; for (i = tid; i < elements; i += THREADS)
+    //     acc += a[bid*elements + i] * b[bid*elements + i]
+    let acc = Reg(2);
+    k.movf(acc, 0.0);
+    let i = Reg(3);
+    let cond = Reg(4);
+    let base = Reg(5);
+    k.imul(base, bid, Operand::imm_u32(elements));
+    k.for_range(
+        i,
+        cond,
+        Operand::Reg(tid),
+        Operand::imm_u32(elements),
+        THREADS,
+        |k| {
+            let idx = Reg(6);
+            let va = Reg(7);
+            let vb = Reg(8);
+            k.iadd(idx, base, i);
+            k.shl(idx, idx, Operand::imm_u32(2));
+            k.ld_global(va, idx, a as i32);
+            k.ld_global(vb, idx, b as i32);
+            k.ffma(acc, va, vb, acc);
+        },
+    );
+    // smem[tid] = acc; tree-reduce.
+    let saddr = Reg(9);
+    k.shl(saddr, tid, Operand::imm_u32(2));
+    k.iadd(saddr, saddr, Operand::imm_u32(smem));
+    k.st_shared(acc, saddr, 0);
+    k.bar();
+    let stride = Reg(10);
+    k.movi(stride, THREADS / 2);
+    let scond = Reg(11);
+    k.while_loop(
+        |k| {
+            k.isetp(CmpOp::Gt, scond, stride, Operand::imm_u32(0));
+            scond
+        },
+        |k| {
+            let active = Reg(12);
+            k.isetp(CmpOp::Lt, active, tid, stride);
+            k.if_then(active, |k| {
+                let other = Reg(13);
+                let mine = Reg(14);
+                let theirs = Reg(15);
+                k.iadd(other, tid, stride);
+                k.shl(other, other, Operand::imm_u32(2));
+                k.iadd(other, other, Operand::imm_u32(smem));
+                k.ld_shared(theirs, other, 0);
+                k.ld_shared(mine, saddr, 0);
+                k.fadd(mine, mine, theirs);
+                k.st_shared(mine, saddr, 0);
+            });
+            k.bar();
+            k.shr(stride, stride, Operand::imm_u32(1));
+        },
+    );
+    // Thread 0 stores the result.
+    let is0 = Reg(16);
+    k.isetp(CmpOp::Eq, is0, tid, Operand::imm_u32(0));
+    k.if_then(is0, |k| {
+        let res = Reg(17);
+        let optr = Reg(18);
+        k.ld_shared(res, saddr, 0);
+        k.shl(optr, bid, Operand::imm_u32(2));
+        k.st_global(res, optr, out as i32);
+    });
+    k.exit();
+    k.build().expect("scalarprod kernel is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpusimpow_sim::GpuConfig;
+
+    #[test]
+    fn runs_and_verifies_on_gt240() {
+        let mut gpu = Gpu::new(GpuConfig::gt240()).unwrap();
+        let reports = ScalarProd {
+            pairs: 4,
+            elements: 512,
+        }
+        .run(&mut gpu)
+        .unwrap();
+        let s = &reports[0].stats;
+        assert!(s.barrier_waits > 0);
+        assert!(s.smem_accesses > 0);
+        assert!(s.fp_instructions > 0);
+    }
+}

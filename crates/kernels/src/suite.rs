@@ -1,0 +1,123 @@
+//! The Table I / Fig. 6 benchmark suite as data.
+
+use crate::backprop::Backprop;
+use crate::bfs::Bfs;
+use crate::blackscholes::BlackScholes;
+use crate::common::Benchmark;
+use crate::heartwall::Heartwall;
+use crate::hotspot::Hotspot;
+use crate::kmeans::Kmeans;
+use crate::matmul::MatrixMul;
+use crate::mergesort::MergeSort;
+use crate::needle::Needle;
+use crate::pathfinder::Pathfinder;
+use crate::scalarprod::ScalarProd;
+use crate::vectoradd::VectorAdd;
+
+/// All eleven Table I benchmarks (plus needle, present in Fig. 6) with
+/// their default, simulation-friendly workload sizes.
+pub fn all_benchmarks() -> Vec<Box<dyn Benchmark>> {
+    vec![
+        Box::new(Backprop::default()),
+        Box::new(Bfs::default()),
+        Box::new(BlackScholes::default()),
+        Box::new(Heartwall::default()),
+        Box::new(Hotspot::default()),
+        Box::new(Kmeans::default()),
+        Box::new(MatrixMul::default()),
+        Box::new(MergeSort::default()),
+        Box::new(Needle::default()),
+        Box::new(Pathfinder::default()),
+        Box::new(ScalarProd::default()),
+        Box::new(VectorAdd::default()),
+    ]
+}
+
+/// Smaller workloads for fast CI-style runs.
+pub fn small_benchmarks() -> Vec<Box<dyn Benchmark>> {
+    vec![
+        Box::new(Backprop { inputs: 64 }),
+        Box::new(Bfs {
+            nodes: 512,
+            degree: 4,
+        }),
+        Box::new(BlackScholes { options: 1024 }),
+        Box::new(Heartwall {
+            points: 4,
+            frame: 48,
+        }),
+        Box::new(Hotspot { n: 32, steps: 2 }),
+        Box::new(Kmeans {
+            points: 512,
+            features: 4,
+            clusters: 4,
+            iterations: 2,
+        }),
+        Box::new(MatrixMul { n: 32 }),
+        Box::new(MergeSort { n: 1024 }),
+        Box::new(Needle { n: 32 }),
+        Box::new(Pathfinder { cols: 512, rows: 6 }),
+        Box::new(ScalarProd {
+            pairs: 4,
+            elements: 512,
+        }),
+        Box::new(VectorAdd { n: 2048 }),
+    ]
+}
+
+/// The 19 kernel names in Fig. 6 bar order.
+pub fn fig6_kernel_order() -> Vec<&'static str> {
+    vec![
+        "backprop1",
+        "backprop2",
+        "bfs1",
+        "bfs2",
+        "BlackScholes",
+        "heartwall",
+        "hotspot",
+        "kmeans1",
+        "kmeans2",
+        "matrixMul",
+        "mergeSort1",
+        "mergeSort2",
+        "mergeSort3",
+        "mergeSort4",
+        "needle1",
+        "needle2",
+        "pathfinder",
+        "scalarProd",
+        "vectorAdd",
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_covers_the_19_fig6_kernels() {
+        let suite = all_benchmarks();
+        let mut names: Vec<String> = suite
+            .iter()
+            .flat_map(|b| b.kernel_names())
+            .collect();
+        names.sort();
+        let mut expected: Vec<String> =
+            fig6_kernel_order().into_iter().map(String::from).collect();
+        expected.sort();
+        assert_eq!(names, expected);
+        assert_eq!(expected.len(), 19);
+    }
+
+    #[test]
+    fn eleven_table1_benchmarks_plus_needle() {
+        assert_eq!(all_benchmarks().len(), 12);
+    }
+
+    #[test]
+    fn small_suite_matches_large_suite_names() {
+        let a: Vec<&str> = all_benchmarks().iter().map(|b| b.name()).collect();
+        let b: Vec<&str> = small_benchmarks().iter().map(|b| b.name()).collect();
+        assert_eq!(a, b);
+    }
+}

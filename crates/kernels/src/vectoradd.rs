@@ -1,0 +1,102 @@
+//! `vectorAdd` (CUDA SDK): element-wise addition of two vectors.
+//!
+//! The simplest, most memory-bound kernel of the suite: one FP add per
+//! three global 32-bit accesses, perfectly coalesced.
+
+use gpusimpow_isa::{assemble, LaunchConfig};
+use gpusimpow_sim::{Gpu, LaunchReport};
+
+use crate::common::{check_f32, BenchError, Benchmark, Origin, XorShift};
+
+/// The vectorAdd benchmark.
+#[derive(Debug, Clone, Copy)]
+pub struct VectorAdd {
+    /// Element count (multiple of 256).
+    pub n: u32,
+}
+
+impl Default for VectorAdd {
+    fn default() -> Self {
+        VectorAdd { n: 16 * 1024 }
+    }
+}
+
+impl Benchmark for VectorAdd {
+    fn name(&self) -> &'static str {
+        "vectoradd"
+    }
+
+    fn origin(&self) -> Origin {
+        Origin::CudaSdk
+    }
+
+    fn description(&self) -> &'static str {
+        "Addition of two vectors"
+    }
+
+    fn kernel_names(&self) -> Vec<String> {
+        vec!["vectorAdd".to_string()]
+    }
+
+    fn run(&self, gpu: &mut Gpu) -> Result<Vec<LaunchReport>, BenchError> {
+        assert!(self.n.is_multiple_of(256), "n must be a multiple of the block size");
+        let mut rng = XorShift::new(0xADD);
+        let av: Vec<f32> = (0..self.n).map(|_| rng.next_range(-8.0, 8.0)).collect();
+        let bv: Vec<f32> = (0..self.n).map(|_| rng.next_range(-8.0, 8.0)).collect();
+
+        let a = gpu.alloc_f32(self.n);
+        let b = gpu.alloc_f32(self.n);
+        let c = gpu.alloc_f32(self.n);
+        gpu.h2d_f32(a, &av);
+        gpu.h2d_f32(b, &bv);
+
+        let src = format!(
+            "
+            s2r r0, tid.x
+            s2r r1, ctaid.x
+            s2r r2, ntid.x
+            imad r3, r1, r2, r0
+            shl r4, r3, #2
+            ld.global r5, [r4+{a}]
+            ld.global r6, [r4+{b}]
+            fadd r7, r5, r6
+            st.global [r4+{c}], r7
+            exit
+        ",
+            a = a.addr(),
+            b = b.addr(),
+            c = c.addr()
+        );
+        let kernel = assemble("vectorAdd", &src).expect("vectoradd assembles");
+        let report = gpu.launch(&kernel, LaunchConfig::linear(self.n / 256, 256))?;
+
+        let got = gpu.d2h_f32(c, self.n as usize);
+        let want: Vec<f32> = av.iter().zip(&bv).map(|(x, y)| x + y).collect();
+        check_f32("vectoradd", &got, &want, 1e-6)?;
+        Ok(vec![report])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpusimpow_sim::GpuConfig;
+
+    #[test]
+    fn runs_and_verifies_on_gt240() {
+        let mut gpu = Gpu::new(GpuConfig::gt240()).unwrap();
+        let reports = VectorAdd { n: 2048 }.run(&mut gpu).unwrap();
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].kernel, "vectorAdd");
+        // Memory-bound: far more memory traffic than FP work.
+        let s = &reports[0].stats;
+        assert!(s.coalescer_outputs >= 3 * (2048 / 32));
+        assert_eq!(s.fp_instructions, 2048 / 32);
+    }
+
+    #[test]
+    fn runs_on_gtx580() {
+        let mut gpu = Gpu::new(GpuConfig::gtx580()).unwrap();
+        VectorAdd { n: 2048 }.run(&mut gpu).unwrap();
+    }
+}

@@ -1,0 +1,119 @@
+//! Analysis helpers shared by the validation experiments: per-op energy
+//! derivation (§III-D) and the Fig. 6 error metrics.
+
+use gpusimpow_tech::units::Energy;
+
+use crate::testbed::KernelMeasurement;
+
+/// Derives the per-lane-operation energy from two microbenchmark runs
+/// that differ only in enabled lanes per warp (the §III-D methodology):
+/// "we then calculate the energy difference between these two kernel
+/// launches and divide the result by the number of executed
+/// instructions".
+///
+/// `ops_many`/`ops_few` are the lane-op counts of the two runs.
+///
+/// # Panics
+///
+/// Panics if the runs have equal op counts.
+pub fn per_op_energy(
+    many: &KernelMeasurement,
+    few: &KernelMeasurement,
+    ops_many: u64,
+    ops_few: u64,
+) -> Energy {
+    assert!(ops_many != ops_few, "runs must differ in lane count");
+    let de = many.energy_per_launch.joules() - few.energy_per_launch.joules();
+    Energy::new(de / (ops_many as f64 - ops_few as f64))
+}
+
+/// One simulated-vs-measured comparison row of Fig. 6.
+#[derive(Debug, Clone)]
+pub struct ValidationRow {
+    /// Kernel name.
+    pub kernel: String,
+    /// Simulated total power (static + dynamic + DRAM) in watts.
+    pub simulated_w: f64,
+    /// Measured card power in watts.
+    pub measured_w: f64,
+}
+
+impl ValidationRow {
+    /// Signed relative error of the simulation vs the measurement.
+    pub fn signed_error(&self) -> f64 {
+        (self.simulated_w - self.measured_w) / self.measured_w
+    }
+
+    /// Absolute relative error.
+    pub fn abs_error(&self) -> f64 {
+        self.signed_error().abs()
+    }
+}
+
+/// The paper's "average relative error": "we always average the absolute
+/// value of errors, so that under- and overestimates can not cancel
+/// out".
+pub fn average_relative_error(rows: &[ValidationRow]) -> f64 {
+    if rows.is_empty() {
+        return 0.0;
+    }
+    rows.iter().map(ValidationRow::abs_error).sum::<f64>() / rows.len() as f64
+}
+
+/// The maximum relative error and the kernel it occurs on.
+pub fn max_relative_error(rows: &[ValidationRow]) -> Option<(&str, f64)> {
+    rows.iter()
+        .map(|r| (r.kernel.as_str(), r.abs_error()))
+        .max_by(|a, b| a.1.total_cmp(&b.1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpusimpow_tech::units::{Power, Time};
+
+    fn meas(energy_j: f64) -> KernelMeasurement {
+        KernelMeasurement {
+            name: "m".to_string(),
+            avg_power: Power::new(1.0),
+            energy_per_launch: Energy::new(energy_j),
+            launch_time: Time::from_millis(1.0),
+            repeats: 1,
+        }
+    }
+
+    #[test]
+    fn per_op_energy_differences() {
+        // 31-lane run: 3.1 µJ; 1-lane run: 1.0 µJ; 30 extra lanes x
+        // 1000 ops = 70 pJ/op.
+        let e = per_op_energy(&meas(3.1e-6), &meas(1.0e-6), 31_000, 1_000);
+        assert!((e.picojoules() - 70.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn error_metrics_match_paper_definitions() {
+        let rows = vec![
+            ValidationRow {
+                kernel: "a".to_string(),
+                simulated_w: 36.0,
+                measured_w: 30.0,
+            },
+            ValidationRow {
+                kernel: "b".to_string(),
+                simulated_w: 27.0,
+                measured_w: 30.0,
+            },
+        ];
+        // +20 % and -10 % must NOT cancel: mean of magnitudes is 15 %.
+        assert!((average_relative_error(&rows) - 0.15).abs() < 1e-12);
+        let (k, e) = max_relative_error(&rows).unwrap();
+        assert_eq!(k, "a");
+        assert!((e - 0.20).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "differ")]
+    fn equal_op_counts_panic() {
+        let _ = per_op_energy(&meas(1.0), &meas(1.0), 5, 5);
+    }
+}

@@ -1,0 +1,37 @@
+//! # gpusimpow-measure — the virtual power-measurement testbed
+//!
+//! A software stand-in for the paper's custom measurement setup
+//! (§IV-A, Fig. 5). There is no physical GT240/GTX580 here, so the
+//! "real hardware" is a reference power emulator with its *own*
+//! parameterization, independent of the GPGPU-Pow model — the validation
+//! experiments (Fig. 4, Fig. 6, Table IV, §III-D, §IV-B) compare the
+//! power *model* against this emulator through a faithful model of the
+//! measurement chain:
+//!
+//! * [`hardware`] — the reference card (synthetic silicon truth, power
+//!   gating, the Fig. 4 occupancy staircase);
+//! * [`rails`] — PCIe slot 12 V/3.3 V rails and external connectors with
+//!   riser/cable shunt resistors;
+//! * [`sensing`] — AD8210 current-shunt monitors (gain 20, ±0.5 % gain,
+//!   ±1 mV offset) and ±1.7 % resistive dividers;
+//! * [`daq`] — the NI USB-6210 (31.2 kHz, 16 bit, datasheet errors);
+//! * [`testbed`] — the assembled flow with profiler-timestamp windowing
+//!   and the repeat-short-kernels workaround;
+//! * [`static_est`] — the two §IV-B static-power estimation methods;
+//! * [`analysis`] — §III-D per-op-energy derivation and Fig. 6 error
+//!   metrics.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod analysis;
+pub mod daq;
+pub mod hardware;
+pub mod rails;
+pub mod sensing;
+pub mod static_est;
+pub mod testbed;
+
+pub use analysis::{average_relative_error, max_relative_error, per_op_energy, ValidationRow};
+pub use hardware::{ReferenceGpu, SiliconTruth};
+pub use testbed::{KernelExec, KernelMeasurement, Testbed};

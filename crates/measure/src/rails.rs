@@ -1,0 +1,201 @@
+//! Power-rail model of the card under test.
+//!
+//! The testbed probes every supply path (paper §IV-A): the PCIe slot's
+//! 12 V and 3.3 V rails through a riser card with 20 mΩ shunts, and —
+//! for cards with external connectors like the GTX580 — the PCIe power
+//! cables through 10 mΩ shunts. Measuring *all* sources is one of the
+//! paper's methodological improvements over prior work.
+
+use gpusimpow_tech::units::{Current, Power, Voltage};
+
+/// One supply rail with its nominal voltage and shunt resistor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Rail {
+    /// Rail name for reports.
+    pub name: &'static str,
+    /// Nominal rail voltage.
+    pub nominal: Voltage,
+    /// Shunt resistance in ohms (20 mΩ riser, 10 mΩ cable).
+    pub shunt_ohm: f64,
+    /// Source impedance causing load-dependent droop (V per A).
+    pub droop_v_per_a: f64,
+}
+
+/// Instantaneous electrical state of one rail.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RailState {
+    /// Voltage at the card after droop.
+    pub voltage: Voltage,
+    /// Current drawn.
+    pub current: Current,
+}
+
+impl RailState {
+    /// Power delivered over this rail.
+    pub fn power(&self) -> Power {
+        self.voltage * self.current
+    }
+}
+
+/// How a card distributes its draw over the available rails.
+#[derive(Debug, Clone)]
+pub struct RailSplit {
+    rails: Vec<Rail>,
+    /// Fixed draw on the 3.3 V rail (fans-off logic, straps).
+    aux_3v3: Power,
+    /// Maximum the slot 12 V rail delivers before external connectors
+    /// take over (PCIe spec: 66 W on 12 V slot power).
+    slot_12v_cap: Power,
+}
+
+impl RailSplit {
+    /// A slot-only card (GT240: no external connector).
+    pub fn slot_only() -> Self {
+        RailSplit {
+            rails: vec![
+                Rail {
+                    name: "slot12v",
+                    nominal: Voltage::new(12.05),
+                    shunt_ohm: 0.020,
+                    droop_v_per_a: 0.012,
+                },
+                Rail {
+                    name: "slot3v3",
+                    nominal: Voltage::new(3.32),
+                    shunt_ohm: 0.020,
+                    droop_v_per_a: 0.005,
+                },
+            ],
+            aux_3v3: Power::new(1.9),
+            slot_12v_cap: Power::new(66.0),
+        }
+    }
+
+    /// A card with two external PCIe power connectors (GTX580).
+    pub fn with_external_connectors() -> Self {
+        let mut split = RailSplit::slot_only();
+        split.rails.push(Rail {
+            name: "ext12v_a",
+            nominal: Voltage::new(12.10),
+            shunt_ohm: 0.010,
+            droop_v_per_a: 0.010,
+        });
+        split.rails.push(Rail {
+            name: "ext12v_b",
+            nominal: Voltage::new(12.08),
+            shunt_ohm: 0.010,
+            droop_v_per_a: 0.010,
+        });
+        split
+    }
+
+    /// The rails of this card.
+    pub fn rails(&self) -> &[Rail] {
+        &self.rails
+    }
+
+    /// Splits a total card power over the rails, returning per-rail
+    /// electrical state in rail order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total` is negative or exceeds what the rails can carry.
+    pub fn split(&self, total: Power) -> Vec<RailState> {
+        assert!(total.watts() >= 0.0, "power cannot be negative");
+        let mut remaining = (total - self.aux_3v3).max(Power::ZERO);
+        let mut states = Vec::with_capacity(self.rails.len());
+        for rail in &self.rails {
+            let share = match rail.name {
+                "slot3v3" => self.aux_3v3.min(total),
+                "slot12v" => {
+                    let cap = if self.rails.len() > 2 {
+                        // With external connectors the slot carries less.
+                        Power::new(35.0)
+                    } else {
+                        self.slot_12v_cap
+                    };
+                    let s = remaining.min(cap);
+                    remaining -= s;
+                    s
+                }
+                _ => {
+                    // External connectors share the rest equally.
+                    let ext_count = self
+                        .rails
+                        .iter()
+                        .filter(|r| r.name.starts_with("ext"))
+                        .count() as f64;
+                    remaining / ext_count
+                }
+            };
+            // Solve P = V·I with droop: V = V0 - k·I  =>  quadratic in I.
+            let v0 = rail.nominal.volts();
+            let k = rail.droop_v_per_a;
+            let p = share.watts();
+            let disc = (v0 * v0 - 4.0 * k * p).max(0.0);
+            let current = if k > 0.0 {
+                (v0 - disc.sqrt()) / (2.0 * k)
+            } else {
+                p / v0
+            };
+            let voltage = v0 - k * current;
+            states.push(RailState {
+                voltage: Voltage::new(voltage),
+                current: Current::new(current),
+            });
+        }
+        assert!(
+            remaining.watts() < 1e-9 || self.rails.len() > 2,
+            "slot-only card over its power budget"
+        );
+        states
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_conserves_power() {
+        let split = RailSplit::slot_only();
+        let states = split.split(Power::new(35.0));
+        let sum: f64 = states.iter().map(|s| s.power().watts()).sum();
+        assert!((sum - 35.0).abs() < 0.05, "sum {sum}");
+    }
+
+    #[test]
+    fn external_connectors_take_the_bulk_on_big_cards() {
+        let split = RailSplit::with_external_connectors();
+        let states = split.split(Power::new(250.0));
+        let sum: f64 = states.iter().map(|s| s.power().watts()).sum();
+        assert!((sum - 250.0).abs() < 0.2, "sum {sum}");
+        // slot12 capped at 35 W; externals carry > 100 W each.
+        assert!(states[0].power().watts() <= 35.5);
+        assert!(states[2].power().watts() > 90.0);
+        assert!(states[3].power().watts() > 90.0);
+    }
+
+    #[test]
+    fn droop_lowers_voltage_under_load() {
+        let split = RailSplit::slot_only();
+        let light = split.split(Power::new(16.0));
+        let heavy = split.split(Power::new(60.0));
+        assert!(heavy[0].voltage < light[0].voltage);
+        assert!(heavy[0].current > light[0].current);
+    }
+
+    #[test]
+    fn aux_rail_carries_fixed_load() {
+        let split = RailSplit::slot_only();
+        let states = split.split(Power::new(30.0));
+        assert!((states[1].power().watts() - 1.9).abs() < 0.05);
+    }
+
+    #[test]
+    #[should_panic(expected = "budget")]
+    fn overload_panics_on_slot_only_cards() {
+        let split = RailSplit::slot_only();
+        let _ = split.split(Power::new(120.0));
+    }
+}

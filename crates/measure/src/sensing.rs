@@ -1,0 +1,154 @@
+//! Analog signal-conditioning chain (paper §IV-A).
+//!
+//! Current channels: the rail current flows through the probing shunt;
+//! the drop is amplified and level-shifted by an Analog Devices AD8210
+//! current-shunt monitor (gain 20 V/V, gain accuracy ±0.5 %, output
+//! offset ±1 mV). Voltage channels: a 1 %-resistor divider scales the
+//! rail into the 0–5 V range with ±1.7 % gain accuracy and no offset.
+//!
+//! Each physical instance draws its error terms once from a seeded RNG —
+//! a real board has *fixed* (but unknown) gain/offset errors, which is
+//! exactly how systematic measurement error arises.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use gpusimpow_tech::units::{Current, Voltage};
+
+/// An AD8210-based current sense channel.
+#[derive(Debug, Clone)]
+pub struct CurrentSense {
+    shunt_ohm: f64,
+    /// Actual gain including the ±0.5 % part-to-part error.
+    true_gain: f64,
+    /// Output offset in volts (±1 mV).
+    offset_v: f64,
+}
+
+/// Nominal AD8210 gain.
+pub const AD8210_GAIN: f64 = 20.0;
+
+impl CurrentSense {
+    /// Builds a channel with part-to-part errors drawn from `rng`.
+    pub fn new(shunt_ohm: f64, rng: &mut StdRng) -> Self {
+        CurrentSense {
+            shunt_ohm,
+            true_gain: AD8210_GAIN * (1.0 + rng.gen_range(-0.005..0.005)),
+            offset_v: rng.gen_range(-0.001..0.001),
+        }
+    }
+
+    /// The analog output voltage for a rail current.
+    pub fn output(&self, current: Current) -> Voltage {
+        Voltage::new(current.amperes() * self.shunt_ohm * self.true_gain + self.offset_v)
+    }
+
+    /// Reconstructs the current from a measured output voltage using the
+    /// *nominal* gain — the measurement software cannot know the true
+    /// gain (this is where the systematic error enters the result).
+    pub fn reconstruct(&self, measured: Voltage) -> Current {
+        Current::new(measured.volts() / (self.shunt_ohm * AD8210_GAIN))
+    }
+
+    /// The shunt value (for documentation in reports).
+    pub fn shunt_ohm(&self) -> f64 {
+        self.shunt_ohm
+    }
+}
+
+/// A resistive divider voltage channel.
+#[derive(Debug, Clone)]
+pub struct VoltageSense {
+    nominal_ratio: f64,
+    true_ratio: f64,
+}
+
+impl VoltageSense {
+    /// Builds a divider scaling `max_input` volts into 5 V full scale,
+    /// with ±1.7 % gain error from the 1 % resistors.
+    pub fn new(max_input: f64, rng: &mut StdRng) -> Self {
+        let nominal_ratio = 5.0 / max_input;
+        VoltageSense {
+            nominal_ratio,
+            true_ratio: nominal_ratio * (1.0 + rng.gen_range(-0.017..0.017)),
+        }
+    }
+
+    /// The divider output for a rail voltage (no offset error, per the
+    /// paper: "a gain accuracy of ±1.7 % and no offset error").
+    pub fn output(&self, rail: Voltage) -> Voltage {
+        Voltage::new(rail.volts() * self.true_ratio)
+    }
+
+    /// Reconstructs the rail voltage using the nominal ratio.
+    pub fn reconstruct(&self, measured: Voltage) -> Voltage {
+        Voltage::new(measured.volts() / self.nominal_ratio)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn current_roundtrip_error_within_spec() {
+        // Reconstruction error must stay within the paper's ±1.5 %
+        // current budget (gain) plus the 60 mW-at-12 V offset bound.
+        let mut r = rng();
+        for _ in 0..50 {
+            let ch = CurrentSense::new(0.020, &mut r);
+            let i = Current::new(3.0);
+            let got = ch.reconstruct(ch.output(i)).amperes();
+            let rel = (got - 3.0).abs() / 3.0;
+            // offset: 1 mV / (0.02*20) = 2.5 mA = 0.08 % at 3 A
+            assert!(rel < 0.006, "relative error {rel}");
+        }
+    }
+
+    #[test]
+    fn offset_error_translates_to_max_60mw_at_12v() {
+        // Paper: "at 12 V, this offset error translates to an error of up
+        // to 60 mW". 1 mV / (0.02 Ω · 20) = 2.5 mA; 2.5 mA · 12 V = 30 mW
+        // per polarity, 60 mW peak-to-peak.
+        let worst_offset_current = 0.001 / (0.020 * AD8210_GAIN);
+        assert!((worst_offset_current * 12.0 - 0.030).abs() < 1e-9);
+    }
+
+    #[test]
+    fn voltage_roundtrip_error_within_spec() {
+        let mut r = rng();
+        for _ in 0..50 {
+            let ch = VoltageSense::new(13.0, &mut r);
+            let v = Voltage::new(12.0);
+            let got = ch.reconstruct(ch.output(v)).volts();
+            let rel = (got - 12.0).abs() / 12.0;
+            assert!(rel < 0.017, "relative error {rel}");
+        }
+    }
+
+    #[test]
+    fn errors_are_fixed_per_instance() {
+        let mut r = rng();
+        let ch = CurrentSense::new(0.020, &mut r);
+        let a = ch.output(Current::new(2.0)).volts();
+        let b = ch.output(Current::new(2.0)).volts();
+        assert_eq!(a, b, "systematic, not random");
+    }
+
+    #[test]
+    fn different_seeds_different_errors() {
+        let mut r1 = StdRng::seed_from_u64(1);
+        let mut r2 = StdRng::seed_from_u64(2);
+        let c1 = CurrentSense::new(0.020, &mut r1);
+        let c2 = CurrentSense::new(0.020, &mut r2);
+        assert_ne!(
+            c1.output(Current::new(2.0)).volts(),
+            c2.output(Current::new(2.0)).volts()
+        );
+    }
+}

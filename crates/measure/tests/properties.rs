@@ -1,0 +1,100 @@
+//! Property-based tests on the measurement testbed: rail-split power
+//! conservation, bounded chain error over random boards and operating
+//! points, and emulator monotonicity.
+
+use proptest::prelude::*;
+
+use gpusimpow_measure::{KernelExec, ReferenceGpu, Testbed};
+use gpusimpow_sim::{ActivityStats, GpuConfig};
+use gpusimpow_tech::units::{Power, Time};
+
+use gpusimpow_measure::rails::RailSplit;
+
+proptest! {
+    /// Splitting a card power over the rails conserves it (both rail
+    /// sets) for any feasible load.
+    #[test]
+    fn rail_split_conserves_power(watts in 3.0f64..60.0) {
+        let split = RailSplit::slot_only();
+        let total: f64 = split
+            .split(Power::new(watts))
+            .iter()
+            .map(|s| s.power().watts())
+            .sum();
+        prop_assert!((total - watts).abs() < 0.1, "slot-only {total} vs {watts}");
+    }
+
+    #[test]
+    fn external_rail_split_conserves_power(watts in 10.0f64..320.0) {
+        let split = RailSplit::with_external_connectors();
+        let total: f64 = split
+            .split(Power::new(watts))
+            .iter()
+            .map(|s| s.power().watts())
+            .sum();
+        prop_assert!((total - watts).abs() < 0.3, "external {total} vs {watts}");
+    }
+
+    /// The end-to-end chain error stays within the paper's ±3.2 % budget
+    /// for any board seed and operating point.
+    #[test]
+    fn chain_error_within_budget(seed in 0u64..5000, watts in 18.0f64..60.0) {
+        let mut tb = Testbed::new(GpuConfig::gt240(), seed);
+        let measured = tb.measure_state(Power::new(watts), Time::from_millis(20.0));
+        let rel = ((measured.watts() - watts) / watts).abs();
+        prop_assert!(rel < 0.032, "seed {seed}: error {rel} at {watts} W");
+    }
+
+    /// The reference card's power is monotone in activity: more lane
+    /// operations can never lower the true power.
+    #[test]
+    fn emulator_monotone_in_activity(extra_ops in 0u64..100_000_000) {
+        let hw = ReferenceGpu::new(GpuConfig::gt240());
+        let mut base = ActivityStats::new();
+        base.shader_cycles = 1_000_000;
+        base.core_busy_cycles = 10_000_000;
+        base.cluster_busy_cycles = 3_500_000;
+        base.fp_lane_ops = 10_000_000;
+        let mut more = base.clone();
+        more.fp_lane_ops += extra_ops;
+        prop_assert!(hw.kernel_power(&more, 1.0) >= hw.kernel_power(&base, 1.0));
+    }
+
+    /// Dynamic power scales linearly in clock: P(s) is affine in s with
+    /// a positive slope whenever any switching happens.
+    #[test]
+    fn emulator_affine_in_clock(scale in 0.5f64..1.2) {
+        let hw = ReferenceGpu::new(GpuConfig::gt240());
+        let mut s = ActivityStats::new();
+        s.shader_cycles = 500_000;
+        s.core_busy_cycles = 5_000_000;
+        s.cluster_busy_cycles = 1_800_000;
+        s.int_lane_ops = 30_000_000;
+        let p_lo = hw.kernel_power(&s, 0.5).watts();
+        let p_hi = hw.kernel_power(&s, 1.0).watts();
+        let p_mid = hw.kernel_power(&s, scale).watts();
+        // Affine interpolation between the endpoints.
+        let expect = p_lo + (p_hi - p_lo) * (scale - 0.5) / 0.5;
+        prop_assert!((p_mid - expect).abs() < 1e-9, "{p_mid} vs {expect}");
+    }
+
+    /// A measured kernel's energy equals avg power times its duration,
+    /// for arbitrary activity mixes.
+    #[test]
+    fn measurement_energy_consistency(fp in 1u64..80_000_000, seed in 0u64..64) {
+        let mut tb = Testbed::new(GpuConfig::gt240(), seed);
+        let mut s = ActivityStats::new();
+        s.shader_cycles = 800_000;
+        s.core_busy_cycles = 9_000_000;
+        s.cluster_busy_cycles = 3_100_000;
+        s.fp_lane_ops = fp;
+        let m = &tb.measure(&[KernelExec {
+            name: "prop".to_string(),
+            stats: s,
+            clock_scale: 1.0,
+        }])[0];
+        let expect = m.avg_power.watts() * m.launch_time.seconds();
+        prop_assert!((m.energy_per_launch.joules() - expect).abs() < 1e-12);
+        prop_assert!(m.repeats >= 1);
+    }
+}

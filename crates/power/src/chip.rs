@@ -1,0 +1,364 @@
+//! The chip representation: builds every component model from a
+//! [`GpuConfig`] and evaluates area, leakage, peak power and runtime
+//! power (the GPGPU-Pow half of Fig. 1).
+
+use std::fmt;
+
+use gpusimpow_sim::{ActivityStats, GpuConfig};
+use gpusimpow_tech::clockdomain::ClockDomains;
+use gpusimpow_tech::node::{TechError, TechNode};
+use gpusimpow_tech::units::{Area, Energy, Freq, Power, Time};
+
+use crate::components::exec::ExecPower;
+use crate::components::ldst::LdstPower;
+use crate::components::regfile::RegFilePower;
+use crate::components::uncore::{L2Power, McPower, NocPower, PciePower};
+use crate::components::wcu::WcuPower;
+use crate::dram::DramPower;
+use crate::empirical;
+use crate::report::{ChipBreakdown, CoreBreakdown, PowerReport, PowerSplit};
+
+/// Errors building a chip representation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ChipError {
+    /// The configuration failed validation.
+    Config(String),
+    /// The process node is not in the technology tables.
+    Tech(TechError),
+    /// A circuit model rejected its parameters.
+    Circuit(&'static str),
+}
+
+impl fmt::Display for ChipError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChipError::Config(msg) => write!(f, "{msg}"),
+            ChipError::Tech(e) => write!(f, "{e}"),
+            ChipError::Circuit(msg) => write!(f, "circuit model error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ChipError {}
+
+impl From<TechError> for ChipError {
+    fn from(e: TechError) -> Self {
+        ChipError::Tech(e)
+    }
+}
+
+impl From<&'static str> for ChipError {
+    fn from(e: &'static str) -> Self {
+        ChipError::Circuit(e)
+    }
+}
+
+/// The evaluated GPU chip: one power model per architecture component.
+#[derive(Debug, Clone)]
+pub struct GpuChip {
+    config: GpuConfig,
+    tech: TechNode,
+    clocks: ClockDomains,
+    wcu: WcuPower,
+    regfile: RegFilePower,
+    exec: ExecPower,
+    ldst: LdstPower,
+    noc: NocPower,
+    l2: Option<L2Power>,
+    mc: McPower,
+    pcie: PciePower,
+    dram: DramPower,
+    undiff_static_per_core: Power,
+    undiff_area_per_core: Area,
+}
+
+impl GpuChip {
+    /// Builds the chip representation for `config` at its configured
+    /// process node.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChipError`] when the configuration, node or any circuit
+    /// model is invalid.
+    pub fn new(config: &GpuConfig) -> Result<Self, ChipError> {
+        config
+            .validate()
+            .map_err(|e| ChipError::Config(e.to_string()))?;
+        let tech =
+            TechNode::planar(config.process_nm)?.with_temperature(config.junction_temp_k)?;
+        let clocks = ClockDomains::new(
+            Freq::from_mhz(config.uncore_mhz),
+            config.shader_ratio,
+            Freq::from_mhz(config.dram_mhz),
+        );
+        let wcu = WcuPower::new(config, &tech)?;
+        let regfile = RegFilePower::new(config, &tech)?;
+        let exec = ExecPower::new(config, &tech);
+        let ldst = LdstPower::new(config, &tech)?;
+        let noc = NocPower::new(config, &tech)?;
+        let l2 = L2Power::new(config, &tech)?;
+        let mc = McPower::new(config, &tech)?;
+        let pcie = PciePower::new(config, &tech);
+        let dram = DramPower::new(config);
+
+        let modelled_core_area = wcu.area() + regfile.area() + exec.area() + ldst.area();
+        let undiff_area_per_core = modelled_core_area * empirical::UNDIFF_AREA_FACTOR;
+        let undiff_static_per_core = empirical::scaled_leakage(
+            empirical::UNDIFF_STATIC_PER_MM2,
+            &tech,
+        ) * undiff_area_per_core.mm2();
+
+        Ok(GpuChip {
+            config: config.clone(),
+            tech,
+            clocks,
+            wcu,
+            regfile,
+            exec,
+            ldst,
+            noc,
+            l2,
+            mc,
+            pcie,
+            dram,
+            undiff_static_per_core,
+            undiff_area_per_core,
+        })
+    }
+
+    /// The configuration this chip models.
+    pub fn config(&self) -> &GpuConfig {
+        &self.config
+    }
+
+    /// The technology node.
+    pub fn tech(&self) -> &TechNode {
+        &self.tech
+    }
+
+    /// The clock domains.
+    pub fn clocks(&self) -> &ClockDomains {
+        &self.clocks
+    }
+
+    /// Area of one SIMT core including its undifferentiated share.
+    pub fn core_area(&self) -> Area {
+        self.wcu.area()
+            + self.regfile.area()
+            + self.exec.area()
+            + self.ldst.area()
+            + self.undiff_area_per_core
+    }
+
+    /// Total die area (Table IV's "Area" row).
+    pub fn area(&self) -> Area {
+        let cores = self.core_area() * self.config.total_cores() as f64;
+        let l2 = self.l2.as_ref().map(L2Power::area).unwrap_or(Area::ZERO);
+        (cores + self.noc.area() + l2 + self.mc.area() + self.pcie.area())
+            * empirical::CHIP_AREA_OVERHEAD
+    }
+
+    /// Per-core static power.
+    pub fn core_static_power(&self) -> Power {
+        self.wcu.leakage()
+            + self.regfile.leakage()
+            + self.exec.leakage()
+            + self.ldst.leakage()
+            + self.undiff_static_per_core
+    }
+
+    /// Total chip static power (Table IV's "Static" row; excludes DRAM).
+    pub fn static_power(&self) -> Power {
+        let cores = self.core_static_power() * self.config.total_cores() as f64;
+        let l2 = self.l2.as_ref().map(L2Power::leakage).unwrap_or(Power::ZERO);
+        cores + self.noc.leakage() + l2 + self.mc.leakage() + self.pcie.leakage()
+    }
+
+    /// Peak dynamic power: every unit switching at its maximum rate.
+    pub fn peak_dynamic_power(&self) -> Power {
+        let shader = self.clocks.shader();
+        let uncore = self.clocks.uncore();
+        let per_core = (self.wcu.peak_cycle_energy()
+            + self.regfile.peak_cycle_energy(&self.config)
+            + self.exec.peak_cycle_energy()
+            + self.ldst.peak_cycle_energy(&self.config))
+            * shader;
+        let cores = per_core * self.config.total_cores() as f64
+            + empirical::CORE_BASE * self.config.total_cores() as f64
+            + empirical::CLUSTER_OVERHEAD * self.config.clusters as f64
+            + empirical::GLOBAL_SCHEDULER;
+        cores
+            + self.noc.peak_cycle_energy(&self.config) * uncore
+            + self.mc.peak_power(&self.config)
+            + empirical::PCIE_ACTIVE
+    }
+
+    /// The off-chip DRAM model.
+    pub fn dram(&self) -> &DramPower {
+        &self.dram
+    }
+
+    /// Evaluates runtime power for one kernel's activity (the right-hand
+    /// side of Fig. 1: activity information × power model → results).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stats.shader_cycles` is zero.
+    pub fn evaluate(&self, kernel: &str, stats: &ActivityStats) -> PowerReport {
+        assert!(stats.shader_cycles > 0, "kernel must have run");
+        let time = self.clocks.shader_cycles_to_time(stats.shader_cycles);
+        let n_cores = self.config.total_cores() as f64;
+
+        // --- dynamic energies (chip-wide) --------------------------------
+        let wcu_e = self.wcu.dynamic_energy(stats);
+        let rf_e = self.regfile.dynamic_energy(stats);
+        let exec_e = self.exec.dynamic_energy(stats);
+        let ldst_e = self.ldst.dynamic_energy(stats);
+        let noc_e = self.noc.dynamic_energy(stats);
+        let l2_e = self
+            .l2
+            .as_ref()
+            .map(|l2| l2.dynamic_energy(stats))
+            .unwrap_or(Energy::ZERO);
+        let mc_e = self.mc.dynamic_energy(stats);
+        let pcie_e = self.pcie.dynamic_energy(stats, time);
+
+        // --- empirical base power -----------------------------------------
+        //
+        // Per-core base (Table V's 0.199 W) goes into the core breakdown;
+        // the global block scheduler and cluster-level overheads are
+        // chip-level and appear only in the top-level "cores" row, which
+        // is why in the paper 12 x 1.031 W of cores is less than the
+        // 15.132 W cores row.
+        let cycles = stats.shader_cycles as f64;
+        let avg_busy_cores = stats.core_busy_cycles as f64 / cycles;
+        let avg_busy_clusters = stats.cluster_busy_cycles as f64 / cycles;
+        let any_busy = avg_busy_clusters.min(1.0);
+        let core_base_dynamic = empirical::CORE_BASE * avg_busy_cores;
+        let chip_sched_dynamic = empirical::GLOBAL_SCHEDULER * any_busy
+            + empirical::MODEL_CLUSTER_OVERHEAD * avg_busy_clusters;
+
+        let core_dyn = |e: Energy| -> Power { e / time / n_cores };
+
+        let core = CoreBreakdown {
+            base: PowerSplit::new(Power::ZERO, core_base_dynamic / n_cores),
+            wcu: PowerSplit::new(self.wcu.leakage(), core_dyn(wcu_e)),
+            regfile: PowerSplit::new(self.regfile.leakage(), core_dyn(rf_e)),
+            exec: PowerSplit::new(self.exec.leakage(), core_dyn(exec_e)),
+            ldstu: PowerSplit::new(self.ldst.leakage(), core_dyn(ldst_e)),
+            undiff: PowerSplit::new(self.undiff_static_per_core, Power::ZERO),
+        };
+        let cores_total = {
+            let c = core.overall();
+            PowerSplit::new(
+                c.static_power * n_cores,
+                c.dynamic_power * n_cores + chip_sched_dynamic,
+            )
+        };
+        let chip = ChipBreakdown {
+            cores: cores_total,
+            noc: PowerSplit::new(self.noc.leakage(), noc_e / time),
+            mc: PowerSplit::new(self.mc.leakage(), mc_e / time),
+            pcie: PowerSplit::new(self.pcie.leakage(), pcie_e / time),
+            l2: PowerSplit::new(
+                self.l2.as_ref().map(L2Power::leakage).unwrap_or(Power::ZERO),
+                l2_e / time,
+            ),
+        };
+        let dram = self.dram.evaluate(stats, time);
+        PowerReport {
+            kernel: kernel.to_string(),
+            gpu: self.config.name.clone(),
+            time,
+            chip,
+            core,
+            dram,
+        }
+    }
+
+    /// Evaluates runtime power with an explicit wall-clock duration
+    /// (used when clock-scaling experiments change the effective clock).
+    pub fn evaluate_with_time(&self, kernel: &str, stats: &ActivityStats, time: Time) -> PowerReport {
+        let mut report = self.evaluate(kernel, stats);
+        // Re-scale all dynamic terms that were normalized by the default
+        // time.
+        let default_time = self.clocks.shader_cycles_to_time(stats.shader_cycles);
+        let ratio = default_time / time;
+        let rescale = |s: PowerSplit| PowerSplit::new(s.static_power, s.dynamic_power * ratio);
+        report.time = time;
+        report.chip.cores = rescale(report.chip.cores);
+        report.chip.noc = rescale(report.chip.noc);
+        report.chip.mc = rescale(report.chip.mc);
+        report.chip.pcie = rescale(report.chip.pcie);
+        report.chip.l2 = rescale(report.chip.l2);
+        report.core.base = rescale(report.core.base);
+        report.core.wcu = rescale(report.core.wcu);
+        report.core.regfile = rescale(report.core.regfile);
+        report.core.exec = rescale(report.core.exec);
+        report.core.ldstu = rescale(report.core.ldstu);
+        report.dram = self.dram.evaluate(stats, time);
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gt240_chip_builds() {
+        let chip = GpuChip::new(&GpuConfig::gt240()).unwrap();
+        assert!(chip.area().mm2() > 10.0);
+        assert!(chip.static_power().watts() > 1.0);
+        assert!(chip.peak_dynamic_power().watts() > chip.static_power().watts());
+    }
+
+    #[test]
+    fn gtx580_is_larger_and_leakier() {
+        let gt = GpuChip::new(&GpuConfig::gt240()).unwrap();
+        let gtx = GpuChip::new(&GpuConfig::gtx580()).unwrap();
+        assert!(gtx.area().mm2() > 2.0 * gt.area().mm2());
+        assert!(gtx.static_power().watts() > 2.0 * gt.static_power().watts());
+    }
+
+    #[test]
+    fn smaller_node_cuts_static_power() {
+        let mut cfg = GpuConfig::gt240();
+        let at40 = GpuChip::new(&cfg).unwrap();
+        cfg.process_nm = 28;
+        let at28 = GpuChip::new(&cfg).unwrap();
+        assert!(at28.area().mm2() < at40.area().mm2());
+    }
+
+    #[test]
+    fn invalid_config_rejected() {
+        let mut cfg = GpuConfig::gt240();
+        cfg.clusters = 0;
+        assert!(matches!(GpuChip::new(&cfg), Err(ChipError::Config(_))));
+    }
+
+    #[test]
+    fn unknown_node_rejected() {
+        let mut cfg = GpuConfig::gt240();
+        cfg.process_nm = 37;
+        assert!(matches!(GpuChip::new(&cfg), Err(ChipError::Tech(_))));
+    }
+
+    #[test]
+    fn evaluate_produces_consistent_report() {
+        let chip = GpuChip::new(&GpuConfig::gt240()).unwrap();
+        let mut stats = ActivityStats::new();
+        stats.shader_cycles = 1_000_000;
+        stats.core_busy_cycles = 12_000_000;
+        stats.cluster_busy_cycles = 4_000_000;
+        stats.fp_lane_ops = 50_000_000;
+        stats.int_lane_ops = 10_000_000;
+        let report = chip.evaluate("synthetic", &stats);
+        assert!((report.static_power() / chip.static_power() - 1.0).abs() < 1e-9);
+        assert!(report.dynamic_power().watts() > 0.0);
+        assert!(report.board_power() > report.total_power());
+        // Exec energy: 50M*75pJ + 10M*40pJ = 4.15 mJ over 0.736 ms.
+        let exec_w = report.core.exec.dynamic_power.watts() * 12.0;
+        assert!(exec_w > 3.0 && exec_w < 9.0, "exec {exec_w} W");
+    }
+}

@@ -1,0 +1,10 @@
+//! Per-architecture-component power models (the GPGPU-Pow side of the
+//! framework): each maps a hardware block of paper §III-C onto
+//! circuit-tier structures and multiplies per-event energies with the
+//! activity counters reported by the performance simulator.
+
+pub mod exec;
+pub mod ldst;
+pub mod regfile;
+pub mod uncore;
+pub mod wcu;

@@ -1,0 +1,157 @@
+//! Register-file power model (paper §III-C2).
+//!
+//! Follows the NVIDIA patent the paper cites \[19\]: multiple single-ported
+//! SRAM banks, a crossbar to a set of operand collectors (two-ported
+//! four-entry register files), with operands gathered over several
+//! cycles to emulate multi-porting.
+
+use gpusimpow_circuit::{Crossbar, SramArray, SramSpec};
+use gpusimpow_sim::{ActivityStats, GpuConfig};
+use gpusimpow_tech::node::{DeviceType, TechNode};
+use gpusimpow_tech::units::{Area, Energy, Power};
+
+use crate::empirical;
+
+/// Evaluated register file (per core).
+#[derive(Debug, Clone)]
+pub struct RegFilePower {
+    bank_read_energy: Energy,
+    bank_write_energy: Energy,
+    xbar_energy: Energy,
+    collector_energy: Energy,
+    leakage: Power,
+    area: Area,
+}
+
+impl RegFilePower {
+    /// Builds the register-file model for one core.
+    ///
+    /// # Errors
+    ///
+    /// Propagates circuit-model construction errors.
+    pub fn new(cfg: &GpuConfig, tech: &TechNode) -> Result<Self, &'static str> {
+        // A warp-register is warp_size x 32 bits stored across one bank
+        // entry; the per-core file is split into single-ported banks.
+        let entry_bits = cfg.warp_size * 32;
+        let entries_total = cfg.regfile_regs_per_core / cfg.warp_size;
+        let per_bank = (entries_total / cfg.regfile_banks).max(1);
+        let bank = SramArray::new(
+            tech,
+            SramSpec {
+                entries: per_bank,
+                bits_per_entry: entry_bits,
+                read_ports: 0,
+                write_ports: 0,
+                rw_ports: 1,
+                banks: 1,
+                device: DeviceType::LowStandbyPower,
+            },
+        )?;
+
+        // Crossbar from banks to operand collectors, warp-register wide.
+        let xbar = Crossbar::new(
+            tech,
+            cfg.regfile_banks,
+            cfg.operand_collectors,
+            entry_bits,
+            0.05,
+        )?;
+
+        // Operand collectors: two-ported, four entries of a full
+        // warp-register each.
+        let collector = SramArray::new(
+            tech,
+            SramSpec {
+                entries: 4,
+                bits_per_entry: entry_bits,
+                read_ports: 1,
+                write_ports: 1,
+                rw_ports: 0,
+                banks: 1,
+                device: DeviceType::HighPerformance,
+            },
+        )?;
+
+        let leakage = bank.costs().leakage * cfg.regfile_banks as f64
+            + xbar.costs().leakage
+            + collector.costs().leakage * cfg.operand_collectors as f64;
+        let area = bank.costs().area * cfg.regfile_banks as f64
+            + xbar.costs().area
+            + collector.costs().area * cfg.operand_collectors as f64;
+
+        let s = empirical::RF_ENERGY_SCALE;
+        Ok(RegFilePower {
+            bank_read_energy: bank.costs().read_energy * s,
+            bank_write_energy: bank.costs().write_energy * s,
+            xbar_energy: xbar.transfer_energy() * s,
+            collector_energy: (collector.costs().write_energy
+                + collector.costs().read_energy)
+                * s,
+            leakage: leakage * empirical::RF_LEAKAGE_SCALE,
+            area,
+        })
+    }
+
+    /// Chip-wide dynamic energy from the activity counters.
+    pub fn dynamic_energy(&self, stats: &ActivityStats) -> Energy {
+        self.bank_read_energy * stats.rf_bank_reads as f64
+            + self.bank_write_energy * stats.rf_bank_writes as f64
+            + self.xbar_energy * stats.collector_xbar_transfers as f64
+            + self.collector_energy * stats.collector_allocations as f64
+    }
+
+    /// Per-core leakage.
+    pub fn leakage(&self) -> Power {
+        self.leakage
+    }
+
+    /// Per-core area.
+    pub fn area(&self) -> Area {
+        self.area
+    }
+
+    /// Peak per-cycle energy: as many operand reads as collectors plus a
+    /// writeback.
+    pub fn peak_cycle_energy(&self, cfg: &GpuConfig) -> Energy {
+        (self.bank_read_energy + self.xbar_energy) * cfg.operand_collectors as f64
+            + self.bank_write_energy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t40() -> TechNode {
+        TechNode::planar(40).unwrap()
+    }
+
+    #[test]
+    fn larger_files_leak_more() {
+        let gt = RegFilePower::new(&GpuConfig::gt240(), &t40()).unwrap();
+        let gtx = RegFilePower::new(&GpuConfig::gtx580(), &t40()).unwrap();
+        assert!(gtx.leakage() > gt.leakage());
+        assert!(gtx.area().mm2() > gt.area().mm2());
+    }
+
+    #[test]
+    fn energy_follows_accesses() {
+        let rf = RegFilePower::new(&GpuConfig::gt240(), &t40()).unwrap();
+        let mut a = ActivityStats::new();
+        a.rf_bank_reads = 100;
+        a.rf_bank_writes = 50;
+        a.collector_xbar_transfers = 100;
+        a.collector_allocations = 50;
+        assert!(rf.dynamic_energy(&a).joules() > 0.0);
+    }
+
+    #[test]
+    fn wide_entry_reads_cost_tens_of_picojoules() {
+        // A 1024-bit warp-register read should be tens of pJ at 40 nm.
+        let rf = RegFilePower::new(&GpuConfig::gt240(), &t40()).unwrap();
+        let mut a = ActivityStats::new();
+        a.rf_bank_reads = 1;
+        let pj = rf.dynamic_energy(&a).picojoules();
+        assert!(pj > 1.0 && pj < 500.0, "bank read {pj} pJ");
+    }
+}

@@ -1,0 +1,274 @@
+//! Warp-control-unit power model (paper §III-C1, Fig. 2).
+//!
+//! Composed from circuit-tier structures: the warp status table (a
+//! multi-ported SRAM), the I-cache, the McPAT-style instruction decoder,
+//! the warp-ID-tagged instruction buffer and scoreboard (CAM tables),
+//! the per-warp reconvergence stacks (an SRAM holding
+//! {exec PC, reconv PC, active mask} tokens) and the two
+//! rotating-priority schedulers (inverters + wide priority encoder +
+//! phase counter, after Kun et al. \[16\]).
+
+use gpusimpow_circuit::{Cache, CacheSpec, InstructionDecoder, PriorityEncoder, SramArray, SramSpec, TaggedTable};
+use gpusimpow_sim::{ActivityStats, GpuConfig};
+use gpusimpow_tech::node::{DeviceType, TechNode};
+use gpusimpow_tech::units::{Area, Energy, Power};
+
+use crate::empirical;
+
+/// Evaluated WCU (per core).
+#[derive(Debug, Clone)]
+pub struct WcuPower {
+    fetch_energy: Energy,
+    decode_energy: Energy,
+    ibuffer_write_energy: Energy,
+    ibuffer_read_energy: Energy,
+    scoreboard_read_energy: Energy,
+    scoreboard_write_energy: Energy,
+    stack_op_energy: Energy,
+    fetch_scheduler_energy: Energy,
+    issue_scheduler_energy: Energy,
+    wst_energy: Energy,
+    leakage: Power,
+    area: Area,
+}
+
+impl WcuPower {
+    /// Builds the WCU model for one core of `cfg` at `tech`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates circuit-model construction errors.
+    pub fn new(cfg: &GpuConfig, tech: &TechNode) -> Result<Self, &'static str> {
+        let warps = cfg.max_warps_per_core();
+        let warp_bits = (warps.max(2) as f64).log2().ceil() as usize;
+
+        // Warp status table: one entry per in-flight warp holding master
+        // PC, priority, valid/ready/barrier bits (Fig. 2): ~48 bits.
+        let wst = SramArray::new(
+            tech,
+            SramSpec {
+                entries: warps,
+                bits_per_entry: 48,
+                read_ports: 2,
+                write_ports: 1,
+                rw_ports: 0,
+                banks: 1,
+                device: DeviceType::HighPerformance,
+            },
+        )?;
+
+        let icache = Cache::new(
+            tech,
+            CacheSpec {
+                capacity_bytes: cfg.icache_bytes,
+                line_bytes: 64,
+                ways: 4,
+                address_bits: 32,
+                banks: 1,
+            },
+        )?;
+
+        let decoder = InstructionDecoder::new(tech, 8, 64)?;
+
+        // Instruction buffer: associativity > 1, tagged by warp ID,
+        // holding 64-bit decoded instructions (paper: "cache-like
+        // structure tagged by the warp ID").
+        let ibuffer = TaggedTable::new(tech, warps * 2, warp_bits, 64)?;
+
+        // Scoreboard: warp-ID-tagged table of two destination registers
+        // (Fig. 2: DstReg1/DstReg2).
+        let scoreboard = TaggedTable::new(tech, warps, warp_bits, 16)?;
+
+        // Per-warp reconvergence stacks: 16 tokens x (exec PC 32 +
+        // reconv PC 32 + active mask 32) per warp.
+        let stacks = SramArray::new(
+            tech,
+            SramSpec {
+                entries: warps * 16,
+                bits_per_entry: 96,
+                read_ports: 1,
+                write_ports: 1,
+                rw_ports: 0,
+                banks: 2,
+                device: DeviceType::HighPerformance,
+            },
+        )?;
+
+        // Two schedulers (fetch + issue), each an inverter rank + wide
+        // priority encoder + phase counter (Kun et al. [16]). Under
+        // two-level scheduling the issue encoder only spans the active
+        // set.
+        let fetch_sched = PriorityEncoder::new(tech, warps)?;
+        let issue_sched = PriorityEncoder::new(tech, cfg.issue_scheduler_width())?;
+
+        let leakage = wst.costs().leakage
+            + icache.costs().leakage
+            + decoder.costs().leakage
+            + ibuffer.costs().leakage
+            + scoreboard.costs().leakage
+            + stacks.costs().leakage
+            + fetch_sched.costs().leakage
+            + issue_sched.costs().leakage;
+        let area = wst.costs().area
+            + icache.costs().area
+            + decoder.costs().area
+            + ibuffer.costs().area
+            + scoreboard.costs().area
+            + stacks.costs().area
+            + fetch_sched.costs().area
+            + issue_sched.costs().area;
+
+        let s = empirical::WCU_ENERGY_SCALE;
+        Ok(WcuPower {
+            fetch_energy: icache.hit_energy() * s,
+            decode_energy: decoder.decode_energy() * s,
+            ibuffer_write_energy: ibuffer.insert_energy() * s,
+            ibuffer_read_energy: ibuffer.lookup_energy() * s,
+            scoreboard_read_energy: scoreboard.lookup_energy() * s,
+            scoreboard_write_energy: scoreboard.insert_energy() * s,
+            stack_op_energy: stacks.costs().read_energy * s,
+            fetch_scheduler_energy: fetch_sched.select_energy() * s,
+            issue_scheduler_energy: issue_sched.select_energy() * s,
+            wst_energy: wst.costs().read_energy * s,
+            leakage: leakage * empirical::WCU_LEAKAGE_SCALE,
+            area,
+        })
+    }
+
+    /// Chip-wide dynamic energy of the WCU for one kernel, from the
+    /// aggregated activity counters.
+    pub fn dynamic_energy(&self, stats: &ActivityStats) -> Energy {
+        self.fetch_energy * stats.icache_accesses as f64
+            + self.decode_energy * stats.decodes as f64
+            + self.ibuffer_write_energy * stats.ibuffer_writes as f64
+            + self.ibuffer_read_energy * stats.ibuffer_reads as f64
+            + self.scoreboard_read_energy * stats.scoreboard_reads as f64
+            + self.scoreboard_write_energy * stats.scoreboard_writes as f64
+            + self.stack_op_energy
+                * (stats.simt_stack_reads + stats.simt_stack_pushes + stats.simt_stack_pops)
+                    as f64
+            + self.fetch_scheduler_energy * stats.fetch_scheduler_selects as f64
+            + self.issue_scheduler_energy * stats.issue_scheduler_selects as f64
+            + self.wst_energy * (stats.wst_reads + stats.wst_writes) as f64
+    }
+
+    /// Breaks the WCU's dynamic energy down to its individual memories
+    /// and logic blocks — the finer-grained analysis the paper's §V-B
+    /// mentions ("investigating the power consumed by the different
+    /// memories in the warp control unit").
+    pub fn memory_breakdown(&self, stats: &ActivityStats) -> Vec<(&'static str, Energy)> {
+        vec![
+            ("i-cache", self.fetch_energy * stats.icache_accesses as f64),
+            ("decoder", self.decode_energy * stats.decodes as f64),
+            (
+                "instruction buffer",
+                self.ibuffer_write_energy * stats.ibuffer_writes as f64
+                    + self.ibuffer_read_energy * stats.ibuffer_reads as f64,
+            ),
+            (
+                "scoreboard",
+                self.scoreboard_read_energy * stats.scoreboard_reads as f64
+                    + self.scoreboard_write_energy * stats.scoreboard_writes as f64,
+            ),
+            (
+                "reconvergence stacks",
+                self.stack_op_energy
+                    * (stats.simt_stack_reads + stats.simt_stack_pushes + stats.simt_stack_pops)
+                        as f64,
+            ),
+            (
+                "warp schedulers",
+                self.fetch_scheduler_energy * stats.fetch_scheduler_selects as f64
+                    + self.issue_scheduler_energy * stats.issue_scheduler_selects as f64,
+            ),
+            (
+                "warp status table",
+                self.wst_energy * (stats.wst_reads + stats.wst_writes) as f64,
+            ),
+        ]
+    }
+
+    /// Per-core leakage.
+    pub fn leakage(&self) -> Power {
+        self.leakage
+    }
+
+    /// Per-core area.
+    pub fn area(&self) -> Area {
+        self.area
+    }
+
+    /// Peak per-cycle energy (fetch + issue + decode every cycle).
+    pub fn peak_cycle_energy(&self) -> Energy {
+        self.fetch_energy
+            + self.decode_energy
+            + self.ibuffer_write_energy
+            + self.ibuffer_read_energy
+            + self.fetch_scheduler_energy
+            + self.issue_scheduler_energy
+            + self.wst_energy * 2.0
+            + self.scoreboard_read_energy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t40() -> TechNode {
+        TechNode::planar(40).unwrap()
+    }
+
+    #[test]
+    fn fermi_wcu_is_bigger_than_tesla_wcu() {
+        let gt = WcuPower::new(&GpuConfig::gt240(), &t40()).unwrap();
+        let gtx = WcuPower::new(&GpuConfig::gtx580(), &t40()).unwrap();
+        assert!(gtx.leakage() > gt.leakage());
+        assert!(gtx.area().mm2() > gt.area().mm2());
+    }
+
+    #[test]
+    fn dynamic_energy_scales_with_activity() {
+        let wcu = WcuPower::new(&GpuConfig::gt240(), &t40()).unwrap();
+        let mut a = ActivityStats::new();
+        a.icache_accesses = 1000;
+        a.decodes = 1000;
+        let e1 = wcu.dynamic_energy(&a);
+        a.icache_accesses = 2000;
+        a.decodes = 2000;
+        let e2 = wcu.dynamic_energy(&a);
+        assert!((e2 / e1 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn memory_breakdown_sums_to_total() {
+        let wcu = WcuPower::new(&GpuConfig::gt240(), &t40()).unwrap();
+        let mut a = ActivityStats::new();
+        a.icache_accesses = 500;
+        a.decodes = 500;
+        a.ibuffer_writes = 500;
+        a.ibuffer_reads = 480;
+        a.scoreboard_reads = 700;
+        a.simt_stack_reads = 480;
+        a.simt_stack_pushes = 20;
+        a.simt_stack_pops = 21;
+        a.fetch_scheduler_selects = 500;
+        a.issue_scheduler_selects = 480;
+        a.wst_reads = 500;
+        a.wst_writes = 480;
+        let parts: f64 = wcu
+            .memory_breakdown(&a)
+            .iter()
+            .map(|(_, e)| e.joules())
+            .sum();
+        let total = wcu.dynamic_energy(&a).joules();
+        assert!((parts - total).abs() < 1e-18 * total.max(1.0) + 1e-18);
+        assert_eq!(wcu.memory_breakdown(&a).len(), 7);
+    }
+
+    #[test]
+    fn zero_activity_zero_energy() {
+        let wcu = WcuPower::new(&GpuConfig::gt240(), &t40()).unwrap();
+        assert_eq!(wcu.dynamic_energy(&ActivityStats::new()).joules(), 0.0);
+    }
+}

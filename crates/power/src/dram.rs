@@ -1,0 +1,151 @@
+//! Off-chip GDDR5 device power (paper §III-C5).
+//!
+//! "The power consumed by typical DDR or GDDR chips can be divided into
+//! background, activate, read/write, termination, and refresh power" —
+//! the Micron power-calculation methodology (paper refs. \[26\], \[27\])
+//! applied to the command counts the simulator reports.
+
+use gpusimpow_sim::{ActivityStats, GpuConfig};
+use gpusimpow_tech::units::{Energy, Power, Time};
+
+use crate::empirical;
+
+/// Decomposed DRAM power for one kernel window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DramPowerBreakdown {
+    /// Standby power of all devices.
+    pub background: Power,
+    /// Row activate/precharge power.
+    pub activate: Power,
+    /// Read burst power.
+    pub read: Power,
+    /// Write burst power.
+    pub write: Power,
+    /// On-die termination power while the bus is driven.
+    pub termination: Power,
+    /// Refresh power.
+    pub refresh: Power,
+}
+
+impl DramPowerBreakdown {
+    /// Sum of all components.
+    pub fn total(&self) -> Power {
+        self.background + self.activate + self.read + self.write + self.termination + self.refresh
+    }
+}
+
+/// The GDDR5 memory-system power model.
+#[derive(Debug, Clone)]
+pub struct DramPower {
+    channels: f64,
+    background_per_channel: Power,
+    activate_energy: Energy,
+    read_energy: Energy,
+    write_energy: Energy,
+    refresh_energy: Energy,
+    termination_active: Power,
+}
+
+impl DramPower {
+    /// Builds the model for the configured channel count.
+    pub fn new(cfg: &GpuConfig) -> Self {
+        DramPower {
+            channels: cfg.mem_channels as f64,
+            background_per_channel: empirical::DRAM_BACKGROUND_PER_CHANNEL,
+            activate_energy: empirical::DRAM_ACTIVATE_ENERGY,
+            read_energy: empirical::DRAM_READ_BURST_ENERGY,
+            write_energy: empirical::DRAM_WRITE_BURST_ENERGY,
+            refresh_energy: empirical::DRAM_REFRESH_ENERGY,
+            termination_active: empirical::DRAM_TERMINATION_ACTIVE,
+        }
+    }
+
+    /// Evaluates the Micron-style decomposition over a kernel of length
+    /// `time` with the given command counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is not positive.
+    pub fn evaluate(&self, stats: &ActivityStats, time: Time) -> DramPowerBreakdown {
+        assert!(time.seconds() > 0.0, "kernel window must have a duration");
+        let per = |e: Energy, n: u64| -> Power { e * n as f64 / time };
+        // Fraction of wall time any channel drives its data bus.
+        let bus_busy = if stats.dram_cycles == 0 {
+            0.0
+        } else {
+            (stats.dram_data_bus_busy_cycles as f64
+                / (stats.dram_cycles as f64 * self.channels))
+                .min(1.0)
+        };
+        DramPowerBreakdown {
+            background: self.background_per_channel * self.channels,
+            activate: per(self.activate_energy, stats.dram_activates),
+            read: per(self.read_energy, stats.dram_read_bursts),
+            write: per(self.write_energy, stats.dram_write_bursts),
+            termination: self.termination_active * (bus_busy * self.channels),
+            refresh: per(self.refresh_energy, stats.dram_refreshes),
+        }
+    }
+
+    /// Background power alone (the static share of the DRAM).
+    pub fn background(&self) -> Power {
+        self.background_per_channel * self.channels
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpusimpow_sim::GpuConfig;
+
+    fn model() -> DramPower {
+        DramPower::new(&GpuConfig::gt240())
+    }
+
+    #[test]
+    fn idle_dram_burns_background_only() {
+        let d = model();
+        let b = d.evaluate(&ActivityStats::new(), Time::from_millis(1.0));
+        assert_eq!(b.activate.watts(), 0.0);
+        assert_eq!(b.read.watts(), 0.0);
+        assert!((b.total() / d.background() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn heavier_traffic_more_power() {
+        let d = model();
+        let mut light = ActivityStats::new();
+        light.dram_activates = 100;
+        light.dram_read_bursts = 1000;
+        light.dram_cycles = 1_000_000;
+        light.dram_data_bus_busy_cycles = 2000;
+        let mut heavy = light.clone();
+        heavy.dram_activates = 1000;
+        heavy.dram_read_bursts = 10000;
+        heavy.dram_data_bus_busy_cycles = 20000;
+        let t = Time::from_millis(1.0);
+        assert!(d.evaluate(&heavy, t).total() > d.evaluate(&light, t).total());
+    }
+
+    #[test]
+    fn streaming_workload_lands_in_watt_range() {
+        // A fully-streaming GT240 kernel: 2 channels at ~full bus
+        // utilization. Paper quotes 4.3 W for blackscholes-class traffic,
+        // streaming kernels go higher.
+        let d = model();
+        let mut s = ActivityStats::new();
+        s.dram_cycles = 850_000; // 1 ms at 850 MHz
+        s.dram_data_bus_busy_cycles = 2 * 700_000;
+        s.dram_read_bursts = 350_000;
+        s.dram_activates = 22_000;
+        s.dram_refreshes = 400;
+        let total = d.evaluate(&s, Time::from_millis(1.0)).total().watts();
+        assert!(total > 2.0 && total < 15.0, "streaming DRAM {total} W");
+    }
+
+    #[test]
+    #[should_panic(expected = "duration")]
+    fn zero_window_panics() {
+        let _ = model().evaluate(&ActivityStats::new(), Time::ZERO);
+    }
+}

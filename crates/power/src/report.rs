@@ -1,0 +1,260 @@
+//! Hierarchical power reports (the Table V format).
+
+use std::fmt;
+
+use gpusimpow_tech::units::{Power, Time};
+
+use crate::dram::DramPowerBreakdown;
+
+/// A static/dynamic power pair.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PowerSplit {
+    /// Leakage (static) share.
+    pub static_power: Power,
+    /// Runtime dynamic share.
+    pub dynamic_power: Power,
+}
+
+impl PowerSplit {
+    /// Creates a split.
+    pub fn new(static_power: Power, dynamic_power: Power) -> Self {
+        PowerSplit {
+            static_power,
+            dynamic_power,
+        }
+    }
+
+    /// Static + dynamic.
+    pub fn total(&self) -> Power {
+        self.static_power + self.dynamic_power
+    }
+}
+
+impl std::ops::Add for PowerSplit {
+    type Output = PowerSplit;
+    fn add(self, rhs: PowerSplit) -> PowerSplit {
+        PowerSplit {
+            static_power: self.static_power + rhs.static_power,
+            dynamic_power: self.dynamic_power + rhs.dynamic_power,
+        }
+    }
+}
+
+/// Top-level (chip) component breakdown, as in Table V (top).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChipBreakdown {
+    /// All SIMT cores together.
+    pub cores: PowerSplit,
+    /// Network-on-chip.
+    pub noc: PowerSplit,
+    /// Memory controllers.
+    pub mc: PowerSplit,
+    /// PCIe controller.
+    pub pcie: PowerSplit,
+    /// L2 cache (zero when absent).
+    pub l2: PowerSplit,
+}
+
+impl ChipBreakdown {
+    /// Chip total (static, dynamic).
+    pub fn overall(&self) -> PowerSplit {
+        self.cores + self.noc + self.mc + self.pcie + self.l2
+    }
+}
+
+/// Per-core component breakdown, as in Table V (bottom).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CoreBreakdown {
+    /// Empirical base power (scheduling, clocks, fixed-function slices).
+    pub base: PowerSplit,
+    /// Warp control unit.
+    pub wcu: PowerSplit,
+    /// Register file.
+    pub regfile: PowerSplit,
+    /// Execution units (INT/FP/SFU).
+    pub exec: PowerSplit,
+    /// Load/store unit (SMEM/L1, constant caches, coalescer, AGUs).
+    pub ldstu: PowerSplit,
+    /// Undifferentiated core (unmodelled transistors; all static).
+    pub undiff: PowerSplit,
+}
+
+impl CoreBreakdown {
+    /// Core total (static, dynamic).
+    pub fn overall(&self) -> PowerSplit {
+        self.base + self.wcu + self.regfile + self.exec + self.ldstu + self.undiff
+    }
+}
+
+/// The full power report for one kernel execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PowerReport {
+    /// Kernel name.
+    pub kernel: String,
+    /// GPU name.
+    pub gpu: String,
+    /// Kernel wall-clock duration.
+    pub time: Time,
+    /// Chip-level breakdown.
+    pub chip: ChipBreakdown,
+    /// Average per-core breakdown.
+    pub core: CoreBreakdown,
+    /// Off-chip DRAM decomposition (not part of the chip totals, as in
+    /// Table V's footnote).
+    pub dram: DramPowerBreakdown,
+}
+
+impl PowerReport {
+    /// Chip static power (excludes DRAM).
+    pub fn static_power(&self) -> Power {
+        self.chip.overall().static_power
+    }
+
+    /// Chip runtime dynamic power (excludes DRAM).
+    pub fn dynamic_power(&self) -> Power {
+        self.chip.overall().dynamic_power
+    }
+
+    /// Chip total power (excludes DRAM).
+    pub fn total_power(&self) -> Power {
+        self.chip.overall().total()
+    }
+
+    /// Board-level total including DRAM.
+    pub fn board_power(&self) -> Power {
+        self.total_power() + self.dram.total()
+    }
+
+    /// Energy consumed by the chip over the kernel.
+    pub fn energy(&self) -> gpusimpow_tech::units::Energy {
+        self.total_power() * self.time
+    }
+}
+
+impl fmt::Display for PowerReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let overall = self.chip.overall();
+        writeln!(
+            f,
+            "power report: kernel `{}` on {} ({:.3} ms)",
+            self.kernel,
+            self.gpu,
+            self.time.millis()
+        )?;
+        writeln!(f, "  {:<22} {:>10} {:>10} {:>8}", "GPU", "Static[W]", "Dynamic[W]", "Percent")?;
+        let total = overall.total().watts();
+        let mut row = |name: &str, s: PowerSplit| -> fmt::Result {
+            writeln!(
+                f,
+                "  {:<22} {:>10.3} {:>10.3} {:>7.1}%",
+                name,
+                s.static_power.watts(),
+                s.dynamic_power.watts(),
+                100.0 * s.total().watts() / total
+            )
+        };
+        row("overall", overall)?;
+        row("cores", self.chip.cores)?;
+        row("noc", self.chip.noc)?;
+        row("memory controller", self.chip.mc)?;
+        row("pcie controller", self.chip.pcie)?;
+        if self.chip.l2.total().watts() > 0.0 {
+            row("l2 cache", self.chip.l2)?;
+        }
+        let core_total = self.core.overall().total().watts();
+        writeln!(f, "  {:<22} {:>10} {:>10} {:>8}", "Core", "Static[W]", "Dynamic[W]", "Percent")?;
+        let mut crow = |name: &str, s: PowerSplit| -> fmt::Result {
+            writeln!(
+                f,
+                "  {:<22} {:>10.4} {:>10.4} {:>7.1}%",
+                name,
+                s.static_power.watts(),
+                s.dynamic_power.watts(),
+                100.0 * s.total().watts() / core_total
+            )
+        };
+        crow("overall", self.core.overall())?;
+        crow("base power", self.core.base)?;
+        crow("wcu", self.core.wcu)?;
+        crow("register file", self.core.regfile)?;
+        crow("execution units", self.core.exec)?;
+        crow("ldstu", self.core.ldstu)?;
+        crow("undiff. core", self.core.undiff)?;
+        write!(
+            f,
+            "  external dram: {:.3} W (bg {:.2} act {:.2} rd {:.2} wr {:.2} term {:.2} ref {:.2})",
+            self.dram.total().watts(),
+            self.dram.background.watts(),
+            self.dram.activate.watts(),
+            self.dram.read.watts(),
+            self.dram.write.watts(),
+            self.dram.termination.watts(),
+            self.dram.refresh.watts()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn split(s: f64, d: f64) -> PowerSplit {
+        PowerSplit::new(Power::new(s), Power::new(d))
+    }
+
+    #[test]
+    fn splits_add() {
+        let a = split(1.0, 2.0) + split(0.5, 0.5);
+        assert!((a.static_power.watts() - 1.5).abs() < 1e-12);
+        assert!((a.total().watts() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn chip_overall_sums_components() {
+        let c = ChipBreakdown {
+            cores: split(10.0, 12.0),
+            noc: split(1.0, 1.0),
+            mc: split(0.5, 1.5),
+            pcie: split(0.5, 1.0),
+            l2: split(0.0, 0.0),
+        };
+        assert!((c.overall().total().watts() - 27.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_contains_table_v_rows() {
+        let zero = DramPowerBreakdown {
+            background: Power::ZERO,
+            activate: Power::ZERO,
+            read: Power::ZERO,
+            write: Power::ZERO,
+            termination: Power::ZERO,
+            refresh: Power::ZERO,
+        };
+        let r = PowerReport {
+            kernel: "blackscholes".to_string(),
+            gpu: "GT240".to_string(),
+            time: Time::from_millis(1.0),
+            chip: ChipBreakdown {
+                cores: split(15.4, 15.1),
+                noc: split(1.5, 1.2),
+                mc: split(0.5, 1.8),
+                pcie: split(0.5, 1.0),
+                l2: split(0.0, 0.0),
+            },
+            core: CoreBreakdown {
+                base: split(0.0, 0.2),
+                wcu: split(0.04, 0.09),
+                regfile: split(0.11, 0.17),
+                exec: split(0.01, 0.56),
+                ldstu: split(0.23, 0.01),
+                undiff: split(0.89, 0.0),
+            },
+            dram: zero,
+        };
+        let text = r.to_string();
+        assert!(text.contains("register file"));
+        assert!(text.contains("undiff. core"));
+        assert!(text.contains("pcie"));
+    }
+}

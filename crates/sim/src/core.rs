@@ -1,0 +1,1271 @@
+//! The SIMT core model: warp control unit, register file, execution
+//! units and load/store unit (paper §III-C, Figs. 2 and 3).
+//!
+//! Each shader cycle a core:
+//!
+//! 1. retires completed operations (writeback, dependency release);
+//! 2. issues up to `issue_width` ready warp instructions, executing them
+//!    *functionally* at issue and modelling timing via pipeline occupancy
+//!    and latency events;
+//! 3. fetches/decodes one instruction into an empty instruction-buffer
+//!    slot, selected by a rotating-priority scheduler.
+//!
+//! Dependencies use either a per-warp scoreboard (Fermi-class configs) or
+//! barrel blocking — the warp stalls until its previous instruction
+//! commits (Tesla-class, Table II "Scoreboard ✗").
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+use gpusimpow_isa::{Instr, InstrClass, Kernel, LaunchConfig, MemSpace, Operand, Reg, SpecialReg};
+
+use crate::cache::{Mshr, Probe, SimCache};
+use crate::config::{GpuConfig, WarpSchedPolicy};
+use crate::func;
+use crate::ldst;
+use crate::mem::GpuMemory;
+use crate::simt_stack::{LaneMask, SimtStack};
+use crate::stats::ActivityStats;
+
+/// Per-launch context shared by all cores.
+#[derive(Debug, Clone, Copy)]
+pub struct LaunchCtx<'a> {
+    /// The kernel being executed.
+    pub kernel: &'a Kernel,
+    /// Its launch configuration.
+    pub launch: LaunchConfig,
+    /// Global-memory base address where the constant bank was staged.
+    pub const_base: u32,
+    /// Size of the staged constant bank in bytes.
+    pub const_bytes: u32,
+}
+
+/// A memory request leaving a core for the uncore.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemRequest {
+    /// Issuing core.
+    pub core: usize,
+    /// `true` for writes (no reply expected).
+    pub write: bool,
+    /// Segment base address.
+    pub addr: u32,
+    /// Transfer size in bytes.
+    pub bytes: u32,
+}
+
+/// What a completion event releases.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Completion {
+    /// An ALU/SFU/short-memory operation commits: clear the dst pending
+    /// bit and (barrel) the busy flag.
+    Commit { warp: usize, dst: Option<Reg> },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Event {
+    cycle: u64,
+    seq: u64,
+    completion: Completion,
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.cycle, self.seq).cmp(&(other.cycle, other.seq))
+    }
+}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// An in-flight coalesced load group (one warp load instruction).
+#[derive(Debug)]
+struct LoadGroup {
+    warp: usize,
+    dst: Reg,
+    remaining: u32,
+}
+
+#[derive(Debug)]
+struct Warp {
+    cta_slot: usize,
+    /// Linear thread id of lane 0 within the CTA.
+    base_tid: u32,
+    stack: SimtStack,
+    regs: Vec<u32>,
+    ibuf: Option<Instr>,
+    /// Scoreboard: bit `r` set while register `r` has a pending write.
+    pending_writes: u64,
+    /// Barrel mode: an instruction is in flight.
+    busy: bool,
+    at_barrier: bool,
+    outstanding_groups: u32,
+    done: bool,
+}
+
+#[derive(Debug)]
+struct Cta {
+    warp_slots: Vec<usize>,
+    smem: Vec<u8>,
+    live_warps: usize,
+    waiting_at_barrier: usize,
+}
+
+/// One SIMT core.
+#[derive(Debug)]
+pub struct Core {
+    id: usize,
+    cluster: usize,
+    max_warps: usize,
+    warps: Vec<Option<Warp>>,
+    ctas: Vec<Option<Cta>>,
+    smem_in_use: u32,
+    fetch_rr: usize,
+    issue_rr: usize,
+    /// Two-level scheduling: warp slots currently eligible for issue.
+    active_set: Vec<usize>,
+    /// Rotating pointer over the pending (inactive) warps.
+    pending_rr: usize,
+    icache: SimCache,
+    l1: Option<SimCache>,
+    const_cache: SimCache,
+    busy_int: u64,
+    busy_fp: u64,
+    busy_sfu: u64,
+    busy_ldst: u64,
+    events: BinaryHeap<Reverse<Event>>,
+    seq: u64,
+    mshr: Mshr<u32>,
+    groups: HashMap<u32, LoadGroup>,
+    next_group: u32,
+    out_requests: Vec<MemRequest>,
+    completed_ctas: u64,
+    /// Block coordinates of each resident CTA, by CTA slot.
+    cta_coords: HashMap<usize, (u32, u32)>,
+    /// Core-local activity counters, merged by the GPU after a launch.
+    pub stats: ActivityStats,
+}
+
+impl Core {
+    /// Creates a core for the given configuration.
+    pub fn new(id: usize, cluster: usize, cfg: &GpuConfig) -> Self {
+        let l1 = if cfg.l1_enabled {
+            Some(SimCache::new(cfg.l1_bytes, cfg.l1_line_bytes as u32, cfg.l1_ways))
+        } else {
+            None
+        };
+        Core {
+            id,
+            cluster,
+            max_warps: cfg.max_warps_per_core(),
+            warps: (0..cfg.max_warps_per_core()).map(|_| None).collect(),
+            ctas: (0..cfg.max_ctas_per_core).map(|_| None).collect(),
+            smem_in_use: 0,
+            fetch_rr: 0,
+            issue_rr: 0,
+            active_set: Vec::new(),
+            pending_rr: 0,
+            icache: SimCache::new(cfg.icache_bytes, 64, 4),
+            l1,
+            const_cache: SimCache::new(cfg.const_cache_bytes, 64, 4),
+            busy_int: 0,
+            busy_fp: 0,
+            busy_sfu: 0,
+            busy_ldst: 0,
+            events: BinaryHeap::new(),
+            seq: 0,
+            // Generously sized: the pending-request table of the
+            // coalescer merges requests chip-side in our model.
+            mshr: Mshr::new(128, 4096),
+            groups: HashMap::new(),
+            next_group: 0,
+            out_requests: Vec::new(),
+            completed_ctas: 0,
+            cta_coords: HashMap::new(),
+            stats: ActivityStats::new(),
+        }
+    }
+
+    /// This core's chip-wide index.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// The cluster this core belongs to.
+    pub fn cluster(&self) -> usize {
+        self.cluster
+    }
+
+    /// Number of resident CTAs.
+    pub fn resident_ctas(&self) -> usize {
+        self.ctas.iter().filter(|c| c.is_some()).count()
+    }
+
+    /// CTAs completed since construction.
+    pub fn completed_ctas(&self) -> u64 {
+        self.completed_ctas
+    }
+
+    /// `true` while any work is resident or in flight.
+    pub fn is_busy(&self) -> bool {
+        self.resident_ctas() > 0 || !self.events.is_empty() || !self.groups.is_empty()
+    }
+
+    /// Whether a CTA of this kernel can be accepted right now.
+    pub fn can_accept(&self, cfg: &GpuConfig, ctx: &LaunchCtx<'_>) -> bool {
+        let warps_needed = ctx.launch.warps_per_block(cfg.warp_size as u32) as usize;
+        let free_warps = self.warps.iter().filter(|w| w.is_none()).count();
+        let free_cta = self.ctas.iter().any(|c| c.is_none());
+        let smem_avail = cfg.smem_bytes as u32
+            - if cfg.l1_enabled { cfg.l1_bytes as u32 } else { 0 }
+            - self.smem_in_use;
+        let resident_warps = self.max_warps - free_warps;
+        let regs_needed =
+            (resident_warps + warps_needed) * cfg.warp_size * ctx.kernel.num_regs() as usize;
+        free_cta
+            && free_warps >= warps_needed
+            && ctx.kernel.smem_bytes() <= smem_avail
+            && regs_needed <= cfg.regfile_regs_per_core
+    }
+
+    /// Places a CTA onto this core.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`Core::can_accept`] would return `false`.
+    pub fn dispatch_cta(
+        &mut self,
+        cfg: &GpuConfig,
+        ctx: &LaunchCtx<'_>,
+        block_x: u32,
+        block_y: u32,
+    ) {
+        assert!(self.can_accept(cfg, ctx), "dispatch without capacity");
+        let threads = ctx.launch.threads_per_block();
+        let warps_needed = ctx.launch.warps_per_block(cfg.warp_size as u32) as usize;
+        let cta_slot = self
+            .ctas
+            .iter()
+            .position(|c| c.is_none())
+            .expect("checked by can_accept");
+        let num_regs = ctx.kernel.num_regs() as usize;
+        let mut warp_slots = Vec::with_capacity(warps_needed);
+        for w in 0..warps_needed {
+            let slot = self
+                .warps
+                .iter()
+                .position(|s| s.is_none())
+                .expect("checked by can_accept");
+            let base_tid = (w * cfg.warp_size) as u32;
+            let lanes_active =
+                (threads - base_tid).min(cfg.warp_size as u32) as usize;
+            let mask: LaneMask = if lanes_active >= 64 {
+                u64::MAX
+            } else {
+                (1u64 << lanes_active) - 1
+            };
+            self.warps[slot] = Some(Warp {
+                cta_slot,
+                base_tid,
+                stack: SimtStack::new(0, mask),
+                regs: vec![0; cfg.warp_size * num_regs],
+                ibuf: None,
+                pending_writes: 0,
+                busy: false,
+                at_barrier: false,
+                outstanding_groups: 0,
+                done: false,
+            });
+            warp_slots.push(slot);
+        }
+        self.smem_in_use += ctx.kernel.smem_bytes();
+        self.ctas[cta_slot] = Some(Cta {
+            live_warps: warp_slots.len(),
+            warp_slots,
+            smem: vec![0; ctx.kernel.smem_bytes() as usize],
+            waiting_at_barrier: 0,
+        });
+        self.cta_coords.insert(cta_slot, (block_x, block_y));
+        self.stats.ctas_dispatched += 1;
+    }
+
+    fn schedule(&mut self, cycle: u64, completion: Completion) {
+        self.seq += 1;
+        self.events.push(Reverse(Event {
+            cycle,
+            seq: self.seq,
+            completion,
+        }));
+    }
+
+    /// Prepares the core for a new kernel launch: resets pipeline
+    /// occupancy (cycle numbers restart at zero per launch) and flushes
+    /// the caches, mirroring GPGPU-Sim's kernel-boundary flush.
+    ///
+    /// # Panics
+    ///
+    /// Panics if work from a previous launch is still in flight.
+    pub fn begin_launch(&mut self) {
+        assert!(
+            !self.is_busy(),
+            "core still busy at kernel-launch boundary"
+        );
+        self.busy_int = 0;
+        self.busy_fp = 0;
+        self.busy_sfu = 0;
+        self.busy_ldst = 0;
+        self.fetch_rr = 0;
+        self.issue_rr = 0;
+        self.active_set.clear();
+        self.pending_rr = 0;
+        self.icache.flush();
+        self.const_cache.flush();
+        if let Some(l1) = &mut self.l1 {
+            l1.flush();
+        }
+    }
+
+    /// Drains the memory requests generated since the last call.
+    pub fn drain_requests(&mut self) -> Vec<MemRequest> {
+        std::mem::take(&mut self.out_requests)
+    }
+
+    /// Delivers a memory reply for the 128-byte line containing `addr`.
+    pub fn mem_response(&mut self, addr: u32, cycle: u64, ctx: &LaunchCtx<'_>) {
+        // Install into the right cache.
+        let is_const = addr >= ctx.const_base && addr < ctx.const_base + ctx.const_bytes;
+        if is_const {
+            self.const_cache.install(addr);
+        } else if let Some(l1) = &mut self.l1 {
+            l1.install(addr);
+            self.stats.l1_fills += 1;
+        }
+        for group_id in self.mshr.complete(addr) {
+            let finished = {
+                let group = self
+                    .groups
+                    .get_mut(&group_id)
+                    .expect("response for unknown group");
+                group.remaining -= 1;
+                group.remaining == 0
+            };
+            if finished {
+                let group = self.groups.remove(&group_id).expect("present");
+                if let Some(w) = self.warps[group.warp].as_mut() {
+                    w.outstanding_groups -= 1;
+                }
+                self.schedule(
+                    cycle + 2,
+                    Completion::Commit {
+                        warp: group.warp,
+                        dst: Some(group.dst),
+                    },
+                );
+            }
+        }
+    }
+
+    /// Advances the core by one shader cycle.
+    pub fn tick(&mut self, cycle: u64, cfg: &GpuConfig, ctx: &LaunchCtx<'_>, mem: &mut GpuMemory) {
+        self.retire(cycle);
+        self.issue_stage(cycle, cfg, ctx, mem);
+        self.fetch_stage(cycle, ctx);
+    }
+
+    // --- writeback / retire ---------------------------------------------------
+
+    fn retire(&mut self, cycle: u64) {
+        while let Some(Reverse(ev)) = self.events.peek() {
+            if ev.cycle > cycle {
+                break;
+            }
+            let ev = self.events.pop().expect("peeked").0;
+            match ev.completion {
+                Completion::Commit { warp, dst } => {
+                    if let Some(w) = self.warps[warp].as_mut() {
+                        if let Some(dst) = dst {
+                            w.pending_writes &= !(1u64 << dst.index().min(63));
+                            self.stats.rf_bank_writes += 1;
+                            self.stats.scoreboard_writes += 1;
+                        }
+                        w.busy = false;
+                    }
+                }
+            }
+        }
+    }
+
+    // --- issue -------------------------------------------------------------------
+
+    fn issue_stage(
+        &mut self,
+        cycle: u64,
+        cfg: &GpuConfig,
+        ctx: &LaunchCtx<'_>,
+        mem: &mut GpuMemory,
+    ) {
+        match cfg.warp_scheduler {
+            WarpSchedPolicy::RoundRobin => {
+                let mut issued = 0;
+                let mut scanned = 0;
+                let n = self.max_warps;
+                while issued < cfg.issue_width && scanned < n {
+                    let slot = (self.issue_rr + scanned) % n;
+                    scanned += 1;
+                    if self.try_issue(slot, cycle, cfg, ctx, mem) {
+                        issued += 1;
+                        self.issue_rr = (slot + 1) % n;
+                        self.stats.issue_scheduler_selects += 1;
+                    }
+                }
+            }
+            WarpSchedPolicy::TwoLevel { active_warps } => {
+                self.maintain_active_set(active_warps);
+                let set = self.active_set.clone();
+                if set.is_empty() {
+                    return;
+                }
+                let mut issued = 0;
+                let mut scanned = 0;
+                let n = set.len();
+                while issued < cfg.issue_width && scanned < n {
+                    let slot = set[(self.issue_rr + scanned) % n];
+                    scanned += 1;
+                    if self.try_issue(slot, cycle, cfg, ctx, mem) {
+                        issued += 1;
+                        self.issue_rr = (self.issue_rr + scanned) % n;
+                        self.stats.issue_scheduler_selects += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Two-level scheduling (Narasiman et al.): keeps at most
+    /// `active_warps` issue candidates, demoting warps that stall on
+    /// memory or barriers and promoting pending ones round-robin.
+    fn maintain_active_set(&mut self, active_warps: usize) {
+        let eligible = |w: &Warp| !w.done && !w.at_barrier && w.outstanding_groups == 0;
+        let warps = &self.warps;
+        self.active_set
+            .retain(|&s| warps[s].as_ref().is_some_and(&eligible));
+        self.active_set.truncate(active_warps);
+        let total = self.max_warps;
+        let mut scanned = 0;
+        while self.active_set.len() < active_warps && scanned < total {
+            let slot = (self.pending_rr + scanned) % total;
+            scanned += 1;
+            if self.active_set.contains(&slot) {
+                continue;
+            }
+            if self.warps[slot].as_ref().is_some_and(&eligible) {
+                self.active_set.push(slot);
+                self.pending_rr = (slot + 1) % total;
+            }
+        }
+    }
+
+    fn try_issue(
+        &mut self,
+        slot: usize,
+        cycle: u64,
+        cfg: &GpuConfig,
+        ctx: &LaunchCtx<'_>,
+        mem: &mut GpuMemory,
+    ) -> bool {
+        let (instr, mask) = {
+            let w = match self.warps[slot].as_ref() {
+                Some(w) => w,
+                None => return false,
+            };
+            if w.done || w.at_barrier {
+                return false;
+            }
+            let instr = match w.ibuf {
+                Some(i) => i,
+                None => return false,
+            };
+            // Dependency check.
+            if cfg.scoreboard {
+                self.stats.scoreboard_reads += 1;
+                let mut needed: u64 = 0;
+                for r in instr.srcs() {
+                    needed |= 1u64 << r.index().min(63);
+                }
+                if let Some(d) = instr.dst() {
+                    needed |= 1u64 << d.index().min(63);
+                }
+                if w.pending_writes & needed != 0 {
+                    return false;
+                }
+                // Exit and barriers drain the warp first.
+                if matches!(instr, Instr::Exit | Instr::Bar)
+                    && (w.pending_writes != 0 || w.outstanding_groups > 0)
+                {
+                    return false;
+                }
+            } else if w.busy {
+                return false;
+            }
+            let entry = match w.stack.current() {
+                Some(e) => e,
+                None => return false,
+            };
+            (instr, entry.mask)
+        };
+
+        // Unit availability.
+        let class = instr.class();
+        let dispatch = match class {
+            InstrClass::Int => {
+                if self.busy_int > cycle {
+                    return false;
+                }
+                (cfg.warp_size / cfg.simd_width) as u64
+            }
+            InstrClass::Fp => {
+                if self.busy_fp > cycle {
+                    return false;
+                }
+                (cfg.warp_size / cfg.simd_width) as u64
+            }
+            InstrClass::Sfu => {
+                if self.busy_sfu > cycle {
+                    return false;
+                }
+                (cfg.warp_size / cfg.sfu_count.max(1)).max(1) as u64
+            }
+            InstrClass::Mem => {
+                if self.busy_ldst > cycle {
+                    return false;
+                }
+                // The SAGUs run in parallel, each producing 8 addresses
+                // per cycle (reference [22]).
+                let acts = ldst::agu_activations(mask.count_ones(), 8);
+                acts.div_ceil(cfg.sagu_count as u32).max(1) as u64
+            }
+            InstrClass::Control => 1,
+        };
+
+        // Commit to issuing.
+        self.account_issue(&instr, mask, cfg);
+        let latency = match class {
+            InstrClass::Int => cfg.int_latency as u64,
+            InstrClass::Fp => cfg.fp_latency as u64,
+            InstrClass::Sfu => cfg.sfu_latency as u64,
+            InstrClass::Mem => 0, // determined by the memory path below
+            InstrClass::Control => 1,
+        };
+        match class {
+            InstrClass::Int => self.busy_int = cycle + dispatch,
+            InstrClass::Fp => self.busy_fp = cycle + dispatch,
+            InstrClass::Sfu => self.busy_sfu = cycle + dispatch,
+            InstrClass::Mem => self.busy_ldst = cycle + dispatch,
+            InstrClass::Control => {}
+        }
+
+        // Functional execution + architectural bookkeeping.
+        let mem_commit = self.execute(slot, instr, mask, cycle, dispatch, cfg, ctx, mem);
+        self.stats.ibuffer_reads += 1;
+        self.stats.wst_writes += 1;
+
+        // An `Exit` can retire the warp (and free its slot) inside
+        // `execute`; nothing further to track in that case.
+        let Some(w) = self.warps[slot].as_mut() else {
+            return true;
+        };
+        w.ibuf = None;
+
+        match class {
+            InstrClass::Mem => {
+                if let Some((commit_cycle, dst)) = mem_commit {
+                    if let Some(d) = dst {
+                        w.pending_writes |= 1u64 << d.index().min(63);
+                    }
+                    if !cfg.scoreboard {
+                        w.busy = true;
+                    }
+                    self.schedule(commit_cycle, Completion::Commit { warp: slot, dst });
+                } else {
+                    // Load waiting on memory replies: dependency held by
+                    // the group; barrel warps stay busy.
+                    if !cfg.scoreboard {
+                        w.busy = true;
+                    }
+                }
+            }
+            _ => {
+                let dst = instr.dst();
+                if let Some(d) = dst {
+                    w.pending_writes |= 1u64 << d.index().min(63);
+                }
+                if !cfg.scoreboard {
+                    w.busy = true;
+                }
+                self.schedule(
+                    cycle + dispatch + latency,
+                    Completion::Commit { warp: slot, dst },
+                );
+            }
+        }
+        true
+    }
+
+    fn account_issue(&mut self, instr: &Instr, mask: LaneMask, cfg: &GpuConfig) {
+        let lanes = mask.count_ones() as u64;
+        self.stats.warp_instructions += 1;
+        self.stats.thread_instructions += lanes;
+        self.stats.simt_stack_reads += 1;
+        match instr.class() {
+            InstrClass::Int => {
+                self.stats.int_instructions += 1;
+                self.stats.int_lane_ops += lanes;
+            }
+            InstrClass::Fp => {
+                self.stats.fp_instructions += 1;
+                self.stats.fp_lane_ops += lanes;
+            }
+            InstrClass::Sfu => {
+                self.stats.sfu_instructions += 1;
+                self.stats.sfu_lane_ops += lanes;
+            }
+            InstrClass::Mem => {
+                self.stats.mem_instructions += 1;
+            }
+            InstrClass::Control => {}
+        }
+        // Register-file operand collection.
+        let srcs = instr.srcs();
+        if !srcs.is_empty() || instr.dst().is_some() {
+            self.stats.collector_allocations += 1;
+        }
+        if !srcs.is_empty() {
+            self.stats.rf_bank_reads += srcs.len() as u64;
+            self.stats.collector_xbar_transfers += srcs.len() as u64;
+            let mut banks: Vec<usize> = srcs
+                .iter()
+                .map(|r| r.index() % cfg.regfile_banks)
+                .collect();
+            banks.sort_unstable();
+            banks.dedup();
+            self.stats.rf_bank_conflicts += (srcs.len() - banks.len()) as u64;
+        }
+    }
+
+    // --- functional execution ------------------------------------------------------
+
+    /// Executes `instr` for all lanes in `mask`. For memory instructions
+    /// returns `Some((commit_cycle, dst))` when the access completes at a
+    /// known time (hits, shared, stores) and `None` when a load group
+    /// waits on memory replies.
+    #[allow(clippy::too_many_arguments)]
+    fn execute(
+        &mut self,
+        slot: usize,
+        instr: Instr,
+        mask: LaneMask,
+        cycle: u64,
+        dispatch: u64,
+        cfg: &GpuConfig,
+        ctx: &LaunchCtx<'_>,
+        mem: &mut GpuMemory,
+    ) -> Option<(u64, Option<Reg>)> {
+        let warp_size = cfg.warp_size;
+        let num_regs = ctx.kernel.num_regs() as usize;
+
+        macro_rules! warp {
+            () => {
+                self.warps[slot].as_mut().expect("live warp")
+            };
+        }
+        let read =
+            |w: &Warp, lane: usize, op: Operand| -> u32 {
+                match op {
+                    Operand::Reg(r) => w.regs[lane * num_regs + r.index()],
+                    Operand::Imm(v) => v,
+                }
+            };
+
+        match instr {
+            Instr::IAlu { op, dst, a, b } => {
+                let w = warp!();
+                for lane in 0..warp_size {
+                    if mask & (1 << lane) != 0 {
+                        let v = func::eval_int(op, read(w, lane, a), read(w, lane, b));
+                        w.regs[lane * num_regs + dst.index()] = v;
+                    }
+                }
+                self.advance(slot, cycle);
+            }
+            Instr::IMad { dst, a, b, c } => {
+                let w = warp!();
+                for lane in 0..warp_size {
+                    if mask & (1 << lane) != 0 {
+                        let v = func::eval_imad(
+                            read(w, lane, a),
+                            read(w, lane, b),
+                            read(w, lane, c),
+                        );
+                        w.regs[lane * num_regs + dst.index()] = v;
+                    }
+                }
+                self.advance(slot, cycle);
+            }
+            Instr::FAlu { op, dst, a, b } => {
+                let w = warp!();
+                for lane in 0..warp_size {
+                    if mask & (1 << lane) != 0 {
+                        let v = func::eval_fp(op, read(w, lane, a), read(w, lane, b));
+                        w.regs[lane * num_regs + dst.index()] = v;
+                    }
+                }
+                self.advance(slot, cycle);
+            }
+            Instr::FFma { dst, a, b, c } => {
+                let w = warp!();
+                for lane in 0..warp_size {
+                    if mask & (1 << lane) != 0 {
+                        let v = func::eval_ffma(
+                            read(w, lane, a),
+                            read(w, lane, b),
+                            read(w, lane, c),
+                        );
+                        w.regs[lane * num_regs + dst.index()] = v;
+                    }
+                }
+                self.advance(slot, cycle);
+            }
+            Instr::Sfu { op, dst, a } => {
+                let w = warp!();
+                for lane in 0..warp_size {
+                    if mask & (1 << lane) != 0 {
+                        let v = func::eval_sfu(op, read(w, lane, a));
+                        w.regs[lane * num_regs + dst.index()] = v;
+                    }
+                }
+                self.advance(slot, cycle);
+            }
+            Instr::ISetp { op, dst, a, b } => {
+                let w = warp!();
+                for lane in 0..warp_size {
+                    if mask & (1 << lane) != 0 {
+                        let v = func::eval_icmp(op, read(w, lane, a), read(w, lane, b));
+                        w.regs[lane * num_regs + dst.index()] = v;
+                    }
+                }
+                self.advance(slot, cycle);
+            }
+            Instr::FSetp { op, dst, a, b } => {
+                let w = warp!();
+                for lane in 0..warp_size {
+                    if mask & (1 << lane) != 0 {
+                        let v = func::eval_fcmp(op, read(w, lane, a), read(w, lane, b));
+                        w.regs[lane * num_regs + dst.index()] = v;
+                    }
+                }
+                self.advance(slot, cycle);
+            }
+            Instr::I2F { dst, a } => {
+                let w = warp!();
+                for lane in 0..warp_size {
+                    if mask & (1 << lane) != 0 {
+                        let v = func::eval_i2f(read(w, lane, a));
+                        w.regs[lane * num_regs + dst.index()] = v;
+                    }
+                }
+                self.advance(slot, cycle);
+            }
+            Instr::F2I { dst, a } => {
+                let w = warp!();
+                for lane in 0..warp_size {
+                    if mask & (1 << lane) != 0 {
+                        let v = func::eval_f2i(read(w, lane, a));
+                        w.regs[lane * num_regs + dst.index()] = v;
+                    }
+                }
+                self.advance(slot, cycle);
+            }
+            Instr::Mov { dst, src } => {
+                let w = warp!();
+                for lane in 0..warp_size {
+                    if mask & (1 << lane) != 0 {
+                        let v = read(w, lane, src);
+                        w.regs[lane * num_regs + dst.index()] = v;
+                    }
+                }
+                self.advance(slot, cycle);
+            }
+            Instr::Sel { dst, cond, a, b } => {
+                let w = warp!();
+                for lane in 0..warp_size {
+                    if mask & (1 << lane) != 0 {
+                        let c = w.regs[lane * num_regs + cond.index()];
+                        let v = if c != 0 {
+                            read(w, lane, a)
+                        } else {
+                            read(w, lane, b)
+                        };
+                        w.regs[lane * num_regs + dst.index()] = v;
+                    }
+                }
+                self.advance(slot, cycle);
+            }
+            Instr::S2R { dst, sr } => {
+                let block = ctx.launch.block;
+                let grid = ctx.launch.grid;
+                let (bx, by) = {
+                    let w = self.warps[slot].as_ref().expect("live warp");
+                    *self
+                        .cta_coords
+                        .get(&w.cta_slot)
+                        .expect("cta has coordinates")
+                };
+                let w = warp!();
+                for lane in 0..warp_size {
+                    if mask & (1 << lane) != 0 {
+                        let lin = w.base_tid + lane as u32;
+                        let v = match sr {
+                            SpecialReg::TidX => lin % block.x,
+                            SpecialReg::TidY => lin / block.x,
+                            SpecialReg::CtaIdX => bx,
+                            SpecialReg::CtaIdY => by,
+                            SpecialReg::NTidX => block.x,
+                            SpecialReg::NTidY => block.y,
+                            SpecialReg::NCtaIdX => grid.x,
+                            SpecialReg::NCtaIdY => grid.y,
+                        };
+                        w.regs[lane * num_regs + dst.index()] = v;
+                    }
+                }
+                self.advance(slot, cycle);
+            }
+            Instr::Ld { .. } | Instr::St { .. } => {
+                let result = self.execute_mem(slot, instr, mask, cycle, dispatch, cfg, ctx, mem);
+                self.advance(slot, cycle);
+                return result;
+            }
+            Instr::Bra {
+                cond,
+                negate,
+                target,
+                reconv,
+            } => {
+                self.stats.branches += 1;
+                let (taken, fallthrough) = {
+                    let w = self.warps[slot].as_ref().expect("live warp");
+                    let entry = w.stack.current().expect("executing warp has a token");
+                    let mut taken: LaneMask = 0;
+                    for lane in 0..warp_size {
+                        if mask & (1 << lane) != 0 {
+                            let c = w.regs[lane * num_regs + cond.index()] != 0;
+                            if c != negate {
+                                taken |= 1 << lane;
+                            }
+                        }
+                    }
+                    (taken, entry.pc + 1)
+                };
+                let w = warp!();
+                let act = w.stack.branch(target, reconv, taken, fallthrough);
+                if act.diverged {
+                    self.stats.divergent_branches += 1;
+                }
+                self.stats.simt_stack_pushes += act.pushes;
+                self.stats.simt_stack_pops += act.pops;
+            }
+            Instr::Jmp { target } => {
+                let w = warp!();
+                let act = w.stack.jump(target);
+                self.stats.simt_stack_pops += act.pops;
+            }
+            Instr::Bar => {
+                self.stats.barrier_waits += 1;
+                let cta_slot = {
+                    let w = warp!();
+                    w.at_barrier = true;
+                    w.cta_slot
+                };
+                self.advance(slot, cycle);
+                let release = {
+                    let cta = self.ctas[cta_slot].as_mut().expect("live cta");
+                    cta.waiting_at_barrier += 1;
+                    cta.waiting_at_barrier >= cta.live_warps
+                };
+                if release {
+                    self.release_barrier(cta_slot);
+                }
+            }
+            Instr::Exit => {
+                let (finished, cta_slot) = {
+                    let w = warp!();
+                    let act = w.stack.exit_lanes();
+                    self.stats.simt_stack_pops += act.pops;
+                    (w.stack.finished(), w.cta_slot)
+                };
+                if finished {
+                    self.finish_warp(slot, cta_slot);
+                }
+            }
+            Instr::Nop => {
+                self.advance(slot, cycle);
+            }
+        }
+        None
+    }
+
+    /// Advances the warp's PC past a straight-line instruction.
+    fn advance(&mut self, slot: usize, _cycle: u64) {
+        let w = self.warps[slot].as_mut().expect("live warp");
+        if let Some(entry) = w.stack.current() {
+            let act = w.stack.advance(entry.pc + 1);
+            self.stats.simt_stack_pops += act.pops;
+        }
+    }
+
+    fn release_barrier(&mut self, cta_slot: usize) {
+        let slots = {
+            let cta = self.ctas[cta_slot].as_mut().expect("live cta");
+            cta.waiting_at_barrier = 0;
+            cta.warp_slots.clone()
+        };
+        for s in slots {
+            if let Some(w) = self.warps[s].as_mut() {
+                w.at_barrier = false;
+            }
+        }
+    }
+
+    fn finish_warp(&mut self, slot: usize, cta_slot: usize) {
+        {
+            let w = self.warps[slot].as_mut().expect("live warp");
+            w.done = true;
+        }
+        let (cta_done, needs_release) = {
+            let cta = self.ctas[cta_slot].as_mut().expect("live cta");
+            cta.live_warps -= 1;
+            (
+                cta.live_warps == 0,
+                cta.live_warps > 0 && cta.waiting_at_barrier >= cta.live_warps,
+            )
+        };
+        if needs_release {
+            self.release_barrier(cta_slot);
+        }
+        if cta_done {
+            let cta = self.ctas[cta_slot].take().expect("live cta");
+            for s in cta.warp_slots {
+                self.warps[s] = None;
+            }
+            self.cta_coords.remove(&cta_slot);
+            self.smem_in_use = self.smem_in_use.saturating_sub(cta.smem.len() as u32);
+            self.completed_ctas += 1;
+        }
+    }
+
+    // --- memory instructions -------------------------------------------------------
+
+    #[allow(clippy::too_many_arguments)]
+    fn execute_mem(
+        &mut self,
+        slot: usize,
+        instr: Instr,
+        mask: LaneMask,
+        cycle: u64,
+        dispatch: u64,
+        cfg: &GpuConfig,
+        ctx: &LaunchCtx<'_>,
+        mem: &mut GpuMemory,
+    ) -> Option<(u64, Option<Reg>)> {
+        let warp_size = cfg.warp_size;
+        let num_regs = ctx.kernel.num_regs() as usize;
+        let lanes = mask.count_ones();
+        self.stats.agu_ops += ldst::agu_activations(lanes, 8) as u64;
+
+        let (space, addr_reg, offset, dst, src) = match instr {
+            Instr::Ld {
+                space,
+                dst,
+                addr,
+                offset,
+            } => (space, addr, offset, Some(dst), None),
+            Instr::St {
+                space,
+                src,
+                addr,
+                offset,
+            } => (space, addr, offset, None, Some(src)),
+            _ => unreachable!("execute_mem called on non-memory instruction"),
+        };
+
+        // Per-lane addresses.
+        let mut addrs: Vec<(usize, u32)> = Vec::with_capacity(lanes as usize);
+        {
+            let w = self.warps[slot].as_ref().expect("live warp");
+            for lane in 0..warp_size {
+                if mask & (1 << lane) != 0 {
+                    let base = w.regs[lane * num_regs + addr_reg.index()];
+                    addrs.push((lane, base.wrapping_add(offset as u32)));
+                }
+            }
+        }
+
+        match space {
+            MemSpace::Shared => {
+                let plan =
+                    ldst::smem_conflicts(
+                        &addrs.iter().map(|&(_, a)| a / 4).collect::<Vec<_>>(),
+                        cfg.smem_banks as u32,
+                    );
+                self.stats.smem_accesses += plan.bank_accesses as u64;
+                self.stats.smem_bank_conflict_cycles += plan.passes.saturating_sub(1) as u64;
+                let cta_slot = self.warps[slot].as_ref().expect("live warp").cta_slot;
+                // Functional access to the CTA's shared array.
+                if let Some(d) = dst {
+                    let values: Vec<(usize, u32)> = {
+                        let cta = self.ctas[cta_slot].as_ref().expect("live cta");
+                        addrs
+                            .iter()
+                            .map(|&(lane, a)| (lane, read_smem(&cta.smem, a)))
+                            .collect()
+                    };
+                    let w = self.warps[slot].as_mut().expect("live warp");
+                    for (lane, v) in values {
+                        w.regs[lane * num_regs + d.index()] = v;
+                    }
+                } else if let Some(s) = src {
+                    let values: Vec<(u32, u32)> = {
+                        let w = self.warps[slot].as_ref().expect("live warp");
+                        addrs
+                            .iter()
+                            .map(|&(lane, a)| (a, w.regs[lane * num_regs + s.index()]))
+                            .collect()
+                    };
+                    let cta = self.ctas[cta_slot].as_mut().expect("live cta");
+                    for (a, v) in values {
+                        write_smem(&mut cta.smem, a, v);
+                    }
+                }
+                self.busy_ldst = self.busy_ldst.max(cycle + dispatch + plan.passes as u64 - 1);
+                Some((
+                    cycle + dispatch + cfg.smem_latency as u64 + plan.passes as u64 - 1,
+                    dst,
+                ))
+            }
+            MemSpace::Const => {
+                // Constant addresses live in the staged constant segment.
+                let gaddrs: Vec<(usize, u32)> = addrs
+                    .iter()
+                    .map(|&(lane, a)| (lane, ctx.const_base.wrapping_add(a)))
+                    .collect();
+                let unique = ldst::const_unique(
+                    &gaddrs.iter().map(|&(_, a)| a).collect::<Vec<_>>(),
+                );
+                self.stats.const_accesses += unique as u64;
+                // Functional read.
+                if let Some(d) = dst {
+                    let values: Vec<(usize, u32)> = gaddrs
+                        .iter()
+                        .map(|&(lane, a)| (lane, mem.load_word(a)))
+                        .collect();
+                    let w = self.warps[slot].as_mut().expect("live warp");
+                    for (lane, v) in values {
+                        w.regs[lane * num_regs + d.index()] = v;
+                    }
+                }
+                // Probe the constant cache per distinct 64 B line.
+                let lines = ldst::coalesce(
+                    &gaddrs.iter().map(|&(_, a)| a).collect::<Vec<_>>(),
+                    64,
+                );
+                let mut misses = 0;
+                for line in lines {
+                    if self.const_cache.read(line) == Probe::Miss {
+                        self.stats.const_misses += 1;
+                        misses += self.issue_read_request(slot, dst, line & !127, cfg);
+                    }
+                }
+                if misses == 0 {
+                    Some((cycle + dispatch + cfg.const_latency as u64, dst))
+                } else {
+                    self.finalize_group(slot, dst, misses);
+                    None
+                }
+            }
+            MemSpace::Global => {
+                let raw: Vec<u32> = addrs.iter().map(|&(_, a)| a).collect();
+                self.stats.coalescer_inputs += raw.len() as u64;
+                let segments = ldst::coalesce(&raw, 128);
+                self.stats.coalescer_outputs += segments.len() as u64;
+
+                // Functional access first.
+                if let Some(d) = dst {
+                    let values: Vec<(usize, u32)> = addrs
+                        .iter()
+                        .map(|&(lane, a)| (lane, mem.load_word(a)))
+                        .collect();
+                    let w = self.warps[slot].as_mut().expect("live warp");
+                    for (lane, v) in values {
+                        w.regs[lane * num_regs + d.index()] = v;
+                    }
+                } else if let Some(s) = src {
+                    let values: Vec<(u32, u32)> = {
+                        let w = self.warps[slot].as_ref().expect("live warp");
+                        addrs
+                            .iter()
+                            .map(|&(lane, a)| (a, w.regs[lane * num_regs + s.index()]))
+                            .collect()
+                    };
+                    for (a, v) in values {
+                        mem.store_word(a, v);
+                    }
+                }
+
+                if dst.is_some() {
+                    // Load: probe L1 (if present), send misses out.
+                    let mut misses = 0;
+                    for seg in &segments {
+                        let hit = match &mut self.l1 {
+                            Some(l1) => {
+                                self.stats.l1_accesses += 1;
+                                let probe = l1.read(*seg);
+                                if probe == Probe::Miss {
+                                    self.stats.l1_misses += 1;
+                                }
+                                probe == Probe::Hit
+                            }
+                            None => false,
+                        };
+                        if !hit {
+                            misses += self.issue_read_request(slot, dst, *seg, cfg);
+                        }
+                    }
+                    if misses == 0 {
+                        Some((cycle + dispatch + cfg.l1_latency as u64, dst))
+                    } else {
+                        self.finalize_group(slot, dst, misses);
+                        None
+                    }
+                } else {
+                    // Store: write-through, no allocate, no reply.
+                    for seg in &segments {
+                        if let Some(l1) = &mut self.l1 {
+                            self.stats.l1_accesses += 1;
+                            let _ = l1.write(*seg);
+                        }
+                        // Size the write by the lanes that fall in this
+                        // segment (32 B granularity like the DRAM burst).
+                        let in_seg = addrs
+                            .iter()
+                            .filter(|&&(_, a)| a & !127 == *seg)
+                            .count() as u32;
+                        self.out_requests.push(MemRequest {
+                            core: self.id,
+                            write: true,
+                            addr: *seg,
+                            bytes: (in_seg * 4).clamp(32, 128),
+                        });
+                    }
+                    Some((cycle + dispatch + 2, None))
+                }
+            }
+        }
+    }
+
+    /// Registers a read for `line` in the MSHR; returns 1 if this created
+    /// a new outstanding request (sent downstream), 0 if merged.
+    fn issue_read_request(
+        &mut self,
+        slot: usize,
+        dst: Option<Reg>,
+        line: u32,
+        _cfg: &GpuConfig,
+    ) -> u32 {
+        let group_id = self.next_group; // reserved in finalize_group
+        let _ = (slot, dst);
+        if self.mshr.register(line, group_id) {
+            self.out_requests.push(MemRequest {
+                core: self.id,
+                write: false,
+                addr: line,
+                bytes: 128,
+            });
+        }
+        1
+    }
+
+    fn finalize_group(&mut self, slot: usize, dst: Option<Reg>, count: u32) {
+        let dst = dst.expect("load groups always have a destination");
+        let group_id = self.next_group;
+        self.next_group = self.next_group.wrapping_add(1);
+        self.groups.insert(
+            group_id,
+            LoadGroup {
+                warp: slot,
+                dst,
+                remaining: count,
+            },
+        );
+        let w = self.warps[slot].as_mut().expect("live warp");
+        w.outstanding_groups += 1;
+        w.pending_writes |= 1u64 << dst.index().min(63);
+    }
+
+    // --- fetch / decode -----------------------------------------------------------
+
+    fn fetch_stage(&mut self, _cycle: u64, ctx: &LaunchCtx<'_>) {
+        let n = self.max_warps;
+        for i in 0..n {
+            let slot = (self.fetch_rr + i) % n;
+            let pc = {
+                let w = match self.warps[slot].as_ref() {
+                    Some(w) => w,
+                    None => continue,
+                };
+                if w.done || w.ibuf.is_some() {
+                    continue;
+                }
+                match w.stack.current() {
+                    Some(e) => e.pc,
+                    None => continue,
+                }
+            };
+            if pc as usize >= ctx.kernel.code().len() {
+                continue;
+            }
+            self.stats.fetch_scheduler_selects += 1;
+            self.stats.wst_reads += 1;
+            self.stats.icache_accesses += 1;
+            if self.icache.read(pc * 8) == Probe::Miss {
+                self.stats.icache_misses += 1;
+            }
+            self.stats.decodes += 1;
+            self.stats.ibuffer_writes += 1;
+            let instr = ctx.kernel.code()[pc as usize];
+            self.warps[slot].as_mut().expect("checked above").ibuf = Some(instr);
+            self.fetch_rr = (slot + 1) % n;
+            break;
+        }
+    }
+}
+
+fn read_smem(smem: &[u8], addr: u32) -> u32 {
+    let a = addr as usize & !3;
+    assert!(
+        a + 4 <= smem.len(),
+        "kernel read past end of shared memory: 0x{addr:x} of {}",
+        smem.len()
+    );
+    u32::from_le_bytes(smem[a..a + 4].try_into().expect("range checked"))
+}
+
+fn write_smem(smem: &mut [u8], addr: u32, value: u32) {
+    let a = addr as usize & !3;
+    assert!(
+        a + 4 <= smem.len(),
+        "kernel write past end of shared memory: 0x{addr:x} of {}",
+        smem.len()
+    );
+    smem[a..a + 4].copy_from_slice(&value.to_le_bytes());
+}

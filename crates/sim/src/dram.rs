@@ -1,0 +1,378 @@
+//! GDDR5 channel timing model (paper §III-C5).
+//!
+//! Each channel has a set of banks with open-row state and an FR-FCFS-
+//! style scheduler: row hits are served first, then the oldest ready
+//! request. The command decomposition (activate / precharge / read /
+//! write / refresh) feeds the Micron-methodology DRAM power model in the
+//! power crate.
+
+use std::collections::VecDeque;
+
+use crate::config::DramConfig;
+use crate::stats::ActivityStats;
+
+/// A request entering a channel. `T` is an opaque caller token returned
+/// on read completion (writes complete silently).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DramRequest<T> {
+    /// `true` for writes.
+    pub write: bool,
+    /// Address within the channel's slice of the physical space.
+    pub addr: u32,
+    /// Transfer size in bytes.
+    pub bytes: u32,
+    /// Caller token (routing information).
+    pub token: T,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Bank {
+    open_row: Option<u64>,
+    ready_at: u64,
+}
+
+/// One GDDR5 channel: request queue, banks, shared data bus.
+#[derive(Debug, Clone)]
+pub struct DramChannel<T> {
+    cfg: DramConfig,
+    queue: VecDeque<DramRequest<T>>,
+    banks: Vec<Bank>,
+    data_bus_free_at: u64,
+    next_refresh: u64,
+    refreshing_until: u64,
+    completions: VecDeque<(u64, T)>,
+    queue_capacity: usize,
+}
+
+impl<T: Copy> DramChannel<T> {
+    /// Creates a channel with the given timing and queue depth.
+    pub fn new(cfg: DramConfig, queue_capacity: usize) -> Self {
+        DramChannel {
+            queue: VecDeque::new(),
+            banks: vec![
+                Bank {
+                    open_row: None,
+                    ready_at: 0,
+                };
+                cfg.banks
+            ],
+            data_bus_free_at: 0,
+            next_refresh: cfg.t_refi as u64,
+            refreshing_until: 0,
+            completions: VecDeque::new(),
+            queue_capacity,
+            cfg,
+        }
+    }
+
+    /// Whether the queue can take another request.
+    pub fn can_accept(&self) -> bool {
+        self.queue.len() < self.queue_capacity
+    }
+
+    /// Enqueues a request.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the queue is full; probe [`DramChannel::can_accept`].
+    pub fn push(&mut self, req: DramRequest<T>, stats: &mut ActivityStats) {
+        assert!(self.can_accept(), "dram queue overflow");
+        stats.mc_queue_ops += 1;
+        self.queue.push_back(req);
+    }
+
+    /// Advances one command-clock cycle; schedules at most one request.
+    pub fn tick(&mut self, cycle: u64, stats: &mut ActivityStats) {
+        // Refresh has priority and blocks the whole channel.
+        if cycle >= self.next_refresh && cycle >= self.refreshing_until {
+            self.refreshing_until = cycle + self.cfg.t_rfc as u64;
+            self.next_refresh += self.cfg.t_refi as u64;
+            stats.dram_refreshes += 1;
+            // All banks close.
+            for b in &mut self.banks {
+                b.open_row = None;
+                b.ready_at = b.ready_at.max(self.refreshing_until);
+            }
+        }
+        if cycle < self.refreshing_until {
+            return;
+        }
+
+        // FR-FCFS: first pass looks for a row hit on a ready bank, second
+        // pass takes the oldest request whose bank is ready.
+        let pick = self
+            .queue
+            .iter()
+            .position(|r| {
+                let (bank, row) = self.map(r.addr);
+                self.banks[bank].ready_at <= cycle && self.banks[bank].open_row == Some(row)
+            })
+            .or_else(|| {
+                self.queue.iter().position(|r| {
+                    let (bank, _) = self.map(r.addr);
+                    self.banks[bank].ready_at <= cycle
+                })
+            });
+        let Some(idx) = pick else { return };
+        let req = self.queue.remove(idx).expect("index from position");
+        let (bank_idx, row) = self.map(req.addr);
+        let bank = &mut self.banks[bank_idx];
+
+        // Command latency depends on the row state.
+        let mut latency = self.cfg.t_cas as u64;
+        match bank.open_row {
+            Some(open) if open == row => {}
+            Some(_) => {
+                stats.dram_precharges += 1;
+                stats.dram_activates += 1;
+                latency += (self.cfg.t_rp + self.cfg.t_rcd) as u64;
+                bank.ready_at = cycle + self.cfg.t_rc as u64;
+            }
+            None => {
+                stats.dram_activates += 1;
+                latency += self.cfg.t_rcd as u64;
+                bank.ready_at = cycle + self.cfg.t_rc as u64;
+            }
+        }
+        bank.open_row = Some(row);
+
+        let bursts = req.bytes.div_ceil(32).max(1) as u64;
+        let busy = bursts * self.cfg.burst_cycles as u64;
+        let data_start = (cycle + latency).max(self.data_bus_free_at);
+        self.data_bus_free_at = data_start + busy;
+        stats.dram_data_bus_busy_cycles += busy;
+        if req.write {
+            stats.dram_write_bursts += bursts;
+        } else {
+            stats.dram_read_bursts += bursts;
+            self.completions.push_back((data_start + busy, req.token));
+        }
+        bank.ready_at = bank.ready_at.max(self.data_bus_free_at);
+    }
+
+    /// Read completions ready by `cycle` (tokens in completion order).
+    pub fn pop_completed(&mut self, cycle: u64) -> Vec<T> {
+        // Completions are pushed in data-bus order, which is monotone.
+        let mut out = Vec::new();
+        while let Some((ready, _)) = self.completions.front() {
+            if *ready <= cycle {
+                out.push(self.completions.pop_front().expect("front exists").1);
+            } else {
+                break;
+            }
+        }
+        out
+    }
+
+    /// `true` when no requests are queued or completing.
+    pub fn is_idle(&self) -> bool {
+        self.queue.is_empty() && self.completions.is_empty()
+    }
+
+    /// Decomposes a channel-local address into (bank, global row id).
+    fn map(&self, addr: u32) -> (usize, u64) {
+        let row_of = addr as u64 / self.cfg.row_bytes as u64;
+        let bank = (row_of % self.cfg.banks as u64) as usize;
+        let row = row_of / self.cfg.banks as u64;
+        (bank, row)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ch() -> DramChannel<u32> {
+        DramChannel::new(DramConfig::gddr5(), 16)
+    }
+
+    fn drive(ch: &mut DramChannel<u32>, cycles: u64, stats: &mut ActivityStats) -> Vec<u32> {
+        let mut done = Vec::new();
+        for c in 0..cycles {
+            ch.tick(c, stats);
+            done.extend(ch.pop_completed(c));
+        }
+        done
+    }
+
+    #[test]
+    fn single_read_completes() {
+        let mut c = ch();
+        let mut stats = ActivityStats::new();
+        c.push(
+            DramRequest {
+                write: false,
+                addr: 0x1000,
+                bytes: 128,
+                token: 42,
+            },
+            &mut stats,
+        );
+        let done = drive(&mut c, 200, &mut stats);
+        assert_eq!(done, vec![42]);
+        assert_eq!(stats.dram_activates, 1);
+        assert_eq!(stats.dram_read_bursts, 4);
+        assert!(c.is_idle());
+    }
+
+    #[test]
+    fn row_hits_avoid_activates() {
+        let mut c = ch();
+        let mut stats = ActivityStats::new();
+        // Two reads in the same 2 KB row.
+        for (i, off) in [0u32, 128].iter().enumerate() {
+            c.push(
+                DramRequest {
+                    write: false,
+                    addr: off + 0x4000,
+                    bytes: 128,
+                    token: i as u32,
+                },
+                &mut stats,
+            );
+        }
+        let done = drive(&mut c, 300, &mut stats);
+        assert_eq!(done.len(), 2);
+        assert_eq!(stats.dram_activates, 1, "second access is a row hit");
+        assert_eq!(stats.dram_precharges, 0);
+    }
+
+    #[test]
+    fn row_conflicts_precharge() {
+        let mut c = ch();
+        let mut stats = ActivityStats::new();
+        let row_bytes = DramConfig::gddr5().row_bytes as u32;
+        let banks = DramConfig::gddr5().banks as u32;
+        // Same bank, different row: rows k and k + banks share a bank.
+        for (i, row) in [0u32, banks].iter().enumerate() {
+            c.push(
+                DramRequest {
+                    write: false,
+                    addr: row * row_bytes,
+                    bytes: 32,
+                    token: i as u32,
+                },
+                &mut stats,
+            );
+        }
+        let done = drive(&mut c, 500, &mut stats);
+        assert_eq!(done.len(), 2);
+        assert_eq!(stats.dram_activates, 2);
+        assert_eq!(stats.dram_precharges, 1);
+    }
+
+    #[test]
+    fn fr_fcfs_prefers_row_hits() {
+        let mut c = ch();
+        let mut stats = ActivityStats::new();
+        let row_bytes = DramConfig::gddr5().row_bytes as u32;
+        let banks = DramConfig::gddr5().banks as u32;
+        // Open row 0 (bank 0), then queue a conflict (same bank) and a hit.
+        c.push(
+            DramRequest {
+                write: false,
+                addr: 0,
+                bytes: 32,
+                token: 0,
+            },
+            &mut stats,
+        );
+        let mut cyc = 0;
+        let mut done = Vec::new();
+        while done.is_empty() {
+            c.tick(cyc, &mut stats);
+            done.extend(c.pop_completed(cyc));
+            cyc += 1;
+        }
+        c.push(
+            DramRequest {
+                write: false,
+                addr: banks * row_bytes, // conflict on bank 0
+                bytes: 32,
+                token: 1,
+            },
+            &mut stats,
+        );
+        c.push(
+            DramRequest {
+                write: false,
+                addr: 64, // hit on open row 0
+                bytes: 32,
+                token: 2,
+            },
+            &mut stats,
+        );
+        let mut order = Vec::new();
+        for c2 in cyc..cyc + 500 {
+            c.tick(c2, &mut stats);
+            order.extend(c.pop_completed(c2));
+        }
+        assert_eq!(order, vec![2, 1], "row hit served before the conflict");
+    }
+
+    #[test]
+    fn writes_do_not_produce_completions() {
+        let mut c = ch();
+        let mut stats = ActivityStats::new();
+        c.push(
+            DramRequest {
+                write: true,
+                addr: 0,
+                bytes: 64,
+                token: 9,
+            },
+            &mut stats,
+        );
+        let done = drive(&mut c, 200, &mut stats);
+        assert!(done.is_empty());
+        assert_eq!(stats.dram_write_bursts, 2);
+        assert!(c.is_idle());
+    }
+
+    #[test]
+    fn refresh_fires_periodically_and_closes_rows() {
+        let mut c = ch();
+        let mut stats = ActivityStats::new();
+        let trefi = DramConfig::gddr5().t_refi as u64;
+        let _ = drive(&mut c, trefi * 3 + 10, &mut stats);
+        assert_eq!(stats.dram_refreshes, 3);
+    }
+
+    #[test]
+    fn queue_capacity_enforced() {
+        let mut c = DramChannel::<u32>::new(DramConfig::gddr5(), 1);
+        let mut stats = ActivityStats::new();
+        c.push(
+            DramRequest {
+                write: true,
+                addr: 0,
+                bytes: 32,
+                token: 0,
+            },
+            &mut stats,
+        );
+        assert!(!c.can_accept());
+    }
+
+    #[test]
+    fn data_bus_serializes_bursts() {
+        let mut c = ch();
+        let mut stats = ActivityStats::new();
+        // Two row hits back to back: bus busy cycles add up.
+        for i in 0..2u32 {
+            c.push(
+                DramRequest {
+                    write: false,
+                    addr: i * 128,
+                    bytes: 128,
+                    token: i,
+                },
+                &mut stats,
+            );
+        }
+        let done = drive(&mut c, 300, &mut stats);
+        assert_eq!(done.len(), 2);
+        let burst = DramConfig::gddr5().burst_cycles as u64;
+        assert_eq!(stats.dram_data_bus_busy_cycles, 2 * 4 * burst);
+    }
+}

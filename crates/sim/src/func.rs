@@ -1,0 +1,184 @@
+//! Functional (value-level) semantics of the ISA.
+//!
+//! The simulator executes instructions functionally at issue time and
+//! models timing separately; these pure helpers define the arithmetic.
+
+use gpusimpow_isa::{CmpOp, FpOp, IntOp, SfuOp};
+
+/// Evaluates a two-source integer operation.
+pub fn eval_int(op: IntOp, a: u32, b: u32) -> u32 {
+    match op {
+        IntOp::Add => a.wrapping_add(b),
+        IntOp::Sub => a.wrapping_sub(b),
+        IntOp::Mul => a.wrapping_mul(b),
+        IntOp::Min => (a as i32).min(b as i32) as u32,
+        IntOp::Max => (a as i32).max(b as i32) as u32,
+        IntOp::And => a & b,
+        IntOp::Or => a | b,
+        IntOp::Xor => a ^ b,
+        IntOp::Shl => a.wrapping_shl(b),
+        IntOp::Shr => a.wrapping_shr(b),
+        IntOp::Sra => ((a as i32).wrapping_shr(b)) as u32,
+    }
+}
+
+/// Evaluates a two-source floating-point operation on f32 bit patterns.
+pub fn eval_fp(op: FpOp, a: u32, b: u32) -> u32 {
+    let (x, y) = (f32::from_bits(a), f32::from_bits(b));
+    let r = match op {
+        FpOp::Add => x + y,
+        FpOp::Sub => x - y,
+        FpOp::Mul => x * y,
+        FpOp::Min => x.min(y),
+        FpOp::Max => x.max(y),
+    };
+    r.to_bits()
+}
+
+/// Evaluates a fused multiply-add on f32 bit patterns.
+pub fn eval_ffma(a: u32, b: u32, c: u32) -> u32 {
+    f32::from_bits(a)
+        .mul_add(f32::from_bits(b), f32::from_bits(c))
+        .to_bits()
+}
+
+/// Evaluates an integer multiply-add.
+pub fn eval_imad(a: u32, b: u32, c: u32) -> u32 {
+    a.wrapping_mul(b).wrapping_add(c)
+}
+
+/// Evaluates a special-function operation on an f32 bit pattern.
+///
+/// Real SFUs use quadratic interpolation with ~22 good mantissa bits; the
+/// difference is irrelevant to power/performance, so we use full-precision
+/// host math.
+pub fn eval_sfu(op: SfuOp, a: u32) -> u32 {
+    let x = f32::from_bits(a);
+    let r = match op {
+        SfuOp::Rcp => 1.0 / x,
+        SfuOp::Sqrt => x.sqrt(),
+        SfuOp::Rsqrt => 1.0 / x.sqrt(),
+        SfuOp::Sin => x.sin(),
+        SfuOp::Cos => x.cos(),
+        SfuOp::Ex2 => x.exp2(),
+        SfuOp::Lg2 => x.log2(),
+    };
+    r.to_bits()
+}
+
+/// Evaluates a signed integer comparison to 0/1.
+pub fn eval_icmp(op: CmpOp, a: u32, b: u32) -> u32 {
+    let (x, y) = (a as i32, b as i32);
+    let r = match op {
+        CmpOp::Eq => x == y,
+        CmpOp::Ne => x != y,
+        CmpOp::Lt => x < y,
+        CmpOp::Le => x <= y,
+        CmpOp::Gt => x > y,
+        CmpOp::Ge => x >= y,
+    };
+    r as u32
+}
+
+/// Evaluates an f32 comparison to 0/1 (false on NaN except `Ne`).
+pub fn eval_fcmp(op: CmpOp, a: u32, b: u32) -> u32 {
+    let (x, y) = (f32::from_bits(a), f32::from_bits(b));
+    let r = match op {
+        CmpOp::Eq => x == y,
+        CmpOp::Ne => x != y,
+        CmpOp::Lt => x < y,
+        CmpOp::Le => x <= y,
+        CmpOp::Gt => x > y,
+        CmpOp::Ge => x >= y,
+    };
+    r as u32
+}
+
+/// Signed int → f32.
+pub fn eval_i2f(a: u32) -> u32 {
+    (a as i32 as f32).to_bits()
+}
+
+/// f32 → signed int, truncating, saturating at the i32 range.
+pub fn eval_f2i(a: u32) -> u32 {
+    let x = f32::from_bits(a);
+    if x.is_nan() {
+        0
+    } else {
+        (x as i64).clamp(i32::MIN as i64, i32::MAX as i64) as i32 as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_ops_wrap() {
+        assert_eq!(eval_int(IntOp::Add, u32::MAX, 1), 0);
+        assert_eq!(eval_int(IntOp::Sub, 0, 1), u32::MAX);
+        assert_eq!(eval_int(IntOp::Mul, 1 << 31, 2), 0);
+    }
+
+    #[test]
+    fn signed_min_max() {
+        let neg1 = (-1i32) as u32;
+        assert_eq!(eval_int(IntOp::Min, neg1, 5), neg1);
+        assert_eq!(eval_int(IntOp::Max, neg1, 5), 5);
+    }
+
+    #[test]
+    fn shifts() {
+        assert_eq!(eval_int(IntOp::Shl, 1, 4), 16);
+        assert_eq!(eval_int(IntOp::Shr, 0x8000_0000, 31), 1);
+        assert_eq!(eval_int(IntOp::Sra, 0x8000_0000, 31), u32::MAX);
+    }
+
+    #[test]
+    fn fp_arithmetic() {
+        let two = 2.0f32.to_bits();
+        let three = 3.0f32.to_bits();
+        assert_eq!(f32::from_bits(eval_fp(FpOp::Mul, two, three)), 6.0);
+        assert_eq!(f32::from_bits(eval_ffma(two, three, two)), 8.0);
+    }
+
+    #[test]
+    fn imad() {
+        assert_eq!(eval_imad(3, 4, 5), 17);
+    }
+
+    #[test]
+    fn sfu_functions() {
+        let four = 4.0f32.to_bits();
+        assert_eq!(f32::from_bits(eval_sfu(SfuOp::Sqrt, four)), 2.0);
+        assert_eq!(f32::from_bits(eval_sfu(SfuOp::Rcp, four)), 0.25);
+        assert_eq!(f32::from_bits(eval_sfu(SfuOp::Rsqrt, four)), 0.5);
+        assert_eq!(f32::from_bits(eval_sfu(SfuOp::Ex2, 3.0f32.to_bits())), 8.0);
+        let s = f32::from_bits(eval_sfu(SfuOp::Sin, 0.5f32.to_bits()));
+        assert!((s - 0.5f32.sin()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn comparisons_are_signed() {
+        let neg1 = (-1i32) as u32;
+        assert_eq!(eval_icmp(CmpOp::Lt, neg1, 0), 1);
+        assert_eq!(eval_icmp(CmpOp::Gt, neg1, 0), 0);
+        assert_eq!(eval_fcmp(CmpOp::Le, 1.0f32.to_bits(), 1.0f32.to_bits()), 1);
+    }
+
+    #[test]
+    fn nan_compares_false_except_ne() {
+        let nan = f32::NAN.to_bits();
+        assert_eq!(eval_fcmp(CmpOp::Eq, nan, nan), 0);
+        assert_eq!(eval_fcmp(CmpOp::Lt, nan, 0), 0);
+        assert_eq!(eval_fcmp(CmpOp::Ne, nan, nan), 1);
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(f32::from_bits(eval_i2f((-7i32) as u32)), -7.0);
+        assert_eq!(eval_f2i((-7.9f32).to_bits()) as i32, -7);
+        assert_eq!(eval_f2i(f32::NAN.to_bits()), 0);
+        assert_eq!(eval_f2i(1e20f32.to_bits()) as i32, i32::MAX);
+    }
+}

@@ -1,0 +1,553 @@
+//! The full-chip simulator: cores, NoC, L2, memory controllers, GDDR5 and
+//! the global block scheduler.
+//!
+//! The block scheduler distributes CTAs breadth-first over clusters
+//! before filling cores within a cluster — the behaviour the paper
+//! observes on real hardware in Fig. 4 ("blocks are distributed first not
+//! only to unoccupied cores, but also to unoccupied clusters").
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use gpusimpow_isa::{Kernel, LaunchConfig};
+
+use crate::cache::{Probe, SimCache};
+use crate::config::{ConfigError, GpuConfig};
+use crate::core::{Core, LaunchCtx, MemRequest};
+use crate::dram::{DramChannel, DramRequest};
+use crate::mem::{DevicePtr, GpuMemory};
+use crate::noc::Link;
+use crate::stats::ActivityStats;
+
+/// Errors surfaced by the simulator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// The GPU configuration is inconsistent.
+    Config(ConfigError),
+    /// The kernel/launch combination cannot run on this GPU.
+    Launch(String),
+    /// The watchdog tripped (likely a deadlocked kernel, e.g. a barrier
+    /// never reached by all warps).
+    Watchdog {
+        /// Cycle count at which the simulation was aborted.
+        cycles: u64,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Config(e) => write!(f, "{e}"),
+            SimError::Launch(msg) => write!(f, "launch rejected: {msg}"),
+            SimError::Watchdog { cycles } => {
+                write!(f, "simulation watchdog tripped after {cycles} cycles")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+impl From<ConfigError> for SimError {
+    fn from(e: ConfigError) -> Self {
+        SimError::Config(e)
+    }
+}
+
+/// Result of one kernel launch.
+#[derive(Debug, Clone)]
+pub struct LaunchReport {
+    /// Kernel name.
+    pub kernel: String,
+    /// Activity counters for this launch (includes any PCIe transfers
+    /// performed since the previous launch).
+    pub stats: ActivityStats,
+    /// Wall-clock kernel time in seconds at the configured clocks.
+    pub time_s: f64,
+}
+
+/// Token routed with each memory request through the uncore.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct RouteToken {
+    core: usize,
+    addr: u32,
+}
+
+/// The simulated GPU plus its GDDR memory — the "device" a host program
+/// allocates on, copies to, and launches kernels on.
+///
+/// # Examples
+///
+/// ```
+/// use gpusimpow_sim::config::GpuConfig;
+/// use gpusimpow_sim::gpu::Gpu;
+/// use gpusimpow_isa::{assemble, LaunchConfig};
+///
+/// let mut gpu = Gpu::new(GpuConfig::gt240())?;
+/// let out = gpu.alloc_f32(128);
+/// let k = assemble("fill", &format!("
+///     s2r r0, tid.x
+///     s2r r1, ctaid.x
+///     s2r r2, ntid.x
+///     imad r3, r1, r2, r0
+///     shl r4, r3, #2
+///     i2f r5, r3
+///     st.global [r4+{}], r5
+///     exit
+/// ", out.addr())).expect("valid kernel");
+/// let report = gpu.launch(&k, LaunchConfig::linear(4, 32))?;
+/// assert!(report.stats.shader_cycles > 0);
+/// assert_eq!(gpu.d2h_f32(out, 3), vec![0.0, 1.0, 2.0]);
+/// # Ok::<(), gpusimpow_sim::gpu::SimError>(())
+/// ```
+#[derive(Debug)]
+pub struct Gpu {
+    config: GpuConfig,
+    cores: Vec<Core>,
+    memory: GpuMemory,
+    const_base: u32,
+    const_capacity: u32,
+    pending_h2d: u64,
+    pending_d2h: u64,
+    watchdog_cycles: u64,
+    total_launches: u64,
+}
+
+/// Default device-memory size.
+const DEFAULT_MEM_BYTES: usize = 256 << 20;
+
+/// Staged constant-bank capacity.
+const CONST_CAPACITY: u32 = 64 * 1024;
+
+impl Gpu {
+    /// Builds a GPU from a validated configuration with 256 MiB of
+    /// device memory.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Config`] if the configuration is inconsistent.
+    pub fn new(config: GpuConfig) -> Result<Self, SimError> {
+        Self::with_memory(config, DEFAULT_MEM_BYTES)
+    }
+
+    /// Builds a GPU with an explicit device-memory size.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Config`] if the configuration is inconsistent.
+    pub fn with_memory(config: GpuConfig, mem_bytes: usize) -> Result<Self, SimError> {
+        config.validate()?;
+        let mut memory = GpuMemory::new(mem_bytes);
+        let const_base = memory.alloc(CONST_CAPACITY).addr();
+        let cores = (0..config.total_cores())
+            .map(|id| Core::new(id, id / config.cores_per_cluster, &config))
+            .collect();
+        Ok(Gpu {
+            config,
+            cores,
+            memory,
+            const_base,
+            const_capacity: CONST_CAPACITY,
+            pending_h2d: 0,
+            pending_d2h: 0,
+            watchdog_cycles: 400_000_000,
+            total_launches: 0,
+        })
+    }
+
+    /// The configuration this GPU was built with.
+    pub fn config(&self) -> &GpuConfig {
+        &self.config
+    }
+
+    /// Borrow the device memory (host-side verification).
+    pub fn memory(&self) -> &GpuMemory {
+        &self.memory
+    }
+
+    /// Overrides the deadlock watchdog (cycles).
+    pub fn set_watchdog(&mut self, cycles: u64) {
+        self.watchdog_cycles = cycles;
+    }
+
+    // --- host API (the cudaMalloc/cudaMemcpy stand-ins) -----------------------
+
+    /// Allocates `bytes` of device memory.
+    pub fn alloc(&mut self, bytes: u32) -> DevicePtr {
+        self.memory.alloc(bytes)
+    }
+
+    /// Allocates `count` 32-bit words.
+    pub fn alloc_f32(&mut self, count: u32) -> DevicePtr {
+        self.memory.alloc_f32(count)
+    }
+
+    /// Copies host data to the device (counted as PCIe traffic).
+    pub fn h2d_f32(&mut self, ptr: DevicePtr, data: &[f32]) {
+        self.memory.write_f32_slice(ptr, data);
+        self.pending_h2d += (data.len() * 4) as u64;
+    }
+
+    /// Copies host words to the device (counted as PCIe traffic).
+    pub fn h2d_u32(&mut self, ptr: DevicePtr, data: &[u32]) {
+        self.memory.write_u32_slice(ptr, data);
+        self.pending_h2d += (data.len() * 4) as u64;
+    }
+
+    /// Copies device data back to the host (counted as PCIe traffic).
+    pub fn d2h_f32(&mut self, ptr: DevicePtr, count: usize) -> Vec<f32> {
+        self.pending_d2h += (count * 4) as u64;
+        self.memory.read_f32_slice(ptr, count)
+    }
+
+    /// Copies device words back to the host (counted as PCIe traffic).
+    pub fn d2h_u32(&mut self, ptr: DevicePtr, count: usize) -> Vec<u32> {
+        self.pending_d2h += (count * 4) as u64;
+        self.memory.read_u32_slice(ptr, count)
+    }
+
+    // --- launch -------------------------------------------------------------------
+
+    fn check_launch(&self, kernel: &Kernel, launch: LaunchConfig) -> Result<(), SimError> {
+        let cfg = &self.config;
+        if kernel.num_regs() as usize > 64 {
+            return Err(SimError::Launch(format!(
+                "kernel uses {} registers, the simulator models at most 64",
+                kernel.num_regs()
+            )));
+        }
+        if launch.threads_per_block() as usize > cfg.max_threads_per_core {
+            return Err(SimError::Launch(format!(
+                "block of {} threads exceeds the {}-thread core",
+                launch.threads_per_block(),
+                cfg.max_threads_per_core
+            )));
+        }
+        let smem_avail = cfg.smem_bytes - if cfg.l1_enabled { cfg.l1_bytes } else { 0 };
+        if kernel.smem_bytes() as usize > smem_avail {
+            return Err(SimError::Launch(format!(
+                "kernel needs {} B of shared memory, core provides {smem_avail}",
+                kernel.smem_bytes()
+            )));
+        }
+        let warps = launch.warps_per_block(cfg.warp_size as u32) as usize;
+        if warps > cfg.max_warps_per_core() {
+            return Err(SimError::Launch(format!(
+                "block needs {warps} warps, core holds {}",
+                cfg.max_warps_per_core()
+            )));
+        }
+        let regs = warps * cfg.warp_size * kernel.num_regs() as usize;
+        if regs > cfg.regfile_regs_per_core {
+            return Err(SimError::Launch(format!(
+                "block needs {regs} registers, core register file holds {}",
+                cfg.regfile_regs_per_core
+            )));
+        }
+        if (kernel.const_words().len() * 4) as u32 > self.const_capacity {
+            return Err(SimError::Launch(
+                "constant bank exceeds the staged segment".to_string(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Runs `kernel` to completion and returns its activity report.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Launch`] when the kernel cannot be placed on
+    /// this GPU and [`SimError::Watchdog`] if it fails to terminate.
+    pub fn launch(
+        &mut self,
+        kernel: &Kernel,
+        launch: LaunchConfig,
+    ) -> Result<LaunchReport, SimError> {
+        self.check_launch(kernel, launch)?;
+        // Stage the constant bank into its global-memory segment.
+        self.memory
+            .write_u32_slice(DevicePtr(self.const_base), kernel.const_words());
+        let ctx = LaunchCtx {
+            kernel,
+            launch,
+            const_base: self.const_base,
+            const_bytes: (kernel.const_words().len() * 4).max(4) as u32,
+        };
+
+        let cfg = self.config.clone();
+        for core in &mut self.cores {
+            core.begin_launch();
+        }
+        let mut stats = ActivityStats::new();
+        stats.kernel_launches = 1;
+        stats.pcie_h2d_bytes = std::mem::take(&mut self.pending_h2d);
+        stats.pcie_d2h_bytes = std::mem::take(&mut self.pending_d2h);
+
+        // Uncore structures, rebuilt per launch (they must drain anyway).
+        let mut req_link: Link<RouteToken> =
+            Link::new(cfg.noc_latency as u64, cfg.noc_bandwidth_flits);
+        let mut req_meta: VecDeque<MemRequest> = VecDeque::new();
+        let mut resp_link: Link<RouteToken> =
+            Link::new(cfg.noc_latency as u64, cfg.noc_bandwidth_flits);
+        let mut l2 = cfg.l2.map(|l2cfg| {
+            (
+                SimCache::new(l2cfg.capacity_bytes, l2cfg.line_bytes as u32, l2cfg.ways),
+                l2cfg.latency as u64,
+            )
+        });
+        let mut l2_out: VecDeque<(u64, RouteToken)> = VecDeque::new();
+        let mut channels: Vec<DramChannel<RouteToken>> = (0..cfg.mem_channels)
+            .map(|_| DramChannel::new(cfg.dram, cfg.mc_queue_depth))
+            .collect();
+        let mut dram_overflow: VecDeque<(usize, DramRequest<RouteToken>)> = VecDeque::new();
+
+        let total_blocks = launch.total_blocks();
+        let mut next_block: u32 = 0;
+        let mut completed_ctas_seen: u64 =
+            self.cores.iter().map(|c| c.completed_ctas()).sum();
+
+        let mut cycle: u64 = 0;
+        let mut uncore_cycle: u64 = 0;
+        let mut dram_cycle: u64 = 0;
+        let mut uacc: f64 = 0.0;
+        let mut dacc: f64 = 0.0;
+        let upershader = 1.0 / cfg.shader_ratio;
+        let dram_per_uncore = cfg.dram_mhz / cfg.uncore_mhz;
+        let mut dispatch_dirty = true;
+
+        loop {
+            // --- global block scheduler ---------------------------------
+            if dispatch_dirty && next_block < total_blocks {
+                next_block = self.dispatch_blocks(&ctx, next_block, total_blocks);
+                dispatch_dirty = false;
+            }
+
+            // --- shader domain -------------------------------------------
+            let flit = cfg.noc_flit_bytes.max(1);
+            {
+                let memory = &mut self.memory;
+                for core in &mut self.cores {
+                    core.tick(cycle, &cfg, &ctx, memory);
+                }
+            }
+            for core in &mut self.cores {
+                for req in core.drain_requests() {
+                    let flits = if req.write {
+                        1 + (req.bytes as usize).div_ceil(flit)
+                    } else {
+                        1
+                    };
+                    stats.noc_flits += flits as u64;
+                    stats.noc_transfers += 1;
+                    req_link.push(
+                        RouteToken {
+                            core: req.core,
+                            addr: req.addr,
+                        },
+                        flits,
+                    );
+                    req_meta.push_back(req);
+                }
+            }
+
+            // --- busy accounting ------------------------------------------
+            let mut busy_cores = 0usize;
+            let mut cluster_busy = vec![false; cfg.clusters];
+            for core in &self.cores {
+                if core.is_busy() {
+                    busy_cores += 1;
+                    cluster_busy[core.cluster()] = true;
+                }
+            }
+            let busy_clusters = cluster_busy.iter().filter(|b| **b).count();
+            stats.core_busy_cycles += busy_cores as u64;
+            stats.cluster_busy_cycles += busy_clusters as u64;
+            stats.peak_cores_busy = stats.peak_cores_busy.max(busy_cores);
+            stats.peak_clusters_busy = stats.peak_clusters_busy.max(busy_clusters);
+
+            // --- uncore domain ----------------------------------------------
+            uacc += upershader;
+            while uacc >= 1.0 {
+                uacc -= 1.0;
+                uncore_cycle += 1;
+                // Requests arrive at the L2/MC.
+                req_link.tick(uncore_cycle);
+                for token in req_link.pop_ready(uncore_cycle) {
+                    let req = req_meta
+                        .pop_front()
+                        .expect("request metadata in link order");
+                    debug_assert_eq!(req.addr, token.addr);
+                    Self::route_request(
+                        &cfg,
+                        req,
+                        token,
+                        uncore_cycle,
+                        &mut l2,
+                        &mut l2_out,
+                        &mut channels,
+                        &mut dram_overflow,
+                        &mut stats,
+                    );
+                }
+                // L2 hit pipeline drains into the response network.
+                while let Some((ready, token)) = l2_out.front().copied() {
+                    if ready <= uncore_cycle {
+                        l2_out.pop_front();
+                        let flits = 1 + 128 / flit;
+                        stats.noc_flits += flits as u64;
+                        stats.noc_transfers += 1;
+                        resp_link.push(token, flits);
+                    } else {
+                        break;
+                    }
+                }
+                // DRAM domain.
+                dacc += dram_per_uncore;
+                while dacc >= 1.0 {
+                    dacc -= 1.0;
+                    dram_cycle += 1;
+                    // Retry overflowed requests first.
+                    for _ in 0..dram_overflow.len() {
+                        let (ch, req) = dram_overflow.pop_front().expect("len checked");
+                        if channels[ch].can_accept() {
+                            channels[ch].push(req, &mut stats);
+                        } else {
+                            dram_overflow.push_back((ch, req));
+                        }
+                    }
+                    for ch in &mut channels {
+                        ch.tick(dram_cycle, &mut stats);
+                        for token in ch.pop_completed(dram_cycle) {
+                            if let Some((cache, _)) = &mut l2 {
+                                cache.install(token.addr);
+                                stats.l2_fills += 1;
+                            }
+                            let flits = 1 + 128 / flit;
+                            stats.noc_flits += flits as u64;
+                            stats.noc_transfers += 1;
+                            resp_link.push(token, flits);
+                        }
+                    }
+                }
+                // Responses arrive back at the cores.
+                resp_link.tick(uncore_cycle);
+                for token in resp_link.pop_ready(uncore_cycle) {
+                    self.cores[token.core].mem_response(token.addr, cycle, &ctx);
+                }
+            }
+
+            // --- progress & termination -----------------------------------
+            let completed: u64 = self.cores.iter().map(|c| c.completed_ctas()).sum();
+            if completed != completed_ctas_seen {
+                completed_ctas_seen = completed;
+                dispatch_dirty = true;
+            }
+            cycle += 1;
+
+            let cores_idle = self.cores.iter().all(|c| !c.is_busy());
+            if next_block >= total_blocks
+                && cores_idle
+                && req_link.is_empty()
+                && resp_link.is_empty()
+                && l2_out.is_empty()
+                && dram_overflow.is_empty()
+                && channels.iter().all(|c| c.is_idle())
+            {
+                break;
+            }
+            if cycle > self.watchdog_cycles {
+                return Err(SimError::Watchdog { cycles: cycle });
+            }
+        }
+
+        stats.shader_cycles = cycle;
+        stats.uncore_cycles = uncore_cycle;
+        stats.dram_cycles = dram_cycle;
+        for core in &mut self.cores {
+            let core_stats = std::mem::take(&mut core.stats);
+            stats += &core_stats;
+        }
+        self.total_launches += 1;
+        let time_s = cycle as f64 / (self.config.shader_mhz() * 1e6);
+        Ok(LaunchReport {
+            kernel: kernel.name().to_string(),
+            stats,
+            time_s,
+        })
+    }
+
+    /// Breadth-first CTA placement over clusters, then cores.
+    fn dispatch_blocks(&mut self, ctx: &LaunchCtx<'_>, mut next: u32, total: u32) -> u32 {
+        let cfg = &self.config;
+        while next < total {
+            let mut cluster_load = vec![0usize; cfg.clusters];
+            for core in &self.cores {
+                cluster_load[core.cluster()] += core.resident_ctas();
+            }
+            let candidate = self
+                .cores
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| c.can_accept(cfg, ctx))
+                .min_by_key(|(id, c)| (cluster_load[c.cluster()], c.resident_ctas(), *id))
+                .map(|(id, _)| id);
+            let Some(core_id) = candidate else { break };
+            let bx = next % ctx.launch.grid.x;
+            let by = next / ctx.launch.grid.x;
+            self.cores[core_id].dispatch_cta(cfg, ctx, bx, by);
+            next += 1;
+        }
+        next
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn route_request(
+        cfg: &GpuConfig,
+        req: MemRequest,
+        token: RouteToken,
+        uncore_cycle: u64,
+        l2: &mut Option<(SimCache, u64)>,
+        l2_out: &mut VecDeque<(u64, RouteToken)>,
+        channels: &mut [DramChannel<RouteToken>],
+        dram_overflow: &mut VecDeque<(usize, DramRequest<RouteToken>)>,
+        stats: &mut ActivityStats,
+    ) {
+        let to_dram = |req: &MemRequest, token: RouteToken| DramRequest {
+            write: req.write,
+            addr: req.addr,
+            bytes: req.bytes,
+            token,
+        };
+        if let Some((cache, latency)) = l2 {
+            stats.l2_accesses += 1;
+            if req.write {
+                // Write-through L2: update on hit, always forward.
+                let _ = cache.write(req.addr);
+                Self::enqueue_dram(cfg, to_dram(&req, token), channels, dram_overflow, stats);
+            } else if cache.read(req.addr) == Probe::Hit {
+                l2_out.push_back((uncore_cycle + *latency, token));
+            } else {
+                stats.l2_misses += 1;
+                Self::enqueue_dram(cfg, to_dram(&req, token), channels, dram_overflow, stats);
+            }
+        } else {
+            Self::enqueue_dram(cfg, to_dram(&req, token), channels, dram_overflow, stats);
+        }
+    }
+
+    fn enqueue_dram(
+        cfg: &GpuConfig,
+        req: DramRequest<RouteToken>,
+        channels: &mut [DramChannel<RouteToken>],
+        dram_overflow: &mut VecDeque<(usize, DramRequest<RouteToken>)>,
+        stats: &mut ActivityStats,
+    ) {
+        // 256-byte channel interleave.
+        let ch = ((req.addr >> 8) as usize) % cfg.mem_channels;
+        if channels[ch].can_accept() {
+            channels[ch].push(req, stats);
+        } else {
+            dram_overflow.push_back((ch, req));
+        }
+    }
+}

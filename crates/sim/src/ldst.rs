@@ -1,0 +1,188 @@
+//! Load/store-unit address handling (paper §III-C4, Fig. 3).
+//!
+//! Pure helpers used by the core model:
+//!
+//! * [`coalesce`] — merges the per-lane addresses of a warp memory access
+//!   into aligned memory segments (the coalescer of NVIDIA patent \[24\]);
+//! * [`smem_conflicts`] — computes bank-conflict serialization for shared
+//!   memory (patent \[25\]): lanes hitting the same bank with *different*
+//!   word addresses serialize, identical addresses broadcast;
+//! * [`const_unique`] — counts the distinct addresses of a constant
+//!   access ("the number of generated constant cache accesses is equal to
+//!   the number of different addresses in the bundle", §III-C4);
+//! * [`agu_activations`] — sub-AGU activations for a bundle (each SAGU
+//!   produces 8 addresses per cycle, reference \[22\]).
+
+use std::collections::BTreeSet;
+
+/// Merges lane addresses into `segment_bytes`-aligned segments.
+///
+/// Returns the sorted list of distinct segment base addresses; each
+/// becomes one memory request.
+///
+/// # Panics
+///
+/// Panics if `segment_bytes` is not a power of two.
+pub fn coalesce(addrs: &[u32], segment_bytes: u32) -> Vec<u32> {
+    assert!(
+        segment_bytes.is_power_of_two(),
+        "segment size must be a power of two"
+    );
+    let mask = !(segment_bytes - 1);
+    let set: BTreeSet<u32> = addrs.iter().map(|a| a & mask).collect();
+    set.into_iter().collect()
+}
+
+/// Result of the shared-memory bank-conflict analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SmemAccessPlan {
+    /// Serialized passes needed (1 = conflict-free).
+    pub passes: u32,
+    /// Total bank accesses performed (same-address lanes broadcast,
+    /// counting once).
+    pub bank_accesses: u32,
+}
+
+/// Computes the serialization of a shared-memory warp access.
+///
+/// `word_addrs` are the per-lane *word* addresses (byte address / 4);
+/// `banks` must be a power of two.
+///
+/// # Panics
+///
+/// Panics if `banks` is not a power of two.
+pub fn smem_conflicts(word_addrs: &[u32], banks: u32) -> SmemAccessPlan {
+    assert!(banks.is_power_of_two(), "bank count must be a power of two");
+    if word_addrs.is_empty() {
+        return SmemAccessPlan {
+            passes: 0,
+            bank_accesses: 0,
+        };
+    }
+    // Distinct word addresses per bank.
+    let mut per_bank: Vec<BTreeSet<u32>> = vec![BTreeSet::new(); banks as usize];
+    for &w in word_addrs {
+        per_bank[(w & (banks - 1)) as usize].insert(w);
+    }
+    let passes = per_bank.iter().map(|s| s.len() as u32).max().unwrap_or(0);
+    let bank_accesses = per_bank.iter().map(|s| s.len() as u32).sum();
+    SmemAccessPlan {
+        passes: passes.max(1),
+        bank_accesses,
+    }
+}
+
+/// Number of distinct addresses in a constant-memory access bundle.
+pub fn const_unique(addrs: &[u32]) -> u32 {
+    let set: BTreeSet<u32> = addrs.iter().copied().collect();
+    set.len() as u32
+}
+
+/// Sub-AGU activations needed to generate `lanes` addresses with
+/// `per_sagu` addresses produced per activation.
+///
+/// # Panics
+///
+/// Panics if `per_sagu` is zero.
+pub fn agu_activations(lanes: u32, per_sagu: u32) -> u32 {
+    assert!(per_sagu > 0, "sagu must produce at least one address");
+    lanes.div_ceil(per_sagu)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fully_coalesced_warp_is_one_segment() {
+        let addrs: Vec<u32> = (0..32).map(|i| 0x1000 + i * 4).collect();
+        assert_eq!(coalesce(&addrs, 128), vec![0x1000]);
+    }
+
+    #[test]
+    fn strided_access_explodes_into_many_segments() {
+        // Stride of 128 B: every lane its own segment.
+        let addrs: Vec<u32> = (0..32).map(|i| 0x1000 + i * 128).collect();
+        assert_eq!(coalesce(&addrs, 128).len(), 32);
+    }
+
+    #[test]
+    fn unaligned_contiguous_access_spans_two_segments() {
+        let addrs: Vec<u32> = (0..32).map(|i| 0x1040 + i * 4).collect();
+        assert_eq!(coalesce(&addrs, 128), vec![0x1000, 0x1080]);
+    }
+
+    #[test]
+    fn duplicate_addresses_collapse() {
+        let addrs = [0x2000u32; 32];
+        assert_eq!(coalesce(&addrs, 128), vec![0x2000]);
+    }
+
+    #[test]
+    fn conflict_free_smem_access() {
+        // 16 lanes, 16 banks, consecutive words.
+        let addrs: Vec<u32> = (0..16).collect();
+        let plan = smem_conflicts(&addrs, 16);
+        assert_eq!(plan.passes, 1);
+        assert_eq!(plan.bank_accesses, 16);
+    }
+
+    #[test]
+    fn stride_two_halves_the_banks() {
+        // Stride 2 on 16 banks: 8 banks each hit twice.
+        let addrs: Vec<u32> = (0..16).map(|i| i * 2).collect();
+        let plan = smem_conflicts(&addrs, 16);
+        assert_eq!(plan.passes, 2);
+        assert_eq!(plan.bank_accesses, 16);
+    }
+
+    #[test]
+    fn broadcast_is_conflict_free() {
+        let addrs = [42u32; 32];
+        let plan = smem_conflicts(&addrs, 16);
+        assert_eq!(plan.passes, 1);
+        assert_eq!(plan.bank_accesses, 1, "same word broadcasts");
+    }
+
+    #[test]
+    fn worst_case_all_lanes_same_bank() {
+        // 16 lanes, same bank, all different rows: fully serialized.
+        let addrs: Vec<u32> = (0..16).map(|i| i * 16).collect();
+        let plan = smem_conflicts(&addrs, 16);
+        assert_eq!(plan.passes, 16);
+        assert_eq!(plan.bank_accesses, 16);
+    }
+
+    #[test]
+    fn empty_bundle_is_free() {
+        assert_eq!(
+            smem_conflicts(&[], 16),
+            SmemAccessPlan {
+                passes: 0,
+                bank_accesses: 0
+            }
+        );
+    }
+
+    #[test]
+    fn const_dedup() {
+        assert_eq!(const_unique(&[5; 32]), 1);
+        let addrs: Vec<u32> = (0..32).collect();
+        assert_eq!(const_unique(&addrs), 32);
+        assert_eq!(const_unique(&[1, 2, 1, 2]), 2);
+    }
+
+    #[test]
+    fn agu_rounding() {
+        assert_eq!(agu_activations(32, 8), 4);
+        assert_eq!(agu_activations(1, 8), 1);
+        assert_eq!(agu_activations(9, 8), 2);
+        assert_eq!(agu_activations(0, 8), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_segment_size_panics() {
+        let _ = coalesce(&[0], 100);
+    }
+}

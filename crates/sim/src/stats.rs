@@ -1,0 +1,345 @@
+//! Activity statistics — the interface between the performance simulator
+//! and the power model.
+//!
+//! GPUSimPow modifies GPGPU-Sim "to produce access counts and other
+//! activity information for all parts of the simulated architecture"
+//! (paper §III-B). [`ActivityStats`] is that information: one counter per
+//! energy-bearing event. The power model multiplies each counter by a
+//! per-event energy and divides by runtime to obtain dynamic power.
+
+use std::fmt;
+use std::ops::AddAssign;
+
+/// Per-kernel activity counters, aggregated over the whole chip.
+///
+/// This is a passive record: all fields are public and the struct is
+/// `Default`-constructed to zero. Counters are event counts unless the
+/// name says otherwise.
+#[derive(Debug, Clone, Default, PartialEq)]
+#[non_exhaustive]
+pub struct ActivityStats {
+    // --- time ---------------------------------------------------------------
+    /// Shader-clock cycles from launch to completion.
+    pub shader_cycles: u64,
+    /// Uncore-clock cycles elapsed.
+    pub uncore_cycles: u64,
+    /// DRAM command-clock cycles elapsed.
+    pub dram_cycles: u64,
+    /// Sum over cores of cycles with at least one resident CTA.
+    pub core_busy_cycles: u64,
+    /// Sum over clusters of cycles with at least one busy core.
+    pub cluster_busy_cycles: u64,
+    /// Highest number of cores concurrently busy at any cycle.
+    pub peak_cores_busy: usize,
+    /// Highest number of clusters concurrently busy at any cycle.
+    pub peak_clusters_busy: usize,
+
+    // --- warp control unit ----------------------------------------------------
+    /// Instruction-cache accesses (fetches).
+    pub icache_accesses: u64,
+    /// Instruction-cache misses.
+    pub icache_misses: u64,
+    /// Instructions decoded.
+    pub decodes: u64,
+    /// Instruction-buffer fills.
+    pub ibuffer_writes: u64,
+    /// Instruction-buffer drains (issues).
+    pub ibuffer_reads: u64,
+    /// Warp status table reads (fetch-stage scheduling).
+    pub wst_reads: u64,
+    /// Warp status table updates.
+    pub wst_writes: u64,
+    /// Fetch-scheduler selections (priority-encoder activations).
+    pub fetch_scheduler_selects: u64,
+    /// Issue-scheduler selections.
+    pub issue_scheduler_selects: u64,
+    /// Scoreboard lookups (dependency checks).
+    pub scoreboard_reads: u64,
+    /// Scoreboard set/clear updates.
+    pub scoreboard_writes: u64,
+    /// Reconvergence-stack token reads.
+    pub simt_stack_reads: u64,
+    /// Reconvergence-stack pushes.
+    pub simt_stack_pushes: u64,
+    /// Reconvergence-stack pops.
+    pub simt_stack_pops: u64,
+    /// Branch instructions executed (warp granularity).
+    pub branches: u64,
+    /// Branches that actually diverged.
+    pub divergent_branches: u64,
+    /// Warp-level barrier arrivals.
+    pub barrier_waits: u64,
+
+    // --- register file ----------------------------------------------------------
+    /// Register-bank read accesses.
+    pub rf_bank_reads: u64,
+    /// Register-bank write accesses.
+    pub rf_bank_writes: u64,
+    /// Reads serialized because two operands hit the same bank.
+    pub rf_bank_conflicts: u64,
+    /// Operand-collector allocations.
+    pub collector_allocations: u64,
+    /// Operand crossbar transfers (bank → collector).
+    pub collector_xbar_transfers: u64,
+
+    // --- execution units ----------------------------------------------------------
+    /// Integer warp instructions issued.
+    pub int_instructions: u64,
+    /// Floating-point warp instructions issued.
+    pub fp_instructions: u64,
+    /// SFU warp instructions issued.
+    pub sfu_instructions: u64,
+    /// Integer lane-operations (thread granularity, drives the 40 pJ/op
+    /// empirical model).
+    pub int_lane_ops: u64,
+    /// FP lane-operations (75 pJ/op).
+    pub fp_lane_ops: u64,
+    /// SFU lane-operations.
+    pub sfu_lane_ops: u64,
+    /// Total warp instructions of any class issued.
+    pub warp_instructions: u64,
+    /// Total thread instructions committed.
+    pub thread_instructions: u64,
+
+    // --- load/store unit -------------------------------------------------------------
+    /// Memory warp instructions issued.
+    pub mem_instructions: u64,
+    /// Sub-AGU activations (each produces up to 8 addresses).
+    pub agu_ops: u64,
+    /// Addresses presented to the coalescer.
+    pub coalescer_inputs: u64,
+    /// Memory requests leaving the coalescer.
+    pub coalescer_outputs: u64,
+    /// Shared-memory bank accesses.
+    pub smem_accesses: u64,
+    /// Extra serialization passes due to bank conflicts.
+    pub smem_bank_conflict_cycles: u64,
+    /// Constant-cache accesses (one per distinct address per warp).
+    pub const_accesses: u64,
+    /// Constant-cache misses.
+    pub const_misses: u64,
+    /// L1 data-cache accesses.
+    pub l1_accesses: u64,
+    /// L1 data-cache misses.
+    pub l1_misses: u64,
+    /// L1 line fills.
+    pub l1_fills: u64,
+
+    // --- chip level ---------------------------------------------------------------------
+    /// NoC flits transferred (both directions).
+    pub noc_flits: u64,
+    /// NoC packet transfers (requests + replies).
+    pub noc_transfers: u64,
+    /// L2 accesses.
+    pub l2_accesses: u64,
+    /// L2 misses.
+    pub l2_misses: u64,
+    /// L2 line fills.
+    pub l2_fills: u64,
+    /// Memory-controller queue operations.
+    pub mc_queue_ops: u64,
+    /// DRAM row activations.
+    pub dram_activates: u64,
+    /// DRAM precharges.
+    pub dram_precharges: u64,
+    /// DRAM 32-byte read bursts.
+    pub dram_read_bursts: u64,
+    /// DRAM 32-byte write bursts.
+    pub dram_write_bursts: u64,
+    /// DRAM refresh commands.
+    pub dram_refreshes: u64,
+    /// Command cycles the DRAM data bus was driven.
+    pub dram_data_bus_busy_cycles: u64,
+    /// Bytes moved over PCIe host→device.
+    pub pcie_h2d_bytes: u64,
+    /// Bytes moved over PCIe device→host.
+    pub pcie_d2h_bytes: u64,
+    /// Kernel launches seen by the global scheduler.
+    pub kernel_launches: u64,
+    /// CTAs dispatched by the global scheduler.
+    pub ctas_dispatched: u64,
+}
+
+impl ActivityStats {
+    /// A zeroed counter set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Warp-level instructions per shader cycle (chip-wide).
+    pub fn ipc(&self) -> f64 {
+        if self.shader_cycles == 0 {
+            0.0
+        } else {
+            self.warp_instructions as f64 / self.shader_cycles as f64
+        }
+    }
+
+    /// L1 hit rate in `[0, 1]` (1.0 when there were no accesses).
+    pub fn l1_hit_rate(&self) -> f64 {
+        hit_rate(self.l1_accesses, self.l1_misses)
+    }
+
+    /// L2 hit rate in `[0, 1]`.
+    pub fn l2_hit_rate(&self) -> f64 {
+        hit_rate(self.l2_accesses, self.l2_misses)
+    }
+
+    /// Constant-cache hit rate in `[0, 1]`.
+    pub fn const_hit_rate(&self) -> f64 {
+        hit_rate(self.const_accesses, self.const_misses)
+    }
+
+    /// DRAM row-buffer hit rate in `[0, 1]` (reads+writes that did not
+    /// need an activate).
+    pub fn dram_row_hit_rate(&self) -> f64 {
+        let accesses = self.dram_read_bursts + self.dram_write_bursts;
+        hit_rate(accesses, self.dram_activates.min(accesses))
+    }
+
+    /// Fraction of branches that diverged.
+    pub fn divergence_rate(&self) -> f64 {
+        if self.branches == 0 {
+            0.0
+        } else {
+            self.divergent_branches as f64 / self.branches as f64
+        }
+    }
+}
+
+fn hit_rate(accesses: u64, misses: u64) -> f64 {
+    if accesses == 0 {
+        1.0
+    } else {
+        1.0 - misses as f64 / accesses as f64
+    }
+}
+
+impl AddAssign<&ActivityStats> for ActivityStats {
+    fn add_assign(&mut self, rhs: &ActivityStats) {
+        macro_rules! acc {
+            ($($field:ident),* $(,)?) => {
+                $(self.$field += rhs.$field;)*
+            };
+        }
+        acc!(
+            shader_cycles, uncore_cycles, dram_cycles, core_busy_cycles,
+            cluster_busy_cycles, icache_accesses, icache_misses, decodes,
+            ibuffer_writes, ibuffer_reads, wst_reads, wst_writes,
+            fetch_scheduler_selects, issue_scheduler_selects,
+            scoreboard_reads, scoreboard_writes, simt_stack_reads,
+            simt_stack_pushes, simt_stack_pops, branches, divergent_branches,
+            barrier_waits, rf_bank_reads, rf_bank_writes, rf_bank_conflicts,
+            collector_allocations, collector_xbar_transfers,
+            int_instructions, fp_instructions, sfu_instructions,
+            int_lane_ops, fp_lane_ops, sfu_lane_ops, warp_instructions,
+            thread_instructions, mem_instructions, agu_ops,
+            coalescer_inputs, coalescer_outputs, smem_accesses,
+            smem_bank_conflict_cycles, const_accesses, const_misses,
+            l1_accesses, l1_misses, l1_fills, noc_flits, noc_transfers,
+            l2_accesses, l2_misses, l2_fills, mc_queue_ops, dram_activates,
+            dram_precharges, dram_read_bursts, dram_write_bursts,
+            dram_refreshes, dram_data_bus_busy_cycles, pcie_h2d_bytes,
+            pcie_d2h_bytes, kernel_launches, ctas_dispatched,
+        );
+        self.peak_cores_busy = self.peak_cores_busy.max(rhs.peak_cores_busy);
+        self.peak_clusters_busy = self.peak_clusters_busy.max(rhs.peak_clusters_busy);
+    }
+}
+
+impl fmt::Display for ActivityStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "cycles: {} shader / {} uncore / {} dram, IPC {:.2}",
+            self.shader_cycles,
+            self.uncore_cycles,
+            self.dram_cycles,
+            self.ipc()
+        )?;
+        writeln!(
+            f,
+            "instructions: {} warp ({} int, {} fp, {} sfu, {} mem), {} thread",
+            self.warp_instructions,
+            self.int_instructions,
+            self.fp_instructions,
+            self.sfu_instructions,
+            self.mem_instructions,
+            self.thread_instructions
+        )?;
+        writeln!(
+            f,
+            "memory: {} coalesced reqs from {} addrs, L1 {:.1}% hit, L2 {:.1}% hit",
+            self.coalescer_outputs,
+            self.coalescer_inputs,
+            self.l1_hit_rate() * 100.0,
+            self.l2_hit_rate() * 100.0
+        )?;
+        write!(
+            f,
+            "dram: {} activates, {} rd / {} wr bursts, {} refreshes",
+            self.dram_activates, self.dram_read_bursts, self.dram_write_bursts,
+            self.dram_refreshes
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_zeroed() {
+        let s = ActivityStats::new();
+        assert_eq!(s.shader_cycles, 0);
+        assert_eq!(s.ipc(), 0.0);
+    }
+
+    #[test]
+    fn hit_rates() {
+        let mut s = ActivityStats::new();
+        s.l1_accesses = 100;
+        s.l1_misses = 25;
+        assert!((s.l1_hit_rate() - 0.75).abs() < 1e-12);
+        // No accesses counts as perfect hit rate, not NaN.
+        assert_eq!(s.l2_hit_rate(), 1.0);
+    }
+
+    #[test]
+    fn ipc_computation() {
+        let mut s = ActivityStats::new();
+        s.warp_instructions = 3000;
+        s.shader_cycles = 1000;
+        assert!((s.ipc() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accumulation_sums_counters_and_maxes_peaks() {
+        let mut a = ActivityStats::new();
+        a.int_instructions = 10;
+        a.peak_cores_busy = 4;
+        let mut b = ActivityStats::new();
+        b.int_instructions = 5;
+        b.peak_cores_busy = 7;
+        a += &b;
+        assert_eq!(a.int_instructions, 15);
+        assert_eq!(a.peak_cores_busy, 7);
+    }
+
+    #[test]
+    fn divergence_rate() {
+        let mut s = ActivityStats::new();
+        assert_eq!(s.divergence_rate(), 0.0);
+        s.branches = 8;
+        s.divergent_branches = 2;
+        assert!((s.divergence_rate() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let s = ActivityStats::new();
+        let text = s.to_string();
+        assert!(text.contains("IPC"));
+        assert!(text.contains("dram"));
+    }
+}

@@ -1,0 +1,473 @@
+//! End-to-end simulator tests: whole kernels through the full machine
+//! (cores, NoC, DRAM), verifying both functional results and the shape of
+//! the activity statistics.
+
+use gpusimpow_isa::{assemble, CmpOp, KernelBuilder, LaunchConfig, Operand, Reg, SpecialReg};
+use gpusimpow_sim::{config::GpuConfig, gpu::Gpu};
+
+fn gt240() -> Gpu {
+    Gpu::new(GpuConfig::gt240()).expect("preset is valid")
+}
+
+fn gtx580() -> Gpu {
+    Gpu::new(GpuConfig::gtx580()).expect("preset is valid")
+}
+
+#[test]
+fn vectoradd_computes_and_counts() {
+    let mut gpu = gt240();
+    let n = 1024u32;
+    let a = gpu.alloc_f32(n);
+    let b = gpu.alloc_f32(n);
+    let c = gpu.alloc_f32(n);
+    let av: Vec<f32> = (0..n).map(|i| i as f32).collect();
+    let bv: Vec<f32> = (0..n).map(|i| (i * 2) as f32).collect();
+    gpu.h2d_f32(a, &av);
+    gpu.h2d_f32(b, &bv);
+
+    let src = format!(
+        "
+        s2r r0, tid.x
+        s2r r1, ctaid.x
+        s2r r2, ntid.x
+        imad r3, r1, r2, r0
+        shl r4, r3, #2
+        ld.global r5, [r4+{a}]
+        ld.global r6, [r4+{b}]
+        fadd r7, r5, r6
+        st.global [r4+{c}], r7
+        exit
+    ",
+        a = a.addr(),
+        b = b.addr(),
+        c = c.addr()
+    );
+    let k = assemble("vectoradd", &src).expect("valid kernel");
+    let report = gpu
+        .launch(&k, LaunchConfig::linear(n / 256, 256))
+        .expect("launch succeeds");
+
+    let out = gpu.d2h_f32(c, n as usize);
+    for i in 0..n as usize {
+        assert_eq!(out[i], av[i] + bv[i], "element {i}");
+    }
+
+    let s = &report.stats;
+    assert_eq!(s.ctas_dispatched, 4);
+    assert_eq!(s.fp_instructions, n as u64 / 32, "one fadd per warp");
+    assert_eq!(s.mem_instructions, 3 * n as u64 / 32);
+    // Perfectly coalesced: each warp load/store is exactly one segment.
+    assert_eq!(s.coalescer_outputs, 3 * n as u64 / 32);
+    assert_eq!(s.coalescer_inputs, 3 * n as u64);
+    assert!(s.dram_read_bursts > 0, "loads reach DRAM");
+    assert!(s.dram_write_bursts > 0, "stores reach DRAM");
+    assert!(s.noc_flits > 0);
+    assert_eq!(s.branches, 0);
+    // 4 blocks over 4 clusters: the scheduler spreads breadth-first.
+    assert_eq!(s.peak_clusters_busy, 4);
+}
+
+#[test]
+fn divergent_kernel_counts_divergence_and_computes() {
+    let mut gpu = gt240();
+    let n = 256u32;
+    let out = gpu.alloc_f32(n);
+    // if (tid % 2) out[i] = 3 else out[i] = 7 — every warp diverges.
+    let src = format!(
+        "
+        s2r r0, tid.x
+        and r1, r0, #1
+        shl r2, r0, #2
+        bra.z r1, @else, @end
+        mov r3, #3
+        st.global [r2+{0}], r3
+        jmp @end
+    @else:
+        mov r3, #7
+        st.global [r2+{0}], r3
+    @end:
+        exit
+    ",
+        out.addr()
+    );
+    let k = assemble("diverge", &src).expect("valid kernel");
+    let report = gpu
+        .launch(&k, LaunchConfig::linear(1, n))
+        .expect("launch succeeds");
+    let vals = gpu.d2h_u32(out, n as usize);
+    for (i, v) in vals.iter().enumerate() {
+        assert_eq!(*v, if i % 2 == 1 { 3 } else { 7 }, "thread {i}");
+    }
+    let s = &report.stats;
+    assert_eq!(s.branches, n as u64 / 32);
+    assert_eq!(s.divergent_branches, n as u64 / 32, "every warp diverges");
+    assert!(s.simt_stack_pushes >= s.divergent_branches);
+    // Every push is popped, plus the base token of each warp at exit.
+    assert_eq!(s.simt_stack_pops, s.simt_stack_pushes + n as u64 / 32);
+}
+
+#[test]
+fn shared_memory_reduction_with_barriers() {
+    let mut gpu = gt240();
+    let out = gpu.alloc_f32(1);
+    let n = 128u32; // one block of 128 threads reduces tid sum
+    let mut b = KernelBuilder::new("reduce");
+    let smem = b.alloc_smem(n * 4);
+    let tid = Reg(0);
+    b.s2r(tid, SpecialReg::TidX);
+    let addr = Reg(1);
+    b.shl(addr, tid, Operand::imm_u32(2));
+    b.iadd(addr, addr, Operand::imm_u32(smem));
+    // smem[tid] = tid (as float)
+    let val = Reg(2);
+    b.i2f(val, tid);
+    b.st_shared(val, addr, 0);
+    b.bar();
+    // Tree reduction: stride = 64, 32, ... 1
+    let stride = Reg(3);
+    b.movi(stride, n / 2);
+    let cond = Reg(4);
+    b.while_loop(
+        |b| {
+            b.isetp(CmpOp::Gt, cond, stride, Operand::imm_u32(0));
+            cond
+        },
+        |b| {
+            let active = Reg(5);
+            b.isetp(CmpOp::Lt, active, tid, stride);
+            b.if_then(active, |b| {
+                let other = Reg(6);
+                let tmp = Reg(7);
+                let mine = Reg(8);
+                // other = smem[tid + stride]
+                b.iadd(other, tid, stride);
+                b.shl(other, other, Operand::imm_u32(2));
+                b.iadd(other, other, Operand::imm_u32(smem));
+                b.ld_shared(tmp, other, 0);
+                b.ld_shared(mine, addr, 0);
+                b.fadd(mine, mine, tmp);
+                b.st_shared(mine, addr, 0);
+            });
+            b.bar();
+            b.shr(stride, stride, Operand::imm_u32(1));
+        },
+    );
+    // Thread 0 writes the result.
+    let is0 = Reg(9);
+    b.isetp(CmpOp::Eq, is0, tid, Operand::imm_u32(0));
+    b.if_then(is0, |b| {
+        let res = Reg(10);
+        b.ld_shared(res, addr, 0);
+        let outp = Reg(11);
+        b.movi(outp, out.addr());
+        b.st_global(res, outp, 0);
+    });
+    b.exit();
+    let k = b.build().expect("valid kernel");
+
+    let report = gpu
+        .launch(&k, LaunchConfig::linear(1, n))
+        .expect("launch succeeds");
+    let result = gpu.d2h_f32(out, 1)[0];
+    let expected: f32 = (0..n).map(|i| i as f32).sum();
+    assert_eq!(result, expected);
+    let s = &report.stats;
+    assert!(s.barrier_waits > 0, "barriers executed");
+    assert!(s.smem_accesses > 0, "shared memory exercised");
+}
+
+#[test]
+fn constant_memory_broadcast_is_cheap() {
+    let mut gpu = gt240();
+    let out = gpu.alloc_f32(256);
+    let mut b = KernelBuilder::new("constbc");
+    b.push_consts(&[5f32.to_bits(), 7f32.to_bits()]);
+    let tid = Reg(0);
+    b.s2r(tid, SpecialReg::TidX);
+    let zero = Reg(1);
+    b.movi(zero, 0);
+    let c0 = Reg(2);
+    // Every lane reads the same constant word: one cache access.
+    b.ld_const(c0, zero, 0);
+    let a = Reg(3);
+    b.shl(a, tid, Operand::imm_u32(2));
+    b.st_global(c0, a, out.addr() as i32);
+    b.exit();
+    let k = b.build().expect("valid kernel");
+    let report = gpu
+        .launch(&k, LaunchConfig::linear(8, 32))
+        .expect("launch succeeds");
+    assert_eq!(gpu.d2h_f32(out, 1)[0], 5.0);
+    let s = &report.stats;
+    // 8 warps, one distinct address each: exactly 8 constant accesses.
+    assert_eq!(s.const_accesses, 8);
+    assert!(
+        s.const_misses <= 8,
+        "at most one cold miss per core, got {}",
+        s.const_misses
+    );
+}
+
+#[test]
+fn gtx580_uses_l1_and_l2() {
+    let mut gpu = gtx580();
+    let n = 2048u32;
+    let data = gpu.alloc_f32(n);
+    let out = gpu.alloc_f32(n);
+    gpu.h2d_f32(data, &vec![1.5f32; n as usize]);
+    let src = format!(
+        "
+        s2r r0, tid.x
+        s2r r1, ctaid.x
+        s2r r2, ntid.x
+        imad r3, r1, r2, r0
+        shl r4, r3, #2
+        ld.global r5, [r4+{data}]
+        ld.global r6, [r4+{data}]
+        fadd r5, r5, r6
+        st.global [r4+{out}], r5
+        exit
+    ",
+        data = data.addr(),
+        out = out.addr()
+    );
+    let k = assemble("l1test", &src).expect("valid kernel");
+    let report = gpu
+        .launch(&k, LaunchConfig::linear(n / 256, 256))
+        .expect("launch succeeds");
+    assert_eq!(gpu.d2h_f32(out, 2), vec![3.0, 3.0]);
+    let s = &report.stats;
+    assert!(s.l1_accesses > 0, "Fermi config probes the L1");
+    assert!(s.l2_accesses > 0, "requests traverse the L2");
+    // The second load of the same line hits in the L1 (or merges), so L1
+    // misses are at most the distinct segments.
+    assert!(s.l1_misses <= n as u64 / 32 + 16);
+}
+
+#[test]
+fn gt240_has_no_l1_or_l2_activity() {
+    let mut gpu = gt240();
+    let data = gpu.alloc_f32(512);
+    let src = format!(
+        "
+        s2r r0, tid.x
+        shl r1, r0, #2
+        ld.global r2, [r1+{0}]
+        st.global [r1+{0}], r2
+        exit
+    ",
+        data.addr()
+    );
+    let k = assemble("nol1", &src).expect("valid kernel");
+    let report = gpu
+        .launch(&k, LaunchConfig::linear(2, 256))
+        .expect("launch succeeds");
+    let s = &report.stats;
+    assert_eq!(s.l1_accesses, 0);
+    assert_eq!(s.l2_accesses, 0);
+    assert!(s.dram_read_bursts > 0);
+}
+
+#[test]
+fn blocks_spread_breadth_first_over_clusters() {
+    // 4 single-warp blocks on a 4-cluster chip must land on 4 distinct
+    // clusters (Fig. 4's scheduler behaviour).
+    let mut gpu = gt240();
+    let out = gpu.alloc_f32(4);
+    let src = format!(
+        "
+        s2r r0, ctaid.x
+        shl r1, r0, #2
+        mov r2, #100
+    @spin:
+        isub r2, r2, #1
+        isetp.gt r3, r2, #0
+        bra r3, @spin, @done
+    @done:
+        st.global [r1+{0}], r2
+        exit
+    ",
+        out.addr()
+    );
+    let k = assemble("spread", &src).expect("valid kernel");
+    let report = gpu
+        .launch(&k, LaunchConfig::linear(4, 32))
+        .expect("launch succeeds");
+    assert_eq!(report.stats.peak_clusters_busy, 4);
+    assert_eq!(report.stats.peak_cores_busy, 4);
+}
+
+#[test]
+fn barrel_vs_scoreboard_issue_behaviour() {
+    // A long dependent FP chain: the scoreboarded Fermi core and the
+    // barrel Tesla core must both produce correct results; Fermi should
+    // need no more cycles per instruction.
+    let src = "
+        mov r0, #0x3f800000
+        fadd r0, r0, r0
+        fadd r0, r0, r0
+        fadd r0, r0, r0
+        fadd r0, r0, r0
+        exit
+    ";
+    let k = assemble("chain", src).expect("valid kernel");
+    let mut a = gt240();
+    let ra = a.launch(&k, LaunchConfig::linear(1, 32)).expect("gt240");
+    let mut b = gtx580();
+    let rb = b.launch(&k, LaunchConfig::linear(1, 32)).expect("gtx580");
+    assert_eq!(ra.stats.fp_instructions, 4);
+    assert_eq!(rb.stats.fp_instructions, 4);
+    assert!(ra.stats.shader_cycles >= rb.stats.shader_cycles);
+}
+
+#[test]
+fn strided_access_generates_more_requests_than_coalesced() {
+    let mut gpu = gt240();
+    let data = gpu.alloc(64 * 1024 * 4);
+    let coalesced = format!(
+        "
+        s2r r0, tid.x
+        shl r1, r0, #2
+        ld.global r2, [r1+{0}]
+        exit
+    ",
+        data.addr()
+    );
+    let strided = format!(
+        "
+        s2r r0, tid.x
+        shl r1, r0, #7   ; 128-byte stride: worst case
+        ld.global r2, [r1+{0}]
+        exit
+    ",
+        data.addr()
+    );
+    let kc = assemble("coalesced", &coalesced).expect("valid");
+    let ks = assemble("strided", &strided).expect("valid");
+    let rc = gpu.launch(&kc, LaunchConfig::linear(4, 256)).expect("run");
+    let rs = gpu.launch(&ks, LaunchConfig::linear(4, 256)).expect("run");
+    assert!(
+        rs.stats.coalescer_outputs >= 16 * rc.stats.coalescer_outputs,
+        "strided {} vs coalesced {}",
+        rs.stats.coalescer_outputs,
+        rc.stats.coalescer_outputs
+    );
+    assert!(rs.stats.shader_cycles > rc.stats.shader_cycles);
+}
+
+#[test]
+fn multi_kernel_session_accumulates_pcie() {
+    let mut gpu = gt240();
+    let buf = gpu.alloc_f32(64);
+    gpu.h2d_f32(buf, &[1.0; 64]);
+    let k = assemble(
+        "noopish",
+        "
+        s2r r0, tid.x
+        exit
+    ",
+    )
+    .expect("valid");
+    let r1 = gpu.launch(&k, LaunchConfig::linear(1, 64)).expect("run");
+    assert_eq!(r1.stats.pcie_h2d_bytes, 256);
+    let r2 = gpu.launch(&k, LaunchConfig::linear(1, 64)).expect("run");
+    assert_eq!(r2.stats.pcie_h2d_bytes, 0, "pcie drained by first launch");
+}
+
+#[test]
+fn deadlocked_kernel_trips_watchdog() {
+    let mut gpu = gt240();
+    gpu.set_watchdog(50_000);
+    let src = "
+        mov r0, #1
+    @forever:
+        isetp.ge r1, r0, #1
+        bra r1, @forever, @end
+    @end:
+        exit
+    ";
+    let k = assemble("hang", src).expect("valid kernel");
+    let err = gpu.launch(&k, LaunchConfig::linear(1, 32)).unwrap_err();
+    assert!(matches!(
+        err,
+        gpusimpow_sim::gpu::SimError::Watchdog { .. }
+    ));
+}
+
+#[test]
+fn oversized_launch_is_rejected() {
+    let mut gpu = gt240();
+    let k = assemble("k", "exit").expect("valid");
+    // 1024 threads per block exceeds GT240's 768-thread core.
+    let err = gpu.launch(&k, LaunchConfig::linear(1, 1024)).unwrap_err();
+    assert!(matches!(err, gpusimpow_sim::gpu::SimError::Launch(_)));
+}
+
+#[test]
+fn partial_warps_mask_inactive_lanes() {
+    let mut gpu = gt240();
+    let out = gpu.alloc_f32(64);
+    let src = format!(
+        "
+        s2r r0, tid.x
+        shl r1, r0, #2
+        mov r2, #1
+        st.global [r1+{0}], r2
+        exit
+    ",
+        out.addr()
+    );
+    let k = assemble("partial", &src).expect("valid");
+    // 40 threads = one full warp + one 8-lane warp.
+    let report = gpu.launch(&k, LaunchConfig::linear(1, 40)).expect("run");
+    let vals = gpu.d2h_u32(out, 64);
+    assert!(vals[..40].iter().all(|&v| v == 1));
+    assert!(vals[40..].iter().all(|&v| v == 0), "inactive lanes wrote nothing");
+    assert_eq!(report.stats.thread_instructions % 40, 0);
+}
+
+#[test]
+fn launch_rejections_name_the_violated_resource() {
+    use gpusimpow_isa::{KernelBuilder, Reg};
+    use gpusimpow_sim::gpu::SimError;
+    let mut gpu = gt240();
+
+    // Too many registers for the simulator's 64-register scoreboard mask.
+    let mut b = KernelBuilder::new("fat");
+    b.movi(Reg(70), 1);
+    b.exit();
+    let fat = b.build().expect("valid but register-hungry");
+    match gpu.launch(&fat, LaunchConfig::linear(1, 32)) {
+        Err(SimError::Launch(msg)) => assert!(msg.contains("register"), "{msg}"),
+        other => panic!("expected launch rejection, got {other:?}"),
+    }
+
+    // More shared memory than the core provides.
+    let mut b = KernelBuilder::new("smemhog");
+    let _ = b.alloc_smem(1 << 20);
+    b.exit();
+    let hog = b.build().expect("valid but smem-hungry");
+    match gpu.launch(&hog, LaunchConfig::linear(1, 32)) {
+        Err(SimError::Launch(msg)) => assert!(msg.contains("shared memory"), "{msg}"),
+        other => panic!("expected launch rejection, got {other:?}"),
+    }
+
+    // A constant bank beyond the staged segment.
+    let mut b = KernelBuilder::new("consthog");
+    b.push_consts(&vec![0u32; 20_000]);
+    b.exit();
+    let consthog = b.build().expect("valid but const-hungry");
+    match gpu.launch(&consthog, LaunchConfig::linear(1, 32)) {
+        Err(SimError::Launch(msg)) => assert!(msg.contains("constant"), "{msg}"),
+        other => panic!("expected launch rejection, got {other:?}"),
+    }
+}
+
+#[test]
+fn error_messages_are_prose() {
+    use gpusimpow_sim::gpu::SimError;
+    let e = SimError::Watchdog { cycles: 123 };
+    let msg = e.to_string();
+    assert!(msg.contains("123"));
+    assert!(msg.chars().next().unwrap().is_lowercase(), "{msg}");
+}

@@ -1,0 +1,204 @@
+//! Property-based tests on the simulator's core data structures:
+//! coalescer, bank-conflict analysis, SIMT reconvergence stack, cache,
+//! NoC link and DRAM channel invariants.
+
+use proptest::prelude::*;
+
+use gpusimpow_sim::cache::{Probe, SimCache};
+use gpusimpow_sim::dram::{DramChannel, DramRequest};
+use gpusimpow_sim::ldst::{coalesce, const_unique, smem_conflicts};
+use gpusimpow_sim::noc::Link;
+use gpusimpow_sim::simt_stack::SimtStack;
+use gpusimpow_sim::{ActivityStats, DramConfig};
+
+proptest! {
+    // ---- coalescer -------------------------------------------------------
+
+    /// Every input address falls inside one of the produced segments.
+    #[test]
+    fn coalesce_covers_every_address(addrs in proptest::collection::vec(0u32..1_000_000, 1..64)) {
+        let segs = coalesce(&addrs, 128);
+        for a in &addrs {
+            prop_assert!(segs.contains(&(a & !127)), "address {a:#x} uncovered");
+        }
+    }
+
+    /// Output segments are unique, sorted and aligned; never more
+    /// segments than addresses.
+    #[test]
+    fn coalesce_output_is_minimal_sorted_aligned(addrs in proptest::collection::vec(0u32..1_000_000, 1..64)) {
+        let segs = coalesce(&addrs, 128);
+        prop_assert!(segs.len() <= addrs.len());
+        prop_assert!(segs.windows(2).all(|w| w[0] < w[1]), "sorted & unique");
+        prop_assert!(segs.iter().all(|s| s % 128 == 0), "aligned");
+    }
+
+    /// Coalescing is idempotent: feeding the segments back in changes
+    /// nothing.
+    #[test]
+    fn coalesce_idempotent(addrs in proptest::collection::vec(0u32..1_000_000, 1..64)) {
+        let once = coalesce(&addrs, 128);
+        let twice = coalesce(&once, 128);
+        prop_assert_eq!(once, twice);
+    }
+
+    // ---- shared-memory conflicts -------------------------------------------
+
+    /// Serialization passes are bounded by the lane count and at least 1
+    /// for a non-empty access; bank accesses never exceed lanes.
+    #[test]
+    fn smem_conflict_bounds(addrs in proptest::collection::vec(0u32..4096, 1..32)) {
+        let plan = smem_conflicts(&addrs, 16);
+        prop_assert!(plan.passes >= 1);
+        prop_assert!(plan.passes as usize <= addrs.len());
+        prop_assert!(plan.bank_accesses as usize <= addrs.len());
+        // Distinct addresses count >= accesses (broadcast merges).
+        prop_assert!(plan.bank_accesses >= 1);
+    }
+
+    /// A uniform broadcast is always a single conflict-free access.
+    #[test]
+    fn smem_broadcast_free(word in 0u32..4096, lanes in 1usize..32) {
+        let addrs = vec![word; lanes];
+        let plan = smem_conflicts(&addrs, 16);
+        prop_assert_eq!(plan.passes, 1);
+        prop_assert_eq!(plan.bank_accesses, 1);
+    }
+
+    /// The number of distinct constant addresses never exceeds the lane
+    /// count and matches a set-based count.
+    #[test]
+    fn const_unique_matches_set(addrs in proptest::collection::vec(0u32..256, 1..32)) {
+        let set: std::collections::BTreeSet<u32> = addrs.iter().copied().collect();
+        prop_assert_eq!(const_unique(&addrs) as usize, set.len());
+    }
+
+    // ---- SIMT stack -----------------------------------------------------------
+
+    /// A random structured program (nested two-way branches, then exit)
+    /// always terminates with every lane exited and the stack drained,
+    /// and pops account for all pushes plus the base token.
+    #[test]
+    fn simt_stack_random_nesting_terminates(
+        splits in proptest::collection::vec(0u64..u64::MAX, 0..6),
+        mask_seed in 1u64..u64::MAX,
+    ) {
+        // Build a binary tree of branch decisions: at depth d, lanes with
+        // bit set take the branch. PCs are synthetic.
+        let initial = mask_seed | 1; // at least one lane
+        let mut stack = SimtStack::new(0, initial);
+        let mut pushes = 0u64;
+        let mut pops = 0u64;
+        // Execute a fixed walk: for each split, the current top diverges.
+        for (d, split) in splits.iter().enumerate() {
+            let top = match stack.current() {
+                Some(t) => t,
+                None => break,
+            };
+            let taken = top.mask & split;
+            let d = d as u32;
+            let act = stack.branch(1000 + d, 2000 + d, taken, top.pc + 1);
+            pushes += act.pushes;
+            pops += act.pops;
+            // Drive both paths to the reconvergence point.
+            while let Some(t) = stack.current() {
+                if t.pc == 2000 + d || t.reconv_pc == u32::MAX {
+                    break;
+                }
+                let act = stack.advance(2000 + d);
+                pops += act.pops;
+            }
+        }
+        // Exit everything.
+        while stack.current().is_some() {
+            let act = stack.exit_lanes();
+            pops += act.pops;
+        }
+        prop_assert!(stack.finished());
+        prop_assert_eq!(stack.exited_mask(), initial);
+        prop_assert_eq!(pops, pushes + 1, "all pushes + base token popped");
+    }
+
+    // ---- cache ----------------------------------------------------------------
+
+    /// Immediately re-reading an address always hits.
+    #[test]
+    fn cache_read_then_read_hits(addrs in proptest::collection::vec(0u32..65536, 1..128)) {
+        let mut c = SimCache::new(4096, 64, 4);
+        for a in addrs {
+            let _ = c.read(a);
+            prop_assert_eq!(c.read(a), Probe::Hit);
+        }
+    }
+
+    /// A working set that fits in the cache never misses after warmup.
+    #[test]
+    fn cache_capacity_guarantee(base in 0u32..1024) {
+        // 4 KiB cache, 64 B lines, fully covered set of 64 lines... use
+        // 16 lines in distinct sets to avoid associativity evictions.
+        let mut c = SimCache::new(4096, 64, 4);
+        let lines: Vec<u32> = (0..16).map(|i| (base + i) * 64).collect();
+        for &l in &lines {
+            let _ = c.read(l);
+        }
+        for &l in &lines {
+            prop_assert_eq!(c.read(l), Probe::Hit, "line {:#x} evicted", l);
+        }
+    }
+
+    // ---- NoC link -----------------------------------------------------------------
+
+    /// Everything pushed eventually arrives, exactly once, in FIFO order.
+    #[test]
+    fn link_conserves_and_orders_messages(
+        flits in proptest::collection::vec(1usize..8, 1..32),
+        bw in 1usize..8,
+        latency in 0u64..16,
+    ) {
+        let mut link: Link<usize> = Link::new(latency, bw);
+        for (i, f) in flits.iter().enumerate() {
+            link.push(i, *f);
+        }
+        let mut got = Vec::new();
+        let mut cycle = 0;
+        while !link.is_empty() {
+            link.tick(cycle);
+            got.extend(link.pop_ready(cycle));
+            cycle += 1;
+            prop_assert!(cycle < 10_000, "link wedged");
+        }
+        prop_assert_eq!(got, (0..flits.len()).collect::<Vec<_>>());
+    }
+
+    // ---- DRAM channel ------------------------------------------------------------------
+
+    /// Every read completes exactly once; command counts are consistent
+    /// (precharges never exceed activates; bursts cover the bytes).
+    #[test]
+    fn dram_completes_all_reads(
+        reqs in proptest::collection::vec((0u32..1_000_000, prop::bool::ANY), 1..24),
+    ) {
+        let mut ch: DramChannel<usize> = DramChannel::new(DramConfig::gddr5(), 32);
+        let mut stats = ActivityStats::new();
+        let mut expected_reads = Vec::new();
+        for (i, (addr, write)) in reqs.iter().enumerate() {
+            ch.push(DramRequest { write: *write, addr: addr & !31, bytes: 128, token: i }, &mut stats);
+            if !write {
+                expected_reads.push(i);
+            }
+        }
+        let mut done = Vec::new();
+        let mut cycle = 0;
+        while !ch.is_idle() {
+            ch.tick(cycle, &mut stats);
+            done.extend(ch.pop_completed(cycle));
+            cycle += 1;
+            prop_assert!(cycle < 200_000, "dram wedged");
+        }
+        done.sort_unstable();
+        prop_assert_eq!(done, expected_reads);
+        prop_assert!(stats.dram_precharges <= stats.dram_activates);
+        let total_bursts = stats.dram_read_bursts + stats.dram_write_bursts;
+        prop_assert_eq!(total_bursts, 4 * reqs.len() as u64, "4 bursts per 128 B");
+    }
+}

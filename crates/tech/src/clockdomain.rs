@@ -1,0 +1,176 @@
+//! Clock-domain bookkeeping.
+//!
+//! GPUs of the GT200/Fermi era run the shader cores in a fast clock domain
+//! and everything else ("uncore": NoC, L2, memory controllers) in a slower
+//! one. Table II of the paper quotes the uncore clock and the
+//! shader-to-uncore ratio (2.47× for GT240, 2× for GTX580); the DRAM
+//! command clock is yet another domain.
+
+use std::fmt;
+
+use crate::units::{Freq, Time};
+
+/// The set of clock domains of a GPU chip plus its memory interface.
+///
+/// # Examples
+///
+/// ```
+/// use gpusimpow_tech::clockdomain::ClockDomains;
+/// use gpusimpow_tech::units::Freq;
+///
+/// // GT240: 550 MHz uncore, 2.47x shader ratio, 1700 MT/s GDDR5.
+/// let clocks = ClockDomains::new(Freq::from_mhz(550.0), 2.47, Freq::from_mhz(850.0));
+/// assert!((clocks.shader().mhz() - 1358.5).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClockDomains {
+    uncore: Freq,
+    shader_ratio: f64,
+    dram_command: Freq,
+}
+
+impl ClockDomains {
+    /// Creates a clock-domain description.
+    ///
+    /// `shader_ratio` is the shader-to-uncore frequency multiplier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `uncore` or `dram_command` are non-positive, or if
+    /// `shader_ratio < 1.0` (the shader domain is never slower than the
+    /// uncore on the modelled architectures).
+    pub fn new(uncore: Freq, shader_ratio: f64, dram_command: Freq) -> Self {
+        assert!(uncore.hertz() > 0.0, "uncore clock must be positive");
+        assert!(
+            dram_command.hertz() > 0.0,
+            "dram command clock must be positive"
+        );
+        assert!(shader_ratio >= 1.0, "shader ratio must be >= 1");
+        ClockDomains {
+            uncore,
+            shader_ratio,
+            dram_command,
+        }
+    }
+
+    /// Uncore (NoC / L2 / MC) clock.
+    pub fn uncore(&self) -> Freq {
+        self.uncore
+    }
+
+    /// Shader (core) clock: `uncore × ratio`.
+    pub fn shader(&self) -> Freq {
+        Freq::new(self.uncore.hertz() * self.shader_ratio)
+    }
+
+    /// Shader-to-uncore ratio.
+    pub fn shader_ratio(&self) -> f64 {
+        self.shader_ratio
+    }
+
+    /// GDDR command clock (the data rate is 4× this for GDDR5).
+    pub fn dram_command(&self) -> Freq {
+        self.dram_command
+    }
+
+    /// GDDR5 data rate in transfers per second (quad data rate).
+    pub fn dram_data_rate(&self) -> Freq {
+        Freq::new(self.dram_command.hertz() * 4.0)
+    }
+
+    /// Returns a copy with every on-chip clock scaled by `factor`
+    /// (the DRAM clock is left untouched). Used by the §IV-B static-power
+    /// estimation experiment, which re-runs a kernel at 80 % clock.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not in `(0, 2]`.
+    pub fn scaled(&self, factor: f64) -> Self {
+        assert!(
+            factor > 0.0 && factor <= 2.0,
+            "clock scale factor must be in (0, 2]"
+        );
+        ClockDomains {
+            uncore: self.uncore * factor,
+            shader_ratio: self.shader_ratio,
+            dram_command: self.dram_command,
+        }
+    }
+
+    /// Converts a shader-cycle count to wall-clock time.
+    pub fn shader_cycles_to_time(&self, cycles: u64) -> Time {
+        Time::new(cycles as f64 / self.shader().hertz())
+    }
+
+    /// Converts an uncore-cycle count to wall-clock time.
+    pub fn uncore_cycles_to_time(&self, cycles: u64) -> Time {
+        Time::new(cycles as f64 / self.uncore.hertz())
+    }
+
+    /// Number of shader cycles per uncore cycle (may be fractional,
+    /// e.g. 2.47 on GT240).
+    pub fn shader_per_uncore(&self) -> f64 {
+        self.shader_ratio
+    }
+}
+
+impl fmt::Display for ClockDomains {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "uncore {:.0} MHz, shader {:.0} MHz ({}x), dram {:.0} MHz cmd",
+            self.uncore.mhz(),
+            self.shader().mhz(),
+            self.shader_ratio,
+            self.dram_command.mhz()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gt240() -> ClockDomains {
+        ClockDomains::new(Freq::from_mhz(550.0), 2.47, Freq::from_mhz(850.0))
+    }
+
+    #[test]
+    fn shader_clock_is_ratio_times_uncore() {
+        let c = gt240();
+        assert!((c.shader().mhz() - 550.0 * 2.47).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gddr5_is_quad_pumped() {
+        let c = gt240();
+        assert!((c.dram_data_rate().mhz() - 3400.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scaling_preserves_ratio_and_dram() {
+        let c = gt240().scaled(0.8);
+        assert!((c.uncore().mhz() - 440.0).abs() < 1e-9);
+        assert!((c.shader_ratio() - 2.47).abs() < 1e-12);
+        assert!((c.dram_command().mhz() - 850.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cycle_to_time_roundtrip() {
+        let c = gt240();
+        let t = c.shader_cycles_to_time(1_358_500);
+        assert!((t.millis() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "shader ratio")]
+    fn sub_unity_ratio_panics() {
+        let _ = ClockDomains::new(Freq::from_mhz(550.0), 0.5, Freq::from_mhz(850.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "scale factor")]
+    fn bad_scale_factor_panics() {
+        let _ = gt240().scaled(0.0);
+    }
+}

@@ -1,0 +1,42 @@
+//! # gpusimpow-tech — the technology tier
+//!
+//! The lowest tier of the GPUSimPow power model (the analogue of McPAT's
+//! technology layer). It provides:
+//!
+//! * [`units`] — strongly-typed physical quantities ([`units::Energy`],
+//!   [`units::Power`], [`units::Area`], …) used by every other crate;
+//! * [`node`] — process-node parameter sets ([`node::TechNode`]) with an
+//!   ITRS-style table from 90 nm down to 22 nm;
+//! * [`wire`] — on-chip wire capacitance/resistance models;
+//! * [`scaling`] — inter-node scaling of energy, leakage and area;
+//! * [`clockdomain`] — shader/uncore/DRAM clock-domain bookkeeping.
+//!
+//! # Examples
+//!
+//! ```
+//! use gpusimpow_tech::node::TechNode;
+//! use gpusimpow_tech::scaling::NodeScaling;
+//! use gpusimpow_tech::units::Energy;
+//!
+//! // Carry the paper's measured 75 pJ FP-op energy from 40 nm to 28 nm.
+//! let t40 = TechNode::planar(40)?;
+//! let t28 = TechNode::planar(28)?;
+//! let e28 = NodeScaling::between(&t40, &t28).scale_energy(Energy::from_picojoules(75.0));
+//! assert!(e28.picojoules() < 75.0);
+//! # Ok::<(), gpusimpow_tech::node::TechError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod clockdomain;
+pub mod node;
+pub mod scaling;
+pub mod units;
+pub mod wire;
+
+pub use clockdomain::ClockDomains;
+pub use node::{DeviceType, TechError, TechNode};
+pub use scaling::NodeScaling;
+pub use units::{Area, Capacitance, Current, Energy, Freq, Power, Time, Voltage};
+pub use wire::{Wire, WireClass};

@@ -1,0 +1,146 @@
+//! ITRS-style inter-node scaling helpers.
+//!
+//! The paper highlights that building on McPAT lets GPUSimPow "use the ITRS
+//! roadmap scaling techniques" to evaluate an architecture at a different
+//! manufacturing node. This module provides the scaling factors between two
+//! [`TechNode`]s so that empirically measured energies (e.g. the 40 pJ /
+//! 75 pJ per-instruction numbers measured on 40 nm silicon) can be carried
+//! to other nodes.
+
+use crate::node::TechNode;
+use crate::units::Energy;
+
+/// Scaling factors from a source node to a target node.
+///
+/// # Examples
+///
+/// ```
+/// use gpusimpow_tech::node::TechNode;
+/// use gpusimpow_tech::scaling::NodeScaling;
+///
+/// let from = TechNode::planar(40)?;
+/// let to = TechNode::planar(28)?;
+/// let s = NodeScaling::between(&from, &to);
+/// assert!(s.dynamic_energy_factor() < 1.0); // shrinking saves energy
+/// assert!(s.area_factor() < 1.0);
+/// # Ok::<(), gpusimpow_tech::node::TechError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NodeScaling {
+    dynamic_energy: f64,
+    leakage_power: f64,
+    area: f64,
+}
+
+impl NodeScaling {
+    /// Computes the factors that carry per-event energy, leakage power and
+    /// area from `from` to `to`.
+    ///
+    /// * dynamic energy scales as `C·V²`; per-µm capacitance scales with
+    ///   feature size (narrower devices), voltage with the node tables;
+    /// * leakage power per device scales with `Ioff·W·Vdd`;
+    /// * area scales with `F²`.
+    pub fn between(from: &TechNode, to: &TechNode) -> Self {
+        let f_from = from.feature_um();
+        let f_to = to.feature_um();
+        let cap_ratio = (to.gate_cap_per_um().farads() * f_to)
+            / (from.gate_cap_per_um().farads() * f_from);
+        let v_ratio = to.vdd().volts() / from.vdd().volts();
+        let dynamic_energy = cap_ratio * v_ratio * v_ratio;
+
+        let leak_from = from.hp_leak_power_per_um().watts() * f_from;
+        let leak_to = to.hp_leak_power_per_um().watts() * f_to;
+        let leakage_power = leak_to / leak_from;
+
+        let area = (f_to / f_from).powi(2);
+        NodeScaling {
+            dynamic_energy,
+            leakage_power,
+            area,
+        }
+    }
+
+    /// Identity scaling (same node).
+    pub fn identity() -> Self {
+        NodeScaling {
+            dynamic_energy: 1.0,
+            leakage_power: 1.0,
+            area: 1.0,
+        }
+    }
+
+    /// Factor applied to per-event dynamic energies.
+    pub fn dynamic_energy_factor(&self) -> f64 {
+        self.dynamic_energy
+    }
+
+    /// Factor applied to leakage powers.
+    pub fn leakage_power_factor(&self) -> f64 {
+        self.leakage_power
+    }
+
+    /// Factor applied to silicon areas.
+    pub fn area_factor(&self) -> f64 {
+        self.area
+    }
+
+    /// Convenience: scales an energy by the dynamic factor.
+    pub fn scale_energy(&self, e: Energy) -> Energy {
+        e * self.dynamic_energy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_between_same_nodes() {
+        let t = TechNode::planar(40).unwrap();
+        let s = NodeScaling::between(&t, &t);
+        assert!((s.dynamic_energy_factor() - 1.0).abs() < 1e-12);
+        assert!((s.leakage_power_factor() - 1.0).abs() < 1e-12);
+        assert!((s.area_factor() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shrink_reduces_energy_and_area() {
+        let from = TechNode::planar(40).unwrap();
+        let to = TechNode::planar(22).unwrap();
+        let s = NodeScaling::between(&from, &to);
+        assert!(s.dynamic_energy_factor() < 1.0);
+        assert!(s.area_factor() < 1.0);
+        // Area scales exactly as F².
+        assert!((s.area_factor() - (22.0f64 / 40.0).powi(2)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn growing_node_is_inverse_of_shrinking() {
+        let a = TechNode::planar(40).unwrap();
+        let b = TechNode::planar(65).unwrap();
+        let down = NodeScaling::between(&a, &b);
+        let up = NodeScaling::between(&b, &a);
+        assert!((down.dynamic_energy_factor() * up.dynamic_energy_factor() - 1.0).abs() < 1e-9);
+        assert!((down.area_factor() * up.area_factor() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scale_energy_applies_dynamic_factor() {
+        let from = TechNode::planar(40).unwrap();
+        let to = TechNode::planar(28).unwrap();
+        let s = NodeScaling::between(&from, &to);
+        let e = Energy::from_picojoules(75.0);
+        let scaled = s.scale_energy(e);
+        assert!((scaled.picojoules() / 75.0 - s.dynamic_energy_factor()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn per_device_leakage_drops_but_less_than_area() {
+        // Narrower devices leak less in absolute terms, but Ioff/µm grows;
+        // leakage must shrink more slowly than area.
+        let from = TechNode::planar(90).unwrap();
+        let to = TechNode::planar(22).unwrap();
+        let s = NodeScaling::between(&from, &to);
+        assert!(s.leakage_power_factor() > s.area_factor());
+    }
+}

@@ -1,0 +1,89 @@
+//! Design-space exploration — the architect's use case from the paper's
+//! introduction: "computer architects can evaluate design choices early
+//! from a power perspective".
+//!
+//! Sweeps core count and process node for a GT240-class chip running
+//! matrixMul, reporting performance, power and energy per run.
+//!
+//! ```text
+//! cargo run --release --example design_space
+//! ```
+
+use gpusimpow::Simulator;
+use gpusimpow_kernels::matmul::MatrixMul;
+use gpusimpow_sim::GpuConfig;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let workload = MatrixMul { n: 64 };
+
+    println!("=== sweep 1: core count (GT240-class, 40 nm) ===");
+    println!(
+        "{:<10} {:>8} {:>10} {:>10} {:>10} {:>12}",
+        "cores", "cycles", "time[ms]", "static[W]", "total[W]", "energy[mJ]"
+    );
+    for clusters in [1usize, 2, 4, 6, 8] {
+        let mut cfg = GpuConfig::gt240();
+        cfg.clusters = clusters;
+        cfg.name = format!("{}c", clusters * cfg.cores_per_cluster);
+        let mut sim = Simulator::new(cfg)?;
+        let reports = sim.run_benchmark(&workload)?;
+        let r = &reports[0];
+        println!(
+            "{:<10} {:>8} {:>10.3} {:>10.2} {:>10.2} {:>12.4}",
+            sim.config().total_cores(),
+            r.launch.stats.shader_cycles,
+            r.launch.time_s * 1e3,
+            r.power.static_power().watts(),
+            r.power.total_power().watts(),
+            r.power.energy().joules() * 1e3,
+        );
+    }
+
+    println!("\n=== sweep 2: process node (12 cores) ===");
+    println!(
+        "{:<10} {:>10} {:>10} {:>10} {:>12}",
+        "node[nm]", "area[mm2]", "static[W]", "total[W]", "energy[mJ]"
+    );
+    for node in [65u32, 45, 40, 32, 28] {
+        let mut cfg = GpuConfig::gt240();
+        cfg.process_nm = node;
+        cfg.name = format!("{node}nm");
+        let mut sim = Simulator::new(cfg)?;
+        let reports = sim.run_benchmark(&workload)?;
+        let r = &reports[0];
+        println!(
+            "{:<10} {:>10.1} {:>10.2} {:>10.2} {:>12.4}",
+            node,
+            sim.chip().area().mm2(),
+            r.power.static_power().watts(),
+            r.power.total_power().watts(),
+            r.power.energy().joules() * 1e3,
+        );
+    }
+
+    println!("\n=== sweep 3: L2 on a GT240-class chip (the Fermi delta) ===");
+    for l2 in [None, Some(256 * 1024), Some(768 * 1024)] {
+        let mut cfg = GpuConfig::gt240();
+        cfg.l2 = l2.map(|capacity_bytes| gpusimpow_sim::L2Config {
+            capacity_bytes,
+            line_bytes: 128,
+            ways: 8,
+            latency: 20,
+        });
+        cfg.name = match l2 {
+            None => "no L2".to_string(),
+            Some(b) => format!("{} KB L2", b / 1024),
+        };
+        let mut sim = Simulator::new(cfg)?;
+        let reports = sim.run_benchmark(&workload)?;
+        let r = &reports[0];
+        println!(
+            "{:<12} cycles {:>8}, dram reads {:>6}, total {:>6.2} W",
+            sim.config().name,
+            r.launch.stats.shader_cycles,
+            r.launch.stats.dram_read_bursts,
+            r.power.total_power().watts(),
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,61 @@
+//! Drive the virtual measurement testbed (paper §IV-A) directly:
+//! run a kernel on the simulator, "measure" it on the emulated card
+//! through shunts, AD8210s and the 31.2 kHz DAQ, and compare against
+//! the GPUSimPow model — one bar pair of Fig. 6.
+//!
+//! ```text
+//! cargo run --example measure_testbed
+//! ```
+
+use gpusimpow::Simulator;
+use gpusimpow_kernels::blackscholes::BlackScholes;
+use gpusimpow_measure::{KernelExec, Testbed};
+use gpusimpow_sim::GpuConfig;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Simulate the workload.
+    let mut sim = Simulator::gt240()?;
+    let reports = sim.run_benchmark(&BlackScholes { options: 4096 })?;
+    let report = &reports[0];
+
+    // Assemble the testbed around the emulated GT240 card.
+    let mut testbed = Testbed::new(GpuConfig::gt240(), 0xBEEF);
+    println!("reference card states (ground truth):");
+    println!("  long idle (gated): {:.2} W", testbed.hardware().idle_power().watts());
+    println!(
+        "  pre/post kernel:   {:.2} W",
+        testbed.hardware().pre_kernel_power().watts()
+    );
+    println!(
+        "  true static:       {:.2} W\n",
+        testbed.hardware().true_static_power().watts()
+    );
+
+    // Measure the kernel through the full analog chain.
+    let m = &testbed.measure(&[KernelExec::from_report(&report.launch)])[0];
+    let truth = testbed
+        .hardware()
+        .kernel_power(&report.launch.stats, 1.0)
+        .watts();
+    println!("kernel `{}`:", m.name);
+    println!(
+        "  repeated {}x to fill a {:.0} ms window ({} µs per launch)",
+        m.repeats,
+        m.repeats as f64 * m.launch_time.seconds() * 1e3,
+        m.launch_time.seconds() * 1e6
+    );
+    println!("  true card power:      {truth:.2} W");
+    println!(
+        "  measured (DAQ chain): {:.2} W  ({:+.2}% chain error)",
+        m.avg_power.watts(),
+        (m.avg_power.watts() - truth) / truth * 100.0
+    );
+
+    // And the simulator's prediction: chip + DRAM.
+    let simulated = report.power.board_power().watts();
+    println!(
+        "  GPUSimPow predicts:   {simulated:.2} W  ({:+.2}% vs measured)",
+        (simulated - m.avg_power.watts()) / m.avg_power.watts() * 100.0
+    );
+    Ok(())
+}

@@ -1,0 +1,62 @@
+//! Power profiling (paper §V-B): break a kernel's power down to the
+//! individual hardware components, like Table V does for blackscholes.
+//!
+//! ```text
+//! cargo run --example power_profile [benchmark] [gt240|gtx580]
+//! ```
+
+use gpusimpow::Simulator;
+use gpusimpow_kernels::{small_benchmarks, Benchmark};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().collect();
+    let bench_name = args.get(1).map(String::as_str).unwrap_or("blackscholes");
+    let gpu_name = args.get(2).map(String::as_str).unwrap_or("gt240");
+
+    let mut sim = match gpu_name {
+        "gtx580" => Simulator::gtx580()?,
+        _ => Simulator::gt240()?,
+    };
+
+    let bench: Box<dyn Benchmark> = small_benchmarks()
+        .into_iter()
+        .find(|b| b.name() == bench_name)
+        .unwrap_or_else(|| {
+            eprintln!("unknown benchmark `{bench_name}`; available:");
+            for b in small_benchmarks() {
+                eprintln!("  {}", b.name());
+            }
+            std::process::exit(1);
+        });
+
+    println!("profiling `{}` on {}\n", bench.name(), sim.config().name);
+    let reports = sim.run_benchmark(bench.as_ref())?;
+
+    // A benchmark may launch several kernels (and some repeatedly);
+    // print one profile per distinct kernel, first occurrence.
+    let mut seen = std::collections::BTreeSet::new();
+    for r in &reports {
+        if seen.insert(r.launch.kernel.clone()) {
+            println!("{}", r.power);
+            let s = &r.launch.stats;
+            println!(
+                "  activity: {} warp instrs ({} int / {} fp / {} sfu / {} mem lanes: {}i {}f {}s)",
+                s.warp_instructions,
+                s.int_instructions,
+                s.fp_instructions,
+                s.sfu_instructions,
+                s.mem_instructions,
+                s.int_lane_ops,
+                s.fp_lane_ops,
+                s.sfu_lane_ops,
+            );
+            println!(
+                "  memory: {} requests from {} lane-addrs, {:.1}% divergent branches\n",
+                s.coalescer_outputs,
+                s.coalescer_inputs,
+                s.divergence_rate() * 100.0
+            );
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,12 @@
+//! Meta-crate for the GPUSimPow reproduction: re-exports the public
+//! API of all workspace crates. See the `gpusimpow` facade crate for
+//! the primary entry point.
+
+pub use gpusimpow::*;
+pub use gpusimpow_circuit as circuit;
+pub use gpusimpow_isa as isa;
+pub use gpusimpow_kernels as kernels;
+pub use gpusimpow_measure as measure;
+pub use gpusimpow_power as power;
+pub use gpusimpow_sim as sim;
+pub use gpusimpow_tech as tech;

@@ -1,0 +1,59 @@
+//! Determinism guarantees: the whole pipeline — simulator, power model,
+//! and (seeded) testbed — must be bit-reproducible run over run. The
+//! experiment tables in EXPERIMENTS.md rely on this.
+
+use gpusimpow::Simulator;
+use gpusimpow_kernels::{blackscholes::BlackScholes, Benchmark};
+use gpusimpow_measure::{KernelExec, Testbed};
+use gpusimpow_sim::{ActivityStats, Gpu, GpuConfig};
+
+fn run_once() -> (ActivityStats, f64) {
+    let mut sim = Simulator::gt240().expect("preset builds");
+    let reports = sim
+        .run_benchmark(&BlackScholes { options: 2048 })
+        .expect("verifies");
+    (
+        reports[0].launch.stats.clone(),
+        reports[0].power.total_power().watts(),
+    )
+}
+
+#[test]
+fn simulation_and_power_are_bit_reproducible() {
+    let (s1, p1) = run_once();
+    let (s2, p2) = run_once();
+    assert_eq!(s1, s2, "activity counters must match exactly");
+    assert_eq!(p1, p2, "power evaluation must match exactly");
+}
+
+#[test]
+fn repeated_launches_on_one_gpu_are_reproducible() {
+    // Caches are flushed at every launch boundary (begin_launch), so the
+    // second run of the same kernel sees identical state.
+    let mut gpu = Gpu::new(GpuConfig::gt240()).expect("preset builds");
+    let bench = BlackScholes { options: 1024 };
+    let a = bench.run(&mut gpu).expect("first run")[0].stats.clone();
+    let b = bench.run(&mut gpu).expect("second run")[0].stats.clone();
+    // PCIe attribution differs (inputs were already resident), everything
+    // architectural matches.
+    let mut a_cmp = a.clone();
+    let mut b_cmp = b.clone();
+    a_cmp.pcie_h2d_bytes = 0;
+    a_cmp.pcie_d2h_bytes = 0;
+    b_cmp.pcie_h2d_bytes = 0;
+    b_cmp.pcie_d2h_bytes = 0;
+    assert_eq!(a_cmp, b_cmp);
+}
+
+#[test]
+fn seeded_testbed_measurements_are_reproducible() {
+    let mut sim = Simulator::gt240().expect("preset builds");
+    let reports = sim
+        .run_benchmark(&BlackScholes { options: 1024 })
+        .expect("verifies");
+    let exec = KernelExec::from_report(&reports[0].launch);
+    let m1 = Testbed::new(GpuConfig::gt240(), 77).measure(std::slice::from_ref(&exec));
+    let m2 = Testbed::new(GpuConfig::gt240(), 77).measure(std::slice::from_ref(&exec));
+    assert_eq!(m1[0].avg_power.watts(), m2[0].avg_power.watts());
+    assert_eq!(m1[0].repeats, m2[0].repeats);
+}
