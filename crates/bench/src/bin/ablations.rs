@@ -63,7 +63,11 @@ fn main() {
         "{:<14} {:>8} {:>10} {:>10} {:>10}",
         "stride", "cycles", "requests", "dram rd", "mc dyn[W]"
     );
-    for (label, shift) in [("1 (coalesced)", 2u32), ("8 words", 5), ("32 words (worst)", 7)] {
+    for (label, shift) in [
+        ("1 (coalesced)", 2u32),
+        ("8 words", 5),
+        ("32 words (worst)", 7),
+    ] {
         let mut sim = Simulator::gt240().expect("preset builds");
         let buf = sim.gpu_mut().alloc(8 << 20);
         let src = format!(
@@ -79,9 +83,7 @@ fn main() {
             base = buf.addr()
         );
         let k = gpusimpow_isa::assemble("stride", &src).expect("assembles");
-        let r = sim
-            .run(&k, LaunchConfig::linear(16, 256))
-            .expect("runs");
+        let r = sim.run(&k, LaunchConfig::linear(16, 256)).expect("runs");
         println!(
             "{:<14} {:>8} {:>10} {:>10} {:>10.3}",
             label,
@@ -101,9 +103,7 @@ fn main() {
     for stride in [1u32, 2, 4, 8, 16] {
         let mut sim = Simulator::gt240().expect("preset builds");
         let k = micro::conflict_kernel(stride, 256);
-        let r = sim
-            .run(&k, LaunchConfig::linear(12, 16))
-            .expect("runs");
+        let r = sim.run(&k, LaunchConfig::linear(12, 16)).expect("runs");
         println!(
             "{:<10} {:>8} {:>16} {:>14.3}",
             stride,
@@ -115,7 +115,10 @@ fn main() {
 
     // ---- 4. operand collectors -----------------------------------------------------
     println!("\n== ablation 4: operand collectors (area/leakage trade) ==");
-    println!("{:<12} {:>12} {:>12}", "collectors", "rf leak[mW]", "rf area[mm²]");
+    println!(
+        "{:<12} {:>12} {:>12}",
+        "collectors", "rf leak[mW]", "rf area[mm²]"
+    );
     for oc in [2usize, 4, 8] {
         let mut cfg = GpuConfig::gt240();
         cfg.operand_collectors = oc;
@@ -169,9 +172,7 @@ fn main() {
     for depth in 1..=5u32 {
         let mut sim = Simulator::gt240().expect("preset builds");
         let k = micro::divergence_kernel(depth);
-        let r = sim
-            .run(&k, LaunchConfig::linear(12, 256))
-            .expect("runs");
+        let r = sim.run(&k, LaunchConfig::linear(12, 256)).expect("runs");
         let s = &r.launch.stats;
         println!(
             "{:<8} {:>8} {:>12} {:>16}",

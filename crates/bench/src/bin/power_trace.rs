@@ -1,0 +1,117 @@
+//! Windowed power tracing + DVFS governor comparison over the
+//! benchmark suite.
+//!
+//! Simulates each benchmark once on the GT240 model, recording activity
+//! in 2048-cycle windows, then replays the recording under three
+//! power-management policies — no governor (baseline), a
+//! utilization-driven ondemand governor with idle-cluster gating, and a
+//! power-cap governor budgeted at 90 % of the kernel's ungoverned
+//! average power — and reports energy / time / EDP deltas per kernel.
+//!
+//! ```text
+//! cargo run --release -p gpusimpow-bench --bin power_trace [out_dir]
+//! ```
+//!
+//! With an `out_dir` argument, per-kernel CSV and Chrome-trace JSON
+//! files of the ondemand run are written there.
+
+use gpusimpow_kernels::suite::small_benchmarks;
+use gpusimpow_pm::{Baseline, ClusterGating, Ondemand, PowerCap, PowerTracer};
+use gpusimpow_power::GpuChip;
+use gpusimpow_sim::sink::RecordedLaunch;
+use gpusimpow_sim::{Gpu, GpuConfig, WindowRecorder};
+
+const WINDOW_CYCLES: u64 = 2048;
+
+fn main() {
+    let out_dir = std::env::args().nth(1);
+    let cfg = GpuConfig::gt240();
+    let chip = GpuChip::new(&cfg).expect("GT240 chip builds");
+
+    // --- simulate once, recording windows --------------------------------
+    let mut gpu = Gpu::new(cfg).expect("GT240 config builds");
+    gpu.attach_sink(WINDOW_CYCLES, Box::new(WindowRecorder::new()));
+    for bench in small_benchmarks() {
+        if let Err(e) = bench.run(&mut gpu) {
+            eprintln!("skipping {}: {e}", bench.name());
+        }
+    }
+    let mut sink = gpu.detach_sink().expect("sink was attached");
+    let recorder = sink
+        .as_any_mut()
+        .expect("WindowRecorder is 'static")
+        .downcast_mut::<WindowRecorder>()
+        .expect("attached sink is a WindowRecorder");
+    let launches: Vec<RecordedLaunch> = std::mem::take(recorder).into_launches();
+
+    // --- replay under each governor ---------------------------------------
+    let ungoverned = PowerTracer::new(chip.clone());
+    let managed = PowerTracer::new(chip).with_gating(ClusterGating::with_retention(0.1));
+
+    println!(
+        "power management on GT240, {} launches, {WINDOW_CYCLES}-cycle windows",
+        launches.len()
+    );
+    println!(
+        "{:<16} {:>7} {:>9} {:>9} | {:>16} {:>16} {:>10}",
+        "kernel", "windows", "avg[W]", "E[mJ]", "ondemand dE/dT", "powercap dE/dT", "cap ok?"
+    );
+
+    let mut base_edp = 0.0;
+    let mut ondemand_edp = 0.0;
+    let mut powercap_edp = 0.0;
+    for launch in &launches {
+        let base = ungoverned.replay(launch, &mut Baseline);
+        let cap = base.avg_power() * 0.9;
+        let od = managed.replay(launch, &mut Ondemand::default());
+        let pc = managed.replay(launch, &mut PowerCap::new(cap));
+        base_edp += base.edp();
+        ondemand_edp += od.edp();
+        powercap_edp += pc.edp();
+
+        let de = |t: &gpusimpow_pm::PowerTrace| {
+            100.0 * (t.chip_energy().joules() / base.chip_energy().joules() - 1.0)
+        };
+        let dt = |t: &gpusimpow_pm::PowerTrace| {
+            100.0 * (t.duration().seconds() / base.duration().seconds() - 1.0)
+        };
+        let cap_ok = pc
+            .samples
+            .iter()
+            .all(|s| s.total_power().watts() <= cap.watts() * (1.0 + 1e-9));
+        println!(
+            "{:<16} {:>7} {:>9.3} {:>9.3} | {:>+7.1}% {:>+7.1}% {:>+7.1}% {:>+7.1}% {:>10}",
+            launch.kernel,
+            launch.windows.len(),
+            base.avg_power().watts(),
+            base.chip_energy().joules() * 1e3,
+            de(&od),
+            dt(&od),
+            de(&pc),
+            dt(&pc),
+            if cap_ok { "yes" } else { "VIOLATED" },
+        );
+
+        if let Some(dir) = &out_dir {
+            std::fs::create_dir_all(dir).expect("output directory");
+            let safe: String = launch
+                .kernel
+                .chars()
+                .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+                .collect();
+            od.write_csv(format!("{dir}/{safe}_ondemand.csv"))
+                .expect("csv written");
+            od.write_chrome_trace(format!("{dir}/{safe}_ondemand.json"))
+                .expect("chrome trace written");
+        }
+    }
+
+    println!(
+        "suite EDP: baseline {:.3} µJ·s, ondemand {:.3} µJ·s ({:+.1}%), powercap {:.3} µJ·s ({:+.1}%)",
+        base_edp * 1e6,
+        ondemand_edp * 1e6,
+        100.0 * (ondemand_edp / base_edp - 1.0),
+        powercap_edp * 1e6,
+        100.0 * (powercap_edp / base_edp - 1.0),
+    );
+}

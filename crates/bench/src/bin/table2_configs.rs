@@ -9,14 +9,40 @@ fn main() {
     println!("| feature | GT240 | GTX580 |");
     println!("|---|---|---|");
     println!("| #Cores | {} | {} |", gt.total_cores(), gtx.total_cores());
-    println!("| #Threads per core | {} | {} |", gt.max_threads_per_core, gtx.max_threads_per_core);
+    println!(
+        "| #Threads per core | {} | {} |",
+        gt.max_threads_per_core, gtx.max_threads_per_core
+    );
     println!("| #FUs per core | {} | {} |", gt.simd_width, gtx.simd_width);
-    println!("| Uncore clock | {} MHz | {} MHz |", gt.uncore_mhz, gtx.uncore_mhz);
-    println!("| Shader-to-uncore | {}x | {}x |", gt.shader_ratio, gtx.shader_ratio);
-    println!("| #Warps in-flight | {} | {} |", gt.max_warps_per_core(), gtx.max_warps_per_core());
-    println!("| Scoreboard | {} | {} |", if gt.scoreboard {"yes"} else {"no"}, if gtx.scoreboard {"yes"} else {"no"});
-    println!("| L2 size | {} | {} |",
-        gt.l2.map(|l| format!("{} KB", l.capacity_bytes / 1024)).unwrap_or_else(|| "-".into()),
-        gtx.l2.map(|l| format!("{} KB", l.capacity_bytes / 1024)).unwrap_or_else(|| "-".into()));
-    println!("| Process node | {} nm | {} nm |", gt.process_nm, gtx.process_nm);
+    println!(
+        "| Uncore clock | {} MHz | {} MHz |",
+        gt.uncore_mhz, gtx.uncore_mhz
+    );
+    println!(
+        "| Shader-to-uncore | {}x | {}x |",
+        gt.shader_ratio, gtx.shader_ratio
+    );
+    println!(
+        "| #Warps in-flight | {} | {} |",
+        gt.max_warps_per_core(),
+        gtx.max_warps_per_core()
+    );
+    println!(
+        "| Scoreboard | {} | {} |",
+        if gt.scoreboard { "yes" } else { "no" },
+        if gtx.scoreboard { "yes" } else { "no" }
+    );
+    println!(
+        "| L2 size | {} | {} |",
+        gt.l2
+            .map(|l| format!("{} KB", l.capacity_bytes / 1024))
+            .unwrap_or_else(|| "-".into()),
+        gtx.l2
+            .map(|l| format!("{} KB", l.capacity_bytes / 1024))
+            .unwrap_or_else(|| "-".into())
+    );
+    println!(
+        "| Process node | {} nm | {} nm |",
+        gt.process_nm, gtx.process_nm
+    );
 }

@@ -25,7 +25,11 @@ fn main() {
     let time_s = reports[0].time_s;
     println!("\nWCU-internal breakdown (per core, dynamic):");
     for (name, e) in wcu.memory_breakdown(stats) {
-        println!("  {:<22} {:>8.3} mW", name, e.joules() / time_s / 12.0 * 1e3);
+        println!(
+            "  {:<22} {:>8.3} mW",
+            name,
+            e.joules() / time_s / 12.0 * 1e3
+        );
     }
     println!("\npaper (GPU):  overall 17.934/19.207 W, cores 82.2%, NoC 7.3%, MC 6.1%, PCIe 4.1%");
     println!("paper (core): base 0.199, wcu 0.042/0.089, rf 0.112/0.173, exec 0.0096/0.556, ldstu 0.234/0.014, undiff 0.886; DRAM 4.3 W");

@@ -3,9 +3,7 @@
 use gpusimpow::{validate_suite, Simulator, ValidationSummary};
 use gpusimpow_isa::LaunchConfig;
 use gpusimpow_kernels::micro;
-use gpusimpow_measure::{
-    per_op_energy, static_est, KernelExec, Testbed,
-};
+use gpusimpow_measure::{per_op_energy, static_est, KernelExec, Testbed};
 use gpusimpow_power::GpuChip;
 use gpusimpow_sim::{Gpu, GpuConfig};
 
@@ -90,8 +88,7 @@ pub fn table4_static_area(seed: u64) -> Vec<Table4Row> {
         gt_tb.hardware().pre_kernel_power(),
         gpusimpow_tech::units::Time::from_millis(60.0),
     );
-    let ratio =
-        static_est::static_to_idle_ratio(extrapolation.static_estimate, gt_between);
+    let ratio = static_est::static_to_idle_ratio(extrapolation.static_estimate, gt_between);
 
     // GTX580: idle-ratio method with the GT240-derived ratio (the
     // NVIDIA Linux driver cannot change its clocks, §IV-B).
@@ -258,10 +255,7 @@ pub fn measurement_error_budget(boards: usize) -> ErrorBudget {
         let mut tb = Testbed::new(GpuConfig::gt240(), seed);
         for watts in [16.0, 25.0, 40.0, 60.0] {
             let truth = gpusimpow_tech::units::Power::new(watts);
-            let measured = tb.measure_state(
-                truth,
-                gpusimpow_tech::units::Time::from_millis(30.0),
-            );
+            let measured = tb.measure_state(truth, gpusimpow_tech::units::Time::from_millis(30.0));
             let rel = ((measured.watts() - watts) / watts).abs();
             worst = worst.max(rel);
             sum += rel;
@@ -310,8 +304,7 @@ mod tests {
         // per-op energies (the paper's real card measured ≈40/75 pJ; our
         // emulated card's truth is deliberately different so the Fig. 6
         // error is emergent — see DESIGN.md).
-        let truth =
-            gpusimpow_measure::SiliconTruth::for_config(&GpuConfig::gt240());
+        let truth = gpusimpow_measure::SiliconTruth::for_config(&GpuConfig::gt240());
         let int_truth = truth.int_op_j * 1e12;
         let fp_truth = truth.fp_op_j * 1e12;
         assert!(

@@ -3,9 +3,7 @@
 
 use gpusimpow::ValidationSummary;
 
-use crate::experiments::{
-    ErrorBudget, Fig4Point, MicrobenchEnergies, StaticEstimation, Table4Row,
-};
+use crate::experiments::{ErrorBudget, Fig4Point, MicrobenchEnergies, StaticEstimation, Table4Row};
 
 /// Renders Fig. 4 as a table plus an ASCII staircase.
 pub fn fig4(points: &[Fig4Point]) -> String {

@@ -8,8 +8,7 @@ use gpusimpow_sim::GpuConfig;
 
 #[test]
 fn fig6_gt240_reproduces_the_paper_structure() {
-    let summary =
-        experiments::fig6_validation(&GpuConfig::gt240(), experiments::BOARD_SEED, true);
+    let summary = experiments::fig6_validation(&GpuConfig::gt240(), experiments::BOARD_SEED, true);
     assert_eq!(summary.rows.len(), 19, "all 19 Fig. 6 kernels present");
 
     let avg = summary.average_relative_error();
@@ -33,15 +32,14 @@ fn fig6_gt240_reproduces_the_paper_structure() {
         bs.signed_error() * 100.0
     );
     // Static side matches within a couple percent (Table IV).
-    let static_err = (summary.simulated_static_w - summary.measured_static_w).abs()
-        / summary.measured_static_w;
+    let static_err =
+        (summary.simulated_static_w - summary.measured_static_w).abs() / summary.measured_static_w;
     assert!(static_err < 0.05, "static error {static_err}");
 }
 
 #[test]
 fn fig6_gtx580_reproduces_the_paper_structure() {
-    let summary =
-        experiments::fig6_validation(&GpuConfig::gtx580(), experiments::BOARD_SEED, true);
+    let summary = experiments::fig6_validation(&GpuConfig::gtx580(), experiments::BOARD_SEED, true);
     assert_eq!(summary.rows.len(), 19);
     let avg = summary.average_relative_error();
     assert!(avg < 0.20, "average relative error {avg}");
@@ -57,10 +55,10 @@ fn gtx580_draws_roughly_three_to_five_times_gt240_power() {
     // a multiple of the low-end card on the same suite.
     let gt = experiments::fig6_validation(&GpuConfig::gt240(), 3, true);
     let gtx = experiments::fig6_validation(&GpuConfig::gtx580(), 3, true);
-    let gt_mean: f64 = gt.rows.iter().map(|r| r.measured_total_w).sum::<f64>()
-        / gt.rows.len() as f64;
-    let gtx_mean: f64 = gtx.rows.iter().map(|r| r.measured_total_w).sum::<f64>()
-        / gtx.rows.len() as f64;
+    let gt_mean: f64 =
+        gt.rows.iter().map(|r| r.measured_total_w).sum::<f64>() / gt.rows.len() as f64;
+    let gtx_mean: f64 =
+        gtx.rows.iter().map(|r| r.measured_total_w).sum::<f64>() / gtx.rows.len() as f64;
     let factor = gtx_mean / gt_mean;
     assert!(
         (2.5..6.0).contains(&factor),

@@ -163,15 +163,13 @@ impl SramArray {
         let row_width_mm = cols as f64 * cell_dim_um / 1000.0;
         let wl_wire = Wire::new(tech, WireClass::Local, row_width_mm);
         // Two pass-gate inputs per cell hang off the wordline.
-        let wl_cap = wl_wire.capacitance()
-            + cell_gate_cap * (2.0 * cols as f64);
+        let wl_cap = wl_wire.capacitance() + cell_gate_cap * (2.0 * cols as f64);
         let wordline_energy = wl_cap.switching_energy(vdd, vdd);
 
         // --- bitlines -----------------------------------------------------
         let col_height_mm = rows as f64 * cell_dim_um / 1000.0;
         let bl_wire = Wire::new(tech, WireClass::Local, col_height_mm);
-        let bl_cap_per_col: Capacitance =
-            bl_wire.capacitance() + cell_drain_cap * rows as f64;
+        let bl_cap_per_col: Capacitance = bl_wire.capacitance() + cell_drain_cap * rows as f64;
         let read_swing = Voltage::new(vdd.volts() * READ_SWING_FRACTION);
         // Differential pair: both bitlines precharged, one discharges by
         // the swing.

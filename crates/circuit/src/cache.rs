@@ -53,7 +53,10 @@ impl CacheSpec {
         if !self.line_bytes.is_power_of_two() {
             return Err("cache line size must be a power of two");
         }
-        if !self.capacity_bytes.is_multiple_of(self.line_bytes * self.ways) {
+        if !self
+            .capacity_bytes
+            .is_multiple_of(self.line_bytes * self.ways)
+        {
             return Err("capacity must be divisible by line size times ways");
         }
         if self.banks == 0 {

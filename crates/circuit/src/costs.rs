@@ -47,7 +47,12 @@ impl CircuitCosts {
     };
 
     /// Creates a cost bundle.
-    pub const fn new(area: Area, read_energy: Energy, write_energy: Energy, leakage: Power) -> Self {
+    pub const fn new(
+        area: Area,
+        read_energy: Energy,
+        write_energy: Energy,
+        leakage: Power,
+    ) -> Self {
         CircuitCosts {
             area,
             read_energy,
@@ -136,11 +141,7 @@ mod tests {
 
     #[test]
     fn uniform_sets_both_energies() {
-        let u = CircuitCosts::uniform(
-            Area::ZERO,
-            Energy::from_picojoules(5.0),
-            Power::ZERO,
-        );
+        let u = CircuitCosts::uniform(Area::ZERO, Energy::from_picojoules(5.0), Power::ZERO);
         assert_eq!(u.read_energy, u.write_energy);
     }
 }

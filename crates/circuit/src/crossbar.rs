@@ -75,8 +75,7 @@ impl Crossbar {
             + v_wire.capacitance()
             + crosspoint_cap * (inputs + outputs) as f64;
         // Half the bits toggle on an average transfer.
-        let transfer_energy =
-            (per_bit_cap * width_bits as f64).switching_energy(vdd, vdd) * 0.5;
+        let transfer_energy = (per_bit_cap * width_bits as f64).switching_energy(vdd, vdd) * 0.5;
 
         // Area: wire grid plus crosspoint switches.
         let grid_area_mm2 = (inputs as f64 * port_pitch_mm) * (outputs as f64 * port_pitch_mm)
@@ -86,9 +85,8 @@ impl Crossbar {
 
         // Leakage: crosspoint drivers.
         let drivers = (inputs * outputs * width_bits) as f64;
-        let leak_per_driver = (tech.sub_leak_per_um(DeviceType::HighPerformance)
-            * (min_width_um * 2.0))
-            * vdd;
+        let leak_per_driver =
+            (tech.sub_leak_per_um(DeviceType::HighPerformance) * (min_width_um * 2.0)) * vdd;
         let leakage: Power = leak_per_driver * drivers * 0.25;
 
         Ok(Crossbar {

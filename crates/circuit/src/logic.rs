@@ -123,8 +123,7 @@ impl InstructionDecoder {
         // AND-plane: 2^min(opcode_bits, 8) product terms of opcode_bits
         // literals; OR-plane: control_signals outputs.
         let product_terms = 2f64.powi(opcode_bits.min(8) as i32);
-        let gates =
-            product_terms * opcode_bits as f64 * 0.25 + control_signals as f64 * 2.0;
+        let gates = product_terms * opcode_bits as f64 * 0.25 + control_signals as f64 * 2.0;
         let costs = CircuitCosts::uniform(
             gate_area(tech, gates),
             gate_energy(tech, gates, 0.2),

@@ -3,7 +3,9 @@
 
 use proptest::prelude::*;
 
-use gpusimpow_circuit::{Cache, CacheSpec, Crossbar, PriorityEncoder, SramArray, SramSpec, TaggedTable};
+use gpusimpow_circuit::{
+    Cache, CacheSpec, Crossbar, PriorityEncoder, SramArray, SramSpec, TaggedTable,
+};
 use gpusimpow_tech::node::TechNode;
 
 fn arb_node() -> impl Strategy<Value = TechNode> {

@@ -67,8 +67,7 @@ pub fn parse_config(text: &str) -> Result<GpuConfig, ConfigFileError> {
         let (key, value) = (key.trim(), value.trim());
         apply(&mut cfg, key, value).map_err(|m| err(lno, m))?;
     }
-    cfg.validate()
-        .map_err(|e| err(0, e.to_string()))?;
+    cfg.validate().map_err(|e| err(0, e.to_string()))?;
     Ok(cfg)
 }
 
@@ -141,9 +140,7 @@ fn apply(cfg: &mut GpuConfig, key: &str, value: &str) -> Result<(), String> {
             v => {
                 let parts: Vec<&str> = v.split(',').map(str::trim).collect();
                 if parts.len() != 4 {
-                    return Err(
-                        "l2 expects `capacity,line,ways,latency` or `none`".to_string()
-                    );
+                    return Err("l2 expects `capacity,line,ways,latency` or `none`".to_string());
                 }
                 cfg.l2 = Some(L2Config {
                     capacity_bytes: bytes(key, parts[0])?,

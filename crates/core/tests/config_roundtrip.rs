@@ -8,8 +8,8 @@ use gpusimpow_sim::{GpuConfig, WarpSchedPolicy};
 
 fn arb_config() -> impl Strategy<Value = GpuConfig> {
     (
-        1usize..8,                        // clusters
-        1usize..4,                        // cores per cluster
+        1usize..8,                                     // clusters
+        1usize..4,                                     // cores per cluster
         prop_oneof![Just(8usize), Just(16), Just(32)], // simd width
         prop_oneof![Just(40u32), Just(32), Just(28)],  // node
         prop_oneof![

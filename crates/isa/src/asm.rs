@@ -253,25 +253,19 @@ impl Parser {
                 let (dst, cond, a, b) = self.quad(lno, &ops)?;
                 let cond = match cond {
                     Operand::Reg(r) => r,
-                    Operand::Imm(_) => {
-                        return Err(err(lno, "sel condition must be a register"))
-                    }
+                    Operand::Imm(_) => return Err(err(lno, "sel condition must be a register")),
                 };
                 Instr::Sel { dst, cond, a, b }
             }
             "s2r" => {
                 let dst = parse_reg(lno, ops.first().map(String::as_str).unwrap_or(""))?;
-                let sr = parse_special(
-                    lno,
-                    ops.get(1).map(String::as_str).unwrap_or(""),
-                )?;
+                let sr = parse_special(lno, ops.get(1).map(String::as_str).unwrap_or(""))?;
                 Instr::S2R { dst, sr }
             }
             "ld.global" | "ld.shared" | "ld.const" => {
                 let space = parse_space(&mnemonic[3..]);
                 let dst = parse_reg(lno, ops.first().map(String::as_str).unwrap_or(""))?;
-                let (addr, offset) =
-                    parse_mem(lno, ops.get(1).map(String::as_str).unwrap_or(""))?;
+                let (addr, offset) = parse_mem(lno, ops.get(1).map(String::as_str).unwrap_or(""))?;
                 Instr::Ld {
                     space,
                     dst,
@@ -281,8 +275,7 @@ impl Parser {
             }
             "st.global" | "st.shared" => {
                 let space = parse_space(&mnemonic[3..]);
-                let (addr, offset) =
-                    parse_mem(lno, ops.first().map(String::as_str).unwrap_or(""))?;
+                let (addr, offset) = parse_mem(lno, ops.first().map(String::as_str).unwrap_or(""))?;
                 let src = parse_reg(lno, ops.get(1).map(String::as_str).unwrap_or(""))?;
                 Instr::St {
                     space,
@@ -295,10 +288,8 @@ impl Parser {
                 let cond = parse_reg(lno, ops.first().map(String::as_str).unwrap_or(""))?;
                 let target = parse_label(lno, ops.get(1).map(String::as_str).unwrap_or(""))?;
                 let reconv = parse_label(lno, ops.get(2).map(String::as_str).unwrap_or(""))?;
-                self.pending
-                    .push((lno, at, PendingRef::BraTarget(target)));
-                self.pending
-                    .push((lno, at, PendingRef::BraReconv(reconv)));
+                self.pending.push((lno, at, PendingRef::BraTarget(target)));
+                self.pending.push((lno, at, PendingRef::BraReconv(reconv)));
                 Instr::Bra {
                     cond,
                     negate: mnemonic.ends_with(".z"),

@@ -103,10 +103,7 @@ impl KernelBuilder {
     ///
     /// Panics if the label is already bound.
     pub fn bind(&mut self, label: Label) {
-        assert!(
-            self.labels[label.0].is_none(),
-            "label bound twice"
-        );
+        assert!(self.labels[label.0].is_none(), "label bound twice");
         self.labels[label.0] = Some(self.here());
     }
 
@@ -726,9 +723,16 @@ mod tests {
     #[test]
     fn for_range_emits_counted_loop() {
         let mut b = KernelBuilder::new("t");
-        b.for_range(Reg(0), Reg(1), Operand::imm_u32(0), Operand::imm_u32(10), 2, |b| {
-            b.nop();
-        });
+        b.for_range(
+            Reg(0),
+            Reg(1),
+            Operand::imm_u32(0),
+            Operand::imm_u32(10),
+            2,
+            |b| {
+                b.nop();
+            },
+        );
         b.exit();
         let k = b.build().unwrap();
         // mov, isetp, bra, nop, iadd, jmp, exit

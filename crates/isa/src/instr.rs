@@ -381,7 +381,10 @@ impl Instr {
             | Instr::Mov { .. }
             | Instr::Sel { .. }
             | Instr::S2R { .. } => InstrClass::Int,
-            Instr::FAlu { .. } | Instr::FFma { .. } | Instr::FSetp { .. } | Instr::I2F { .. }
+            Instr::FAlu { .. }
+            | Instr::FFma { .. }
+            | Instr::FSetp { .. }
+            | Instr::I2F { .. }
             | Instr::F2I { .. } => InstrClass::Fp,
             Instr::Sfu { .. } => InstrClass::Sfu,
             Instr::Ld { .. } | Instr::St { .. } => InstrClass::Mem,
@@ -432,9 +435,7 @@ impl Instr {
                 push(&mut v, b);
                 push(&mut v, c);
             }
-            Instr::Sfu { a, .. } | Instr::I2F { a, .. } | Instr::F2I { a, .. } => {
-                push(&mut v, a)
-            }
+            Instr::Sfu { a, .. } | Instr::I2F { a, .. } | Instr::F2I { a, .. } => push(&mut v, a),
             Instr::Mov { src, .. } => push(&mut v, src),
             Instr::Sel { cond, a, b, .. } => {
                 v.push(*cond);

@@ -37,7 +37,10 @@ impl fmt::Display for KernelError {
         match self {
             KernelError::Empty => write!(f, "kernel has no instructions"),
             KernelError::RegisterOutOfRange { pc, reg } => {
-                write!(f, "instruction {pc} uses {reg} beyond the declared register count")
+                write!(
+                    f,
+                    "instruction {pc} uses {reg} beyond the declared register count"
+                )
             }
             KernelError::TargetOutOfRange { pc, target } => {
                 write!(f, "instruction {pc} targets pc {target} outside the code")
@@ -152,17 +155,15 @@ impl Kernel {
                 }
             }
             match *instr {
-                Instr::Bra { target, reconv, .. }
-                    if (target > len || reconv > len) => {
-                        return Err(KernelError::TargetOutOfRange {
-                            pc,
-                            target: target.max(reconv),
-                        });
-                    }
-                Instr::Jmp { target }
-                    if target > len => {
-                        return Err(KernelError::TargetOutOfRange { pc, target });
-                    }
+                Instr::Bra { target, reconv, .. } if (target > len || reconv > len) => {
+                    return Err(KernelError::TargetOutOfRange {
+                        pc,
+                        target: target.max(reconv),
+                    });
+                }
+                Instr::Jmp { target } if target > len => {
+                    return Err(KernelError::TargetOutOfRange { pc, target });
+                }
                 Instr::St {
                     space: MemSpace::Const,
                     ..

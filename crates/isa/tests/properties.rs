@@ -5,8 +5,8 @@
 use proptest::prelude::*;
 
 use gpusimpow_isa::{
-    assemble, disassemble, CmpOp, FpOp, Instr, IntOp, KernelBuilder, MemSpace, Operand, Reg,
-    SfuOp, SpecialReg,
+    assemble, disassemble, CmpOp, FpOp, Instr, IntOp, KernelBuilder, MemSpace, Operand, Reg, SfuOp,
+    SpecialReg,
 };
 
 fn arb_reg() -> impl Strategy<Value = Reg> {
@@ -94,8 +94,7 @@ fn arb_straightline() -> impl Strategy<Value = Instr> {
             .prop_map(|(op, dst, a, b)| Instr::FAlu { op, dst, a, b }),
         (arb_reg(), arb_operand(), arb_operand(), arb_operand())
             .prop_map(|(dst, a, b, c)| Instr::FFma { dst, a, b, c }),
-        (arb_sfu_op(), arb_reg(), arb_operand())
-            .prop_map(|(op, dst, a)| Instr::Sfu { op, dst, a }),
+        (arb_sfu_op(), arb_reg(), arb_operand()).prop_map(|(op, dst, a)| Instr::Sfu { op, dst, a }),
         (arb_cmp(), arb_reg(), arb_operand(), arb_operand())
             .prop_map(|(op, dst, a, b)| Instr::ISetp { op, dst, a, b }),
         (arb_cmp(), arb_reg(), arb_operand(), arb_operand())
@@ -106,27 +105,24 @@ fn arb_straightline() -> impl Strategy<Value = Instr> {
         (arb_reg(), arb_reg(), arb_operand(), arb_operand())
             .prop_map(|(dst, cond, a, b)| Instr::Sel { dst, cond, a, b }),
         (arb_reg(), arb_special()).prop_map(|(dst, sr)| Instr::S2R { dst, sr }),
-        (arb_reg(), arb_reg(), -512i32..512)
-            .prop_map(|(dst, addr, offset)| Instr::Ld {
-                space: MemSpace::Global,
-                dst,
-                addr,
-                offset: offset * 4,
-            }),
-        (arb_reg(), arb_reg(), -512i32..512)
-            .prop_map(|(dst, addr, offset)| Instr::Ld {
-                space: MemSpace::Shared,
-                dst,
-                addr,
-                offset: offset * 4,
-            }),
-        (arb_reg(), arb_reg(), -512i32..512)
-            .prop_map(|(src, addr, offset)| Instr::St {
-                space: MemSpace::Global,
-                src,
-                addr,
-                offset: offset * 4,
-            }),
+        (arb_reg(), arb_reg(), -512i32..512).prop_map(|(dst, addr, offset)| Instr::Ld {
+            space: MemSpace::Global,
+            dst,
+            addr,
+            offset: offset * 4,
+        }),
+        (arb_reg(), arb_reg(), -512i32..512).prop_map(|(dst, addr, offset)| Instr::Ld {
+            space: MemSpace::Shared,
+            dst,
+            addr,
+            offset: offset * 4,
+        }),
+        (arb_reg(), arb_reg(), -512i32..512).prop_map(|(src, addr, offset)| Instr::St {
+            space: MemSpace::Global,
+            src,
+            addr,
+            offset: offset * 4,
+        }),
         Just(Instr::Bar),
         Just(Instr::Nop),
     ]

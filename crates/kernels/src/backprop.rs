@@ -114,7 +114,8 @@ impl Benchmark for Backprop {
         let mut want_w = weights.clone();
         for i in 0..n as usize {
             for j in 0..HID as usize {
-                let dw = LEARNING_RATE * delta[j] * input[i] + MOMENTUM * oldw[i * HID as usize + j];
+                let dw =
+                    LEARNING_RATE * delta[j] * input[i] + MOMENTUM * oldw[i * HID as usize + j];
                 want_w[i * HID as usize + j] += dw;
             }
         }

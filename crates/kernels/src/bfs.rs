@@ -285,10 +285,10 @@ mod tests {
         let g = random_graph(256, 4, 1);
         assert_eq!(g.offsets.len(), 257);
         assert!(g.edges.iter().all(|&e| e < 256));
-        assert!(g
-            .offsets
-            .windows(2)
-            .all(|w| w[0] < w[1], ), "every node has at least one edge");
+        assert!(
+            g.offsets.windows(2).all(|w| w[0] < w[1],),
+            "every node has at least one edge"
+        );
     }
 
     #[test]

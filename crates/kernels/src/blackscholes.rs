@@ -88,8 +88,8 @@ impl Benchmark for BlackScholes {
 /// CPU reference (same polynomial, f32 arithmetic).
 pub fn reference(s: f32, x: f32, t: f32) -> (f32, f32) {
     let sqrt_t = t.sqrt();
-    let d1 = ((s / x).ln() + (RISK_FREE + 0.5 * VOLATILITY * VOLATILITY) * t)
-        / (VOLATILITY * sqrt_t);
+    let d1 =
+        ((s / x).ln() + (RISK_FREE + 0.5 * VOLATILITY * VOLATILITY) * t) / (VOLATILITY * sqrt_t);
     let d2 = d1 - VOLATILITY * sqrt_t;
     let exp_rt = (-RISK_FREE * t).exp();
     let call = s * cnd(d1) - x * exp_rt * cnd(d2);
@@ -199,7 +199,11 @@ fn build_kernel(price: u32, strike: u32, years: u32, call: u32, put: u32) -> gpu
 
     // exp_rt = exp(-r*t)
     let exp_rt = Reg(18);
-    k.fmul(exp_rt, t, Operand::imm_f32(-RISK_FREE * std::f32::consts::LOG2_E));
+    k.fmul(
+        exp_rt,
+        t,
+        Operand::imm_f32(-RISK_FREE * std::f32::consts::LOG2_E),
+    );
     k.sfu(SfuOp::Ex2, exp_rt, exp_rt);
 
     // call = S*cnd1 - X*exp_rt*cnd2

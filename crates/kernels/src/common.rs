@@ -123,11 +123,7 @@ pub fn check_f32(
 /// # Errors
 ///
 /// Returns a description of the first mismatch.
-pub fn check_u32(
-    benchmark: &'static str,
-    got: &[u32],
-    want: &[u32],
-) -> Result<(), BenchError> {
+pub fn check_u32(benchmark: &'static str, got: &[u32], want: &[u32]) -> Result<(), BenchError> {
     if got.len() != want.len() {
         return Err(BenchError::Verification {
             benchmark,

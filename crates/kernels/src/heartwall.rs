@@ -82,7 +82,13 @@ impl Benchmark for Heartwall {
         gpu.h2d_f32(d_tpl, &templates);
         gpu.h2d_u32(d_org, &origin_words);
 
-        let kernel = build_kernel(d_image.addr(), d_tpl.addr(), d_org.addr(), d_out.addr(), frame);
+        let kernel = build_kernel(
+            d_image.addr(),
+            d_tpl.addr(),
+            d_org.addr(),
+            d_out.addr(),
+            frame,
+        );
         let launch = LaunchConfig::new(Dim2::linear(pts), Dim2::xy(SEARCH, SEARCH));
         let report = gpu.launch(&kernel, launch)?;
 
@@ -94,12 +100,7 @@ impl Benchmark for Heartwall {
 }
 
 /// CPU reference: SSD of each template at each displacement.
-pub fn reference(
-    image: &[f32],
-    templates: &[f32],
-    origins: &[(u32, u32)],
-    frame: u32,
-) -> Vec<f32> {
+pub fn reference(image: &[f32], templates: &[f32], origins: &[(u32, u32)], frame: u32) -> Vec<f32> {
     let mut out = Vec::with_capacity(origins.len() * (SEARCH * SEARCH) as usize);
     for (p, &(ox, oy)) in origins.iter().enumerate() {
         for dy in 0..SEARCH {
@@ -107,10 +108,8 @@ pub fn reference(
                 let mut ssd = 0f32;
                 for ty in 0..TPL {
                     for tx in 0..TPL {
-                        let iv = image
-                            [((oy + dy + ty) * frame + ox + dx + tx) as usize];
-                        let tv = templates
-                            [p * (TPL * TPL) as usize + (ty * TPL + tx) as usize];
+                        let iv = image[((oy + dy + ty) * frame + ox + dx + tx) as usize];
+                        let tv = templates[p * (TPL * TPL) as usize + (ty * TPL + tx) as usize];
                         let d = iv - tv;
                         ssd = d.mul_add(d, ssd);
                     }
@@ -137,7 +136,12 @@ fn build_kernel(image: u32, tpl: u32, org: u32, out: u32, frame: u32) -> gpusimp
     let lin = Reg(3);
     k.imad(lin, ty, Operand::imm_u32(SEARCH), tx);
     let stager = Reg(4);
-    k.isetp(gpusimpow_isa::CmpOp::Lt, stager, lin, Operand::imm_u32(TPL * TPL));
+    k.isetp(
+        gpusimpow_isa::CmpOp::Lt,
+        stager,
+        lin,
+        Operand::imm_u32(TPL * TPL),
+    );
     let tmp = Reg(5);
     let val = Reg(6);
     k.if_then(stager, |k| {

@@ -206,34 +206,41 @@ fn build_assign(inverted: u32, membership: u32, n: u32, f: u32, c: u32) -> gpusi
 
     let kk = Reg(5);
     let kcond = Reg(6);
-    k.for_range(kk, kcond, Operand::imm_u32(0), Operand::imm_u32(c), 1, |k| {
-        let dist = Reg(7);
-        k.movf(dist, 0.0);
-        let j = Reg(8);
-        let jcond = Reg(9);
-        k.for_range(j, jcond, Operand::imm_u32(0), Operand::imm_u32(f), 1, |k| {
-            // x = inverted[j*n + p]
-            let xa = Reg(10);
-            let x = Reg(11);
-            k.imad(xa, j, Operand::imm_u32(n), p);
-            k.shl(xa, xa, Operand::imm_u32(2));
-            k.ld_global(x, xa, inverted as i32);
-            // cv = const[kk*f + j] (broadcast within the warp)
-            let ca = Reg(12);
-            let cv = Reg(13);
-            k.imad(ca, kk, Operand::imm_u32(f), j);
-            k.shl(ca, ca, Operand::imm_u32(2));
-            k.ld_const(cv, ca, 0);
-            let diff = Reg(14);
-            k.fsub(diff, x, cv);
-            k.ffma(dist, diff, diff, dist);
-        });
-        let closer = Reg(15);
-        k.fsetp(CmpOp::Lt, closer, dist, best_d);
-        k.sel(best, closer, kk, best);
-        // best_d = min(best_d, dist) — bitwise select via fmin
-        k.fmin(best_d, best_d, dist);
-    });
+    k.for_range(
+        kk,
+        kcond,
+        Operand::imm_u32(0),
+        Operand::imm_u32(c),
+        1,
+        |k| {
+            let dist = Reg(7);
+            k.movf(dist, 0.0);
+            let j = Reg(8);
+            let jcond = Reg(9);
+            k.for_range(j, jcond, Operand::imm_u32(0), Operand::imm_u32(f), 1, |k| {
+                // x = inverted[j*n + p]
+                let xa = Reg(10);
+                let x = Reg(11);
+                k.imad(xa, j, Operand::imm_u32(n), p);
+                k.shl(xa, xa, Operand::imm_u32(2));
+                k.ld_global(x, xa, inverted as i32);
+                // cv = const[kk*f + j] (broadcast within the warp)
+                let ca = Reg(12);
+                let cv = Reg(13);
+                k.imad(ca, kk, Operand::imm_u32(f), j);
+                k.shl(ca, ca, Operand::imm_u32(2));
+                k.ld_const(cv, ca, 0);
+                let diff = Reg(14);
+                k.fsub(diff, x, cv);
+                k.ffma(dist, diff, diff, dist);
+            });
+            let closer = Reg(15);
+            k.fsetp(CmpOp::Lt, closer, dist, best_d);
+            k.sel(best, closer, kk, best);
+            // best_d = min(best_d, dist) — bitwise select via fmin
+            k.fmin(best_d, best_d, dist);
+        },
+    );
     let ma = Reg(16);
     k.shl(ma, p, Operand::imm_u32(2));
     k.st_global(best, ma, membership as i32);
@@ -275,7 +282,10 @@ mod tests {
         .unwrap();
         assert_eq!(reports.len(), 3, "one invert + two assign launches");
         let assign = &reports[1].stats;
-        assert!(assign.const_accesses > 0, "centres come from constant memory");
+        assert!(
+            assign.const_accesses > 0,
+            "centres come from constant memory"
+        );
         assert!(assign.fp_lane_ops > 0);
     }
 }

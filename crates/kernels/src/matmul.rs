@@ -45,7 +45,10 @@ impl Benchmark for MatrixMul {
 
     fn run(&self, gpu: &mut Gpu) -> Result<Vec<LaunchReport>, BenchError> {
         let n = self.n;
-        assert!(n.is_multiple_of(TILE), "matrix dimension must be a tile multiple");
+        assert!(
+            n.is_multiple_of(TILE),
+            "matrix dimension must be a tile multiple"
+        );
         let mut rng = XorShift::new(0x3A7);
         let av: Vec<f32> = (0..n * n).map(|_| rng.next_range(-1.0, 1.0)).collect();
         let bv: Vec<f32> = (0..n * n).map(|_| rng.next_range(-1.0, 1.0)).collect();

@@ -91,8 +91,7 @@ impl Benchmark for MergeSort {
         let tiles = gpu.d2h_u32(d_keys, n as usize);
         let mut want_tiles = Vec::with_capacity(n as usize);
         for t in 0..(n / TILE) as usize {
-            let mut tile: Vec<u32> =
-                keys[t * TILE as usize..(t + 1) * TILE as usize].to_vec();
+            let mut tile: Vec<u32> = keys[t * TILE as usize..(t + 1) * TILE as usize].to_vec();
             tile.sort_unstable();
             want_tiles.extend(tile);
         }
@@ -111,7 +110,12 @@ impl Benchmark for MergeSort {
             LaunchConfig::linear(ranks_len.div_ceil(256).max(1), 256.min(ranks_len)),
         )?);
         // k4: elementary merges.
-        let k4 = build_merge(d_keys.addr(), d_out.addr(), d_start_a.addr(), d_end_a.addr());
+        let k4 = build_merge(
+            d_keys.addr(),
+            d_out.addr(),
+            d_start_a.addr(),
+            d_end_a.addr(),
+        );
         reports.push(gpu.launch(
             &k4,
             LaunchConfig::linear(ranks_len.div_ceil(256).max(1), 256.min(ranks_len)),
@@ -131,7 +135,7 @@ impl Benchmark for MergeSort {
 }
 
 /// CPU stable merge (ties take from `a` first), matching the GPU rule.
-pub fn stable_merge(a: &[u32], b: &[u32], ) -> Vec<u32> {
+pub fn stable_merge(a: &[u32], b: &[u32]) -> Vec<u32> {
     let mut out = Vec::with_capacity(a.len() + b.len());
     let (mut i, mut j) = (0, 0);
     while i < a.len() || j < b.len() {

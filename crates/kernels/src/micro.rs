@@ -165,7 +165,12 @@ pub fn cluster_step_kernel(iterations: u32) -> Kernel {
         |k| {
             for _ in 0..4 {
                 k.ffma(acc, acc, Operand::imm_f32(1.0001), x);
-                k.imad(s, s, Operand::imm_u32(1664525), Operand::imm_u32(1013904223));
+                k.imad(
+                    s,
+                    s,
+                    Operand::imm_u32(1664525),
+                    Operand::imm_u32(1013904223),
+                );
             }
         },
     );

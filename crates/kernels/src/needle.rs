@@ -51,9 +51,7 @@ impl Benchmark for Needle {
         let dim = n + 1;
         let mut rng = XorShift::new(0x4E);
         // Substitution scores in [-4, 4].
-        let reference_scores: Vec<i32> = (0..n * n)
-            .map(|_| rng.next_below(9) as i32 - 4)
-            .collect();
+        let reference_scores: Vec<i32> = (0..n * n).map(|_| rng.next_below(9) as i32 - 4).collect();
         // DP matrix with the classic gap-penalty borders.
         let mut matrix = vec![0i32; (dim * dim) as usize];
         for i in 0..dim as usize {
@@ -65,7 +63,10 @@ impl Benchmark for Needle {
         let d_m = gpu.alloc_f32(dim * dim);
         gpu.h2d_u32(
             d_ref,
-            &reference_scores.iter().map(|&v| v as u32).collect::<Vec<_>>(),
+            &reference_scores
+                .iter()
+                .map(|&v| v as u32)
+                .collect::<Vec<_>>(),
         );
         gpu.h2d_u32(d_m, &matrix.iter().map(|&v| v as u32).collect::<Vec<_>>());
 

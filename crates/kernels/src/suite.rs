@@ -97,13 +97,9 @@ mod tests {
     #[test]
     fn suite_covers_the_19_fig6_kernels() {
         let suite = all_benchmarks();
-        let mut names: Vec<String> = suite
-            .iter()
-            .flat_map(|b| b.kernel_names())
-            .collect();
+        let mut names: Vec<String> = suite.iter().flat_map(|b| b.kernel_names()).collect();
         names.sort();
-        let mut expected: Vec<String> =
-            fig6_kernel_order().into_iter().map(String::from).collect();
+        let mut expected: Vec<String> = fig6_kernel_order().into_iter().map(String::from).collect();
         expected.sort();
         assert_eq!(names, expected);
         assert_eq!(expected.len(), 19);

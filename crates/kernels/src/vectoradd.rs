@@ -39,7 +39,10 @@ impl Benchmark for VectorAdd {
     }
 
     fn run(&self, gpu: &mut Gpu) -> Result<Vec<LaunchReport>, BenchError> {
-        assert!(self.n.is_multiple_of(256), "n must be a multiple of the block size");
+        assert!(
+            self.n.is_multiple_of(256),
+            "n must be a multiple of the block size"
+        );
         let mut rng = XorShift::new(0xADD);
         let av: Vec<f32> = (0..self.n).map(|_| rng.next_range(-8.0, 8.0)).collect();
         let bv: Vec<f32> = (0..self.n).map(|_| rng.next_range(-8.0, 8.0)).collect();

@@ -96,10 +96,8 @@ mod tests {
         // Calibrate the ratio on the GT240...
         let mut gt = Testbed::new(GpuConfig::gt240(), 6);
         let gt_static = estimate_by_clock_scaling(&mut gt, &exec()).static_estimate;
-        let gt_between = gt.measure_state(
-            gt.hardware().pre_kernel_power(),
-            Time::from_millis(60.0),
-        );
+        let gt_between =
+            gt.measure_state(gt.hardware().pre_kernel_power(), Time::from_millis(60.0));
         let ratio = static_to_idle_ratio(gt_static, gt_between);
         assert!((0.8..1.0).contains(&ratio), "ratio {ratio} (paper ~0.9)");
         // ...and apply it to the GTX580.

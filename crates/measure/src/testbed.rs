@@ -145,9 +145,7 @@ impl Testbed {
         let mut out = Vec::with_capacity(execs.len());
         let mut t = 0.0f64;
         for exec in execs {
-            let launch_time = self
-                .hardware
-                .kernel_time(&exec.stats, exec.clock_scale);
+            let launch_time = self.hardware.kernel_time(&exec.stats, exec.clock_scale);
             let repeats = (MIN_WINDOW_S / launch_time.seconds()).ceil().max(1.0) as u32;
             let window = launch_time.seconds() * repeats as f64;
             let true_power = self.hardware.kernel_power(&exec.stats, exec.clock_scale);
@@ -179,10 +177,8 @@ impl Testbed {
             // Analog outputs of the conditioning board for this rail.
             let i_analog = self.current_sense[i].output(state.current);
             let v_analog = self.voltage_sense[i].output(state.voltage);
-            let (_, i_samples) =
-                sample_window(&mut self.current_daq[i], t0, t1, |_| i_analog);
-            let (_, v_samples) =
-                sample_window(&mut self.voltage_daq[i], t0, t1, |_| v_analog);
+            let (_, i_samples) = sample_window(&mut self.current_daq[i], t0, t1, |_| i_analog);
+            let (_, v_samples) = sample_window(&mut self.voltage_daq[i], t0, t1, |_| v_analog);
             for (k, (iv, vv)) in i_samples.iter().zip(&v_samples).enumerate() {
                 let current = self.current_sense[i].reconstruct(*iv);
                 let voltage = self.voltage_sense[i].reconstruct(*vv);

@@ -1,0 +1,209 @@
+//! DVFS governors: policies that pick an operating point per window.
+//!
+//! A governor sees each activity window *with* the estimated chip power
+//! that window would draw at every available operating point
+//! ([`WindowContext::power_at`]) and returns the index to run it at.
+//! Letting the policy act on the window it is deciding for (rather than
+//! one window late) is the usual idealization in replay-based DVFS
+//! studies; it is what makes a power cap enforceable per-window rather
+//! than merely in steady state.
+
+use gpusimpow_sim::ActivityWindow;
+use gpusimpow_tech::clockdomain::DvfsTable;
+use gpusimpow_tech::units::Power;
+
+/// Everything a governor may consult when picking an operating point.
+#[derive(Debug)]
+pub struct WindowContext<'a> {
+    /// The activity window being decided.
+    pub window: &'a ActivityWindow,
+    /// Core-busy fraction of the window in `[0, 1]`.
+    pub utilization: f64,
+    /// Operating point used for the previous window (the nominal index
+    /// for the first window of a launch).
+    pub prev_op: usize,
+    /// The DVFS table in effect.
+    pub dvfs: &'a DvfsTable,
+    /// Estimated chip total power of this window at each operating
+    /// point, same indexing as `dvfs` (slowest first; monotonically
+    /// non-decreasing in practice).
+    pub power_at: &'a [Power],
+}
+
+/// A per-window DVFS policy.
+pub trait Governor {
+    /// Short policy name (used in trace labels and CSV file names).
+    fn name(&self) -> &str;
+
+    /// Picks the operating-point index for `ctx.window`.
+    fn select(&mut self, ctx: &WindowContext<'_>) -> usize;
+
+    /// Resets per-launch state (called between launches of a suite).
+    fn reset(&mut self) {}
+}
+
+/// No power management: every window runs at the nominal point.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Baseline;
+
+impl Governor for Baseline {
+    fn name(&self) -> &str {
+        "baseline"
+    }
+
+    fn select(&mut self, ctx: &WindowContext<'_>) -> usize {
+        ctx.dvfs.nominal_index()
+    }
+}
+
+/// Linux-`ondemand`-style utilization governor: jump to nominal when
+/// utilization exceeds the up-threshold, step one point down when it
+/// falls below the down-threshold, otherwise hold.
+#[derive(Debug, Clone, Copy)]
+pub struct Ondemand {
+    /// Utilization above which the governor jumps to nominal.
+    pub up_threshold: f64,
+    /// Utilization below which the governor steps one point down.
+    pub down_threshold: f64,
+}
+
+impl Default for Ondemand {
+    fn default() -> Self {
+        Ondemand {
+            up_threshold: 0.6,
+            down_threshold: 0.3,
+        }
+    }
+}
+
+impl Governor for Ondemand {
+    fn name(&self) -> &str {
+        "ondemand"
+    }
+
+    fn select(&mut self, ctx: &WindowContext<'_>) -> usize {
+        if ctx.utilization >= self.up_threshold {
+            // Like Linux ondemand: go straight to the top on load.
+            ctx.dvfs.nominal_index()
+        } else if ctx.utilization < self.down_threshold {
+            ctx.prev_op.saturating_sub(1)
+        } else {
+            ctx.prev_op
+        }
+    }
+}
+
+/// Power-cap governor: runs each window at the fastest operating point
+/// whose estimated window power stays at or below the cap, falling back
+/// to the slowest point when even that exceeds it. As long as the
+/// slowest point is under the cap, every window of the trace honours it.
+#[derive(Debug, Clone, Copy)]
+pub struct PowerCap {
+    /// The chip power budget.
+    pub cap: Power,
+}
+
+impl PowerCap {
+    /// A governor enforcing `cap`.
+    pub fn new(cap: Power) -> Self {
+        PowerCap { cap }
+    }
+}
+
+impl Governor for PowerCap {
+    fn name(&self) -> &str {
+        "powercap"
+    }
+
+    fn select(&mut self, ctx: &WindowContext<'_>) -> usize {
+        ctx.power_at
+            .iter()
+            .rposition(|p| *p <= self.cap)
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpusimpow_sim::ActivityStats;
+    use gpusimpow_tech::clockdomain::OperatingPoint;
+    use gpusimpow_tech::units::{Freq, Voltage};
+
+    fn dvfs() -> DvfsTable {
+        DvfsTable::linear(
+            OperatingPoint::new(Voltage::new(1.0), Freq::from_mhz(1000.0)),
+            0.5,
+            0.8,
+            4,
+        )
+    }
+
+    fn window() -> ActivityWindow {
+        ActivityWindow {
+            index: 0,
+            start_cycle: 0,
+            end_cycle: 1024,
+            stats: ActivityStats::new(),
+        }
+    }
+
+    fn ctx<'a>(
+        window: &'a ActivityWindow,
+        dvfs: &'a DvfsTable,
+        power_at: &'a [Power],
+        utilization: f64,
+        prev_op: usize,
+    ) -> WindowContext<'a> {
+        WindowContext {
+            window,
+            utilization,
+            prev_op,
+            dvfs,
+            power_at,
+        }
+    }
+
+    #[test]
+    fn baseline_always_nominal() {
+        let d = dvfs();
+        let w = window();
+        let p = vec![Power::new(10.0); d.len()];
+        let mut g = Baseline;
+        assert_eq!(g.select(&ctx(&w, &d, &p, 0.0, 0)), d.nominal_index());
+        assert_eq!(g.select(&ctx(&w, &d, &p, 1.0, 1)), d.nominal_index());
+    }
+
+    #[test]
+    fn ondemand_races_to_top_and_steps_down() {
+        let d = dvfs();
+        let w = window();
+        let p = vec![Power::new(10.0); d.len()];
+        let mut g = Ondemand::default();
+        // Busy window from a low point: jump to nominal.
+        assert_eq!(g.select(&ctx(&w, &d, &p, 0.9, 0)), d.nominal_index());
+        // Idle window: one step down from wherever we were.
+        assert_eq!(g.select(&ctx(&w, &d, &p, 0.1, 3)), 2);
+        assert_eq!(g.select(&ctx(&w, &d, &p, 0.1, 0)), 0);
+        // Middling utilization: hold.
+        assert_eq!(g.select(&ctx(&w, &d, &p, 0.45, 2)), 2);
+    }
+
+    #[test]
+    fn powercap_picks_fastest_point_under_cap() {
+        let d = dvfs();
+        let w = window();
+        let p: Vec<Power> = [8.0, 12.0, 17.0, 23.0]
+            .iter()
+            .map(|w| Power::new(*w))
+            .collect();
+        let mut g = PowerCap::new(Power::new(18.0));
+        assert_eq!(g.select(&ctx(&w, &d, &p, 0.5, 3)), 2);
+        // Cap below everything: slowest point.
+        let mut tight = PowerCap::new(Power::new(1.0));
+        assert_eq!(tight.select(&ctx(&w, &d, &p, 0.5, 3)), 0);
+        // Cap above everything: nominal.
+        let mut loose = PowerCap::new(Power::new(100.0));
+        assert_eq!(loose.select(&ctx(&w, &d, &p, 0.5, 3)), 3);
+    }
+}

@@ -84,8 +84,7 @@ impl GpuChip {
         config
             .validate()
             .map_err(|e| ChipError::Config(e.to_string()))?;
-        let tech =
-            TechNode::planar(config.process_nm)?.with_temperature(config.junction_temp_k)?;
+        let tech = TechNode::planar(config.process_nm)?.with_temperature(config.junction_temp_k)?;
         let clocks = ClockDomains::new(
             Freq::from_mhz(config.uncore_mhz),
             config.shader_ratio,
@@ -103,10 +102,9 @@ impl GpuChip {
 
         let modelled_core_area = wcu.area() + regfile.area() + exec.area() + ldst.area();
         let undiff_area_per_core = modelled_core_area * empirical::UNDIFF_AREA_FACTOR;
-        let undiff_static_per_core = empirical::scaled_leakage(
-            empirical::UNDIFF_STATIC_PER_MM2,
-            &tech,
-        ) * undiff_area_per_core.mm2();
+        let undiff_static_per_core =
+            empirical::scaled_leakage(empirical::UNDIFF_STATIC_PER_MM2, &tech)
+                * undiff_area_per_core.mm2();
 
         Ok(GpuChip {
             config: config.clone(),
@@ -170,7 +168,11 @@ impl GpuChip {
     /// Total chip static power (Table IV's "Static" row; excludes DRAM).
     pub fn static_power(&self) -> Power {
         let cores = self.core_static_power() * self.config.total_cores() as f64;
-        let l2 = self.l2.as_ref().map(L2Power::leakage).unwrap_or(Power::ZERO);
+        let l2 = self
+            .l2
+            .as_ref()
+            .map(L2Power::leakage)
+            .unwrap_or(Power::ZERO);
         cores + self.noc.leakage() + l2 + self.mc.leakage() + self.pcie.leakage()
     }
 
@@ -261,7 +263,10 @@ impl GpuChip {
             mc: PowerSplit::new(self.mc.leakage(), mc_e / time),
             pcie: PowerSplit::new(self.pcie.leakage(), pcie_e / time),
             l2: PowerSplit::new(
-                self.l2.as_ref().map(L2Power::leakage).unwrap_or(Power::ZERO),
+                self.l2
+                    .as_ref()
+                    .map(L2Power::leakage)
+                    .unwrap_or(Power::ZERO),
                 l2_e / time,
             ),
         };
@@ -278,7 +283,12 @@ impl GpuChip {
 
     /// Evaluates runtime power with an explicit wall-clock duration
     /// (used when clock-scaling experiments change the effective clock).
-    pub fn evaluate_with_time(&self, kernel: &str, stats: &ActivityStats, time: Time) -> PowerReport {
+    pub fn evaluate_with_time(
+        &self,
+        kernel: &str,
+        stats: &ActivityStats,
+        time: Time,
+    ) -> PowerReport {
         let mut report = self.evaluate(kernel, stats);
         // Re-scale all dynamic terms that were normalized by the default
         // time.

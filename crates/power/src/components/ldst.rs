@@ -123,9 +123,7 @@ impl LdstPower {
                 * (tech.vdd().volts() * tech.vdd().volts())
                 * s,
             coalescer_input_energy: coalescer.write_energy(40) * s,
-            coalescer_output_energy: (coalescer.write_energy(64)
-                + fsm.transition_energy())
-                * s,
+            coalescer_output_energy: (coalescer.write_energy(64) + fsm.transition_energy()) * s,
             smem_access_energy: smem.costs().read_energy * empirical::LDST_SMEM_SCALE,
             xbar_energy: (addr_xbar.transfer_energy() + data_xbar.transfer_energy())
                 * empirical::LDST_SMEM_SCALE,

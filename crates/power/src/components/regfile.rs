@@ -84,9 +84,7 @@ impl RegFilePower {
             bank_read_energy: bank.costs().read_energy * s,
             bank_write_energy: bank.costs().write_energy * s,
             xbar_energy: xbar.transfer_energy() * s,
-            collector_energy: (collector.costs().write_energy
-                + collector.costs().read_energy)
-                * s,
+            collector_energy: (collector.costs().write_energy + collector.costs().read_energy) * s,
             leakage: leakage * empirical::RF_LEAKAGE_SCALE,
             area,
         })

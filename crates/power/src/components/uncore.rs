@@ -147,11 +147,9 @@ impl McPower {
         Ok(McPower {
             queue_energy: queue.costs().read_energy + queue.costs().write_energy,
             byte_energy: empirical::scaled(empirical::MC_ENERGY_PER_BYTE, tech),
-            leakage: empirical::scaled_leakage(empirical::MC_STATIC_PER_CHANNEL, tech)
-                * channels
+            leakage: empirical::scaled_leakage(empirical::MC_STATIC_PER_CHANNEL, tech) * channels
                 + queue.costs().leakage * channels,
-            area: Area::from_mm2(1.1) * channels
-                * ((tech.feature_nm() as f64 / 40.0).powi(2)),
+            area: Area::from_mm2(1.1) * channels * ((tech.feature_nm() as f64 / 40.0).powi(2)),
         })
     }
 
@@ -203,8 +201,7 @@ impl PciePower {
     /// Dynamic energy over a kernel window of length `time`: the
     /// controller's active power for the window plus transfer energy.
     pub fn dynamic_energy(&self, stats: &ActivityStats, time: Time) -> Energy {
-        self.active * time
-            + self.byte_energy * (stats.pcie_h2d_bytes + stats.pcie_d2h_bytes) as f64
+        self.active * time + self.byte_energy * (stats.pcie_h2d_bytes + stats.pcie_d2h_bytes) as f64
     }
 
     /// Static power.

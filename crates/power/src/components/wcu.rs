@@ -8,7 +8,9 @@
 //! rotating-priority schedulers (inverters + wide priority encoder +
 //! phase counter, after Kun et al. \[16\]).
 
-use gpusimpow_circuit::{Cache, CacheSpec, InstructionDecoder, PriorityEncoder, SramArray, SramSpec, TaggedTable};
+use gpusimpow_circuit::{
+    Cache, CacheSpec, InstructionDecoder, PriorityEncoder, SramArray, SramSpec, TaggedTable,
+};
 use gpusimpow_sim::{ActivityStats, GpuConfig};
 use gpusimpow_tech::node::{DeviceType, TechNode};
 use gpusimpow_tech::units::{Area, Energy, Power};
@@ -145,8 +147,7 @@ impl WcuPower {
             + self.scoreboard_read_energy * stats.scoreboard_reads as f64
             + self.scoreboard_write_energy * stats.scoreboard_writes as f64
             + self.stack_op_energy
-                * (stats.simt_stack_reads + stats.simt_stack_pushes + stats.simt_stack_pops)
-                    as f64
+                * (stats.simt_stack_reads + stats.simt_stack_pushes + stats.simt_stack_pops) as f64
             + self.fetch_scheduler_energy * stats.fetch_scheduler_selects as f64
             + self.issue_scheduler_energy * stats.issue_scheduler_selects as f64
             + self.wst_energy * (stats.wst_reads + stats.wst_writes) as f64

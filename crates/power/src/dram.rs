@@ -73,8 +73,7 @@ impl DramPower {
         let bus_busy = if stats.dram_cycles == 0 {
             0.0
         } else {
-            (stats.dram_data_bus_busy_cycles as f64
-                / (stats.dram_cycles as f64 * self.channels))
+            (stats.dram_data_bus_busy_cycles as f64 / (stats.dram_cycles as f64 * self.channels))
                 .min(1.0)
         };
         DramPowerBreakdown {

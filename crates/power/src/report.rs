@@ -141,7 +141,11 @@ impl fmt::Display for PowerReport {
             self.gpu,
             self.time.millis()
         )?;
-        writeln!(f, "  {:<22} {:>10} {:>10} {:>8}", "GPU", "Static[W]", "Dynamic[W]", "Percent")?;
+        writeln!(
+            f,
+            "  {:<22} {:>10} {:>10} {:>8}",
+            "GPU", "Static[W]", "Dynamic[W]", "Percent"
+        )?;
         let total = overall.total().watts();
         let mut row = |name: &str, s: PowerSplit| -> fmt::Result {
             writeln!(
@@ -162,7 +166,11 @@ impl fmt::Display for PowerReport {
             row("l2 cache", self.chip.l2)?;
         }
         let core_total = self.core.overall().total().watts();
-        writeln!(f, "  {:<22} {:>10} {:>10} {:>8}", "Core", "Static[W]", "Dynamic[W]", "Percent")?;
+        writeln!(
+            f,
+            "  {:<22} {:>10} {:>10} {:>8}",
+            "Core", "Static[W]", "Dynamic[W]", "Percent"
+        )?;
         let mut crow = |name: &str, s: PowerSplit| -> fmt::Result {
             writeln!(
                 f,

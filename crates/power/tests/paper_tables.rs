@@ -73,13 +73,24 @@ fn table_v_blackscholes_breakdown_on_gt240() {
     assert!(rel_err(r.core.ldstu.static_power.watts(), 0.234) < 0.10);
     assert!(rel_err(r.core.ldstu.dynamic_power.watts(), 0.014) < 0.25);
     assert!(rel_err(r.core.undiff.static_power.watts(), 0.886) < 0.10);
-    assert_eq!(r.core.undiff.dynamic_power.watts(), 0.0, "undiff is static-only");
+    assert_eq!(
+        r.core.undiff.dynamic_power.watts(),
+        0.0,
+        "undiff is static-only"
+    );
     // Base power is activity-weighted; blackscholes keeps most cores busy.
     let base = r.core.base.dynamic_power.watts();
-    assert!((0.10..=0.25).contains(&base), "core base {base} W vs paper 0.199");
+    assert!(
+        (0.10..=0.25).contains(&base),
+        "core base {base} W vs paper 0.199"
+    );
 
     // External DRAM ~4.3 W (paper footnote).
-    assert!(rel_err(r.dram.total().watts(), 4.3) < 0.15, "dram {}", r.dram.total().watts());
+    assert!(
+        rel_err(r.dram.total().watts(), 4.3) < 0.15,
+        "dram {}",
+        r.dram.total().watts()
+    );
 }
 
 #[test]
@@ -111,9 +122,21 @@ fn exec_units_dominate_modelled_core_dynamic_power() {
     let rf_pct = 100.0 * r.core.regfile.total().watts() / core_total;
     let wcu_pct = 100.0 * r.core.wcu.total().watts() / core_total;
     let undiff_pct = 100.0 * r.core.undiff.total().watts() / core_total;
-    assert!((20.0..30.0).contains(&exec_pct), "exec {exec_pct}% vs paper 24.43%");
+    assert!(
+        (20.0..30.0).contains(&exec_pct),
+        "exec {exec_pct}% vs paper 24.43%"
+    );
     assert!((9.0..16.0).contains(&rf_pct), "rf {rf_pct}% vs paper 12.3%");
-    assert!(wcu_pct < 9.0, "wcu {wcu_pct}% vs paper 5.65% (smallest modelled)");
-    assert!((33.0..45.0).contains(&undiff_pct), "undiff {undiff_pct}% vs paper 38.3%");
-    assert!(exec_pct > rf_pct && rf_pct > wcu_pct, "paper's ordering holds");
+    assert!(
+        wcu_pct < 9.0,
+        "wcu {wcu_pct}% vs paper 5.65% (smallest modelled)"
+    );
+    assert!(
+        (33.0..45.0).contains(&undiff_pct),
+        "undiff {undiff_pct}% vs paper 38.3%"
+    );
+    assert!(
+        exec_pct > rf_pct && rf_pct > wcu_pct,
+        "paper's ordering holds"
+    );
 }

@@ -49,7 +49,10 @@ impl SimCache {
     /// Panics unless `line_bytes` is a power of two and the capacity is
     /// an exact multiple of `line_bytes × ways`.
     pub fn new(capacity_bytes: usize, line_bytes: u32, ways: usize) -> Self {
-        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
         assert!(ways > 0, "cache needs at least one way");
         let lines = capacity_bytes / line_bytes as usize;
         assert!(

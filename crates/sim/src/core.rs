@@ -152,7 +152,11 @@ impl Core {
     /// Creates a core for the given configuration.
     pub fn new(id: usize, cluster: usize, cfg: &GpuConfig) -> Self {
         let l1 = if cfg.l1_enabled {
-            Some(SimCache::new(cfg.l1_bytes, cfg.l1_line_bytes as u32, cfg.l1_ways))
+            Some(SimCache::new(
+                cfg.l1_bytes,
+                cfg.l1_line_bytes as u32,
+                cfg.l1_ways,
+            ))
         } else {
             None
         };
@@ -219,7 +223,11 @@ impl Core {
         let free_warps = self.warps.iter().filter(|w| w.is_none()).count();
         let free_cta = self.ctas.iter().any(|c| c.is_none());
         let smem_avail = cfg.smem_bytes as u32
-            - if cfg.l1_enabled { cfg.l1_bytes as u32 } else { 0 }
+            - if cfg.l1_enabled {
+                cfg.l1_bytes as u32
+            } else {
+                0
+            }
             - self.smem_in_use;
         let resident_warps = self.max_warps - free_warps;
         let regs_needed =
@@ -259,8 +267,7 @@ impl Core {
                 .position(|s| s.is_none())
                 .expect("checked by can_accept");
             let base_tid = (w * cfg.warp_size) as u32;
-            let lanes_active =
-                (threads - base_tid).min(cfg.warp_size as u32) as usize;
+            let lanes_active = (threads - base_tid).min(cfg.warp_size as u32) as usize;
             let mask: LaneMask = if lanes_active >= 64 {
                 u64::MAX
             } else {
@@ -308,10 +315,7 @@ impl Core {
     ///
     /// Panics if work from a previous launch is still in flight.
     pub fn begin_launch(&mut self) {
-        assert!(
-            !self.is_busy(),
-            "core still busy at kernel-launch boundary"
-        );
+        assert!(!self.is_busy(), "core still busy at kernel-launch boundary");
         self.busy_int = 0;
         self.busy_fp = 0;
         self.busy_sfu = 0;
@@ -644,10 +648,8 @@ impl Core {
         if !srcs.is_empty() {
             self.stats.rf_bank_reads += srcs.len() as u64;
             self.stats.collector_xbar_transfers += srcs.len() as u64;
-            let mut banks: Vec<usize> = srcs
-                .iter()
-                .map(|r| r.index() % cfg.regfile_banks)
-                .collect();
+            let mut banks: Vec<usize> =
+                srcs.iter().map(|r| r.index() % cfg.regfile_banks).collect();
             banks.sort_unstable();
             banks.dedup();
             self.stats.rf_bank_conflicts += (srcs.len() - banks.len()) as u64;
@@ -680,13 +682,12 @@ impl Core {
                 self.warps[slot].as_mut().expect("live warp")
             };
         }
-        let read =
-            |w: &Warp, lane: usize, op: Operand| -> u32 {
-                match op {
-                    Operand::Reg(r) => w.regs[lane * num_regs + r.index()],
-                    Operand::Imm(v) => v,
-                }
-            };
+        let read = |w: &Warp, lane: usize, op: Operand| -> u32 {
+            match op {
+                Operand::Reg(r) => w.regs[lane * num_regs + r.index()],
+                Operand::Imm(v) => v,
+            }
+        };
 
         match instr {
             Instr::IAlu { op, dst, a, b } => {
@@ -703,11 +704,8 @@ impl Core {
                 let w = warp!();
                 for lane in 0..warp_size {
                     if mask & (1 << lane) != 0 {
-                        let v = func::eval_imad(
-                            read(w, lane, a),
-                            read(w, lane, b),
-                            read(w, lane, c),
-                        );
+                        let v =
+                            func::eval_imad(read(w, lane, a), read(w, lane, b), read(w, lane, c));
                         w.regs[lane * num_regs + dst.index()] = v;
                     }
                 }
@@ -727,11 +725,8 @@ impl Core {
                 let w = warp!();
                 for lane in 0..warp_size {
                     if mask & (1 << lane) != 0 {
-                        let v = func::eval_ffma(
-                            read(w, lane, a),
-                            read(w, lane, b),
-                            read(w, lane, c),
-                        );
+                        let v =
+                            func::eval_ffma(read(w, lane, a), read(w, lane, b), read(w, lane, c));
                         w.regs[lane * num_regs + dst.index()] = v;
                     }
                 }
@@ -1013,11 +1008,10 @@ impl Core {
 
         match space {
             MemSpace::Shared => {
-                let plan =
-                    ldst::smem_conflicts(
-                        &addrs.iter().map(|&(_, a)| a / 4).collect::<Vec<_>>(),
-                        cfg.smem_banks as u32,
-                    );
+                let plan = ldst::smem_conflicts(
+                    &addrs.iter().map(|&(_, a)| a / 4).collect::<Vec<_>>(),
+                    cfg.smem_banks as u32,
+                );
                 self.stats.smem_accesses += plan.bank_accesses as u64;
                 self.stats.smem_bank_conflict_cycles += plan.passes.saturating_sub(1) as u64;
                 let cta_slot = self.warps[slot].as_ref().expect("live warp").cta_slot;
@@ -1047,7 +1041,9 @@ impl Core {
                         write_smem(&mut cta.smem, a, v);
                     }
                 }
-                self.busy_ldst = self.busy_ldst.max(cycle + dispatch + plan.passes as u64 - 1);
+                self.busy_ldst = self
+                    .busy_ldst
+                    .max(cycle + dispatch + plan.passes as u64 - 1);
                 Some((
                     cycle + dispatch + cfg.smem_latency as u64 + plan.passes as u64 - 1,
                     dst,
@@ -1059,9 +1055,8 @@ impl Core {
                     .iter()
                     .map(|&(lane, a)| (lane, ctx.const_base.wrapping_add(a)))
                     .collect();
-                let unique = ldst::const_unique(
-                    &gaddrs.iter().map(|&(_, a)| a).collect::<Vec<_>>(),
-                );
+                let unique =
+                    ldst::const_unique(&gaddrs.iter().map(|&(_, a)| a).collect::<Vec<_>>());
                 self.stats.const_accesses += unique as u64;
                 // Functional read.
                 if let Some(d) = dst {
@@ -1075,10 +1070,7 @@ impl Core {
                     }
                 }
                 // Probe the constant cache per distinct 64 B line.
-                let lines = ldst::coalesce(
-                    &gaddrs.iter().map(|&(_, a)| a).collect::<Vec<_>>(),
-                    64,
-                );
+                let lines = ldst::coalesce(&gaddrs.iter().map(|&(_, a)| a).collect::<Vec<_>>(), 64);
                 let mut misses = 0;
                 for line in lines {
                     if self.const_cache.read(line) == Probe::Miss {
@@ -1156,10 +1148,8 @@ impl Core {
                         }
                         // Size the write by the lanes that fall in this
                         // segment (32 B granularity like the DRAM burst).
-                        let in_seg = addrs
-                            .iter()
-                            .filter(|&&(_, a)| a & !127 == *seg)
-                            .count() as u32;
+                        let in_seg =
+                            addrs.iter().filter(|&&(_, a)| a & !127 == *seg).count() as u32;
                         self.out_requests.push(MemRequest {
                             core: self.id,
                             write: true,

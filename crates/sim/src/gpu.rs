@@ -17,6 +17,7 @@ use crate::core::{Core, LaunchCtx, MemRequest};
 use crate::dram::{DramChannel, DramRequest};
 use crate::mem::{DevicePtr, GpuMemory};
 use crate::noc::Link;
+use crate::sink::{ActivitySink, ActivityWindow};
 use crate::stats::ActivityStats;
 
 /// Errors surfaced by the simulator.
@@ -111,6 +112,21 @@ pub struct Gpu {
     pending_d2h: u64,
     watchdog_cycles: u64,
     total_launches: u64,
+    attached: Option<SinkSlot>,
+}
+
+/// An attached sampling sink plus its window width.
+struct SinkSlot {
+    window_cycles: u64,
+    sink: Box<dyn ActivitySink>,
+}
+
+impl fmt::Debug for SinkSlot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SinkSlot")
+            .field("window_cycles", &self.window_cycles)
+            .finish_non_exhaustive()
+    }
 }
 
 /// Default device-memory size.
@@ -152,6 +168,7 @@ impl Gpu {
             pending_d2h: 0,
             watchdog_cycles: 400_000_000,
             total_launches: 0,
+            attached: None,
         })
     }
 
@@ -263,6 +280,83 @@ impl Gpu {
         kernel: &Kernel,
         launch: LaunchConfig,
     ) -> Result<LaunchReport, SimError> {
+        // Taking the slot lets `launch_impl` borrow the sink and the GPU
+        // simultaneously; it is restored afterwards either way.
+        if let Some(mut slot) = self.attached.take() {
+            let result = self.launch_impl(
+                kernel,
+                launch,
+                Some((slot.window_cycles, slot.sink.as_mut())),
+            );
+            self.attached = Some(slot);
+            result
+        } else {
+            self.launch_impl(kernel, launch, None)
+        }
+    }
+
+    /// Attaches a sampling sink that observes *every* subsequent
+    /// [`Gpu::launch`] with the given window width, until
+    /// [`Gpu::detach_sink`]. This is how whole benchmark suites (whose
+    /// host programs call `launch` internally) are traced without
+    /// plumbing a sink through every call site.
+    ///
+    /// Replaces any previously attached sink.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window_cycles` is zero.
+    pub fn attach_sink(&mut self, window_cycles: u64, sink: Box<dyn ActivitySink>) {
+        assert!(
+            window_cycles > 0,
+            "sampling window must be at least one cycle"
+        );
+        self.attached = Some(SinkSlot {
+            window_cycles,
+            sink,
+        });
+    }
+
+    /// Detaches the sink attached with [`Gpu::attach_sink`], returning
+    /// it (use [`ActivitySink::as_any_mut`] to recover the concrete
+    /// type). Returns `None` when no sink is attached.
+    pub fn detach_sink(&mut self) -> Option<Box<dyn ActivitySink>> {
+        self.attached.take().map(|slot| slot.sink)
+    }
+
+    /// Runs `kernel` like [`Gpu::launch`], additionally streaming an
+    /// [`ActivityWindow`] delta to `sink` every `window_cycles` shader
+    /// cycles (plus one final, possibly shorter, window at completion).
+    ///
+    /// The window deltas are exact: their `+=`-sum equals the returned
+    /// report's aggregate counters. This is the feed for power tracing
+    /// and DVFS governors (see the `gpusimpow-pm` crate).
+    ///
+    /// # Errors
+    ///
+    /// As [`Gpu::launch`], plus [`SimError::Launch`] when
+    /// `window_cycles` is zero.
+    pub fn launch_with_sink(
+        &mut self,
+        kernel: &Kernel,
+        launch: LaunchConfig,
+        window_cycles: u64,
+        sink: &mut dyn ActivitySink,
+    ) -> Result<LaunchReport, SimError> {
+        if window_cycles == 0 {
+            return Err(SimError::Launch(
+                "sampling window must be at least one cycle".to_string(),
+            ));
+        }
+        self.launch_impl(kernel, launch, Some((window_cycles, sink)))
+    }
+
+    fn launch_impl(
+        &mut self,
+        kernel: &Kernel,
+        launch: LaunchConfig,
+        mut sampling: Option<(u64, &mut dyn ActivitySink)>,
+    ) -> Result<LaunchReport, SimError> {
         self.check_launch(kernel, launch)?;
         // Stage the constant bank into its global-memory segment.
         self.memory
@@ -303,8 +397,7 @@ impl Gpu {
 
         let total_blocks = launch.total_blocks();
         let mut next_block: u32 = 0;
-        let mut completed_ctas_seen: u64 =
-            self.cores.iter().map(|c| c.completed_ctas()).sum();
+        let mut completed_ctas_seen: u64 = self.cores.iter().map(|c| c.completed_ctas()).sum();
 
         let mut cycle: u64 = 0;
         let mut uncore_cycle: u64 = 0;
@@ -314,6 +407,18 @@ impl Gpu {
         let upershader = 1.0 / cfg.shader_ratio;
         let dram_per_uncore = cfg.dram_mhz / cfg.uncore_mhz;
         let mut dispatch_dirty = true;
+
+        // Windowed sampling state: the previous cumulative snapshot (the
+        // first window's baseline is all-zero so it absorbs the pre-loop
+        // PCIe/launch counters) and within-window concurrency peaks.
+        if let Some((window_cycles, sink)) = &mut sampling {
+            sink.on_launch_begin(kernel.name(), *window_cycles);
+        }
+        let mut last_snapshot = ActivityStats::new();
+        let mut window_index: u64 = 0;
+        let mut window_start: u64 = 0;
+        let mut win_peak_cores: usize = 0;
+        let mut win_peak_clusters: usize = 0;
 
         loop {
             // --- global block scheduler ---------------------------------
@@ -364,6 +469,8 @@ impl Gpu {
             stats.cluster_busy_cycles += busy_clusters as u64;
             stats.peak_cores_busy = stats.peak_cores_busy.max(busy_cores);
             stats.peak_clusters_busy = stats.peak_clusters_busy.max(busy_clusters);
+            win_peak_cores = win_peak_cores.max(busy_cores);
+            win_peak_clusters = win_peak_clusters.max(busy_clusters);
 
             // --- uncore domain ----------------------------------------------
             uacc += upershader;
@@ -444,6 +551,32 @@ impl Gpu {
             }
             cycle += 1;
 
+            if let Some((window_cycles, sink)) = &mut sampling {
+                if cycle.is_multiple_of(*window_cycles) {
+                    let snapshot = Self::snapshot_running(
+                        &stats,
+                        &self.cores,
+                        cycle,
+                        uncore_cycle,
+                        dram_cycle,
+                    );
+                    let mut delta = snapshot.delta_from(&last_snapshot);
+                    delta.peak_cores_busy = win_peak_cores;
+                    delta.peak_clusters_busy = win_peak_clusters;
+                    sink.on_window(&ActivityWindow {
+                        index: window_index,
+                        start_cycle: window_start,
+                        end_cycle: cycle,
+                        stats: delta,
+                    });
+                    last_snapshot = snapshot;
+                    window_index += 1;
+                    window_start = cycle;
+                    win_peak_cores = 0;
+                    win_peak_clusters = 0;
+                }
+            }
+
             let cores_idle = self.cores.iter().all(|c| !c.is_busy());
             if next_block >= total_blocks
                 && cores_idle
@@ -469,11 +602,47 @@ impl Gpu {
         }
         self.total_launches += 1;
         let time_s = cycle as f64 / (self.config.shader_mhz() * 1e6);
-        Ok(LaunchReport {
+        let report = LaunchReport {
             kernel: kernel.name().to_string(),
             stats,
             time_s,
-        })
+        };
+        if let Some((_, sink)) = &mut sampling {
+            // Final (possibly partial) window: the finalized aggregate is
+            // exactly the snapshot at `cycle`, so delta it directly.
+            if cycle > window_start {
+                let mut delta = report.stats.delta_from(&last_snapshot);
+                delta.peak_cores_busy = win_peak_cores;
+                delta.peak_clusters_busy = win_peak_clusters;
+                sink.on_window(&ActivityWindow {
+                    index: window_index,
+                    start_cycle: window_start,
+                    end_cycle: cycle,
+                    stats: delta,
+                });
+            }
+            sink.on_launch_end(&report);
+        }
+        Ok(report)
+    }
+
+    /// Cumulative counter snapshot mid-launch, assembled the same way the
+    /// final report is: running globals + time counters + per-core stats.
+    fn snapshot_running(
+        stats: &ActivityStats,
+        cores: &[Core],
+        cycle: u64,
+        uncore_cycle: u64,
+        dram_cycle: u64,
+    ) -> ActivityStats {
+        let mut snap = stats.clone();
+        snap.shader_cycles = cycle;
+        snap.uncore_cycles = uncore_cycle;
+        snap.dram_cycles = dram_cycle;
+        for core in cores {
+            snap += &core.stats;
+        }
+        snap
     }
 
     /// Breadth-first CTA placement over clusters, then cores.

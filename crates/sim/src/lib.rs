@@ -57,9 +57,11 @@ pub mod ldst;
 pub mod mem;
 pub mod noc;
 pub mod simt_stack;
+pub mod sink;
 pub mod stats;
 
 pub use config::{ConfigError, DramConfig, GpuConfig, L2Config, WarpSchedPolicy};
 pub use gpu::{Gpu, LaunchReport, SimError};
 pub use mem::{DevicePtr, GpuMemory};
+pub use sink::{ActivitySink, ActivityWindow, RecordedLaunch, WindowRecorder};
 pub use stats::ActivityStats;

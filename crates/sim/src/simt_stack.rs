@@ -277,8 +277,8 @@ mod tests {
         s.branch(10, 40, 0x0F, 1); // outer: lanes 0-3 to 10
         assert_eq!(s.current().unwrap().pc, 10);
         s.branch(20, 30, 0x03, 11); // inner at 10: lanes 0-1 to 20
-        // bottom + outer-join/fallthrough/taken + inner fallthrough/taken,
-        // with the outer taken entry retargeted to the inner join: 5 deep.
+                                    // bottom + outer-join/fallthrough/taken + inner fallthrough/taken,
+                                    // with the outer taken entry retargeted to the inner join: 5 deep.
         assert_eq!(s.depth(), 5);
         let top = s.current().unwrap();
         assert_eq!((top.pc, top.mask), (20, 0x03));

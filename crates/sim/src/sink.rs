@@ -1,0 +1,152 @@
+//! Windowed activity sampling — the observation side of power
+//! management.
+//!
+//! A cycle-level power trace needs activity at a finer grain than one
+//! launch. [`crate::gpu::Gpu::launch_with_sink`] snapshots the running
+//! [`ActivityStats`] every `window_cycles` shader cycles and hands the
+//! *delta* of consecutive snapshots to an [`ActivitySink`] as an
+//! [`ActivityWindow`]. Deltas are exact: the `+=`-sum of every window of
+//! a launch reproduces the whole-launch aggregate counter for counter
+//! (peak-concurrency fields are per-window maxima instead, so the
+//! running max over windows reproduces the launch peak).
+//!
+//! The trait is deliberately synchronous and allocation-light — it is
+//! called from inside the simulation loop. Consumers that want to keep
+//! the data (power tracers, DVFS governors, CSV writers) either process
+//! each window on the spot or record them with [`WindowRecorder`] and
+//! replay later.
+
+use crate::gpu::LaunchReport;
+use crate::stats::ActivityStats;
+
+/// One sampling window of a kernel launch.
+#[derive(Debug, Clone)]
+pub struct ActivityWindow {
+    /// Zero-based window index within the launch.
+    pub index: u64,
+    /// First shader cycle covered (inclusive).
+    pub start_cycle: u64,
+    /// One past the last shader cycle covered (exclusive); the window
+    /// spans `end_cycle - start_cycle` shader cycles. The final window
+    /// of a launch may be shorter than the configured width.
+    pub end_cycle: u64,
+    /// Activity delta of exactly this window. Counter fields are events
+    /// that happened inside the window; `peak_cores_busy` /
+    /// `peak_clusters_busy` are the within-window concurrency maxima.
+    pub stats: ActivityStats,
+}
+
+impl ActivityWindow {
+    /// Shader cycles covered by this window.
+    pub fn cycles(&self) -> u64 {
+        self.end_cycle - self.start_cycle
+    }
+}
+
+/// Receiver of windowed activity samples during a launch.
+///
+/// All methods have empty defaults except [`ActivitySink::on_window`],
+/// so trivial consumers implement one method.
+pub trait ActivitySink {
+    /// Called once before the first simulated cycle.
+    fn on_launch_begin(&mut self, kernel: &str, window_cycles: u64) {
+        let _ = (kernel, window_cycles);
+    }
+
+    /// Called after each completed window, in order. The final window of
+    /// a launch may cover fewer than `window_cycles` cycles.
+    fn on_window(&mut self, window: &ActivityWindow);
+
+    /// Called once after the launch terminates, with the same report the
+    /// launch returns.
+    fn on_launch_end(&mut self, report: &LaunchReport) {
+        let _ = report;
+    }
+
+    /// Recovers the concrete sink type after [`crate::gpu::Gpu::detach_sink`].
+    ///
+    /// `'static` sinks should override this to `Some(self)`; the default
+    /// (for borrowing sinks, which cannot be `Any`) returns `None`.
+    fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+        None
+    }
+}
+
+/// Everything observed about one sampled launch.
+#[derive(Debug, Clone)]
+pub struct RecordedLaunch {
+    /// Kernel name.
+    pub kernel: String,
+    /// Configured window width in shader cycles.
+    pub window_cycles: u64,
+    /// All windows of the launch, in order.
+    pub windows: Vec<ActivityWindow>,
+    /// The whole-launch report (present once the launch has ended).
+    pub report: Option<LaunchReport>,
+}
+
+impl RecordedLaunch {
+    /// `+=`-sum of all window deltas — equals the launch aggregate.
+    pub fn aggregate(&self) -> ActivityStats {
+        let mut total = ActivityStats::new();
+        for w in &self.windows {
+            total += &w.stats;
+        }
+        total
+    }
+}
+
+/// An [`ActivitySink`] that simply stores every window, so a launch can
+/// be simulated once and replayed many times (e.g. under different
+/// power-management policies).
+#[derive(Debug, Clone, Default)]
+pub struct WindowRecorder {
+    launches: Vec<RecordedLaunch>,
+}
+
+impl WindowRecorder {
+    /// An empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// All recorded launches, in launch order.
+    pub fn launches(&self) -> &[RecordedLaunch] {
+        &self.launches
+    }
+
+    /// Consumes the recorder, returning its launches.
+    pub fn into_launches(self) -> Vec<RecordedLaunch> {
+        self.launches
+    }
+}
+
+impl ActivitySink for WindowRecorder {
+    fn on_launch_begin(&mut self, kernel: &str, window_cycles: u64) {
+        self.launches.push(RecordedLaunch {
+            kernel: kernel.to_string(),
+            window_cycles,
+            windows: Vec::new(),
+            report: None,
+        });
+    }
+
+    fn on_window(&mut self, window: &ActivityWindow) {
+        self.launches
+            .last_mut()
+            .expect("on_launch_begin precedes on_window")
+            .windows
+            .push(window.clone());
+    }
+
+    fn on_launch_end(&mut self, report: &LaunchReport) {
+        self.launches
+            .last_mut()
+            .expect("on_launch_begin precedes on_launch_end")
+            .report = Some(report.clone());
+    }
+
+    fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+        Some(self)
+    }
+}

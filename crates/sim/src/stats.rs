@@ -160,10 +160,113 @@ pub struct ActivityStats {
     pub ctas_dispatched: u64,
 }
 
+/// Invokes a callback macro with the complete list of summable counter
+/// fields, so accumulation ([`AddAssign`]) and differencing
+/// ([`ActivityStats::delta_from`]) can never drift apart when a counter
+/// is added.
+macro_rules! with_counter_fields {
+    ($cb:ident) => {
+        $cb!(
+            shader_cycles,
+            uncore_cycles,
+            dram_cycles,
+            core_busy_cycles,
+            cluster_busy_cycles,
+            icache_accesses,
+            icache_misses,
+            decodes,
+            ibuffer_writes,
+            ibuffer_reads,
+            wst_reads,
+            wst_writes,
+            fetch_scheduler_selects,
+            issue_scheduler_selects,
+            scoreboard_reads,
+            scoreboard_writes,
+            simt_stack_reads,
+            simt_stack_pushes,
+            simt_stack_pops,
+            branches,
+            divergent_branches,
+            barrier_waits,
+            rf_bank_reads,
+            rf_bank_writes,
+            rf_bank_conflicts,
+            collector_allocations,
+            collector_xbar_transfers,
+            int_instructions,
+            fp_instructions,
+            sfu_instructions,
+            int_lane_ops,
+            fp_lane_ops,
+            sfu_lane_ops,
+            warp_instructions,
+            thread_instructions,
+            mem_instructions,
+            agu_ops,
+            coalescer_inputs,
+            coalescer_outputs,
+            smem_accesses,
+            smem_bank_conflict_cycles,
+            const_accesses,
+            const_misses,
+            l1_accesses,
+            l1_misses,
+            l1_fills,
+            noc_flits,
+            noc_transfers,
+            l2_accesses,
+            l2_misses,
+            l2_fills,
+            mc_queue_ops,
+            dram_activates,
+            dram_precharges,
+            dram_read_bursts,
+            dram_write_bursts,
+            dram_refreshes,
+            dram_data_bus_busy_cycles,
+            pcie_h2d_bytes,
+            pcie_d2h_bytes,
+            kernel_launches,
+            ctas_dispatched,
+        )
+    };
+}
+
 impl ActivityStats {
     /// A zeroed counter set.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Counter-wise difference `self − earlier` between two cumulative
+    /// snapshots of the same launch.
+    ///
+    /// This is the primitive behind windowed power sampling: the
+    /// simulator snapshots its running counters every N cycles and the
+    /// delta of consecutive snapshots is the activity of that window, so
+    /// the [`AddAssign`]-sum of all window deltas reproduces the
+    /// whole-launch aggregate exactly.
+    ///
+    /// The peak-concurrency fields (`peak_cores_busy`,
+    /// `peak_clusters_busy`) are maxima, not sums, and cannot be
+    /// differenced; they are zeroed here and the sampling loop fills
+    /// them from its own per-window trackers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any counter in `earlier` exceeds the corresponding
+    /// counter in `self` (the snapshots are out of order).
+    pub fn delta_from(&self, earlier: &ActivityStats) -> ActivityStats {
+        let mut delta = ActivityStats::new();
+        macro_rules! sub {
+            ($($field:ident),* $(,)?) => {
+                $(delta.$field = self.$field.checked_sub(earlier.$field)
+                    .expect("delta_from: `earlier` is not an earlier snapshot");)*
+            };
+        }
+        with_counter_fields!(sub);
+        delta
     }
 
     /// Warp-level instructions per shader cycle (chip-wide).
@@ -222,26 +325,7 @@ impl AddAssign<&ActivityStats> for ActivityStats {
                 $(self.$field += rhs.$field;)*
             };
         }
-        acc!(
-            shader_cycles, uncore_cycles, dram_cycles, core_busy_cycles,
-            cluster_busy_cycles, icache_accesses, icache_misses, decodes,
-            ibuffer_writes, ibuffer_reads, wst_reads, wst_writes,
-            fetch_scheduler_selects, issue_scheduler_selects,
-            scoreboard_reads, scoreboard_writes, simt_stack_reads,
-            simt_stack_pushes, simt_stack_pops, branches, divergent_branches,
-            barrier_waits, rf_bank_reads, rf_bank_writes, rf_bank_conflicts,
-            collector_allocations, collector_xbar_transfers,
-            int_instructions, fp_instructions, sfu_instructions,
-            int_lane_ops, fp_lane_ops, sfu_lane_ops, warp_instructions,
-            thread_instructions, mem_instructions, agu_ops,
-            coalescer_inputs, coalescer_outputs, smem_accesses,
-            smem_bank_conflict_cycles, const_accesses, const_misses,
-            l1_accesses, l1_misses, l1_fills, noc_flits, noc_transfers,
-            l2_accesses, l2_misses, l2_fills, mc_queue_ops, dram_activates,
-            dram_precharges, dram_read_bursts, dram_write_bursts,
-            dram_refreshes, dram_data_bus_busy_cycles, pcie_h2d_bytes,
-            pcie_d2h_bytes, kernel_launches, ctas_dispatched,
-        );
+        with_counter_fields!(acc);
         self.peak_cores_busy = self.peak_cores_busy.max(rhs.peak_cores_busy);
         self.peak_clusters_busy = self.peak_clusters_busy.max(rhs.peak_clusters_busy);
     }
@@ -278,8 +362,7 @@ impl fmt::Display for ActivityStats {
         write!(
             f,
             "dram: {} activates, {} rd / {} wr bursts, {} refreshes",
-            self.dram_activates, self.dram_read_bursts, self.dram_write_bursts,
-            self.dram_refreshes
+            self.dram_activates, self.dram_read_bursts, self.dram_write_bursts, self.dram_refreshes
         )
     }
 }
@@ -324,6 +407,37 @@ mod tests {
         a += &b;
         assert_eq!(a.int_instructions, 15);
         assert_eq!(a.peak_cores_busy, 7);
+    }
+
+    #[test]
+    fn delta_reverses_accumulation() {
+        let mut earlier = ActivityStats::new();
+        earlier.int_lane_ops = 100;
+        earlier.shader_cycles = 2048;
+        earlier.peak_cores_busy = 9;
+        let mut later = earlier.clone();
+        later.int_lane_ops = 175;
+        later.shader_cycles = 4096;
+        later.l2_misses = 3;
+        let delta = later.delta_from(&earlier);
+        assert_eq!(delta.int_lane_ops, 75);
+        assert_eq!(delta.shader_cycles, 2048);
+        assert_eq!(delta.l2_misses, 3);
+        // Peaks are maxima and are left for the sampler to fill in.
+        assert_eq!(delta.peak_cores_busy, 0);
+        let mut sum = earlier.clone();
+        sum += &delta;
+        assert_eq!(sum.int_lane_ops, later.int_lane_ops);
+        assert_eq!(sum.shader_cycles, later.shader_cycles);
+    }
+
+    #[test]
+    #[should_panic(expected = "earlier snapshot")]
+    fn delta_from_rejects_reordered_snapshots() {
+        let mut earlier = ActivityStats::new();
+        earlier.decodes = 10;
+        let later = ActivityStats::new();
+        let _ = later.delta_from(&earlier);
     }
 
     #[test]

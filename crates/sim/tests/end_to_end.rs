@@ -388,10 +388,7 @@ fn deadlocked_kernel_trips_watchdog() {
     ";
     let k = assemble("hang", src).expect("valid kernel");
     let err = gpu.launch(&k, LaunchConfig::linear(1, 32)).unwrap_err();
-    assert!(matches!(
-        err,
-        gpusimpow_sim::gpu::SimError::Watchdog { .. }
-    ));
+    assert!(matches!(err, gpusimpow_sim::gpu::SimError::Watchdog { .. }));
 }
 
 #[test]
@@ -422,7 +419,10 @@ fn partial_warps_mask_inactive_lanes() {
     let report = gpu.launch(&k, LaunchConfig::linear(1, 40)).expect("run");
     let vals = gpu.d2h_u32(out, 64);
     assert!(vals[..40].iter().all(|&v| v == 1));
-    assert!(vals[40..].iter().all(|&v| v == 0), "inactive lanes wrote nothing");
+    assert!(
+        vals[40..].iter().all(|&v| v == 0),
+        "inactive lanes wrote nothing"
+    );
     assert_eq!(report.stats.thread_instructions % 40, 0);
 }
 

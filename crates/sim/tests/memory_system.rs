@@ -147,7 +147,11 @@ fn stores_generate_write_traffic_without_blocking_warps() {
     assert_eq!(s.dram_read_bursts, 0, "pure store kernel");
     // Fire-and-forget stores: the kernel should not be memory-latency
     // bound (cycles comparable to an ALU-only kernel of the same size).
-    assert!(s.shader_cycles < 6000, "stores stalled: {}", s.shader_cycles);
+    assert!(
+        s.shader_cycles < 6000,
+        "stores stalled: {}",
+        s.shader_cycles
+    );
     // Data made it to memory.
     assert_eq!(gpu.d2h_u32(buf, 3), vec![0, 1, 2]);
 }

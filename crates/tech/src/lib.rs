@@ -35,8 +35,8 @@ pub mod scaling;
 pub mod units;
 pub mod wire;
 
-pub use clockdomain::ClockDomains;
+pub use clockdomain::{ClockDomains, DvfsTable, OperatingPoint};
 pub use node::{DeviceType, TechError, TechNode};
-pub use scaling::NodeScaling;
+pub use scaling::{voltage_dynamic_energy_factor, voltage_leakage_factor, NodeScaling};
 pub use units::{Area, Capacitance, Current, Energy, Freq, Power, Time, Voltage};
 pub use wire::{Wire, WireClass};

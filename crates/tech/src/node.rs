@@ -236,9 +236,7 @@ impl TechNode {
     pub fn min_inverter_cap(&self) -> Capacitance {
         // Minimum device width tracks the feature size; a min inverter is
         // roughly 3 minimum widths of gate (Wn + 2Wn for the PMOS).
-        Capacitance::from_femtofarads(
-            self.gate_cap_per_um.femtofarads() * 3.0 * self.feature_um(),
-        )
+        Capacitance::from_femtofarads(self.gate_cap_per_um.femtofarads() * 3.0 * self.feature_um())
     }
 
     /// Leakage power of one µm of HP transistor width at Vdd.
@@ -293,8 +291,14 @@ mod tests {
 
     #[test]
     fn leakage_grows_with_temperature() {
-        let cold = TechNode::planar(40).unwrap().with_temperature(300.0).unwrap();
-        let hot = TechNode::planar(40).unwrap().with_temperature(400.0).unwrap();
+        let cold = TechNode::planar(40)
+            .unwrap()
+            .with_temperature(300.0)
+            .unwrap();
+        let hot = TechNode::planar(40)
+            .unwrap()
+            .with_temperature(400.0)
+            .unwrap();
         assert!(
             hot.sub_leak_per_um(DeviceType::HighPerformance)
                 > cold.sub_leak_per_um(DeviceType::HighPerformance)

@@ -8,7 +8,41 @@
 //! to other nodes.
 
 use crate::node::TechNode;
-use crate::units::Energy;
+use crate::units::{Energy, Voltage};
+
+/// Factor on per-event *dynamic* energy when the supply moves from
+/// `nominal` to `v` on the same silicon: `E ∝ C·V²`, capacitance fixed,
+/// so the factor is `(V/V₀)²`.
+///
+/// # Panics
+///
+/// Panics if either voltage is non-positive.
+pub fn voltage_dynamic_energy_factor(v: Voltage, nominal: Voltage) -> f64 {
+    assert!(
+        v.volts() > 0.0 && nominal.volts() > 0.0,
+        "supply voltages must be positive"
+    );
+    (v.volts() / nominal.volts()).powi(2)
+}
+
+/// Factor on *leakage* power when the supply moves from `nominal` to `v`
+/// on the same silicon.
+///
+/// Leakage power is `Ioff·Vdd`; the linear `Vdd` term combines with the
+/// roughly quadratic growth of `Ioff` with `Vdd` (DIBL-driven barrier
+/// lowering) into a cubic first-order model: `(V/V₀)³`. This is the
+/// same shape McPAT uses for voltage-overdrive leakage estimates.
+///
+/// # Panics
+///
+/// Panics if either voltage is non-positive.
+pub fn voltage_leakage_factor(v: Voltage, nominal: Voltage) -> f64 {
+    assert!(
+        v.volts() > 0.0 && nominal.volts() > 0.0,
+        "supply voltages must be positive"
+    );
+    (v.volts() / nominal.volts()).powi(3)
+}
 
 /// Scaling factors from a source node to a target node.
 ///
@@ -43,8 +77,8 @@ impl NodeScaling {
     pub fn between(from: &TechNode, to: &TechNode) -> Self {
         let f_from = from.feature_um();
         let f_to = to.feature_um();
-        let cap_ratio = (to.gate_cap_per_um().farads() * f_to)
-            / (from.gate_cap_per_um().farads() * f_from);
+        let cap_ratio =
+            (to.gate_cap_per_um().farads() * f_to) / (from.gate_cap_per_um().farads() * f_from);
         let v_ratio = to.vdd().volts() / from.vdd().volts();
         let dynamic_energy = cap_ratio * v_ratio * v_ratio;
 
@@ -132,6 +166,21 @@ mod tests {
         let e = Energy::from_picojoules(75.0);
         let scaled = s.scale_energy(e);
         assert!((scaled.picojoules() / 75.0 - s.dynamic_energy_factor()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn voltage_factors_follow_square_and_cube_laws() {
+        let v0 = Voltage::new(1.0);
+        let v = Voltage::new(0.8);
+        assert!((voltage_dynamic_energy_factor(v, v0) - 0.64).abs() < 1e-12);
+        assert!((voltage_leakage_factor(v, v0) - 0.512).abs() < 1e-12);
+        // Identity at nominal.
+        assert!((voltage_dynamic_energy_factor(v0, v0) - 1.0).abs() < 1e-12);
+        assert!((voltage_leakage_factor(v0, v0) - 1.0).abs() < 1e-12);
+        // Overdrive costs more than linearly.
+        let hi = Voltage::new(1.1);
+        assert!(voltage_dynamic_energy_factor(hi, v0) > 1.2);
+        assert!(voltage_leakage_factor(hi, v0) > voltage_dynamic_energy_factor(hi, v0));
     }
 
     #[test]

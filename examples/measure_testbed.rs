@@ -21,7 +21,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Assemble the testbed around the emulated GT240 card.
     let mut testbed = Testbed::new(GpuConfig::gt240(), 0xBEEF);
     println!("reference card states (ground truth):");
-    println!("  long idle (gated): {:.2} W", testbed.hardware().idle_power().watts());
+    println!(
+        "  long idle (gated): {:.2} W",
+        testbed.hardware().idle_power().watts()
+    );
     println!(
         "  pre/post kernel:   {:.2} W",
         testbed.hardware().pre_kernel_power().watts()

@@ -81,8 +81,8 @@ fn validation_flow_produces_sane_error_band() {
     let avg = summary.average_relative_error();
     assert!(avg < 0.30, "average relative error {avg} out of band");
     // Static side of Table IV: simulated vs "real" within 10 %.
-    let static_err = (summary.simulated_static_w - summary.measured_static_w).abs()
-        / summary.measured_static_w;
+    let static_err =
+        (summary.simulated_static_w - summary.measured_static_w).abs() / summary.measured_static_w;
     assert!(static_err < 0.10, "static error {static_err}");
 }
 
@@ -120,8 +120,8 @@ fn power_scales_with_clock_frequency_in_the_model() {
     // the execution units, whose energy is purely per-event.
     let df = rf[0].power.core.exec.dynamic_power.watts();
     let ds = rs[0].power.core.exec.dynamic_power.watts();
-    let cycles_ratio = rs[0].launch.stats.shader_cycles as f64
-        / rf[0].launch.stats.shader_cycles as f64;
+    let cycles_ratio =
+        rs[0].launch.stats.shader_cycles as f64 / rf[0].launch.stats.shader_cycles as f64;
     // Same event energy both ways; power ratio = time_slow / time_fast
     // = 2 · (cycles_slow / cycles_fast).
     let expect = 2.0 * cycles_ratio;

@@ -1,0 +1,90 @@
+//! Power-trace integration: replaying a recorded launch through the
+//! ungoverned tracer must conserve energy against the single-shot
+//! power model, and the power-cap governor must actually enforce its
+//! cap on every window.
+
+use gpusimpow_kernels::common::Benchmark;
+use gpusimpow_kernels::matmul::MatrixMul;
+use gpusimpow_kernels::vectoradd::VectorAdd;
+use gpusimpow_pm::{Baseline, ClusterGating, PowerCap, PowerTracer};
+use gpusimpow_power::GpuChip;
+use gpusimpow_sim::{Gpu, GpuConfig, RecordedLaunch};
+
+const WINDOW_CYCLES: u64 = 1024;
+
+fn record_suite() -> (GpuChip, Vec<RecordedLaunch>) {
+    let cfg = GpuConfig::gt240();
+    let chip = GpuChip::new(&cfg).expect("GT240 chip builds");
+    let mut gpu = Gpu::new(cfg).expect("GT240 config builds");
+    gpu.attach_sink(
+        WINDOW_CYCLES,
+        Box::new(gpusimpow_sim::WindowRecorder::new()),
+    );
+    let benches: [Box<dyn Benchmark>; 2] = [
+        Box::new(MatrixMul { n: 32 }),
+        Box::new(VectorAdd { n: 4096 }),
+    ];
+    for bench in &benches {
+        bench.run(&mut gpu).expect("benchmark verifies");
+    }
+    let mut sink = gpu.detach_sink().expect("sink attached");
+    let recorder = sink
+        .as_any_mut()
+        .expect("recorder is 'static")
+        .downcast_mut::<gpusimpow_sim::WindowRecorder>()
+        .expect("sink is the recorder");
+    (chip, std::mem::take(recorder).into_launches())
+}
+
+#[test]
+fn ungoverned_trace_energy_matches_power_report_within_one_percent() {
+    let (chip, launches) = record_suite();
+    let tracer = PowerTracer::new(chip.clone());
+    assert!(!launches.is_empty());
+    for launch in &launches {
+        let report = launch.report.as_ref().expect("launch completed");
+        let single_shot = chip.evaluate(&launch.kernel, &report.stats);
+        let trace = tracer.replay(launch, &mut Baseline);
+
+        let expected = single_shot.energy().joules();
+        let integrated = trace.chip_energy().joules();
+        let rel = (integrated - expected).abs() / expected;
+        assert!(
+            rel < 0.01,
+            "`{}`: integrated {integrated:.6e} J vs single-shot {expected:.6e} J \
+             ({:.3}% off, > 1% budget)",
+            launch.kernel,
+            rel * 100.0
+        );
+
+        // Durations agree exactly: windows cover the same shader cycles.
+        let dt = (trace.duration().seconds() - single_shot.time.seconds()).abs();
+        assert!(dt < 1e-12, "`{}`: trace duration drifted", launch.kernel);
+    }
+}
+
+#[test]
+fn power_cap_governor_keeps_every_window_under_the_cap() {
+    let (chip, launches) = record_suite();
+    let ungoverned = PowerTracer::new(chip.clone());
+    let managed = PowerTracer::new(chip).with_gating(ClusterGating::with_retention(0.1));
+    for launch in &launches {
+        let base = ungoverned.replay(launch, &mut Baseline);
+        let cap = base.avg_power() * 0.9;
+        let trace = managed.replay(launch, &mut PowerCap::new(cap));
+        assert_eq!(trace.samples.len(), launch.windows.len());
+        for s in &trace.samples {
+            assert!(
+                s.total_power().watts() <= cap.watts() * (1.0 + 1e-9),
+                "`{}` window {}: {:.4} W exceeds cap {:.4} W",
+                launch.kernel,
+                s.index,
+                s.total_power().watts(),
+                cap.watts()
+            );
+        }
+        // The cap costs time but not more energy than the baseline.
+        assert!(trace.duration() >= base.duration());
+        assert!(trace.chip_energy() <= base.chip_energy());
+    }
+}

@@ -1,0 +1,42 @@
+//! Collection strategies (`prop::collection::vec`).
+
+use crate::strategy::{Strategy, TestRng};
+use std::ops::Range;
+
+/// Strategy for `Vec<T>` with a length drawn from `len` and elements
+/// drawn from `element`.
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    len: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        assert!(self.len.start < self.len.end, "empty length range");
+        let n = self.len.start + rng.next_below(self.len.end - self.len.start);
+        (0..n).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+/// Builds a [`VecStrategy`]: `vec(any::<u32>(), 0..64)`.
+pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+    VecStrategy { element, len }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn length_in_bounds() {
+        let mut rng = TestRng::for_case("vec", 0);
+        let s = vec(0u32..10, 2..9);
+        for _ in 0..100 {
+            let v = s.sample(&mut rng);
+            assert!((2..9).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 10));
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The sandboxed build environment cannot reach crates.io, so this crate
+//! vendors the subset of proptest's API that the workspace's property
+//! tests use: the [`proptest!`] / [`prop_oneof!`] / [`prop_assert!`]
+//! macro family, the [`strategy::Strategy`] trait with `prop_map` /
+//! `prop_filter`, range / tuple / `Just` / `any` / vec / regex-lite
+//! strategies, and a deterministic runner.
+//!
+//! Differences from the real crate, deliberately accepted:
+//!
+//! * **no shrinking** — a failing case reports its seed and message only;
+//! * **fixed deterministic seeds** — each `(test, case-index)` pair maps
+//!   to one RNG stream, so failures reproduce exactly across runs;
+//! * **case count** defaults to 64 and is overridable with the
+//!   `PROPTEST_CASES` environment variable.
+
+#![warn(missing_docs)]
+
+pub mod collection;
+pub mod strategy;
+
+/// Why a single generated test case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` rejected the inputs; the case is skipped.
+    Reject,
+    /// An assertion failed with the given message.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Builds a failure with a message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+}
+
+/// Number of cases each property runs (`PROPTEST_CASES`, default 64).
+pub fn cases() -> u64 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64)
+}
+
+/// Namespace mirror of `proptest::prop` (`prop::bool::ANY`, …).
+pub mod prop {
+    /// Boolean strategies.
+    pub mod bool {
+        /// Uniform `true` / `false`.
+        pub const ANY: crate::strategy::AnyBool = crate::strategy::AnyBool;
+    }
+    pub use crate::collection;
+}
+
+/// The common imports every property-test file glob-uses.
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::{
+        prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Asserts two values compare equal inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, "assertion failed: {:?} == {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, $($fmt)*);
+    }};
+}
+
+/// Asserts two values compare unequal inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l != *r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+}
+
+/// Rejects the current case (skipped, not failed) unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::empty()$(.or($arm))+
+    };
+}
+
+/// Declares property tests: `fn name(pattern in strategy, ...) { body }`.
+///
+/// Each function becomes a `#[test]` (the attribute is written by the
+/// caller, exactly as with real proptest) that samples its strategies
+/// [`cases`] times and runs the body; `prop_assert*` failures abort with
+/// the case index so the exact inputs can be regenerated.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* $vis:vis fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            $vis fn $name() {
+                let __total = $crate::cases();
+                #[allow(unused_assignments)]
+                let mut __rejected = 0u64;
+                for __case in 0..__total {
+                    let mut __rng = $crate::strategy::TestRng::for_case(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        __case,
+                    );
+                    $(let $pat = $crate::strategy::Strategy::sample(&($strat), &mut __rng);)+
+                    let __outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    match __outcome {
+                        ::std::result::Result::Ok(()) => {}
+                        ::std::result::Result::Err($crate::TestCaseError::Reject) => {
+                            __rejected += 1;
+                        }
+                        ::std::result::Result::Err($crate::TestCaseError::Fail(msg)) => {
+                            panic!(
+                                "proptest `{}` failed at case {}/{}: {}",
+                                stringify!($name), __case, __total, msg,
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
