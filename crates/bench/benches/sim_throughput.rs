@@ -1,6 +1,8 @@
 //! Criterion benchmarks of the cycle-level simulator's throughput —
 //! the "how fast is the simulator itself" numbers a tool paper quotes.
 
+use std::time::{Duration, Instant};
+
 use criterion::{criterion_group, criterion_main, Criterion};
 
 use gpusimpow_kernels::{matmul::MatrixMul, vectoradd::VectorAdd, Benchmark};
@@ -30,5 +32,24 @@ fn bench_matmul(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_vectoradd, bench_matmul);
+fn bench_launch_only(c: &mut Criterion) {
+    // Excludes GPU construction and host-side setup from the timing via
+    // `iter_custom`: only the kernel-simulation wall time is measured.
+    c.measurement_time(Duration::from_millis(100))
+        .sample_size(20)
+        .bench_function("sim/vectoradd-2048-launch-only", |b| {
+            b.iter_custom(|iters| {
+                let mut total = Duration::ZERO;
+                for _ in 0..iters {
+                    let mut gpu = Gpu::new(GpuConfig::gt240()).unwrap();
+                    let start = Instant::now();
+                    VectorAdd { n: 2048 }.run(&mut gpu).unwrap();
+                    total += start.elapsed();
+                }
+                total
+            })
+        });
+}
+
+criterion_group!(benches, bench_vectoradd, bench_matmul, bench_launch_only);
 criterion_main!(benches);

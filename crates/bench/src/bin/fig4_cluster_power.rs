@@ -1,9 +1,13 @@
 //! Fig. 4: GT240 power vs. number of thread blocks (cluster staircase).
+//!
+//! Usage: fig4_cluster_power [--threads N]
 
-use gpusimpow_bench::{experiments, render};
+use gpusimpow_bench::{cli, experiments, render};
 
 fn main() {
-    let points = experiments::fig4_cluster_power(experiments::BOARD_SEED);
+    let args: Vec<String> = std::env::args().collect();
+    let pool = cli::pool_from_args(&args);
+    let points = experiments::fig4_cluster_power(experiments::BOARD_SEED, &pool);
     println!("Fig. 4 — GT240 power vs thread blocks (measured on the virtual testbed)\n");
     println!("{}", render::fig4(&points));
     println!("paper: +3.34 W for the first block (global scheduler), +0.692 W per new cluster, smaller per extra core");

@@ -1,21 +1,28 @@
 //! Fig. 6: simulated vs measured power for all 19 kernels.
 //!
-//! Usage: fig6_validation [gt240|gtx580|both] [--small]
+//! Usage: fig6_validation [gt240|gtx580|both] [--small] [--threads N]
+//!
+//! With `both`, the two full-suite validations run in parallel over the
+//! fan-out pool; each GPU's summary is deterministic on its own, so the
+//! printed output is identical for any thread count.
 
-use gpusimpow_bench::{experiments, render};
+use gpusimpow_bench::{cli, experiments, render};
 use gpusimpow_sim::GpuConfig;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let which = args.get(1).map(String::as_str).unwrap_or("both");
     let small = args.iter().any(|a| a == "--small");
+    let pool = cli::pool_from_args(&args);
     let configs: Vec<GpuConfig> = match which {
         "gt240" => vec![GpuConfig::gt240()],
         "gtx580" => vec![GpuConfig::gtx580()],
         _ => vec![GpuConfig::gt240(), GpuConfig::gtx580()],
     };
-    for cfg in configs {
-        let summary = experiments::fig6_validation(&cfg, experiments::BOARD_SEED, small);
-        println!("{}", render::fig6(&summary));
+    let summaries = pool.run(configs, |cfg| {
+        experiments::fig6_validation(&cfg, experiments::BOARD_SEED, small)
+    });
+    for summary in &summaries {
+        println!("{}", render::fig6(summary));
     }
 }

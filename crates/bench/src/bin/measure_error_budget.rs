@@ -1,9 +1,13 @@
 //! §IV-A: error budget of the measurement chain.
+//!
+//! Usage: measure_error_budget [--threads N]
 
-use gpusimpow_bench::{experiments, render};
+use gpusimpow_bench::{cli, experiments, render};
 
 fn main() {
-    let b = experiments::measurement_error_budget(25);
+    let args: Vec<String> = std::env::args().collect();
+    let pool = cli::pool_from_args(&args);
+    let b = experiments::measurement_error_budget(25, &pool);
     println!("§IV-A — measurement chain error budget\n");
     println!("{}", render::error_budget(&b));
 }

@@ -1,9 +1,13 @@
 //! §III-D: per-operation energies from the 31-vs-1-lane microbenchmarks.
+//!
+//! Usage: microbench_energy [--threads N]
 
-use gpusimpow_bench::{experiments, render};
+use gpusimpow_bench::{cli, experiments, render};
 
 fn main() {
-    let e = experiments::microbench_energy(experiments::BOARD_SEED);
+    let args: Vec<String> = std::env::args().collect();
+    let pool = cli::pool_from_args(&args);
+    let e = experiments::microbench_energy(experiments::BOARD_SEED, &pool);
     println!("§III-D — empirical per-operation energies (virtual GT240 testbed)\n");
     println!("{}", render::microbench(&e));
 }

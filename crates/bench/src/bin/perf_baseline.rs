@@ -1,0 +1,145 @@
+//! Simulator-throughput baseline: measures cycles/second per kernel and
+//! the wall-clock effect of the `--threads` fan-out, writing the
+//! trajectory file `BENCH_sim_throughput.json` for future PRs to beat.
+//!
+//! ```text
+//! cargo run --release -p gpusimpow-bench --bin perf_baseline \
+//!     [--threads N] [out.json]
+//! ```
+//!
+//! The "suite" section times the experiment core (Fig. 4 staircase,
+//! §III-D microbenchmarks, small Fig. 6 validation on both GPUs) twice:
+//! sequentially (`--threads 1`) and with the requested pool. Simulated
+//! results are bit-identical between the two runs — only wall time may
+//! differ.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use gpusimpow_bench::{cli, experiments};
+use gpusimpow_kernels::{
+    blackscholes::BlackScholes, matmul::MatrixMul, vectoradd::VectorAdd, Benchmark,
+};
+use gpusimpow_sim::{Gpu, GpuConfig, SimPool};
+
+/// One per-kernel throughput sample.
+struct KernelSample {
+    name: String,
+    shader_cycles: u64,
+    wall_s: f64,
+}
+
+fn sample_kernel(name: &str, cfg: GpuConfig, bench: &dyn Benchmark) -> KernelSample {
+    // Warm-up run (page in code paths), then a timed run on a fresh GPU.
+    let mut gpu = Gpu::new(cfg.clone()).expect("preset is valid");
+    bench.run(&mut gpu).expect("benchmark verifies");
+    let mut gpu = Gpu::new(cfg).expect("preset is valid");
+    let start = Instant::now();
+    let reports = bench.run(&mut gpu).expect("benchmark verifies");
+    let wall_s = start.elapsed().as_secs_f64();
+    KernelSample {
+        name: name.to_string(),
+        shader_cycles: reports.iter().map(|r| r.stats.shader_cycles).sum(),
+        wall_s,
+    }
+}
+
+fn suite_core(pool: &SimPool, small: bool) -> f64 {
+    let start = Instant::now();
+    let fig4 = experiments::fig4_cluster_power(experiments::BOARD_SEED, pool);
+    assert_eq!(fig4.len(), 12);
+    let micro = experiments::microbench_energy(experiments::BOARD_SEED, pool);
+    assert!(micro.fp_pj > 0.0);
+    let summaries = pool.run(vec![GpuConfig::gt240(), GpuConfig::gtx580()], |cfg| {
+        experiments::fig6_validation(&cfg, experiments::BOARD_SEED, small)
+    });
+    assert_eq!(summaries.len(), 2);
+    start.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let pool = cli::pool_from_args(&args);
+    let out_path = {
+        let mut out = "BENCH_sim_throughput.json".to_string();
+        let mut i = 1;
+        while i < args.len() {
+            if args[i] == "--threads" {
+                i += 2;
+            } else if args[i].starts_with("--") {
+                i += 1;
+            } else {
+                out = args[i].clone();
+                break;
+            }
+        }
+        out
+    };
+
+    eprintln!("[1/3] per-kernel throughput");
+    let samples = [
+        sample_kernel(
+            "vectoradd-2048-gt240",
+            GpuConfig::gt240(),
+            &VectorAdd { n: 2048 },
+        ),
+        sample_kernel("matmul-32-gt240", GpuConfig::gt240(), &MatrixMul { n: 32 }),
+        sample_kernel(
+            "matmul-32-gtx580",
+            GpuConfig::gtx580(),
+            &MatrixMul { n: 32 },
+        ),
+        sample_kernel(
+            "blackscholes-gt240",
+            GpuConfig::gt240(),
+            &BlackScholes::default(),
+        ),
+    ];
+
+    eprintln!("[2/3] experiment core, sequential");
+    let sequential_s = suite_core(&SimPool::new(1), true);
+    eprintln!("[3/3] experiment core, {} threads", pool.threads());
+    let parallel_s = suite_core(&pool, true);
+
+    // Hand-rolled JSON: the offline workspace vendors no serializer.
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"generated_by\": \"perf_baseline\",");
+    let _ = writeln!(
+        json,
+        "  \"machine_threads\": {},",
+        gpusimpow_sim::parallel::available_threads()
+    );
+    json.push_str("  \"kernels\": [\n");
+    for (i, s) in samples.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"name\": \"{}\", \"shader_cycles\": {}, \"wall_s\": {:.6}, \
+             \"cycles_per_sec\": {:.0}}}{}",
+            s.name,
+            s.shader_cycles,
+            s.wall_s,
+            s.shader_cycles as f64 / s.wall_s.max(1e-9),
+            if i + 1 < samples.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"suite\": {\n");
+    let _ = writeln!(
+        json,
+        "    \"name\": \"experiment core (fig4 + microbench + fig6-small x2)\","
+    );
+    let _ = writeln!(json, "    \"sequential_wall_s\": {sequential_s:.3},");
+    let _ = writeln!(json, "    \"threads\": {},", pool.threads());
+    let _ = writeln!(json, "    \"parallel_wall_s\": {parallel_s:.3},");
+    let _ = writeln!(
+        json,
+        "    \"speedup\": {:.3}",
+        sequential_s / parallel_s.max(1e-9)
+    );
+    json.push_str("  }\n}\n");
+
+    std::fs::write(&out_path, &json).expect("write throughput json");
+    eprintln!("wrote {out_path}");
+    print!("{json}");
+}

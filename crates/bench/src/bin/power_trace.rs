@@ -9,12 +9,18 @@
 //! average power — and reports energy / time / EDP deltas per kernel.
 //!
 //! ```text
-//! cargo run --release -p gpusimpow-bench --bin power_trace [out_dir]
+//! cargo run --release -p gpusimpow-bench --bin power_trace [out_dir] [--threads N]
 //! ```
 //!
 //! With an `out_dir` argument, per-kernel CSV and Chrome-trace JSON
 //! files of the ondemand run are written there.
+//!
+//! Each benchmark simulates on its own freshly-built GT240 (benchmarks
+//! are self-contained, so recordings match a one-benchmark-per-process
+//! run), which lets the suite fan out over the `--threads` pool; the
+//! governor replays stay serial in suite order.
 
+use gpusimpow_bench::cli;
 use gpusimpow_kernels::suite::small_benchmarks;
 use gpusimpow_pm::{Baseline, ClusterGating, Ondemand, PowerCap, PowerTracer};
 use gpusimpow_power::GpuChip;
@@ -24,25 +30,32 @@ use gpusimpow_sim::{Gpu, GpuConfig, WindowRecorder};
 const WINDOW_CYCLES: u64 = 2048;
 
 fn main() {
-    let out_dir = std::env::args().nth(1);
+    let args: Vec<String> = std::env::args().collect();
+    let pool = cli::pool_from_args(&args);
+    let out_dir = args.iter().skip(1).find(|a| !a.starts_with("--")).cloned();
     let cfg = GpuConfig::gt240();
     let chip = GpuChip::new(&cfg).expect("GT240 chip builds");
 
-    // --- simulate once, recording windows --------------------------------
-    let mut gpu = Gpu::new(cfg).expect("GT240 config builds");
-    gpu.attach_sink(WINDOW_CYCLES, Box::new(WindowRecorder::new()));
-    for bench in small_benchmarks() {
+    // --- simulate, one recording GPU per benchmark ------------------------
+    // Jobs are identified by suite index; each reconstructs the suite to
+    // sidestep sending benchmark trait objects across threads.
+    let n_benches = small_benchmarks().len();
+    let recorded = pool.run((0..n_benches).collect(), |i| {
+        let bench = &small_benchmarks()[i];
+        let mut gpu = Gpu::new(GpuConfig::gt240()).expect("GT240 config builds");
+        gpu.attach_sink(WINDOW_CYCLES, Box::new(WindowRecorder::new()));
         if let Err(e) = bench.run(&mut gpu) {
             eprintln!("skipping {}: {e}", bench.name());
         }
-    }
-    let mut sink = gpu.detach_sink().expect("sink was attached");
-    let recorder = sink
-        .as_any_mut()
-        .expect("WindowRecorder is 'static")
-        .downcast_mut::<WindowRecorder>()
-        .expect("attached sink is a WindowRecorder");
-    let launches: Vec<RecordedLaunch> = std::mem::take(recorder).into_launches();
+        let mut sink = gpu.detach_sink().expect("sink was attached");
+        let recorder = sink
+            .as_any_mut()
+            .expect("WindowRecorder is 'static")
+            .downcast_mut::<WindowRecorder>()
+            .expect("attached sink is a WindowRecorder");
+        std::mem::take(recorder).into_launches()
+    });
+    let launches: Vec<RecordedLaunch> = recorded.into_iter().flatten().collect();
 
     // --- replay under each governor ---------------------------------------
     let ungoverned = PowerTracer::new(chip.clone());

@@ -1,18 +1,31 @@
 //! Table I: the benchmark suite.
+//!
+//! Usage: table1_benchmarks [--threads N]
 
+use gpusimpow_bench::cli;
 use gpusimpow_kernels::all_benchmarks;
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let pool = cli::pool_from_args(&args);
     println!("Table I — GPGPU benchmarks used for experimental evaluation\n");
     println!("| name | #kernels | description | origin |");
     println!("|---|---|---|---|");
-    for b in all_benchmarks() {
-        println!(
+    // Row formatting fans out by benchmark index (each job instantiates
+    // its own suite — the descriptors are cheap); rows come back in
+    // suite order, so the table never depends on the thread count.
+    let n = all_benchmarks().len();
+    let rows = pool.run((0..n).collect(), |i| {
+        let b = &all_benchmarks()[i];
+        format!(
             "| {} | {} | {} | {} |",
             b.name(),
             b.kernel_names().len(),
             b.description(),
             b.origin()
-        );
+        )
+    });
+    for row in rows {
+        println!("{row}");
     }
 }

@@ -1,0 +1,78 @@
+//! Shared command-line plumbing for the experiment binaries.
+
+use gpusimpow_sim::SimPool;
+
+/// Parses a `--threads N` (or `--threads=N`) flag from `args` and builds
+/// the simulation fan-out pool. Without the flag the pool uses the
+/// machine's available parallelism; `--threads 1` forces sequential
+/// execution.
+///
+/// Thread count only changes wall-clock time: every experiment seeds its
+/// own `Gpu`/testbed per job and results are collected in input order,
+/// so the emitted numbers are identical for any setting.
+///
+/// # Panics
+///
+/// Panics with a usage message when the flag's value is missing or not
+/// a number.
+pub fn pool_from_args(args: &[String]) -> SimPool {
+    SimPool::new(threads_from_args(args))
+}
+
+/// Extracts the raw `--threads` value (`0` = available parallelism,
+/// also the default when the flag is absent).
+pub fn threads_from_args(args: &[String]) -> usize {
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let value = if arg == "--threads" {
+            iter.next()
+                .unwrap_or_else(|| panic!("--threads needs a value"))
+                .clone()
+        } else if let Some(v) = arg.strip_prefix("--threads=") {
+            v.to_string()
+        } else {
+            continue;
+        };
+        return value
+            .parse()
+            .unwrap_or_else(|_| panic!("--threads expects a number, got {value:?}"));
+    }
+    0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn default_is_available_parallelism() {
+        assert_eq!(threads_from_args(&args(&["bin", "--small"])), 0);
+        assert!(pool_from_args(&args(&["bin"])).threads() >= 1);
+    }
+
+    #[test]
+    fn explicit_forms_parse() {
+        assert_eq!(threads_from_args(&args(&["bin", "--threads", "4"])), 4);
+        assert_eq!(threads_from_args(&args(&["bin", "--threads=2", "x"])), 2);
+        assert_eq!(
+            pool_from_args(&args(&["bin", "--threads", "1"])).threads(),
+            1
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "--threads needs a value")]
+    fn missing_value_panics() {
+        threads_from_args(&args(&["bin", "--threads"]));
+    }
+
+    #[test]
+    #[should_panic(expected = "expects a number")]
+    fn non_numeric_value_panics() {
+        threads_from_args(&args(&["bin", "--threads", "lots"]));
+    }
+}

@@ -5,7 +5,7 @@ use gpusimpow_isa::LaunchConfig;
 use gpusimpow_kernels::micro;
 use gpusimpow_measure::{per_op_energy, static_est, KernelExec, Testbed};
 use gpusimpow_power::GpuChip;
-use gpusimpow_sim::{Gpu, GpuConfig};
+use gpusimpow_sim::{Gpu, GpuConfig, SimPool};
 
 /// Default seed fixing the virtual board's systematic errors.
 pub const BOARD_SEED: u64 = 0x1597;
@@ -26,21 +26,31 @@ pub struct Fig4Point {
 /// Fig. 4: power of the GT240 running the same kernel with an
 /// increasing number of thread blocks, measured on the testbed.
 ///
+/// The twelve probe launches are independent (the probe kernel touches
+/// no persistent device state and core caches flush at every launch
+/// boundary), so they fan out over `pool` on a fresh `Gpu` each; the
+/// stateful testbed measurement replays the reports serially in block
+/// order, keeping the measurement-chain noise sequence — and therefore
+/// every emitted number — identical for any thread count.
+///
 /// # Panics
 ///
 /// Panics if the simulator rejects the probe kernel.
-pub fn fig4_cluster_power(seed: u64) -> Vec<Fig4Point> {
+pub fn fig4_cluster_power(seed: u64, pool: &SimPool) -> Vec<Fig4Point> {
     let cfg = GpuConfig::gt240();
-    let mut gpu = Gpu::new(cfg.clone()).expect("preset is valid");
     let mut testbed = Testbed::new(cfg.clone(), seed);
     let kernel = micro::cluster_step_kernel(1500);
+    let blocks_axis: Vec<u32> = (1..=cfg.total_cores() as u32).collect();
+    let reports = pool.run(blocks_axis, |blocks| {
+        let mut gpu = Gpu::new(GpuConfig::gt240()).expect("preset is valid");
+        gpu.launch(&kernel, LaunchConfig::linear(blocks, 256))
+            .expect("probe kernel runs")
+    });
     let mut points = Vec::new();
     let mut prev = 0.0;
-    for blocks in 1..=cfg.total_cores() as u32 {
-        let report = gpu
-            .launch(&kernel, LaunchConfig::linear(blocks, 256))
-            .expect("probe kernel runs");
-        let m = &testbed.measure(&[KernelExec::from_report(&report)])[0];
+    for (i, report) in reports.iter().enumerate() {
+        let blocks = i as u32 + 1;
+        let m = &testbed.measure(&[KernelExec::from_report(report)])[0];
         let w = m.avg_power.watts();
         points.push(Fig4Point {
             blocks,
@@ -157,25 +167,45 @@ pub struct MicrobenchEnergies {
 /// §III-D: runs the LFSR and Mandelbrot microbenchmarks with 31 and 1
 /// enabled lanes per warp through the testbed and derives the
 /// per-operation energies from the energy difference.
-pub fn microbench_energy(seed: u64) -> MicrobenchEnergies {
+///
+/// The four microbenchmark launches simulate in parallel over `pool`
+/// (each on a fresh `Gpu`); the testbed then measures the reports
+/// serially in the fixed launch order, so its noise sequence does not
+/// depend on the thread count.
+pub fn microbench_energy(seed: u64, pool: &SimPool) -> MicrobenchEnergies {
     let cfg = GpuConfig::gt240();
-    let mut gpu = Gpu::new(cfg.clone()).expect("preset is valid");
     let mut testbed = Testbed::new(cfg.clone(), seed);
     let launch = micro::micro_launch(cfg.total_cores() as u32);
 
-    let mut run = |kernel: &gpusimpow_isa::Kernel| {
-        let report = gpu.launch(kernel, launch).expect("micro runs");
-        let m = testbed.measure(&[KernelExec::from_report(&report)]);
-        (m[0].clone(), report.stats)
-    };
+    let kernels = vec![
+        micro::lfsr_kernel(31, 64),
+        micro::lfsr_kernel(1, 64),
+        micro::mandelbrot_kernel(31, 64),
+        micro::mandelbrot_kernel(1, 64),
+    ];
+    let reports = pool.run(kernels, |kernel| {
+        let mut gpu = Gpu::new(GpuConfig::gt240()).expect("preset is valid");
+        gpu.launch(&kernel, launch).expect("micro runs")
+    });
+    let measured: Vec<_> = reports
+        .iter()
+        .map(|r| testbed.measure(&[KernelExec::from_report(r)])[0].clone())
+        .collect();
 
-    let (m31, s31) = run(&micro::lfsr_kernel(31, 64));
-    let (m01, s01) = run(&micro::lfsr_kernel(1, 64));
-    let int_pj = per_op_energy(&m31, &m01, s31.int_lane_ops, s01.int_lane_ops).picojoules();
-
-    let (f31, fs31) = run(&micro::mandelbrot_kernel(31, 64));
-    let (f01, fs01) = run(&micro::mandelbrot_kernel(1, 64));
-    let fp_pj = per_op_energy(&f31, &f01, fs31.fp_lane_ops, fs01.fp_lane_ops).picojoules();
+    let int_pj = per_op_energy(
+        &measured[0],
+        &measured[1],
+        reports[0].stats.int_lane_ops,
+        reports[1].stats.int_lane_ops,
+    )
+    .picojoules();
+    let fp_pj = per_op_energy(
+        &measured[2],
+        &measured[3],
+        reports[2].stats.fp_lane_ops,
+        reports[3].stats.fp_lane_ops,
+    )
+    .picojoules();
 
     MicrobenchEnergies { int_pj, fp_pj }
 }
@@ -247,24 +277,33 @@ pub struct ErrorBudget {
 
 /// §IV-A: sweeps DC operating points through many boards and compares
 /// the reconstructed power against the ground truth.
-pub fn measurement_error_budget(boards: usize) -> ErrorBudget {
-    let mut worst = 0.0f64;
-    let mut sum = 0.0;
-    let mut n = 0;
-    for seed in 0..boards as u64 {
+///
+/// Boards are independent testbeds (one seed each), so they fan out
+/// over `pool`; the per-board errors are folded in seed order, keeping
+/// the floating-point reduction identical for any thread count.
+pub fn measurement_error_budget(boards: usize, pool: &SimPool) -> ErrorBudget {
+    let per_board = pool.run((0..boards as u64).collect(), |seed| {
         let mut tb = Testbed::new(GpuConfig::gt240(), seed);
+        let mut worst = 0.0f64;
+        let mut sum = 0.0;
         for watts in [16.0, 25.0, 40.0, 60.0] {
             let truth = gpusimpow_tech::units::Power::new(watts);
             let measured = tb.measure_state(truth, gpusimpow_tech::units::Time::from_millis(30.0));
             let rel = ((measured.watts() - watts) / watts).abs();
             worst = worst.max(rel);
             sum += rel;
-            n += 1;
         }
+        (worst, sum)
+    });
+    let mut worst = 0.0f64;
+    let mut sum = 0.0;
+    for (board_worst, board_sum) in &per_board {
+        worst = worst.max(*board_worst);
+        sum += board_sum;
     }
     ErrorBudget {
         worst_rel_error: worst,
-        mean_rel_error: sum / n as f64,
+        mean_rel_error: sum / (boards * 4) as f64,
         boards,
     }
 }
@@ -275,7 +314,9 @@ mod tests {
 
     #[test]
     fn fig4_shows_the_staircase() {
-        let points = fig4_cluster_power(BOARD_SEED);
+        // Two threads exercise the parallel fan-out path; results are
+        // identical for any thread count (collected in input order).
+        let points = fig4_cluster_power(BOARD_SEED, &SimPool::new(2));
         assert_eq!(points.len(), 12);
         // Blocks 2..4 land on fresh clusters.
         assert_eq!(points[1].clusters_active, 2);
@@ -299,7 +340,7 @@ mod tests {
 
     #[test]
     fn microbench_methodology_recovers_the_silicon_truth() {
-        let e = microbench_energy(BOARD_SEED);
+        let e = microbench_energy(BOARD_SEED, &SimPool::new(2));
         // The §III-D method must recover the *synthetic silicon's* true
         // per-op energies (the paper's real card measured ≈40/75 pJ; our
         // emulated card's truth is deliberately different so the Fig. 6
@@ -324,7 +365,7 @@ mod tests {
 
     #[test]
     fn error_budget_within_spec() {
-        let b = measurement_error_budget(10);
+        let b = measurement_error_budget(10, &SimPool::new(2));
         assert!(
             b.worst_rel_error < 0.032,
             "worst error {} exceeds the ±3.2 % budget",

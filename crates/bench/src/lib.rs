@@ -7,5 +7,6 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod cli;
 pub mod experiments;
 pub mod render;

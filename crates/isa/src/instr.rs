@@ -416,41 +416,56 @@ impl Instr {
 
     /// The registers read by this instruction (up to four).
     pub fn srcs(&self) -> Vec<Reg> {
-        fn push(v: &mut Vec<Reg>, o: &Operand) {
+        let mut buf = [Reg(0); 4];
+        let n = self.srcs_into(&mut buf);
+        buf[..n].to_vec()
+    }
+
+    /// Writes the registers read by this instruction into `out` and
+    /// returns how many there are (at most four). Allocation-free
+    /// variant of [`Instr::srcs`] for decode-once hot paths.
+    pub fn srcs_into(&self, out: &mut [Reg; 4]) -> usize {
+        fn push(out: &mut [Reg; 4], n: &mut usize, r: Reg) {
+            out[*n] = r;
+            *n += 1;
+        }
+        fn push_op(out: &mut [Reg; 4], n: &mut usize, o: &Operand) {
             if let Operand::Reg(r) = o {
-                v.push(*r);
+                push(out, n, *r);
             }
         }
-        let mut v = Vec::with_capacity(4);
+        let mut n = 0;
         match self {
             Instr::IAlu { a, b, .. }
             | Instr::FAlu { a, b, .. }
             | Instr::ISetp { a, b, .. }
             | Instr::FSetp { a, b, .. } => {
-                push(&mut v, a);
-                push(&mut v, b);
+                push_op(out, &mut n, a);
+                push_op(out, &mut n, b);
             }
             Instr::IMad { a, b, c, .. } | Instr::FFma { a, b, c, .. } => {
-                push(&mut v, a);
-                push(&mut v, b);
-                push(&mut v, c);
+                push_op(out, &mut n, a);
+                push_op(out, &mut n, b);
+                push_op(out, &mut n, c);
             }
-            Instr::Sfu { a, .. } | Instr::I2F { a, .. } | Instr::F2I { a, .. } => push(&mut v, a),
-            Instr::Mov { src, .. } => push(&mut v, src),
+            Instr::Sfu { a, .. } | Instr::I2F { a, .. } | Instr::F2I { a, .. } => {
+                push_op(out, &mut n, a)
+            }
+            Instr::Mov { src, .. } => push_op(out, &mut n, src),
             Instr::Sel { cond, a, b, .. } => {
-                v.push(*cond);
-                push(&mut v, a);
-                push(&mut v, b);
+                push(out, &mut n, *cond);
+                push_op(out, &mut n, a);
+                push_op(out, &mut n, b);
             }
-            Instr::Ld { addr, .. } => v.push(*addr),
+            Instr::Ld { addr, .. } => push(out, &mut n, *addr),
             Instr::St { src, addr, .. } => {
-                v.push(*src);
-                v.push(*addr);
+                push(out, &mut n, *src);
+                push(out, &mut n, *addr);
             }
-            Instr::Bra { cond, .. } => v.push(*cond),
+            Instr::Bra { cond, .. } => push(out, &mut n, *cond),
             Instr::S2R { .. } | Instr::Jmp { .. } | Instr::Bar | Instr::Exit | Instr::Nop => {}
         }
-        v
+        n
     }
 
     /// Returns `true` for instructions that may change control flow.

@@ -17,7 +17,9 @@
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 
-use gpusimpow_isa::{Instr, InstrClass, Kernel, LaunchConfig, MemSpace, Operand, Reg, SpecialReg};
+use gpusimpow_isa::{
+    Instr, InstrClass, Kernel, LaunchConfig, MemSpace, Operand, Pc, Reg, SpecialReg,
+};
 
 use crate::cache::{Mshr, Probe, SimCache};
 use crate::config::{GpuConfig, WarpSchedPolicy};
@@ -38,6 +40,85 @@ pub struct LaunchCtx<'a> {
     pub const_base: u32,
     /// Size of the staged constant bank in bytes.
     pub const_bytes: u32,
+    /// Pre-decoded metadata for every instruction of the kernel,
+    /// indexed by PC (see [`DecodedInstr::decode_kernel`]).
+    pub decoded: &'a [DecodedInstr],
+}
+
+/// Pre-decoded instruction metadata, derived once per launch and shared
+/// read-only by all cores.
+///
+/// Re-deriving the source-register list (a `Vec` allocation) and the
+/// register-file bank conflicts on every issue attempt was the hottest
+/// part of the cycle loop; everything the issue stage needs is computed
+/// here exactly once per kernel instruction.
+#[derive(Debug, Clone, Copy)]
+pub struct DecodedInstr {
+    /// The architectural instruction.
+    pub instr: Instr,
+    /// Execution class (pipeline selector).
+    pub class: InstrClass,
+    /// Destination register, if any.
+    pub dst: Option<Reg>,
+    /// Number of source registers (at most four).
+    pub n_srcs: u8,
+    /// Scoreboard dependence mask: source ∪ destination register bits,
+    /// indices clamped to 63 (the scoreboard width).
+    pub dep_mask: u64,
+    /// Register-file bank conflicts among the sources under the
+    /// configuration's bank count.
+    pub bank_conflicts: u8,
+    /// `true` for instructions that drain the warp before issue
+    /// (`Exit`, `Bar`).
+    pub drains: bool,
+}
+
+impl DecodedInstr {
+    /// Decodes one instruction against `cfg` (bank conflicts depend on
+    /// the register-file bank count).
+    pub fn decode(instr: Instr, cfg: &GpuConfig) -> Self {
+        let class = instr.class();
+        let dst = instr.dst();
+        let mut srcs = [Reg(0); 4];
+        let n = instr.srcs_into(&mut srcs);
+        let mut dep_mask: u64 = 0;
+        for r in &srcs[..n] {
+            dep_mask |= 1u64 << r.index().min(63);
+        }
+        if let Some(d) = dst {
+            dep_mask |= 1u64 << d.index().min(63);
+        }
+        // Conflicts = sources − distinct banks touched, as the banked
+        // register file serializes same-bank reads.
+        let mut banks = [0usize; 4];
+        for (b, r) in banks.iter_mut().zip(&srcs[..n]) {
+            *b = r.index() % cfg.regfile_banks;
+        }
+        let mut distinct = 0;
+        for i in 0..n {
+            if !banks[..i].contains(&banks[i]) {
+                distinct += 1;
+            }
+        }
+        DecodedInstr {
+            instr,
+            class,
+            dst,
+            n_srcs: n as u8,
+            dep_mask,
+            bank_conflicts: (n - distinct) as u8,
+            drains: matches!(instr, Instr::Exit | Instr::Bar),
+        }
+    }
+
+    /// Decodes a whole kernel into a PC-indexed table.
+    pub fn decode_kernel(kernel: &Kernel, cfg: &GpuConfig) -> Vec<DecodedInstr> {
+        kernel
+            .code()
+            .iter()
+            .map(|&i| Self::decode(i, cfg))
+            .collect()
+    }
 }
 
 /// A memory request leaving a core for the uncore.
@@ -95,7 +176,9 @@ struct Warp {
     base_tid: u32,
     stack: SimtStack,
     regs: Vec<u32>,
-    ibuf: Option<Instr>,
+    /// Fetched-but-unissued instruction, by PC (the decoded table in
+    /// [`LaunchCtx`] holds the metadata).
+    ibuf: Option<Pc>,
     /// Scoreboard: bit `r` set while register `r` has a pending write.
     pending_writes: u64,
     /// Barrel mode: an instruction is in flight.
@@ -144,6 +227,21 @@ pub struct Core {
     completed_ctas: u64,
     /// Block coordinates of each resident CTA, by CTA slot.
     cta_coords: HashMap<usize, (u32, u32)>,
+    /// Global-memory store overlay filled during the compute phase
+    /// (word address → value) and applied by [`Core::commit_stores`]
+    /// in the serial commit phase. Loads from this core see it
+    /// (read-your-own-writes); other cores see the stores one cycle
+    /// later, which keeps the parallel step deterministic.
+    store_buf: HashMap<u32, u32>,
+    /// Whether the current/last tick did observable work.
+    work: bool,
+    // Reusable scratch buffers for the load/store unit, hoisted out of
+    // the per-instruction hot path.
+    scratch_lanes: Vec<(usize, u32)>,
+    scratch_words: Vec<u32>,
+    scratch_segs: Vec<u32>,
+    scratch_loads: Vec<(usize, u32)>,
+    scratch_stores: Vec<(u32, u32)>,
     /// Core-local activity counters, merged by the GPU after a launch.
     pub stats: ActivityStats,
 }
@@ -188,6 +286,13 @@ impl Core {
             out_requests: Vec::new(),
             completed_ctas: 0,
             cta_coords: HashMap::new(),
+            store_buf: HashMap::new(),
+            work: false,
+            scratch_lanes: Vec::new(),
+            scratch_words: Vec::new(),
+            scratch_segs: Vec::new(),
+            scratch_loads: Vec::new(),
+            scratch_stores: Vec::new(),
             stats: ActivityStats::new(),
         }
     }
@@ -336,6 +441,68 @@ impl Core {
         std::mem::take(&mut self.out_requests)
     }
 
+    /// Appends the memory requests generated since the last call to
+    /// `out`, keeping both vectors' capacity (allocation-free variant of
+    /// [`Core::drain_requests`]).
+    pub fn drain_requests_into(&mut self, out: &mut Vec<MemRequest>) {
+        out.append(&mut self.out_requests);
+    }
+
+    /// Applies the global-memory stores buffered during the compute
+    /// phase. Called serially per core (in core order) after the
+    /// parallel compute phase; buffered addresses are distinct words
+    /// (the overlay keeps the last write per word), so the application
+    /// order within one core cannot affect the result.
+    pub fn commit_stores(&mut self, mem: &mut GpuMemory) {
+        if self.store_buf.is_empty() {
+            return;
+        }
+        for (addr, value) in self.store_buf.drain() {
+            mem.store_word(addr, value);
+        }
+    }
+
+    /// The earliest future cycle at which this core could make progress
+    /// again, assuming no memory responses arrive: the next writeback
+    /// event or pipeline-busy release. `None` when nothing is scheduled
+    /// (the core is idle, or deadlocked at a barrier).
+    pub fn next_wake(&self, cycle: u64) -> Option<u64> {
+        let mut wake = self.events.peek().map(|Reverse(e)| e.cycle);
+        for busy in [self.busy_int, self.busy_fp, self.busy_sfu, self.busy_ldst] {
+            if busy > cycle {
+                wake = Some(wake.map_or(busy, |w: u64| w.min(busy)));
+            }
+        }
+        wake
+    }
+
+    /// Whether the last [`Core::tick`] did observable work.
+    pub fn progressed(&self) -> bool {
+        self.work
+    }
+
+    /// Reads a global-memory word through this core's store overlay
+    /// (read-your-own-writes within the current cycle).
+    fn read_global(&self, mem: &GpuMemory, addr: u32) -> u32 {
+        if !self.store_buf.is_empty() {
+            if let Some(v) = self.store_buf.get(&(addr & !3)) {
+                return *v;
+            }
+        }
+        mem.load_word(addr)
+    }
+
+    /// Buffers a global-memory store for the commit phase. Bounds are
+    /// checked now so an out-of-range kernel store still fails inside
+    /// the offending core's compute phase.
+    fn buffer_store(&mut self, mem: &GpuMemory, addr: u32, value: u32) {
+        let a = addr & !3;
+        if a as usize + 4 > mem.capacity() {
+            panic!("kernel write past end of simulated memory: 0x{addr:08x}");
+        }
+        self.store_buf.insert(a, value);
+    }
+
     /// Delivers a memory reply for the 128-byte line containing `addr`.
     pub fn mem_response(&mut self, addr: u32, cycle: u64, ctx: &LaunchCtx<'_>) {
         // Install into the right cache.
@@ -371,11 +538,28 @@ impl Core {
         }
     }
 
-    /// Advances the core by one shader cycle.
-    pub fn tick(&mut self, cycle: u64, cfg: &GpuConfig, ctx: &LaunchCtx<'_>, mem: &mut GpuMemory) {
+    /// Advances the core by one shader cycle — the *compute* phase of
+    /// the two-phase step. The core only reads shared global memory;
+    /// its stores are buffered in the overlay and applied by
+    /// [`Core::commit_stores`] in the serial commit phase, so cores can
+    /// tick in parallel with deterministic results.
+    ///
+    /// Returns `true` when the core did observable work (including
+    /// failed-but-counted scoreboard probes); `false` means the tick
+    /// was a provable no-op, which the GPU's idle fast-forward relies
+    /// on.
+    pub fn tick(
+        &mut self,
+        cycle: u64,
+        cfg: &GpuConfig,
+        ctx: &LaunchCtx<'_>,
+        mem: &GpuMemory,
+    ) -> bool {
+        self.work = false;
         self.retire(cycle);
         self.issue_stage(cycle, cfg, ctx, mem);
         self.fetch_stage(cycle, ctx);
+        self.work
     }
 
     // --- writeback / retire ---------------------------------------------------
@@ -385,6 +569,7 @@ impl Core {
             if ev.cycle > cycle {
                 break;
             }
+            self.work = true;
             let ev = self.events.pop().expect("peeked").0;
             match ev.completion {
                 Completion::Commit { warp, dst } => {
@@ -403,13 +588,7 @@ impl Core {
 
     // --- issue -------------------------------------------------------------------
 
-    fn issue_stage(
-        &mut self,
-        cycle: u64,
-        cfg: &GpuConfig,
-        ctx: &LaunchCtx<'_>,
-        mem: &mut GpuMemory,
-    ) {
+    fn issue_stage(&mut self, cycle: u64, cfg: &GpuConfig, ctx: &LaunchCtx<'_>, mem: &GpuMemory) {
         match cfg.warp_scheduler {
             WarpSchedPolicy::RoundRobin => {
                 let mut issued = 0;
@@ -427,10 +606,12 @@ impl Core {
             }
             WarpSchedPolicy::TwoLevel { active_warps } => {
                 self.maintain_active_set(active_warps);
-                let set = self.active_set.clone();
-                if set.is_empty() {
+                if self.active_set.is_empty() {
                     return;
                 }
+                // Swap the set out instead of cloning it each cycle;
+                // `try_issue` never touches `active_set`.
+                let set = std::mem::take(&mut self.active_set);
                 let mut issued = 0;
                 let mut scanned = 0;
                 let n = set.len();
@@ -443,6 +624,7 @@ impl Core {
                         self.stats.issue_scheduler_selects += 1;
                     }
                 }
+                self.active_set = set;
             }
         }
     }
@@ -477,9 +659,9 @@ impl Core {
         cycle: u64,
         cfg: &GpuConfig,
         ctx: &LaunchCtx<'_>,
-        mem: &mut GpuMemory,
+        mem: &GpuMemory,
     ) -> bool {
-        let (instr, mask) = {
+        let (di, mask) = {
             let w = match self.warps[slot].as_ref() {
                 Some(w) => w,
                 None => return false,
@@ -487,27 +669,23 @@ impl Core {
             if w.done || w.at_barrier {
                 return false;
             }
-            let instr = match w.ibuf {
-                Some(i) => i,
+            let pc = match w.ibuf {
+                Some(pc) => pc,
                 None => return false,
             };
+            let di = ctx.decoded[pc as usize];
             // Dependency check.
             if cfg.scoreboard {
+                // A failed probe still counts scoreboard activity, so
+                // this cycle is not quiescent (the idle fast-forward
+                // must not skip it).
                 self.stats.scoreboard_reads += 1;
-                let mut needed: u64 = 0;
-                for r in instr.srcs() {
-                    needed |= 1u64 << r.index().min(63);
-                }
-                if let Some(d) = instr.dst() {
-                    needed |= 1u64 << d.index().min(63);
-                }
-                if w.pending_writes & needed != 0 {
+                self.work = true;
+                if w.pending_writes & di.dep_mask != 0 {
                     return false;
                 }
                 // Exit and barriers drain the warp first.
-                if matches!(instr, Instr::Exit | Instr::Bar)
-                    && (w.pending_writes != 0 || w.outstanding_groups > 0)
-                {
+                if di.drains && (w.pending_writes != 0 || w.outstanding_groups > 0) {
                     return false;
                 }
             } else if w.busy {
@@ -517,11 +695,11 @@ impl Core {
                 Some(e) => e,
                 None => return false,
             };
-            (instr, entry.mask)
+            (di, entry.mask)
         };
 
         // Unit availability.
-        let class = instr.class();
+        let class = di.class;
         let dispatch = match class {
             InstrClass::Int => {
                 if self.busy_int > cycle {
@@ -554,7 +732,8 @@ impl Core {
         };
 
         // Commit to issuing.
-        self.account_issue(&instr, mask, cfg);
+        self.work = true;
+        self.account_issue(&di, mask);
         let latency = match class {
             InstrClass::Int => cfg.int_latency as u64,
             InstrClass::Fp => cfg.fp_latency as u64,
@@ -571,7 +750,7 @@ impl Core {
         }
 
         // Functional execution + architectural bookkeeping.
-        let mem_commit = self.execute(slot, instr, mask, cycle, dispatch, cfg, ctx, mem);
+        let mem_commit = self.execute(slot, di.instr, mask, cycle, dispatch, cfg, ctx, mem);
         self.stats.ibuffer_reads += 1;
         self.stats.wst_writes += 1;
 
@@ -601,7 +780,7 @@ impl Core {
                 }
             }
             _ => {
-                let dst = instr.dst();
+                let dst = di.dst;
                 if let Some(d) = dst {
                     w.pending_writes |= 1u64 << d.index().min(63);
                 }
@@ -617,12 +796,12 @@ impl Core {
         true
     }
 
-    fn account_issue(&mut self, instr: &Instr, mask: LaneMask, cfg: &GpuConfig) {
+    fn account_issue(&mut self, di: &DecodedInstr, mask: LaneMask) {
         let lanes = mask.count_ones() as u64;
         self.stats.warp_instructions += 1;
         self.stats.thread_instructions += lanes;
         self.stats.simt_stack_reads += 1;
-        match instr.class() {
+        match di.class {
             InstrClass::Int => {
                 self.stats.int_instructions += 1;
                 self.stats.int_lane_ops += lanes;
@@ -640,19 +819,16 @@ impl Core {
             }
             InstrClass::Control => {}
         }
-        // Register-file operand collection.
-        let srcs = instr.srcs();
-        if !srcs.is_empty() || instr.dst().is_some() {
+        // Register-file operand collection (counts precomputed at
+        // decode; see `DecodedInstr`).
+        let n_srcs = di.n_srcs as u64;
+        if n_srcs > 0 || di.dst.is_some() {
             self.stats.collector_allocations += 1;
         }
-        if !srcs.is_empty() {
-            self.stats.rf_bank_reads += srcs.len() as u64;
-            self.stats.collector_xbar_transfers += srcs.len() as u64;
-            let mut banks: Vec<usize> =
-                srcs.iter().map(|r| r.index() % cfg.regfile_banks).collect();
-            banks.sort_unstable();
-            banks.dedup();
-            self.stats.rf_bank_conflicts += (srcs.len() - banks.len()) as u64;
+        if n_srcs > 0 {
+            self.stats.rf_bank_reads += n_srcs;
+            self.stats.collector_xbar_transfers += n_srcs;
+            self.stats.rf_bank_conflicts += di.bank_conflicts as u64;
         }
     }
 
@@ -672,7 +848,7 @@ impl Core {
         dispatch: u64,
         cfg: &GpuConfig,
         ctx: &LaunchCtx<'_>,
-        mem: &mut GpuMemory,
+        mem: &GpuMemory,
     ) -> Option<(u64, Option<Reg>)> {
         let warp_size = cfg.warp_size;
         let num_regs = ctx.kernel.num_regs() as usize;
@@ -971,7 +1147,7 @@ impl Core {
         dispatch: u64,
         cfg: &GpuConfig,
         ctx: &LaunchCtx<'_>,
-        mem: &mut GpuMemory,
+        mem: &GpuMemory,
     ) -> Option<(u64, Option<Reg>)> {
         let warp_size = cfg.warp_size;
         let num_regs = ctx.kernel.num_regs() as usize;
@@ -994,8 +1170,11 @@ impl Core {
             _ => unreachable!("execute_mem called on non-memory instruction"),
         };
 
-        // Per-lane addresses.
-        let mut addrs: Vec<(usize, u32)> = Vec::with_capacity(lanes as usize);
+        // Per-lane addresses, built in reusable scratch buffers: the
+        // memory pipeline runs every few cycles and used to allocate four
+        // fresh `Vec`s per access.
+        let mut addrs = std::mem::take(&mut self.scratch_lanes);
+        addrs.clear();
         {
             let w = self.warps[slot].as_ref().expect("live warp");
             for lane in 0..warp_size {
@@ -1005,41 +1184,51 @@ impl Core {
                 }
             }
         }
+        let mut words = std::mem::take(&mut self.scratch_words);
+        words.clear();
 
-        match space {
+        let result = match space {
             MemSpace::Shared => {
-                let plan = ldst::smem_conflicts(
-                    &addrs.iter().map(|&(_, a)| a / 4).collect::<Vec<_>>(),
-                    cfg.smem_banks as u32,
-                );
+                words.extend(addrs.iter().map(|&(_, a)| a / 4));
+                let plan = ldst::smem_conflicts(&words, cfg.smem_banks as u32);
                 self.stats.smem_accesses += plan.bank_accesses as u64;
                 self.stats.smem_bank_conflict_cycles += plan.passes.saturating_sub(1) as u64;
                 let cta_slot = self.warps[slot].as_ref().expect("live warp").cta_slot;
                 // Functional access to the CTA's shared array.
                 if let Some(d) = dst {
-                    let values: Vec<(usize, u32)> = {
+                    let mut values = std::mem::take(&mut self.scratch_loads);
+                    values.clear();
+                    {
                         let cta = self.ctas[cta_slot].as_ref().expect("live cta");
-                        addrs
-                            .iter()
-                            .map(|&(lane, a)| (lane, read_smem(&cta.smem, a)))
-                            .collect()
-                    };
+                        values.extend(
+                            addrs
+                                .iter()
+                                .map(|&(lane, a)| (lane, read_smem(&cta.smem, a))),
+                        );
+                    }
                     let w = self.warps[slot].as_mut().expect("live warp");
-                    for (lane, v) in values {
+                    for &(lane, v) in &values {
                         w.regs[lane * num_regs + d.index()] = v;
                     }
+                    values.clear();
+                    self.scratch_loads = values;
                 } else if let Some(s) = src {
-                    let values: Vec<(u32, u32)> = {
+                    let mut values = std::mem::take(&mut self.scratch_stores);
+                    values.clear();
+                    {
                         let w = self.warps[slot].as_ref().expect("live warp");
-                        addrs
-                            .iter()
-                            .map(|&(lane, a)| (a, w.regs[lane * num_regs + s.index()]))
-                            .collect()
-                    };
+                        values.extend(
+                            addrs
+                                .iter()
+                                .map(|&(lane, a)| (a, w.regs[lane * num_regs + s.index()])),
+                        );
+                    }
                     let cta = self.ctas[cta_slot].as_mut().expect("live cta");
-                    for (a, v) in values {
+                    for &(a, v) in &values {
                         write_smem(&mut cta.smem, a, v);
                     }
+                    values.clear();
+                    self.scratch_stores = values;
                 }
                 self.busy_ldst = self
                     .busy_ldst
@@ -1051,33 +1240,36 @@ impl Core {
             }
             MemSpace::Const => {
                 // Constant addresses live in the staged constant segment.
-                let gaddrs: Vec<(usize, u32)> = addrs
-                    .iter()
-                    .map(|&(lane, a)| (lane, ctx.const_base.wrapping_add(a)))
-                    .collect();
-                let unique =
-                    ldst::const_unique(&gaddrs.iter().map(|&(_, a)| a).collect::<Vec<_>>());
+                words.extend(addrs.iter().map(|&(_, a)| ctx.const_base.wrapping_add(a)));
+                let unique = ldst::const_unique(&words);
                 self.stats.const_accesses += unique as u64;
                 // Functional read.
                 if let Some(d) = dst {
-                    let values: Vec<(usize, u32)> = gaddrs
-                        .iter()
-                        .map(|&(lane, a)| (lane, mem.load_word(a)))
-                        .collect();
+                    let mut values = std::mem::take(&mut self.scratch_loads);
+                    values.clear();
+                    values.extend(addrs.iter().map(|&(lane, a)| {
+                        (lane, self.read_global(mem, ctx.const_base.wrapping_add(a)))
+                    }));
                     let w = self.warps[slot].as_mut().expect("live warp");
-                    for (lane, v) in values {
+                    for &(lane, v) in &values {
                         w.regs[lane * num_regs + d.index()] = v;
                     }
+                    values.clear();
+                    self.scratch_loads = values;
                 }
                 // Probe the constant cache per distinct 64 B line.
-                let lines = ldst::coalesce(&gaddrs.iter().map(|&(_, a)| a).collect::<Vec<_>>(), 64);
+                let mut lines = std::mem::take(&mut self.scratch_segs);
+                lines.clear();
+                ldst::coalesce_into(&words, 64, &mut lines);
                 let mut misses = 0;
-                for line in lines {
+                for &line in &lines {
                     if self.const_cache.read(line) == Probe::Miss {
                         self.stats.const_misses += 1;
                         misses += self.issue_read_request(slot, dst, line & !127, cfg);
                     }
                 }
+                lines.clear();
+                self.scratch_segs = lines;
                 if misses == 0 {
                     Some((cycle + dispatch + cfg.const_latency as u64, dst))
                 } else {
@@ -1086,35 +1278,49 @@ impl Core {
                 }
             }
             MemSpace::Global => {
-                let raw: Vec<u32> = addrs.iter().map(|&(_, a)| a).collect();
-                self.stats.coalescer_inputs += raw.len() as u64;
-                let segments = ldst::coalesce(&raw, 128);
+                words.extend(addrs.iter().map(|&(_, a)| a));
+                self.stats.coalescer_inputs += words.len() as u64;
+                let mut segments = std::mem::take(&mut self.scratch_segs);
+                segments.clear();
+                ldst::coalesce_into(&words, 128, &mut segments);
                 self.stats.coalescer_outputs += segments.len() as u64;
 
-                // Functional access first.
+                // Functional access first. Loads see this core's own
+                // buffered stores (read-your-own-writes via the overlay);
+                // stores buffer until the serial commit phase.
                 if let Some(d) = dst {
-                    let values: Vec<(usize, u32)> = addrs
-                        .iter()
-                        .map(|&(lane, a)| (lane, mem.load_word(a)))
-                        .collect();
-                    let w = self.warps[slot].as_mut().expect("live warp");
-                    for (lane, v) in values {
-                        w.regs[lane * num_regs + d.index()] = v;
-                    }
-                } else if let Some(s) = src {
-                    let values: Vec<(u32, u32)> = {
-                        let w = self.warps[slot].as_ref().expect("live warp");
+                    let mut values = std::mem::take(&mut self.scratch_loads);
+                    values.clear();
+                    values.extend(
                         addrs
                             .iter()
-                            .map(|&(lane, a)| (a, w.regs[lane * num_regs + s.index()]))
-                            .collect()
-                    };
-                    for (a, v) in values {
-                        mem.store_word(a, v);
+                            .map(|&(lane, a)| (lane, self.read_global(mem, a))),
+                    );
+                    let w = self.warps[slot].as_mut().expect("live warp");
+                    for &(lane, v) in &values {
+                        w.regs[lane * num_regs + d.index()] = v;
                     }
+                    values.clear();
+                    self.scratch_loads = values;
+                } else if let Some(s) = src {
+                    let mut values = std::mem::take(&mut self.scratch_stores);
+                    values.clear();
+                    {
+                        let w = self.warps[slot].as_ref().expect("live warp");
+                        values.extend(
+                            addrs
+                                .iter()
+                                .map(|&(lane, a)| (a, w.regs[lane * num_regs + s.index()])),
+                        );
+                    }
+                    for &(a, v) in &values {
+                        self.buffer_store(mem, a, v);
+                    }
+                    values.clear();
+                    self.scratch_stores = values;
                 }
 
-                if dst.is_some() {
+                let out = if dst.is_some() {
                     // Load: probe L1 (if present), send misses out.
                     let mut misses = 0;
                     for seg in &segments {
@@ -1158,9 +1364,18 @@ impl Core {
                         });
                     }
                     Some((cycle + dispatch + 2, None))
-                }
+                };
+                segments.clear();
+                self.scratch_segs = segments;
+                out
             }
-        }
+        };
+
+        addrs.clear();
+        self.scratch_lanes = addrs;
+        words.clear();
+        self.scratch_words = words;
+        result
     }
 
     /// Registers a read for `line` in the MSHR; returns 1 if this created
@@ -1224,6 +1439,7 @@ impl Core {
             if pc as usize >= ctx.kernel.code().len() {
                 continue;
             }
+            self.work = true;
             self.stats.fetch_scheduler_selects += 1;
             self.stats.wst_reads += 1;
             self.stats.icache_accesses += 1;
@@ -1232,8 +1448,9 @@ impl Core {
             }
             self.stats.decodes += 1;
             self.stats.ibuffer_writes += 1;
-            let instr = ctx.kernel.code()[pc as usize];
-            self.warps[slot].as_mut().expect("checked above").ibuf = Some(instr);
+            // The i-buffer holds the PC; operands and metadata come from
+            // the launch-wide decoded table (`LaunchCtx::decoded`).
+            self.warps[slot].as_mut().expect("checked above").ibuf = Some(pc);
             self.fetch_rr = (slot + 1) % n;
             break;
         }

@@ -13,10 +13,11 @@ use gpusimpow_isa::{Kernel, LaunchConfig};
 
 use crate::cache::{Probe, SimCache};
 use crate::config::{ConfigError, GpuConfig};
-use crate::core::{Core, LaunchCtx, MemRequest};
+use crate::core::{Core, DecodedInstr, LaunchCtx, MemRequest};
 use crate::dram::{DramChannel, DramRequest};
 use crate::mem::{DevicePtr, GpuMemory};
 use crate::noc::Link;
+use crate::parallel::{available_threads, CorePool};
 use crate::sink::{ActivitySink, ActivityWindow};
 use crate::stats::ActivityStats;
 
@@ -113,6 +114,8 @@ pub struct Gpu {
     watchdog_cycles: u64,
     total_launches: u64,
     attached: Option<SinkSlot>,
+    threads: usize,
+    pool: Option<CorePool>,
 }
 
 /// An attached sampling sink plus its window width.
@@ -169,6 +172,8 @@ impl Gpu {
             watchdog_cycles: 400_000_000,
             total_launches: 0,
             attached: None,
+            threads: 1,
+            pool: None,
         })
     }
 
@@ -185,6 +190,35 @@ impl Gpu {
     /// Overrides the deadlock watchdog (cycles).
     pub fn set_watchdog(&mut self, cycles: u64) {
         self.watchdog_cycles = cycles;
+    }
+
+    /// Sets how many OS threads step cores during the per-cycle compute
+    /// phase. `0` means "use the machine's available parallelism"; `1`
+    /// (the default) steps cores inline on the calling thread.
+    ///
+    /// Thread count never changes results: cores read a frozen memory
+    /// snapshot during the compute phase and all shared-state side
+    /// effects are committed serially in core-id order, so every
+    /// `ActivityStats` counter and `time_s` is bit-identical for any
+    /// setting (see `DESIGN.md`, "Parallel execution").
+    pub fn set_threads(&mut self, threads: usize) {
+        let threads = if threads == 0 {
+            available_threads()
+        } else {
+            threads
+        };
+        self.threads = threads;
+        let usable = threads.min(self.cores.len());
+        self.pool = if usable >= 2 {
+            Some(CorePool::new(usable))
+        } else {
+            None
+        };
+    }
+
+    /// The compute-phase thread count set via [`Gpu::set_threads`].
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
     // --- host API (the cudaMalloc/cudaMemcpy stand-ins) -----------------------
@@ -361,14 +395,18 @@ impl Gpu {
         // Stage the constant bank into its global-memory segment.
         self.memory
             .write_u32_slice(DevicePtr(self.const_base), kernel.const_words());
+        let cfg = self.config.clone();
+        // Decode every instruction once per launch; the issue hot path
+        // reads metadata from this table instead of re-deriving operand
+        // lists and bank conflicts each cycle.
+        let decoded = DecodedInstr::decode_kernel(kernel, &cfg);
         let ctx = LaunchCtx {
             kernel,
             launch,
             const_base: self.const_base,
             const_bytes: (kernel.const_words().len() * 4).max(4) as u32,
+            decoded: &decoded,
         };
-
-        let cfg = self.config.clone();
         for core in &mut self.cores {
             core.begin_launch();
         }
@@ -420,23 +458,64 @@ impl Gpu {
         let mut win_peak_cores: usize = 0;
         let mut win_peak_clusters: usize = 0;
 
-        loop {
-            // --- global block scheduler ---------------------------------
-            if dispatch_dirty && next_block < total_blocks {
-                next_block = self.dispatch_blocks(&ctx, next_block, total_blocks);
-                dispatch_dirty = false;
-            }
+        // Hoisted per-cycle scratch (the old loop allocated these fresh
+        // every iteration) and idle fast-forward state. Cycles below
+        // `skip_until` are provably inert for the shader domain — no
+        // core event fires and no uncore message is in flight — so the
+        // compute/commit phases are skipped wholesale while the uncore
+        // clock-domain accumulators, sampling windows and watchdog keep
+        // running cycle-exact.
+        let flit = cfg.noc_flit_bytes.max(1);
+        let mut drained: Vec<MemRequest> = Vec::new();
+        let mut cluster_busy = vec![false; cfg.clusters];
+        let mut busy_cores = 0usize;
+        let mut busy_clusters = 0usize;
+        let mut skip_until: u64 = 0;
 
-            // --- shader domain -------------------------------------------
-            let flit = cfg.noc_flit_bytes.max(1);
-            {
-                let memory = &mut self.memory;
-                for core in &mut self.cores {
-                    core.tick(cycle, &cfg, &ctx, memory);
+        loop {
+            let in_skip = cycle < skip_until;
+            if !in_skip {
+                // --- global block scheduler -----------------------------
+                if dispatch_dirty && next_block < total_blocks {
+                    next_block = self.dispatch_blocks(&ctx, next_block, total_blocks);
+                    dispatch_dirty = false;
                 }
-            }
-            for core in &mut self.cores {
-                for req in core.drain_requests() {
+
+                // --- shader domain: parallel compute phase ---------------
+                // Cores read the frozen memory snapshot (global stores are
+                // buffered per core) so chunks can step concurrently
+                // without changing any counter.
+                let progressed = {
+                    let Gpu {
+                        cores,
+                        memory,
+                        pool,
+                        ..
+                    } = &mut *self;
+                    let mem: &GpuMemory = memory;
+                    match pool {
+                        Some(pool) => pool.tick_cores(cores, cycle, &cfg, &ctx, mem),
+                        None => {
+                            let mut any = false;
+                            for core in cores.iter_mut() {
+                                any |= core.tick(cycle, &cfg, &ctx, mem);
+                            }
+                            any
+                        }
+                    }
+                };
+
+                // --- serial commit phase ---------------------------------
+                // Buffered stores land in memory and requests enter the
+                // NoC in fixed core-id order, independent of thread count.
+                for core in &mut self.cores {
+                    core.commit_stores(&mut self.memory);
+                }
+                drained.clear();
+                for core in &mut self.cores {
+                    core.drain_requests_into(&mut drained);
+                }
+                for req in drained.drain(..) {
                     let flits = if req.write {
                         1 + (req.bytes as usize).div_ceil(flit)
                     } else {
@@ -453,18 +532,44 @@ impl Gpu {
                     );
                     req_meta.push_back(req);
                 }
-            }
 
-            // --- busy accounting ------------------------------------------
-            let mut busy_cores = 0usize;
-            let mut cluster_busy = vec![false; cfg.clusters];
-            for core in &self.cores {
-                if core.is_busy() {
-                    busy_cores += 1;
-                    cluster_busy[core.cluster()] = true;
+                // --- busy accounting -------------------------------------
+                busy_cores = 0;
+                cluster_busy.iter_mut().for_each(|b| *b = false);
+                for core in &self.cores {
+                    if core.is_busy() {
+                        busy_cores += 1;
+                        cluster_busy[core.cluster()] = true;
+                    }
+                }
+                busy_clusters = cluster_busy.iter().filter(|b| **b).count();
+
+                // --- idle fast-forward probe -----------------------------
+                // If no core did work this cycle and the whole uncore is
+                // drained, the shader domain cannot change before the
+                // earliest scheduled core event; skip straight to it.
+                if !progressed
+                    && req_link.is_empty()
+                    && resp_link.is_empty()
+                    && l2_out.is_empty()
+                    && dram_overflow.is_empty()
+                    && channels.iter().all(|c| c.is_idle())
+                {
+                    let cores_idle = self.cores.iter().all(|c| !c.is_busy());
+                    if !(next_block >= total_blocks && cores_idle) {
+                        // No wake event at all means the kernel is
+                        // deadlocked; idle along until the watchdog trips.
+                        skip_until = self
+                            .cores
+                            .iter()
+                            .filter_map(|c| c.next_wake(cycle))
+                            .min()
+                            .unwrap_or(u64::MAX);
+                    }
                 }
             }
-            let busy_clusters = cluster_busy.iter().filter(|b| **b).count();
+            // During a skip the cores are untouched, so the busy counts
+            // cached from the last stepped cycle stay exact.
             stats.core_busy_cycles += busy_cores as u64;
             stats.cluster_busy_cycles += busy_clusters as u64;
             stats.peak_cores_busy = stats.peak_cores_busy.max(busy_cores);
@@ -544,10 +649,12 @@ impl Gpu {
             }
 
             // --- progress & termination -----------------------------------
-            let completed: u64 = self.cores.iter().map(|c| c.completed_ctas()).sum();
-            if completed != completed_ctas_seen {
-                completed_ctas_seen = completed;
-                dispatch_dirty = true;
+            if !in_skip {
+                let completed: u64 = self.cores.iter().map(|c| c.completed_ctas()).sum();
+                if completed != completed_ctas_seen {
+                    completed_ctas_seen = completed;
+                    dispatch_dirty = true;
+                }
             }
             cycle += 1;
 
@@ -577,16 +684,18 @@ impl Gpu {
                 }
             }
 
-            let cores_idle = self.cores.iter().all(|c| !c.is_busy());
-            if next_block >= total_blocks
-                && cores_idle
-                && req_link.is_empty()
-                && resp_link.is_empty()
-                && l2_out.is_empty()
-                && dram_overflow.is_empty()
-                && channels.iter().all(|c| c.is_idle())
-            {
-                break;
+            if !in_skip {
+                let cores_idle = self.cores.iter().all(|c| !c.is_busy());
+                if next_block >= total_blocks
+                    && cores_idle
+                    && req_link.is_empty()
+                    && resp_link.is_empty()
+                    && l2_out.is_empty()
+                    && dram_overflow.is_empty()
+                    && channels.iter().all(|c| c.is_idle())
+                {
+                    break;
+                }
             }
             if cycle > self.watchdog_cycles {
                 return Err(SimError::Watchdog { cycles: cycle });

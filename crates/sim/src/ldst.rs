@@ -24,13 +24,28 @@ use std::collections::BTreeSet;
 ///
 /// Panics if `segment_bytes` is not a power of two.
 pub fn coalesce(addrs: &[u32], segment_bytes: u32) -> Vec<u32> {
+    let mut out = Vec::new();
+    coalesce_into(addrs, segment_bytes, &mut out);
+    out
+}
+
+/// Like [`coalesce`], but appends the segment bases to `out` instead of
+/// allocating — the per-cycle hot path reuses one scratch vector.
+///
+/// # Panics
+///
+/// Panics if `segment_bytes` is not a power of two.
+pub fn coalesce_into(addrs: &[u32], segment_bytes: u32, out: &mut Vec<u32>) {
     assert!(
         segment_bytes.is_power_of_two(),
         "segment size must be a power of two"
     );
     let mask = !(segment_bytes - 1);
-    let set: BTreeSet<u32> = addrs.iter().map(|a| a & mask).collect();
-    set.into_iter().collect()
+    // Warp bundles are tiny (≤ warp_size addresses): sort + dedup in the
+    // caller's buffer beats building a fresh BTreeSet every access.
+    out.extend(addrs.iter().map(|a| a & mask));
+    out.sort_unstable();
+    out.dedup();
 }
 
 /// Result of the shared-memory bank-conflict analysis.

@@ -56,6 +56,7 @@ pub mod gpu;
 pub mod ldst;
 pub mod mem;
 pub mod noc;
+pub mod parallel;
 pub mod simt_stack;
 pub mod sink;
 pub mod stats;
@@ -63,5 +64,6 @@ pub mod stats;
 pub use config::{ConfigError, DramConfig, GpuConfig, L2Config, WarpSchedPolicy};
 pub use gpu::{Gpu, LaunchReport, SimError};
 pub use mem::{DevicePtr, GpuMemory};
+pub use parallel::SimPool;
 pub use sink::{ActivitySink, ActivityWindow, RecordedLaunch, WindowRecorder};
 pub use stats::ActivityStats;

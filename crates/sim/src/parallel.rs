@@ -1,0 +1,298 @@
+//! Deterministic parallel execution: a persistent worker pool for the
+//! intra-launch compute phase ([`CorePool`]) and a scoped fan-out pool
+//! for independent simulations ([`SimPool`]).
+//!
+//! Both pools are *deterministic by construction*: they never let thread
+//! scheduling influence simulated state.
+//!
+//! * [`CorePool`] parallelises the per-cycle compute phase over disjoint
+//!   core slices. Cores only read the shared [`GpuMemory`] snapshot
+//!   during that phase (stores are buffered per core; see
+//!   [`Core::commit_stores`]), so any interleaving produces the same
+//!   per-core state and the serial commit phase applies side effects in
+//!   fixed core-id order.
+//! * [`SimPool`] runs independent jobs (each owning its own `Gpu`) and
+//!   returns results positionally, so output order never depends on
+//!   which thread finished first.
+
+use std::any::Any;
+use std::fmt;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Mutex;
+use std::thread::JoinHandle;
+
+use crate::config::GpuConfig;
+use crate::core::{Core, LaunchCtx};
+use crate::mem::GpuMemory;
+
+/// Number of hardware threads available to this process (at least 1).
+pub fn available_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A small persistent worker pool that steps disjoint chunks of a
+/// launch's cores in parallel, once per shader cycle.
+///
+/// Workers are spawned once per [`CorePool`] (not per cycle — a launch
+/// runs millions of cycles) and receive one closure per cycle over a
+/// private channel. The caller always blocks until every worker has
+/// acknowledged completion, which is what makes the borrowed-data
+/// hand-off below sound.
+pub struct CorePool {
+    workers: Vec<Worker>,
+}
+
+struct Worker {
+    tx: Option<Sender<Job>>,
+    done_rx: Receiver<Result<(), Box<dyn Any + Send>>>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl fmt::Debug for CorePool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CorePool")
+            .field("threads", &(self.workers.len() + 1))
+            .finish()
+    }
+}
+
+impl CorePool {
+    /// Builds a pool that steps cores on `threads` OS threads in total:
+    /// the calling thread plus `threads - 1` workers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads < 2` (a single thread needs no pool).
+    pub fn new(threads: usize) -> Self {
+        assert!(threads >= 2, "CorePool needs at least two threads");
+        let workers = (1..threads)
+            .map(|i| {
+                let (tx, rx) = channel::<Job>();
+                let (done_tx, done_rx) = channel();
+                let handle = std::thread::Builder::new()
+                    .name(format!("gpusim-core-{i}"))
+                    .spawn(move || {
+                        while let Ok(job) = rx.recv() {
+                            let result = catch_unwind(AssertUnwindSafe(job));
+                            if done_tx.send(result).is_err() {
+                                break;
+                            }
+                        }
+                    })
+                    .expect("spawn core worker");
+                Worker {
+                    tx: Some(tx),
+                    done_rx,
+                    handle: Some(handle),
+                }
+            })
+            .collect();
+        CorePool { workers }
+    }
+
+    /// Total threads participating in the compute phase (workers + the
+    /// calling thread).
+    pub fn threads(&self) -> usize {
+        self.workers.len() + 1
+    }
+
+    /// Runs the compute phase of one shader cycle: every core's
+    /// [`Core::tick`] against the read-only memory snapshot, partitioned
+    /// into contiguous chunks. The calling thread steps the first chunk
+    /// itself. Returns `true` when any core did observable work (the
+    /// idle fast-forward probe).
+    ///
+    /// Worker panics are re-raised on the calling thread after all
+    /// outstanding chunks have been acknowledged.
+    pub fn tick_cores(
+        &mut self,
+        cores: &mut [Core],
+        cycle: u64,
+        cfg: &GpuConfig,
+        ctx: &LaunchCtx<'_>,
+        mem: &GpuMemory,
+    ) -> bool {
+        let chunks = self.workers.len() + 1;
+        let per = cores.len().div_ceil(chunks).max(1);
+        let (first, rest) = cores.split_at_mut(per.min(cores.len()));
+        let mut sent = 0;
+        for (worker, chunk) in self.workers.iter().zip(rest.chunks_mut(per)) {
+            let job: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+                for core in chunk {
+                    core.tick(cycle, cfg, ctx, mem);
+                }
+            });
+            // SAFETY: the job borrows `cores`, `cfg`, `ctx` and `mem`
+            // from this call's frame. We erase those lifetimes to ship
+            // the closure to a persistent worker, and re-establish
+            // soundness by blocking on the worker's completion ack below
+            // before returning — the borrows strictly outlive the job.
+            let job: Job =
+                unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + '_>, Job>(job) };
+            worker
+                .tx
+                .as_ref()
+                .expect("pool not dropped")
+                .send(job)
+                .expect("core worker alive");
+            sent += 1;
+        }
+        for core in first {
+            core.tick(cycle, cfg, ctx, mem);
+        }
+        let mut panic: Option<Box<dyn Any + Send>> = None;
+        for worker in &self.workers[..sent] {
+            match worker.done_rx.recv().expect("core worker alive") {
+                Ok(()) => {}
+                Err(payload) => panic = Some(payload),
+            }
+        }
+        if let Some(payload) = panic {
+            resume_unwind(payload);
+        }
+        cores.iter().any(Core::progressed)
+    }
+}
+
+impl Drop for Worker {
+    fn drop(&mut self) {
+        // Closing the channel ends the worker's recv loop; then join.
+        self.tx.take();
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Fans independent simulation jobs out over a fixed number of threads.
+///
+/// Jobs are claimed from a shared cursor, but results are written back
+/// by *input index*, so `run` always returns outputs in input order —
+/// thread scheduling can change wall-clock time, never results.
+#[derive(Debug, Clone, Copy)]
+pub struct SimPool {
+    threads: usize,
+}
+
+impl SimPool {
+    /// Builds a pool with `threads` threads; `0` means "use the
+    /// machine's available parallelism".
+    pub fn new(threads: usize) -> Self {
+        let threads = if threads == 0 {
+            available_threads()
+        } else {
+            threads
+        };
+        SimPool { threads }
+    }
+
+    /// The number of threads jobs fan out over.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `f` over every input, in parallel when the pool has more
+    /// than one thread, and returns the outputs in input order.
+    ///
+    /// A panicking job propagates to the caller once the scope unwinds.
+    pub fn run<I, T, F>(&self, inputs: Vec<I>, f: F) -> Vec<T>
+    where
+        I: Send,
+        T: Send,
+        F: Fn(I) -> T + Sync,
+    {
+        let n = inputs.len();
+        if self.threads <= 1 || n <= 1 {
+            return inputs.into_iter().map(f).collect();
+        }
+        let jobs: Vec<Mutex<Option<I>>> = inputs.into_iter().map(|i| Mutex::new(Some(i))).collect();
+        let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let cursor = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..self.threads.min(n))
+                .map(|_| {
+                    scope.spawn(|| loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        let input = jobs[i]
+                            .lock()
+                            .expect("no prior panic")
+                            .take()
+                            .expect("each job claimed once");
+                        let output = f(input);
+                        *slots[i].lock().expect("no prior panic") = Some(output);
+                    })
+                })
+                .collect();
+            // Join by hand so a job's panic payload reaches the caller
+            // verbatim instead of scope's generic "a scoped thread
+            // panicked" message.
+            for handle in handles {
+                if let Err(payload) = handle.join() {
+                    resume_unwind(payload);
+                }
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("no prior panic")
+                    .expect("every job completed")
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sim_pool_preserves_input_order() {
+        let pool = SimPool::new(4);
+        let out = pool.run((0..64).collect(), |i: i32| i * 2);
+        assert_eq!(out, (0..64).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sim_pool_single_thread_is_plain_map() {
+        let pool = SimPool::new(1);
+        assert_eq!(pool.threads(), 1);
+        let out = pool.run(vec!["a", "bb", "ccc"], |s| s.len());
+        assert_eq!(out, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn sim_pool_zero_means_available_parallelism() {
+        let pool = SimPool::new(0);
+        assert!(pool.threads() >= 1);
+    }
+
+    #[test]
+    fn sim_pool_handles_more_threads_than_jobs() {
+        let pool = SimPool::new(16);
+        let out = pool.run(vec![1u64, 2], |x| x + 1);
+        assert_eq!(out, vec![2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn sim_pool_propagates_job_panics() {
+        let pool = SimPool::new(2);
+        let _ = pool.run(vec![0, 1, 2, 3], |i| {
+            if i == 2 {
+                panic!("boom");
+            }
+            i
+        });
+    }
+}

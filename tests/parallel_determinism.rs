@@ -1,0 +1,61 @@
+//! The two-phase parallel core step must be invisible in the results:
+//! for every kernel in the suite, a GPU stepped with a worker pool
+//! produces bit-identical `ActivityStats` and simulated time to the
+//! same GPU stepped sequentially. This is the determinism contract of
+//! DESIGN.md's "Parallel execution" section, enforced end to end.
+
+use gpusimpow_kernels::small_benchmarks;
+use gpusimpow_sim::{Gpu, GpuConfig, LaunchReport};
+
+fn run_suite(cfg: &GpuConfig, threads: usize) -> Vec<LaunchReport> {
+    let mut gpu = Gpu::new(cfg.clone()).expect("preset builds");
+    gpu.set_threads(threads);
+    let mut reports = Vec::new();
+    for bench in &small_benchmarks() {
+        reports.extend(
+            bench
+                .run(&mut gpu)
+                .unwrap_or_else(|e| panic!("{} failed: {e}", bench.name())),
+        );
+    }
+    reports
+}
+
+fn assert_suite_bit_identical(cfg: GpuConfig, threads: usize) {
+    let sequential = run_suite(&cfg, 1);
+    let parallel = run_suite(&cfg, threads);
+    assert_eq!(sequential.len(), parallel.len());
+    for (seq, par) in sequential.iter().zip(&parallel) {
+        assert_eq!(seq.kernel, par.kernel);
+        assert_eq!(
+            seq.stats, par.stats,
+            "`{}`: ActivityStats diverge between 1 and {threads} threads",
+            seq.kernel
+        );
+        assert_eq!(
+            seq.time_s.to_bits(),
+            par.time_s.to_bits(),
+            "`{}`: simulated time diverges between 1 and {threads} threads",
+            seq.kernel
+        );
+    }
+}
+
+#[test]
+fn gt240_suite_is_bit_identical_across_thread_counts() {
+    // Barrel-scheduled cores, 4 clusters x 3 cores, no L2.
+    assert_suite_bit_identical(GpuConfig::gt240(), 4);
+}
+
+#[test]
+fn gtx580_suite_is_bit_identical_across_thread_counts() {
+    // Scoreboarded two-level scheduler, 16 cores, shared L2.
+    assert_suite_bit_identical(GpuConfig::gtx580(), 4);
+}
+
+#[test]
+fn thread_count_above_core_count_is_identical_too() {
+    // More workers than cores: chunking degenerates but must not change
+    // results (pool caps usable threads at the core count).
+    assert_suite_bit_identical(GpuConfig::gt240(), 64);
+}

@@ -22,6 +22,7 @@ pub fn black_box<T>(x: T) -> T {
 pub struct Bencher {
     elapsed: Duration,
     iters: u64,
+    budget: Option<Duration>,
 }
 
 impl Bencher {
@@ -31,12 +32,12 @@ impl Bencher {
         for _ in 0..3 {
             black_box(f());
         }
-        // Calibrate an iteration count targeting ~50 ms of measurement.
+        // Calibrate an iteration count targeting the measurement budget.
+        let budget = self.budget.unwrap_or(Duration::from_millis(50));
         let probe = Instant::now();
         black_box(f());
         let once = probe.elapsed().max(Duration::from_nanos(20));
-        let iters =
-            (Duration::from_millis(50).as_nanos() / once.as_nanos()).clamp(1, 100_000) as u64;
+        let iters = (budget.as_nanos() / once.as_nanos()).clamp(1, 100_000) as u64;
         let start = Instant::now();
         for _ in 0..iters {
             black_box(f());
@@ -44,18 +45,46 @@ impl Bencher {
         self.elapsed = start.elapsed();
         self.iters = iters;
     }
+
+    /// Hands the iteration count to `f`, which returns the measured
+    /// duration itself — for bodies that must exclude setup work from
+    /// the timing, mirroring criterion's `iter_custom`.
+    pub fn iter_custom<F: FnMut(u64) -> Duration>(&mut self, mut f: F) {
+        black_box(f(1)); // warm-up
+        let budget = self.budget.unwrap_or(Duration::from_millis(50));
+        let once = f(1).max(Duration::from_nanos(20));
+        let iters = (budget.as_nanos() / once.as_nanos()).clamp(1, 100_000) as u64;
+        self.elapsed = f(iters);
+        self.iters = iters;
+    }
 }
 
 /// Registry and runner for benchmarks, mirroring `criterion::Criterion`.
 #[derive(Debug, Default)]
 pub struct Criterion {
-    _private: (),
+    measurement_time: Option<Duration>,
 }
 
 impl Criterion {
+    /// Sets the per-benchmark measurement budget (the stub's analogue of
+    /// criterion's sampling window).
+    pub fn measurement_time(&mut self, time: Duration) -> &mut Self {
+        self.measurement_time = Some(time);
+        self
+    }
+
+    /// Accepted for API compatibility; the stub times a fixed budget
+    /// rather than drawing `n` statistical samples.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
     /// Runs one named benchmark and prints its mean iteration time.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
-        let mut b = Bencher::default();
+        let mut b = Bencher {
+            budget: self.measurement_time,
+            ..Bencher::default()
+        };
         f(&mut b);
         let mean_ns = if b.iters == 0 {
             0.0
