@@ -1,26 +1,38 @@
 //! Simulator-throughput baseline: measures cycles/second per kernel and
-//! the wall-clock effect of the `--threads` fan-out, writing the
+//! the wall-clock time of the full experiment suite, writing the
 //! trajectory file `BENCH_sim_throughput.json` for future PRs to beat.
 //!
 //! ```text
 //! cargo run --release -p gpusimpow-bench --bin perf_baseline \
-//!     [--threads N] [out.json]
+//!     [--small|--full] [--threads N] [--check] [out.json]
 //! ```
 //!
-//! The "suite" section times the experiment core (Fig. 4 staircase,
-//! §III-D microbenchmarks, small Fig. 6 validation on both GPUs) twice:
-//! sequentially (`--threads 1`) and with the requested pool. Simulated
-//! results are bit-identical between the two runs — only wall time may
-//! differ.
+//! The "suite" section times `report::generate` — the exact workload of
+//! `run_all_experiments --small` (all eight stages) — sequentially
+//! (`--threads 1`) and, when the machine has more than one CPU, again
+//! with the requested pool. On a single-CPU host the second run would
+//! time the identical serial execution, so it is skipped and the JSON
+//! carries a note instead of a meaningless speedup. Simulated results
+//! are bit-identical for any thread count — only wall time may differ.
+//!
+//! `--check` reads the committed `BENCH_sim_throughput.json` *before*
+//! writing the new numbers and exits non-zero when the suite wall time
+//! regressed by more than 20 % — the CI performance gate.
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use gpusimpow_bench::{cli, experiments};
+use gpusimpow_bench::{cli, report};
 use gpusimpow_kernels::{
     blackscholes::BlackScholes, matmul::MatrixMul, vectoradd::VectorAdd, Benchmark,
 };
 use gpusimpow_sim::{Gpu, GpuConfig, SimPool};
+
+/// Baseline file the `--check` gate compares against.
+const BASELINE_PATH: &str = "BENCH_sim_throughput.json";
+
+/// Wall-time regression the gate tolerates (noise headroom).
+const CHECK_TOLERANCE: f64 = 1.20;
 
 /// One per-kernel throughput sample.
 struct KernelSample {
@@ -44,24 +56,32 @@ fn sample_kernel(name: &str, cfg: GpuConfig, bench: &dyn Benchmark) -> KernelSam
     }
 }
 
-fn suite_core(pool: &SimPool, small: bool) -> f64 {
+/// Times one full report generation (the suite workload).
+fn suite_wall(pool: &SimPool, small: bool) -> f64 {
     let start = Instant::now();
-    let fig4 = experiments::fig4_cluster_power(experiments::BOARD_SEED, pool);
-    assert_eq!(fig4.len(), 12);
-    let micro = experiments::microbench_energy(experiments::BOARD_SEED, pool);
-    assert!(micro.fp_pj > 0.0);
-    let summaries = pool.run(vec![GpuConfig::gt240(), GpuConfig::gtx580()], |cfg| {
-        experiments::fig6_validation(&cfg, experiments::BOARD_SEED, small)
-    });
-    assert_eq!(summaries.len(), 2);
+    let md = report::generate(small, pool);
+    assert!(md.contains("Table V"), "report generated completely");
     start.elapsed().as_secs_f64()
+}
+
+/// Pulls `"key": <number>` out of the hand-rolled baseline JSON.
+fn json_number(json: &str, key: &str) -> Option<f64> {
+    let tag = format!("\"{key}\":");
+    let rest = &json[json.find(&tag)? + tag.len()..];
+    let rest = rest.trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    let small = !args.iter().any(|a| a == "--full");
+    let check = args.iter().any(|a| a == "--check");
     let pool = cli::pool_from_args(&args);
     let out_path = {
-        let mut out = "BENCH_sim_throughput.json".to_string();
+        let mut out = BASELINE_PATH.to_string();
         let mut i = 1;
         while i < args.len() {
             if args[i] == "--threads" {
@@ -74,6 +94,12 @@ fn main() {
             }
         }
         out
+    };
+    // Read the committed baseline before we may overwrite it below.
+    let baseline = if check {
+        Some(std::fs::read_to_string(BASELINE_PATH).expect("--check needs a committed baseline"))
+    } else {
+        None
     };
 
     eprintln!("[1/3] per-kernel throughput");
@@ -96,20 +122,22 @@ fn main() {
         ),
     ];
 
-    eprintln!("[2/3] experiment core, sequential");
-    let sequential_s = suite_core(&SimPool::new(1), true);
-    eprintln!("[3/3] experiment core, {} threads", pool.threads());
-    let parallel_s = suite_core(&pool, true);
+    let machine = gpusimpow_sim::parallel::available_threads();
+    eprintln!("[2/3] experiment suite, sequential");
+    let sequential_s = suite_wall(&SimPool::new(1), small);
+    let parallel_s = if machine > 1 {
+        eprintln!("[3/3] experiment suite, {} threads", pool.threads());
+        Some(suite_wall(&pool, small))
+    } else {
+        eprintln!("[3/3] single-CPU host: skipping the parallel comparison");
+        None
+    };
 
     // Hand-rolled JSON: the offline workspace vendors no serializer.
     let mut json = String::new();
     json.push_str("{\n");
     let _ = writeln!(json, "  \"generated_by\": \"perf_baseline\",");
-    let _ = writeln!(
-        json,
-        "  \"machine_threads\": {},",
-        gpusimpow_sim::parallel::available_threads()
-    );
+    let _ = writeln!(json, "  \"machine_threads\": {machine},");
     json.push_str("  \"kernels\": [\n");
     for (i, s) in samples.iter().enumerate() {
         let _ = writeln!(
@@ -127,19 +155,40 @@ fn main() {
     json.push_str("  \"suite\": {\n");
     let _ = writeln!(
         json,
-        "    \"name\": \"experiment core (fig4 + microbench + fig6-small x2)\","
+        "    \"name\": \"run_all_experiments{} (all 8 stages)\",",
+        if small { " --small" } else { "" }
     );
-    let _ = writeln!(json, "    \"sequential_wall_s\": {sequential_s:.3},");
+    let _ = writeln!(json, "    \"available_parallelism\": {machine},");
     let _ = writeln!(json, "    \"threads\": {},", pool.threads());
-    let _ = writeln!(json, "    \"parallel_wall_s\": {parallel_s:.3},");
-    let _ = writeln!(
-        json,
-        "    \"speedup\": {:.3}",
-        sequential_s / parallel_s.max(1e-9)
-    );
+    match parallel_s {
+        Some(p) => {
+            let _ = writeln!(json, "    \"sequential_wall_s\": {sequential_s:.3},");
+            let _ = writeln!(json, "    \"parallel_wall_s\": {p:.3},");
+            let _ = writeln!(json, "    \"speedup\": {:.3}", sequential_s / p.max(1e-9));
+        }
+        None => {
+            let _ = writeln!(json, "    \"sequential_wall_s\": {sequential_s:.3},");
+            let _ = writeln!(
+                json,
+                "    \"comparison\": \"skipped: single-CPU host (available_parallelism = 1)\""
+            );
+        }
+    }
     json.push_str("  }\n}\n");
 
     std::fs::write(&out_path, &json).expect("write throughput json");
     eprintln!("wrote {out_path}");
     print!("{json}");
+
+    if let Some(baseline) = baseline {
+        let base = json_number(&baseline, "sequential_wall_s")
+            .expect("baseline has a suite sequential_wall_s");
+        let limit = base * CHECK_TOLERANCE;
+        eprintln!("check: suite {sequential_s:.3}s vs baseline {base:.3}s (limit {limit:.3}s)");
+        if sequential_s > limit {
+            eprintln!("check: FAIL — suite wall time regressed more than 20%");
+            std::process::exit(1);
+        }
+        eprintln!("check: OK");
+    }
 }

@@ -10,6 +10,25 @@ use gpusimpow_sim::{Gpu, GpuConfig, SimPool};
 /// Default seed fixing the virtual board's systematic errors.
 pub const BOARD_SEED: u64 = 0x1597;
 
+/// The GT240 full-occupancy probe — `cluster_step_kernel(1500)` on 12
+/// blocks of 256 threads — is launched by Fig. 4 (its last point),
+/// Table IV and the §IV-B static estimation. The simulator is
+/// deterministic and the probe touches no persistent device state, so
+/// the launch is simulated once and the report shared; every consumer
+/// sees bit-identical numbers.
+fn gt240_probe_report() -> &'static gpusimpow_sim::LaunchReport {
+    use std::sync::OnceLock;
+    static REPORT: OnceLock<gpusimpow_sim::LaunchReport> = OnceLock::new();
+    REPORT.get_or_init(|| {
+        let mut gpu = Gpu::new(GpuConfig::gt240()).expect("preset is valid");
+        gpu.launch(
+            &micro::cluster_step_kernel(1500),
+            LaunchConfig::linear(12, 256),
+        )
+        .expect("probe kernel runs")
+    })
+}
+
 /// One Fig. 4 data point.
 #[derive(Debug, Clone, Copy)]
 pub struct Fig4Point {
@@ -42,6 +61,10 @@ pub fn fig4_cluster_power(seed: u64, pool: &SimPool) -> Vec<Fig4Point> {
     let kernel = micro::cluster_step_kernel(1500);
     let blocks_axis: Vec<u32> = (1..=cfg.total_cores() as u32).collect();
     let reports = pool.run(blocks_axis, |blocks| {
+        if blocks == 12 {
+            // Full occupancy is the shared static-power probe.
+            return gt240_probe_report().clone();
+        }
         let mut gpu = Gpu::new(GpuConfig::gt240()).expect("preset is valid");
         gpu.launch(&kernel, LaunchConfig::linear(blocks, 256))
             .expect("probe kernel runs")
@@ -86,13 +109,9 @@ pub fn table4_static_area(seed: u64) -> Vec<Table4Row> {
     // GT240: clock extrapolation.
     let gt_cfg = GpuConfig::gt240();
     let gt_chip = GpuChip::new(&gt_cfg).expect("chip builds");
-    let mut gt_gpu = Gpu::new(gt_cfg.clone()).expect("preset is valid");
-    let probe = micro::cluster_step_kernel(1500);
-    let report = gt_gpu
-        .launch(&probe, LaunchConfig::linear(12, 256))
-        .expect("probe runs");
+    let report = gt240_probe_report();
     let mut gt_tb = Testbed::new(gt_cfg.clone(), seed);
-    let exec = KernelExec::from_report(&report);
+    let exec = KernelExec::from_report(report);
     let extrapolation = static_est::estimate_by_clock_scaling(&mut gt_tb, &exec);
     let gt_between = gt_tb.measure_state(
         gt_tb.hardware().pre_kernel_power(),
@@ -233,13 +252,9 @@ pub struct StaticEstimation {
 /// idle-ratio method on the GTX580.
 pub fn static_estimation(seed: u64) -> StaticEstimation {
     let gt_cfg = GpuConfig::gt240();
-    let mut gpu = Gpu::new(gt_cfg.clone()).expect("preset is valid");
-    let probe = micro::cluster_step_kernel(1500);
-    let report = gpu
-        .launch(&probe, LaunchConfig::linear(12, 256))
-        .expect("probe runs");
+    let report = gt240_probe_report();
     let mut gt_tb = Testbed::new(gt_cfg, seed);
-    let exec = KernelExec::from_report(&report);
+    let exec = KernelExec::from_report(report);
     let r = static_est::estimate_by_clock_scaling(&mut gt_tb, &exec);
     let between = gt_tb.measure_state(
         gt_tb.hardware().pre_kernel_power(),

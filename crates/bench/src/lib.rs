@@ -10,3 +10,4 @@
 pub mod cli;
 pub mod experiments;
 pub mod render;
+pub mod report;

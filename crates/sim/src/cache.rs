@@ -5,7 +5,7 @@
 //! `gpusimpow-circuit`. Data contents are not stored — the functional
 //! value path reads the backing store directly — only tags and LRU state.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 
 /// Outcome of a cache probe.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -126,6 +126,105 @@ impl SimCache {
     /// Line size in bytes.
     pub fn line_bytes(&self) -> u32 {
         self.line_bytes
+    }
+}
+
+/// A shared L2 bank: a [`SimCache`] tag array plus the fixed-latency
+/// hit-return pipe that feeds the response network.
+///
+/// The bank participates in the event-driven uncore (`crate::uncore`):
+/// probes ([`L2Bank::read`] / [`L2Bank::write`] / [`L2Bank::install`])
+/// happen at request-routing time, hits enter the return pipe via
+/// [`L2Bank::push_hit`], and the uncore drains ready hits with
+/// [`L2Bank::pop_ready_into`] at the cycles [`L2Bank::next_event`]
+/// reports. The bank has no per-cycle state of its own — state changes
+/// only on probes and pops — so its [`L2Bank::tick_to`] is a documented
+/// no-op and skipping cycles between events is exact by construction.
+///
+/// `T` is the caller's routing token, returned when a hit's latency
+/// elapses.
+#[derive(Debug, Clone)]
+pub struct L2Bank<T> {
+    cache: SimCache,
+    latency: u64,
+    /// Hit-return pipe: `(ready_cycle, token)` in push (= ready) order.
+    out: VecDeque<(u64, T)>,
+}
+
+impl<T: Copy> L2Bank<T> {
+    /// Creates a bank with the given geometry and hit-return latency.
+    ///
+    /// # Panics
+    ///
+    /// As [`SimCache::new`].
+    pub fn new(capacity_bytes: usize, line_bytes: u32, ways: usize, latency: u64) -> Self {
+        L2Bank {
+            cache: SimCache::new(capacity_bytes, line_bytes, ways),
+            latency,
+            out: VecDeque::new(),
+        }
+    }
+
+    /// Probes the tag array for a read (allocates on miss).
+    pub fn read(&mut self, addr: u32) -> Probe {
+        self.cache.read(addr)
+    }
+
+    /// Probes the tag array for a write (write-through, no allocate).
+    pub fn write(&mut self, addr: u32) -> Probe {
+        self.cache.write(addr)
+    }
+
+    /// Installs the line containing `addr` (fill from DRAM).
+    pub fn install(&mut self, addr: u32) {
+        self.cache.install(addr);
+    }
+
+    /// Enters a hit into the return pipe at `cycle`; the token becomes
+    /// ready (poppable) at `cycle + latency`, which is returned.
+    pub fn push_hit(&mut self, cycle: u64, token: T) -> u64 {
+        let ready = cycle + self.latency;
+        self.out.push_back((ready, token));
+        ready
+    }
+
+    /// Appends every hit whose latency has elapsed by `cycle` to `out`,
+    /// in service order.
+    pub fn pop_ready_into(&mut self, cycle: u64, out: &mut Vec<T>) {
+        // Hits are pushed at non-decreasing cycles with a fixed latency,
+        // so the pipe is monotone in ready cycle.
+        while let Some((ready, _)) = self.out.front() {
+            if *ready <= cycle {
+                out.push(self.out.pop_front().expect("front exists").1);
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// The ready cycle of the oldest queued hit (unclamped), or `None`
+    /// when the return pipe is empty. This is the raw value the uncore
+    /// caches as the bank's pending event.
+    pub fn next_ready(&self) -> Option<u64> {
+        self.out.front().map(|(ready, _)| *ready)
+    }
+
+    /// The earliest cycle strictly after `cycle` at which popping this
+    /// bank can return a token; `None` when nothing is queued.
+    pub fn next_event(&self, cycle: u64) -> Option<u64> {
+        self.next_ready().map(|ready| ready.max(cycle + 1))
+    }
+
+    /// Advances the bank across a span of cycles. The bank has no
+    /// per-cycle state — hit readiness is a pure function of the queued
+    /// `(ready, token)` pairs — so this is a no-op, provided for API
+    /// symmetry with [`crate::noc::Link::tick_to`] and
+    /// [`crate::dram::DramChannel::tick_to`].
+    pub fn tick_to(&mut self, _from: u64, _to: u64) {}
+
+    /// `true` when no hit is waiting in the return pipe.
+    pub fn is_empty(&self) -> bool {
+        self.out.is_empty()
     }
 }
 
@@ -280,5 +379,50 @@ mod tests {
     #[should_panic(expected = "multiple of line size")]
     fn bad_geometry_panics() {
         let _ = SimCache::new(100, 64, 2);
+    }
+
+    #[test]
+    fn l2_bank_hit_pipe_respects_latency() {
+        let mut bank: L2Bank<u32> = L2Bank::new(1024, 128, 2, 5);
+        assert_eq!(bank.read(0x100), Probe::Miss);
+        bank.install(0x100);
+        assert_eq!(bank.read(0x100), Probe::Hit);
+        assert_eq!(bank.push_hit(10, 7), 15);
+        assert_eq!(bank.next_event(10), Some(15));
+        let mut out = Vec::new();
+        bank.pop_ready_into(14, &mut out);
+        assert!(out.is_empty(), "latency not yet elapsed");
+        bank.pop_ready_into(15, &mut out);
+        assert_eq!(out, vec![7]);
+        assert!(bank.is_empty());
+        assert_eq!(bank.next_event(15), None);
+    }
+
+    #[test]
+    fn l2_bank_event_skipping_is_exact() {
+        // Popping only at next_event cycles returns every token at the
+        // same cycle a per-cycle poll would.
+        let mut dense: L2Bank<u32> = L2Bank::new(1024, 128, 2, 3);
+        let mut sparse = dense.clone();
+        for (cycle, token) in [(0u64, 0u32), (0, 1), (4, 2), (9, 3)] {
+            dense.push_hit(cycle, token);
+            sparse.push_hit(cycle, token);
+        }
+        let mut dense_out = Vec::new();
+        for c in 0..20u64 {
+            let mut v = Vec::new();
+            dense.pop_ready_into(c, &mut v);
+            dense_out.extend(v.into_iter().map(|t| (c, t)));
+        }
+        let mut sparse_out = Vec::new();
+        let mut c = 0u64;
+        while let Some(e) = sparse.next_event(c) {
+            sparse.tick_to(c, e);
+            let mut v = Vec::new();
+            sparse.pop_ready_into(e, &mut v);
+            sparse_out.extend(v.into_iter().map(|t| (e, t)));
+            c = e;
+        }
+        assert_eq!(dense_out, sparse_out);
     }
 }

@@ -196,6 +196,38 @@ struct Cta {
     waiting_at_barrier: usize,
 }
 
+/// Sets a scheduler-hint bit; slots beyond 64 are never hinted.
+#[inline]
+fn set_hint(mask: &mut u64, slot: usize) {
+    if slot < 64 {
+        *mask |= 1u64 << slot;
+    }
+}
+
+/// Clears a scheduler-hint bit; slots beyond 64 are never hinted.
+#[inline]
+fn clear_hint(mask: &mut u64, slot: usize) {
+    if slot < 64 {
+        *mask &= !(1u64 << slot);
+    }
+}
+
+/// Next set bit of `mask` at or after `pos`, walking circularly within
+/// the low `n` bits (`mask` must be non-zero and confined to them).
+/// Returns the bit index and the number of positions walked from `pos`.
+#[inline]
+fn next_hint(mask: u64, pos: usize, n: usize) -> (usize, usize) {
+    debug_assert!(mask != 0 && pos < n && n <= 64);
+    let ahead = (mask >> pos) << pos;
+    if ahead != 0 {
+        let b = ahead.trailing_zeros() as usize;
+        (b, b - pos)
+    } else {
+        let b = mask.trailing_zeros() as usize;
+        (b, n - pos + b)
+    }
+}
+
 /// One SIMT core.
 #[derive(Debug)]
 pub struct Core {
@@ -235,6 +267,21 @@ pub struct Core {
     store_buf: HashMap<u32, u32>,
     /// Whether the current/last tick did observable work.
     work: bool,
+    /// Issue-scan hint: bit `s` set means warp slot `s` *might* issue
+    /// (or, under a scoreboard, might count a dependency probe). A
+    /// conservative superset — stale set bits only cost a wasted probe,
+    /// while a clear bit is a proof that probing the slot would be a
+    /// silent no-op. Bits are cleared only on sticky failures (see
+    /// [`Core::clear_issue_hint_if_blocked`]) and re-set by the events
+    /// that can end them: i-buffer fill, writeback retire, barrier
+    /// release and CTA dispatch. Slots ≥ 64 are never hinted (the scans
+    /// fall back to probing every slot when `max_warps > 64`).
+    issue_ready: u64,
+    /// Fetch-scan hint, same contract as `issue_ready`: bit `s` set
+    /// means slot `s` might fetch. Every fetch failure is sticky (an
+    /// empty i-buffer can only reappear via issue, a freed slot via
+    /// dispatch), so failed probes always clear their bit.
+    fetch_ready: u64,
     // Reusable scratch buffers for the load/store unit, hoisted out of
     // the per-instruction hot path.
     scratch_lanes: Vec<(usize, u32)>,
@@ -288,6 +335,8 @@ impl Core {
             cta_coords: HashMap::new(),
             store_buf: HashMap::new(),
             work: false,
+            issue_ready: !0,
+            fetch_ready: !0,
             scratch_lanes: Vec::new(),
             scratch_words: Vec::new(),
             scratch_segs: Vec::new(),
@@ -307,9 +356,12 @@ impl Core {
         self.cluster
     }
 
-    /// Number of resident CTAs.
+    /// Number of resident CTAs. O(1): `cta_coords` gains an entry on
+    /// dispatch and loses it on CTA completion, so its length is exactly
+    /// the occupied-slot count. This is queried every cycle by the block
+    /// scheduler and busy accounting, so it must not scan the slot array.
     pub fn resident_ctas(&self) -> usize {
-        self.ctas.iter().filter(|c| c.is_some()).count()
+        self.cta_coords.len()
     }
 
     /// CTAs completed since construction.
@@ -390,6 +442,8 @@ impl Core {
                 outstanding_groups: 0,
                 done: false,
             });
+            set_hint(&mut self.issue_ready, slot);
+            set_hint(&mut self.fetch_ready, slot);
             warp_slots.push(slot);
         }
         self.smem_in_use += ctx.kernel.smem_bytes();
@@ -429,6 +483,8 @@ impl Core {
         self.issue_rr = 0;
         self.active_set.clear();
         self.pending_rr = 0;
+        self.issue_ready = !0;
+        self.fetch_ready = !0;
         self.icache.flush();
         self.const_cache.flush();
         if let Some(l1) = &mut self.l1 {
@@ -479,6 +535,17 @@ impl Core {
     /// Whether the last [`Core::tick`] did observable work.
     pub fn progressed(&self) -> bool {
         self.work
+    }
+
+    /// Records that this cycle's [`Core::tick`] was skipped because the
+    /// core is provably idle ([`Core::is_busy`] is `false`). Equivalent
+    /// to the early-out path of `tick` — it clears the `work` flag and
+    /// nothing else — so callers that elide whole idle core chunks (see
+    /// `CorePool::tick_cores`) keep [`Core::progressed`] exact for any
+    /// thread count.
+    pub(crate) fn mark_idle_tick(&mut self) {
+        debug_assert!(!self.is_busy(), "only a provably idle tick may be skipped");
+        self.work = false;
     }
 
     /// Reads a global-memory word through this core's store overlay
@@ -556,6 +623,15 @@ impl Core {
         mem: &GpuMemory,
     ) -> bool {
         self.work = false;
+        // Fully idle core: no resident CTAs (CTA completion frees every
+        // warp slot, so the warp table is empty too), no scheduled
+        // events, no outstanding memory groups. Each stage below would
+        // scan empty structures and mutate nothing — skip them outright.
+        // This is the dominant case for launches that occupy only a few
+        // cores (the paper's Fig. 4 cluster-power sweep).
+        if self.cta_coords.is_empty() && self.events.is_empty() && self.groups.is_empty() {
+            return false;
+        }
         self.retire(cycle);
         self.issue_stage(cycle, cfg, ctx, mem);
         self.fetch_stage(cycle, ctx);
@@ -580,6 +656,7 @@ impl Core {
                             self.stats.scoreboard_writes += 1;
                         }
                         w.busy = false;
+                        set_hint(&mut self.issue_ready, warp);
                     }
                 }
             }
@@ -594,13 +671,59 @@ impl Core {
                 let mut issued = 0;
                 let mut scanned = 0;
                 let n = self.max_warps;
-                while issued < cfg.issue_width && scanned < n {
-                    let slot = (self.issue_rr + scanned) % n;
-                    scanned += 1;
-                    if self.try_issue(slot, cycle, cfg, ctx, mem) {
-                        issued += 1;
-                        self.issue_rr = (slot + 1) % n;
-                        self.stats.issue_scheduler_selects += 1;
+                // Wrap-around index instead of `(rr + scanned) % n` on
+                // every probe: the scan visits the same slots in the
+                // same order, but the per-slot integer division was the
+                // single largest cost of a stall cycle (two 24-slot
+                // scans per core per cycle). The rare post-issue path
+                // keeps the original formula verbatim.
+                let mut slot = self.issue_rr % n;
+                if n <= 64 {
+                    // Hint-guided scan: `issue_ready` is a superset of
+                    // the slots whose probe could do anything
+                    // observable, so jumping between set bits probes
+                    // exactly the slots the full scan would have probed
+                    // non-silently, in the same order and with the same
+                    // `scanned` accounting (skipped gaps still count).
+                    let window: u64 = if n == 64 { !0 } else { (1u64 << n) - 1 };
+                    while issued < cfg.issue_width && scanned < n {
+                        let hints = self.issue_ready & window;
+                        if hints == 0 {
+                            break;
+                        }
+                        let (next, dist) = next_hint(hints, slot, n);
+                        if scanned + dist >= n {
+                            break;
+                        }
+                        scanned += dist + 1;
+                        slot = next;
+                        if self.try_issue(slot, cycle, cfg, ctx, mem) {
+                            issued += 1;
+                            self.issue_rr = if slot + 1 == n { 0 } else { slot + 1 };
+                            self.stats.issue_scheduler_selects += 1;
+                            slot = (self.issue_rr + scanned) % n;
+                        } else {
+                            self.clear_issue_hint_if_blocked(slot, cfg);
+                            slot += 1;
+                            if slot == n {
+                                slot = 0;
+                            }
+                        }
+                    }
+                } else {
+                    while issued < cfg.issue_width && scanned < n {
+                        scanned += 1;
+                        if self.try_issue(slot, cycle, cfg, ctx, mem) {
+                            issued += 1;
+                            self.issue_rr = if slot + 1 == n { 0 } else { slot + 1 };
+                            self.stats.issue_scheduler_selects += 1;
+                            slot = (self.issue_rr + scanned) % n;
+                        } else {
+                            slot += 1;
+                            if slot == n {
+                                slot = 0;
+                            }
+                        }
                     }
                 }
             }
@@ -615,13 +738,23 @@ impl Core {
                 let mut issued = 0;
                 let mut scanned = 0;
                 let n = set.len();
+                // Same wrap-around strength reduction as the RoundRobin
+                // scan; the post-issue path recomputes with the original
+                // formula (rare — at most `issue_width` times a cycle).
+                let mut idx = self.issue_rr % n;
                 while issued < cfg.issue_width && scanned < n {
-                    let slot = set[(self.issue_rr + scanned) % n];
+                    let slot = set[idx];
                     scanned += 1;
                     if self.try_issue(slot, cycle, cfg, ctx, mem) {
                         issued += 1;
                         self.issue_rr = (self.issue_rr + scanned) % n;
                         self.stats.issue_scheduler_selects += 1;
+                        idx = (self.issue_rr + scanned) % n;
+                    } else {
+                        idx += 1;
+                        if idx == n {
+                            idx = 0;
+                        }
                     }
                 }
                 self.active_set = set;
@@ -640,16 +773,46 @@ impl Core {
         self.active_set.truncate(active_warps);
         let total = self.max_warps;
         let mut scanned = 0;
+        // Wrap-around candidate index (no division per probed slot);
+        // the promote path recomputes with the original formula.
+        let mut slot = self.pending_rr % total;
         while self.active_set.len() < active_warps && scanned < total {
-            let slot = (self.pending_rr + scanned) % total;
             scanned += 1;
-            if self.active_set.contains(&slot) {
-                continue;
-            }
-            if self.warps[slot].as_ref().is_some_and(&eligible) {
+            let promote = !self.active_set.contains(&slot)
+                && self.warps[slot].as_ref().is_some_and(&eligible);
+            if promote {
                 self.active_set.push(slot);
-                self.pending_rr = (slot + 1) % total;
+                self.pending_rr = if slot + 1 == total { 0 } else { slot + 1 };
+                slot = (self.pending_rr + scanned) % total;
+            } else {
+                slot += 1;
+                if slot == total {
+                    slot = 0;
+                }
             }
+        }
+    }
+
+    /// After a failed [`Core::try_issue`] probe of `slot`, clears its
+    /// issue hint when the failure is *sticky*: it can only end via an
+    /// event that passes a hint set-site (i-buffer fill, writeback
+    /// retire, barrier release, CTA dispatch). Structural-unit and
+    /// scoreboard-dependency failures lapse with time alone — and a
+    /// scoreboard dependency probe counts activity — so those keep the
+    /// hint and stay probed every cycle.
+    #[inline]
+    fn clear_issue_hint_if_blocked(&mut self, slot: usize, cfg: &GpuConfig) {
+        let sticky = match self.warps[slot].as_ref() {
+            None => true,
+            Some(w) => {
+                w.done
+                    || w.at_barrier
+                    || w.ibuf.is_none()
+                    || (!cfg.scoreboard && (w.busy || w.stack.current().is_none()))
+            }
+        };
+        if sticky {
+            clear_hint(&mut self.issue_ready, slot);
         }
     }
 
@@ -673,6 +836,11 @@ impl Core {
                 Some(pc) => pc,
                 None => return false,
             };
+            // Barrel blocking needs no instruction metadata — bail out
+            // before the decoded-table load on this hot stall path.
+            if !cfg.scoreboard && w.busy {
+                return false;
+            }
             let di = ctx.decoded[pc as usize];
             // Dependency check.
             if cfg.scoreboard {
@@ -688,8 +856,6 @@ impl Core {
                 if di.drains && (w.pending_writes != 0 || w.outstanding_groups > 0) {
                     return false;
                 }
-            } else if w.busy {
-                return false;
             }
             let entry = match w.stack.current() {
                 Some(e) => e,
@@ -760,6 +926,8 @@ impl Core {
             return true;
         };
         w.ibuf = None;
+        clear_hint(&mut self.issue_ready, slot);
+        set_hint(&mut self.fetch_ready, slot);
 
         match class {
             InstrClass::Mem => {
@@ -850,7 +1018,6 @@ impl Core {
         ctx: &LaunchCtx<'_>,
         mem: &GpuMemory,
     ) -> Option<(u64, Option<Reg>)> {
-        let warp_size = cfg.warp_size;
         let num_regs = ctx.kernel.num_regs() as usize;
 
         macro_rules! warp {
@@ -868,118 +1035,127 @@ impl Core {
         match instr {
             Instr::IAlu { op, dst, a, b } => {
                 let w = warp!();
-                for lane in 0..warp_size {
-                    if mask & (1 << lane) != 0 {
-                        let v = func::eval_int(op, read(w, lane, a), read(w, lane, b));
-                        w.regs[lane * num_regs + dst.index()] = v;
-                    }
+                let mut m = mask;
+                while m != 0 {
+                    let lane = m.trailing_zeros() as usize;
+                    m &= m - 1;
+                    let v = func::eval_int(op, read(w, lane, a), read(w, lane, b));
+                    w.regs[lane * num_regs + dst.index()] = v;
                 }
                 self.advance(slot, cycle);
             }
             Instr::IMad { dst, a, b, c } => {
                 let w = warp!();
-                for lane in 0..warp_size {
-                    if mask & (1 << lane) != 0 {
-                        let v =
-                            func::eval_imad(read(w, lane, a), read(w, lane, b), read(w, lane, c));
-                        w.regs[lane * num_regs + dst.index()] = v;
-                    }
+                let mut m = mask;
+                while m != 0 {
+                    let lane = m.trailing_zeros() as usize;
+                    m &= m - 1;
+                    let v = func::eval_imad(read(w, lane, a), read(w, lane, b), read(w, lane, c));
+                    w.regs[lane * num_regs + dst.index()] = v;
                 }
                 self.advance(slot, cycle);
             }
             Instr::FAlu { op, dst, a, b } => {
                 let w = warp!();
-                for lane in 0..warp_size {
-                    if mask & (1 << lane) != 0 {
-                        let v = func::eval_fp(op, read(w, lane, a), read(w, lane, b));
-                        w.regs[lane * num_regs + dst.index()] = v;
-                    }
+                let mut m = mask;
+                while m != 0 {
+                    let lane = m.trailing_zeros() as usize;
+                    m &= m - 1;
+                    let v = func::eval_fp(op, read(w, lane, a), read(w, lane, b));
+                    w.regs[lane * num_regs + dst.index()] = v;
                 }
                 self.advance(slot, cycle);
             }
             Instr::FFma { dst, a, b, c } => {
                 let w = warp!();
-                for lane in 0..warp_size {
-                    if mask & (1 << lane) != 0 {
-                        let v =
-                            func::eval_ffma(read(w, lane, a), read(w, lane, b), read(w, lane, c));
-                        w.regs[lane * num_regs + dst.index()] = v;
-                    }
+                let mut m = mask;
+                while m != 0 {
+                    let lane = m.trailing_zeros() as usize;
+                    m &= m - 1;
+                    let v = func::eval_ffma(read(w, lane, a), read(w, lane, b), read(w, lane, c));
+                    w.regs[lane * num_regs + dst.index()] = v;
                 }
                 self.advance(slot, cycle);
             }
             Instr::Sfu { op, dst, a } => {
                 let w = warp!();
-                for lane in 0..warp_size {
-                    if mask & (1 << lane) != 0 {
-                        let v = func::eval_sfu(op, read(w, lane, a));
-                        w.regs[lane * num_regs + dst.index()] = v;
-                    }
+                let mut m = mask;
+                while m != 0 {
+                    let lane = m.trailing_zeros() as usize;
+                    m &= m - 1;
+                    let v = func::eval_sfu(op, read(w, lane, a));
+                    w.regs[lane * num_regs + dst.index()] = v;
                 }
                 self.advance(slot, cycle);
             }
             Instr::ISetp { op, dst, a, b } => {
                 let w = warp!();
-                for lane in 0..warp_size {
-                    if mask & (1 << lane) != 0 {
-                        let v = func::eval_icmp(op, read(w, lane, a), read(w, lane, b));
-                        w.regs[lane * num_regs + dst.index()] = v;
-                    }
+                let mut m = mask;
+                while m != 0 {
+                    let lane = m.trailing_zeros() as usize;
+                    m &= m - 1;
+                    let v = func::eval_icmp(op, read(w, lane, a), read(w, lane, b));
+                    w.regs[lane * num_regs + dst.index()] = v;
                 }
                 self.advance(slot, cycle);
             }
             Instr::FSetp { op, dst, a, b } => {
                 let w = warp!();
-                for lane in 0..warp_size {
-                    if mask & (1 << lane) != 0 {
-                        let v = func::eval_fcmp(op, read(w, lane, a), read(w, lane, b));
-                        w.regs[lane * num_regs + dst.index()] = v;
-                    }
+                let mut m = mask;
+                while m != 0 {
+                    let lane = m.trailing_zeros() as usize;
+                    m &= m - 1;
+                    let v = func::eval_fcmp(op, read(w, lane, a), read(w, lane, b));
+                    w.regs[lane * num_regs + dst.index()] = v;
                 }
                 self.advance(slot, cycle);
             }
             Instr::I2F { dst, a } => {
                 let w = warp!();
-                for lane in 0..warp_size {
-                    if mask & (1 << lane) != 0 {
-                        let v = func::eval_i2f(read(w, lane, a));
-                        w.regs[lane * num_regs + dst.index()] = v;
-                    }
+                let mut m = mask;
+                while m != 0 {
+                    let lane = m.trailing_zeros() as usize;
+                    m &= m - 1;
+                    let v = func::eval_i2f(read(w, lane, a));
+                    w.regs[lane * num_regs + dst.index()] = v;
                 }
                 self.advance(slot, cycle);
             }
             Instr::F2I { dst, a } => {
                 let w = warp!();
-                for lane in 0..warp_size {
-                    if mask & (1 << lane) != 0 {
-                        let v = func::eval_f2i(read(w, lane, a));
-                        w.regs[lane * num_regs + dst.index()] = v;
-                    }
+                let mut m = mask;
+                while m != 0 {
+                    let lane = m.trailing_zeros() as usize;
+                    m &= m - 1;
+                    let v = func::eval_f2i(read(w, lane, a));
+                    w.regs[lane * num_regs + dst.index()] = v;
                 }
                 self.advance(slot, cycle);
             }
             Instr::Mov { dst, src } => {
                 let w = warp!();
-                for lane in 0..warp_size {
-                    if mask & (1 << lane) != 0 {
-                        let v = read(w, lane, src);
-                        w.regs[lane * num_regs + dst.index()] = v;
-                    }
+                let mut m = mask;
+                while m != 0 {
+                    let lane = m.trailing_zeros() as usize;
+                    m &= m - 1;
+                    let v = read(w, lane, src);
+                    w.regs[lane * num_regs + dst.index()] = v;
                 }
                 self.advance(slot, cycle);
             }
             Instr::Sel { dst, cond, a, b } => {
                 let w = warp!();
-                for lane in 0..warp_size {
-                    if mask & (1 << lane) != 0 {
-                        let c = w.regs[lane * num_regs + cond.index()];
-                        let v = if c != 0 {
-                            read(w, lane, a)
-                        } else {
-                            read(w, lane, b)
-                        };
-                        w.regs[lane * num_regs + dst.index()] = v;
-                    }
+                let mut m = mask;
+                while m != 0 {
+                    let lane = m.trailing_zeros() as usize;
+                    m &= m - 1;
+                    let c = w.regs[lane * num_regs + cond.index()];
+                    let v = if c != 0 {
+                        read(w, lane, a)
+                    } else {
+                        read(w, lane, b)
+                    };
+                    w.regs[lane * num_regs + dst.index()] = v;
                 }
                 self.advance(slot, cycle);
             }
@@ -994,21 +1170,22 @@ impl Core {
                         .expect("cta has coordinates")
                 };
                 let w = warp!();
-                for lane in 0..warp_size {
-                    if mask & (1 << lane) != 0 {
-                        let lin = w.base_tid + lane as u32;
-                        let v = match sr {
-                            SpecialReg::TidX => lin % block.x,
-                            SpecialReg::TidY => lin / block.x,
-                            SpecialReg::CtaIdX => bx,
-                            SpecialReg::CtaIdY => by,
-                            SpecialReg::NTidX => block.x,
-                            SpecialReg::NTidY => block.y,
-                            SpecialReg::NCtaIdX => grid.x,
-                            SpecialReg::NCtaIdY => grid.y,
-                        };
-                        w.regs[lane * num_regs + dst.index()] = v;
-                    }
+                let mut m = mask;
+                while m != 0 {
+                    let lane = m.trailing_zeros() as usize;
+                    m &= m - 1;
+                    let lin = w.base_tid + lane as u32;
+                    let v = match sr {
+                        SpecialReg::TidX => lin % block.x,
+                        SpecialReg::TidY => lin / block.x,
+                        SpecialReg::CtaIdX => bx,
+                        SpecialReg::CtaIdY => by,
+                        SpecialReg::NTidX => block.x,
+                        SpecialReg::NTidY => block.y,
+                        SpecialReg::NCtaIdX => grid.x,
+                        SpecialReg::NCtaIdY => grid.y,
+                    };
+                    w.regs[lane * num_regs + dst.index()] = v;
                 }
                 self.advance(slot, cycle);
             }
@@ -1028,12 +1205,13 @@ impl Core {
                     let w = self.warps[slot].as_ref().expect("live warp");
                     let entry = w.stack.current().expect("executing warp has a token");
                     let mut taken: LaneMask = 0;
-                    for lane in 0..warp_size {
-                        if mask & (1 << lane) != 0 {
-                            let c = w.regs[lane * num_regs + cond.index()] != 0;
-                            if c != negate {
-                                taken |= 1 << lane;
-                            }
+                    let mut m = mask;
+                    while m != 0 {
+                        let lane = m.trailing_zeros() as usize;
+                        m &= m - 1;
+                        let c = w.regs[lane * num_regs + cond.index()] != 0;
+                        if c != negate {
+                            taken |= 1 << lane;
                         }
                     }
                     (taken, entry.pc + 1)
@@ -1104,6 +1282,7 @@ impl Core {
         for s in slots {
             if let Some(w) = self.warps[s].as_mut() {
                 w.at_barrier = false;
+                set_hint(&mut self.issue_ready, s);
             }
         }
     }
@@ -1149,7 +1328,6 @@ impl Core {
         ctx: &LaunchCtx<'_>,
         mem: &GpuMemory,
     ) -> Option<(u64, Option<Reg>)> {
-        let warp_size = cfg.warp_size;
         let num_regs = ctx.kernel.num_regs() as usize;
         let lanes = mask.count_ones();
         self.stats.agu_ops += ldst::agu_activations(lanes, 8) as u64;
@@ -1177,11 +1355,12 @@ impl Core {
         addrs.clear();
         {
             let w = self.warps[slot].as_ref().expect("live warp");
-            for lane in 0..warp_size {
-                if mask & (1 << lane) != 0 {
-                    let base = w.regs[lane * num_regs + addr_reg.index()];
-                    addrs.push((lane, base.wrapping_add(offset as u32)));
-                }
+            let mut m = mask;
+            while m != 0 {
+                let lane = m.trailing_zeros() as usize;
+                m &= m - 1;
+                let base = w.regs[lane * num_regs + addr_reg.index()];
+                addrs.push((lane, base.wrapping_add(offset as u32)));
             }
         }
         let mut words = std::mem::take(&mut self.scratch_words);
@@ -1421,39 +1600,80 @@ impl Core {
 
     fn fetch_stage(&mut self, _cycle: u64, ctx: &LaunchCtx<'_>) {
         let n = self.max_warps;
-        for i in 0..n {
-            let slot = (self.fetch_rr + i) % n;
-            let pc = {
-                let w = match self.warps[slot].as_ref() {
-                    Some(w) => w,
-                    None => continue,
-                };
-                if w.done || w.ibuf.is_some() {
-                    continue;
+        // Wrap-around slot index — same visit order as the former
+        // `(fetch_rr + i) % n`, without a division per probed slot.
+        let mut slot = self.fetch_rr % n;
+        if n <= 64 {
+            // Hint-guided scan (see `fetch_ready`): every fetch failure
+            // is sticky, so a failed probe always clears its bit and
+            // steady-state full-i-buffer cycles cost one mask test.
+            let window: u64 = if n == 64 { !0 } else { (1u64 << n) - 1 };
+            let mut scanned = 0;
+            while scanned < n {
+                let hints = self.fetch_ready & window;
+                if hints == 0 {
+                    return;
                 }
-                match w.stack.current() {
-                    Some(e) => e.pc,
-                    None => continue,
+                let (next, dist) = next_hint(hints, slot, n);
+                if scanned + dist >= n {
+                    return;
                 }
-            };
-            if pc as usize >= ctx.kernel.code().len() {
-                continue;
+                scanned += dist + 1;
+                slot = next;
+                if self.try_fetch(slot, ctx) {
+                    return;
+                }
+                clear_hint(&mut self.fetch_ready, slot);
+                slot += 1;
+                if slot == n {
+                    slot = 0;
+                }
             }
-            self.work = true;
-            self.stats.fetch_scheduler_selects += 1;
-            self.stats.wst_reads += 1;
-            self.stats.icache_accesses += 1;
-            if self.icache.read(pc * 8) == Probe::Miss {
-                self.stats.icache_misses += 1;
+        } else {
+            for _ in 0..n {
+                if self.try_fetch(slot, ctx) {
+                    return;
+                }
+                slot += 1;
+                if slot == n {
+                    slot = 0;
+                }
             }
-            self.stats.decodes += 1;
-            self.stats.ibuffer_writes += 1;
-            // The i-buffer holds the PC; operands and metadata come from
-            // the launch-wide decoded table (`LaunchCtx::decoded`).
-            self.warps[slot].as_mut().expect("checked above").ibuf = Some(pc);
-            self.fetch_rr = (slot + 1) % n;
-            break;
         }
+    }
+
+    /// Probes `slot` for fetch; on success fills the i-buffer, advances
+    /// the fetch pointer and returns `true`. Every failure is silent
+    /// (no stats, no `work`), which is what lets the hinted scan skip
+    /// cleared slots.
+    fn try_fetch(&mut self, slot: usize, ctx: &LaunchCtx<'_>) -> bool {
+        let pc = self.warps[slot].as_ref().and_then(|w| {
+            if w.done || w.ibuf.is_some() {
+                return None;
+            }
+            w.stack.current().map(|e| e.pc)
+        });
+        let pc = match pc {
+            Some(pc) if (pc as usize) < ctx.kernel.code().len() => pc,
+            _ => return false,
+        };
+        self.work = true;
+        self.stats.fetch_scheduler_selects += 1;
+        self.stats.wst_reads += 1;
+        self.stats.icache_accesses += 1;
+        if self.icache.read(pc * 8) == Probe::Miss {
+            self.stats.icache_misses += 1;
+        }
+        self.stats.decodes += 1;
+        self.stats.ibuffer_writes += 1;
+        // The i-buffer holds the PC; operands and metadata come from
+        // the launch-wide decoded table (`LaunchCtx::decoded`).
+        self.warps[slot].as_mut().expect("checked above").ibuf = Some(pc);
+        let n = self.max_warps;
+        self.fetch_rr = if slot + 1 == n { 0 } else { slot + 1 };
+        clear_hint(&mut self.fetch_ready, slot);
+        set_hint(&mut self.issue_ready, slot);
+        true
     }
 }
 

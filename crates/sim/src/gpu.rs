@@ -6,20 +6,17 @@
 //! observes on real hardware in Fig. 4 ("blocks are distributed first not
 //! only to unoccupied cores, but also to unoccupied clusters").
 
-use std::collections::VecDeque;
 use std::fmt;
 
 use gpusimpow_isa::{Kernel, LaunchConfig};
 
-use crate::cache::{Probe, SimCache};
 use crate::config::{ConfigError, GpuConfig};
 use crate::core::{Core, DecodedInstr, LaunchCtx, MemRequest};
-use crate::dram::{DramChannel, DramRequest};
 use crate::mem::{DevicePtr, GpuMemory};
-use crate::noc::Link;
 use crate::parallel::{available_threads, CorePool};
 use crate::sink::{ActivitySink, ActivityWindow};
 use crate::stats::ActivityStats;
+use crate::uncore::{RouteToken, Uncore};
 
 /// Errors surfaced by the simulator.
 #[derive(Debug, Clone, PartialEq)]
@@ -68,13 +65,6 @@ pub struct LaunchReport {
     pub time_s: f64,
 }
 
-/// Token routed with each memory request through the uncore.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct RouteToken {
-    core: usize,
-    addr: u32,
-}
-
 /// The simulated GPU plus its GDDR memory — the "device" a host program
 /// allocates on, copies to, and launches kernels on.
 ///
@@ -116,6 +106,7 @@ pub struct Gpu {
     attached: Option<SinkSlot>,
     threads: usize,
     pool: Option<CorePool>,
+    fast_forward: bool,
 }
 
 /// An attached sampling sink plus its window width.
@@ -174,6 +165,7 @@ impl Gpu {
             attached: None,
             threads: 1,
             pool: None,
+            fast_forward: true,
         })
     }
 
@@ -190,6 +182,26 @@ impl Gpu {
     /// Overrides the deadlock watchdog (cycles).
     pub fn set_watchdog(&mut self, cycles: u64) {
         self.watchdog_cycles = cycles;
+    }
+
+    /// Enables or disables stall-aware fast-forward (enabled by
+    /// default). When every core's tick is a provable no-op — all warps
+    /// blocked on memory or long-latency pipes — the main loop jumps
+    /// straight to the earliest core wake-up, memory response, or
+    /// sampling/watchdog boundary instead of stepping cycle by cycle.
+    ///
+    /// Fast-forward never changes results: skipped cycles are exactly
+    /// those in which no core mutates state, and the uncore, sampling
+    /// windows, DVFS epochs and watchdog stay cycle-exact across jumps.
+    /// Disabling it yields the dense reference loop the fast-forward
+    /// edge-case tests compare against.
+    pub fn set_fast_forward(&mut self, enabled: bool) {
+        self.fast_forward = enabled;
+    }
+
+    /// Whether stall-aware fast-forward is enabled.
+    pub fn fast_forward(&self) -> bool {
+        self.fast_forward
     }
 
     /// Sets how many OS threads step cores during the per-cycle compute
@@ -415,70 +427,65 @@ impl Gpu {
         stats.pcie_h2d_bytes = std::mem::take(&mut self.pending_h2d);
         stats.pcie_d2h_bytes = std::mem::take(&mut self.pending_d2h);
 
-        // Uncore structures, rebuilt per launch (they must drain anyway).
-        let mut req_link: Link<RouteToken> =
-            Link::new(cfg.noc_latency as u64, cfg.noc_bandwidth_flits);
-        let mut req_meta: VecDeque<MemRequest> = VecDeque::new();
-        let mut resp_link: Link<RouteToken> =
-            Link::new(cfg.noc_latency as u64, cfg.noc_bandwidth_flits);
-        let mut l2 = cfg.l2.map(|l2cfg| {
-            (
-                SimCache::new(l2cfg.capacity_bytes, l2cfg.line_bytes as u32, l2cfg.ways),
-                l2cfg.latency as u64,
-            )
-        });
-        let mut l2_out: VecDeque<(u64, RouteToken)> = VecDeque::new();
-        let mut channels: Vec<DramChannel<RouteToken>> = (0..cfg.mem_channels)
-            .map(|_| DramChannel::new(cfg.dram, cfg.mc_queue_depth))
-            .collect();
-        let mut dram_overflow: VecDeque<(usize, DramRequest<RouteToken>)> = VecDeque::new();
+        // The event-driven uncore, rebuilt per launch (it must drain
+        // before a launch completes anyway).
+        let mut uncore = Uncore::new(&cfg);
 
         let total_blocks = launch.total_blocks();
         let mut next_block: u32 = 0;
         let mut completed_ctas_seen: u64 = self.cores.iter().map(|c| c.completed_ctas()).sum();
 
         let mut cycle: u64 = 0;
-        let mut uncore_cycle: u64 = 0;
-        let mut dram_cycle: u64 = 0;
-        let mut uacc: f64 = 0.0;
-        let mut dacc: f64 = 0.0;
-        let upershader = 1.0 / cfg.shader_ratio;
-        let dram_per_uncore = cfg.dram_mhz / cfg.uncore_mhz;
         let mut dispatch_dirty = true;
 
         // Windowed sampling state: the previous cumulative snapshot (the
         // first window's baseline is all-zero so it absorbs the pre-loop
         // PCIe/launch counters) and within-window concurrency peaks.
+        // `next_window_at` replaces the old per-cycle modulo test and is
+        // the boundary that bulk jumps clamp to, keeping window deltas
+        // byte-identical across fast-forward.
         if let Some((window_cycles, sink)) = &mut sampling {
             sink.on_launch_begin(kernel.name(), *window_cycles);
         }
+        let mut next_window_at: u64 = sampling.as_ref().map_or(u64::MAX, |(w, _)| *w);
         let mut last_snapshot = ActivityStats::new();
         let mut window_index: u64 = 0;
         let mut window_start: u64 = 0;
         let mut win_peak_cores: usize = 0;
         let mut win_peak_clusters: usize = 0;
 
-        // Hoisted per-cycle scratch (the old loop allocated these fresh
-        // every iteration) and idle fast-forward state. Cycles below
-        // `skip_until` are provably inert for the shader domain — no
-        // core event fires and no uncore message is in flight — so the
+        // Hoisted per-cycle scratch and stall-aware fast-forward state.
+        // Cycles in `[cycle, skip_until)` are provably inert for the
+        // shader domain — every core's tick is a no-op until its next
+        // scheduled wake-up or until a memory response arrives — so the
         // compute/commit phases are skipped wholesale while the uncore
-        // clock-domain accumulators, sampling windows and watchdog keep
-        // running cycle-exact.
-        let flit = cfg.noc_flit_bytes.max(1);
+        // advances event-to-event and the sampling windows, watchdog and
+        // clock-domain accumulators stay cycle-exact.
         let mut drained: Vec<MemRequest> = Vec::new();
+        let mut responses: Vec<RouteToken> = Vec::new();
         let mut cluster_busy = vec![false; cfg.clusters];
         let mut busy_cores = 0usize;
         let mut busy_clusters = 0usize;
         let mut skip_until: u64 = 0;
+        // Cores with any live state, ascending id. A core outside this
+        // list satisfies the tick early-out condition (no CTAs, events
+        // or outstanding groups — exactly `!is_busy()`), and nothing but
+        // a dispatch can change that, so every per-cycle loop below
+        // walks `live` instead of all cores. Rebuilt after each
+        // dispatch, pruned during busy accounting; ascending order keeps
+        // the serial commit order identical to the all-cores walk.
+        let mut live: Vec<usize> = Vec::with_capacity(self.cores.len());
 
         loop {
-            let in_skip = cycle < skip_until;
-            if !in_skip {
+            let stepped = cycle >= skip_until;
+            if stepped {
                 // --- global block scheduler -----------------------------
                 if dispatch_dirty && next_block < total_blocks {
                     next_block = self.dispatch_blocks(&ctx, next_block, total_blocks);
                     dispatch_dirty = false;
+                    live.clear();
+                    let cores = &self.cores;
+                    live.extend((0..cores.len()).filter(|&i| cores[i].is_busy()));
                 }
 
                 // --- shader domain: parallel compute phase ---------------
@@ -496,9 +503,11 @@ impl Gpu {
                     match pool {
                         Some(pool) => pool.tick_cores(cores, cycle, &cfg, &ctx, mem),
                         None => {
+                            // Dead cores tick to a no-op `false`; walk
+                            // only the live ones.
                             let mut any = false;
-                            for core in cores.iter_mut() {
-                                any |= core.tick(cycle, &cfg, &ctx, mem);
+                            for &id in &live {
+                                any |= cores[id].tick(cycle, &cfg, &ctx, mem);
                             }
                             any
                         }
@@ -507,165 +516,123 @@ impl Gpu {
 
                 // --- serial commit phase ---------------------------------
                 // Buffered stores land in memory and requests enter the
-                // NoC in fixed core-id order, independent of thread count.
-                for core in &mut self.cores {
-                    core.commit_stores(&mut self.memory);
+                // NoC in fixed core-id order, independent of thread count
+                // (`live` is ascending, and dead cores drained their last
+                // stores on the cycle they went idle).
+                for &id in &live {
+                    self.cores[id].commit_stores(&mut self.memory);
                 }
                 drained.clear();
-                for core in &mut self.cores {
-                    core.drain_requests_into(&mut drained);
+                for &id in &live {
+                    self.cores[id].drain_requests_into(&mut drained);
                 }
                 for req in drained.drain(..) {
-                    let flits = if req.write {
-                        1 + (req.bytes as usize).div_ceil(flit)
-                    } else {
-                        1
-                    };
-                    stats.noc_flits += flits as u64;
-                    stats.noc_transfers += 1;
-                    req_link.push(
-                        RouteToken {
-                            core: req.core,
-                            addr: req.addr,
-                        },
-                        flits,
-                    );
-                    req_meta.push_back(req);
+                    uncore.push_request(req, &mut stats);
                 }
 
                 // --- busy accounting -------------------------------------
+                // Also prunes cores that went idle this cycle: they
+                // cannot wake again without a dispatch (memory responses
+                // only ever target cores with outstanding groups, which
+                // are busy by definition).
                 busy_cores = 0;
                 cluster_busy.iter_mut().for_each(|b| *b = false);
-                for core in &self.cores {
-                    if core.is_busy() {
-                        busy_cores += 1;
-                        cluster_busy[core.cluster()] = true;
-                    }
+                {
+                    let cores = &self.cores;
+                    live.retain(|&id| {
+                        let core = &cores[id];
+                        let busy = core.is_busy();
+                        if busy {
+                            busy_cores += 1;
+                            cluster_busy[core.cluster()] = true;
+                        }
+                        busy
+                    });
                 }
                 busy_clusters = cluster_busy.iter().filter(|b| **b).count();
 
-                // --- idle fast-forward probe -----------------------------
-                // If no core did work this cycle and the whole uncore is
-                // drained, the shader domain cannot change before the
-                // earliest scheduled core event; skip straight to it.
-                if !progressed
-                    && req_link.is_empty()
-                    && resp_link.is_empty()
-                    && l2_out.is_empty()
-                    && dram_overflow.is_empty()
-                    && channels.iter().all(|c| c.is_idle())
-                {
-                    let cores_idle = self.cores.iter().all(|c| !c.is_busy());
-                    if !(next_block >= total_blocks && cores_idle) {
-                        // No wake event at all means the kernel is
-                        // deadlocked; idle along until the watchdog trips.
-                        skip_until = self
-                            .cores
+                // --- stall-aware fast-forward probe ----------------------
+                // If no core did work this cycle, none can before its next
+                // scheduled wake-up or an incoming memory response —
+                // whichever comes first. Jump ahead; `Uncore::advance`
+                // hands control back the moment a response is delivered.
+                // The terminal state (everything dispatched, cores idle,
+                // uncore drained) must fall through to the termination
+                // check instead, and `skip_until == u64::MAX` (no wake
+                // scheduled) is bounded below by the sampling-window and
+                // watchdog clamps.
+                if self.fast_forward && !progressed {
+                    let terminal =
+                        next_block >= total_blocks && busy_cores == 0 && uncore.is_idle();
+                    if !terminal {
+                        // Dead cores have no scheduled events, so the
+                        // live list covers every possible wake-up.
+                        skip_until = live
                             .iter()
-                            .filter_map(|c| c.next_wake(cycle))
+                            .filter_map(|&id| self.cores[id].next_wake(cycle))
                             .min()
                             .unwrap_or(u64::MAX);
                     }
                 }
             }
+
+            // --- uncore domain: bulk event-driven advance -----------------
+            // One shader cycle normally; during a skip, everything up to
+            // the earliest of core wake-up, window boundary and watchdog
+            // trip. The defensive `max(cycle + 1)` only guarantees
+            // progress — each bound is strictly ahead by construction.
+            let target = skip_until
+                .min(next_window_at)
+                .min(self.watchdog_cycles + 1)
+                .max(cycle + 1);
+            let span = if cycle < skip_until {
+                target - cycle
+            } else {
+                1
+            };
+            let consumed = uncore.advance(span, &mut responses, &mut stats);
+
             // During a skip the cores are untouched, so the busy counts
-            // cached from the last stepped cycle stay exact.
-            stats.core_busy_cycles += busy_cores as u64;
-            stats.cluster_busy_cycles += busy_clusters as u64;
+            // cached from the last stepped cycle stay exact across the
+            // whole span.
+            stats.core_busy_cycles += busy_cores as u64 * consumed;
+            stats.cluster_busy_cycles += busy_clusters as u64 * consumed;
             stats.peak_cores_busy = stats.peak_cores_busy.max(busy_cores);
             stats.peak_clusters_busy = stats.peak_clusters_busy.max(busy_clusters);
             win_peak_cores = win_peak_cores.max(busy_cores);
             win_peak_clusters = win_peak_clusters.max(busy_clusters);
 
-            // --- uncore domain ----------------------------------------------
-            uacc += upershader;
-            while uacc >= 1.0 {
-                uacc -= 1.0;
-                uncore_cycle += 1;
-                // Requests arrive at the L2/MC.
-                req_link.tick(uncore_cycle);
-                for token in req_link.pop_ready(uncore_cycle) {
-                    let req = req_meta
-                        .pop_front()
-                        .expect("request metadata in link order");
-                    debug_assert_eq!(req.addr, token.addr);
-                    Self::route_request(
-                        &cfg,
-                        req,
-                        token,
-                        uncore_cycle,
-                        &mut l2,
-                        &mut l2_out,
-                        &mut channels,
-                        &mut dram_overflow,
-                        &mut stats,
-                    );
-                }
-                // L2 hit pipeline drains into the response network.
-                while let Some((ready, token)) = l2_out.front().copied() {
-                    if ready <= uncore_cycle {
-                        l2_out.pop_front();
-                        let flits = 1 + 128 / flit;
-                        stats.noc_flits += flits as u64;
-                        stats.noc_transfers += 1;
-                        resp_link.push(token, flits);
-                    } else {
-                        break;
-                    }
-                }
-                // DRAM domain.
-                dacc += dram_per_uncore;
-                while dacc >= 1.0 {
-                    dacc -= 1.0;
-                    dram_cycle += 1;
-                    // Retry overflowed requests first.
-                    for _ in 0..dram_overflow.len() {
-                        let (ch, req) = dram_overflow.pop_front().expect("len checked");
-                        if channels[ch].can_accept() {
-                            channels[ch].push(req, &mut stats);
-                        } else {
-                            dram_overflow.push_back((ch, req));
-                        }
-                    }
-                    for ch in &mut channels {
-                        ch.tick(dram_cycle, &mut stats);
-                        for token in ch.pop_completed(dram_cycle) {
-                            if let Some((cache, _)) = &mut l2 {
-                                cache.install(token.addr);
-                                stats.l2_fills += 1;
-                            }
-                            let flits = 1 + 128 / flit;
-                            stats.noc_flits += flits as u64;
-                            stats.noc_transfers += 1;
-                            resp_link.push(token, flits);
-                        }
-                    }
-                }
-                // Responses arrive back at the cores.
-                resp_link.tick(uncore_cycle);
-                for token in resp_link.pop_ready(uncore_cycle) {
-                    self.cores[token.core].mem_response(token.addr, cycle, &ctx);
-                }
+            // Responses belong to the last consumed shader cycle; they
+            // wake cores, so the skip (if any) ends here. An early drain
+            // (consumed < span without responses) also ends the skip so
+            // the termination check can fire on a stepped cycle.
+            let delivered = !responses.is_empty();
+            let last_cycle = cycle + consumed - 1;
+            for token in responses.drain(..) {
+                self.cores[token.core].mem_response(token.addr, last_cycle, &ctx);
+            }
+            if delivered || consumed < span {
+                skip_until = 0;
             }
 
             // --- progress & termination -----------------------------------
-            if !in_skip {
+            if stepped {
                 let completed: u64 = self.cores.iter().map(|c| c.completed_ctas()).sum();
                 if completed != completed_ctas_seen {
                     completed_ctas_seen = completed;
                     dispatch_dirty = true;
                 }
             }
-            cycle += 1;
+            cycle += consumed;
 
             if let Some((window_cycles, sink)) = &mut sampling {
-                if cycle.is_multiple_of(*window_cycles) {
+                if cycle == next_window_at {
                     let snapshot = Self::snapshot_running(
                         &stats,
                         &self.cores,
                         cycle,
-                        uncore_cycle,
-                        dram_cycle,
+                        uncore.uncore_cycles(),
+                        uncore.dram_cycles(),
                     );
                     let mut delta = snapshot.delta_from(&last_snapshot);
                     delta.peak_cores_busy = win_peak_cores;
@@ -681,21 +648,16 @@ impl Gpu {
                     window_start = cycle;
                     win_peak_cores = 0;
                     win_peak_clusters = 0;
+                    next_window_at += *window_cycles;
                 }
             }
 
-            if !in_skip {
-                let cores_idle = self.cores.iter().all(|c| !c.is_busy());
-                if next_block >= total_blocks
-                    && cores_idle
-                    && req_link.is_empty()
-                    && resp_link.is_empty()
-                    && l2_out.is_empty()
-                    && dram_overflow.is_empty()
-                    && channels.iter().all(|c| c.is_idle())
-                {
-                    break;
-                }
+            // The termination condition cannot become true mid-skip (the
+            // cores are frozen and `Uncore::advance` returns control on
+            // drain), so the cached busy count keeps this check exact on
+            // every iteration.
+            if next_block >= total_blocks && busy_cores == 0 && uncore.is_idle() {
+                break;
             }
             if cycle > self.watchdog_cycles {
                 return Err(SimError::Watchdog { cycles: cycle });
@@ -703,8 +665,8 @@ impl Gpu {
         }
 
         stats.shader_cycles = cycle;
-        stats.uncore_cycles = uncore_cycle;
-        stats.dram_cycles = dram_cycle;
+        stats.uncore_cycles = uncore.uncore_cycles();
+        stats.dram_cycles = uncore.dram_cycles();
         for core in &mut self.cores {
             let core_stats = std::mem::take(&mut core.stats);
             stats += &core_stats;
@@ -776,56 +738,5 @@ impl Gpu {
             next += 1;
         }
         next
-    }
-
-    #[allow(clippy::too_many_arguments)]
-    fn route_request(
-        cfg: &GpuConfig,
-        req: MemRequest,
-        token: RouteToken,
-        uncore_cycle: u64,
-        l2: &mut Option<(SimCache, u64)>,
-        l2_out: &mut VecDeque<(u64, RouteToken)>,
-        channels: &mut [DramChannel<RouteToken>],
-        dram_overflow: &mut VecDeque<(usize, DramRequest<RouteToken>)>,
-        stats: &mut ActivityStats,
-    ) {
-        let to_dram = |req: &MemRequest, token: RouteToken| DramRequest {
-            write: req.write,
-            addr: req.addr,
-            bytes: req.bytes,
-            token,
-        };
-        if let Some((cache, latency)) = l2 {
-            stats.l2_accesses += 1;
-            if req.write {
-                // Write-through L2: update on hit, always forward.
-                let _ = cache.write(req.addr);
-                Self::enqueue_dram(cfg, to_dram(&req, token), channels, dram_overflow, stats);
-            } else if cache.read(req.addr) == Probe::Hit {
-                l2_out.push_back((uncore_cycle + *latency, token));
-            } else {
-                stats.l2_misses += 1;
-                Self::enqueue_dram(cfg, to_dram(&req, token), channels, dram_overflow, stats);
-            }
-        } else {
-            Self::enqueue_dram(cfg, to_dram(&req, token), channels, dram_overflow, stats);
-        }
-    }
-
-    fn enqueue_dram(
-        cfg: &GpuConfig,
-        req: DramRequest<RouteToken>,
-        channels: &mut [DramChannel<RouteToken>],
-        dram_overflow: &mut VecDeque<(usize, DramRequest<RouteToken>)>,
-        stats: &mut ActivityStats,
-    ) {
-        // 256-byte channel interleave.
-        let ch = ((req.addr >> 8) as usize) % cfg.mem_channels;
-        if channels[ch].can_accept() {
-            channels[ch].push(req, stats);
-        } else {
-            dram_overflow.push_back((ch, req));
-        }
     }
 }

@@ -14,8 +14,11 @@
 //!   load/store unit (SAGUs, coalescer, shared-memory bank conflicts,
 //!   constant cache, optional L1);
 //! * [`noc`] — the core↔memory interconnect;
+//! * [`uncore`] — the event-driven memory subsystem (NoC links, shared
+//!   L2 bank, memory controllers, GDDR5 channels) advanced by a
+//!   skip-ahead engine that is bit-identical to per-cycle ticking;
 //! * [`gpu`] — the chip: global block scheduler (breadth-first over
-//!   clusters, the Fig. 4 behaviour), optional L2, memory controllers;
+//!   clusters, the Fig. 4 behaviour), stall-aware fast-forward;
 //! * [`dram`] — GDDR5 channel timing (FR-FCFS, activate/precharge/
 //!   refresh accounting);
 //! * [`mem`] — the device memory and host-side copy interface (PCIe
@@ -60,6 +63,7 @@ pub mod parallel;
 pub mod simt_stack;
 pub mod sink;
 pub mod stats;
+pub mod uncore;
 
 pub use config::{ConfigError, DramConfig, GpuConfig, L2Config, WarpSchedPolicy};
 pub use gpu::{Gpu, LaunchReport, SimError};

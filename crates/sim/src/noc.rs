@@ -4,6 +4,14 @@
 //! the interconnect between cores and memory partitions as two directed
 //! links (request and response), each with a fixed traversal latency and
 //! a flit-per-cycle bandwidth cap.
+//!
+//! Links participate in the event-driven uncore (`crate::uncore`): in
+//! addition to the per-cycle [`Link::tick`], they expose
+//! [`Link::next_event`] (the earliest future cycle at which ticking
+//! could change observable state) and [`Link::tick_to`] (advance across
+//! a span of cycles in one call, skipping cycles that are provably
+//! no-ops). Both are exact: driving a link event-to-event produces the
+//! same arrival cycles and ordering as ticking every cycle.
 
 use std::collections::VecDeque;
 
@@ -85,6 +93,13 @@ impl<T> Link<T> {
     /// Removes and returns every message that has arrived by `cycle`.
     pub fn pop_ready(&mut self, cycle: u64) -> Vec<T> {
         let mut out = Vec::new();
+        self.pop_ready_into(cycle, &mut out);
+        out
+    }
+
+    /// Appends every message that has arrived by `cycle` to `out`
+    /// (allocation-free variant of [`Link::pop_ready`]).
+    pub fn pop_ready_into(&mut self, cycle: u64, out: &mut Vec<T>) {
         while let Some((ready, _)) = self.in_flight.front() {
             if *ready <= cycle {
                 out.push(self.in_flight.pop_front().expect("front exists").1);
@@ -92,7 +107,45 @@ impl<T> Link<T> {
                 break;
             }
         }
-        out
+    }
+
+    /// The earliest cycle strictly after `cycle` at which this link has
+    /// observable work: transmitting queued flits (next cycle while the
+    /// waiting queue is non-empty) or delivering an in-flight message.
+    /// `None` when the link is completely empty.
+    ///
+    /// A [`Link::tick`] + [`Link::pop_ready`] at any cycle before the
+    /// returned one is provably a no-op, which is what lets the uncore
+    /// skip ahead without changing results.
+    pub fn next_event(&self, cycle: u64) -> Option<u64> {
+        if !self.waiting.is_empty() {
+            return Some(cycle + 1);
+        }
+        self.in_flight
+            .front()
+            .map(|(ready, _)| (*ready).max(cycle + 1))
+    }
+
+    /// Advances the link through every cycle in `from..=to` in one call,
+    /// stopping early once the waiting queue drains (all remaining
+    /// cycles are then transmission no-ops; in-flight messages are
+    /// untouched by ticking and simply wait for [`Link::pop_ready`]).
+    ///
+    /// Exactly equivalent to calling [`Link::tick`] for each cycle of
+    /// the span: completion (and therefore arrival) cycles are
+    /// bit-identical.
+    pub fn tick_to(&mut self, from: u64, to: u64) {
+        let mut cycle = from;
+        while cycle <= to && !self.waiting.is_empty() {
+            self.tick(cycle);
+            cycle += 1;
+        }
+    }
+
+    /// `true` when messages are queued awaiting bandwidth (a tick would
+    /// make transmission progress).
+    pub fn has_waiting(&self) -> bool {
+        !self.waiting.is_empty()
     }
 
     /// `true` when nothing is queued or in flight.
@@ -177,5 +230,77 @@ mod tests {
     fn zero_flit_message_panics() {
         let mut link: Link<u32> = Link::new(0, 1);
         link.push(1, 0);
+    }
+
+    #[test]
+    fn next_event_reports_transmission_then_arrival() {
+        let mut link: Link<u32> = Link::new(5, 2);
+        assert_eq!(link.next_event(0), None, "empty link has no events");
+        link.push(1, 4);
+        assert_eq!(
+            link.next_event(0),
+            Some(1),
+            "queued flits transmit next cycle"
+        );
+        link.tick(1); // 2 of 4 flits
+        assert_eq!(link.next_event(1), Some(2));
+        link.tick(2); // transmission done, arrives at 2 + 5
+        assert_eq!(
+            link.next_event(2),
+            Some(7),
+            "in-flight arrival is the next event"
+        );
+        assert_eq!(link.pop_ready(6), Vec::<u32>::new());
+        assert_eq!(link.pop_ready(7), vec![1]);
+        assert_eq!(link.next_event(7), None);
+    }
+
+    #[test]
+    fn tick_to_matches_per_cycle_ticking() {
+        // Drive two identical links over the same span: one per cycle,
+        // one with a single tick_to jump. Arrivals must be identical.
+        let mut per_cycle: Link<u32> = Link::new(3, 2);
+        let mut jumped: Link<u32> = Link::new(3, 2);
+        for (i, flits) in [(0u32, 1usize), (1, 4), (2, 2), (3, 5)] {
+            per_cycle.push(i, flits);
+            jumped.push(i, flits);
+        }
+        let mut a = Vec::new();
+        for c in 0..40 {
+            per_cycle.tick(c);
+            a.extend(per_cycle.pop_ready(c).into_iter().map(|m| (c, m)));
+        }
+        jumped.tick_to(0, 39);
+        let mut b = Vec::new();
+        for c in 0..40 {
+            b.extend(jumped.pop_ready(c).into_iter().map(|m| (c, m)));
+        }
+        assert_eq!(a, b);
+        assert!(per_cycle.is_empty() && jumped.is_empty());
+    }
+
+    #[test]
+    fn skipping_to_next_event_is_invisible() {
+        // Ticks strictly before next_event must be no-ops: a link ticked
+        // only at event cycles delivers at the same cycles.
+        let mut dense: Link<u32> = Link::new(10, 4);
+        let mut sparse: Link<u32> = Link::new(10, 4);
+        dense.push(7, 3);
+        sparse.push(7, 3);
+        let mut dense_arrivals = Vec::new();
+        for c in 0..30 {
+            dense.tick(c);
+            dense_arrivals.extend(dense.pop_ready(c).into_iter().map(|m| (c, m)));
+        }
+        let mut sparse_arrivals = Vec::new();
+        let mut c = 0;
+        sparse.tick(c);
+        sparse_arrivals.extend(sparse.pop_ready(c).into_iter().map(|m| (c, m)));
+        while let Some(e) = sparse.next_event(c) {
+            sparse.tick(e);
+            sparse_arrivals.extend(sparse.pop_ready(e).into_iter().map(|m| (e, m)));
+            c = e;
+        }
+        assert_eq!(dense_arrivals, sparse_arrivals);
     }
 }

@@ -106,7 +106,15 @@ impl CorePool {
     /// [`Core::tick`] against the read-only memory snapshot, partitioned
     /// into contiguous chunks. The calling thread steps the first chunk
     /// itself. Returns `true` when any core did observable work (the
-    /// idle fast-forward probe).
+    /// stall-aware fast-forward probe).
+    ///
+    /// A chunk whose cores are all idle is never shipped to a worker:
+    /// ticking an idle core is a proven no-op, so the chunk is elided and
+    /// each core's stale `progressed` flag is cleared with
+    /// [`Core::mark_idle_tick`] instead. The elision keeps the return
+    /// value identical to a full tick of every core — and therefore
+    /// identical across thread counts, which the determinism suite
+    /// checks.
     ///
     /// Worker panics are re-raised on the calling thread after all
     /// outstanding chunks have been acknowledged.
@@ -122,7 +130,13 @@ impl CorePool {
         let per = cores.len().div_ceil(chunks).max(1);
         let (first, rest) = cores.split_at_mut(per.min(cores.len()));
         let mut sent = 0;
-        for (worker, chunk) in self.workers.iter().zip(rest.chunks_mut(per)) {
+        for chunk in rest.chunks_mut(per) {
+            if chunk.iter().all(|c| !c.is_busy()) {
+                for core in chunk.iter_mut() {
+                    core.mark_idle_tick();
+                }
+                continue;
+            }
             let job: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
                 for core in chunk {
                     core.tick(cycle, cfg, ctx, mem);
@@ -135,7 +149,7 @@ impl CorePool {
             // before returning — the borrows strictly outlive the job.
             let job: Job =
                 unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + '_>, Job>(job) };
-            worker
+            self.workers[sent]
                 .tx
                 .as_ref()
                 .expect("pool not dropped")
