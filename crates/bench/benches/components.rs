@@ -7,7 +7,7 @@ use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use gpusimpow_circuit::{SramArray, SramSpec};
 use gpusimpow_sim::dram::{DramChannel, DramRequest};
 use gpusimpow_sim::ldst::{coalesce, smem_conflicts};
-use gpusimpow_sim::{ActivityStats, DramConfig};
+use gpusimpow_sim::{ActivityVector, DramConfig, EventKind};
 use gpusimpow_tech::node::TechNode;
 
 fn bench_coalescer(c: &mut Criterion) {
@@ -43,7 +43,7 @@ fn bench_dram_scheduler(c: &mut Criterion) {
     c.bench_function("dram/channel-100-requests", |b| {
         b.iter(|| {
             let mut ch: DramChannel<u32> = DramChannel::new(DramConfig::gddr5(), 16);
-            let mut stats = ActivityStats::new();
+            let mut stats = ActivityVector::new();
             let mut fed = 0u32;
             let mut done = 0;
             let mut cycle = 0u64;
@@ -67,7 +67,7 @@ fn bench_dram_scheduler(c: &mut Criterion) {
                 done += ch.pop_completed(cycle).len();
                 cycle += 1;
             }
-            black_box(stats.dram_activates)
+            black_box(stats[EventKind::DramActivates])
         })
     });
 }

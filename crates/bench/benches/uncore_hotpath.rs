@@ -7,9 +7,8 @@
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
 use gpusimpow_sim::core::MemRequest;
-use gpusimpow_sim::stats::ActivityStats;
 use gpusimpow_sim::uncore::Uncore;
-use gpusimpow_sim::GpuConfig;
+use gpusimpow_sim::{ActivityVector, EventKind, GpuConfig};
 
 const IDLE_SPAN: u64 = 65_536;
 
@@ -28,7 +27,7 @@ fn read_req(core: usize, addr: u32) -> MemRequest {
 fn bench_idle_dense(c: &mut Criterion) {
     let cfg = GpuConfig::gt240();
     let mut uncore = Uncore::new(&cfg);
-    let mut stats = ActivityStats::new();
+    let mut stats = ActivityVector::new();
     let mut resps = Vec::new();
     c.bench_function("uncore/idle-dense-65536", |b| {
         b.iter(|| {
@@ -36,7 +35,7 @@ fn bench_idle_dense(c: &mut Criterion) {
                 uncore.advance(1, &mut resps, &mut stats);
                 resps.clear();
             }
-            black_box(stats.dram_refreshes)
+            black_box(stats[EventKind::DramRefreshes])
         })
     });
 }
@@ -47,7 +46,7 @@ fn bench_idle_dense(c: &mut Criterion) {
 fn bench_idle_skip(c: &mut Criterion) {
     let cfg = GpuConfig::gt240();
     let mut uncore = Uncore::new(&cfg);
-    let mut stats = ActivityStats::new();
+    let mut stats = ActivityVector::new();
     let mut resps = Vec::new();
     c.bench_function("uncore/idle-skip-65536", |b| {
         b.iter(|| {
@@ -56,7 +55,7 @@ fn bench_idle_skip(c: &mut Criterion) {
                 left -= uncore.advance(left, &mut resps, &mut stats);
                 resps.clear();
             }
-            black_box(stats.dram_refreshes)
+            black_box(stats[EventKind::DramRefreshes])
         })
     });
 }
@@ -70,7 +69,7 @@ fn bench_drain_burst(c: &mut Criterion) {
     c.bench_function("uncore/drain-read-burst-32", |b| {
         b.iter(|| {
             let mut uncore = Uncore::new(&cfg);
-            let mut stats = ActivityStats::new();
+            let mut stats = ActivityVector::new();
             let mut resps = Vec::new();
             for i in 0..32u32 {
                 uncore.push_request(read_req(i as usize % 12, i * 0x100), &mut stats);
@@ -82,7 +81,7 @@ fn bench_drain_burst(c: &mut Criterion) {
                 resps.clear();
             }
             assert_eq!(delivered, 32);
-            black_box(stats.dram_read_bursts)
+            black_box(stats[EventKind::DramReadBursts])
         })
     });
 }

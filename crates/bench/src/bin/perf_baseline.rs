@@ -17,7 +17,7 @@
 //!
 //! `--check` reads the committed `BENCH_sim_throughput.json` *before*
 //! writing the new numbers and exits non-zero when the suite wall time
-//! regressed by more than 20 % — the CI performance gate.
+//! regressed by more than 10 % — the CI performance gate.
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -32,7 +32,7 @@ use gpusimpow_sim::{Gpu, GpuConfig, SimPool};
 const BASELINE_PATH: &str = "BENCH_sim_throughput.json";
 
 /// Wall-time regression the gate tolerates (noise headroom).
-const CHECK_TOLERANCE: f64 = 1.20;
+const CHECK_TOLERANCE: f64 = 1.10;
 
 /// One per-kernel throughput sample.
 struct KernelSample {
@@ -186,7 +186,7 @@ fn main() {
         let limit = base * CHECK_TOLERANCE;
         eprintln!("check: suite {sequential_s:.3}s vs baseline {base:.3}s (limit {limit:.3}s)");
         if sequential_s > limit {
-            eprintln!("check: FAIL — suite wall time regressed more than 20%");
+            eprintln!("check: FAIL — suite wall time regressed more than 10%");
             std::process::exit(1);
         }
         eprintln!("check: OK");

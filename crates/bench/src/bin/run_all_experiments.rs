@@ -3,18 +3,21 @@
 //!
 //! ```text
 //! cargo run --release -p gpusimpow-bench --bin run_all_experiments \
-//!     [-- --small] [--threads N] [out.md]
+//!     [-- --small] [--per-cluster] [--threads N] [out.md]
 //! ```
 //!
 //! `--threads` bounds the simulation fan-out (default: the machine's
 //! available parallelism). Thread count only affects wall-clock time;
 //! the written report is byte-identical for any setting.
+//! `--per-cluster` appends the scoped per-cluster power-attribution
+//! section (the committed `EXPERIMENTS.md` is generated without it).
 
 use gpusimpow_bench::{cli, report};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let small = args.iter().any(|a| a == "--small");
+    let per_cluster = args.iter().any(|a| a == "--per-cluster");
     let pool = cli::pool_from_args(&args);
     let mut out_path = "EXPERIMENTS.md".to_string();
     let mut i = 1;
@@ -29,7 +32,7 @@ fn main() {
         }
     }
 
-    let md = report::generate(small, &pool);
+    let md = report::generate_with_scope(small, per_cluster, &pool);
     std::fs::write(&out_path, md).expect("write EXPERIMENTS.md");
     eprintln!("wrote {out_path}");
 }

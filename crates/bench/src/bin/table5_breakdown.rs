@@ -24,7 +24,7 @@ fn main() {
     let stats = &reports[0].stats;
     let time_s = reports[0].time_s;
     println!("\nWCU-internal breakdown (per core, dynamic):");
-    for (name, e) in wcu.memory_breakdown(stats) {
+    for (name, e) in wcu.memory_breakdown(&stats.to_vector()) {
         println!(
             "  {:<22} {:>8.3} mW",
             name,

@@ -174,6 +174,21 @@ pub fn table5_breakdown() -> gpusimpow_power::PowerReport {
     reports[0].power.clone()
 }
 
+/// Per-cluster attribution of the Table V workload: the blackscholes
+/// kernel on the GT240, with the core-component energy maps applied to
+/// each cluster's scoped registry vector (the `--per-cluster` report).
+///
+/// # Panics
+///
+/// Panics if blackscholes fails verification.
+pub fn table5_scoped() -> gpusimpow_power::ScopedPowerReport {
+    let mut sim = Simulator::gt240().expect("preset builds");
+    let reports = sim
+        .run_benchmark(&gpusimpow_kernels::blackscholes::BlackScholes::default())
+        .expect("blackscholes verifies");
+    sim.evaluate_scoped(&reports[0].launch)
+}
+
 /// §III-D: measured per-operation energies.
 #[derive(Debug, Clone, Copy)]
 pub struct MicrobenchEnergies {

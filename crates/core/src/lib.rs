@@ -51,7 +51,7 @@ pub mod validate;
 
 use gpusimpow_isa::{Kernel, LaunchConfig};
 use gpusimpow_kernels::Benchmark;
-use gpusimpow_power::{GpuChip, PowerReport};
+use gpusimpow_power::{GpuChip, PowerReport, ScopedPowerReport};
 use gpusimpow_sim::{Gpu, GpuConfig, LaunchReport};
 
 pub use config_file::{parse_config, write_config};
@@ -143,6 +143,15 @@ impl Simulator {
             launch: report,
             power,
         })
+    }
+
+    /// Per-cluster power attribution for a finished launch: the same
+    /// component energy maps applied to each cluster's scoped registry
+    /// vector ([`gpusimpow_sim::ScopedActivity`]) instead of the chip
+    /// aggregate.
+    pub fn evaluate_scoped(&self, launch: &LaunchReport) -> ScopedPowerReport {
+        self.chip
+            .evaluate_scoped(&launch.kernel, &launch.stats, &launch.scoped)
     }
 
     /// Runs a complete self-verifying benchmark, returning one report

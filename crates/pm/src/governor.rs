@@ -19,6 +19,11 @@ pub struct WindowContext<'a> {
     pub window: &'a ActivityWindow,
     /// Core-busy fraction of the window in `[0, 1]`.
     pub utilization: f64,
+    /// Per-cluster busy fraction of the window in `[0, 1]`, from the
+    /// registry's scoped accounting (the fraction of the window each
+    /// cluster had at least one busy core). Empty for windows recorded
+    /// without scoped data (hand-built test windows).
+    pub cluster_utilization: &'a [f64],
     /// Operating point used for the previous window (the nominal index
     /// for the first window of a launch).
     pub prev_op: usize,
@@ -93,6 +98,60 @@ impl Governor for Ondemand {
     }
 }
 
+/// Ondemand driven by the *busiest cluster* instead of the chip
+/// average.
+///
+/// Chip-average utilization under-serves asymmetric workloads: a kernel
+/// whose CTAs are concentrated on one cluster (small grids, the tail of
+/// a launch, Fig. 4's staircase) reads as nearly idle chip-wide, so
+/// plain [`Ondemand`] clocks down and stretches the critical cluster.
+/// This governor consults the per-cluster busy fractions the scoped
+/// registry records and keeps the chip fast while *any* cluster is
+/// loaded, stepping down only when the busiest cluster goes quiet.
+#[derive(Debug, Clone, Copy)]
+pub struct ClusterOndemand {
+    /// Busiest-cluster utilization above which the governor jumps to
+    /// nominal.
+    pub up_threshold: f64,
+    /// Busiest-cluster utilization below which the governor steps one
+    /// point down.
+    pub down_threshold: f64,
+}
+
+impl Default for ClusterOndemand {
+    fn default() -> Self {
+        let base = Ondemand::default();
+        ClusterOndemand {
+            up_threshold: base.up_threshold,
+            down_threshold: base.down_threshold,
+        }
+    }
+}
+
+impl Governor for ClusterOndemand {
+    fn name(&self) -> &str {
+        "cluster-ondemand"
+    }
+
+    fn select(&mut self, ctx: &WindowContext<'_>) -> usize {
+        // Busiest cluster; fall back to the chip average when the
+        // window carries no scoped data.
+        let load = ctx
+            .cluster_utilization
+            .iter()
+            .copied()
+            .fold(f64::NAN, f64::max);
+        let load = if load.is_nan() { ctx.utilization } else { load };
+        if load >= self.up_threshold {
+            ctx.dvfs.nominal_index()
+        } else if load < self.down_threshold {
+            ctx.prev_op.saturating_sub(1)
+        } else {
+            ctx.prev_op
+        }
+    }
+}
+
 /// Power-cap governor: runs each window at the fastest operating point
 /// whose estimated window power stays at or below the cap, falling back
 /// to the slowest point when even that exceeds it. As long as the
@@ -145,6 +204,7 @@ mod tests {
             start_cycle: 0,
             end_cycle: 1024,
             stats: ActivityStats::new(),
+            cluster_busy: Vec::new(),
         }
     }
 
@@ -158,9 +218,24 @@ mod tests {
         WindowContext {
             window,
             utilization,
+            cluster_utilization: &[],
             prev_op,
             dvfs,
             power_at,
+        }
+    }
+
+    fn scoped_ctx<'a>(
+        window: &'a ActivityWindow,
+        dvfs: &'a DvfsTable,
+        power_at: &'a [Power],
+        utilization: f64,
+        cluster_utilization: &'a [f64],
+        prev_op: usize,
+    ) -> WindowContext<'a> {
+        WindowContext {
+            cluster_utilization,
+            ..ctx(window, dvfs, power_at, utilization, prev_op)
         }
     }
 
@@ -187,6 +262,39 @@ mod tests {
         assert_eq!(g.select(&ctx(&w, &d, &p, 0.1, 0)), 0);
         // Middling utilization: hold.
         assert_eq!(g.select(&ctx(&w, &d, &p, 0.45, 2)), 2);
+    }
+
+    #[test]
+    fn cluster_ondemand_follows_the_busiest_cluster() {
+        let d = dvfs();
+        let w = window();
+        let p = vec![Power::new(10.0); d.len()];
+        let mut chip_avg = Ondemand::default();
+        let mut scoped = ClusterOndemand::default();
+        // Asymmetric workload: one cluster saturated, three idle. The
+        // chip average (3 busy cores of 12 → 0.25) is below the down
+        // threshold, so plain ondemand steps down — but the loaded
+        // cluster is at 100% and cluster-ondemand must hold nominal.
+        let clusters = [1.0, 0.0, 0.0, 0.0];
+        let avg = 0.25;
+        assert_eq!(
+            chip_avg.select(&scoped_ctx(&w, &d, &p, avg, &clusters, 3)),
+            2,
+            "chip-average baseline steps down on the asymmetric window"
+        );
+        assert_eq!(
+            scoped.select(&scoped_ctx(&w, &d, &p, avg, &clusters, 3)),
+            d.nominal_index(),
+            "busiest-cluster policy keeps the loaded cluster fast"
+        );
+        // All clusters quiet: both step down.
+        let idle = [0.1, 0.05, 0.0, 0.0];
+        assert_eq!(scoped.select(&scoped_ctx(&w, &d, &p, 0.05, &idle, 3)), 2);
+        // Without scoped data it degrades to the chip average.
+        assert_eq!(
+            scoped.select(&scoped_ctx(&w, &d, &p, 0.9, &[], 0)),
+            d.nominal_index()
+        );
     }
 
     #[test]

@@ -43,6 +43,6 @@ pub mod governor;
 pub mod trace;
 pub mod tracer;
 
-pub use governor::{Baseline, Governor, Ondemand, PowerCap, WindowContext};
+pub use governor::{Baseline, ClusterOndemand, Governor, Ondemand, PowerCap, WindowContext};
 pub use trace::{ComponentPowers, PowerSample, PowerTrace};
 pub use tracer::{ClusterGating, PowerTracer, StreamingTracer};

@@ -25,6 +25,14 @@ pub struct ClusterGating {
     /// Fraction of leakage an idle (gated) cluster still draws, in
     /// `[0, 1]`.
     pub retention: f64,
+    /// When true, gating decisions are made per cluster from the
+    /// window's scoped busy vector ([`ActivityWindow::cluster_busy`]):
+    /// a cluster is gated only if it was idle for the *entire* window
+    /// (entering and leaving a sleep state has latency, so a cluster
+    /// that was busy at any point keeps its rails up). This is the
+    /// realistic, non-linear policy — unlike the chip-average factor it
+    /// cannot be reproduced from `cluster_busy_cycles` alone.
+    pub per_cluster: bool,
 }
 
 impl ClusterGating {
@@ -33,10 +41,12 @@ impl ClusterGating {
         ClusterGating {
             enabled: false,
             retention: 1.0,
+            per_cluster: false,
         }
     }
 
-    /// Gating enabled with the given retention floor.
+    /// Gating enabled with the given retention floor, priced from the
+    /// chip-average busy-cluster fraction.
     ///
     /// # Panics
     ///
@@ -49,6 +59,21 @@ impl ClusterGating {
         ClusterGating {
             enabled: true,
             retention,
+            per_cluster: false,
+        }
+    }
+
+    /// Gating enabled with the given retention floor, decided per
+    /// cluster from the scoped activity registry (whole-window-idle
+    /// clusters only).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `retention` is outside `[0, 1]`.
+    pub fn per_cluster(retention: f64) -> Self {
+        ClusterGating {
+            per_cluster: true,
+            ..Self::with_retention(retention)
         }
     }
 
@@ -61,6 +86,18 @@ impl ClusterGating {
             let busy = busy_fraction.clamp(0.0, 1.0);
             busy + (1.0 - busy) * self.retention
         }
+    }
+
+    /// Factor applied to cores static power under the per-cluster
+    /// policy: clusters with any busy cycle in the window pay full
+    /// leakage, whole-window-idle clusters drop to the retention floor.
+    pub fn scoped_static_factor(&self, cluster_busy: &[u64]) -> f64 {
+        if !self.enabled || cluster_busy.is_empty() {
+            return if self.enabled { self.retention } else { 1.0 };
+        }
+        let clusters = cluster_busy.len() as f64;
+        let awake = cluster_busy.iter().filter(|&&busy| busy > 0).count() as f64;
+        (awake + (clusters - awake) * self.retention) / clusters
     }
 }
 
@@ -181,7 +218,15 @@ impl PowerTracer {
             w.stats.core_busy_cycles as f64 / (cycles as f64 * cfg.total_cores() as f64);
         let busy_cluster_fraction =
             w.stats.cluster_busy_cycles as f64 / (cycles as f64 * cfg.clusters as f64);
-        let gate = self.gating.static_factor(busy_cluster_fraction);
+        // Scoped per-cluster load from the registry's scope dimension;
+        // empty when the window predates scoped recording (hand-built
+        // test windows).
+        let cluster_utilization = w.cluster_busy_fractions();
+        let gate = if self.gating.per_cluster && !w.cluster_busy.is_empty() {
+            self.gating.scoped_static_factor(&w.cluster_busy)
+        } else {
+            self.gating.static_factor(busy_cluster_fraction)
+        };
 
         // Static power with gating applied to the cores block only (the
         // uncore keeps serving the rest of the chip).
@@ -205,6 +250,7 @@ impl PowerTracer {
             .select(&WindowContext {
                 window: w,
                 utilization,
+                cluster_utilization: &cluster_utilization,
                 prev_op,
                 dvfs: &self.dvfs,
                 power_at: &power_at,
@@ -231,7 +277,11 @@ impl PowerTracer {
                 l2: report.chip.l2.dynamic_power * dyn_factor,
             },
             static_power: (cores_static + uncore_static) * leak_factor,
-            dram_power: self.chip.dram().evaluate(&w.stats, duration).total(),
+            dram_power: self
+                .chip
+                .dram()
+                .evaluate(&w.stats.to_vector(), duration)
+                .total(),
         }
     }
 }
@@ -316,7 +366,16 @@ mod tests {
             start_cycle: 0,
             end_cycle: cycles,
             stats,
+            cluster_busy: Vec::new(),
         }
+    }
+
+    /// A window with an explicit per-cluster busy split (cycles each
+    /// cluster had at least one busy core).
+    fn scoped_window(cycles: u64, busy_cores: u64, cluster_busy: Vec<u64>) -> ActivityWindow {
+        let mut w = window(cycles, busy_cores, cluster_busy.iter().sum());
+        w.cluster_busy = cluster_busy;
+        w
     }
 
     fn tracer() -> PowerTracer {
@@ -374,6 +433,47 @@ mod tests {
         let b = ungated.eval_window("k", &w, 4, &mut g2, Time::ZERO);
         assert!(a.static_power < b.static_power);
         assert_eq!(a.dynamic_power(), b.dynamic_power());
+    }
+
+    #[test]
+    fn scoped_gating_differs_from_chip_average_on_partial_busy() {
+        // Every cluster busy for half the window: the chip-average
+        // policy sees busy fraction 0.5 and gates half the leakage
+        // away, but no cluster was idle long enough to actually enter a
+        // sleep state — the scoped policy keeps all rails up.
+        let retention = 0.1;
+        let chip = GpuChip::new(&GpuConfig::gt240()).unwrap();
+        let averaged =
+            PowerTracer::new(chip.clone()).with_gating(ClusterGating::with_retention(retention));
+        let scoped = PowerTracer::new(chip).with_gating(ClusterGating::per_cluster(retention));
+        let w = scoped_window(2048, 2048 * 6, vec![1024, 1024, 1024, 1024]);
+        let mut g1 = crate::governor::Baseline;
+        let mut g2 = crate::governor::Baseline;
+        let avg_sample = averaged.eval_window("k", &w, 4, &mut g1, Time::ZERO);
+        let scoped_sample = scoped.eval_window("k", &w, 4, &mut g2, Time::ZERO);
+        assert!(
+            scoped_sample.static_power > avg_sample.static_power,
+            "no whole-window-idle cluster, so scoped gating must not gate"
+        );
+
+        // Same chip-wide busy-cluster cycles, but concentrated: three
+        // clusters idle the whole window and do get gated.
+        let w2 = scoped_window(2048, 2048 * 6, vec![2048, 2048, 0, 0]);
+        let mut g3 = crate::governor::Baseline;
+        let gated = scoped.eval_window("k", &w2, 4, &mut g3, Time::ZERO);
+        assert!(gated.static_power < scoped_sample.static_power);
+    }
+
+    #[test]
+    fn scoped_factor_gates_only_whole_window_idle_clusters() {
+        let g = ClusterGating::per_cluster(0.2);
+        // Two of four clusters idle: (2 + 2*0.2)/4 = 0.6.
+        assert!((g.scoped_static_factor(&[100, 1, 0, 0]) - 0.6).abs() < 1e-12);
+        // Everyone at least briefly busy: nothing gated.
+        assert!((g.scoped_static_factor(&[1, 1, 1, 1]) - 1.0).abs() < 1e-12);
+        // Chip-average policy on the same window gates by fraction.
+        let avg = ClusterGating::with_retention(0.2);
+        assert!(avg.static_factor(0.5) < g.scoped_static_factor(&[100, 1, 1, 1]));
     }
 
     #[test]

@@ -4,7 +4,7 @@
 
 use std::fmt;
 
-use gpusimpow_sim::{ActivityStats, GpuConfig};
+use gpusimpow_sim::{ActivityStats, GpuConfig, ScopedActivity};
 use gpusimpow_tech::clockdomain::ClockDomains;
 use gpusimpow_tech::node::{TechError, TechNode};
 use gpusimpow_tech::units::{Area, Energy, Freq, Power, Time};
@@ -16,7 +16,10 @@ use crate::components::uncore::{L2Power, McPower, NocPower, PciePower};
 use crate::components::wcu::WcuPower;
 use crate::dram::DramPower;
 use crate::empirical;
-use crate::report::{ChipBreakdown, CoreBreakdown, PowerReport, PowerSplit};
+use crate::registry::EnergyMap;
+use crate::report::{
+    ChipBreakdown, ClusterPowerRow, CoreBreakdown, PowerReport, PowerSplit, ScopedPowerReport,
+};
 
 /// Errors building a chip representation.
 #[derive(Debug, Clone, PartialEq)]
@@ -210,20 +213,21 @@ impl GpuChip {
         assert!(stats.shader_cycles > 0, "kernel must have run");
         let time = self.clocks.shader_cycles_to_time(stats.shader_cycles);
         let n_cores = self.config.total_cores() as f64;
+        let activity = stats.to_vector();
 
-        // --- dynamic energies (chip-wide) --------------------------------
-        let wcu_e = self.wcu.dynamic_energy(stats);
-        let rf_e = self.regfile.dynamic_energy(stats);
-        let exec_e = self.exec.dynamic_energy(stats);
-        let ldst_e = self.ldst.dynamic_energy(stats);
-        let noc_e = self.noc.dynamic_energy(stats);
+        // --- dynamic energies (chip-wide, from the event registry) -------
+        let wcu_e = self.wcu.dynamic_energy(&activity);
+        let rf_e = self.regfile.dynamic_energy(&activity);
+        let exec_e = self.exec.dynamic_energy(&activity);
+        let ldst_e = self.ldst.dynamic_energy(&activity);
+        let noc_e = self.noc.dynamic_energy(&activity);
         let l2_e = self
             .l2
             .as_ref()
-            .map(|l2| l2.dynamic_energy(stats))
+            .map(|l2| l2.dynamic_energy(&activity))
             .unwrap_or(Energy::ZERO);
-        let mc_e = self.mc.dynamic_energy(stats);
-        let pcie_e = self.pcie.dynamic_energy(stats, time);
+        let mc_e = self.mc.dynamic_energy(&activity);
+        let pcie_e = self.pcie.dynamic_energy(&activity, time);
 
         // --- empirical base power -----------------------------------------
         //
@@ -270,7 +274,7 @@ impl GpuChip {
                 l2_e / time,
             ),
         };
-        let dram = self.dram.evaluate(stats, time);
+        let dram = self.dram.evaluate(&activity, time);
         PowerReport {
             kernel: kernel.to_string(),
             gpu: self.config.name.clone(),
@@ -306,8 +310,87 @@ impl GpuChip {
         report.core.regfile = rescale(report.core.regfile);
         report.core.exec = rescale(report.core.exec);
         report.core.ldstu = rescale(report.core.ldstu);
-        report.dram = self.dram.evaluate(stats, time);
+        report.dram = self.dram.evaluate(&stats.to_vector(), time);
         report
+    }
+
+    /// The event-priced energy maps of the four per-core components, in
+    /// Table V row order (WCU, register file, execution units, LDST).
+    /// These are the maps both [`GpuChip::evaluate`] and
+    /// [`GpuChip::evaluate_scoped`] iterate for the core rows.
+    pub fn core_energy_maps(&self) -> [&EnergyMap; 4] {
+        [
+            self.wcu.energy_map(),
+            self.regfile.energy_map(),
+            self.exec.energy_map(),
+            self.ldst.energy_map(),
+        ]
+    }
+
+    /// The event-priced energy maps of the uncore components (NoC, MC,
+    /// PCIe transfers, and L2 when present).
+    pub fn uncore_energy_maps(&self) -> Vec<&EnergyMap> {
+        let mut maps = vec![
+            self.noc.energy_map(),
+            self.mc.energy_map(),
+            self.pcie.energy_map(),
+        ];
+        if let Some(l2) = &self.l2 {
+            maps.push(l2.energy_map());
+        }
+        maps
+    }
+
+    /// Evaluates runtime power *with per-cluster attribution*: the same
+    /// core-component energy maps applied to each cluster's scoped
+    /// [`ActivityVector`](gpusimpow_sim::ActivityVector) instead of the
+    /// chip aggregate, plus each cluster's share of the empirical base
+    /// power from its scoped busy cycles. Shared chip-level blocks (the
+    /// global scheduler, NoC, MC, PCIe, L2) stay un-attributed in their
+    /// own rows; cluster rows plus shared rows reproduce the chip totals
+    /// of the embedded [`PowerReport`] up to floating-point rounding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stats.shader_cycles` is zero.
+    pub fn evaluate_scoped(
+        &self,
+        kernel: &str,
+        stats: &ActivityStats,
+        scoped: &ScopedActivity,
+    ) -> ScopedPowerReport {
+        let report = self.evaluate(kernel, stats);
+        let time = self.clocks.shader_cycles_to_time(stats.shader_cycles);
+        let cycles = stats.shader_cycles as f64;
+        let static_per_cluster = self.core_static_power() * scoped.cores_per_cluster as f64;
+        let mut clusters = Vec::with_capacity(scoped.clusters);
+        for c in 0..scoped.clusters {
+            let vc = scoped.cluster_vector(c);
+            let avg_busy_cores = scoped.cluster_core_busy(c) as f64 / cycles;
+            let busy_fraction = scoped.cluster_busy.get(c).copied().unwrap_or(0) as f64 / cycles;
+            let dynamic = empirical::CORE_BASE * avg_busy_cores
+                + empirical::MODEL_CLUSTER_OVERHEAD * busy_fraction
+                + (self.wcu.dynamic_energy(&vc)
+                    + self.regfile.dynamic_energy(&vc)
+                    + self.exec.dynamic_energy(&vc)
+                    + self.ldst.dynamic_energy(&vc))
+                    / time;
+            clusters.push(ClusterPowerRow {
+                cluster: c,
+                power: PowerSplit::new(static_per_cluster, dynamic),
+                busy_fraction,
+                avg_busy_cores,
+            });
+        }
+        let any_busy = (stats.cluster_busy_cycles as f64 / cycles).min(1.0);
+        let scheduler = PowerSplit::new(Power::ZERO, empirical::GLOBAL_SCHEDULER * any_busy);
+        let uncore = report.chip.noc + report.chip.mc + report.chip.pcie + report.chip.l2;
+        ScopedPowerReport {
+            report,
+            clusters,
+            scheduler,
+            uncore,
+        }
     }
 }
 
@@ -352,6 +435,148 @@ mod tests {
         let mut cfg = GpuConfig::gt240();
         cfg.process_nm = 37;
         assert!(matches!(GpuChip::new(&cfg), Err(ChipError::Tech(_))));
+    }
+
+    #[test]
+    fn every_event_is_priced_consumed_or_explicitly_unpriced() {
+        use gpusimpow_sim::EventKind as Ev;
+        use std::collections::BTreeSet;
+
+        // GTX580 so the L2 map is present (the GT240 has no L2).
+        let chip = GpuChip::new(&GpuConfig::gtx580()).unwrap();
+        let mut priced: BTreeSet<Ev> = BTreeSet::new();
+        for map in chip.core_energy_maps() {
+            priced.extend(map.events());
+        }
+        for map in chip.uncore_energy_maps() {
+            priced.extend(map.events());
+        }
+        priced.extend(DramPower::EVENTS.iter().copied());
+
+        // Consumed by the empirical base/time model in `evaluate`, not by
+        // an energy map.
+        let base: BTreeSet<Ev> = [Ev::ShaderCycles, Ev::CoreBusyCycles, Ev::ClusterBusyCycles]
+            .into_iter()
+            .collect();
+
+        // Diagnostics counters that deliberately carry no energy price
+        // (hit rates, instruction mixes, conflict/stall accounting). A
+        // new event must land in a map, the base set, or here — the test
+        // fails otherwise, so nothing falls out of the power model
+        // silently.
+        let unpriced: BTreeSet<Ev> = [
+            Ev::UncoreCycles,
+            Ev::IcacheMisses,
+            Ev::Branches,
+            Ev::DivergentBranches,
+            Ev::BarrierWaits,
+            Ev::RfBankConflicts,
+            Ev::IntInstructions,
+            Ev::FpInstructions,
+            Ev::SfuInstructions,
+            Ev::WarpInstructions,
+            Ev::ThreadInstructions,
+            Ev::MemInstructions,
+            Ev::SmemBankConflictCycles,
+            Ev::L1Misses,
+            Ev::L2Misses,
+            Ev::NocTransfers,
+            Ev::DramPrecharges,
+            Ev::KernelLaunches,
+            Ev::CtasDispatched,
+        ]
+        .into_iter()
+        .collect();
+
+        for &ev in Ev::ALL {
+            let covered = priced.contains(&ev) || base.contains(&ev) || unpriced.contains(&ev);
+            assert!(
+                covered,
+                "event {} is not mapped to the power model",
+                ev.name()
+            );
+        }
+        for ev in priced.iter() {
+            assert!(
+                !unpriced.contains(ev) && !base.contains(ev),
+                "event {} is priced but also on a non-priced list",
+                ev.name()
+            );
+        }
+    }
+
+    #[test]
+    fn scoped_evaluation_conserves_the_chip_totals() {
+        use gpusimpow_sim::{ActivityVector, EventKind as Ev, ScopedActivity};
+
+        let cfg = GpuConfig::gt240();
+        let chip = GpuChip::new(&cfg).unwrap();
+        let clusters = cfg.clusters;
+        let cores_per_cluster = cfg.cores_per_cluster;
+        let n_cores = clusters * cores_per_cluster;
+
+        // Asymmetric synthetic launch: core i does (i+1)x the work.
+        let cycles = 1_000_000u64;
+        let mut per_core = vec![ActivityVector::new(); n_cores];
+        let mut core_busy = vec![0u64; n_cores];
+        for (i, v) in per_core.iter_mut().enumerate() {
+            let w = (i as u64 + 1) * 1000;
+            v[Ev::IcacheAccesses] = 10 * w;
+            v[Ev::Decodes] = 10 * w;
+            v[Ev::RfBankReads] = 30 * w;
+            v[Ev::RfBankWrites] = 15 * w;
+            v[Ev::IntLaneOps] = 80 * w;
+            v[Ev::FpLaneOps] = 240 * w;
+            v[Ev::AguOps] = 4 * w;
+            v[Ev::SmemAccesses] = 2 * w;
+            core_busy[i] = (cycles / n_cores as u64) * (i as u64 + 1);
+        }
+        let cluster_busy: Vec<u64> = (0..clusters)
+            .map(|c| cycles * (c as u64 + 1) / clusters as u64)
+            .collect();
+        let mut chip_vec = ActivityVector::new();
+        chip_vec[Ev::ShaderCycles] = cycles;
+        chip_vec[Ev::CoreBusyCycles] = core_busy.iter().sum();
+        chip_vec[Ev::ClusterBusyCycles] = cluster_busy.iter().sum();
+        chip_vec[Ev::NocFlits] = 500_000;
+        chip_vec[Ev::McQueueOps] = 100_000;
+        chip_vec[Ev::DramReadBursts] = 50_000;
+
+        let scoped = ScopedActivity {
+            clusters,
+            cores_per_cluster,
+            per_core,
+            core_busy,
+            cluster_busy,
+            chip: chip_vec,
+        };
+        let stats = ActivityStats::from_vector(&scoped.total_vector());
+        let report = chip.evaluate_scoped("synthetic", &stats, &scoped);
+
+        // Cluster rows + scheduler reproduce the cores row; adding the
+        // shared uncore reproduces the chip overall.
+        let cores = report.cores_total();
+        let chip_cores = report.report.chip.cores;
+        assert!(
+            (cores.static_power.watts() - chip_cores.static_power.watts()).abs()
+                < 1e-9 * chip_cores.static_power.watts().max(1.0)
+        );
+        assert!(
+            (cores.dynamic_power.watts() - chip_cores.dynamic_power.watts()).abs()
+                < 1e-9 * chip_cores.dynamic_power.watts().max(1.0)
+        );
+        let total = report.total();
+        let overall = report.report.chip.overall();
+        assert!(
+            (total.total().watts() - overall.total().watts()).abs()
+                < 1e-9 * overall.total().watts().max(1.0)
+        );
+
+        // Attribution is genuinely asymmetric: the busiest cluster draws
+        // strictly more dynamic power than the idlest one.
+        let first = report.clusters.first().unwrap().power.dynamic_power;
+        let last = report.clusters.last().unwrap().power.dynamic_power;
+        assert!(last > first, "per-cluster attribution should be asymmetric");
     }
 
     #[test]

@@ -4,18 +4,19 @@
 //! lane-operation measured with the §III-D microbenchmarks) and the SFUs
 //! from De Caro et al. \[21\]; areas come from Galal & Horowitz \[20\].
 
-use gpusimpow_sim::{ActivityStats, GpuConfig};
+use gpusimpow_sim::{ActivityVector, EventKind as Ev, GpuConfig};
 use gpusimpow_tech::node::TechNode;
 use gpusimpow_tech::units::{Area, Energy, Power};
 
 use crate::empirical;
+use crate::registry::{EnergyMap, EnergyTerm};
 
 /// Evaluated execution units (per core).
 #[derive(Debug, Clone)]
 pub struct ExecPower {
     int_op: Energy,
     fp_op: Energy,
-    sfu_op: Energy,
+    map: EnergyMap,
     leakage: Power,
     area: Area,
     lanes: usize,
@@ -40,21 +41,32 @@ impl ExecPower {
         let total_lanes = lanes * 2 + cfg.sfu_count;
         let leakage =
             empirical::scaled_leakage(empirical::EXEC_LEAKAGE_PER_LANE, tech) * total_lanes as f64;
+        let int_op = empirical::scaled(empirical::INT_OP, tech);
+        let fp_op = empirical::scaled(empirical::FP_OP, tech);
+        let sfu_op = empirical::scaled(empirical::SFU_OP, tech);
+        let map = EnergyMap::new(vec![
+            EnergyTerm::new("integer lanes", int_op, vec![Ev::IntLaneOps]),
+            EnergyTerm::new("fp lanes", fp_op, vec![Ev::FpLaneOps]),
+            EnergyTerm::new("sfu", sfu_op, vec![Ev::SfuLaneOps]),
+        ]);
         ExecPower {
-            int_op: empirical::scaled(empirical::INT_OP, tech),
-            fp_op: empirical::scaled(empirical::FP_OP, tech),
-            sfu_op: empirical::scaled(empirical::SFU_OP, tech),
+            int_op,
+            fp_op,
+            map,
             leakage,
             area,
             lanes,
         }
     }
 
+    /// The execution units' event-priced energy map.
+    pub fn energy_map(&self) -> &EnergyMap {
+        &self.map
+    }
+
     /// Chip-wide dynamic energy from lane-operation counts.
-    pub fn dynamic_energy(&self, stats: &ActivityStats) -> Energy {
-        self.int_op * stats.int_lane_ops as f64
-            + self.fp_op * stats.fp_lane_ops as f64
-            + self.sfu_op * stats.sfu_lane_ops as f64
+    pub fn dynamic_energy(&self, activity: &ActivityVector) -> Energy {
+        self.map.dynamic_energy(activity)
     }
 
     /// Per-core leakage.
@@ -84,11 +96,11 @@ mod tests {
     #[test]
     fn uses_the_measured_anchor_energies_at_40nm() {
         let e = ExecPower::new(&GpuConfig::gt240(), &t40());
-        let mut a = ActivityStats::new();
-        a.int_lane_ops = 1;
+        let mut a = ActivityVector::new();
+        a[Ev::IntLaneOps] = 1;
         assert!((e.dynamic_energy(&a).picojoules() - 40.0).abs() < 1e-9);
-        a.int_lane_ops = 0;
-        a.fp_lane_ops = 1;
+        a[Ev::IntLaneOps] = 0;
+        a[Ev::FpLaneOps] = 1;
         assert!((e.dynamic_energy(&a).picojoules() - 75.0).abs() < 1e-9);
     }
 
@@ -104,8 +116,8 @@ mod tests {
     fn energies_shrink_at_28nm() {
         let t28 = TechNode::planar(28).unwrap();
         let e = ExecPower::new(&GpuConfig::gt240(), &t28);
-        let mut a = ActivityStats::new();
-        a.fp_lane_ops = 1;
+        let mut a = ActivityVector::new();
+        a[Ev::FpLaneOps] = 1;
         assert!(e.dynamic_energy(&a).picojoules() < 75.0);
     }
 

@@ -7,24 +7,20 @@
 //! bank-conflict check unit, and the constant cache.
 
 use gpusimpow_circuit::{Cache, CacheSpec, Crossbar, DffBuffer, Fsm, SramArray, SramSpec};
-use gpusimpow_sim::{ActivityStats, GpuConfig};
+use gpusimpow_sim::{ActivityVector, EventKind as Ev, GpuConfig};
 use gpusimpow_tech::node::{DeviceType, TechNode};
 use gpusimpow_tech::units::{Area, Energy, Power};
 
 use crate::empirical;
+use crate::registry::{EnergyMap, EnergyTerm};
 
 /// Evaluated load/store unit (per core).
 #[derive(Debug, Clone)]
 pub struct LdstPower {
     agu_energy: Energy,
-    coalescer_input_energy: Energy,
-    coalescer_output_energy: Energy,
     smem_access_energy: Energy,
     xbar_energy: Energy,
-    const_hit_energy: Energy,
-    const_fill_energy: Energy,
-    l1_hit_energy: Energy,
-    l1_fill_energy: Energy,
+    map: EnergyMap,
     leakage: Power,
     area: Area,
 }
@@ -118,35 +114,59 @@ impl LdstPower {
         };
 
         let s = empirical::LDST_ENERGY_SCALE;
+        let agu_energy = Energy::from_picojoules(AGU_ADDR_PJ * 8.0)
+            * (tech.vdd().volts() * tech.vdd().volts())
+            * s;
+        let smem_access_energy = smem.costs().read_energy * empirical::LDST_SMEM_SCALE;
+        let xbar_energy = (addr_xbar.transfer_energy() + data_xbar.transfer_energy())
+            * empirical::LDST_SMEM_SCALE;
+        // Term order is the former hand-written expression order; SMEM
+        // accesses are priced twice on purpose (array + crossbars).
+        let map = EnergyMap::new(vec![
+            EnergyTerm::new("agu", agu_energy, vec![Ev::AguOps]),
+            EnergyTerm::new(
+                "coalescer",
+                coalescer.write_energy(40) * s,
+                vec![Ev::CoalescerInputs],
+            ),
+            EnergyTerm::new(
+                "coalescer",
+                (coalescer.write_energy(64) + fsm.transition_energy()) * s,
+                vec![Ev::CoalescerOutputs],
+            ),
+            EnergyTerm::new("smem/l1 array", smem_access_energy, vec![Ev::SmemAccesses]),
+            EnergyTerm::new("smem crossbars", xbar_energy, vec![Ev::SmemAccesses]),
+            EnergyTerm::new(
+                "constant cache",
+                const_cache.hit_energy() * s,
+                vec![Ev::ConstAccesses],
+            ),
+            EnergyTerm::new(
+                "constant cache",
+                const_cache.fill_energy() * s,
+                vec![Ev::ConstMisses],
+            ),
+            EnergyTerm::new("l1 tags", l1_hit_energy * s, vec![Ev::L1Accesses]),
+            EnergyTerm::new("l1 tags", l1_fill_energy * s, vec![Ev::L1Fills]),
+        ]);
         Ok(LdstPower {
-            agu_energy: Energy::from_picojoules(AGU_ADDR_PJ * 8.0)
-                * (tech.vdd().volts() * tech.vdd().volts())
-                * s,
-            coalescer_input_energy: coalescer.write_energy(40) * s,
-            coalescer_output_energy: (coalescer.write_energy(64) + fsm.transition_energy()) * s,
-            smem_access_energy: smem.costs().read_energy * empirical::LDST_SMEM_SCALE,
-            xbar_energy: (addr_xbar.transfer_energy() + data_xbar.transfer_energy())
-                * empirical::LDST_SMEM_SCALE,
-            const_hit_energy: const_cache.hit_energy() * s,
-            const_fill_energy: const_cache.fill_energy() * s,
-            l1_hit_energy: l1_hit_energy * s,
-            l1_fill_energy: l1_fill_energy * s,
+            agu_energy,
+            smem_access_energy,
+            xbar_energy,
+            map,
             leakage: leakage * empirical::LDST_LEAKAGE_SCALE,
             area,
         })
     }
 
-    /// Chip-wide dynamic energy from the activity counters.
-    pub fn dynamic_energy(&self, stats: &ActivityStats) -> Energy {
-        self.agu_energy * stats.agu_ops as f64
-            + self.coalescer_input_energy * stats.coalescer_inputs as f64
-            + self.coalescer_output_energy * stats.coalescer_outputs as f64
-            + self.smem_access_energy * stats.smem_accesses as f64
-            + self.xbar_energy * stats.smem_accesses as f64
-            + self.const_hit_energy * stats.const_accesses as f64
-            + self.const_fill_energy * stats.const_misses as f64
-            + self.l1_hit_energy * stats.l1_accesses as f64
-            + self.l1_fill_energy * stats.l1_fills as f64
+    /// The LDST unit's event-priced energy map.
+    pub fn energy_map(&self) -> &EnergyMap {
+        &self.map
+    }
+
+    /// Chip-wide dynamic energy from the registry counters.
+    pub fn dynamic_energy(&self, activity: &ActivityVector) -> Energy {
+        self.map.dynamic_energy(activity)
     }
 
     /// Per-core leakage.
@@ -185,20 +205,20 @@ mod tests {
     #[test]
     fn l1_energies_zero_when_absent() {
         let gt = LdstPower::new(&GpuConfig::gt240(), &t40()).unwrap();
-        let mut a = ActivityStats::new();
-        a.l1_accesses = 100;
-        a.l1_fills = 10;
+        let mut a = ActivityVector::new();
+        a[Ev::L1Accesses] = 100;
+        a[Ev::L1Fills] = 10;
         assert_eq!(gt.dynamic_energy(&a).joules(), 0.0);
     }
 
     #[test]
     fn memory_activity_costs_energy() {
         let ldst = LdstPower::new(&GpuConfig::gt240(), &t40()).unwrap();
-        let mut a = ActivityStats::new();
-        a.agu_ops = 4;
-        a.coalescer_inputs = 32;
-        a.coalescer_outputs = 1;
-        a.smem_accesses = 16;
+        let mut a = ActivityVector::new();
+        a[Ev::AguOps] = 4;
+        a[Ev::CoalescerInputs] = 32;
+        a[Ev::CoalescerOutputs] = 1;
+        a[Ev::SmemAccesses] = 16;
         assert!(ldst.dynamic_energy(&a).picojoules() > 1.0);
     }
 }

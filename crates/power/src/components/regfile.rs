@@ -6,11 +6,12 @@
 //! cycles to emulate multi-porting.
 
 use gpusimpow_circuit::{Crossbar, SramArray, SramSpec};
-use gpusimpow_sim::{ActivityStats, GpuConfig};
+use gpusimpow_sim::{ActivityVector, EventKind as Ev, GpuConfig};
 use gpusimpow_tech::node::{DeviceType, TechNode};
 use gpusimpow_tech::units::{Area, Energy, Power};
 
 use crate::empirical;
+use crate::registry::{EnergyMap, EnergyTerm};
 
 /// Evaluated register file (per core).
 #[derive(Debug, Clone)]
@@ -18,7 +19,7 @@ pub struct RegFilePower {
     bank_read_energy: Energy,
     bank_write_energy: Energy,
     xbar_energy: Energy,
-    collector_energy: Energy,
+    map: EnergyMap,
     leakage: Power,
     area: Area,
 }
@@ -80,22 +81,38 @@ impl RegFilePower {
             + collector.costs().area * cfg.operand_collectors as f64;
 
         let s = empirical::RF_ENERGY_SCALE;
+        let bank_read_energy = bank.costs().read_energy * s;
+        let bank_write_energy = bank.costs().write_energy * s;
+        let xbar_energy = xbar.transfer_energy() * s;
+        let collector_energy = (collector.costs().write_energy + collector.costs().read_energy) * s;
+        let map = EnergyMap::new(vec![
+            EnergyTerm::new("bank reads", bank_read_energy, vec![Ev::RfBankReads]),
+            EnergyTerm::new("bank writes", bank_write_energy, vec![Ev::RfBankWrites]),
+            EnergyTerm::new("crossbar", xbar_energy, vec![Ev::CollectorXbarTransfers]),
+            EnergyTerm::new(
+                "operand collectors",
+                collector_energy,
+                vec![Ev::CollectorAllocations],
+            ),
+        ]);
         Ok(RegFilePower {
-            bank_read_energy: bank.costs().read_energy * s,
-            bank_write_energy: bank.costs().write_energy * s,
-            xbar_energy: xbar.transfer_energy() * s,
-            collector_energy: (collector.costs().write_energy + collector.costs().read_energy) * s,
+            bank_read_energy,
+            bank_write_energy,
+            xbar_energy,
+            map,
             leakage: leakage * empirical::RF_LEAKAGE_SCALE,
             area,
         })
     }
 
-    /// Chip-wide dynamic energy from the activity counters.
-    pub fn dynamic_energy(&self, stats: &ActivityStats) -> Energy {
-        self.bank_read_energy * stats.rf_bank_reads as f64
-            + self.bank_write_energy * stats.rf_bank_writes as f64
-            + self.xbar_energy * stats.collector_xbar_transfers as f64
-            + self.collector_energy * stats.collector_allocations as f64
+    /// The register file's event-priced energy map.
+    pub fn energy_map(&self) -> &EnergyMap {
+        &self.map
+    }
+
+    /// Chip-wide dynamic energy from the registry counters.
+    pub fn dynamic_energy(&self, activity: &ActivityVector) -> Energy {
+        self.map.dynamic_energy(activity)
     }
 
     /// Per-core leakage.
@@ -135,11 +152,11 @@ mod tests {
     #[test]
     fn energy_follows_accesses() {
         let rf = RegFilePower::new(&GpuConfig::gt240(), &t40()).unwrap();
-        let mut a = ActivityStats::new();
-        a.rf_bank_reads = 100;
-        a.rf_bank_writes = 50;
-        a.collector_xbar_transfers = 100;
-        a.collector_allocations = 50;
+        let mut a = ActivityVector::new();
+        a[Ev::RfBankReads] = 100;
+        a[Ev::RfBankWrites] = 50;
+        a[Ev::CollectorXbarTransfers] = 100;
+        a[Ev::CollectorAllocations] = 50;
         assert!(rf.dynamic_energy(&a).joules() > 0.0);
     }
 
@@ -147,8 +164,8 @@ mod tests {
     fn wide_entry_reads_cost_tens_of_picojoules() {
         // A 1024-bit warp-register read should be tens of pJ at 40 nm.
         let rf = RegFilePower::new(&GpuConfig::gt240(), &t40()).unwrap();
-        let mut a = ActivityStats::new();
-        a.rf_bank_reads = 1;
+        let mut a = ActivityVector::new();
+        a[Ev::RfBankReads] = 1;
         let pj = rf.dynamic_energy(&a).picojoules();
         assert!(pj > 1.0 && pj < 500.0, "bank read {pj} pJ");
     }

@@ -4,17 +4,19 @@
 //! their parameters").
 
 use gpusimpow_circuit::{Cache, CacheSpec, Crossbar, SramArray, SramSpec};
-use gpusimpow_sim::{ActivityStats, GpuConfig};
+use gpusimpow_sim::{ActivityVector, EventKind as Ev, GpuConfig};
 use gpusimpow_tech::node::{DeviceType, TechNode};
 use gpusimpow_tech::units::{Area, Energy, Power, Time};
 
 use crate::empirical;
+use crate::registry::{EnergyMap, EnergyTerm};
 
 /// Network-on-chip: a global crossbar between cores and memory
 /// partitions.
 #[derive(Debug, Clone)]
 pub struct NocPower {
     flit_energy: Energy,
+    map: EnergyMap,
     leakage: Power,
     area: Area,
 }
@@ -36,16 +38,27 @@ impl NocPower {
         )?;
         let port_leakage =
             empirical::scaled_leakage(empirical::NOC_STATIC_PER_PORT, tech) * ports as f64;
+        let flit_energy = xbar.transfer_energy() * empirical::NOC_ENERGY_SCALE;
         Ok(NocPower {
-            flit_energy: xbar.transfer_energy() * empirical::NOC_ENERGY_SCALE,
+            flit_energy,
+            map: EnergyMap::new(vec![EnergyTerm::new(
+                "flits",
+                flit_energy,
+                vec![Ev::NocFlits],
+            )]),
             leakage: (xbar.costs().leakage + port_leakage) * empirical::NOC_LEAKAGE_SCALE,
             area: xbar.costs().area,
         })
     }
 
+    /// The NoC's event-priced energy map.
+    pub fn energy_map(&self) -> &EnergyMap {
+        &self.map
+    }
+
     /// Dynamic energy for a kernel.
-    pub fn dynamic_energy(&self, stats: &ActivityStats) -> Energy {
-        self.flit_energy * stats.noc_flits as f64
+    pub fn dynamic_energy(&self, activity: &ActivityVector) -> Energy {
+        self.map.dynamic_energy(activity)
     }
 
     /// Static power.
@@ -67,8 +80,7 @@ impl NocPower {
 /// The L2 cache (absent on GT240-class chips).
 #[derive(Debug, Clone)]
 pub struct L2Power {
-    hit_energy: Energy,
-    fill_energy: Energy,
+    map: EnergyMap,
     leakage: Power,
     area: Area,
 }
@@ -92,16 +104,23 @@ impl L2Power {
             },
         )?;
         Ok(Some(L2Power {
-            hit_energy: cache.hit_energy(),
-            fill_energy: cache.fill_energy(),
+            map: EnergyMap::new(vec![
+                EnergyTerm::new("hits", cache.hit_energy(), vec![Ev::L2Accesses]),
+                EnergyTerm::new("fills", cache.fill_energy(), vec![Ev::L2Fills]),
+            ]),
             leakage: cache.costs().leakage,
             area: cache.costs().area,
         }))
     }
 
+    /// The L2's event-priced energy map.
+    pub fn energy_map(&self) -> &EnergyMap {
+        &self.map
+    }
+
     /// Dynamic energy for a kernel.
-    pub fn dynamic_energy(&self, stats: &ActivityStats) -> Energy {
-        self.hit_energy * stats.l2_accesses as f64 + self.fill_energy * stats.l2_fills as f64
+    pub fn dynamic_energy(&self, activity: &ActivityVector) -> Energy {
+        self.map.dynamic_energy(activity)
     }
 
     /// Static power.
@@ -118,8 +137,8 @@ impl L2Power {
 /// Memory controllers: queues (SRAM) plus pin/PHY energy per byte.
 #[derive(Debug, Clone)]
 pub struct McPower {
-    queue_energy: Energy,
     byte_energy: Energy,
+    map: EnergyMap,
     leakage: Power,
     area: Area,
 }
@@ -144,20 +163,34 @@ impl McPower {
             },
         )?;
         let channels = cfg.mem_channels as f64;
+        let queue_energy = queue.costs().read_energy + queue.costs().write_energy;
+        let byte_energy = empirical::scaled(empirical::MC_ENERGY_PER_BYTE, tech);
         Ok(McPower {
-            queue_energy: queue.costs().read_energy + queue.costs().write_energy,
-            byte_energy: empirical::scaled(empirical::MC_ENERGY_PER_BYTE, tech),
+            byte_energy,
+            map: EnergyMap::new(vec![
+                EnergyTerm::new("queues", queue_energy, vec![Ev::McQueueOps]),
+                EnergyTerm::scaled(
+                    "pins",
+                    byte_energy,
+                    vec![Ev::DramReadBursts, Ev::DramWriteBursts],
+                    32,
+                ),
+            ]),
             leakage: empirical::scaled_leakage(empirical::MC_STATIC_PER_CHANNEL, tech) * channels
                 + queue.costs().leakage * channels,
             area: Area::from_mm2(1.1) * channels * ((tech.feature_nm() as f64 / 40.0).powi(2)),
         })
     }
 
+    /// The MC's event-priced energy map.
+    pub fn energy_map(&self) -> &EnergyMap {
+        &self.map
+    }
+
     /// Dynamic energy for a kernel: queue operations plus bytes over the
     /// pins (32 B per DRAM burst).
-    pub fn dynamic_energy(&self, stats: &ActivityStats) -> Energy {
-        let bytes = (stats.dram_read_bursts + stats.dram_write_bursts) * 32;
-        self.queue_energy * stats.mc_queue_ops as f64 + self.byte_energy * bytes as f64
+    pub fn dynamic_energy(&self, activity: &ActivityVector) -> Energy {
+        self.map.dynamic_energy(activity)
     }
 
     /// Static power (all channels).
@@ -183,7 +216,7 @@ impl McPower {
 pub struct PciePower {
     leakage: Power,
     active: Power,
-    byte_energy: Energy,
+    map: EnergyMap,
     area: Area,
 }
 
@@ -193,15 +226,25 @@ impl PciePower {
         PciePower {
             leakage: empirical::scaled_leakage(empirical::PCIE_STATIC, tech),
             active: empirical::PCIE_ACTIVE,
-            byte_energy: empirical::scaled(empirical::PCIE_ENERGY_PER_BYTE, tech),
+            map: EnergyMap::new(vec![EnergyTerm::new(
+                "transfers",
+                empirical::scaled(empirical::PCIE_ENERGY_PER_BYTE, tech),
+                vec![Ev::PcieH2dBytes, Ev::PcieD2hBytes],
+            )]),
             area: Area::from_mm2(2.0) * ((tech.feature_nm() as f64 / 40.0).powi(2)),
         }
     }
 
+    /// The PCIe controller's event-priced energy map (the time-based
+    /// active power is not event-driven and stays outside the map).
+    pub fn energy_map(&self) -> &EnergyMap {
+        &self.map
+    }
+
     /// Dynamic energy over a kernel window of length `time`: the
     /// controller's active power for the window plus transfer energy.
-    pub fn dynamic_energy(&self, stats: &ActivityStats, time: Time) -> Energy {
-        self.active * time + self.byte_energy * (stats.pcie_h2d_bytes + stats.pcie_d2h_bytes) as f64
+    pub fn dynamic_energy(&self, activity: &ActivityVector, time: Time) -> Energy {
+        self.active * time + self.map.dynamic_energy(activity)
     }
 
     /// Static power.
@@ -226,8 +269,8 @@ mod tests {
     #[test]
     fn noc_flits_cost_energy() {
         let noc = NocPower::new(&GpuConfig::gt240(), &t40()).unwrap();
-        let mut a = ActivityStats::new();
-        a.noc_flits = 1000;
+        let mut a = ActivityVector::new();
+        a[Ev::NocFlits] = 1000;
         assert!(noc.dynamic_energy(&a).joules() > 0.0);
     }
 
@@ -249,7 +292,7 @@ mod tests {
     #[test]
     fn pcie_active_power_dominates_for_short_kernels() {
         let pcie = PciePower::new(&GpuConfig::gt240(), &t40());
-        let a = ActivityStats::new();
+        let a = ActivityVector::new();
         let e = pcie.dynamic_energy(&a, Time::from_millis(1.0));
         // ~1 mJ at ~1 W active power.
         assert!((e.joules() - 0.992e-3).abs() < 1e-5);

@@ -11,11 +11,12 @@
 use gpusimpow_circuit::{
     Cache, CacheSpec, InstructionDecoder, PriorityEncoder, SramArray, SramSpec, TaggedTable,
 };
-use gpusimpow_sim::{ActivityStats, GpuConfig};
+use gpusimpow_sim::{ActivityVector, EventKind as Ev, GpuConfig};
 use gpusimpow_tech::node::{DeviceType, TechNode};
 use gpusimpow_tech::units::{Area, Energy, Power};
 
 use crate::empirical;
+use crate::registry::{EnergyMap, EnergyTerm};
 
 /// Evaluated WCU (per core).
 #[derive(Debug, Clone)]
@@ -24,12 +25,11 @@ pub struct WcuPower {
     decode_energy: Energy,
     ibuffer_write_energy: Energy,
     ibuffer_read_energy: Energy,
-    scoreboard_read_energy: Energy,
-    scoreboard_write_energy: Energy,
-    stack_op_energy: Energy,
     fetch_scheduler_energy: Energy,
     issue_scheduler_energy: Energy,
+    scoreboard_read_energy: Energy,
     wst_energy: Energy,
+    map: EnergyMap,
     leakage: Power,
     area: Area,
 }
@@ -121,72 +121,95 @@ impl WcuPower {
             + issue_sched.costs().area;
 
         let s = empirical::WCU_ENERGY_SCALE;
+        let fetch_energy = icache.hit_energy() * s;
+        let decode_energy = decoder.decode_energy() * s;
+        let ibuffer_write_energy = ibuffer.insert_energy() * s;
+        let ibuffer_read_energy = ibuffer.lookup_energy() * s;
+        let scoreboard_read_energy = scoreboard.lookup_energy() * s;
+        let scoreboard_write_energy = scoreboard.insert_energy() * s;
+        let stack_op_energy = stacks.costs().read_energy * s;
+        let fetch_scheduler_energy = fetch_sched.select_energy() * s;
+        let issue_scheduler_energy = issue_sched.select_energy() * s;
+        let wst_energy = wst.costs().read_energy * s;
+        // Term order is the former hand-written expression order; labels
+        // group the terms into the §V-B memory drill-down rows.
+        let map = EnergyMap::new(vec![
+            EnergyTerm::new("i-cache", fetch_energy, vec![Ev::IcacheAccesses]),
+            EnergyTerm::new("decoder", decode_energy, vec![Ev::Decodes]),
+            EnergyTerm::new(
+                "instruction buffer",
+                ibuffer_write_energy,
+                vec![Ev::IbufferWrites],
+            ),
+            EnergyTerm::new(
+                "instruction buffer",
+                ibuffer_read_energy,
+                vec![Ev::IbufferReads],
+            ),
+            EnergyTerm::new(
+                "scoreboard",
+                scoreboard_read_energy,
+                vec![Ev::ScoreboardReads],
+            ),
+            EnergyTerm::new(
+                "scoreboard",
+                scoreboard_write_energy,
+                vec![Ev::ScoreboardWrites],
+            ),
+            EnergyTerm::new(
+                "reconvergence stacks",
+                stack_op_energy,
+                vec![Ev::SimtStackReads, Ev::SimtStackPushes, Ev::SimtStackPops],
+            ),
+            EnergyTerm::new(
+                "warp schedulers",
+                fetch_scheduler_energy,
+                vec![Ev::FetchSchedulerSelects],
+            ),
+            EnergyTerm::new(
+                "warp schedulers",
+                issue_scheduler_energy,
+                vec![Ev::IssueSchedulerSelects],
+            ),
+            EnergyTerm::new(
+                "warp status table",
+                wst_energy,
+                vec![Ev::WstReads, Ev::WstWrites],
+            ),
+        ]);
         Ok(WcuPower {
-            fetch_energy: icache.hit_energy() * s,
-            decode_energy: decoder.decode_energy() * s,
-            ibuffer_write_energy: ibuffer.insert_energy() * s,
-            ibuffer_read_energy: ibuffer.lookup_energy() * s,
-            scoreboard_read_energy: scoreboard.lookup_energy() * s,
-            scoreboard_write_energy: scoreboard.insert_energy() * s,
-            stack_op_energy: stacks.costs().read_energy * s,
-            fetch_scheduler_energy: fetch_sched.select_energy() * s,
-            issue_scheduler_energy: issue_sched.select_energy() * s,
-            wst_energy: wst.costs().read_energy * s,
+            fetch_energy,
+            decode_energy,
+            ibuffer_write_energy,
+            ibuffer_read_energy,
+            fetch_scheduler_energy,
+            issue_scheduler_energy,
+            scoreboard_read_energy,
+            wst_energy,
+            map,
             leakage: leakage * empirical::WCU_LEAKAGE_SCALE,
             area,
         })
     }
 
+    /// The WCU's event-priced energy map (registry coverage and scoped
+    /// attribution iterate this instead of naming fields).
+    pub fn energy_map(&self) -> &EnergyMap {
+        &self.map
+    }
+
     /// Chip-wide dynamic energy of the WCU for one kernel, from the
-    /// aggregated activity counters.
-    pub fn dynamic_energy(&self, stats: &ActivityStats) -> Energy {
-        self.fetch_energy * stats.icache_accesses as f64
-            + self.decode_energy * stats.decodes as f64
-            + self.ibuffer_write_energy * stats.ibuffer_writes as f64
-            + self.ibuffer_read_energy * stats.ibuffer_reads as f64
-            + self.scoreboard_read_energy * stats.scoreboard_reads as f64
-            + self.scoreboard_write_energy * stats.scoreboard_writes as f64
-            + self.stack_op_energy
-                * (stats.simt_stack_reads + stats.simt_stack_pushes + stats.simt_stack_pops) as f64
-            + self.fetch_scheduler_energy * stats.fetch_scheduler_selects as f64
-            + self.issue_scheduler_energy * stats.issue_scheduler_selects as f64
-            + self.wst_energy * (stats.wst_reads + stats.wst_writes) as f64
+    /// aggregated registry counters.
+    pub fn dynamic_energy(&self, activity: &ActivityVector) -> Energy {
+        self.map.dynamic_energy(activity)
     }
 
     /// Breaks the WCU's dynamic energy down to its individual memories
     /// and logic blocks — the finer-grained analysis the paper's §V-B
     /// mentions ("investigating the power consumed by the different
     /// memories in the warp control unit").
-    pub fn memory_breakdown(&self, stats: &ActivityStats) -> Vec<(&'static str, Energy)> {
-        vec![
-            ("i-cache", self.fetch_energy * stats.icache_accesses as f64),
-            ("decoder", self.decode_energy * stats.decodes as f64),
-            (
-                "instruction buffer",
-                self.ibuffer_write_energy * stats.ibuffer_writes as f64
-                    + self.ibuffer_read_energy * stats.ibuffer_reads as f64,
-            ),
-            (
-                "scoreboard",
-                self.scoreboard_read_energy * stats.scoreboard_reads as f64
-                    + self.scoreboard_write_energy * stats.scoreboard_writes as f64,
-            ),
-            (
-                "reconvergence stacks",
-                self.stack_op_energy
-                    * (stats.simt_stack_reads + stats.simt_stack_pushes + stats.simt_stack_pops)
-                        as f64,
-            ),
-            (
-                "warp schedulers",
-                self.fetch_scheduler_energy * stats.fetch_scheduler_selects as f64
-                    + self.issue_scheduler_energy * stats.issue_scheduler_selects as f64,
-            ),
-            (
-                "warp status table",
-                self.wst_energy * (stats.wst_reads + stats.wst_writes) as f64,
-            ),
-        ]
+    pub fn memory_breakdown(&self, activity: &ActivityVector) -> Vec<(&'static str, Energy)> {
+        self.map.grouped(activity)
     }
 
     /// Per-core leakage.
@@ -231,12 +254,12 @@ mod tests {
     #[test]
     fn dynamic_energy_scales_with_activity() {
         let wcu = WcuPower::new(&GpuConfig::gt240(), &t40()).unwrap();
-        let mut a = ActivityStats::new();
-        a.icache_accesses = 1000;
-        a.decodes = 1000;
+        let mut a = ActivityVector::new();
+        a[Ev::IcacheAccesses] = 1000;
+        a[Ev::Decodes] = 1000;
         let e1 = wcu.dynamic_energy(&a);
-        a.icache_accesses = 2000;
-        a.decodes = 2000;
+        a[Ev::IcacheAccesses] = 2000;
+        a[Ev::Decodes] = 2000;
         let e2 = wcu.dynamic_energy(&a);
         assert!((e2 / e1 - 2.0).abs() < 1e-9);
     }
@@ -244,19 +267,19 @@ mod tests {
     #[test]
     fn memory_breakdown_sums_to_total() {
         let wcu = WcuPower::new(&GpuConfig::gt240(), &t40()).unwrap();
-        let mut a = ActivityStats::new();
-        a.icache_accesses = 500;
-        a.decodes = 500;
-        a.ibuffer_writes = 500;
-        a.ibuffer_reads = 480;
-        a.scoreboard_reads = 700;
-        a.simt_stack_reads = 480;
-        a.simt_stack_pushes = 20;
-        a.simt_stack_pops = 21;
-        a.fetch_scheduler_selects = 500;
-        a.issue_scheduler_selects = 480;
-        a.wst_reads = 500;
-        a.wst_writes = 480;
+        let mut a = ActivityVector::new();
+        a[Ev::IcacheAccesses] = 500;
+        a[Ev::Decodes] = 500;
+        a[Ev::IbufferWrites] = 500;
+        a[Ev::IbufferReads] = 480;
+        a[Ev::ScoreboardReads] = 700;
+        a[Ev::SimtStackReads] = 480;
+        a[Ev::SimtStackPushes] = 20;
+        a[Ev::SimtStackPops] = 21;
+        a[Ev::FetchSchedulerSelects] = 500;
+        a[Ev::IssueSchedulerSelects] = 480;
+        a[Ev::WstReads] = 500;
+        a[Ev::WstWrites] = 480;
         let parts: f64 = wcu
             .memory_breakdown(&a)
             .iter()
@@ -270,6 +293,6 @@ mod tests {
     #[test]
     fn zero_activity_zero_energy() {
         let wcu = WcuPower::new(&GpuConfig::gt240(), &t40()).unwrap();
-        assert_eq!(wcu.dynamic_energy(&ActivityStats::new()).joules(), 0.0);
+        assert_eq!(wcu.dynamic_energy(&ActivityVector::new()).joules(), 0.0);
     }
 }

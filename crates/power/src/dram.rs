@@ -5,7 +5,7 @@
 //! the Micron power-calculation methodology (paper refs. \[26\], \[27\])
 //! applied to the command counts the simulator reports.
 
-use gpusimpow_sim::{ActivityStats, GpuConfig};
+use gpusimpow_sim::{ActivityVector, EventKind, EventKind as Ev, GpuConfig};
 use gpusimpow_tech::units::{Energy, Power, Time};
 
 use crate::empirical;
@@ -60,29 +60,42 @@ impl DramPower {
         }
     }
 
+    /// Registry events this model consumes (command counts priced per
+    /// event plus the two cycle counters behind the bus-busy fraction).
+    /// Feeds the registry-coverage test alongside the [`crate::registry::EnergyMap`]s.
+    pub const EVENTS: &'static [EventKind] = &[
+        Ev::DramActivates,
+        Ev::DramReadBursts,
+        Ev::DramWriteBursts,
+        Ev::DramRefreshes,
+        Ev::DramDataBusBusyCycles,
+        Ev::DramCycles,
+    ];
+
     /// Evaluates the Micron-style decomposition over a kernel of length
     /// `time` with the given command counts.
     ///
     /// # Panics
     ///
     /// Panics if `time` is not positive.
-    pub fn evaluate(&self, stats: &ActivityStats, time: Time) -> DramPowerBreakdown {
+    pub fn evaluate(&self, activity: &ActivityVector, time: Time) -> DramPowerBreakdown {
         assert!(time.seconds() > 0.0, "kernel window must have a duration");
         let per = |e: Energy, n: u64| -> Power { e * n as f64 / time };
         // Fraction of wall time any channel drives its data bus.
-        let bus_busy = if stats.dram_cycles == 0 {
+        let bus_busy = if activity[Ev::DramCycles] == 0 {
             0.0
         } else {
-            (stats.dram_data_bus_busy_cycles as f64 / (stats.dram_cycles as f64 * self.channels))
+            (activity[Ev::DramDataBusBusyCycles] as f64
+                / (activity[Ev::DramCycles] as f64 * self.channels))
                 .min(1.0)
         };
         DramPowerBreakdown {
             background: self.background_per_channel * self.channels,
-            activate: per(self.activate_energy, stats.dram_activates),
-            read: per(self.read_energy, stats.dram_read_bursts),
-            write: per(self.write_energy, stats.dram_write_bursts),
+            activate: per(self.activate_energy, activity[Ev::DramActivates]),
+            read: per(self.read_energy, activity[Ev::DramReadBursts]),
+            write: per(self.write_energy, activity[Ev::DramWriteBursts]),
             termination: self.termination_active * (bus_busy * self.channels),
-            refresh: per(self.refresh_energy, stats.dram_refreshes),
+            refresh: per(self.refresh_energy, activity[Ev::DramRefreshes]),
         }
     }
 
@@ -104,7 +117,7 @@ mod tests {
     #[test]
     fn idle_dram_burns_background_only() {
         let d = model();
-        let b = d.evaluate(&ActivityStats::new(), Time::from_millis(1.0));
+        let b = d.evaluate(&ActivityVector::new(), Time::from_millis(1.0));
         assert_eq!(b.activate.watts(), 0.0);
         assert_eq!(b.read.watts(), 0.0);
         assert!((b.total() / d.background() - 1.0).abs() < 1e-9);
@@ -113,15 +126,15 @@ mod tests {
     #[test]
     fn heavier_traffic_more_power() {
         let d = model();
-        let mut light = ActivityStats::new();
-        light.dram_activates = 100;
-        light.dram_read_bursts = 1000;
-        light.dram_cycles = 1_000_000;
-        light.dram_data_bus_busy_cycles = 2000;
+        let mut light = ActivityVector::new();
+        light[Ev::DramActivates] = 100;
+        light[Ev::DramReadBursts] = 1000;
+        light[Ev::DramCycles] = 1_000_000;
+        light[Ev::DramDataBusBusyCycles] = 2000;
         let mut heavy = light.clone();
-        heavy.dram_activates = 1000;
-        heavy.dram_read_bursts = 10000;
-        heavy.dram_data_bus_busy_cycles = 20000;
+        heavy[Ev::DramActivates] = 1000;
+        heavy[Ev::DramReadBursts] = 10000;
+        heavy[Ev::DramDataBusBusyCycles] = 20000;
         let t = Time::from_millis(1.0);
         assert!(d.evaluate(&heavy, t).total() > d.evaluate(&light, t).total());
     }
@@ -132,12 +145,12 @@ mod tests {
         // utilization. Paper quotes 4.3 W for blackscholes-class traffic,
         // streaming kernels go higher.
         let d = model();
-        let mut s = ActivityStats::new();
-        s.dram_cycles = 850_000; // 1 ms at 850 MHz
-        s.dram_data_bus_busy_cycles = 2 * 700_000;
-        s.dram_read_bursts = 350_000;
-        s.dram_activates = 22_000;
-        s.dram_refreshes = 400;
+        let mut s = ActivityVector::new();
+        s[Ev::DramCycles] = 850_000; // 1 ms at 850 MHz
+        s[Ev::DramDataBusBusyCycles] = 2 * 700_000;
+        s[Ev::DramReadBursts] = 350_000;
+        s[Ev::DramActivates] = 22_000;
+        s[Ev::DramRefreshes] = 400;
         let total = d.evaluate(&s, Time::from_millis(1.0)).total().watts();
         assert!(total > 2.0 && total < 15.0, "streaming DRAM {total} W");
     }
@@ -145,6 +158,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "duration")]
     fn zero_window_panics() {
-        let _ = model().evaluate(&ActivityStats::new(), Time::ZERO);
+        let _ = model().evaluate(&ActivityVector::new(), Time::ZERO);
     }
 }

@@ -16,6 +16,10 @@
 //!   SMEM/L1, constant cache;
 //! * [`components::uncore`] — NoC, L2, memory controllers, PCIe;
 //! * [`dram`] — Micron-methodology GDDR5 device power;
+//! * [`registry`] — event-priced [`registry::EnergyMap`]s connecting the
+//!   simulator's typed event registry to the component models (and
+//!   powering the per-cluster attribution in
+//!   [`report::ScopedPowerReport`]);
 //! * [`empirical`] — every measured/calibrated anchor with provenance;
 //! * [`chip`] — the assembled [`chip::GpuChip`] producing area, static
 //!   power, peak dynamic power and per-kernel [`report::PowerReport`]s.
@@ -39,8 +43,12 @@ pub mod chip;
 pub mod components;
 pub mod dram;
 pub mod empirical;
+pub mod registry;
 pub mod report;
 
 pub use chip::{ChipError, GpuChip};
 pub use dram::{DramPower, DramPowerBreakdown};
-pub use report::{ChipBreakdown, CoreBreakdown, PowerReport, PowerSplit};
+pub use registry::{EnergyMap, EnergyTerm};
+pub use report::{
+    ChipBreakdown, ClusterPowerRow, CoreBreakdown, PowerReport, PowerSplit, ScopedPowerReport,
+};

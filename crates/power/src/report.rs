@@ -202,6 +202,107 @@ impl fmt::Display for PowerReport {
     }
 }
 
+/// One cluster's share of the core power in a scoped report: the same
+/// component energy maps evaluated over that cluster's registry events.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClusterPowerRow {
+    /// Cluster index.
+    pub cluster: usize,
+    /// Static share (the cluster's cores) plus dynamic power attributed
+    /// from the cluster-scoped activity.
+    pub power: PowerSplit,
+    /// Fraction of shader cycles this cluster had at least one busy core.
+    pub busy_fraction: f64,
+    /// Average number of busy cores in this cluster over the launch.
+    pub avg_busy_cores: f64,
+}
+
+/// A [`PowerReport`] extended with per-cluster attribution derived from
+/// the scoped activity registry.
+///
+/// Cluster rows carry everything attributable to a cluster (its cores'
+/// leakage, component dynamic energy and base power); the global block
+/// scheduler and the uncore (NoC, MC, PCIe, L2) are chip-level and kept
+/// in their own shared rows. [`ScopedPowerReport::cores_total`] equals
+/// the embedded report's `chip.cores` row and [`ScopedPowerReport::total`]
+/// its chip overall, both up to floating-point rounding.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScopedPowerReport {
+    /// The ordinary chip-wide report.
+    pub report: PowerReport,
+    /// Per-cluster attribution rows, cluster 0 first.
+    pub clusters: Vec<ClusterPowerRow>,
+    /// Global block scheduler (chip-level, not attributable).
+    pub scheduler: PowerSplit,
+    /// Shared uncore: NoC + MC + PCIe + L2.
+    pub uncore: PowerSplit,
+}
+
+impl ScopedPowerReport {
+    /// Sum of the cluster rows plus the scheduler — reproduces the
+    /// chip-wide `cores` row.
+    pub fn cores_total(&self) -> PowerSplit {
+        self.clusters
+            .iter()
+            .fold(self.scheduler, |acc, row| acc + row.power)
+    }
+
+    /// Cluster rows + scheduler + uncore — reproduces the chip overall.
+    pub fn total(&self) -> PowerSplit {
+        self.cores_total() + self.uncore
+    }
+}
+
+impl fmt::Display for ScopedPowerReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "per-cluster attribution: kernel `{}` on {} ({:.3} ms)",
+            self.report.kernel,
+            self.report.gpu,
+            self.report.time.millis()
+        )?;
+        writeln!(
+            f,
+            "  {:<18} {:>10} {:>10} {:>9} {:>10}",
+            "Cluster", "Static[W]", "Dynamic[W]", "Busy", "AvgCores"
+        )?;
+        for row in &self.clusters {
+            writeln!(
+                f,
+                "  {:<18} {:>10.3} {:>10.3} {:>8.1}% {:>10.2}",
+                format!("cluster {}", row.cluster),
+                row.power.static_power.watts(),
+                row.power.dynamic_power.watts(),
+                100.0 * row.busy_fraction,
+                row.avg_busy_cores
+            )?;
+        }
+        let shared = |name: &str, s: PowerSplit, f: &mut fmt::Formatter<'_>| -> fmt::Result {
+            writeln!(
+                f,
+                "  {:<18} {:>10.3} {:>10.3} {:>9} {:>10}",
+                name,
+                s.static_power.watts(),
+                s.dynamic_power.watts(),
+                "-",
+                "-"
+            )
+        };
+        shared("global scheduler", self.scheduler, f)?;
+        shared("shared uncore", self.uncore, f)?;
+        let total = self.total();
+        write!(
+            f,
+            "  {:<18} {:>10.3} {:>10.3}   (chip overall {:.3} W)",
+            "sum",
+            total.static_power.watts(),
+            total.dynamic_power.watts(),
+            self.report.total_power().watts()
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -264,5 +365,62 @@ mod tests {
         assert!(text.contains("register file"));
         assert!(text.contains("undiff. core"));
         assert!(text.contains("pcie"));
+    }
+
+    #[test]
+    fn scoped_report_sums_rows_and_renders() {
+        let zero = DramPowerBreakdown {
+            background: Power::ZERO,
+            activate: Power::ZERO,
+            read: Power::ZERO,
+            write: Power::ZERO,
+            termination: Power::ZERO,
+            refresh: Power::ZERO,
+        };
+        let report = PowerReport {
+            kernel: "k".to_string(),
+            gpu: "GT240".to_string(),
+            time: Time::from_millis(1.0),
+            chip: ChipBreakdown {
+                cores: split(8.0, 10.0),
+                noc: split(1.0, 1.0),
+                mc: split(0.5, 0.5),
+                pcie: split(0.5, 1.0),
+                l2: split(0.0, 0.0),
+            },
+            core: CoreBreakdown {
+                base: split(0.0, 0.2),
+                wcu: split(0.04, 0.09),
+                regfile: split(0.11, 0.17),
+                exec: split(0.01, 0.56),
+                ldstu: split(0.23, 0.01),
+                undiff: split(0.89, 0.0),
+            },
+            dram: zero,
+        };
+        let scoped = ScopedPowerReport {
+            report,
+            clusters: (0..4)
+                .map(|c| ClusterPowerRow {
+                    cluster: c,
+                    power: split(2.0, 2.25),
+                    busy_fraction: 0.5,
+                    avg_busy_cores: 1.5,
+                })
+                .collect(),
+            scheduler: split(0.0, 1.0),
+            uncore: split(2.0, 2.5),
+        };
+        let cores = scoped.cores_total();
+        assert!((cores.static_power.watts() - 8.0).abs() < 1e-12);
+        assert!((cores.dynamic_power.watts() - 10.0).abs() < 1e-12);
+        let total = scoped.total();
+        assert!((total.total().watts() - 22.5).abs() < 1e-12);
+        let text = scoped.to_string();
+        assert!(text.contains("cluster 0"));
+        assert!(text.contains("cluster 3"));
+        assert!(text.contains("global scheduler"));
+        assert!(text.contains("shared uncore"));
+        assert!(text.contains("sum"));
     }
 }

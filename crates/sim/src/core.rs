@@ -23,11 +23,11 @@ use gpusimpow_isa::{
 
 use crate::cache::{Mshr, Probe, SimCache};
 use crate::config::{GpuConfig, WarpSchedPolicy};
+use crate::events::{ActivityVector, EventKind as Ev};
 use crate::func;
 use crate::ldst;
 use crate::mem::GpuMemory;
 use crate::simt_stack::{LaneMask, SimtStack};
-use crate::stats::ActivityStats;
 
 /// Per-launch context shared by all cores.
 #[derive(Debug, Clone, Copy)]
@@ -289,8 +289,10 @@ pub struct Core {
     scratch_segs: Vec<u32>,
     scratch_loads: Vec<(usize, u32)>,
     scratch_stores: Vec<(u32, u32)>,
-    /// Core-local activity counters, merged by the GPU after a launch.
-    pub stats: ActivityStats,
+    /// Core-local registry counters (all [`crate::events::Scope::Core`]
+    /// events), merged by the GPU after a launch and exposed per-core
+    /// through [`crate::gpu::ScopedActivity`].
+    pub stats: ActivityVector,
 }
 
 impl Core {
@@ -342,7 +344,7 @@ impl Core {
             scratch_segs: Vec::new(),
             scratch_loads: Vec::new(),
             scratch_stores: Vec::new(),
-            stats: ActivityStats::new(),
+            stats: ActivityVector::new(),
         }
     }
 
@@ -454,7 +456,7 @@ impl Core {
             waiting_at_barrier: 0,
         });
         self.cta_coords.insert(cta_slot, (block_x, block_y));
-        self.stats.ctas_dispatched += 1;
+        self.stats[Ev::CtasDispatched] += 1;
     }
 
     fn schedule(&mut self, cycle: u64, completion: Completion) {
@@ -578,7 +580,7 @@ impl Core {
             self.const_cache.install(addr);
         } else if let Some(l1) = &mut self.l1 {
             l1.install(addr);
-            self.stats.l1_fills += 1;
+            self.stats[Ev::L1Fills] += 1;
         }
         for group_id in self.mshr.complete(addr) {
             let finished = {
@@ -652,8 +654,8 @@ impl Core {
                     if let Some(w) = self.warps[warp].as_mut() {
                         if let Some(dst) = dst {
                             w.pending_writes &= !(1u64 << dst.index().min(63));
-                            self.stats.rf_bank_writes += 1;
-                            self.stats.scoreboard_writes += 1;
+                            self.stats[Ev::RfBankWrites] += 1;
+                            self.stats[Ev::ScoreboardWrites] += 1;
                         }
                         w.busy = false;
                         set_hint(&mut self.issue_ready, warp);
@@ -700,7 +702,7 @@ impl Core {
                         if self.try_issue(slot, cycle, cfg, ctx, mem) {
                             issued += 1;
                             self.issue_rr = if slot + 1 == n { 0 } else { slot + 1 };
-                            self.stats.issue_scheduler_selects += 1;
+                            self.stats[Ev::IssueSchedulerSelects] += 1;
                             slot = (self.issue_rr + scanned) % n;
                         } else {
                             self.clear_issue_hint_if_blocked(slot, cfg);
@@ -716,7 +718,7 @@ impl Core {
                         if self.try_issue(slot, cycle, cfg, ctx, mem) {
                             issued += 1;
                             self.issue_rr = if slot + 1 == n { 0 } else { slot + 1 };
-                            self.stats.issue_scheduler_selects += 1;
+                            self.stats[Ev::IssueSchedulerSelects] += 1;
                             slot = (self.issue_rr + scanned) % n;
                         } else {
                             slot += 1;
@@ -748,7 +750,7 @@ impl Core {
                     if self.try_issue(slot, cycle, cfg, ctx, mem) {
                         issued += 1;
                         self.issue_rr = (self.issue_rr + scanned) % n;
-                        self.stats.issue_scheduler_selects += 1;
+                        self.stats[Ev::IssueSchedulerSelects] += 1;
                         idx = (self.issue_rr + scanned) % n;
                     } else {
                         idx += 1;
@@ -847,7 +849,7 @@ impl Core {
                 // A failed probe still counts scoreboard activity, so
                 // this cycle is not quiescent (the idle fast-forward
                 // must not skip it).
-                self.stats.scoreboard_reads += 1;
+                self.stats[Ev::ScoreboardReads] += 1;
                 self.work = true;
                 if w.pending_writes & di.dep_mask != 0 {
                     return false;
@@ -917,8 +919,8 @@ impl Core {
 
         // Functional execution + architectural bookkeeping.
         let mem_commit = self.execute(slot, di.instr, mask, cycle, dispatch, cfg, ctx, mem);
-        self.stats.ibuffer_reads += 1;
-        self.stats.wst_writes += 1;
+        self.stats[Ev::IbufferReads] += 1;
+        self.stats[Ev::WstWrites] += 1;
 
         // An `Exit` can retire the warp (and free its slot) inside
         // `execute`; nothing further to track in that case.
@@ -966,24 +968,24 @@ impl Core {
 
     fn account_issue(&mut self, di: &DecodedInstr, mask: LaneMask) {
         let lanes = mask.count_ones() as u64;
-        self.stats.warp_instructions += 1;
-        self.stats.thread_instructions += lanes;
-        self.stats.simt_stack_reads += 1;
+        self.stats[Ev::WarpInstructions] += 1;
+        self.stats[Ev::ThreadInstructions] += lanes;
+        self.stats[Ev::SimtStackReads] += 1;
         match di.class {
             InstrClass::Int => {
-                self.stats.int_instructions += 1;
-                self.stats.int_lane_ops += lanes;
+                self.stats[Ev::IntInstructions] += 1;
+                self.stats[Ev::IntLaneOps] += lanes;
             }
             InstrClass::Fp => {
-                self.stats.fp_instructions += 1;
-                self.stats.fp_lane_ops += lanes;
+                self.stats[Ev::FpInstructions] += 1;
+                self.stats[Ev::FpLaneOps] += lanes;
             }
             InstrClass::Sfu => {
-                self.stats.sfu_instructions += 1;
-                self.stats.sfu_lane_ops += lanes;
+                self.stats[Ev::SfuInstructions] += 1;
+                self.stats[Ev::SfuLaneOps] += lanes;
             }
             InstrClass::Mem => {
-                self.stats.mem_instructions += 1;
+                self.stats[Ev::MemInstructions] += 1;
             }
             InstrClass::Control => {}
         }
@@ -991,12 +993,12 @@ impl Core {
         // decode; see `DecodedInstr`).
         let n_srcs = di.n_srcs as u64;
         if n_srcs > 0 || di.dst.is_some() {
-            self.stats.collector_allocations += 1;
+            self.stats[Ev::CollectorAllocations] += 1;
         }
         if n_srcs > 0 {
-            self.stats.rf_bank_reads += n_srcs;
-            self.stats.collector_xbar_transfers += n_srcs;
-            self.stats.rf_bank_conflicts += di.bank_conflicts as u64;
+            self.stats[Ev::RfBankReads] += n_srcs;
+            self.stats[Ev::CollectorXbarTransfers] += n_srcs;
+            self.stats[Ev::RfBankConflicts] += di.bank_conflicts as u64;
         }
     }
 
@@ -1200,7 +1202,7 @@ impl Core {
                 target,
                 reconv,
             } => {
-                self.stats.branches += 1;
+                self.stats[Ev::Branches] += 1;
                 let (taken, fallthrough) = {
                     let w = self.warps[slot].as_ref().expect("live warp");
                     let entry = w.stack.current().expect("executing warp has a token");
@@ -1219,18 +1221,18 @@ impl Core {
                 let w = warp!();
                 let act = w.stack.branch(target, reconv, taken, fallthrough);
                 if act.diverged {
-                    self.stats.divergent_branches += 1;
+                    self.stats[Ev::DivergentBranches] += 1;
                 }
-                self.stats.simt_stack_pushes += act.pushes;
-                self.stats.simt_stack_pops += act.pops;
+                self.stats[Ev::SimtStackPushes] += act.pushes;
+                self.stats[Ev::SimtStackPops] += act.pops;
             }
             Instr::Jmp { target } => {
                 let w = warp!();
                 let act = w.stack.jump(target);
-                self.stats.simt_stack_pops += act.pops;
+                self.stats[Ev::SimtStackPops] += act.pops;
             }
             Instr::Bar => {
-                self.stats.barrier_waits += 1;
+                self.stats[Ev::BarrierWaits] += 1;
                 let cta_slot = {
                     let w = warp!();
                     w.at_barrier = true;
@@ -1250,7 +1252,7 @@ impl Core {
                 let (finished, cta_slot) = {
                     let w = warp!();
                     let act = w.stack.exit_lanes();
-                    self.stats.simt_stack_pops += act.pops;
+                    self.stats[Ev::SimtStackPops] += act.pops;
                     (w.stack.finished(), w.cta_slot)
                 };
                 if finished {
@@ -1269,7 +1271,7 @@ impl Core {
         let w = self.warps[slot].as_mut().expect("live warp");
         if let Some(entry) = w.stack.current() {
             let act = w.stack.advance(entry.pc + 1);
-            self.stats.simt_stack_pops += act.pops;
+            self.stats[Ev::SimtStackPops] += act.pops;
         }
     }
 
@@ -1330,7 +1332,7 @@ impl Core {
     ) -> Option<(u64, Option<Reg>)> {
         let num_regs = ctx.kernel.num_regs() as usize;
         let lanes = mask.count_ones();
-        self.stats.agu_ops += ldst::agu_activations(lanes, 8) as u64;
+        self.stats[Ev::AguOps] += ldst::agu_activations(lanes, 8) as u64;
 
         let (space, addr_reg, offset, dst, src) = match instr {
             Instr::Ld {
@@ -1370,8 +1372,8 @@ impl Core {
             MemSpace::Shared => {
                 words.extend(addrs.iter().map(|&(_, a)| a / 4));
                 let plan = ldst::smem_conflicts(&words, cfg.smem_banks as u32);
-                self.stats.smem_accesses += plan.bank_accesses as u64;
-                self.stats.smem_bank_conflict_cycles += plan.passes.saturating_sub(1) as u64;
+                self.stats[Ev::SmemAccesses] += plan.bank_accesses as u64;
+                self.stats[Ev::SmemBankConflictCycles] += plan.passes.saturating_sub(1) as u64;
                 let cta_slot = self.warps[slot].as_ref().expect("live warp").cta_slot;
                 // Functional access to the CTA's shared array.
                 if let Some(d) = dst {
@@ -1421,7 +1423,7 @@ impl Core {
                 // Constant addresses live in the staged constant segment.
                 words.extend(addrs.iter().map(|&(_, a)| ctx.const_base.wrapping_add(a)));
                 let unique = ldst::const_unique(&words);
-                self.stats.const_accesses += unique as u64;
+                self.stats[Ev::ConstAccesses] += unique as u64;
                 // Functional read.
                 if let Some(d) = dst {
                     let mut values = std::mem::take(&mut self.scratch_loads);
@@ -1443,7 +1445,7 @@ impl Core {
                 let mut misses = 0;
                 for &line in &lines {
                     if self.const_cache.read(line) == Probe::Miss {
-                        self.stats.const_misses += 1;
+                        self.stats[Ev::ConstMisses] += 1;
                         misses += self.issue_read_request(slot, dst, line & !127, cfg);
                     }
                 }
@@ -1458,11 +1460,11 @@ impl Core {
             }
             MemSpace::Global => {
                 words.extend(addrs.iter().map(|&(_, a)| a));
-                self.stats.coalescer_inputs += words.len() as u64;
+                self.stats[Ev::CoalescerInputs] += words.len() as u64;
                 let mut segments = std::mem::take(&mut self.scratch_segs);
                 segments.clear();
                 ldst::coalesce_into(&words, 128, &mut segments);
-                self.stats.coalescer_outputs += segments.len() as u64;
+                self.stats[Ev::CoalescerOutputs] += segments.len() as u64;
 
                 // Functional access first. Loads see this core's own
                 // buffered stores (read-your-own-writes via the overlay);
@@ -1505,10 +1507,10 @@ impl Core {
                     for seg in &segments {
                         let hit = match &mut self.l1 {
                             Some(l1) => {
-                                self.stats.l1_accesses += 1;
+                                self.stats[Ev::L1Accesses] += 1;
                                 let probe = l1.read(*seg);
                                 if probe == Probe::Miss {
-                                    self.stats.l1_misses += 1;
+                                    self.stats[Ev::L1Misses] += 1;
                                 }
                                 probe == Probe::Hit
                             }
@@ -1528,7 +1530,7 @@ impl Core {
                     // Store: write-through, no allocate, no reply.
                     for seg in &segments {
                         if let Some(l1) = &mut self.l1 {
-                            self.stats.l1_accesses += 1;
+                            self.stats[Ev::L1Accesses] += 1;
                             let _ = l1.write(*seg);
                         }
                         // Size the write by the lanes that fall in this
@@ -1658,14 +1660,14 @@ impl Core {
             _ => return false,
         };
         self.work = true;
-        self.stats.fetch_scheduler_selects += 1;
-        self.stats.wst_reads += 1;
-        self.stats.icache_accesses += 1;
+        self.stats[Ev::FetchSchedulerSelects] += 1;
+        self.stats[Ev::WstReads] += 1;
+        self.stats[Ev::IcacheAccesses] += 1;
         if self.icache.read(pc * 8) == Probe::Miss {
-            self.stats.icache_misses += 1;
+            self.stats[Ev::IcacheMisses] += 1;
         }
-        self.stats.decodes += 1;
-        self.stats.ibuffer_writes += 1;
+        self.stats[Ev::Decodes] += 1;
+        self.stats[Ev::IbufferWrites] += 1;
         // The i-buffer holds the PC; operands and metadata come from
         // the launch-wide decoded table (`LaunchCtx::decoded`).
         self.warps[slot].as_mut().expect("checked above").ibuf = Some(pc);

@@ -9,7 +9,7 @@
 use std::collections::VecDeque;
 
 use crate::config::DramConfig;
-use crate::stats::ActivityStats;
+use crate::events::{ActivityVector, EventKind as Ev};
 
 /// A request entering a channel. `T` is an opaque caller token returned
 /// on read completion (writes complete silently).
@@ -75,19 +75,19 @@ impl<T: Copy> DramChannel<T> {
     /// # Panics
     ///
     /// Panics when the queue is full; probe [`DramChannel::can_accept`].
-    pub fn push(&mut self, req: DramRequest<T>, stats: &mut ActivityStats) {
+    pub fn push(&mut self, req: DramRequest<T>, stats: &mut ActivityVector) {
         assert!(self.can_accept(), "dram queue overflow");
-        stats.mc_queue_ops += 1;
+        stats[Ev::McQueueOps] += 1;
         self.queue.push_back(req);
     }
 
     /// Advances one command-clock cycle; schedules at most one request.
-    pub fn tick(&mut self, cycle: u64, stats: &mut ActivityStats) {
+    pub fn tick(&mut self, cycle: u64, stats: &mut ActivityVector) {
         // Refresh has priority and blocks the whole channel.
         if cycle >= self.next_refresh && cycle >= self.refreshing_until {
             self.refreshing_until = cycle + self.cfg.t_rfc as u64;
             self.next_refresh += self.cfg.t_refi as u64;
-            stats.dram_refreshes += 1;
+            stats[Ev::DramRefreshes] += 1;
             // All banks close.
             for b in &mut self.banks {
                 b.open_row = None;
@@ -123,13 +123,13 @@ impl<T: Copy> DramChannel<T> {
         match bank.open_row {
             Some(open) if open == row => {}
             Some(_) => {
-                stats.dram_precharges += 1;
-                stats.dram_activates += 1;
+                stats[Ev::DramPrecharges] += 1;
+                stats[Ev::DramActivates] += 1;
                 latency += (self.cfg.t_rp + self.cfg.t_rcd) as u64;
                 bank.ready_at = cycle + self.cfg.t_rc as u64;
             }
             None => {
-                stats.dram_activates += 1;
+                stats[Ev::DramActivates] += 1;
                 latency += self.cfg.t_rcd as u64;
                 bank.ready_at = cycle + self.cfg.t_rc as u64;
             }
@@ -140,11 +140,11 @@ impl<T: Copy> DramChannel<T> {
         let busy = bursts * self.cfg.burst_cycles as u64;
         let data_start = (cycle + latency).max(self.data_bus_free_at);
         self.data_bus_free_at = data_start + busy;
-        stats.dram_data_bus_busy_cycles += busy;
+        stats[Ev::DramDataBusBusyCycles] += busy;
         if req.write {
-            stats.dram_write_bursts += bursts;
+            stats[Ev::DramWriteBursts] += bursts;
         } else {
-            stats.dram_read_bursts += bursts;
+            stats[Ev::DramReadBursts] += bursts;
             self.completions.push_back((data_start + busy, req.token));
         }
         bank.ready_at = bank.ready_at.max(self.data_bus_free_at);
@@ -217,7 +217,7 @@ impl<T: Copy> DramChannel<T> {
     ///
     /// Completions are *not* drained; the caller pops them at the exact
     /// cycles they become ready (which `next_event` reports).
-    pub fn tick_to(&mut self, from: u64, to: u64, stats: &mut ActivityStats) {
+    pub fn tick_to(&mut self, from: u64, to: u64, stats: &mut ActivityVector) {
         // `from` itself may be an event cycle; ticking a non-event cycle
         // is a no-op, so starting with an unconditional tick is safe.
         let mut cycle = from;
@@ -249,7 +249,7 @@ mod tests {
         DramChannel::new(DramConfig::gddr5(), 16)
     }
 
-    fn drive(ch: &mut DramChannel<u32>, cycles: u64, stats: &mut ActivityStats) -> Vec<u32> {
+    fn drive(ch: &mut DramChannel<u32>, cycles: u64, stats: &mut ActivityVector) -> Vec<u32> {
         let mut done = Vec::new();
         for c in 0..cycles {
             ch.tick(c, stats);
@@ -261,7 +261,7 @@ mod tests {
     #[test]
     fn single_read_completes() {
         let mut c = ch();
-        let mut stats = ActivityStats::new();
+        let mut stats = ActivityVector::new();
         c.push(
             DramRequest {
                 write: false,
@@ -273,15 +273,15 @@ mod tests {
         );
         let done = drive(&mut c, 200, &mut stats);
         assert_eq!(done, vec![42]);
-        assert_eq!(stats.dram_activates, 1);
-        assert_eq!(stats.dram_read_bursts, 4);
+        assert_eq!(stats[Ev::DramActivates], 1);
+        assert_eq!(stats[Ev::DramReadBursts], 4);
         assert!(c.is_idle());
     }
 
     #[test]
     fn row_hits_avoid_activates() {
         let mut c = ch();
-        let mut stats = ActivityStats::new();
+        let mut stats = ActivityVector::new();
         // Two reads in the same 2 KB row.
         for (i, off) in [0u32, 128].iter().enumerate() {
             c.push(
@@ -296,14 +296,14 @@ mod tests {
         }
         let done = drive(&mut c, 300, &mut stats);
         assert_eq!(done.len(), 2);
-        assert_eq!(stats.dram_activates, 1, "second access is a row hit");
-        assert_eq!(stats.dram_precharges, 0);
+        assert_eq!(stats[Ev::DramActivates], 1, "second access is a row hit");
+        assert_eq!(stats[Ev::DramPrecharges], 0);
     }
 
     #[test]
     fn row_conflicts_precharge() {
         let mut c = ch();
-        let mut stats = ActivityStats::new();
+        let mut stats = ActivityVector::new();
         let row_bytes = DramConfig::gddr5().row_bytes as u32;
         let banks = DramConfig::gddr5().banks as u32;
         // Same bank, different row: rows k and k + banks share a bank.
@@ -320,14 +320,14 @@ mod tests {
         }
         let done = drive(&mut c, 500, &mut stats);
         assert_eq!(done.len(), 2);
-        assert_eq!(stats.dram_activates, 2);
-        assert_eq!(stats.dram_precharges, 1);
+        assert_eq!(stats[Ev::DramActivates], 2);
+        assert_eq!(stats[Ev::DramPrecharges], 1);
     }
 
     #[test]
     fn fr_fcfs_prefers_row_hits() {
         let mut c = ch();
-        let mut stats = ActivityStats::new();
+        let mut stats = ActivityVector::new();
         let row_bytes = DramConfig::gddr5().row_bytes as u32;
         let banks = DramConfig::gddr5().banks as u32;
         // Open row 0 (bank 0), then queue a conflict (same bank) and a hit.
@@ -376,7 +376,7 @@ mod tests {
     #[test]
     fn writes_do_not_produce_completions() {
         let mut c = ch();
-        let mut stats = ActivityStats::new();
+        let mut stats = ActivityVector::new();
         c.push(
             DramRequest {
                 write: true,
@@ -388,23 +388,23 @@ mod tests {
         );
         let done = drive(&mut c, 200, &mut stats);
         assert!(done.is_empty());
-        assert_eq!(stats.dram_write_bursts, 2);
+        assert_eq!(stats[Ev::DramWriteBursts], 2);
         assert!(c.is_idle());
     }
 
     #[test]
     fn refresh_fires_periodically_and_closes_rows() {
         let mut c = ch();
-        let mut stats = ActivityStats::new();
+        let mut stats = ActivityVector::new();
         let trefi = DramConfig::gddr5().t_refi as u64;
         let _ = drive(&mut c, trefi * 3 + 10, &mut stats);
-        assert_eq!(stats.dram_refreshes, 3);
+        assert_eq!(stats[Ev::DramRefreshes], 3);
     }
 
     #[test]
     fn queue_capacity_enforced() {
         let mut c = DramChannel::<u32>::new(DramConfig::gddr5(), 1);
-        let mut stats = ActivityStats::new();
+        let mut stats = ActivityVector::new();
         c.push(
             DramRequest {
                 write: true,
@@ -419,7 +419,7 @@ mod tests {
 
     /// Mixed read/write workload touching several banks and rows, used by
     /// the event-equivalence tests below.
-    fn mixed_workload(c: &mut DramChannel<u32>, stats: &mut ActivityStats) {
+    fn mixed_workload(c: &mut DramChannel<u32>, stats: &mut ActivityVector) {
         let row_bytes = DramConfig::gddr5().row_bytes as u32;
         let banks = DramConfig::gddr5().banks as u32;
         for (i, (write, addr, bytes)) in [
@@ -450,7 +450,7 @@ mod tests {
         let trefi = DramConfig::gddr5().t_refi as u64;
         let span = trefi * 2 + 500; // cross two refreshes
         let mut dense = ch();
-        let mut dense_stats = ActivityStats::new();
+        let mut dense_stats = ActivityVector::new();
         mixed_workload(&mut dense, &mut dense_stats);
         let mut dense_done = Vec::new();
         for c in 0..span {
@@ -459,7 +459,7 @@ mod tests {
         }
 
         let mut sparse = ch();
-        let mut sparse_stats = ActivityStats::new();
+        let mut sparse_stats = ActivityVector::new();
         mixed_workload(&mut sparse, &mut sparse_stats);
         // One jump across the whole span; completions keep their exact
         // ready cycles (tick_to never drains them), so popping per cycle
@@ -481,7 +481,7 @@ mod tests {
         // completion, a previously computed next_event must not have
         // pointed past that cycle.
         let mut c = ch();
-        let mut stats = ActivityStats::new();
+        let mut stats = ActivityVector::new();
         mixed_workload(&mut c, &mut stats);
         let mut predicted = c.next_event(0);
         for cycle in 1..5_000u64 {
@@ -516,7 +516,7 @@ mod tests {
     #[test]
     fn data_bus_serializes_bursts() {
         let mut c = ch();
-        let mut stats = ActivityStats::new();
+        let mut stats = ActivityVector::new();
         // Two row hits back to back: bus busy cycles add up.
         for i in 0..2u32 {
             c.push(
@@ -532,6 +532,6 @@ mod tests {
         let done = drive(&mut c, 300, &mut stats);
         assert_eq!(done.len(), 2);
         let burst = DramConfig::gddr5().burst_cycles as u64;
-        assert_eq!(stats.dram_data_bus_busy_cycles, 2 * 4 * burst);
+        assert_eq!(stats[Ev::DramDataBusBusyCycles], 2 * 4 * burst);
     }
 }

@@ -12,6 +12,7 @@ use gpusimpow_isa::{Kernel, LaunchConfig};
 
 use crate::config::{ConfigError, GpuConfig};
 use crate::core::{Core, DecodedInstr, LaunchCtx, MemRequest};
+use crate::events::{ActivityVector, EventKind as Ev};
 use crate::mem::{DevicePtr, GpuMemory};
 use crate::parallel::{available_threads, CorePool};
 use crate::sink::{ActivitySink, ActivityWindow};
@@ -63,6 +64,83 @@ pub struct LaunchReport {
     pub stats: ActivityStats,
     /// Wall-clock kernel time in seconds at the configured clocks.
     pub time_s: f64,
+    /// Scope-resolved registry counters: per-core event vectors plus
+    /// per-core/per-cluster busy-cycle accounting. Sums exactly to
+    /// `stats` (see [`ScopedActivity::total_vector`]).
+    pub scoped: ScopedActivity,
+}
+
+/// Scope-resolved activity of one launch — the registry's scope
+/// dimension materialised.
+///
+/// [`crate::events::Scope::Core`] events are recorded into each core's
+/// private [`ActivityVector`] on the simulator hot paths and collected
+/// here unmerged; [`crate::events::Scope::Chip`] events live in the
+/// `chip` vector. Aggregation (per cluster, chip-wide) happens on
+/// demand, and conservation is exact in `u64`:
+/// `chip + Σ per_core == LaunchReport::stats` counters.
+///
+/// Busy cycles are tracked alongside: `core_busy[k]` / `cluster_busy[c]`
+/// use the same span-multiply fast-forward semantics as the chip-wide
+/// `core_busy_cycles` / `cluster_busy_cycles` counters, so
+/// `Σ core_busy == core_busy_cycles` and
+/// `Σ cluster_busy == cluster_busy_cycles` exactly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScopedActivity {
+    /// Number of clusters in the simulated chip.
+    pub clusters: usize,
+    /// Cores per cluster (core `k` belongs to cluster
+    /// `k / cores_per_cluster`).
+    pub cores_per_cluster: usize,
+    /// Per-core event vectors, indexed by chip-wide core id. Only
+    /// core-scoped events are non-zero here.
+    pub per_core: Vec<ActivityVector>,
+    /// Busy cycles per core (cycles with at least one resident CTA).
+    pub core_busy: Vec<u64>,
+    /// Busy cycles per cluster (cycles with at least one busy core).
+    pub cluster_busy: Vec<u64>,
+    /// Chip-scoped events (clock domains, NoC/L2/MC/DRAM, PCIe, kernel
+    /// launches).
+    pub chip: ActivityVector,
+}
+
+impl ScopedActivity {
+    /// The cluster a chip-wide core id belongs to.
+    pub fn cluster_of(&self, core: usize) -> usize {
+        core / self.cores_per_cluster
+    }
+
+    /// Sum of the event vectors of cluster `c`'s cores.
+    pub fn cluster_vector(&self, c: usize) -> ActivityVector {
+        let mut sum = ActivityVector::new();
+        for (k, vector) in self.per_core.iter().enumerate() {
+            if self.cluster_of(k) == c {
+                sum += vector;
+            }
+        }
+        sum
+    }
+
+    /// Chip-wide total: chip-scoped events plus every core's vector.
+    /// Equals the counter fields of the owning
+    /// [`LaunchReport::stats`] exactly.
+    pub fn total_vector(&self) -> ActivityVector {
+        let mut sum = self.chip.clone();
+        for vector in &self.per_core {
+            sum += vector;
+        }
+        sum
+    }
+
+    /// Busy cycles of cluster `c`'s cores, summed.
+    pub fn cluster_core_busy(&self, c: usize) -> u64 {
+        self.per_core
+            .iter()
+            .enumerate()
+            .filter(|(k, _)| self.cluster_of(*k) == c)
+            .map(|(k, _)| self.core_busy[k])
+            .sum()
+    }
 }
 
 /// The simulated GPU plus its GDDR memory — the "device" a host program
@@ -422,10 +500,12 @@ impl Gpu {
         for core in &mut self.cores {
             core.begin_launch();
         }
-        let mut stats = ActivityStats::new();
-        stats.kernel_launches = 1;
-        stats.pcie_h2d_bytes = std::mem::take(&mut self.pending_h2d);
-        stats.pcie_d2h_bytes = std::mem::take(&mut self.pending_d2h);
+        // Chip-scoped registry slots; core-scoped events accumulate in
+        // each core's private vector and are merged after the loop.
+        let mut stats = ActivityVector::new();
+        stats[Ev::KernelLaunches] = 1;
+        stats[Ev::PcieH2dBytes] = std::mem::take(&mut self.pending_h2d);
+        stats[Ev::PcieD2hBytes] = std::mem::take(&mut self.pending_d2h);
 
         // The event-driven uncore, rebuilt per launch (it must drain
         // before a launch completes anyway).
@@ -448,11 +528,15 @@ impl Gpu {
             sink.on_launch_begin(kernel.name(), *window_cycles);
         }
         let mut next_window_at: u64 = sampling.as_ref().map_or(u64::MAX, |(w, _)| *w);
-        let mut last_snapshot = ActivityStats::new();
+        let mut last_snapshot = ActivityVector::new();
         let mut window_index: u64 = 0;
         let mut window_start: u64 = 0;
         let mut win_peak_cores: usize = 0;
         let mut win_peak_clusters: usize = 0;
+        // Whole-launch concurrency peaks (window maxima live in
+        // `win_peak_*`); these are not registry events.
+        let mut peak_cores: usize = 0;
+        let mut peak_clusters: usize = 0;
 
         // Hoisted per-cycle scratch and stall-aware fast-forward state.
         // Cycles in `[cycle, skip_until)` are provably inert for the
@@ -466,6 +550,13 @@ impl Gpu {
         let mut cluster_busy = vec![false; cfg.clusters];
         let mut busy_cores = 0usize;
         let mut busy_clusters = 0usize;
+        // Scoped busy-cycle accumulators: the same span-multiply
+        // semantics as the chip-wide busy counters, resolved per core
+        // and per cluster. `last_cluster_busy_acc` is the window
+        // sampler's previous per-cluster snapshot.
+        let mut core_busy_acc = vec![0u64; self.cores.len()];
+        let mut cluster_busy_acc = vec![0u64; cfg.clusters];
+        let mut last_cluster_busy_acc = vec![0u64; cfg.clusters];
         let mut skip_until: u64 = 0;
         // Cores with any live state, ascending id. A core outside this
         // list satisfies the tick early-out condition (no CTAs, events
@@ -594,11 +685,21 @@ impl Gpu {
 
             // During a skip the cores are untouched, so the busy counts
             // cached from the last stepped cycle stay exact across the
-            // whole span.
-            stats.core_busy_cycles += busy_cores as u64 * consumed;
-            stats.cluster_busy_cycles += busy_clusters as u64 * consumed;
-            stats.peak_cores_busy = stats.peak_cores_busy.max(busy_cores);
-            stats.peak_clusters_busy = stats.peak_clusters_busy.max(busy_clusters);
+            // whole span. After the retain above, `live` holds exactly
+            // the busy cores (and is frozen across a skip), so the
+            // scoped accumulators use the identical span-multiply.
+            stats[Ev::CoreBusyCycles] += busy_cores as u64 * consumed;
+            stats[Ev::ClusterBusyCycles] += busy_clusters as u64 * consumed;
+            for &id in &live {
+                core_busy_acc[id] += consumed;
+            }
+            for (c, flag) in cluster_busy.iter().enumerate() {
+                if *flag {
+                    cluster_busy_acc[c] += consumed;
+                }
+            }
+            peak_cores = peak_cores.max(busy_cores);
+            peak_clusters = peak_clusters.max(busy_clusters);
             win_peak_cores = win_peak_cores.max(busy_cores);
             win_peak_clusters = win_peak_clusters.max(busy_clusters);
 
@@ -634,16 +735,24 @@ impl Gpu {
                         uncore.uncore_cycles(),
                         uncore.dram_cycles(),
                     );
-                    let mut delta = snapshot.delta_from(&last_snapshot);
+                    let mut delta =
+                        ActivityStats::from_vector(&snapshot.delta_from(&last_snapshot));
                     delta.peak_cores_busy = win_peak_cores;
                     delta.peak_clusters_busy = win_peak_clusters;
+                    let cluster_delta: Vec<u64> = cluster_busy_acc
+                        .iter()
+                        .zip(&last_cluster_busy_acc)
+                        .map(|(now, then)| now - then)
+                        .collect();
                     sink.on_window(&ActivityWindow {
                         index: window_index,
                         start_cycle: window_start,
                         end_cycle: cycle,
                         stats: delta,
+                        cluster_busy: cluster_delta,
                     });
                     last_snapshot = snapshot;
+                    last_cluster_busy_acc.copy_from_slice(&cluster_busy_acc);
                     window_index += 1;
                     window_start = cycle;
                     win_peak_cores = 0;
@@ -664,32 +773,59 @@ impl Gpu {
             }
         }
 
-        stats.shader_cycles = cycle;
-        stats.uncore_cycles = uncore.uncore_cycles();
-        stats.dram_cycles = uncore.dram_cycles();
+        stats[Ev::ShaderCycles] = cycle;
+        stats[Ev::UncoreCycles] = uncore.uncore_cycles();
+        stats[Ev::DramCycles] = uncore.dram_cycles();
+        // `stats` holds exactly the chip-scoped events here; keep that
+        // as the scope-resolved chip vector before merging the cores.
+        let chip_vector = stats.clone();
+        let mut per_core: Vec<ActivityVector> = Vec::with_capacity(self.cores.len());
         for core in &mut self.cores {
             let core_stats = std::mem::take(&mut core.stats);
             stats += &core_stats;
+            per_core.push(core_stats);
         }
         self.total_launches += 1;
         let time_s = cycle as f64 / (self.config.shader_mhz() * 1e6);
+        // Final (possibly partial) window: the finalized aggregate is
+        // exactly the snapshot at `cycle`, so delta it directly.
+        let final_delta = if sampling.is_some() && cycle > window_start {
+            let mut delta = ActivityStats::from_vector(&stats.delta_from(&last_snapshot));
+            delta.peak_cores_busy = win_peak_cores;
+            delta.peak_clusters_busy = win_peak_clusters;
+            let cluster_delta: Vec<u64> = cluster_busy_acc
+                .iter()
+                .zip(&last_cluster_busy_acc)
+                .map(|(now, then)| now - then)
+                .collect();
+            Some((delta, cluster_delta))
+        } else {
+            None
+        };
+        let mut report_stats = ActivityStats::from_vector(&stats);
+        report_stats.peak_cores_busy = peak_cores;
+        report_stats.peak_clusters_busy = peak_clusters;
         let report = LaunchReport {
             kernel: kernel.name().to_string(),
-            stats,
+            stats: report_stats,
             time_s,
+            scoped: ScopedActivity {
+                clusters: cfg.clusters,
+                cores_per_cluster: cfg.cores_per_cluster,
+                per_core,
+                core_busy: core_busy_acc,
+                cluster_busy: cluster_busy_acc,
+                chip: chip_vector,
+            },
         };
         if let Some((_, sink)) = &mut sampling {
-            // Final (possibly partial) window: the finalized aggregate is
-            // exactly the snapshot at `cycle`, so delta it directly.
-            if cycle > window_start {
-                let mut delta = report.stats.delta_from(&last_snapshot);
-                delta.peak_cores_busy = win_peak_cores;
-                delta.peak_clusters_busy = win_peak_clusters;
+            if let Some((delta, cluster_delta)) = final_delta {
                 sink.on_window(&ActivityWindow {
                     index: window_index,
                     start_cycle: window_start,
                     end_cycle: cycle,
                     stats: delta,
+                    cluster_busy: cluster_delta,
                 });
             }
             sink.on_launch_end(&report);
@@ -700,16 +836,16 @@ impl Gpu {
     /// Cumulative counter snapshot mid-launch, assembled the same way the
     /// final report is: running globals + time counters + per-core stats.
     fn snapshot_running(
-        stats: &ActivityStats,
+        stats: &ActivityVector,
         cores: &[Core],
         cycle: u64,
         uncore_cycle: u64,
         dram_cycle: u64,
-    ) -> ActivityStats {
+    ) -> ActivityVector {
         let mut snap = stats.clone();
-        snap.shader_cycles = cycle;
-        snap.uncore_cycles = uncore_cycle;
-        snap.dram_cycles = dram_cycle;
+        snap[Ev::ShaderCycles] = cycle;
+        snap[Ev::UncoreCycles] = uncore_cycle;
+        snap[Ev::DramCycles] = dram_cycle;
         for core in cores {
             snap += &core.stats;
         }

@@ -54,6 +54,7 @@ pub mod cache;
 pub mod config;
 pub mod core;
 pub mod dram;
+pub mod events;
 pub mod func;
 pub mod gpu;
 pub mod ldst;
@@ -66,7 +67,8 @@ pub mod stats;
 pub mod uncore;
 
 pub use config::{ConfigError, DramConfig, GpuConfig, L2Config, WarpSchedPolicy};
-pub use gpu::{Gpu, LaunchReport, SimError};
+pub use events::{ActivityVector, ComponentId, EventKind, Scope};
+pub use gpu::{Gpu, LaunchReport, ScopedActivity, SimError};
 pub use mem::{DevicePtr, GpuMemory};
 pub use parallel::SimPool;
 pub use sink::{ActivitySink, ActivityWindow, RecordedLaunch, WindowRecorder};

@@ -34,12 +34,27 @@ pub struct ActivityWindow {
     /// that happened inside the window; `peak_cores_busy` /
     /// `peak_clusters_busy` are the within-window concurrency maxima.
     pub stats: ActivityStats,
+    /// Busy cycles per cluster inside this window (same span-multiply
+    /// semantics as `stats.cluster_busy_cycles`, which equals this
+    /// vector's sum). Lets governors see per-cluster load instead of
+    /// the chip average.
+    pub cluster_busy: Vec<u64>,
 }
 
 impl ActivityWindow {
     /// Shader cycles covered by this window.
     pub fn cycles(&self) -> u64 {
         self.end_cycle - self.start_cycle
+    }
+
+    /// Per-cluster busy fraction in `[0, 1]`: the fraction of this
+    /// window's cycles each cluster had at least one busy core.
+    pub fn cluster_busy_fractions(&self) -> Vec<f64> {
+        let cycles = self.cycles().max(1) as f64;
+        self.cluster_busy
+            .iter()
+            .map(|&busy| busy as f64 / cycles)
+            .collect()
     }
 }
 

@@ -6,269 +6,104 @@
 //! (paper §III-B). [`ActivityStats`] is that information: one counter per
 //! energy-bearing event. The power model multiplies each counter by a
 //! per-event energy and divides by runtime to obtain dynamic power.
+//!
+//! Since the component-event registry ([`crate::events`]) became the
+//! accounting spine, this struct is a thin **compatibility view**: its
+//! counter fields, [`ActivityStats::delta_from`] and [`AddAssign`] are
+//! generated from the same [`crate::for_each_event!`] table that backs
+//! [`ActivityVector`], so the two representations cannot drift apart.
+//! Only the peak-concurrency fields (`peak_cores_busy`,
+//! `peak_clusters_busy`) live outside the registry — they are window
+//! maxima, not summable event counts.
 
 use std::fmt;
 use std::ops::AddAssign;
 
-/// Per-kernel activity counters, aggregated over the whole chip.
-///
-/// This is a passive record: all fields are public and the struct is
-/// `Default`-constructed to zero. Counters are event counts unless the
-/// name says otherwise.
-#[derive(Debug, Clone, Default, PartialEq)]
-#[non_exhaustive]
-pub struct ActivityStats {
-    // --- time ---------------------------------------------------------------
-    /// Shader-clock cycles from launch to completion.
-    pub shader_cycles: u64,
-    /// Uncore-clock cycles elapsed.
-    pub uncore_cycles: u64,
-    /// DRAM command-clock cycles elapsed.
-    pub dram_cycles: u64,
-    /// Sum over cores of cycles with at least one resident CTA.
-    pub core_busy_cycles: u64,
-    /// Sum over clusters of cycles with at least one busy core.
-    pub cluster_busy_cycles: u64,
-    /// Highest number of cores concurrently busy at any cycle.
-    pub peak_cores_busy: usize,
-    /// Highest number of clusters concurrently busy at any cycle.
-    pub peak_clusters_busy: usize,
+use crate::events::{ActivityVector, EventKind};
 
-    // --- warp control unit ----------------------------------------------------
-    /// Instruction-cache accesses (fetches).
-    pub icache_accesses: u64,
-    /// Instruction-cache misses.
-    pub icache_misses: u64,
-    /// Instructions decoded.
-    pub decodes: u64,
-    /// Instruction-buffer fills.
-    pub ibuffer_writes: u64,
-    /// Instruction-buffer drains (issues).
-    pub ibuffer_reads: u64,
-    /// Warp status table reads (fetch-stage scheduling).
-    pub wst_reads: u64,
-    /// Warp status table updates.
-    pub wst_writes: u64,
-    /// Fetch-scheduler selections (priority-encoder activations).
-    pub fetch_scheduler_selects: u64,
-    /// Issue-scheduler selections.
-    pub issue_scheduler_selects: u64,
-    /// Scoreboard lookups (dependency checks).
-    pub scoreboard_reads: u64,
-    /// Scoreboard set/clear updates.
-    pub scoreboard_writes: u64,
-    /// Reconvergence-stack token reads.
-    pub simt_stack_reads: u64,
-    /// Reconvergence-stack pushes.
-    pub simt_stack_pushes: u64,
-    /// Reconvergence-stack pops.
-    pub simt_stack_pops: u64,
-    /// Branch instructions executed (warp granularity).
-    pub branches: u64,
-    /// Branches that actually diverged.
-    pub divergent_branches: u64,
-    /// Warp-level barrier arrivals.
-    pub barrier_waits: u64,
+macro_rules! define_stats_view {
+    ( $( ($variant:ident, $field:ident, $component:ident, $scope:ident, $doc:literal) ),* $(,)? ) => {
+        /// Per-kernel activity counters, aggregated over the whole chip.
+        ///
+        /// This is a passive record: all fields are public and the
+        /// struct is `Default`-constructed to zero. Counters are event
+        /// counts unless the name says otherwise. The counter fields
+        /// are generated from the component-event registry
+        /// ([`crate::for_each_event!`]) in registry order; see
+        /// [`EventKind`] for each counter's component and scope.
+        #[derive(Debug, Clone, Default, PartialEq)]
+        #[non_exhaustive]
+        pub struct ActivityStats {
+            $( #[doc = $doc] pub $field: u64, )*
+            /// Highest number of cores concurrently busy at any cycle.
+            pub peak_cores_busy: usize,
+            /// Highest number of clusters concurrently busy at any cycle.
+            pub peak_clusters_busy: usize,
+        }
 
-    // --- register file ----------------------------------------------------------
-    /// Register-bank read accesses.
-    pub rf_bank_reads: u64,
-    /// Register-bank write accesses.
-    pub rf_bank_writes: u64,
-    /// Reads serialized because two operands hit the same bank.
-    pub rf_bank_conflicts: u64,
-    /// Operand-collector allocations.
-    pub collector_allocations: u64,
-    /// Operand crossbar transfers (bank → collector).
-    pub collector_xbar_transfers: u64,
+        impl ActivityStats {
+            /// A zeroed counter set.
+            pub fn new() -> Self {
+                Self::default()
+            }
 
-    // --- execution units ----------------------------------------------------------
-    /// Integer warp instructions issued.
-    pub int_instructions: u64,
-    /// Floating-point warp instructions issued.
-    pub fp_instructions: u64,
-    /// SFU warp instructions issued.
-    pub sfu_instructions: u64,
-    /// Integer lane-operations (thread granularity, drives the 40 pJ/op
-    /// empirical model).
-    pub int_lane_ops: u64,
-    /// FP lane-operations (75 pJ/op).
-    pub fp_lane_ops: u64,
-    /// SFU lane-operations.
-    pub sfu_lane_ops: u64,
-    /// Total warp instructions of any class issued.
-    pub warp_instructions: u64,
-    /// Total thread instructions committed.
-    pub thread_instructions: u64,
+            /// Builds the compatibility view from a dense registry
+            /// vector. The peak fields are not registry events and are
+            /// left zero for the caller to fill.
+            pub fn from_vector(vector: &ActivityVector) -> Self {
+                let mut stats = Self::default();
+                $( stats.$field = vector[EventKind::$variant]; )*
+                stats
+            }
 
-    // --- load/store unit -------------------------------------------------------------
-    /// Memory warp instructions issued.
-    pub mem_instructions: u64,
-    /// Sub-AGU activations (each produces up to 8 addresses).
-    pub agu_ops: u64,
-    /// Addresses presented to the coalescer.
-    pub coalescer_inputs: u64,
-    /// Memory requests leaving the coalescer.
-    pub coalescer_outputs: u64,
-    /// Shared-memory bank accesses.
-    pub smem_accesses: u64,
-    /// Extra serialization passes due to bank conflicts.
-    pub smem_bank_conflict_cycles: u64,
-    /// Constant-cache accesses (one per distinct address per warp).
-    pub const_accesses: u64,
-    /// Constant-cache misses.
-    pub const_misses: u64,
-    /// L1 data-cache accesses.
-    pub l1_accesses: u64,
-    /// L1 data-cache misses.
-    pub l1_misses: u64,
-    /// L1 line fills.
-    pub l1_fills: u64,
+            /// Converts the counter fields back into a dense registry
+            /// vector (the peak fields, being maxima, have no slot).
+            pub fn to_vector(&self) -> ActivityVector {
+                let mut vector = ActivityVector::new();
+                $( vector[EventKind::$variant] = self.$field; )*
+                vector
+            }
 
-    // --- chip level ---------------------------------------------------------------------
-    /// NoC flits transferred (both directions).
-    pub noc_flits: u64,
-    /// NoC packet transfers (requests + replies).
-    pub noc_transfers: u64,
-    /// L2 accesses.
-    pub l2_accesses: u64,
-    /// L2 misses.
-    pub l2_misses: u64,
-    /// L2 line fills.
-    pub l2_fills: u64,
-    /// Memory-controller queue operations.
-    pub mc_queue_ops: u64,
-    /// DRAM row activations.
-    pub dram_activates: u64,
-    /// DRAM precharges.
-    pub dram_precharges: u64,
-    /// DRAM 32-byte read bursts.
-    pub dram_read_bursts: u64,
-    /// DRAM 32-byte write bursts.
-    pub dram_write_bursts: u64,
-    /// DRAM refresh commands.
-    pub dram_refreshes: u64,
-    /// Command cycles the DRAM data bus was driven.
-    pub dram_data_bus_busy_cycles: u64,
-    /// Bytes moved over PCIe host→device.
-    pub pcie_h2d_bytes: u64,
-    /// Bytes moved over PCIe device→host.
-    pub pcie_d2h_bytes: u64,
-    /// Kernel launches seen by the global scheduler.
-    pub kernel_launches: u64,
-    /// CTAs dispatched by the global scheduler.
-    pub ctas_dispatched: u64,
-}
+            /// Counter-wise difference `self − earlier` between two cumulative
+            /// snapshots of the same launch.
+            ///
+            /// This is the primitive behind windowed power sampling: the
+            /// simulator snapshots its running counters every N cycles and the
+            /// delta of consecutive snapshots is the activity of that window, so
+            /// the [`AddAssign`]-sum of all window deltas reproduces the
+            /// whole-launch aggregate exactly.
+            ///
+            /// The peak-concurrency fields (`peak_cores_busy`,
+            /// `peak_clusters_busy`) are maxima, not sums, and cannot be
+            /// differenced; they are zeroed here and the sampling loop fills
+            /// them from its own per-window trackers.
+            ///
+            /// # Panics
+            ///
+            /// Panics if any counter in `earlier` exceeds the corresponding
+            /// counter in `self` (the snapshots are out of order).
+            pub fn delta_from(&self, earlier: &ActivityStats) -> ActivityStats {
+                let mut delta = ActivityStats::new();
+                $(
+                    delta.$field = self.$field.checked_sub(earlier.$field)
+                        .expect("delta_from: `earlier` is not an earlier snapshot");
+                )*
+                delta
+            }
+        }
 
-/// Invokes a callback macro with the complete list of summable counter
-/// fields, so accumulation ([`AddAssign`]) and differencing
-/// ([`ActivityStats::delta_from`]) can never drift apart when a counter
-/// is added.
-macro_rules! with_counter_fields {
-    ($cb:ident) => {
-        $cb!(
-            shader_cycles,
-            uncore_cycles,
-            dram_cycles,
-            core_busy_cycles,
-            cluster_busy_cycles,
-            icache_accesses,
-            icache_misses,
-            decodes,
-            ibuffer_writes,
-            ibuffer_reads,
-            wst_reads,
-            wst_writes,
-            fetch_scheduler_selects,
-            issue_scheduler_selects,
-            scoreboard_reads,
-            scoreboard_writes,
-            simt_stack_reads,
-            simt_stack_pushes,
-            simt_stack_pops,
-            branches,
-            divergent_branches,
-            barrier_waits,
-            rf_bank_reads,
-            rf_bank_writes,
-            rf_bank_conflicts,
-            collector_allocations,
-            collector_xbar_transfers,
-            int_instructions,
-            fp_instructions,
-            sfu_instructions,
-            int_lane_ops,
-            fp_lane_ops,
-            sfu_lane_ops,
-            warp_instructions,
-            thread_instructions,
-            mem_instructions,
-            agu_ops,
-            coalescer_inputs,
-            coalescer_outputs,
-            smem_accesses,
-            smem_bank_conflict_cycles,
-            const_accesses,
-            const_misses,
-            l1_accesses,
-            l1_misses,
-            l1_fills,
-            noc_flits,
-            noc_transfers,
-            l2_accesses,
-            l2_misses,
-            l2_fills,
-            mc_queue_ops,
-            dram_activates,
-            dram_precharges,
-            dram_read_bursts,
-            dram_write_bursts,
-            dram_refreshes,
-            dram_data_bus_busy_cycles,
-            pcie_h2d_bytes,
-            pcie_d2h_bytes,
-            kernel_launches,
-            ctas_dispatched,
-        )
+        impl AddAssign<&ActivityStats> for ActivityStats {
+            fn add_assign(&mut self, rhs: &ActivityStats) {
+                $( self.$field += rhs.$field; )*
+                self.peak_cores_busy = self.peak_cores_busy.max(rhs.peak_cores_busy);
+                self.peak_clusters_busy = self.peak_clusters_busy.max(rhs.peak_clusters_busy);
+            }
+        }
     };
 }
+crate::for_each_event!(define_stats_view);
 
 impl ActivityStats {
-    /// A zeroed counter set.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Counter-wise difference `self − earlier` between two cumulative
-    /// snapshots of the same launch.
-    ///
-    /// This is the primitive behind windowed power sampling: the
-    /// simulator snapshots its running counters every N cycles and the
-    /// delta of consecutive snapshots is the activity of that window, so
-    /// the [`AddAssign`]-sum of all window deltas reproduces the
-    /// whole-launch aggregate exactly.
-    ///
-    /// The peak-concurrency fields (`peak_cores_busy`,
-    /// `peak_clusters_busy`) are maxima, not sums, and cannot be
-    /// differenced; they are zeroed here and the sampling loop fills
-    /// them from its own per-window trackers.
-    ///
-    /// # Panics
-    ///
-    /// Panics if any counter in `earlier` exceeds the corresponding
-    /// counter in `self` (the snapshots are out of order).
-    pub fn delta_from(&self, earlier: &ActivityStats) -> ActivityStats {
-        let mut delta = ActivityStats::new();
-        macro_rules! sub {
-            ($($field:ident),* $(,)?) => {
-                $(delta.$field = self.$field.checked_sub(earlier.$field)
-                    .expect("delta_from: `earlier` is not an earlier snapshot");)*
-            };
-        }
-        with_counter_fields!(sub);
-        delta
-    }
-
     /// Warp-level instructions per shader cycle (chip-wide).
     pub fn ipc(&self) -> f64 {
         if self.shader_cycles == 0 {
@@ -315,19 +150,6 @@ fn hit_rate(accesses: u64, misses: u64) -> f64 {
         1.0
     } else {
         1.0 - misses as f64 / accesses as f64
-    }
-}
-
-impl AddAssign<&ActivityStats> for ActivityStats {
-    fn add_assign(&mut self, rhs: &ActivityStats) {
-        macro_rules! acc {
-            ($($field:ident),* $(,)?) => {
-                $(self.$field += rhs.$field;)*
-            };
-        }
-        with_counter_fields!(acc);
-        self.peak_cores_busy = self.peak_cores_busy.max(rhs.peak_cores_busy);
-        self.peak_clusters_busy = self.peak_clusters_busy.max(rhs.peak_clusters_busy);
     }
 }
 
@@ -455,5 +277,19 @@ mod tests {
         let text = s.to_string();
         assert!(text.contains("IPC"));
         assert!(text.contains("dram"));
+    }
+
+    #[test]
+    fn vector_roundtrip_covers_every_field() {
+        // Give every registry slot a distinct value; a dropped or
+        // swapped field in the compatibility view breaks the roundtrip.
+        let mut vector = ActivityVector::new();
+        for (i, &event) in EventKind::ALL.iter().enumerate() {
+            vector[event] = (i as u64 + 1) * 3;
+        }
+        let stats = ActivityStats::from_vector(&vector);
+        assert_eq!(stats.to_vector(), vector);
+        assert_eq!(stats.shader_cycles, vector[EventKind::ShaderCycles]);
+        assert_eq!(stats.ctas_dispatched, vector[EventKind::CtasDispatched]);
     }
 }

@@ -42,8 +42,8 @@ use crate::cache::{L2Bank, Probe};
 use crate::config::GpuConfig;
 use crate::core::MemRequest;
 use crate::dram::{DramChannel, DramRequest};
+use crate::events::{ActivityVector, EventKind as Ev};
 use crate::noc::Link;
-use crate::stats::ActivityStats;
 
 /// Token routed with each memory request through the uncore and
 /// returned to the GPU when a response arrives back at a core.
@@ -59,7 +59,7 @@ pub struct RouteToken {
 ///
 /// Built fresh per kernel launch (the uncore must drain before a launch
 /// completes, so there is no cross-launch state besides stats, which
-/// live in [`ActivityStats`]).
+/// live in the caller-owned [`ActivityVector`]).
 #[derive(Debug)]
 pub struct Uncore {
     mem_channels: usize,
@@ -165,14 +165,14 @@ impl Uncore {
     /// Injects a core's memory request into the request network,
     /// charging NoC flit/transfer stats exactly as the dense loop did
     /// (writes carry their payload, reads are a single head flit).
-    pub fn push_request(&mut self, req: MemRequest, stats: &mut ActivityStats) {
+    pub fn push_request(&mut self, req: MemRequest, stats: &mut ActivityVector) {
         let flits = if req.write {
             1 + (req.bytes as usize).div_ceil(self.flit)
         } else {
             1
         };
-        stats.noc_flits += flits as u64;
-        stats.noc_transfers += 1;
+        stats[Ev::NocFlits] += flits as u64;
+        stats[Ev::NocTransfers] += 1;
         self.req_link.push(
             RouteToken {
                 core: req.core,
@@ -204,7 +204,7 @@ impl Uncore {
         &mut self,
         max_shader_cycles: u64,
         responses: &mut Vec<RouteToken>,
-        stats: &mut ActivityStats,
+        stats: &mut ActivityVector,
     ) -> u64 {
         debug_assert!(max_shader_cycles >= 1, "advance needs a non-empty span");
         let watch_drain = !self.is_idle();
@@ -230,7 +230,7 @@ impl Uncore {
     }
 
     /// One uncore cycle, with each phase guarded by its event cache.
-    fn step_uncore_cycle(&mut self, responses: &mut Vec<RouteToken>, stats: &mut ActivityStats) {
+    fn step_uncore_cycle(&mut self, responses: &mut Vec<RouteToken>, stats: &mut ActivityVector) {
         let uc = self.uncore_cycle;
         let mut dram_pushed = false;
 
@@ -258,8 +258,8 @@ impl Uncore {
                 l2.pop_ready_into(uc, &mut tokens);
                 for token in tokens.drain(..) {
                     let flits = 1 + 128 / self.flit;
-                    stats.noc_flits += flits as u64;
-                    stats.noc_transfers += 1;
+                    stats[Ev::NocFlits] += flits as u64;
+                    stats[Ev::NocTransfers] += 1;
                     self.resp_link.push(token, flits);
                     self.next_resp_event = 0;
                 }
@@ -298,7 +298,7 @@ impl Uncore {
 
     /// One due DRAM cycle: overflow retries, then every channel ticks
     /// and drains completions, in channel order (the dense-loop order).
-    fn step_dram_cycle(&mut self, stats: &mut ActivityStats) {
+    fn step_dram_cycle(&mut self, stats: &mut ActivityVector) {
         let dc = self.dram_cycle;
         for _ in 0..self.dram_overflow.len() {
             let (ch, req) = self.dram_overflow.pop_front().expect("len checked");
@@ -315,11 +315,11 @@ impl Uncore {
             for token in tokens.drain(..) {
                 if let Some(l2) = &mut self.l2 {
                     l2.install(token.addr);
-                    stats.l2_fills += 1;
+                    stats[Ev::L2Fills] += 1;
                 }
                 let flits = 1 + 128 / self.flit;
-                stats.noc_flits += flits as u64;
-                stats.noc_transfers += 1;
+                stats[Ev::NocFlits] += flits as u64;
+                stats[Ev::NocTransfers] += 1;
                 self.resp_link.push(token, flits);
                 self.next_resp_event = 0;
             }
@@ -354,7 +354,7 @@ impl Uncore {
         req: MemRequest,
         token: RouteToken,
         uncore_cycle: u64,
-        stats: &mut ActivityStats,
+        stats: &mut ActivityVector,
     ) -> bool {
         let to_dram = |req: &MemRequest, token: RouteToken| DramRequest {
             write: req.write,
@@ -363,7 +363,7 @@ impl Uncore {
             token,
         };
         if let Some(l2) = &mut self.l2 {
-            stats.l2_accesses += 1;
+            stats[Ev::L2Accesses] += 1;
             if req.write {
                 let _ = l2.write(req.addr);
             } else if l2.read(req.addr) == Probe::Hit {
@@ -371,7 +371,7 @@ impl Uncore {
                 self.next_l2_event = self.next_l2_event.min(ready);
                 return false;
             } else {
-                stats.l2_misses += 1;
+                stats[Ev::L2Misses] += 1;
             }
         }
         // 256-byte channel interleave.
@@ -461,14 +461,14 @@ mod tests {
             }
         }
 
-        fn push_request(&mut self, req: MemRequest, stats: &mut ActivityStats) {
+        fn push_request(&mut self, req: MemRequest, stats: &mut ActivityVector) {
             let flits = if req.write {
                 1 + (req.bytes as usize).div_ceil(self.flit)
             } else {
                 1
             };
-            stats.noc_flits += flits as u64;
-            stats.noc_transfers += 1;
+            stats[Ev::NocFlits] += flits as u64;
+            stats[Ev::NocTransfers] += 1;
             self.req_link.push(
                 RouteToken {
                     core: req.core,
@@ -479,7 +479,7 @@ mod tests {
             self.req_meta.push_back(req);
         }
 
-        fn shader_cycle(&mut self, responses: &mut Vec<RouteToken>, stats: &mut ActivityStats) {
+        fn shader_cycle(&mut self, responses: &mut Vec<RouteToken>, stats: &mut ActivityVector) {
             self.uacc += self.upershader;
             while self.uacc >= 1.0 {
                 self.uacc -= 1.0;
@@ -489,14 +489,14 @@ mod tests {
                 for token in self.req_link.pop_ready(uc) {
                     let req = self.req_meta.pop_front().expect("meta in order");
                     if let Some((cache, latency)) = &mut self.l2 {
-                        stats.l2_accesses += 1;
+                        stats[Ev::L2Accesses] += 1;
                         if req.write {
                             let _ = cache.write(req.addr);
                         } else if cache.read(req.addr) == Probe::Hit {
                             self.l2_out.push_back((uc + *latency, token));
                             continue;
                         } else {
-                            stats.l2_misses += 1;
+                            stats[Ev::L2Misses] += 1;
                         }
                     }
                     let ch = ((req.addr >> 8) as usize) % self.mem_channels;
@@ -516,8 +516,8 @@ mod tests {
                     if ready <= uc {
                         self.l2_out.pop_front();
                         let flits = 1 + 128 / self.flit;
-                        stats.noc_flits += flits as u64;
-                        stats.noc_transfers += 1;
+                        stats[Ev::NocFlits] += flits as u64;
+                        stats[Ev::NocTransfers] += 1;
                         self.resp_link.push(token, flits);
                     } else {
                         break;
@@ -540,11 +540,11 @@ mod tests {
                         for token in self.channels[i].pop_completed(self.dram_cycle) {
                             if let Some((cache, _)) = &mut self.l2 {
                                 cache.install(token.addr);
-                                stats.l2_fills += 1;
+                                stats[Ev::L2Fills] += 1;
                             }
                             let flits = 1 + 128 / self.flit;
-                            stats.noc_flits += flits as u64;
-                            stats.noc_transfers += 1;
+                            stats[Ev::NocFlits] += flits as u64;
+                            stats[Ev::NocTransfers] += 1;
                             self.resp_link.push(token, flits);
                         }
                     }
@@ -560,10 +560,10 @@ mod tests {
     /// shader-cycle of delivery) and stats.
     fn check_equivalence(cfg: GpuConfig, requests: &[(u64, MemRequest)], total_cycles: u64) {
         let mut ev = Uncore::new(&cfg);
-        let mut ev_stats = ActivityStats::new();
+        let mut ev_stats = ActivityVector::new();
         let mut ev_resps: Vec<(u64, RouteToken)> = Vec::new();
         let mut dense = DenseUncore::new(&cfg);
-        let mut dn_stats = ActivityStats::new();
+        let mut dn_stats = ActivityVector::new();
         let mut dn_resps: Vec<(u64, RouteToken)> = Vec::new();
         let mut scratch = Vec::new();
 
@@ -654,7 +654,7 @@ mod tests {
     fn advance_reports_early_drain() {
         let cfg = GpuConfig::gt240();
         let mut u = Uncore::new(&cfg);
-        let mut stats = ActivityStats::new();
+        let mut stats = ActivityVector::new();
         let mut resps = Vec::new();
         u.push_request(write_req(0, 0), &mut stats);
         assert!(!u.is_idle());
@@ -668,11 +668,11 @@ mod tests {
     fn idle_advance_consumes_full_span() {
         let cfg = GpuConfig::gt240();
         let mut u = Uncore::new(&cfg);
-        let mut stats = ActivityStats::new();
+        let mut stats = ActivityVector::new();
         let mut resps = Vec::new();
         let consumed = u.advance(50_000, &mut resps, &mut stats);
         assert_eq!(consumed, 50_000, "idle uncore has nothing to stop for");
         assert!(resps.is_empty());
-        assert!(stats.dram_refreshes > 0, "refresh recurs while idle");
+        assert!(stats[Ev::DramRefreshes] > 0, "refresh recurs while idle");
     }
 }

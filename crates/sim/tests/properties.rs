@@ -9,7 +9,7 @@ use gpusimpow_sim::dram::{DramChannel, DramRequest};
 use gpusimpow_sim::ldst::{coalesce, const_unique, smem_conflicts};
 use gpusimpow_sim::noc::Link;
 use gpusimpow_sim::simt_stack::SimtStack;
-use gpusimpow_sim::{ActivityStats, DramConfig};
+use gpusimpow_sim::{ActivityVector, DramConfig, EventKind as Ev};
 
 proptest! {
     // ---- coalescer -------------------------------------------------------
@@ -179,7 +179,7 @@ proptest! {
         reqs in proptest::collection::vec((0u32..1_000_000, prop::bool::ANY), 1..24),
     ) {
         let mut ch: DramChannel<usize> = DramChannel::new(DramConfig::gddr5(), 32);
-        let mut stats = ActivityStats::new();
+        let mut stats = ActivityVector::new();
         let mut expected_reads = Vec::new();
         for (i, (addr, write)) in reqs.iter().enumerate() {
             ch.push(DramRequest { write: *write, addr: addr & !31, bytes: 128, token: i }, &mut stats);
@@ -197,8 +197,8 @@ proptest! {
         }
         done.sort_unstable();
         prop_assert_eq!(done, expected_reads);
-        prop_assert!(stats.dram_precharges <= stats.dram_activates);
-        let total_bursts = stats.dram_read_bursts + stats.dram_write_bursts;
+        prop_assert!(stats[Ev::DramPrecharges] <= stats[Ev::DramActivates]);
+        let total_bursts = stats[Ev::DramReadBursts] + stats[Ev::DramWriteBursts];
         prop_assert_eq!(total_bursts, 4 * reqs.len() as u64, "4 bursts per 128 B");
     }
 }
