@@ -5,7 +5,7 @@ use gpusimpow_power::GpuChip;
 use gpusimpow_sim::{ActivitySink, ActivityWindow, LaunchReport, RecordedLaunch};
 use gpusimpow_tech::clockdomain::DvfsTable;
 use gpusimpow_tech::clockdomain::OperatingPoint;
-use gpusimpow_tech::units::{Power, Time};
+use gpusimpow_tech::units::{Cycles, Power, Time};
 
 use crate::governor::{Governor, WindowContext};
 use crate::trace::{ComponentPowers, PowerSample, PowerTrace};
@@ -260,7 +260,11 @@ impl PowerTracer {
         let dyn_factor = self.dvfs.dynamic_power_factor(op_index);
         let leak_factor = self.dvfs.leakage_factor(op_index);
         let freq_scale = self.dvfs.freq_scale(op_index);
-        let duration = self.chip.clocks().shader_cycles_to_time(cycles) * (1.0 / freq_scale);
+        let duration = self
+            .chip
+            .clocks()
+            .shader_cycles_to_time(Cycles::new(cycles))
+            * (1.0 / freq_scale);
 
         PowerSample {
             index: w.index,

@@ -7,7 +7,7 @@ use std::fmt;
 use gpusimpow_sim::{ActivityStats, GpuConfig, ScopedActivity};
 use gpusimpow_tech::clockdomain::ClockDomains;
 use gpusimpow_tech::node::{TechError, TechNode};
-use gpusimpow_tech::units::{Area, Energy, Freq, Power, Time};
+use gpusimpow_tech::units::{Area, Cycles, Energy, Freq, Power, Time};
 
 use crate::components::exec::ExecPower;
 use crate::components::ldst::LdstPower;
@@ -211,7 +211,9 @@ impl GpuChip {
     /// Panics if `stats.shader_cycles` is zero.
     pub fn evaluate(&self, kernel: &str, stats: &ActivityStats) -> PowerReport {
         assert!(stats.shader_cycles > 0, "kernel must have run");
-        let time = self.clocks.shader_cycles_to_time(stats.shader_cycles);
+        let time = self
+            .clocks
+            .shader_cycles_to_time(Cycles::new(stats.shader_cycles));
         let n_cores = self.config.total_cores() as f64;
         let activity = stats.to_vector();
 
@@ -296,7 +298,9 @@ impl GpuChip {
         let mut report = self.evaluate(kernel, stats);
         // Re-scale all dynamic terms that were normalized by the default
         // time.
-        let default_time = self.clocks.shader_cycles_to_time(stats.shader_cycles);
+        let default_time = self
+            .clocks
+            .shader_cycles_to_time(Cycles::new(stats.shader_cycles));
         let ratio = default_time / time;
         let rescale = |s: PowerSplit| PowerSplit::new(s.static_power, s.dynamic_power * ratio);
         report.time = time;
@@ -360,7 +364,9 @@ impl GpuChip {
         scoped: &ScopedActivity,
     ) -> ScopedPowerReport {
         let report = self.evaluate(kernel, stats);
-        let time = self.clocks.shader_cycles_to_time(stats.shader_cycles);
+        let time = self
+            .clocks
+            .shader_cycles_to_time(Cycles::new(stats.shader_cycles));
         let cycles = stats.shader_cycles as f64;
         let static_per_cluster = self.core_static_power() * scoped.cores_per_cluster as f64;
         let mut clusters = Vec::with_capacity(scoped.clusters);
@@ -453,40 +459,12 @@ mod tests {
         }
         priced.extend(DramPower::EVENTS.iter().copied());
 
-        // Consumed by the empirical base/time model in `evaluate`, not by
-        // an energy map.
-        let base: BTreeSet<Ev> = [Ev::ShaderCycles, Ev::CoreBusyCycles, Ev::ClusterBusyCycles]
-            .into_iter()
-            .collect();
-
-        // Diagnostics counters that deliberately carry no energy price
-        // (hit rates, instruction mixes, conflict/stall accounting). A
-        // new event must land in a map, the base set, or here — the test
-        // fails otherwise, so nothing falls out of the power model
-        // silently.
-        let unpriced: BTreeSet<Ev> = [
-            Ev::UncoreCycles,
-            Ev::IcacheMisses,
-            Ev::Branches,
-            Ev::DivergentBranches,
-            Ev::BarrierWaits,
-            Ev::RfBankConflicts,
-            Ev::IntInstructions,
-            Ev::FpInstructions,
-            Ev::SfuInstructions,
-            Ev::WarpInstructions,
-            Ev::ThreadInstructions,
-            Ev::MemInstructions,
-            Ev::SmemBankConflictCycles,
-            Ev::L1Misses,
-            Ev::L2Misses,
-            Ev::NocTransfers,
-            Ev::DramPrecharges,
-            Ev::KernelLaunches,
-            Ev::CtasDispatched,
-        ]
-        .into_iter()
-        .collect();
+        // The documented allowlists live next to `EnergyMap` in
+        // `registry.rs`, where simlint's `unpriced_event` pass parses
+        // them; this runtime test and the static pass check the same
+        // contract against the same lists.
+        let base: BTreeSet<Ev> = crate::registry::BASE_MODEL_EVENTS.iter().copied().collect();
+        let unpriced: BTreeSet<Ev> = crate::registry::UNPRICED_EVENTS.iter().copied().collect();
 
         for &ev in Ev::ALL {
             let covered = priced.contains(&ev) || base.contains(&ev) || unpriced.contains(&ev);

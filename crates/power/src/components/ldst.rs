@@ -114,9 +114,7 @@ impl LdstPower {
         };
 
         let s = empirical::LDST_ENERGY_SCALE;
-        let agu_energy = Energy::from_picojoules(AGU_ADDR_PJ * 8.0)
-            * (tech.vdd().volts() * tech.vdd().volts())
-            * s;
+        let agu_energy = Energy::from_picojoules(AGU_ADDR_PJ * 8.0) * tech.vdd().squared() * s;
         let smem_access_energy = smem.costs().read_energy * empirical::LDST_SMEM_SCALE;
         let xbar_energy = (addr_xbar.transfer_energy() + data_xbar.transfer_energy())
             * empirical::LDST_SMEM_SCALE;

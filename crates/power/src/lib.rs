@@ -48,7 +48,7 @@ pub mod report;
 
 pub use chip::{ChipError, GpuChip};
 pub use dram::{DramPower, DramPowerBreakdown};
-pub use registry::{EnergyMap, EnergyTerm};
+pub use registry::{EnergyMap, EnergyTerm, BASE_MODEL_EVENTS, UNPRICED_EVENTS};
 pub use report::{
     ChipBreakdown, ClusterPowerRow, CoreBreakdown, PowerReport, PowerSplit, ScopedPowerReport,
 };

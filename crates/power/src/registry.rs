@@ -24,6 +24,50 @@
 use gpusimpow_sim::{ActivityVector, EventKind};
 use gpusimpow_tech::units::Energy;
 
+/// Registry events that deliberately carry **no** energy price:
+/// diagnostics counters (hit rates, instruction mixes, conflict/stall
+/// accounting) that exist for validation and reporting only.
+///
+/// This is the documented allowlist of the component-event registry's
+/// coverage contract: every [`EventKind`] must be priced by a component
+/// [`EnergyMap`], consumed by the empirical base model
+/// ([`BASE_MODEL_EVENTS`]), or listed here. Both checks of that
+/// contract read this list — the runtime test in `chip.rs` and the
+/// `unpriced_event` pass of `simlint`, which parses this const
+/// textually and fails the build *before* any test executes when a new
+/// event is missing from all three places.
+pub const UNPRICED_EVENTS: &[EventKind] = &[
+    EventKind::UncoreCycles,
+    EventKind::IcacheMisses,
+    EventKind::Branches,
+    EventKind::DivergentBranches,
+    EventKind::BarrierWaits,
+    EventKind::RfBankConflicts,
+    EventKind::IntInstructions,
+    EventKind::FpInstructions,
+    EventKind::SfuInstructions,
+    EventKind::WarpInstructions,
+    EventKind::ThreadInstructions,
+    EventKind::MemInstructions,
+    EventKind::SmemBankConflictCycles,
+    EventKind::L1Misses,
+    EventKind::L2Misses,
+    EventKind::NocTransfers,
+    EventKind::DramPrecharges,
+    EventKind::KernelLaunches,
+    EventKind::CtasDispatched,
+];
+
+/// Registry events consumed by the empirical base/time model in
+/// `GpuChip::evaluate` (busy-fraction scaling, cycle-to-time
+/// conversion) rather than priced by an [`EnergyMap`]. Part of the
+/// coverage contract documented on [`UNPRICED_EVENTS`].
+pub const BASE_MODEL_EVENTS: &[EventKind] = &[
+    EventKind::ShaderCycles,
+    EventKind::CoreBusyCycles,
+    EventKind::ClusterBusyCycles,
+];
+
 /// One priced term of a component's dynamic-energy model: `energy`
 /// charged once per counted unit, where the unit count is the `u64` sum
 /// of the listed registry events times `scale`.

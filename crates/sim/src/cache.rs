@@ -5,7 +5,7 @@
 //! `gpusimpow-circuit`. Data contents are not stored — the functional
 //! value path reads the backing store directly — only tags and LRU state.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 /// Outcome of a cache probe.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -235,7 +235,7 @@ impl<T: Copy> L2Bank<T> {
 #[derive(Debug, Clone)]
 pub struct Mshr<T> {
     line_bytes: u32,
-    pending: HashMap<u64, Vec<T>>,
+    pending: BTreeMap<u64, Vec<T>>,
     capacity: usize,
 }
 
@@ -245,7 +245,7 @@ impl<T> Mshr<T> {
         assert!(line_bytes.is_power_of_two());
         Mshr {
             line_bytes,
-            pending: HashMap::new(),
+            pending: BTreeMap::new(),
             capacity,
         }
     }

@@ -15,7 +15,7 @@
 //! commits (Tesla-class, Table II "Scoreboard ✗").
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BTreeMap, BinaryHeap};
 
 use gpusimpow_isa::{
     Instr, InstrClass, Kernel, LaunchConfig, MemSpace, Operand, Pc, Reg, SpecialReg,
@@ -253,18 +253,18 @@ pub struct Core {
     events: BinaryHeap<Reverse<Event>>,
     seq: u64,
     mshr: Mshr<u32>,
-    groups: HashMap<u32, LoadGroup>,
+    groups: BTreeMap<u32, LoadGroup>,
     next_group: u32,
     out_requests: Vec<MemRequest>,
     completed_ctas: u64,
     /// Block coordinates of each resident CTA, by CTA slot.
-    cta_coords: HashMap<usize, (u32, u32)>,
+    cta_coords: BTreeMap<usize, (u32, u32)>,
     /// Global-memory store overlay filled during the compute phase
     /// (word address → value) and applied by [`Core::commit_stores`]
     /// in the serial commit phase. Loads from this core see it
     /// (read-your-own-writes); other cores see the stores one cycle
     /// later, which keeps the parallel step deterministic.
-    store_buf: HashMap<u32, u32>,
+    store_buf: BTreeMap<u32, u32>,
     /// Whether the current/last tick did observable work.
     work: bool,
     /// Issue-scan hint: bit `s` set means warp slot `s` *might* issue
@@ -330,12 +330,12 @@ impl Core {
             // Generously sized: the pending-request table of the
             // coalescer merges requests chip-side in our model.
             mshr: Mshr::new(128, 4096),
-            groups: HashMap::new(),
+            groups: BTreeMap::new(),
             next_group: 0,
             out_requests: Vec::new(),
             completed_ctas: 0,
-            cta_coords: HashMap::new(),
-            store_buf: HashMap::new(),
+            cta_coords: BTreeMap::new(),
+            store_buf: BTreeMap::new(),
             work: false,
             issue_ready: !0,
             fetch_ready: !0,
@@ -510,12 +510,13 @@ impl Core {
     /// phase. Called serially per core (in core order) after the
     /// parallel compute phase; buffered addresses are distinct words
     /// (the overlay keeps the last write per word), so the application
-    /// order within one core cannot affect the result.
+    /// order within one core cannot affect the result — and the ordered
+    /// overlay drains in ascending address order anyway, so the sequence
+    /// of `store_word` calls is itself deterministic (simlint's
+    /// `nondeterministic_collection` pass bans order-randomised maps in
+    /// this crate outright).
     pub fn commit_stores(&mut self, mem: &mut GpuMemory) {
-        if self.store_buf.is_empty() {
-            return;
-        }
-        for (addr, value) in self.store_buf.drain() {
+        while let Some((addr, value)) = self.store_buf.pop_first() {
             mem.store_word(addr, value);
         }
     }

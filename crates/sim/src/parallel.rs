@@ -147,6 +147,12 @@ impl CorePool {
             // the closure to a persistent worker, and re-establish
             // soundness by blocking on the worker's completion ack below
             // before returning — the borrows strictly outlive the job.
+            // Every exit path drains one ack per sent job, including
+            // panics: worker panics are caught and acked by the worker
+            // loop, and a panic in the caller's own chunk is caught
+            // below so the drain still runs before it resumes. The
+            // protocol is model-checked exhaustively in
+            // tests/parallel_model.rs.
             let job: Job =
                 unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + '_>, Job>(job) };
             self.workers[sent]
@@ -157,15 +163,26 @@ impl CorePool {
                 .expect("core worker alive");
             sent += 1;
         }
-        for core in first {
-            core.tick(cycle, cfg, ctx, mem);
-        }
+        // Catch a panic in the caller's own chunk: unwinding past the
+        // ack drain below would free `cores` (declared before the pool
+        // in `Gpu`, so dropped first) while workers still hold the
+        // lifetime-erased borrows. Draining first makes every exit path
+        // — normal, worker panic, caller panic — leave no job in
+        // flight.
+        let own = catch_unwind(AssertUnwindSafe(|| {
+            for core in first {
+                core.tick(cycle, cfg, ctx, mem);
+            }
+        }));
         let mut panic: Option<Box<dyn Any + Send>> = None;
         for worker in &self.workers[..sent] {
             match worker.done_rx.recv().expect("core worker alive") {
                 Ok(()) => {}
                 Err(payload) => panic = Some(payload),
             }
+        }
+        if let Err(payload) = own {
+            resume_unwind(payload);
         }
         if let Some(payload) = panic {
             resume_unwind(payload);

@@ -1,0 +1,437 @@
+//! simlint — the workspace invariant checker.
+//!
+//! `rustc` and clippy enforce language rules; this crate enforces the
+//! *simulator's* rules — the cross-cutting contracts this workspace
+//! depends on but no compiler knows about:
+//!
+//! * **Determinism** ([`determinism`]): simulation results must be
+//!   bit-identical run to run (EXPERIMENTS.md is regenerated and
+//!   byte-compared in CI), so result-bearing crates must not iterate
+//!   `HashMap`/`HashSet` or consult the wall clock.
+//! * **Unit safety** ([`units`]): energy/power/time arithmetic in the
+//!   power model must stay inside the `gpusimpow_tech::units` newtypes;
+//!   unwrapping to raw `f64` mid-computation is where dimensional bugs
+//!   hide.
+//! * **Unsafe audit** ([`unsafety`]): every `unsafe` keyword needs a
+//!   `// SAFETY:` comment, and the full inventory is checked into
+//!   `UNSAFE.md` so new unsafe code cannot land without a reviewed
+//!   manifest diff.
+//! * **Registry coverage** ([`registry`]): every `EventKind` of the
+//!   component-event registry must be priced by an `EnergyMap`,
+//!   consumed by the empirical base model, or documented as
+//!   intentionally unpriced — checked *statically*, before any test
+//!   runs.
+//!
+//! Run it as `cargo run -p simlint` from the workspace root; it prints
+//! `file:line: lint: message` per finding and exits non-zero when
+//! anything fires. Findings are suppressed per site with a justified
+//! marker comment:
+//!
+//! ```text
+//! // simlint: allow(nondeterministic_collection): keyed access only,
+//! // the map is never iterated.
+//! ```
+//!
+//! A marker without the `: reason` tail is itself a finding
+//! (`missing_justification`), and a marker naming a lint that does not
+//! exist is `unknown_lint` — suppressions cannot rot silently.
+
+pub mod determinism;
+pub mod lexer;
+pub mod registry;
+pub mod units;
+pub mod unsafety;
+
+use lexer::{lex, Lexed, TokKind, Token};
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Every lint simlint can emit, for `allow(...)` name validation.
+pub const LINTS: &[&str] = &[
+    determinism::NONDETERMINISTIC_COLLECTION,
+    determinism::WALL_CLOCK,
+    units::RAW_UNIT_MATH,
+    unsafety::UNDOCUMENTED_UNSAFE,
+    unsafety::UNSAFE_MANIFEST_DRIFT,
+    registry::UNPRICED_EVENT,
+    registry::UNKNOWN_EVENT,
+    registry::CONFLICTING_PRICE,
+    MISSING_JUSTIFICATION,
+    UNKNOWN_LINT,
+];
+
+/// An `allow` marker whose `: reason` tail is missing or empty.
+pub const MISSING_JUSTIFICATION: &str = "missing_justification";
+/// An `allow` marker naming a lint simlint does not define.
+pub const UNKNOWN_LINT: &str = "unknown_lint";
+
+/// One finding, printed as `file:line: lint: message`.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// Workspace-relative path of the offending file.
+    pub file: String,
+    /// 1-based line of the offending token.
+    pub line: u32,
+    /// Stable lint name (one of [`LINTS`]).
+    pub lint: &'static str,
+    /// Human explanation with the suggested fix.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: {}: {}",
+            self.file, self.line, self.lint, self.message
+        )
+    }
+}
+
+/// A parsed `// simlint: allow(lint): reason` marker.
+#[derive(Debug, Clone)]
+struct Allow {
+    lint: String,
+    /// Line the marker itself is on (for diagnostics about the marker).
+    line: u32,
+    /// Last line of the enclosing comment block; the marker suppresses
+    /// from its own line through `extent + 1`, so it works trailing the
+    /// offending code or above it, even with a wrapped reason.
+    extent: u32,
+    has_reason: bool,
+}
+
+/// One lexed source file plus its suppression markers — the input every
+/// per-file pass consumes.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Workspace-relative path, `/`-separated.
+    pub rel_path: String,
+    /// Token and comment streams.
+    pub lexed: Lexed,
+    allows: Vec<Allow>,
+}
+
+const ALLOW_PREFIX: &str = "simlint: allow(";
+
+impl SourceFile {
+    /// Lexes `src` and collects its `allow` markers.
+    ///
+    /// A marker must *start* its comment line (`// simlint: allow(x):
+    /// reason`); the lint name in running prose — like this sentence —
+    /// is not a marker. The reason may wrap onto following comment
+    /// lines; only the first must be non-empty.
+    pub fn parse(rel_path: &str, src: &str) -> SourceFile {
+        let lexed = lex(src);
+        let mut allows = Vec::new();
+        for c in &lexed.comments {
+            for (idx, raw_line) in c.text.lines().enumerate() {
+                // Strip exactly one comment introducer, so a marker
+                // quoted inside doc text (`//! // simlint: ...`) still
+                // leads with `//` afterwards and is ignored.
+                let mut body = raw_line.trim_start();
+                if let Some(stripped) = body.strip_prefix("//") {
+                    body = stripped.strip_prefix(['!', '/']).unwrap_or(stripped);
+                } else if let Some(stripped) = body.strip_prefix("/*") {
+                    body = stripped.strip_prefix(['!', '*']).unwrap_or(stripped);
+                }
+                let Some(rest) = body.trim_start().strip_prefix(ALLOW_PREFIX) else {
+                    continue;
+                };
+                let Some(close) = rest.find(')') else {
+                    continue;
+                };
+                let lint = rest[..close].trim().to_string();
+                let tail = rest[close + 1..].trim_start();
+                let has_reason = tail
+                    .strip_prefix(':')
+                    .is_some_and(|r| !r.trim_matches(['/', '*', ' ']).is_empty());
+                allows.push(Allow {
+                    lint,
+                    line: c.line_start + idx as u32,
+                    extent: c.line_end,
+                    has_reason,
+                });
+            }
+        }
+        SourceFile {
+            rel_path: rel_path.to_string(),
+            lexed,
+            allows,
+        }
+    }
+
+    /// Builds a diagnostic against this file.
+    pub(crate) fn diag(&self, line: u32, lint: &'static str, message: String) -> Diagnostic {
+        Diagnostic {
+            file: self.rel_path.clone(),
+            line,
+            lint,
+            message,
+        }
+    }
+
+    /// Whether a justified marker suppresses `lint` on `line`.
+    fn allowed(&self, lint: &str, line: u32) -> bool {
+        self.allows
+            .iter()
+            .any(|a| a.has_reason && a.lint == lint && a.line <= line && line <= a.extent + 1)
+    }
+
+    /// Findings about the markers themselves. Never suppressible.
+    fn marker_diagnostics(&self) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        for a in &self.allows {
+            if !LINTS.contains(&a.lint.as_str()) {
+                out.push(self.diag(
+                    a.line,
+                    UNKNOWN_LINT,
+                    format!(
+                        "allow marker names `{}`, which is not a simlint lint",
+                        a.lint
+                    ),
+                ));
+            }
+            if !a.has_reason {
+                out.push(self.diag(
+                    a.line,
+                    MISSING_JUSTIFICATION,
+                    format!(
+                        "allow({}) needs a `: reason` tail — unexplained suppressions rot",
+                        a.lint
+                    ),
+                ));
+            }
+        }
+        out
+    }
+}
+
+/// Index of the `}` matching the `{`/`(`/`[` at `open`, or the last
+/// token if unbalanced.
+pub(crate) fn match_close(tokens: &[Token], open: usize) -> usize {
+    let (o, c) = match tokens[open].text.as_str() {
+        "{" => ("{", "}"),
+        "(" => ("(", ")"),
+        _ => ("[", "]"),
+    };
+    let mut depth = 0usize;
+    for (i, t) in tokens.iter().enumerate().skip(open) {
+        if t.kind == TokKind::Punct {
+            if t.text == o {
+                depth += 1;
+            } else if t.text == c {
+                depth -= 1;
+                if depth == 0 {
+                    return i;
+                }
+            }
+        }
+    }
+    tokens.len().saturating_sub(1)
+}
+
+fn is_punct(t: &Token, s: &str) -> bool {
+    t.kind == TokKind::Punct && t.text == s
+}
+
+fn is_ident(t: &Token, s: &str) -> bool {
+    t.kind == TokKind::Ident && t.text == s
+}
+
+/// Token ranges (inclusive) of `#[cfg(test)]`-gated items and
+/// `#[test]` functions — code whose behaviour never reaches simulation
+/// results.
+pub(crate) fn test_regions(tokens: &[Token]) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i + 2 < tokens.len() {
+        let gated = is_punct(&tokens[i], "#")
+            && is_punct(&tokens[i + 1], "[")
+            && ((is_ident(&tokens[i + 2], "cfg")
+                && tokens.get(i + 4).is_some_and(|t| is_ident(t, "test")))
+                || is_ident(&tokens[i + 2], "test"));
+        if gated {
+            let attr_end = match_close(tokens, i + 1);
+            if let Some(open) = (attr_end..tokens.len()).find(|&j| is_punct(&tokens[j], "{")) {
+                let close = match_close(tokens, open);
+                out.push((i, close));
+                i = close + 1;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Token ranges of `impl …Display/Debug… for …` blocks — rendering
+/// code, exempt from [`units::RAW_UNIT_MATH`] because percent columns
+/// and unit formatting legitimately divide raw magnitudes.
+pub(crate) fn fmt_impl_regions(tokens: &[Token]) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        if is_ident(&tokens[i], "impl") {
+            let mut saw_fmt_trait = false;
+            let mut saw_for = false;
+            let mut j = i + 1;
+            while j < tokens.len() && !is_punct(&tokens[j], "{") {
+                if is_ident(&tokens[j], "Display") || is_ident(&tokens[j], "Debug") {
+                    saw_fmt_trait = true;
+                }
+                if is_ident(&tokens[j], "for") {
+                    saw_for = true;
+                }
+                j += 1;
+            }
+            if j < tokens.len() && saw_fmt_trait && saw_for {
+                let close = match_close(tokens, j);
+                out.push((i, close));
+                i = close + 1;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Whether token index `idx` lies inside any of `regions`.
+pub(crate) fn in_regions(regions: &[(usize, usize)], idx: usize) -> bool {
+    regions.iter().any(|&(a, b)| a <= idx && idx <= b)
+}
+
+fn determinism_scope(rel_path: &str) -> bool {
+    ["crates/sim/src/", "crates/power/src/", "crates/pm/src/"]
+        .iter()
+        .any(|p| rel_path.starts_with(p))
+}
+
+fn units_scope(rel_path: &str) -> bool {
+    rel_path.starts_with("crates/power/src/")
+}
+
+/// Runs every per-file pass applicable to `rel_path` on `src` and
+/// returns the surviving (non-suppressed) findings. This is the entry
+/// point the fixture tests drive; [`run_workspace`] uses it for real
+/// files.
+pub fn check_source(rel_path: &str, src: &str) -> Vec<Diagnostic> {
+    let file = SourceFile::parse(rel_path, src);
+    let mut raw = Vec::new();
+    if determinism_scope(rel_path) {
+        raw.extend(determinism::check(&file));
+    }
+    if units_scope(rel_path) {
+        raw.extend(units::check(&file));
+    }
+    raw.extend(unsafety::check(&file));
+    let mut out: Vec<Diagnostic> = raw
+        .into_iter()
+        .filter(|d| !file.allowed(d.lint, d.line))
+        .collect();
+    out.extend(file.marker_diagnostics());
+    out
+}
+
+/// Everything one workspace run produces.
+#[derive(Debug)]
+pub struct WorkspaceReport {
+    /// Surviving findings across all passes, in path order.
+    pub diagnostics: Vec<Diagnostic>,
+    /// The regenerated `UNSAFE.md` content (what the checked-in file
+    /// must equal).
+    pub unsafe_manifest: String,
+    /// Number of `.rs` files checked.
+    pub files_checked: usize,
+}
+
+/// Relative `/`-separated path of `path` under `root`.
+fn rel(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .map(|e| Ok(e?.path()))
+        .collect::<io::Result<_>>()?;
+    entries.sort();
+    for path in entries {
+        let name = path.file_name().unwrap_or_default().to_string_lossy();
+        if path.is_dir() {
+            if matches!(name.as_ref(), "target" | "vendor" | ".git" | "fixtures") {
+                continue;
+            }
+            collect_rs_files(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Checks the whole workspace rooted at `root`: every first-party `.rs`
+/// file (vendored stubs, build outputs and simlint's own lint fixtures
+/// excluded), the registry-coverage contract, and `UNSAFE.md` drift.
+pub fn run_workspace(root: &Path) -> io::Result<WorkspaceReport> {
+    let mut paths = Vec::new();
+    collect_rs_files(root, &mut paths)?;
+
+    let mut diagnostics = Vec::new();
+    let mut unsafe_files = Vec::new();
+    let mut events_file = None;
+    let mut registry_file = None;
+    let mut pricing_files = Vec::new();
+
+    for path in &paths {
+        let rel_path = rel(root, path);
+        let src = fs::read_to_string(path)?;
+        diagnostics.extend(check_source(&rel_path, &src));
+        let file = SourceFile::parse(&rel_path, &src);
+        let sites = unsafety::sites(&file);
+        if !sites.is_empty() {
+            unsafe_files.push((rel_path.clone(), sites));
+        }
+        match rel_path.as_str() {
+            "crates/sim/src/events.rs" => events_file = Some(file),
+            "crates/power/src/registry.rs" => registry_file = Some(file),
+            p if p.starts_with("crates/power/src/components/")
+                || p == "crates/power/src/dram.rs" =>
+            {
+                pricing_files.push(file)
+            }
+            _ => {}
+        }
+    }
+
+    if let (Some(events), Some(reg)) = (&events_file, &registry_file) {
+        diagnostics.extend(registry::check(events, reg, &pricing_files));
+    }
+
+    let unsafe_manifest = unsafety::manifest(&unsafe_files);
+    let on_disk = fs::read_to_string(root.join("UNSAFE.md")).unwrap_or_default();
+    if on_disk != unsafe_manifest {
+        diagnostics.push(Diagnostic {
+            file: "UNSAFE.md".to_string(),
+            line: 1,
+            lint: unsafety::UNSAFE_MANIFEST_DRIFT,
+            message: "inventory is stale; regenerate with \
+                      `cargo run -p simlint -- --update-unsafe-manifest` \
+                      and commit the diff"
+                .to_string(),
+        });
+    }
+
+    Ok(WorkspaceReport {
+        diagnostics,
+        unsafe_manifest,
+        files_checked: paths.len(),
+    })
+}

@@ -1,0 +1,189 @@
+//! Registry-coverage lint: every event priced, consumed, or documented.
+//!
+//! The component-event registry (`for_each_event!` in
+//! `crates/sim/src/events.rs`) is the single table behind every
+//! activity counter. Its coverage contract: each `EventKind` must be
+//!
+//! * **priced** — referenced by an `EnergyMap` builder in
+//!   `crates/power/src/components/*.rs` or `dram.rs`;
+//! * **consumed by the base model** — listed in `BASE_MODEL_EVENTS` in
+//!   `crates/power/src/registry.rs` (busy-fraction and time scaling);
+//! * or **documented as unpriced** — listed in `UNPRICED_EVENTS` there
+//!   (diagnostics counters that deliberately carry no energy).
+//!
+//! A runtime test in `crates/power/src/chip.rs` checks the same
+//! contract against the constructed maps; this pass checks it at
+//! *parse time* from source text alone, so `cargo run -p simlint`
+//! fails before any test compiles when a freshly added event is
+//! missing from all three places — and, symmetrically, when the
+//! allowlist names an event that no longer exists or one that *is*
+//! priced (a stale allowlist is as misleading as a missing price).
+
+use crate::lexer::{TokKind, Token};
+use crate::{in_regions, match_close, test_regions, Diagnostic, SourceFile};
+
+/// An `EventKind` neither priced, base-model, nor allowlisted.
+pub const UNPRICED_EVENT: &str = "unpriced_event";
+/// An allowlist entry naming a nonexistent `EventKind`.
+pub const UNKNOWN_EVENT: &str = "unknown_event";
+/// An event both priced by a component and listed in `UNPRICED_EVENTS`.
+pub const CONFLICTING_PRICE: &str = "conflicting_price";
+
+fn is_punct(t: &Token, s: &str) -> bool {
+    t.kind == TokKind::Punct && t.text == s
+}
+
+/// Variants declared in the `for_each_event!` table: every
+/// `(Variant, field, Component, Scope, "doc")` 5-tuple in the token
+/// stream. The shape is distinctive — `macro_rules!` matchers spell
+/// `$variant:ident` (extra `$`/`:` tokens) and the doc examples live in
+/// comments, so only the real table matches.
+pub fn event_table(events: &SourceFile) -> Vec<(String, u32)> {
+    let toks = &events.lexed.tokens;
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i + 10 < toks.len() {
+        let tuple = is_punct(&toks[i], "(")
+            && toks[i + 1].kind == TokKind::Ident
+            && is_punct(&toks[i + 2], ",")
+            && toks[i + 3].kind == TokKind::Ident
+            && is_punct(&toks[i + 4], ",")
+            && toks[i + 5].kind == TokKind::Ident
+            && is_punct(&toks[i + 6], ",")
+            && toks[i + 7].kind == TokKind::Ident
+            && is_punct(&toks[i + 8], ",")
+            && toks[i + 9].kind == TokKind::Str
+            && is_punct(&toks[i + 10], ")");
+        if tuple {
+            out.push((toks[i + 1].text.clone(), toks[i + 1].line));
+            i += 11;
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+/// `EventKind::X` names inside the bracketed initialiser of
+/// `const_name` (e.g. `UNPRICED_EVENTS`) in `registry.rs`.
+pub fn const_list(registry: &SourceFile, const_name: &str) -> Vec<(String, u32)> {
+    let toks = &registry.lexed.tokens;
+    let Some(decl) = toks
+        .iter()
+        .position(|t| t.kind == TokKind::Ident && t.text == const_name)
+    else {
+        return Vec::new();
+    };
+    // Seek the initialiser's `[`, not the `&[EventKind]` type's: skip
+    // to the `=` first.
+    let Some(eq) = (decl..toks.len()).find(|&j| is_punct(&toks[j], "=")) else {
+        return Vec::new();
+    };
+    let Some(open) = (eq..toks.len()).find(|&j| is_punct(&toks[j], "[")) else {
+        return Vec::new();
+    };
+    let close = match_close(toks, open);
+    let mut out = Vec::new();
+    let mut i = open;
+    while i + 3 < close {
+        if toks[i].kind == TokKind::Ident
+            && toks[i].text == "EventKind"
+            && is_punct(&toks[i + 1], ":")
+            && is_punct(&toks[i + 2], ":")
+            && toks[i + 3].kind == TokKind::Ident
+        {
+            out.push((toks[i + 3].text.clone(), toks[i + 3].line));
+            i += 4;
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+/// `Ev::X` / `EventKind::X` mentions in a pricing file's non-test
+/// code — the statically visible "this component prices X" facts.
+pub fn priced_mentions(file: &SourceFile) -> Vec<(String, u32)> {
+    let toks = &file.lexed.tokens;
+    let tests = test_regions(toks);
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i + 3 < toks.len() {
+        let path = toks[i].kind == TokKind::Ident
+            && (toks[i].text == "Ev" || toks[i].text == "EventKind")
+            && is_punct(&toks[i + 1], ":")
+            && is_punct(&toks[i + 2], ":")
+            && toks[i + 3].kind == TokKind::Ident;
+        if path && !in_regions(&tests, i) {
+            out.push((toks[i + 3].text.clone(), toks[i + 3].line));
+            i += 4;
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Cross-checks the three sources and returns coverage violations.
+pub fn check(
+    events: &SourceFile,
+    registry: &SourceFile,
+    pricing: &[SourceFile],
+) -> Vec<Diagnostic> {
+    let table = event_table(events);
+    let unpriced = const_list(registry, "UNPRICED_EVENTS");
+    let base = const_list(registry, "BASE_MODEL_EVENTS");
+    let mut priced: Vec<(String, u32, &SourceFile)> = Vec::new();
+    for file in pricing {
+        for (name, line) in priced_mentions(file) {
+            priced.push((name, line, file));
+        }
+    }
+
+    let known = |name: &str| table.iter().any(|(n, _)| n == name);
+    let mut out = Vec::new();
+
+    for (name, line) in unpriced.iter().chain(base.iter()) {
+        if !known(name) {
+            out.push(registry.diag(
+                *line,
+                UNKNOWN_EVENT,
+                format!(
+                    "`EventKind::{name}` is not declared in for_each_event! \
+                     (crates/sim/src/events.rs); remove the stale allowlist entry"
+                ),
+            ));
+        }
+    }
+
+    for (name, line) in &table {
+        let is_priced = priced.iter().any(|(n, _, _)| n == name);
+        let is_unpriced = unpriced.iter().any(|(n, _)| n == name);
+        let is_base = base.iter().any(|(n, _)| n == name);
+        if !is_priced && !is_unpriced && !is_base {
+            out.push(events.diag(
+                *line,
+                UNPRICED_EVENT,
+                format!(
+                    "`EventKind::{name}` is not priced by any component \
+                     EnergyMap, not in BASE_MODEL_EVENTS, and not documented \
+                     in UNPRICED_EVENTS — a counter no power model reads is \
+                     either dead or a missing energy term"
+                ),
+            ));
+        }
+        if is_priced && is_unpriced {
+            let (_, pline, pfile) = priced.iter().find(|(n, _, _)| n == name).unwrap();
+            out.push(pfile.diag(
+                *pline,
+                CONFLICTING_PRICE,
+                format!(
+                    "`EventKind::{name}` is priced here but still listed in \
+                     UNPRICED_EVENTS (crates/power/src/registry.rs); the \
+                     allowlist entry is stale"
+                ),
+            ));
+        }
+    }
+    out
+}

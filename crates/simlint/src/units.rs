@@ -1,0 +1,119 @@
+//! Unit-safety lint: keep energy/power/time math inside the newtypes.
+//!
+//! `crates/tech` provides `Joules`, `Watts`, `Seconds`, `Volts`,
+//! `Hertz` and `Cycles` with exactly the physically meaningful
+//! operators (`Energy / Time = Power`, `Cycles / Freq = Time`, …).
+//! Dimensional bugs enter when code unwraps a quantity with an
+//! extractor like `.watts()` and keeps computing on the raw `f64` —
+//! the compiler can no longer see that `joules * hertz` was meant.
+//!
+//! This pass flags an extractor call whose result immediately feeds a
+//! `*` or `/`. Two regions are exempt by construction:
+//!
+//! * `#[cfg(test)]` / `#[test]` code — assertions legitimately compare
+//!   raw magnitudes;
+//! * `Display`/`Debug` impls — percent columns and unit formatting are
+//!   rendering, not physics, and rewriting them through newtype
+//!   division would perturb float bit-identity of committed reports.
+//!
+//! Anything else needs either a typed rewrite (preferred — see
+//! `Voltage::squared` replacing `vdd.volts() * vdd.volts()`) or a
+//! justified `// simlint: allow(raw_unit_math): …` marker.
+
+use crate::lexer::{TokKind, Token};
+use crate::{fmt_impl_regions, in_regions, test_regions, Diagnostic, SourceFile};
+
+/// Raw `f64` multiplication/division on an unwrapped unit value.
+pub const RAW_UNIT_MATH: &str = "raw_unit_math";
+
+/// Methods that unwrap a `gpusimpow_tech::units` newtype to `f64`.
+const EXTRACTORS: &[&str] = &[
+    "joules",
+    "picojoules",
+    "watts",
+    "milliwatts",
+    "seconds",
+    "nanos",
+    "millis",
+    "hertz",
+    "mhz",
+    "volts",
+    "amperes",
+    "farads",
+];
+
+/// Walks left from the `.` of an extractor call across the method-call
+/// chain (`s.total().watts()` → past `total()`, past `s`) and returns
+/// the first token *before* the chain — the operator, if any, whose
+/// right operand the extracted value is.
+fn token_before_chain(toks: &[Token], dot: usize) -> Option<&Token> {
+    let mut j = dot;
+    while j > 0 {
+        j -= 1;
+        let t = &toks[j];
+        match t.kind {
+            TokKind::Ident | TokKind::Num => continue,
+            TokKind::Punct => match t.text.as_str() {
+                "." | ":" => continue,
+                ")" | "]" => {
+                    // Skip back over the balanced group.
+                    let close = t.text.as_str();
+                    let open = if close == ")" { "(" } else { "[" };
+                    let mut depth = 1usize;
+                    while j > 0 && depth > 0 {
+                        j -= 1;
+                        if toks[j].kind == TokKind::Punct {
+                            if toks[j].text == close {
+                                depth += 1;
+                            } else if toks[j].text == open {
+                                depth -= 1;
+                            }
+                        }
+                    }
+                    continue;
+                }
+                _ => return Some(t),
+            },
+            _ => return Some(t),
+        }
+    }
+    None
+}
+
+/// Flags extractor calls feeding raw `*`/`/` arithmetic, outside test
+/// and `Display`/`Debug` regions.
+pub fn check(file: &SourceFile) -> Vec<Diagnostic> {
+    let toks = &file.lexed.tokens;
+    let mut exempt = test_regions(toks);
+    exempt.extend(fmt_impl_regions(toks));
+    let mut out = Vec::new();
+    for i in 0..toks.len().saturating_sub(3) {
+        let is_extractor_call = toks[i].kind == TokKind::Punct
+            && toks[i].text == "."
+            && toks[i + 1].kind == TokKind::Ident
+            && EXTRACTORS.contains(&toks[i + 1].text.as_str())
+            && toks[i + 2].text == "("
+            && toks[i + 3].text == ")";
+        if !is_extractor_call || in_regions(&exempt, i) {
+            continue;
+        }
+        let after = toks.get(i + 4).map(|t| t.text.as_str());
+        let before = token_before_chain(toks, i).map(|t| t.text.as_str());
+        let feeds_math =
+            matches!(after, Some("*") | Some("/")) || matches!(before, Some("*") | Some("/"));
+        if feeds_math {
+            out.push(file.diag(
+                toks[i + 1].line,
+                RAW_UNIT_MATH,
+                format!(
+                    "`.{}()` unwraps a typed quantity straight into raw f64 \
+                     arithmetic; use the newtype operators in \
+                     gpusimpow_tech::units (they encode the only physically \
+                     meaningful combinations) or justify with an allow marker",
+                    toks[i + 1].text
+                ),
+            ));
+        }
+    }
+    out
+}

@@ -1,0 +1,9 @@
+// Fixture: rotten suppressions. A reasonless marker does not suppress
+// (and is itself a finding); a marker naming a made-up lint is flagged.
+fn run() {
+    // simlint: allow(nondeterministic_collection)
+    let m: HashMap<u32, u32> = make();
+    // simlint: allow(hash_maps_are_fine): because I said so
+    let s: HashSet<u32> = make();
+    let _ = (m, s);
+}

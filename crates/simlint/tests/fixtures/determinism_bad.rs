@@ -1,0 +1,14 @@
+// Fixture: every determinism lint fires. Never compiled — lexed only.
+use std::collections::HashMap;
+use std::collections::HashSet;
+use std::time::Instant;
+use std::time::SystemTime;
+
+fn run() {
+    let pending: HashMap<u64, u32> = HashMap::new();
+    let seen: HashSet<u64> = HashSet::new();
+    let t0 = Instant::now();
+    let wall = SystemTime::now();
+    let who = std::thread::current().id();
+    let _ = (pending, seen, t0, wall, who);
+}

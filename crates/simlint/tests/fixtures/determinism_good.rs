@@ -1,0 +1,12 @@
+// Fixture: deterministic equivalents, plus the lint names appearing in
+// comments ("HashMap", Instant) and strings, which must not fire.
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+
+fn run(worker_index: usize) {
+    let mut pending: BTreeMap<u64, u32> = BTreeMap::new();
+    pending.insert(3, 1);
+    let seen: BTreeSet<u64> = BTreeSet::new();
+    let msg = "HashMap and Instant in a string are fine";
+    let _ = (pending, seen, msg, worker_index);
+}

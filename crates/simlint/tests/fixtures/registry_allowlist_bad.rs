@@ -1,0 +1,10 @@
+// Fixture: a rotten coverage allowlist for registry_events.rs —
+// one stale name, one entry that is actually priced, and GhostEvent
+// dropped so it is covered by nothing.
+pub const UNPRICED_EVENTS: &[EventKind] = &[
+    EventKind::Branches,
+    EventKind::Decodes,
+    EventKind::Vanished,
+];
+
+pub const BASE_MODEL_EVENTS: &[EventKind] = &[EventKind::ShaderCycles];

@@ -1,0 +1,7 @@
+// Fixture: a complete coverage allowlist for registry_events.rs.
+pub const UNPRICED_EVENTS: &[EventKind] = &[
+    EventKind::Branches,
+    EventKind::GhostEvent,
+];
+
+pub const BASE_MODEL_EVENTS: &[EventKind] = &[EventKind::ShaderCycles];

@@ -1,0 +1,20 @@
+// Fixture: a pricing component for registry_events.rs. Mentions in the
+// test module must NOT count as pricing.
+use gpusimpow_sim::EventKind as Ev;
+
+pub fn energy_map() -> EnergyMap {
+    EnergyMap::new(vec![
+        EnergyTerm::new("decode", pj(1.9), vec![Ev::Decodes]),
+        EnergyTerm::new("dram", pj(15.0), vec![EventKind::DramReads]),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ghost_event_is_only_touched_here() {
+        let _ = Ev::GhostEvent;
+    }
+}

@@ -1,0 +1,18 @@
+// Fixture: a miniature for_each_event! table (five events).
+#[macro_export]
+macro_rules! for_each_event {
+    ($cb:ident) => {
+        $cb! {
+            (ShaderCycles, shader_cycles, Timebase, Chip,
+             "Shader-clock cycles — consumed by the base model."),
+            (Decodes, decodes, WarpControlUnit, Core,
+             "Instructions decoded — priced by the component."),
+            (Branches, branches, WarpControlUnit, Core,
+             "Branches — documented diagnostics-only counter."),
+            (DramReads, dram_reads, Dram, Chip,
+             "DRAM read bursts — priced by the component."),
+            (GhostEvent, ghost_event, Dram, Chip,
+             "Mentioned only inside a test module downstream."),
+        }
+    };
+}

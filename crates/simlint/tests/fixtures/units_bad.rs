@@ -1,0 +1,14 @@
+// Fixture: raw f64 arithmetic on unwrapped unit values.
+use gpusimpow_tech::units::{Energy, Power, Time, Voltage};
+
+fn leak(e: Energy, t: Time, p: Power, vdd: Voltage) -> f64 {
+    let a = e.joules() / t.seconds();
+    let b = 2.0 * p.watts();
+    let c = vdd.volts() * vdd.volts();
+    let d = total(p).watts() / 3.0;
+    a + b + c + d
+}
+
+fn total(p: Power) -> Power {
+    p
+}

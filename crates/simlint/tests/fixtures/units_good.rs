@@ -1,0 +1,31 @@
+// Fixture: the same physics through the newtype operators, plus the
+// regions the lint exempts: rendering impls and test code.
+use gpusimpow_tech::units::{Energy, Power, Time, Voltage};
+use std::fmt;
+
+fn typed(e: Energy, t: Time, vdd: Voltage) -> Power {
+    let p: Power = e / t;
+    let scaled = e * vdd.squared();
+    let _report = p.watts();
+    let _ = scaled;
+    p
+}
+
+struct Row(Power, Power);
+
+impl fmt::Display for Row {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.1}%", 100.0 * self.0.watts() / self.1.watts())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn raw_magnitudes_in_assertions_are_fine() {
+        let p = Energy::new(1.0) / Time::new(2.0);
+        assert!((p.watts() * 2.0 - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,16 @@
+// Fixture: unsafe with no SAFETY comment, and one whose comment is too
+// far above to count as adjacent.
+fn undocumented(p: *const u32) -> u32 {
+    unsafe { *p }
+}
+
+// SAFETY: this comment is stranded six-plus lines above the block and
+// must not satisfy the audit.
+fn stranded(p: *const u32) -> u32 {
+    let x = 1;
+    let y = 2;
+    let z = 3;
+    let w = x + y + z;
+    let _ = w;
+    unsafe { *p }
+}

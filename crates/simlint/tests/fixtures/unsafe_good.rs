@@ -1,0 +1,18 @@
+// Fixture: documented unsafe — single-line and wrapped SAFETY
+// paragraphs both count, and "unsafe" in strings or comments is not a
+// keyword: unsafe unsafe unsafe.
+fn single(p: *const u32) -> u32 {
+    // SAFETY: `p` is non-null and aligned by the caller's contract.
+    unsafe { *p }
+}
+
+fn wrapped(p: *const u32) -> u32 {
+    // SAFETY: the pointer comes from a live Vec element two frames up;
+    // the borrow is re-established before this function returns, so
+    // the read cannot race or dangle.
+    unsafe { *p }
+}
+
+fn in_a_string() -> &'static str {
+    "unsafe { totally_not_code() }"
+}

@@ -1,0 +1,174 @@
+//! Fixture tests: one good/bad pair per lint family, driven through the
+//! same entry points the CLI uses. Fixtures live under
+//! `tests/fixtures/` (not test targets — they are lexed, never
+//! compiled) and are checked under synthetic workspace-relative paths
+//! so the path-scoping rules are exercised too.
+
+use simlint::{check_source, registry, unsafety, Diagnostic, SourceFile};
+use std::path::Path;
+
+fn fixture(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+fn lint_names(diags: &[Diagnostic]) -> Vec<&'static str> {
+    let mut names: Vec<&'static str> = diags.iter().map(|d| d.lint).collect();
+    names.sort_unstable();
+    names
+}
+
+#[test]
+fn determinism_bad_fires_both_lints_with_lines() {
+    let diags = check_source("crates/sim/src/fixture.rs", &fixture("determinism_bad.rs"));
+    let collections = diags
+        .iter()
+        .filter(|d| d.lint == "nondeterministic_collection")
+        .count();
+    let clocks = diags.iter().filter(|d| d.lint == "wall_clock").count();
+    // HashMap ×3 + HashSet ×3; Instant ×2 + SystemTime ×2 + thread::current ×1.
+    assert_eq!(collections, 6, "{diags:#?}");
+    assert_eq!(clocks, 5, "{diags:#?}");
+    assert!(diags
+        .iter()
+        .all(|d| d.file == "crates/sim/src/fixture.rs" && d.line > 0));
+}
+
+#[test]
+fn determinism_good_is_clean() {
+    let diags = check_source("crates/sim/src/fixture.rs", &fixture("determinism_good.rs"));
+    assert!(diags.is_empty(), "{diags:#?}");
+}
+
+#[test]
+fn determinism_lints_only_apply_to_result_bearing_crates() {
+    // The same offending source is fine in crates/bench, which
+    // legitimately reads the wall clock for throughput numbers.
+    let diags = check_source(
+        "crates/bench/src/fixture.rs",
+        &fixture("determinism_bad.rs"),
+    );
+    assert!(diags.is_empty(), "{diags:#?}");
+}
+
+#[test]
+fn units_bad_flags_each_raw_operation() {
+    let diags = check_source("crates/power/src/fixture.rs", &fixture("units_bad.rs"));
+    assert!(
+        diags.iter().all(|d| d.lint == "raw_unit_math"),
+        "{diags:#?}"
+    );
+    let lines: Vec<u32> = diags.iter().map(|d| d.line).collect();
+    // joules()/seconds() on line 5, 2.0*watts() on 6, volts()*volts()
+    // on 7, total(p).watts()/3.0 on 8.
+    assert_eq!(lines, vec![5, 5, 6, 7, 7, 8], "{diags:#?}");
+}
+
+#[test]
+fn units_good_typed_math_rendering_and_tests_are_clean() {
+    let diags = check_source("crates/power/src/fixture.rs", &fixture("units_good.rs"));
+    assert!(diags.is_empty(), "{diags:#?}");
+}
+
+#[test]
+fn units_lint_only_applies_to_the_power_crate() {
+    let diags = check_source("crates/measure/src/fixture.rs", &fixture("units_bad.rs"));
+    assert!(diags.is_empty(), "{diags:#?}");
+}
+
+#[test]
+fn unsafe_bad_catches_missing_and_stranded_safety_comments() {
+    let diags = check_source("crates/sim/src/fixture.rs", &fixture("unsafe_bad.rs"));
+    assert_eq!(lint_names(&diags), ["undocumented_unsafe"; 2], "{diags:#?}");
+}
+
+#[test]
+fn unsafe_good_is_clean_and_inventoried() {
+    let src = fixture("unsafe_good.rs");
+    let diags = check_source("crates/sim/src/fixture.rs", &src);
+    assert!(diags.is_empty(), "{diags:#?}");
+    // Keyword occurrences in strings and comments are not sites.
+    let sites = unsafety::sites(&SourceFile::parse("crates/sim/src/fixture.rs", &src));
+    assert_eq!(sites.len(), 2);
+    assert!(sites.iter().all(|s| s.doc.is_some()));
+    let manifest = unsafety::manifest(&[("crates/sim/src/fixture.rs".to_string(), sites)]);
+    assert!(manifest.contains("Total `unsafe` keywords in first-party code: 2"));
+    assert!(manifest.contains("SAFETY: `p` is non-null and aligned by the caller's contract."));
+}
+
+#[test]
+fn registry_coverage_good_trio_is_clean() {
+    let events = SourceFile::parse("crates/sim/src/events.rs", &fixture("registry_events.rs"));
+    let allow = SourceFile::parse(
+        "crates/power/src/registry.rs",
+        &fixture("registry_allowlist_good.rs"),
+    );
+    let comp = SourceFile::parse(
+        "crates/power/src/components/fixture.rs",
+        &fixture("registry_component.rs"),
+    );
+    let diags = registry::check(&events, &allow, &[comp]);
+    assert!(diags.is_empty(), "{diags:#?}");
+}
+
+#[test]
+fn registry_coverage_bad_allowlist_fires_all_three_lints() {
+    let events = SourceFile::parse("crates/sim/src/events.rs", &fixture("registry_events.rs"));
+    let allow = SourceFile::parse(
+        "crates/power/src/registry.rs",
+        &fixture("registry_allowlist_bad.rs"),
+    );
+    let comp = SourceFile::parse(
+        "crates/power/src/components/fixture.rs",
+        &fixture("registry_component.rs"),
+    );
+    let diags = registry::check(&events, &allow, &[comp]);
+    assert_eq!(
+        lint_names(&diags),
+        ["conflicting_price", "unknown_event", "unpriced_event"],
+        "{diags:#?}"
+    );
+    let ghost = diags.iter().find(|d| d.lint == "unpriced_event").unwrap();
+    assert!(ghost.message.contains("GhostEvent"), "{ghost}");
+    assert_eq!(ghost.file, "crates/sim/src/events.rs");
+    let stale = diags.iter().find(|d| d.lint == "unknown_event").unwrap();
+    assert!(stale.message.contains("Vanished"), "{stale}");
+    let conflict = diags
+        .iter()
+        .find(|d| d.lint == "conflicting_price")
+        .unwrap();
+    assert_eq!(conflict.file, "crates/power/src/components/fixture.rs");
+}
+
+#[test]
+fn justified_allow_markers_suppress_above_and_trailing() {
+    let diags = check_source("crates/sim/src/fixture.rs", &fixture("allow_good.rs"));
+    assert!(diags.is_empty(), "{diags:#?}");
+}
+
+#[test]
+fn rotten_allow_markers_are_findings_and_do_not_suppress() {
+    let diags = check_source("crates/sim/src/fixture.rs", &fixture("allow_bad.rs"));
+    assert_eq!(
+        lint_names(&diags),
+        [
+            "missing_justification",
+            "nondeterministic_collection",
+            "nondeterministic_collection",
+            "unknown_lint",
+        ],
+        "{diags:#?}"
+    );
+}
+
+#[test]
+fn diagnostics_render_as_file_line_lint_message() {
+    let diags = check_source("crates/sim/src/fixture.rs", &fixture("unsafe_bad.rs"));
+    let rendered = diags[0].to_string();
+    assert!(
+        rendered.starts_with("crates/sim/src/fixture.rs:4: undocumented_unsafe: "),
+        "{rendered}"
+    );
+}

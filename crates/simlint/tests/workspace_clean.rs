@@ -1,0 +1,28 @@
+//! Self-check: the real workspace passes every simlint pass, and the
+//! checked-in `UNSAFE.md` matches the regenerated inventory. This is
+//! the same run CI performs via `cargo run -p simlint`, kept as a test
+//! so `cargo test` alone catches invariant regressions.
+
+use std::path::Path;
+
+#[test]
+fn workspace_has_no_findings_and_manifest_is_current() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .unwrap();
+    let report = simlint::run_workspace(&root).unwrap();
+    assert!(
+        report.diagnostics.is_empty(),
+        "simlint findings in the workspace:\n{}",
+        report
+            .diagnostics
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    // The walk sees the whole first-party tree (sanity floor so a
+    // broken walker cannot silently pass by checking nothing).
+    assert!(report.files_checked > 100, "{}", report.files_checked);
+}

@@ -9,7 +9,7 @@
 use std::fmt;
 
 use crate::scaling::{voltage_dynamic_energy_factor, voltage_leakage_factor};
-use crate::units::{Freq, Time, Voltage};
+use crate::units::{Cycles, Freq, Time, Voltage};
 
 /// The set of clock domains of a GPU chip plus its memory interface.
 ///
@@ -99,13 +99,13 @@ impl ClockDomains {
     }
 
     /// Converts a shader-cycle count to wall-clock time.
-    pub fn shader_cycles_to_time(&self, cycles: u64) -> Time {
-        Time::new(cycles as f64 / self.shader().hertz())
+    pub fn shader_cycles_to_time(&self, cycles: Cycles) -> Time {
+        Time::new(cycles.as_f64() / self.shader().hertz())
     }
 
     /// Converts an uncore-cycle count to wall-clock time.
-    pub fn uncore_cycles_to_time(&self, cycles: u64) -> Time {
-        Time::new(cycles as f64 / self.uncore.hertz())
+    pub fn uncore_cycles_to_time(&self, cycles: Cycles) -> Time {
+        Time::new(cycles.as_f64() / self.uncore.hertz())
     }
 
     /// Number of shader cycles per uncore cycle (may be fractional,
@@ -350,7 +350,7 @@ mod tests {
     #[test]
     fn cycle_to_time_roundtrip() {
         let c = gt240();
-        let t = c.shader_cycles_to_time(1_358_500);
+        let t = c.shader_cycles_to_time(Cycles::new(1_358_500));
         assert!((t.millis() - 1.0).abs() < 1e-6);
     }
 

@@ -24,6 +24,18 @@ use std::fmt;
 use std::iter::Sum;
 use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
 
+/// Alias for [`Energy`]: the SI unit name, for call sites that read
+/// better as a unit ("the map prices 40 pJ per op in `Joules`").
+pub type Joules = Energy;
+/// Alias for [`Power`].
+pub type Watts = Power;
+/// Alias for [`Time`].
+pub type Seconds = Time;
+/// Alias for [`Voltage`].
+pub type Volts = Voltage;
+/// Alias for [`Freq`].
+pub type Hertz = Freq;
+
 /// Implements the shared boilerplate for a scalar physical quantity.
 macro_rules! quantity {
     ($(#[$meta:meta])* $name:ident, $unit:literal, $base:ident) => {
@@ -196,6 +208,115 @@ quantity!(
     /// A capacitance in farads.
     Capacitance, "F", farads
 );
+
+/// An exact clock-cycle count in some clock domain.
+///
+/// Unlike the `f64`-backed quantities above, cycles are *counted*, not
+/// measured: the simulator's determinism contract (bit-identical output
+/// for any thread count) requires cycle bookkeeping to stay in exact
+/// integer arithmetic until the single conversion to wall-clock time at
+/// a domain's frequency
+/// ([`ClockDomains::shader_cycles_to_time`](crate::clockdomain::ClockDomains::shader_cycles_to_time)).
+/// The newtype keeps raw cycle counts from being mistaken for seconds
+/// or mixed across clock domains without an explicit conversion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Cycles(u64);
+
+impl Cycles {
+    /// Zero cycles.
+    pub const ZERO: Cycles = Cycles(0);
+
+    /// Creates a cycle count.
+    #[inline]
+    pub const fn new(count: u64) -> Self {
+        Cycles(count)
+    }
+
+    /// The raw count.
+    #[inline]
+    pub const fn count(self) -> u64 {
+        self.0
+    }
+
+    /// The count as an `f64`, for the final conversion into a measured
+    /// quantity (time, average power). Prefer the typed conversions on
+    /// `ClockDomains` where one fits.
+    #[inline]
+    pub const fn as_f64(self) -> f64 {
+        self.0 as f64
+    }
+
+    /// Returns the maximum of `self` and `other`.
+    #[inline]
+    pub fn max(self, other: Self) -> Self {
+        Cycles(self.0.max(other.0))
+    }
+
+    /// Returns the minimum of `self` and `other`.
+    #[inline]
+    pub fn min(self, other: Self) -> Self {
+        Cycles(self.0.min(other.0))
+    }
+
+    /// Checked subtraction; `None` when `rhs > self`.
+    #[inline]
+    pub fn checked_sub(self, rhs: Self) -> Option<Self> {
+        self.0.checked_sub(rhs.0).map(Cycles)
+    }
+}
+
+impl Add for Cycles {
+    type Output = Cycles;
+    #[inline]
+    fn add(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Cycles {
+    #[inline]
+    fn add_assign(&mut self, rhs: Cycles) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Cycles {
+    /// Panics on underflow in debug builds, like the underlying `u64`.
+    type Output = Cycles;
+    #[inline]
+    fn sub(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0 - rhs.0)
+    }
+}
+
+impl Mul<u64> for Cycles {
+    type Output = Cycles;
+    #[inline]
+    fn mul(self, rhs: u64) -> Cycles {
+        Cycles(self.0 * rhs)
+    }
+}
+
+impl Sum for Cycles {
+    fn sum<I: Iterator<Item = Cycles>>(iter: I) -> Cycles {
+        iter.fold(Cycles::ZERO, Add::add)
+    }
+}
+
+impl Div<Freq> for Cycles {
+    /// Cycles at a clock frequency elapse in `count / f` seconds.
+    type Output = Time;
+    #[inline]
+    fn div(self, rhs: Freq) -> Time {
+        Time(self.0 as f64 / rhs.0)
+    }
+}
+
+impl fmt::Display for Cycles {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} cycles", self.0)
+    }
+}
 
 /// A silicon area in square millimetres.
 ///
@@ -404,6 +525,18 @@ impl Freq {
     pub fn period(self) -> Time {
         assert!(self.0 > 0.0, "period of zero frequency");
         Time(1.0 / self.0)
+    }
+}
+
+impl Voltage {
+    /// `V²` relative to a 1 V² reference — the dimensionless `C·V²`
+    /// scaling factor empirical energy models apply to per-op energies
+    /// that were characterised at 1 V. Keeping the square inside the
+    /// newtype lets callers scale energies without unwrapping volts
+    /// into raw `f64` arithmetic.
+    #[inline]
+    pub fn squared(self) -> f64 {
+        self.0 * self.0
     }
 }
 
@@ -642,5 +775,43 @@ mod tests {
     fn cycles_in_time_span() {
         let cycles = Time::from_micros(1.0) * Freq::from_mhz(550.0);
         assert!((cycles - 550.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cycle_counts_are_exact_integers() {
+        let a = Cycles::new(3) + Cycles::new(4);
+        assert_eq!(a, Cycles::new(7));
+        assert_eq!(a - Cycles::new(2), Cycles::new(5));
+        assert_eq!(a * 3, Cycles::new(21));
+        assert_eq!(a.count(), 7);
+        assert_eq!(Cycles::new(9).checked_sub(Cycles::new(10)), None);
+        let total: Cycles = [Cycles::new(1), Cycles::new(2)].into_iter().sum();
+        assert_eq!(total, Cycles::new(3));
+        assert_eq!(format!("{}", total), "3 cycles");
+    }
+
+    #[test]
+    fn cycles_over_freq_is_time() {
+        let t = Cycles::new(550) / Freq::from_mhz(550.0);
+        assert!((t.nanos() - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn voltage_squared_matches_raw_product() {
+        let v = Voltage::new(1.05);
+        assert_eq!(v.squared(), 1.05 * 1.05);
+    }
+
+    #[test]
+    fn unit_aliases_are_the_newtypes() {
+        let e: Joules = Energy::from_picojoules(1.0);
+        let p: Watts = Power::new(2.0);
+        let t: Seconds = Time::from_nanos(3.0);
+        let v: Volts = Voltage::new(1.0);
+        let f: Hertz = Freq::from_mhz(550.0);
+        assert!((e / t).watts() > 0.0);
+        assert!((p * t).joules() > 0.0);
+        assert_eq!(v.squared(), 1.0);
+        assert!((Cycles::new(550_000_000) / f).seconds() > 0.9);
     }
 }

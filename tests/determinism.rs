@@ -57,3 +57,26 @@ fn seeded_testbed_measurements_are_reproducible() {
     assert_eq!(m1[0].avg_power.watts(), m2[0].avg_power.watts());
     assert_eq!(m1[0].repeats, m2[0].repeats);
 }
+
+/// Golden anchor for the determinism-affecting refactors simlint
+/// polices (ordered collections in the hot path, unit-newtype
+/// adoption in the power model): one representative kernel must keep
+/// *exactly* these counts, time bits and power bits. If an
+/// order-randomised structure sneaks back into `crates/sim`, or a
+/// power-model "cleanup" perturbs float evaluation order, this fires
+/// long before anyone diffs EXPERIMENTS.md.
+#[test]
+fn blackscholes_gt240_counts_are_pinned() {
+    let mut sim = Simulator::gt240().expect("preset builds");
+    let reports = sim
+        .run_benchmark(&BlackScholes { options: 2048 })
+        .expect("verifies");
+    let r = &reports[0];
+    let s = &r.launch.stats;
+    assert_eq!(s.shader_cycles, 2977);
+    assert_eq!(s.warp_instructions, 4544);
+    assert_eq!(s.thread_instructions, 145_408);
+    assert_eq!(s.dram_read_bursts, 768);
+    assert_eq!(r.launch.time_s.to_bits(), 0x3ec261f80d2e3a2e);
+    assert_eq!(r.power.total_power().watts().to_bits(), 0x40424222c3bfa612);
+}
