@@ -31,6 +31,13 @@ use gpusimpow_sim::{Gpu, GpuConfig, SimPool};
 /// Baseline file the `--check` gate compares against.
 const BASELINE_PATH: &str = "BENCH_sim_throughput.json";
 
+/// Monotonic schema version of the JSON this tool writes. Bump whenever
+/// a field is added, removed or changes meaning, so downstream readers
+/// of committed baselines can tell layouts apart. History: 1 = the
+/// original layout (implicit, no version field); 2 = adds
+/// `schema_version` and `git_commit`.
+const SCHEMA_VERSION: u32 = 2;
+
 /// Wall-time regression the gate tolerates (noise headroom).
 const CHECK_TOLERANCE: f64 = 1.10;
 
@@ -62,6 +69,19 @@ fn suite_wall(pool: &SimPool, small: bool) -> f64 {
     let md = report::generate(small, pool);
     assert!(md.contains("Table V"), "report generated completely");
     start.elapsed().as_secs_f64()
+}
+
+/// The commit this baseline was measured at, for provenance when
+/// comparing committed BENCH files across history.
+fn git_commit() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
 }
 
 /// Pulls `"key": <number>` out of the hand-rolled baseline JSON.
@@ -137,6 +157,8 @@ fn main() {
     let mut json = String::new();
     json.push_str("{\n");
     let _ = writeln!(json, "  \"generated_by\": \"perf_baseline\",");
+    let _ = writeln!(json, "  \"schema_version\": {SCHEMA_VERSION},");
+    let _ = writeln!(json, "  \"git_commit\": \"{}\",", git_commit());
     let _ = writeln!(json, "  \"machine_threads\": {machine},");
     json.push_str("  \"kernels\": [\n");
     for (i, s) in samples.iter().enumerate() {

@@ -1,0 +1,83 @@
+//! `gpusimpow-serve` — the long-running simulation server.
+//!
+//! ```text
+//! cargo run --release -p gpusimpow-serve --bin gpusimpow-serve -- \
+//!     [--addr HOST:PORT] [--threads N] [--cache-dir DIR] [--mem-capacity N]
+//! ```
+//!
+//! Binds (default `127.0.0.1:7979`), prints the bound address, and
+//! serves until a client sends a Shutdown request. `--cache-dir`
+//! enables the on-disk cache tier, which persists results across server
+//! restarts; without it the cache is memory-only. `--threads 0` (the
+//! default) sizes the simulation pool to the machine.
+
+use gpusimpow_serve::{Server, ServerConfig, StoreConfig};
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        if arg == flag {
+            return Some(
+                iter.next()
+                    .unwrap_or_else(|| panic!("{flag} needs a value"))
+                    .clone(),
+            );
+        }
+        if let Some(v) = arg.strip_prefix(&format!("{flag}=")) {
+            return Some(v.to_string());
+        }
+    }
+    None
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let addr = flag_value(&args, "--addr").unwrap_or_else(|| "127.0.0.1:7979".to_string());
+    let threads: usize = flag_value(&args, "--threads")
+        .map(|v| {
+            v.parse()
+                .unwrap_or_else(|_| panic!("--threads expects a number, got {v:?}"))
+        })
+        .unwrap_or(0);
+    let mem_capacity: usize = flag_value(&args, "--mem-capacity")
+        .map(|v| {
+            v.parse()
+                .unwrap_or_else(|_| panic!("--mem-capacity expects a number, got {v:?}"))
+        })
+        .unwrap_or(1024);
+    let dir = flag_value(&args, "--cache-dir").map(std::path::PathBuf::from);
+
+    let config = ServerConfig {
+        addr,
+        threads,
+        store: StoreConfig {
+            dir: dir.clone(),
+            mem_capacity,
+        },
+    };
+    let server = Server::start(config).expect("bind and start the service");
+    println!(
+        "gpusimpow-serve listening on {} ({} sim threads, {} cache)",
+        server.local_addr(),
+        server.threads(),
+        match &dir {
+            Some(d) => format!("memory+disk at {}", d.display()),
+            None => "memory-only".to_string(),
+        }
+    );
+
+    // Blocks until a client sends a Shutdown request and the last
+    // connection drains.
+    let stats = server.join();
+    println!(
+        "gpusimpow-serve exiting: {} jobs ({} simulated, {} mem hits, {} disk hits, \
+         {} coalesced, {} errors), hit rate {:.1}%",
+        stats.jobs_received,
+        stats.misses_simulated,
+        stats.hits_mem,
+        stats.hits_disk,
+        stats.coalesced_waits,
+        stats.errors,
+        100.0 * stats.hit_rate(),
+    );
+}

@@ -1,0 +1,925 @@
+//! Canonical power-estimation jobs: the unit of work the service
+//! accepts, hashes, caches and simulates.
+//!
+//! A [`JobSpec`] is the tuple the paper's design-space-exploration use
+//! case keeps asking about — *which kernel, at which grid size, on
+//! which GPU, under which power-management policy, sampled how often* —
+//! reduced to a versioned canonical byte encoding
+//! ([`JobSpec::canonical_bytes`]). Two textually different requests
+//! that mean the same job produce the same bytes, the same
+//! [`JobDigest`], and therefore the same cache slot. Because PRs 2–5
+//! made simulation bit-deterministic, the digest really is a content
+//! address: re-simulating a digest always reproduces the cached bytes.
+//!
+//! [`run_job`] is the pure job → result function the server fans out
+//! over its `SimPool`; it builds a fresh `Gpu` per job, so jobs are
+//! independent and embarrassingly parallel.
+
+use gpusimpow::Simulator;
+use gpusimpow_isa::LaunchConfig;
+use gpusimpow_kernels::{micro, small_benchmarks};
+use gpusimpow_pm::{Baseline, ClusterOndemand, Governor, Ondemand, PowerCap, PowerTracer};
+use gpusimpow_power::{GpuChip, ScopedPowerReport};
+use gpusimpow_sim::{Gpu, GpuConfig, LaunchReport, RecordedLaunch, WindowRecorder};
+use gpusimpow_tech::units::Power;
+
+use crate::digest::JobDigest;
+use crate::wire::{Reader, WireError, Writer};
+
+/// Version of the canonical job encoding. Bumping this changes every
+/// job digest, deliberately orphaning all previously cached results
+/// (see `crates/serve/src/digest.rs` for why that is the safe failure
+/// mode).
+pub const JOB_ENCODING_VERSION: u16 = 1;
+
+/// Magic prefix of a canonical job encoding.
+pub const JOB_MAGIC: [u8; 4] = *b"GSPJ";
+
+/// Upper bound on threads per block a job may request (matches the
+/// largest block size the Table I workloads use).
+const MAX_THREADS_PER_BLOCK: u32 = 1024;
+
+/// Upper bound on blocks per job — service-side sanity cap, far above
+/// any workload in the suite but low enough that a garbage request
+/// cannot wedge a worker for hours.
+const MAX_BLOCKS: u32 = 65_536;
+
+/// Upper bound on loop-iteration parameters of the micro kernels.
+const MAX_ITERATIONS: u32 = 1 << 20;
+
+/// A job failure: the spec was invalid, or the simulation itself
+/// failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobError {
+    /// The job description is out of the service's accepted domain.
+    Invalid(String),
+    /// The simulator rejected or failed the run.
+    Sim(String),
+}
+
+impl std::fmt::Display for JobError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JobError::Invalid(m) => write!(f, "invalid job: {m}"),
+            JobError::Sim(m) => write!(f, "simulation failed: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for JobError {}
+
+/// Which GPU preset a job runs on (Table II).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum GpuPreset {
+    /// GeForce GT240.
+    Gt240,
+    /// GeForce GTX580.
+    Gtx580,
+}
+
+impl GpuPreset {
+    /// The simulator configuration for this preset.
+    pub fn config(self) -> GpuConfig {
+        match self {
+            GpuPreset::Gt240 => GpuConfig::gt240(),
+            GpuPreset::Gtx580 => GpuConfig::gtx580(),
+        }
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            GpuPreset::Gt240 => "GT240",
+            GpuPreset::Gtx580 => "GTX580",
+        }
+    }
+
+    fn tag(self) -> u8 {
+        match self {
+            GpuPreset::Gt240 => 0,
+            GpuPreset::Gtx580 => 1,
+        }
+    }
+
+    fn from_tag(tag: u8) -> Result<Self, WireError> {
+        match tag {
+            0 => Ok(GpuPreset::Gt240),
+            1 => Ok(GpuPreset::Gtx580),
+            t => Err(WireError::Malformed(format!("unknown GPU preset tag {t}"))),
+        }
+    }
+}
+
+/// Which DVFS governor prices the job's power trace. Only meaningful
+/// when the job samples windows (`window_cycles > 0`); the
+/// whole-launch [`ScopedPowerReport`] is governor-independent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum GovernorSpec {
+    /// No power management: every window at nominal.
+    Baseline,
+    /// Utilization-driven `ondemand` (default thresholds).
+    Ondemand,
+    /// Busiest-cluster `ondemand` (default thresholds).
+    ClusterOndemand,
+    /// Per-window power cap, in integer milliwatts so the canonical
+    /// encoding never touches floating point.
+    PowerCap {
+        /// Chip power budget in milliwatts.
+        cap_mw: u64,
+    },
+}
+
+impl GovernorSpec {
+    /// Instantiates the governor.
+    pub fn build(self) -> Box<dyn Governor> {
+        match self {
+            GovernorSpec::Baseline => Box::new(Baseline),
+            GovernorSpec::Ondemand => Box::new(Ondemand::default()),
+            GovernorSpec::ClusterOndemand => Box::new(ClusterOndemand::default()),
+            GovernorSpec::PowerCap { cap_mw } => {
+                Box::new(PowerCap::new(Power::from_milliwatts(cap_mw as f64)))
+            }
+        }
+    }
+
+    fn encode(self, w: &mut Writer) {
+        match self {
+            GovernorSpec::Baseline => w.put_u8(0),
+            GovernorSpec::Ondemand => w.put_u8(1),
+            GovernorSpec::ClusterOndemand => w.put_u8(2),
+            GovernorSpec::PowerCap { cap_mw } => {
+                w.put_u8(3);
+                w.put_u64(cap_mw);
+            }
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.u8("governor tag")? {
+            0 => Ok(GovernorSpec::Baseline),
+            1 => Ok(GovernorSpec::Ondemand),
+            2 => Ok(GovernorSpec::ClusterOndemand),
+            3 => Ok(GovernorSpec::PowerCap {
+                cap_mw: r.u64("powercap milliwatts")?,
+            }),
+            t => Err(WireError::Malformed(format!("unknown governor tag {t}"))),
+        }
+    }
+}
+
+/// Which kernel a job simulates, with its parameters and grid
+/// dimensions. The micro variants address the parameterised probe
+/// kernels directly; [`KernelSpec::Suite`] addresses one of the twelve
+/// Table I benchmarks (whose grids are part of the workload
+/// definition).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub enum KernelSpec {
+    /// The Fig. 4 cluster-activation probe.
+    ClusterStep {
+        /// Loop iterations of fixed mixed INT/FP work.
+        iterations: u32,
+        /// Thread blocks.
+        blocks: u32,
+        /// Threads per block.
+        threads: u32,
+    },
+    /// The §III-D integer (LFSR) microbenchmark.
+    Lfsr {
+        /// Enabled lanes per warp (1..=32).
+        lanes: u32,
+        /// Unrolled-loop iterations.
+        iterations: u32,
+        /// Thread blocks.
+        blocks: u32,
+        /// Threads per block.
+        threads: u32,
+    },
+    /// The §III-D floating-point (Mandelbrot) microbenchmark.
+    Mandelbrot {
+        /// Enabled lanes per warp (1..=32).
+        lanes: u32,
+        /// Unrolled-loop iterations.
+        iterations: u32,
+        /// Thread blocks.
+        blocks: u32,
+        /// Threads per block.
+        threads: u32,
+    },
+    /// The branch-divergence ablation probe.
+    Divergence {
+        /// Divergence nesting depth (1..=5).
+        depth: u32,
+        /// Thread blocks.
+        blocks: u32,
+        /// Threads per block.
+        threads: u32,
+    },
+    /// The shared-memory bank-conflict ablation probe.
+    Conflict {
+        /// Access stride in words (1..=64).
+        stride: u32,
+        /// Loop iterations.
+        iterations: u32,
+        /// Thread blocks.
+        blocks: u32,
+        /// Threads per block.
+        threads: u32,
+    },
+    /// One of the Table I benchmarks by suite index (0..12, the order
+    /// of [`gpusimpow_kernels::small_benchmarks`]), at its small
+    /// (CI-sized) or default workload size.
+    Suite {
+        /// Index into the suite.
+        index: u8,
+        /// `true` for the reduced workload sizes.
+        small: bool,
+    },
+}
+
+impl KernelSpec {
+    /// Human-readable label (logs, load-generator output).
+    pub fn label(&self) -> String {
+        match self {
+            KernelSpec::ClusterStep {
+                iterations,
+                blocks,
+                threads,
+            } => format!("cluster_step(i={iterations}) {blocks}x{threads}"),
+            KernelSpec::Lfsr {
+                lanes,
+                iterations,
+                blocks,
+                threads,
+            } => format!("lfsr(l={lanes},i={iterations}) {blocks}x{threads}"),
+            KernelSpec::Mandelbrot {
+                lanes,
+                iterations,
+                blocks,
+                threads,
+            } => format!("mandelbrot(l={lanes},i={iterations}) {blocks}x{threads}"),
+            KernelSpec::Divergence {
+                depth,
+                blocks,
+                threads,
+            } => format!("divergence(d={depth}) {blocks}x{threads}"),
+            KernelSpec::Conflict {
+                stride,
+                iterations,
+                blocks,
+                threads,
+            } => format!("conflict(s={stride},i={iterations}) {blocks}x{threads}"),
+            KernelSpec::Suite { index, small } => format!(
+                "suite[{index}]{}",
+                if *small { " (small)" } else { " (default)" }
+            ),
+        }
+    }
+
+    fn encode(&self, w: &mut Writer) {
+        match *self {
+            KernelSpec::ClusterStep {
+                iterations,
+                blocks,
+                threads,
+            } => {
+                w.put_u8(0);
+                w.put_u32(iterations);
+                w.put_u32(blocks);
+                w.put_u32(threads);
+            }
+            KernelSpec::Lfsr {
+                lanes,
+                iterations,
+                blocks,
+                threads,
+            } => {
+                w.put_u8(1);
+                w.put_u32(lanes);
+                w.put_u32(iterations);
+                w.put_u32(blocks);
+                w.put_u32(threads);
+            }
+            KernelSpec::Mandelbrot {
+                lanes,
+                iterations,
+                blocks,
+                threads,
+            } => {
+                w.put_u8(2);
+                w.put_u32(lanes);
+                w.put_u32(iterations);
+                w.put_u32(blocks);
+                w.put_u32(threads);
+            }
+            KernelSpec::Divergence {
+                depth,
+                blocks,
+                threads,
+            } => {
+                w.put_u8(3);
+                w.put_u32(depth);
+                w.put_u32(blocks);
+                w.put_u32(threads);
+            }
+            KernelSpec::Conflict {
+                stride,
+                iterations,
+                blocks,
+                threads,
+            } => {
+                w.put_u8(4);
+                w.put_u32(stride);
+                w.put_u32(iterations);
+                w.put_u32(blocks);
+                w.put_u32(threads);
+            }
+            KernelSpec::Suite { index, small } => {
+                w.put_u8(5);
+                w.put_u8(index);
+                w.put_u8(u8::from(small));
+            }
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(match r.u8("kernel tag")? {
+            0 => KernelSpec::ClusterStep {
+                iterations: r.u32("iterations")?,
+                blocks: r.u32("blocks")?,
+                threads: r.u32("threads")?,
+            },
+            1 => KernelSpec::Lfsr {
+                lanes: r.u32("lanes")?,
+                iterations: r.u32("iterations")?,
+                blocks: r.u32("blocks")?,
+                threads: r.u32("threads")?,
+            },
+            2 => KernelSpec::Mandelbrot {
+                lanes: r.u32("lanes")?,
+                iterations: r.u32("iterations")?,
+                blocks: r.u32("blocks")?,
+                threads: r.u32("threads")?,
+            },
+            3 => KernelSpec::Divergence {
+                depth: r.u32("depth")?,
+                blocks: r.u32("blocks")?,
+                threads: r.u32("threads")?,
+            },
+            4 => KernelSpec::Conflict {
+                stride: r.u32("stride")?,
+                iterations: r.u32("iterations")?,
+                blocks: r.u32("blocks")?,
+                threads: r.u32("threads")?,
+            },
+            5 => KernelSpec::Suite {
+                index: r.u8("suite index")?,
+                small: match r.u8("suite size flag")? {
+                    0 => false,
+                    1 => true,
+                    f => {
+                        return Err(WireError::Malformed(format!(
+                            "suite size flag must be 0/1, got {f}"
+                        )))
+                    }
+                },
+            },
+            t => Err(WireError::Malformed(format!("unknown kernel tag {t}")))?,
+        })
+    }
+
+    fn validate(&self) -> Result<(), JobError> {
+        let grid = |blocks: u32, threads: u32| -> Result<(), JobError> {
+            if blocks == 0 || blocks > MAX_BLOCKS {
+                return Err(JobError::Invalid(format!(
+                    "blocks must be in 1..={MAX_BLOCKS}, got {blocks}"
+                )));
+            }
+            if threads == 0 || threads > MAX_THREADS_PER_BLOCK {
+                return Err(JobError::Invalid(format!(
+                    "threads/block must be in 1..={MAX_THREADS_PER_BLOCK}, got {threads}"
+                )));
+            }
+            Ok(())
+        };
+        let iters = |iterations: u32| -> Result<(), JobError> {
+            if iterations == 0 || iterations > MAX_ITERATIONS {
+                return Err(JobError::Invalid(format!(
+                    "iterations must be in 1..={MAX_ITERATIONS}, got {iterations}"
+                )));
+            }
+            Ok(())
+        };
+        match *self {
+            KernelSpec::ClusterStep {
+                iterations,
+                blocks,
+                threads,
+            } => {
+                iters(iterations)?;
+                grid(blocks, threads)
+            }
+            KernelSpec::Lfsr {
+                lanes,
+                iterations,
+                blocks,
+                threads,
+            }
+            | KernelSpec::Mandelbrot {
+                lanes,
+                iterations,
+                blocks,
+                threads,
+            } => {
+                if !(1..=32).contains(&lanes) {
+                    return Err(JobError::Invalid(format!(
+                        "enabled lanes must be in 1..=32, got {lanes}"
+                    )));
+                }
+                iters(iterations)?;
+                grid(blocks, threads)
+            }
+            KernelSpec::Divergence {
+                depth,
+                blocks,
+                threads,
+            } => {
+                if !(1..=5).contains(&depth) {
+                    return Err(JobError::Invalid(format!(
+                        "divergence depth must be in 1..=5, got {depth}"
+                    )));
+                }
+                grid(blocks, threads)
+            }
+            KernelSpec::Conflict {
+                stride,
+                iterations,
+                blocks,
+                threads,
+            } => {
+                if !(1..=64).contains(&stride) {
+                    return Err(JobError::Invalid(format!(
+                        "conflict stride must be in 1..=64, got {stride}"
+                    )));
+                }
+                // The kernel's shared-memory buffer is sized for one
+                // warp (`32 * stride` words); more threads per block
+                // would write past it.
+                if threads > 32 {
+                    return Err(JobError::Invalid(format!(
+                        "conflict kernel allows at most 32 threads/block, got {threads}"
+                    )));
+                }
+                iters(iterations)?;
+                grid(blocks, threads)
+            }
+            KernelSpec::Suite { index, .. } => {
+                let n = small_benchmarks().len() as u8;
+                if index >= n {
+                    return Err(JobError::Invalid(format!(
+                        "suite index must be < {n}, got {index}"
+                    )));
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// One power-estimation job: the full canonical tuple.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct JobSpec {
+    /// Kernel, parameters and grid dimensions.
+    pub kernel: KernelSpec,
+    /// GPU configuration preset.
+    pub gpu: GpuPreset,
+    /// DVFS policy pricing the trace (trace jobs only).
+    pub governor: GovernorSpec,
+    /// Activity-sampling window in shader cycles; `0` disables the
+    /// power trace and returns only whole-launch reports.
+    pub window_cycles: u64,
+}
+
+impl JobSpec {
+    /// Checks the job is inside the service's accepted domain, so a
+    /// malformed request turns into an error response instead of a
+    /// panicking worker.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JobError::Invalid`] with the offending field.
+    pub fn validate(&self) -> Result<(), JobError> {
+        self.kernel.validate()
+    }
+
+    /// The versioned canonical byte encoding — the digest's preimage
+    /// and the wire form of a submitted job.
+    pub fn canonical_bytes(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.put_raw(&JOB_MAGIC);
+        w.put_u16(JOB_ENCODING_VERSION);
+        w.put_u8(self.gpu.tag());
+        self.governor.encode(&mut w);
+        w.put_u64(self.window_cycles);
+        self.kernel.encode(&mut w);
+        w.into_bytes()
+    }
+
+    /// Decodes a canonical encoding (and validates the job).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError`] on structural problems and maps
+    /// [`JobError::Invalid`] domain violations to
+    /// [`WireError::Malformed`].
+    pub fn decode(bytes: &[u8]) -> Result<JobSpec, WireError> {
+        let mut r = Reader::new(bytes);
+        let magic = r.raw(4, "job magic")?;
+        if magic != JOB_MAGIC {
+            return Err(WireError::Malformed(format!("bad job magic {magic:02x?}")));
+        }
+        let version = r.u16("job encoding version")?;
+        if version != JOB_ENCODING_VERSION {
+            return Err(WireError::Malformed(format!(
+                "job encoding version {version} (this build speaks {JOB_ENCODING_VERSION})"
+            )));
+        }
+        let gpu = GpuPreset::from_tag(r.u8("gpu tag")?)?;
+        let governor = GovernorSpec::decode(&mut r)?;
+        let window_cycles = r.u64("window cycles")?;
+        let kernel = KernelSpec::decode(&mut r)?;
+        r.finish("job encoding")?;
+        let spec = JobSpec {
+            kernel,
+            gpu,
+            governor,
+            window_cycles,
+        };
+        spec.validate()
+            .map_err(|e| WireError::Malformed(e.to_string()))?;
+        Ok(spec)
+    }
+
+    /// The job's content address: the digest of its canonical bytes.
+    pub fn digest(&self) -> JobDigest {
+        JobDigest::compute(&self.canonical_bytes())
+    }
+}
+
+/// One window of a job's power trace, flattened to wire-friendly
+/// scalars (exact `f64` bit patterns on the wire).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceSample {
+    /// Zero-based window index.
+    pub index: u64,
+    /// Window start relative to launch start (seconds).
+    pub start_s: f64,
+    /// Window duration at its operating point (seconds).
+    pub duration_s: f64,
+    /// Chosen operating-point index in the tracer's DVFS table.
+    pub op_index: u32,
+    /// Core-busy fraction of the window.
+    pub utilization: f64,
+    /// Chip dynamic power over the window (watts).
+    pub dynamic_w: f64,
+    /// Chip static power over the window (watts).
+    pub static_w: f64,
+    /// Off-chip DRAM power over the window (watts).
+    pub dram_w: f64,
+}
+
+/// A job's power trace under its requested governor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceSummary {
+    /// Kernel name.
+    pub kernel: String,
+    /// Governor name that priced the trace.
+    pub governor: String,
+    /// Per-window samples, in window order.
+    pub samples: Vec<TraceSample>,
+}
+
+/// Everything a completed job returns: one [`ScopedPowerReport`] per
+/// kernel launch, plus (for `window_cycles > 0`) one trace per launch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobResult {
+    /// Per-launch scoped power reports, in launch order.
+    pub reports: Vec<ScopedPowerReport>,
+    /// Per-launch power traces (empty when the job sampled no windows).
+    pub traces: Vec<TraceSummary>,
+}
+
+/// Runs one job to completion on a fresh simulator. This is the pure
+/// function behind every cache miss; identical specs produce
+/// bit-identical results (the workspace determinism contract), which
+/// is what makes the digest a content address.
+///
+/// # Errors
+///
+/// Returns [`JobError::Invalid`] for out-of-domain specs and
+/// [`JobError::Sim`] when the simulator rejects or fails the run.
+pub fn run_job(spec: &JobSpec) -> Result<JobResult, JobError> {
+    spec.validate()?;
+    let cfg = spec.gpu.config();
+    let chip = GpuChip::new(&cfg).map_err(|e| JobError::Sim(e.to_string()))?;
+
+    let (launches, recorded) = simulate(spec, cfg)?;
+    let reports = launches
+        .iter()
+        .map(|l| chip.evaluate_scoped(&l.kernel, &l.stats, &l.scoped))
+        .collect();
+
+    let traces = if spec.window_cycles > 0 {
+        let tracer = PowerTracer::new(chip);
+        let mut governor = spec.governor.build();
+        recorded
+            .iter()
+            .map(|launch| summarize(&tracer.replay(launch, governor.as_mut())))
+            .collect()
+    } else {
+        Vec::new()
+    };
+
+    Ok(JobResult { reports, traces })
+}
+
+/// Runs the spec's kernel(s), returning the launch reports and (when
+/// windows were requested) the recorded window streams.
+fn simulate(
+    spec: &JobSpec,
+    cfg: GpuConfig,
+) -> Result<(Vec<LaunchReport>, Vec<RecordedLaunch>), JobError> {
+    match &spec.kernel {
+        KernelSpec::Suite { index, small } => {
+            let mut suite = if *small {
+                small_benchmarks()
+            } else {
+                gpusimpow_kernels::all_benchmarks()
+            };
+            let bench = suite.swap_remove(*index as usize);
+            let mut sim = Simulator::new(cfg).map_err(|e| JobError::Sim(e.to_string()))?;
+            if spec.window_cycles > 0 {
+                sim.gpu_mut()
+                    .attach_sink(spec.window_cycles, Box::new(WindowRecorder::new()));
+            }
+            let reports = sim
+                .run_benchmark(bench.as_ref())
+                .map_err(|e| JobError::Sim(e.to_string()))?;
+            let recorded = take_recordings(sim.gpu_mut(), spec.window_cycles);
+            Ok((reports.into_iter().map(|r| r.launch).collect(), recorded))
+        }
+        micro_spec => {
+            let (kernel, launch) = match *micro_spec {
+                KernelSpec::ClusterStep {
+                    iterations,
+                    blocks,
+                    threads,
+                } => (
+                    micro::cluster_step_kernel(iterations),
+                    LaunchConfig::linear(blocks, threads),
+                ),
+                KernelSpec::Lfsr {
+                    lanes,
+                    iterations,
+                    blocks,
+                    threads,
+                } => (
+                    micro::lfsr_kernel(lanes, iterations),
+                    LaunchConfig::linear(blocks, threads),
+                ),
+                KernelSpec::Mandelbrot {
+                    lanes,
+                    iterations,
+                    blocks,
+                    threads,
+                } => (
+                    micro::mandelbrot_kernel(lanes, iterations),
+                    LaunchConfig::linear(blocks, threads),
+                ),
+                KernelSpec::Divergence {
+                    depth,
+                    blocks,
+                    threads,
+                } => (
+                    micro::divergence_kernel(depth),
+                    LaunchConfig::linear(blocks, threads),
+                ),
+                KernelSpec::Conflict {
+                    stride,
+                    iterations,
+                    blocks,
+                    threads,
+                } => (
+                    micro::conflict_kernel(stride, iterations),
+                    LaunchConfig::linear(blocks, threads),
+                ),
+                KernelSpec::Suite { .. } => unreachable!("handled above"),
+            };
+            let mut gpu = Gpu::new(cfg).map_err(|e| JobError::Sim(e.to_string()))?;
+            if spec.window_cycles > 0 {
+                gpu.attach_sink(spec.window_cycles, Box::new(WindowRecorder::new()));
+            }
+            let report = gpu
+                .launch(&kernel, launch)
+                .map_err(|e| JobError::Sim(e.to_string()))?;
+            let recorded = take_recordings(&mut gpu, spec.window_cycles);
+            Ok((vec![report], recorded))
+        }
+    }
+}
+
+/// Detaches and downcasts the window recorder attached by
+/// [`simulate`]; empty when the job sampled no windows.
+fn take_recordings(gpu: &mut Gpu, window_cycles: u64) -> Vec<RecordedLaunch> {
+    if window_cycles == 0 {
+        return Vec::new();
+    }
+    let mut sink = gpu.detach_sink().expect("recorder was attached");
+    let recorder = sink
+        .as_any_mut()
+        .expect("WindowRecorder is 'static")
+        .downcast_mut::<WindowRecorder>()
+        .expect("attached sink is a WindowRecorder");
+    std::mem::take(recorder).into_launches()
+}
+
+/// Flattens a [`gpusimpow_pm::PowerTrace`] to wire scalars.
+fn summarize(trace: &gpusimpow_pm::PowerTrace) -> TraceSummary {
+    TraceSummary {
+        kernel: trace.kernel.clone(),
+        governor: trace.governor.clone(),
+        samples: trace
+            .samples
+            .iter()
+            .map(|s| TraceSample {
+                index: s.index,
+                start_s: s.start.seconds(),
+                duration_s: s.duration.seconds(),
+                op_index: s.op_index as u32,
+                utilization: s.utilization,
+                dynamic_w: s.dynamic_power().watts(),
+                static_w: s.static_power.watts(),
+                dram_w: s.dram_power.watts(),
+            })
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_spec() -> JobSpec {
+        JobSpec {
+            kernel: KernelSpec::ClusterStep {
+                iterations: 64,
+                blocks: 2,
+                threads: 64,
+            },
+            gpu: GpuPreset::Gt240,
+            governor: GovernorSpec::Baseline,
+            window_cycles: 0,
+        }
+    }
+
+    #[test]
+    fn canonical_encoding_roundtrips() {
+        let specs = vec![
+            sample_spec(),
+            JobSpec {
+                kernel: KernelSpec::Lfsr {
+                    lanes: 31,
+                    iterations: 16,
+                    blocks: 4,
+                    threads: 128,
+                },
+                gpu: GpuPreset::Gtx580,
+                governor: GovernorSpec::PowerCap { cap_mw: 95_000 },
+                window_cycles: 2_000,
+            },
+            JobSpec {
+                kernel: KernelSpec::Suite {
+                    index: 11,
+                    small: true,
+                },
+                gpu: GpuPreset::Gt240,
+                governor: GovernorSpec::ClusterOndemand,
+                window_cycles: 5_000,
+            },
+        ];
+        for spec in specs {
+            let bytes = spec.canonical_bytes();
+            let back = JobSpec::decode(&bytes).unwrap();
+            assert_eq!(back, spec);
+            assert_eq!(back.digest(), spec.digest());
+        }
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(JobSpec::decode(b"").is_err());
+        assert!(JobSpec::decode(b"NOPE").is_err());
+        let mut bytes = sample_spec().canonical_bytes();
+        bytes[4] = 0xFF; // version
+        assert!(JobSpec::decode(&bytes).is_err());
+        let mut bytes = sample_spec().canonical_bytes();
+        bytes.push(0); // trailing garbage
+        assert!(JobSpec::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn validation_rejects_out_of_domain_jobs() {
+        let bad = [
+            KernelSpec::ClusterStep {
+                iterations: 0,
+                blocks: 1,
+                threads: 32,
+            },
+            KernelSpec::ClusterStep {
+                iterations: 8,
+                blocks: 0,
+                threads: 32,
+            },
+            KernelSpec::Lfsr {
+                lanes: 33,
+                iterations: 8,
+                blocks: 1,
+                threads: 32,
+            },
+            KernelSpec::Divergence {
+                depth: 6,
+                blocks: 1,
+                threads: 32,
+            },
+            KernelSpec::Conflict {
+                stride: 65,
+                iterations: 8,
+                blocks: 1,
+                threads: 32,
+            },
+            KernelSpec::Conflict {
+                stride: 4,
+                iterations: 8,
+                blocks: 1,
+                threads: 64,
+            },
+            KernelSpec::Suite {
+                index: 12,
+                small: true,
+            },
+        ];
+        for kernel in bad {
+            let spec = JobSpec {
+                kernel,
+                ..sample_spec()
+            };
+            assert!(
+                matches!(spec.validate(), Err(JobError::Invalid(_))),
+                "{:?} should be rejected",
+                spec.kernel
+            );
+            // And the decoder refuses the same encoding.
+            assert!(JobSpec::decode(&spec.canonical_bytes()).is_err());
+        }
+    }
+
+    #[test]
+    fn run_job_produces_a_consistent_report() {
+        let result = run_job(&sample_spec()).unwrap();
+        assert_eq!(result.reports.len(), 1);
+        assert!(result.traces.is_empty());
+        let report = &result.reports[0];
+        assert!(report.report.total_power().watts() > 0.0);
+        // Scoped rows reproduce the chip totals (PR 4's invariant).
+        let total = report.total().total().watts();
+        let chip = report.report.total_power().watts();
+        assert!((total - chip).abs() / chip < 1e-9);
+    }
+
+    #[test]
+    fn run_job_repeats_bit_identically() {
+        let spec = sample_spec();
+        let a = run_job(&spec).unwrap();
+        let b = run_job(&spec).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn windowed_job_returns_a_trace() {
+        let spec = JobSpec {
+            window_cycles: 500,
+            governor: GovernorSpec::Ondemand,
+            ..sample_spec()
+        };
+        let result = run_job(&spec).unwrap();
+        assert_eq!(result.traces.len(), 1);
+        let trace = &result.traces[0];
+        assert_eq!(trace.governor, "ondemand");
+        assert!(!trace.samples.is_empty());
+        // Samples are contiguous in time.
+        let mut expect_start = 0.0;
+        for s in &trace.samples {
+            assert!((s.start_s - expect_start).abs() < 1e-12);
+            expect_start += s.duration_s;
+        }
+    }
+}

@@ -305,9 +305,19 @@ pub(crate) fn in_regions(regions: &[(usize, usize)], idx: usize) -> bool {
 }
 
 fn determinism_scope(rel_path: &str) -> bool {
-    ["crates/sim/src/", "crates/power/src/", "crates/pm/src/"]
-        .iter()
-        .any(|p| rel_path.starts_with(p))
+    [
+        "crates/sim/src/",
+        "crates/power/src/",
+        "crates/pm/src/",
+        // The result cache turns the determinism contract into a
+        // correctness requirement (a digest is only a content address
+        // if re-simulation is bit-identical), so the service crate is
+        // held to the same lints. Its socket/filesystem edges carry
+        // explicit `simlint: allow` markers.
+        "crates/serve/src/",
+    ]
+    .iter()
+    .any(|p| rel_path.starts_with(p))
 }
 
 fn units_scope(rel_path: &str) -> bool {

@@ -54,6 +54,24 @@ fn determinism_lints_only_apply_to_result_bearing_crates() {
 }
 
 #[test]
+fn determinism_lints_cover_the_service_crate() {
+    // The serve crate's cache treats job digests as content addresses,
+    // which only holds if its code stays deterministic — so it is in
+    // scope for the same lints as the simulator itself.
+    let diags = check_source(
+        "crates/serve/src/fixture.rs",
+        &fixture("determinism_bad.rs"),
+    );
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.lint == "nondeterministic_collection"),
+        "{diags:#?}"
+    );
+    assert!(diags.iter().any(|d| d.lint == "wall_clock"), "{diags:#?}");
+}
+
+#[test]
 fn units_bad_flags_each_raw_operation() {
     let diags = check_source("crates/power/src/fixture.rs", &fixture("units_bad.rs"));
     assert!(

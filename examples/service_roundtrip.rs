@@ -1,0 +1,76 @@
+//! The simulation service end to end, in one process: start a server
+//! on a loopback port, submit a small design-space sweep twice, and
+//! watch the second pass come back from the cache.
+//!
+//! The first pass pays for every simulation; the second pass asks the
+//! exact same questions and pays only the transport — same digests,
+//! same bytes, `MemoryHit` sources, and a hit rate of 0.5 in the
+//! server's own counters (DESIGN.md §15).
+//!
+//! ```text
+//! cargo run --release --example service_roundtrip
+//! ```
+
+use gpusimpow_serve::proto::decode_result;
+use gpusimpow_serve::{Client, GovernorSpec, GpuPreset, JobSpec, KernelSpec, Server, ServerConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let server = Server::start(ServerConfig::default())?;
+    let addr = server.local_addr();
+    println!(
+        "server listening on {addr} ({} sim threads)\n",
+        server.threads()
+    );
+
+    // A small sweep: one kernel across both GPU presets and two
+    // governors, traced in 1024-cycle windows.
+    let mut jobs = Vec::new();
+    for gpu in [GpuPreset::Gt240, GpuPreset::Gtx580] {
+        for governor in [GovernorSpec::Baseline, GovernorSpec::Ondemand] {
+            jobs.push(JobSpec {
+                kernel: KernelSpec::Mandelbrot {
+                    lanes: 32,
+                    iterations: 48,
+                    blocks: 4,
+                    threads: 128,
+                },
+                gpu,
+                governor,
+                window_cycles: 1024,
+            });
+        }
+    }
+
+    let mut client = Client::connect(addr)?;
+    for pass in 1..=2 {
+        println!("pass {pass}:");
+        for outcome in client.submit(&jobs)? {
+            let payload = outcome.payload.map_err(std::io::Error::other)?;
+            let result = decode_result(&payload)?;
+            let report = &result.reports[0];
+            let windows = result.traces.first().map_or(0, |t| t.samples.len());
+            println!(
+                "  {:10} {} on {:6}: {:7.3} W over {} windows  [{}]",
+                format!("{}…", &outcome.digest.to_hex()[..8]),
+                report.report.kernel,
+                report.report.gpu,
+                report.report.total_power().watts(),
+                windows,
+                outcome.source.name(),
+            );
+        }
+    }
+
+    let stats = client.stats()?;
+    println!(
+        "\nserver counters: {} simulated, {} memory hits, hit rate {:.2}",
+        stats.misses_simulated,
+        stats.hits_mem,
+        stats.hit_rate()
+    );
+
+    client.shutdown()?;
+    drop(client);
+    server.join();
+    Ok(())
+}
