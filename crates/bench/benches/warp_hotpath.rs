@@ -1,0 +1,132 @@
+//! Microbenchmarks of the SoA warp hot path.
+//!
+//! Two layers are measured. The row kernels compare the contiguous SoA
+//! evaluators (`eval_*_lanes`, which the execute stage feeds whole
+//! 32-lane operand rows — and which dispatch to the AVX+FMA kernel on
+//! x86-64) against the strided per-lane reference the pre-SoA pipeline
+//! performed (one gather, one scalar op and one scatter per lane out of
+//! an interleaved `[lane][reg]` register file). The pipeline benchmarks
+//! then time full launches on warps with the three occupancy shapes the
+//! gather/dense-compute/masked-scatter split has to handle: dense
+//! compute, heavy branch divergence, and shared-memory bank conflicts.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use gpusimpow_isa::LaunchConfig;
+use gpusimpow_kernels::micro;
+use gpusimpow_sim::func::{eval_ffma, eval_ffma_lanes};
+use gpusimpow_sim::{Gpu, GpuConfig, MAX_LANES};
+
+/// Registers per lane in the strided reference layout.
+const NREGS: usize = 8;
+
+/// Deterministic f32 bit patterns in a sane range (no NaN/Inf).
+fn pattern(i: usize) -> u32 {
+    (1.0f32 + (i as f32) * 0.37).to_bits()
+}
+
+/// SoA row form: three contiguous operand rows in, one row out — the
+/// layout the execute stage hands to `eval_ffma_lanes` per instruction.
+fn bench_ffma_rows_soa(c: &mut Criterion) {
+    let a: Vec<u32> = (0..MAX_LANES).map(pattern).collect();
+    let b: Vec<u32> = (0..MAX_LANES).map(|i| pattern(i + 7)).collect();
+    let cc: Vec<u32> = (0..MAX_LANES).map(|i| pattern(i + 13)).collect();
+    let mut out = vec![0u32; MAX_LANES];
+    c.bench_function("warp/ffma-row-soa-32", |bch| {
+        bch.iter(|| {
+            eval_ffma_lanes(black_box(&a), black_box(&b), black_box(&cc), &mut out);
+            black_box(out[MAX_LANES - 1])
+        })
+    });
+}
+
+/// Strided per-lane reference: operands interleaved per lane
+/// (`regs[lane * NREGS + r]`), gathered, evaluated and scattered one
+/// lane at a time — what every FFma cost before the SoA refactor.
+fn bench_ffma_rows_aos_reference(c: &mut Criterion) {
+    let mut regs = vec![0u32; MAX_LANES * NREGS];
+    for lane in 0..MAX_LANES {
+        for r in 0..3 {
+            regs[lane * NREGS + r] = pattern(lane + 7 * r);
+        }
+    }
+    c.bench_function("warp/ffma-row-aos-reference-32", |bch| {
+        bch.iter(|| {
+            for lane in 0..MAX_LANES {
+                let base = lane * NREGS;
+                let (a, b, cc) = (regs[base], regs[base + 1], regs[base + 2]);
+                regs[base + 3] = eval_ffma(black_box(a), black_box(b), black_box(cc));
+            }
+            black_box(regs[(MAX_LANES - 1) * NREGS + 3])
+        })
+    });
+}
+
+/// One full launch: the per-iteration cost is dominated by the core
+/// pipeline (fetch/issue/execute over SoA lane rows), making this the
+/// end-to-end guard for the row-kernel wins above.
+fn bench_pipeline(
+    c: &mut Criterion,
+    name: &str,
+    kernel: gpusimpow_isa::Kernel,
+    blocks: u32,
+    threads: u32,
+) {
+    let launch = LaunchConfig::linear(blocks, threads);
+    // Warm-up outside the timer: first launch grows scratch to its
+    // high-water mark.
+    let mut gpu = Gpu::new(GpuConfig::gt240()).expect("preset is valid");
+    gpu.launch(&kernel, launch).expect("kernel runs");
+    c.bench_function(name, |bch| {
+        bch.iter(|| {
+            let r = gpu.launch(&kernel, launch).expect("kernel runs");
+            black_box(r.stats.shader_cycles)
+        })
+    });
+}
+
+/// Dense compute: every lane live, FFma/IMad dominated.
+fn bench_pipeline_dense(c: &mut Criterion) {
+    bench_pipeline(
+        c,
+        "warp/pipeline-dense-compute",
+        micro::cluster_step_kernel(64),
+        2,
+        64,
+    );
+}
+
+/// Divergent control flow: the masked-scatter path with fragmented
+/// active masks (depth 3 → 7 divergent branches per warp).
+fn bench_pipeline_divergent(c: &mut Criterion) {
+    bench_pipeline(
+        c,
+        "warp/pipeline-divergent",
+        micro::divergence_kernel(3),
+        2,
+        64,
+    );
+}
+
+/// Shared-memory bank conflicts: the LD/ST slice path under serialized
+/// smem access (stride 16 → systematic conflicts; the kernel sizes its
+/// shared buffer for exactly one 32-thread warp per block).
+fn bench_pipeline_bank_conflict(c: &mut Criterion) {
+    bench_pipeline(
+        c,
+        "warp/pipeline-bank-conflict",
+        micro::conflict_kernel(16, 32),
+        2,
+        32,
+    );
+}
+
+criterion_group!(
+    benches,
+    bench_ffma_rows_soa,
+    bench_ffma_rows_aos_reference,
+    bench_pipeline_dense,
+    bench_pipeline_divergent,
+    bench_pipeline_bank_conflict
+);
+criterion_main!(benches);

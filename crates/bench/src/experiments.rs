@@ -45,12 +45,14 @@ pub struct Fig4Point {
 /// Fig. 4: power of the GT240 running the same kernel with an
 /// increasing number of thread blocks, measured on the testbed.
 ///
-/// The twelve probe launches are independent (the probe kernel touches
-/// no persistent device state and core caches flush at every launch
-/// boundary), so they fan out over `pool` on a fresh `Gpu` each; the
-/// stateful testbed measurement replays the reports serially in block
-/// order, keeping the measurement-chain noise sequence — and therefore
-/// every emitted number — identical for any thread count.
+/// The staircase is one kernel under twelve launch geometries, so it
+/// runs as a one-pass sweep ([`SimPool::run_sweep`]): the probe kernel
+/// is decoded once and every point launches against the shared table on
+/// a fresh `Gpu`, fanned out over `pool`. The full-occupancy point
+/// reuses the memoized static-power probe shared with Table IV and
+/// §IV-B. The stateful testbed measurement replays the reports serially
+/// in block order, keeping the measurement-chain noise sequence — and
+/// therefore every emitted number — identical for any thread count.
 ///
 /// # Panics
 ///
@@ -59,16 +61,17 @@ pub fn fig4_cluster_power(seed: u64, pool: &SimPool) -> Vec<Fig4Point> {
     let cfg = GpuConfig::gt240();
     let mut testbed = Testbed::new(cfg.clone(), seed);
     let kernel = micro::cluster_step_kernel(1500);
-    let blocks_axis: Vec<u32> = (1..=cfg.total_cores() as u32).collect();
-    let reports = pool.run(blocks_axis, |blocks| {
-        if blocks == 12 {
-            // Full occupancy is the shared static-power probe.
-            return gt240_probe_report().clone();
-        }
-        let mut gpu = Gpu::new(GpuConfig::gt240()).expect("preset is valid");
-        gpu.launch(&kernel, LaunchConfig::linear(blocks, 256))
-            .expect("probe kernel runs")
-    });
+    // Full occupancy (the last point) is the shared static-power probe;
+    // the remaining points share one decode through the sweep driver.
+    let sweep_configs = vec![GpuConfig::gt240(); cfg.total_cores() - 1];
+    let mut reports: Vec<_> = pool
+        .run_sweep(&kernel, &sweep_configs, |idx, _gpu| {
+            Ok(LaunchConfig::linear(idx as u32 + 1, 256))
+        })
+        .into_iter()
+        .map(|r| r.expect("probe kernel runs"))
+        .collect();
+    reports.push(gt240_probe_report().clone());
     let mut points = Vec::new();
     let mut prev = 0.0;
     for (i, report) in reports.iter().enumerate() {

@@ -6,7 +6,7 @@
 
 use std::net::{TcpStream, ToSocketAddrs};
 
-use crate::job::JobSpec;
+use crate::job::{JobSpec, SweepSpec};
 use crate::proto::{read_frame, write_frame, JobOutcome, Request, Response, StatsSnapshot};
 use crate::wire::WireError;
 
@@ -45,6 +45,23 @@ impl Client {
     /// server error. Per-job failures are inside the outcomes.
     pub fn submit(&mut self, jobs: &[JobSpec]) -> Result<Vec<JobOutcome>, WireError> {
         match self.roundtrip(&Request::Submit(jobs.to_vec()))? {
+            Response::Results(outcomes) => Ok(outcomes),
+            Response::Error(msg) => Err(WireError::Malformed(format!("server error: {msg}"))),
+            other => Err(WireError::Malformed(format!(
+                "expected Results, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Submits a multi-preset sweep; returns one outcome per GPU
+    /// preset, in the sweep's preset order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError`] on transport failure or a request-level
+    /// server error. Per-job failures are inside the outcomes.
+    pub fn submit_sweep(&mut self, sweep: &SweepSpec) -> Result<Vec<JobOutcome>, WireError> {
+        match self.roundtrip(&Request::SubmitSweep(sweep.clone()))? {
             Response::Results(outcomes) => Ok(outcomes),
             Response::Error(msg) => Err(WireError::Malformed(format!("server error: {msg}"))),
             other => Err(WireError::Malformed(format!(

@@ -274,6 +274,12 @@ fn handle_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
         };
         let response = match Request::decode(&payload) {
             Ok(Request::Submit(jobs)) => Response::Results(handle_batch(jobs, shared)),
+            // A sweep is just a server-side expansion: the per-preset
+            // jobs flow through the same cache/dedup pipeline, so sweep
+            // members and individually submitted jobs share slots.
+            Ok(Request::SubmitSweep(sweep)) => {
+                Response::Results(handle_batch(sweep.expand(), shared))
+            }
             Ok(Request::Stats) => Response::Stats(snapshot(shared)),
             Ok(Request::Ping) => Response::Pong,
             Ok(Request::Shutdown) => {

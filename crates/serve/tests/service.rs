@@ -7,7 +7,7 @@ use std::sync::{Arc, Barrier};
 use gpusimpow_serve::proto::decode_result;
 use gpusimpow_serve::{
     Client, GovernorSpec, GpuPreset, JobSpec, KernelSpec, ResultSource, Server, ServerConfig,
-    StoreConfig,
+    StoreConfig, SweepSpec,
 };
 
 fn quick_spec(iterations: u32) -> JobSpec {
@@ -178,6 +178,59 @@ fn cached_result_is_byte_identical_to_direct_run() {
         served, direct,
         "the service's answer equals a direct Gpu run (exact f64 bits)"
     );
+
+    client.shutdown().unwrap();
+    server.join();
+}
+
+/// A multi-preset sweep is pure server-side expansion: its outcomes
+/// are byte-identical to individually submitted per-preset jobs, and
+/// sweep members share cache slots with individual submissions in both
+/// directions.
+#[test]
+fn sweep_matches_individual_submissions_and_shares_the_cache() {
+    let server = start_server();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    // Seed the cache with the GT240 member submitted individually.
+    let gt240 = quick_spec(36);
+    let seeded = client
+        .submit(std::slice::from_ref(&gt240))
+        .unwrap()
+        .remove(0);
+    assert_eq!(seeded.source, ResultSource::Simulated);
+
+    let sweep = SweepSpec {
+        kernel: gt240.kernel.clone(),
+        governor: gt240.governor,
+        window_cycles: gt240.window_cycles,
+        gpus: vec![GpuPreset::Gt240, GpuPreset::Gtx580],
+    };
+    let outcomes = client.submit_sweep(&sweep).unwrap();
+    assert_eq!(outcomes.len(), 2);
+
+    // The GT240 member hits the individually seeded cache entry with
+    // identical bytes; the GTX580 member is the only fresh simulation.
+    assert_eq!(outcomes[0].digest, gt240.digest());
+    assert_eq!(outcomes[0].source, ResultSource::MemoryHit);
+    assert_eq!(outcomes[0].payload, seeded.payload);
+    assert_eq!(outcomes[1].source, ResultSource::Simulated);
+
+    // Every sweep outcome equals what submitting that member alone
+    // returns (now all memory hits — the cache is shared both ways).
+    for (outcome, member) in outcomes.iter().zip(sweep.expand()) {
+        assert_eq!(outcome.digest, member.digest());
+        let individual = client
+            .submit(std::slice::from_ref(&member))
+            .unwrap()
+            .remove(0);
+        assert_eq!(individual.source, ResultSource::MemoryHit);
+        assert_eq!(outcome.payload, individual.payload);
+    }
+
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.misses_simulated, 2, "one simulation per distinct job");
+    assert_eq!(stats.errors, 0);
 
     client.shutdown().unwrap();
     server.join();

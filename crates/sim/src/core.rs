@@ -52,7 +52,7 @@ pub struct LaunchCtx<'a> {
 /// register-file bank conflicts on every issue attempt was the hottest
 /// part of the cycle loop; everything the issue stage needs is computed
 /// here exactly once per kernel instruction.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DecodedInstr {
     /// The architectural instruction.
     pub instr: Instr,
@@ -73,10 +73,29 @@ pub struct DecodedInstr {
     pub drains: bool,
 }
 
+/// Register-file bank conflicts among `srcs` under `banks` banks:
+/// sources minus distinct banks touched, as the banked register file
+/// serializes same-bank reads.
+fn bank_conflicts(srcs: &[Reg], regfile_banks: usize) -> u8 {
+    let mut banks = [0usize; 4];
+    for (b, r) in banks.iter_mut().zip(srcs) {
+        *b = r.index() % regfile_banks;
+    }
+    let n = srcs.len();
+    let mut distinct = 0;
+    for i in 0..n {
+        if !banks[..i].contains(&banks[i]) {
+            distinct += 1;
+        }
+    }
+    (n - distinct) as u8
+}
+
 impl DecodedInstr {
-    /// Decodes one instruction against `cfg` (bank conflicts depend on
-    /// the register-file bank count).
-    pub fn decode(instr: Instr, cfg: &GpuConfig) -> Self {
+    /// Configuration-independent part of the decode: everything except
+    /// `bank_conflicts`, which is left at zero. Also returns the source
+    /// list so callers can derive the bank conflicts for any bank count.
+    fn decode_base(instr: Instr) -> (Self, [Reg; 4], usize) {
         let class = instr.class();
         let dst = instr.dst();
         let mut srcs = [Reg(0); 4];
@@ -88,27 +107,27 @@ impl DecodedInstr {
         if let Some(d) = dst {
             dep_mask |= 1u64 << d.index().min(63);
         }
-        // Conflicts = sources − distinct banks touched, as the banked
-        // register file serializes same-bank reads.
-        let mut banks = [0usize; 4];
-        for (b, r) in banks.iter_mut().zip(&srcs[..n]) {
-            *b = r.index() % cfg.regfile_banks;
-        }
-        let mut distinct = 0;
-        for i in 0..n {
-            if !banks[..i].contains(&banks[i]) {
-                distinct += 1;
-            }
-        }
-        DecodedInstr {
-            instr,
-            class,
-            dst,
-            n_srcs: n as u8,
-            dep_mask,
-            bank_conflicts: (n - distinct) as u8,
-            drains: matches!(instr, Instr::Exit | Instr::Bar),
-        }
+        (
+            DecodedInstr {
+                instr,
+                class,
+                dst,
+                n_srcs: n as u8,
+                dep_mask,
+                bank_conflicts: 0,
+                drains: matches!(instr, Instr::Exit | Instr::Bar),
+            },
+            srcs,
+            n,
+        )
+    }
+
+    /// Decodes one instruction against `cfg` (bank conflicts depend on
+    /// the register-file bank count).
+    pub fn decode(instr: Instr, cfg: &GpuConfig) -> Self {
+        let (mut di, srcs, n) = Self::decode_base(instr);
+        di.bank_conflicts = bank_conflicts(&srcs[..n], cfg.regfile_banks);
+        di
     }
 
     /// Decodes a whole kernel into a PC-indexed table.
@@ -117,6 +136,61 @@ impl DecodedInstr {
             .code()
             .iter()
             .map(|&i| Self::decode(i, cfg))
+            .collect()
+    }
+}
+
+/// Configuration-independent predecode of a whole kernel, shared across
+/// the GPU configurations of a sweep.
+///
+/// [`DecodedInstr`] depends on the configuration through exactly one
+/// field — `bank_conflicts`, a function of `cfg.regfile_banks` — so a
+/// sweep decodes each kernel once with [`PredecodedKernel::new`] and
+/// stamps out one PC-indexed table per *distinct bank count* with
+/// [`PredecodedKernel::specialize`] (both stock presets use 16 banks,
+/// so a GT240 + GTX580 sweep shares a single table).
+#[derive(Debug, Clone)]
+pub struct PredecodedKernel {
+    /// Bank-count-independent decode (`bank_conflicts` zeroed).
+    base: Vec<DecodedInstr>,
+    /// Per-instruction source lists for re-deriving bank conflicts.
+    srcs: Vec<([Reg; 4], u8)>,
+}
+
+impl PredecodedKernel {
+    /// Pre-decodes every instruction of `kernel` once.
+    pub fn new(kernel: &Kernel) -> Self {
+        let mut base = Vec::with_capacity(kernel.code().len());
+        let mut srcs = Vec::with_capacity(kernel.code().len());
+        for &instr in kernel.code() {
+            let (di, s, n) = DecodedInstr::decode_base(instr);
+            base.push(di);
+            srcs.push((s, n as u8));
+        }
+        PredecodedKernel { base, srcs }
+    }
+
+    /// Number of pre-decoded instructions.
+    pub fn len(&self) -> usize {
+        self.base.len()
+    }
+
+    /// `true` when the kernel has no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.base.is_empty()
+    }
+
+    /// Specializes the shared predecode for one configuration. The
+    /// result is bit-identical to [`DecodedInstr::decode_kernel`] on
+    /// the same kernel and configuration.
+    pub fn specialize(&self, cfg: &GpuConfig) -> Vec<DecodedInstr> {
+        self.base
+            .iter()
+            .zip(&self.srcs)
+            .map(|(&di, &(srcs, n))| DecodedInstr {
+                bank_conflicts: bank_conflicts(&srcs[..n as usize], cfg.regfile_banks),
+                ..di
+            })
             .collect()
     }
 }
@@ -175,6 +249,11 @@ struct Warp {
     /// Linear thread id of lane 0 within the CTA.
     base_tid: u32,
     stack: SimtStack,
+    /// Register file in structure-of-arrays layout: register `r`'s
+    /// per-lane row is `regs[r * ws .. (r + 1) * ws]` with
+    /// `ws = cfg.warp_size`, so operand collection reads one contiguous
+    /// row per source and the execute stage runs dense row loops (see
+    /// [`gather_row`] / [`scatter_row`]).
     regs: Vec<u32>,
     /// Fetched-but-unissued instruction, by PC (the decoded table in
     /// [`LaunchCtx`] holds the metadata).
@@ -228,6 +307,113 @@ fn next_hint(mask: u64, pos: usize, n: usize) -> (usize, usize) {
     }
 }
 
+/// Maximum lanes per warp the SoA hot path models — the [`LaneMask`]
+/// width. `GpuConfig::validate` bounds `warp_size` by this.
+pub const MAX_LANES: usize = 64;
+
+/// Full-warp lane mask for a `ws`-lane warp.
+#[inline]
+fn warp_full_mask(ws: usize) -> LaneMask {
+    if ws >= 64 {
+        !0
+    } else {
+        (1u64 << ws) - 1
+    }
+}
+
+/// Operand collection over the SoA register file: copies the operand's
+/// register row (or splats an immediate) into a dense lane row.
+#[inline]
+fn gather_row(regs: &[u32], ws: usize, op: Operand, out: &mut [u32; MAX_LANES]) {
+    match op {
+        Operand::Reg(r) => {
+            let base = r.index() * ws;
+            out[..ws].copy_from_slice(&regs[base..base + ws]);
+        }
+        Operand::Imm(v) => out[..ws].fill(v),
+    }
+}
+
+/// Masked scatter back into the SoA register file: a full-warp mask is
+/// one contiguous row copy, divergent masks write per set bit.
+#[inline]
+fn scatter_row(
+    regs: &mut [u32],
+    ws: usize,
+    dst: Reg,
+    vals: &[u32; MAX_LANES],
+    mask: LaneMask,
+    full: LaneMask,
+) {
+    let base = dst.index() * ws;
+    let row = &mut regs[base..base + ws];
+    if mask == full {
+        row.copy_from_slice(&vals[..ws]);
+    } else {
+        let mut m = mask;
+        while m != 0 {
+            let lane = m.trailing_zeros() as usize;
+            m &= m - 1;
+            row[lane] = vals[lane];
+        }
+    }
+}
+
+/// Reusable structure-of-arrays scratch block for the per-warp hot
+/// pipeline: fixed 64-lane rows for operand collection, dense results
+/// and generated addresses (pure stack-style storage — no allocation,
+/// no take/put-back churn) plus two reused vectors for the
+/// variable-length coalescer outputs. One block per core; zero
+/// steady-state allocation.
+#[derive(Debug)]
+struct LaneScratch {
+    /// First gathered source row.
+    a: [u32; MAX_LANES],
+    /// Second gathered source row.
+    b: [u32; MAX_LANES],
+    /// Third gathered source row (FFMA/IMAD/SEL).
+    c: [u32; MAX_LANES],
+    /// Dense result row, scattered under the active mask.
+    out: [u32; MAX_LANES],
+    /// Generated addresses, dense by lane id.
+    addrs: [u32; MAX_LANES],
+    /// Active lanes' addresses, compacted in ascending lane order
+    /// (feeds the coalescer and the access statistics).
+    words: Vec<u32>,
+    /// Coalesced segment bases.
+    segs: Vec<u32>,
+}
+
+impl LaneScratch {
+    fn new() -> Self {
+        LaneScratch {
+            a: [0; MAX_LANES],
+            b: [0; MAX_LANES],
+            c: [0; MAX_LANES],
+            out: [0; MAX_LANES],
+            addrs: [0; MAX_LANES],
+            words: Vec::new(),
+            segs: Vec::new(),
+        }
+    }
+}
+
+/// Outcome of one [`Core::try_issue`] probe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum IssueProbe {
+    /// An instruction issued.
+    Issued,
+    /// Silent failure on a busy execution unit (barrel configs only):
+    /// it lapses with time alone, so the slot stays hinted, and a scan
+    /// where every failure is of this kind proves the core cannot
+    /// issue before [`Core::unit_wake`].
+    UnitBusy,
+    /// Any other failure — sticky states, or scoreboard probes that
+    /// counted activity and must re-probe every cycle. The issue-stall
+    /// sleep must not engage on a scan containing one of these.
+    Blocked,
+}
+
 /// One SIMT core.
 #[derive(Debug)]
 pub struct Core {
@@ -277,18 +463,26 @@ pub struct Core {
     /// release and CTA dispatch. Slots ≥ 64 are never hinted (the scans
     /// fall back to probing every slot when `max_warps > 64`).
     issue_ready: u64,
+    /// Issue-scan sleep: cycles below this are proven issue no-ops.
+    /// Engaged only on barrel (non-scoreboard) configs when a full
+    /// hinted scan fails with every probe silently blocked on a busy
+    /// execution unit — such failures lapse with time alone, at the
+    /// earliest when a unit frees ([`Core::unit_wake`]). Any event that
+    /// can create a *new* issue candidate (i-buffer fill, writeback
+    /// retire, barrier release, CTA dispatch) re-arms the scan by
+    /// resetting this to zero at its `set_hint` site. Scoreboard
+    /// configs never engage it: their failed dependency probes count
+    /// `ScoreboardReads` every cycle, so skipping scans would change
+    /// the activity counters.
+    issue_stall_until: u64,
     /// Fetch-scan hint, same contract as `issue_ready`: bit `s` set
     /// means slot `s` might fetch. Every fetch failure is sticky (an
     /// empty i-buffer can only reappear via issue, a freed slot via
     /// dispatch), so failed probes always clear their bit.
     fetch_ready: u64,
-    // Reusable scratch buffers for the load/store unit, hoisted out of
-    // the per-instruction hot path.
-    scratch_lanes: Vec<(usize, u32)>,
-    scratch_words: Vec<u32>,
-    scratch_segs: Vec<u32>,
-    scratch_loads: Vec<(usize, u32)>,
-    scratch_stores: Vec<(u32, u32)>,
+    /// Reusable SoA scratch block for the execute and load/store hot
+    /// paths (see [`LaneScratch`]).
+    scratch: LaneScratch,
     /// Core-local registry counters (all [`crate::events::Scope::Core`]
     /// events), merged by the GPU after a launch and exposed per-core
     /// through [`crate::gpu::ScopedActivity`].
@@ -338,12 +532,9 @@ impl Core {
             store_buf: BTreeMap::new(),
             work: false,
             issue_ready: !0,
+            issue_stall_until: 0,
             fetch_ready: !0,
-            scratch_lanes: Vec::new(),
-            scratch_words: Vec::new(),
-            scratch_segs: Vec::new(),
-            scratch_loads: Vec::new(),
-            scratch_stores: Vec::new(),
+            scratch: LaneScratch::new(),
             stats: ActivityVector::new(),
         }
     }
@@ -436,6 +627,10 @@ impl Core {
                 cta_slot,
                 base_tid,
                 stack: SimtStack::new(0, mask),
+                // simlint: allow(lane_loop_alloc): one register file per
+                // dispatched warp — grid-proportional launch setup, not
+                // per-cycle work; the steady-state alloc test holds the
+                // grid fixed and tolerates exactly this.
                 regs: vec![0; cfg.warp_size * num_regs],
                 ibuf: None,
                 pending_writes: 0,
@@ -445,6 +640,7 @@ impl Core {
                 done: false,
             });
             set_hint(&mut self.issue_ready, slot);
+            self.issue_stall_until = 0;
             set_hint(&mut self.fetch_ready, slot);
             warp_slots.push(slot);
         }
@@ -486,6 +682,7 @@ impl Core {
         self.active_set.clear();
         self.pending_rr = 0;
         self.issue_ready = !0;
+        self.issue_stall_until = 0;
         self.fetch_ready = !0;
         self.icache.flush();
         self.const_cache.flush();
@@ -551,28 +748,6 @@ impl Core {
         self.work = false;
     }
 
-    /// Reads a global-memory word through this core's store overlay
-    /// (read-your-own-writes within the current cycle).
-    fn read_global(&self, mem: &GpuMemory, addr: u32) -> u32 {
-        if !self.store_buf.is_empty() {
-            if let Some(v) = self.store_buf.get(&(addr & !3)) {
-                return *v;
-            }
-        }
-        mem.load_word(addr)
-    }
-
-    /// Buffers a global-memory store for the commit phase. Bounds are
-    /// checked now so an out-of-range kernel store still fails inside
-    /// the offending core's compute phase.
-    fn buffer_store(&mut self, mem: &GpuMemory, addr: u32, value: u32) {
-        let a = addr & !3;
-        if a as usize + 4 > mem.capacity() {
-            panic!("kernel write past end of simulated memory: 0x{addr:08x}");
-        }
-        self.store_buf.insert(a, value);
-    }
-
     /// Delivers a memory reply for the 128-byte line containing `addr`.
     pub fn mem_response(&mut self, addr: u32, cycle: u64, ctx: &LaunchCtx<'_>) {
         // Install into the right cache.
@@ -635,15 +810,15 @@ impl Core {
         if self.cta_coords.is_empty() && self.events.is_empty() && self.groups.is_empty() {
             return false;
         }
-        self.retire(cycle);
+        self.retire(cycle, cfg, ctx);
         self.issue_stage(cycle, cfg, ctx, mem);
-        self.fetch_stage(cycle, ctx);
+        self.fetch_stage(cycle, cfg, ctx);
         self.work
     }
 
     // --- writeback / retire ---------------------------------------------------
 
-    fn retire(&mut self, cycle: u64) {
+    fn retire(&mut self, cycle: u64, cfg: &GpuConfig, ctx: &LaunchCtx<'_>) {
         while let Some(Reverse(ev)) = self.events.peek() {
             if ev.cycle > cycle {
                 break;
@@ -660,6 +835,20 @@ impl Core {
                         }
                         w.busy = false;
                         set_hint(&mut self.issue_ready, warp);
+                        if self.issue_stall_until > cycle {
+                            // Barrel: keep sleeping until the retired
+                            // warp's own unit frees (its next instruction
+                            // is already decoded in the i-buffer), rather
+                            // than waking the scan for a probe that must
+                            // fail silently. Scoreboard: cancel outright,
+                            // failed probes there are observable.
+                            self.issue_stall_until = if cfg.scoreboard {
+                                0
+                            } else {
+                                self.issue_stall_until
+                                    .min(self.candidate_wake(warp, cycle, ctx))
+                            };
+                        }
                     }
                 }
             }
@@ -669,6 +858,12 @@ impl Core {
     // --- issue -------------------------------------------------------------------
 
     fn issue_stage(&mut self, cycle: u64, cfg: &GpuConfig, ctx: &LaunchCtx<'_>, mem: &GpuMemory) {
+        // Issue-stall sleep: a previous scan proved no probe can do
+        // anything before `issue_stall_until` (see the field docs).
+        // Only the hinted RoundRobin scan below ever engages it.
+        if cycle < self.issue_stall_until {
+            return;
+        }
         match cfg.warp_scheduler {
             WarpSchedPolicy::RoundRobin => {
                 let mut issued = 0;
@@ -689,6 +884,13 @@ impl Core {
                     // non-silently, in the same order and with the same
                     // `scanned` accounting (skipped gaps still count).
                     let window: u64 = if n == 64 { !0 } else { (1u64 << n) - 1 };
+                    // Stall-engage bookkeeping: `only_unit_busy` stays
+                    // true while every failed probe was a silent
+                    // unit-busy lapse. If the scan then *exhausts* the
+                    // candidates (rather than filling `issue_width`),
+                    // nothing can issue before a unit frees or a hint
+                    // set-site fires — both covered below.
+                    let mut only_unit_busy = true;
                     while issued < cfg.issue_width && scanned < n {
                         let hints = self.issue_ready & window;
                         if hints == 0 {
@@ -700,23 +902,32 @@ impl Core {
                         }
                         scanned += dist + 1;
                         slot = next;
-                        if self.try_issue(slot, cycle, cfg, ctx, mem) {
-                            issued += 1;
-                            self.issue_rr = if slot + 1 == n { 0 } else { slot + 1 };
-                            self.stats[Ev::IssueSchedulerSelects] += 1;
-                            slot = (self.issue_rr + scanned) % n;
-                        } else {
-                            self.clear_issue_hint_if_blocked(slot, cfg);
-                            slot += 1;
-                            if slot == n {
-                                slot = 0;
+                        match self.try_issue(slot, cycle, cfg, ctx, mem) {
+                            IssueProbe::Issued => {
+                                issued += 1;
+                                self.issue_rr = if slot + 1 == n { 0 } else { slot + 1 };
+                                self.stats[Ev::IssueSchedulerSelects] += 1;
+                                slot = (self.issue_rr + scanned) % n;
+                            }
+                            outcome => {
+                                if outcome == IssueProbe::Blocked {
+                                    only_unit_busy = false;
+                                }
+                                self.clear_issue_hint_if_blocked(slot, cfg);
+                                slot += 1;
+                                if slot == n {
+                                    slot = 0;
+                                }
                             }
                         }
+                    }
+                    if only_unit_busy && issued < cfg.issue_width {
+                        self.issue_stall_until = self.unit_wake(cycle);
                     }
                 } else {
                     while issued < cfg.issue_width && scanned < n {
                         scanned += 1;
-                        if self.try_issue(slot, cycle, cfg, ctx, mem) {
+                        if self.try_issue(slot, cycle, cfg, ctx, mem) == IssueProbe::Issued {
                             issued += 1;
                             self.issue_rr = if slot + 1 == n { 0 } else { slot + 1 };
                             self.stats[Ev::IssueSchedulerSelects] += 1;
@@ -748,7 +959,7 @@ impl Core {
                 while issued < cfg.issue_width && scanned < n {
                     let slot = set[idx];
                     scanned += 1;
-                    if self.try_issue(slot, cycle, cfg, ctx, mem) {
+                    if self.try_issue(slot, cycle, cfg, ctx, mem) == IssueProbe::Issued {
                         issued += 1;
                         self.issue_rr = (self.issue_rr + scanned) % n;
                         self.stats[Ev::IssueSchedulerSelects] += 1;
@@ -796,6 +1007,55 @@ impl Core {
         }
     }
 
+    /// Earliest future cycle at which any execution unit frees, or
+    /// `u64::MAX` when none is busy (then only a hint set-site event
+    /// can create issue work).
+    #[inline]
+    fn unit_wake(&self, cycle: u64) -> u64 {
+        let mut wake = u64::MAX;
+        for busy in [self.busy_int, self.busy_fp, self.busy_sfu, self.busy_ldst] {
+            if busy > cycle {
+                wake = wake.min(busy);
+            }
+        }
+        wake
+    }
+
+    /// Earliest cycle — not before `earliest` — at which `slot`, which
+    /// just became an issue candidate (writeback retire or i-buffer
+    /// fill), could pass the unit-availability check. Refines an
+    /// engaged issue stall instead of cancelling it outright: while
+    /// every other candidate is silently unit-blocked, the new one only
+    /// forces a re-scan once its own unit frees. `u64::MAX` when the
+    /// slot cannot issue at all until another hint set-site fires
+    /// (empty i-buffer, still-executing, finished or barrier-parked
+    /// warp — for the busy case the commit event performs its own
+    /// refinement when it retires).
+    ///
+    /// Barrel-only: under a scoreboard, failed probes are observable
+    /// (`Ev::ScoreboardReads`), so a kept stall would skip scans the
+    /// unrefined pipeline performed — callers must cancel outright
+    /// instead (`cfg.scoreboard` gate at both call sites).
+    fn candidate_wake(&self, slot: usize, earliest: u64, ctx: &LaunchCtx<'_>) -> u64 {
+        let Some(w) = self.warps[slot].as_ref() else {
+            return u64::MAX;
+        };
+        if w.done || w.at_barrier || w.busy {
+            return u64::MAX;
+        }
+        let Some(pc) = w.ibuf else {
+            return u64::MAX;
+        };
+        let busy = match ctx.decoded[pc as usize].class {
+            InstrClass::Int => self.busy_int,
+            InstrClass::Fp => self.busy_fp,
+            InstrClass::Sfu => self.busy_sfu,
+            InstrClass::Mem => self.busy_ldst,
+            InstrClass::Control => 0,
+        };
+        busy.max(earliest)
+    }
+
     /// After a failed [`Core::try_issue`] probe of `slot`, clears its
     /// issue hint when the failure is *sticky*: it can only end via an
     /// event that passes a hint set-site (i-buffer fill, writeback
@@ -826,71 +1086,82 @@ impl Core {
         cfg: &GpuConfig,
         ctx: &LaunchCtx<'_>,
         mem: &GpuMemory,
-    ) -> bool {
+    ) -> IssueProbe {
         let (di, mask) = {
             let w = match self.warps[slot].as_ref() {
                 Some(w) => w,
-                None => return false,
+                None => return IssueProbe::Blocked,
             };
             if w.done || w.at_barrier {
-                return false;
+                return IssueProbe::Blocked;
             }
             let pc = match w.ibuf {
                 Some(pc) => pc,
-                None => return false,
+                None => return IssueProbe::Blocked,
             };
             // Barrel blocking needs no instruction metadata — bail out
             // before the decoded-table load on this hot stall path.
             if !cfg.scoreboard && w.busy {
-                return false;
+                return IssueProbe::Blocked;
             }
             let di = ctx.decoded[pc as usize];
             // Dependency check.
             if cfg.scoreboard {
                 // A failed probe still counts scoreboard activity, so
                 // this cycle is not quiescent (the idle fast-forward
-                // must not skip it).
+                // must not skip it) — and the issue-stall sleep must
+                // never swallow the per-cycle re-probe, so every
+                // scoreboard failure below reports `Blocked`.
                 self.stats[Ev::ScoreboardReads] += 1;
                 self.work = true;
                 if w.pending_writes & di.dep_mask != 0 {
-                    return false;
+                    return IssueProbe::Blocked;
                 }
                 // Exit and barriers drain the warp first.
                 if di.drains && (w.pending_writes != 0 || w.outstanding_groups > 0) {
-                    return false;
+                    return IssueProbe::Blocked;
                 }
             }
             let entry = match w.stack.current() {
                 Some(e) => e,
-                None => return false,
+                None => return IssueProbe::Blocked,
             };
             (di, entry.mask)
         };
 
-        // Unit availability.
+        // Unit availability. On barrel configs these failures are
+        // silent and lapse when the unit frees, which is what lets a
+        // fully unit-blocked scan sleep until [`Core::unit_wake`].
+        let unit_busy = || {
+            if cfg.scoreboard {
+                IssueProbe::Blocked
+            } else {
+                IssueProbe::UnitBusy
+            }
+        };
         let class = di.class;
         let dispatch = match class {
             InstrClass::Int => {
                 if self.busy_int > cycle {
-                    return false;
+                    return unit_busy();
                 }
                 (cfg.warp_size / cfg.simd_width) as u64
             }
             InstrClass::Fp => {
                 if self.busy_fp > cycle {
-                    return false;
+                    return unit_busy();
                 }
                 (cfg.warp_size / cfg.simd_width) as u64
             }
             InstrClass::Sfu => {
                 if self.busy_sfu > cycle {
-                    return false;
+                    return unit_busy();
                 }
                 (cfg.warp_size / cfg.sfu_count.max(1)).max(1) as u64
             }
             InstrClass::Mem => {
                 if self.busy_ldst > cycle {
-                    return false;
+                    return unit_busy();
                 }
                 // The SAGUs run in parallel, each producing 8 addresses
                 // per cycle (reference [22]).
@@ -926,7 +1197,7 @@ impl Core {
         // An `Exit` can retire the warp (and free its slot) inside
         // `execute`; nothing further to track in that case.
         let Some(w) = self.warps[slot].as_mut() else {
-            return true;
+            return IssueProbe::Issued;
         };
         w.ibuf = None;
         clear_hint(&mut self.issue_ready, slot);
@@ -964,7 +1235,7 @@ impl Core {
                 );
             }
         }
-        true
+        IssueProbe::Issued
     }
 
     fn account_issue(&mut self, di: &DecodedInstr, mask: LaneMask) {
@@ -1009,6 +1280,16 @@ impl Core {
     /// returns `Some((commit_cycle, dst))` when the access completes at a
     /// known time (hits, shared, stores) and `None` when a load group
     /// waits on memory replies.
+    ///
+    /// ALU-class instructions run the SoA scheme: gather each operand's
+    /// contiguous register row (or immediate splat) into the scratch
+    /// block, evaluate *every* lane densely with the row helpers in
+    /// [`crate::func`] — sound because all operations are total, so
+    /// stale values in inactive lanes produce garbage that the masked
+    /// scatter then discards — and write back the active lanes (one row
+    /// copy when the warp is converged). Per-lane results are
+    /// bit-identical to the old lane-at-a-time loop because each row
+    /// helper applies the same scalar evaluator per lane.
     #[allow(clippy::too_many_arguments)]
     fn execute(
         &mut self,
@@ -1021,146 +1302,74 @@ impl Core {
         ctx: &LaunchCtx<'_>,
         mem: &GpuMemory,
     ) -> Option<(u64, Option<Reg>)> {
-        let num_regs = ctx.kernel.num_regs() as usize;
+        let ws = cfg.warp_size;
+        let full = warp_full_mask(ws);
 
         macro_rules! warp {
             () => {
                 self.warps[slot].as_mut().expect("live warp")
             };
         }
-        let read = |w: &Warp, lane: usize, op: Operand| -> u32 {
-            match op {
-                Operand::Reg(r) => w.regs[lane * num_regs + r.index()],
-                Operand::Imm(v) => v,
-            }
-        };
+        // `self.warps` and `self.scratch` are disjoint fields, so the
+        // gather/eval/scatter sequence borrows both directly — no
+        // staging copies, no allocation.
+        macro_rules! unary {
+            ($a:expr, $dst:expr, $eval:expr) => {{
+                let w = self.warps[slot].as_mut().expect("live warp");
+                let sc = &mut self.scratch;
+                gather_row(&w.regs, ws, $a, &mut sc.a);
+                $eval(&sc.a[..ws], &mut sc.out[..ws]);
+                scatter_row(&mut w.regs, ws, $dst, &sc.out, mask, full);
+                self.advance(slot, cycle);
+            }};
+        }
+        macro_rules! binary {
+            ($a:expr, $b:expr, $dst:expr, $eval:expr) => {{
+                let w = self.warps[slot].as_mut().expect("live warp");
+                let sc = &mut self.scratch;
+                gather_row(&w.regs, ws, $a, &mut sc.a);
+                gather_row(&w.regs, ws, $b, &mut sc.b);
+                $eval(&sc.a[..ws], &sc.b[..ws], &mut sc.out[..ws]);
+                scatter_row(&mut w.regs, ws, $dst, &sc.out, mask, full);
+                self.advance(slot, cycle);
+            }};
+        }
+        macro_rules! ternary {
+            ($a:expr, $b:expr, $c:expr, $dst:expr, $eval:expr) => {{
+                let w = self.warps[slot].as_mut().expect("live warp");
+                let sc = &mut self.scratch;
+                gather_row(&w.regs, ws, $a, &mut sc.a);
+                gather_row(&w.regs, ws, $b, &mut sc.b);
+                gather_row(&w.regs, ws, $c, &mut sc.c);
+                $eval(&sc.a[..ws], &sc.b[..ws], &sc.c[..ws], &mut sc.out[..ws]);
+                scatter_row(&mut w.regs, ws, $dst, &sc.out, mask, full);
+                self.advance(slot, cycle);
+            }};
+        }
 
         match instr {
             Instr::IAlu { op, dst, a, b } => {
-                let w = warp!();
-                let mut m = mask;
-                while m != 0 {
-                    let lane = m.trailing_zeros() as usize;
-                    m &= m - 1;
-                    let v = func::eval_int(op, read(w, lane, a), read(w, lane, b));
-                    w.regs[lane * num_regs + dst.index()] = v;
-                }
-                self.advance(slot, cycle);
+                binary!(a, b, dst, |x, y, o| func::eval_int_lanes(op, x, y, o))
             }
-            Instr::IMad { dst, a, b, c } => {
-                let w = warp!();
-                let mut m = mask;
-                while m != 0 {
-                    let lane = m.trailing_zeros() as usize;
-                    m &= m - 1;
-                    let v = func::eval_imad(read(w, lane, a), read(w, lane, b), read(w, lane, c));
-                    w.regs[lane * num_regs + dst.index()] = v;
-                }
-                self.advance(slot, cycle);
-            }
+            Instr::IMad { dst, a, b, c } => ternary!(a, b, c, dst, func::eval_imad_lanes),
             Instr::FAlu { op, dst, a, b } => {
-                let w = warp!();
-                let mut m = mask;
-                while m != 0 {
-                    let lane = m.trailing_zeros() as usize;
-                    m &= m - 1;
-                    let v = func::eval_fp(op, read(w, lane, a), read(w, lane, b));
-                    w.regs[lane * num_regs + dst.index()] = v;
-                }
-                self.advance(slot, cycle);
+                binary!(a, b, dst, |x, y, o| func::eval_fp_lanes(op, x, y, o))
             }
-            Instr::FFma { dst, a, b, c } => {
-                let w = warp!();
-                let mut m = mask;
-                while m != 0 {
-                    let lane = m.trailing_zeros() as usize;
-                    m &= m - 1;
-                    let v = func::eval_ffma(read(w, lane, a), read(w, lane, b), read(w, lane, c));
-                    w.regs[lane * num_regs + dst.index()] = v;
-                }
-                self.advance(slot, cycle);
-            }
-            Instr::Sfu { op, dst, a } => {
-                let w = warp!();
-                let mut m = mask;
-                while m != 0 {
-                    let lane = m.trailing_zeros() as usize;
-                    m &= m - 1;
-                    let v = func::eval_sfu(op, read(w, lane, a));
-                    w.regs[lane * num_regs + dst.index()] = v;
-                }
-                self.advance(slot, cycle);
-            }
+            Instr::FFma { dst, a, b, c } => ternary!(a, b, c, dst, func::eval_ffma_lanes),
+            Instr::Sfu { op, dst, a } => unary!(a, dst, |x, o| func::eval_sfu_lanes(op, x, o)),
             Instr::ISetp { op, dst, a, b } => {
-                let w = warp!();
-                let mut m = mask;
-                while m != 0 {
-                    let lane = m.trailing_zeros() as usize;
-                    m &= m - 1;
-                    let v = func::eval_icmp(op, read(w, lane, a), read(w, lane, b));
-                    w.regs[lane * num_regs + dst.index()] = v;
-                }
-                self.advance(slot, cycle);
+                binary!(a, b, dst, |x, y, o| func::eval_icmp_lanes(op, x, y, o))
             }
             Instr::FSetp { op, dst, a, b } => {
-                let w = warp!();
-                let mut m = mask;
-                while m != 0 {
-                    let lane = m.trailing_zeros() as usize;
-                    m &= m - 1;
-                    let v = func::eval_fcmp(op, read(w, lane, a), read(w, lane, b));
-                    w.regs[lane * num_regs + dst.index()] = v;
-                }
-                self.advance(slot, cycle);
+                binary!(a, b, dst, |x, y, o| func::eval_fcmp_lanes(op, x, y, o))
             }
-            Instr::I2F { dst, a } => {
-                let w = warp!();
-                let mut m = mask;
-                while m != 0 {
-                    let lane = m.trailing_zeros() as usize;
-                    m &= m - 1;
-                    let v = func::eval_i2f(read(w, lane, a));
-                    w.regs[lane * num_regs + dst.index()] = v;
-                }
-                self.advance(slot, cycle);
-            }
-            Instr::F2I { dst, a } => {
-                let w = warp!();
-                let mut m = mask;
-                while m != 0 {
-                    let lane = m.trailing_zeros() as usize;
-                    m &= m - 1;
-                    let v = func::eval_f2i(read(w, lane, a));
-                    w.regs[lane * num_regs + dst.index()] = v;
-                }
-                self.advance(slot, cycle);
-            }
+            Instr::I2F { dst, a } => unary!(a, dst, func::eval_i2f_lanes),
+            Instr::F2I { dst, a } => unary!(a, dst, func::eval_f2i_lanes),
             Instr::Mov { dst, src } => {
-                let w = warp!();
-                let mut m = mask;
-                while m != 0 {
-                    let lane = m.trailing_zeros() as usize;
-                    m &= m - 1;
-                    let v = read(w, lane, src);
-                    w.regs[lane * num_regs + dst.index()] = v;
-                }
-                self.advance(slot, cycle);
+                unary!(src, dst, |x: &[u32], o: &mut [u32]| o.copy_from_slice(x))
             }
             Instr::Sel { dst, cond, a, b } => {
-                let w = warp!();
-                let mut m = mask;
-                while m != 0 {
-                    let lane = m.trailing_zeros() as usize;
-                    m &= m - 1;
-                    let c = w.regs[lane * num_regs + cond.index()];
-                    let v = if c != 0 {
-                        read(w, lane, a)
-                    } else {
-                        read(w, lane, b)
-                    };
-                    w.regs[lane * num_regs + dst.index()] = v;
-                }
-                self.advance(slot, cycle);
+                ternary!(Operand::Reg(cond), a, b, dst, func::eval_sel_lanes)
             }
             Instr::S2R { dst, sr } => {
                 let block = ctx.launch.block;
@@ -1172,24 +1381,34 @@ impl Core {
                         .get(&w.cta_slot)
                         .expect("cta has coordinates")
                 };
-                let w = warp!();
-                let mut m = mask;
-                while m != 0 {
-                    let lane = m.trailing_zeros() as usize;
-                    m &= m - 1;
-                    let lin = w.base_tid + lane as u32;
-                    let v = match sr {
-                        SpecialReg::TidX => lin % block.x,
-                        SpecialReg::TidY => lin / block.x,
-                        SpecialReg::CtaIdX => bx,
-                        SpecialReg::CtaIdY => by,
-                        SpecialReg::NTidX => block.x,
-                        SpecialReg::NTidY => block.y,
-                        SpecialReg::NCtaIdX => grid.x,
-                        SpecialReg::NCtaIdY => grid.y,
-                    };
-                    w.regs[lane * num_regs + dst.index()] = v;
+                let w = self.warps[slot].as_mut().expect("live warp");
+                let sc = &mut self.scratch;
+                let base = w.base_tid;
+                {
+                    // Special-register dispatch hoisted out of the lane
+                    // loop: only the thread-id registers vary per lane,
+                    // everything else is a row splat.
+                    let out = &mut sc.out[..ws];
+                    match sr {
+                        SpecialReg::TidX => {
+                            for (i, o) in out.iter_mut().enumerate() {
+                                *o = (base + i as u32) % block.x;
+                            }
+                        }
+                        SpecialReg::TidY => {
+                            for (i, o) in out.iter_mut().enumerate() {
+                                *o = (base + i as u32) / block.x;
+                            }
+                        }
+                        SpecialReg::CtaIdX => out.fill(bx),
+                        SpecialReg::CtaIdY => out.fill(by),
+                        SpecialReg::NTidX => out.fill(block.x),
+                        SpecialReg::NTidY => out.fill(block.y),
+                        SpecialReg::NCtaIdX => out.fill(grid.x),
+                        SpecialReg::NCtaIdY => out.fill(grid.y),
+                    }
                 }
+                scatter_row(&mut w.regs, ws, dst, &sc.out, mask, full);
                 self.advance(slot, cycle);
             }
             Instr::Ld { .. } | Instr::St { .. } => {
@@ -1207,16 +1426,15 @@ impl Core {
                 let (taken, fallthrough) = {
                     let w = self.warps[slot].as_ref().expect("live warp");
                     let entry = w.stack.current().expect("executing warp has a token");
-                    let mut taken: LaneMask = 0;
-                    let mut m = mask;
-                    while m != 0 {
-                        let lane = m.trailing_zeros() as usize;
-                        m &= m - 1;
-                        let c = w.regs[lane * num_regs + cond.index()] != 0;
-                        if c != negate {
-                            taken |= 1 << lane;
-                        }
+                    // Dense truth mask over the whole condition row,
+                    // confined to the active lanes afterwards.
+                    let base = cond.index() * ws;
+                    let row = &w.regs[base..base + ws];
+                    let mut truth: LaneMask = 0;
+                    for (lane, &c) in row.iter().enumerate() {
+                        truth |= ((c != 0) as u64) << lane;
                     }
+                    let taken = if negate { mask & !truth } else { mask & truth };
                     (taken, entry.pc + 1)
                 };
                 let w = warp!();
@@ -1286,6 +1504,7 @@ impl Core {
             if let Some(w) = self.warps[s].as_mut() {
                 w.at_barrier = false;
                 set_hint(&mut self.issue_ready, s);
+                self.issue_stall_until = 0;
             }
         }
     }
@@ -1319,6 +1538,12 @@ impl Core {
 
     // --- memory instructions -------------------------------------------------------
 
+    /// Executes a load/store. Address generation runs dense over the SoA
+    /// address-register row into the scratch block (inactive lanes
+    /// compute garbage the active-lane walk never reads); the active
+    /// addresses are then compacted, in ascending lane order, into the
+    /// reusable `scratch.words` buffer for the coalescer/bank analyses.
+    /// No per-access allocation anywhere on this path.
     #[allow(clippy::too_many_arguments)]
     fn execute_mem(
         &mut self,
@@ -1331,7 +1556,7 @@ impl Core {
         ctx: &LaunchCtx<'_>,
         mem: &GpuMemory,
     ) -> Option<(u64, Option<Reg>)> {
-        let num_regs = ctx.kernel.num_regs() as usize;
+        let ws = cfg.warp_size;
         let lanes = mask.count_ones();
         self.stats[Ev::AguOps] += ldst::agu_activations(lanes, 8) as u64;
 
@@ -1351,66 +1576,57 @@ impl Core {
             _ => unreachable!("execute_mem called on non-memory instruction"),
         };
 
-        // Per-lane addresses, built in reusable scratch buffers: the
-        // memory pipeline runs every few cycles and used to allocate four
-        // fresh `Vec`s per access.
-        let mut addrs = std::mem::take(&mut self.scratch_lanes);
-        addrs.clear();
+        // Dense per-lane address generation over the contiguous register
+        // row.
         {
             let w = self.warps[slot].as_ref().expect("live warp");
-            let mut m = mask;
-            while m != 0 {
-                let lane = m.trailing_zeros() as usize;
-                m &= m - 1;
-                let base = w.regs[lane * num_regs + addr_reg.index()];
-                addrs.push((lane, base.wrapping_add(offset as u32)));
+            let base = addr_reg.index() * ws;
+            let row = &w.regs[base..base + ws];
+            for (o, &b) in self.scratch.addrs[..ws].iter_mut().zip(row) {
+                *o = b.wrapping_add(offset as u32);
             }
         }
-        let mut words = std::mem::take(&mut self.scratch_words);
-        words.clear();
 
-        let result = match space {
+        match space {
             MemSpace::Shared => {
-                words.extend(addrs.iter().map(|&(_, a)| a / 4));
-                let plan = ldst::smem_conflicts(&words, cfg.smem_banks as u32);
+                {
+                    let LaneScratch { addrs, words, .. } = &mut self.scratch;
+                    words.clear();
+                    let mut m = mask;
+                    while m != 0 {
+                        let lane = m.trailing_zeros() as usize;
+                        m &= m - 1;
+                        words.push(addrs[lane] / 4);
+                    }
+                }
+                let plan = ldst::smem_conflicts_lanes(&self.scratch.words, cfg.smem_banks as u32);
                 self.stats[Ev::SmemAccesses] += plan.bank_accesses as u64;
                 self.stats[Ev::SmemBankConflictCycles] += plan.passes.saturating_sub(1) as u64;
                 let cta_slot = self.warps[slot].as_ref().expect("live warp").cta_slot;
-                // Functional access to the CTA's shared array.
+                // Functional access to the CTA's shared array; `warps`,
+                // `ctas` and `scratch` are disjoint fields.
                 if let Some(d) = dst {
-                    let mut values = std::mem::take(&mut self.scratch_loads);
-                    values.clear();
-                    {
-                        let cta = self.ctas[cta_slot].as_ref().expect("live cta");
-                        values.extend(
-                            addrs
-                                .iter()
-                                .map(|&(lane, a)| (lane, read_smem(&cta.smem, a))),
-                        );
-                    }
                     let w = self.warps[slot].as_mut().expect("live warp");
-                    for &(lane, v) in &values {
-                        w.regs[lane * num_regs + d.index()] = v;
+                    let cta = self.ctas[cta_slot].as_ref().expect("live cta");
+                    let addrs = &self.scratch.addrs;
+                    let dbase = d.index() * ws;
+                    let mut m = mask;
+                    while m != 0 {
+                        let lane = m.trailing_zeros() as usize;
+                        m &= m - 1;
+                        w.regs[dbase + lane] = read_smem(&cta.smem, addrs[lane]);
                     }
-                    values.clear();
-                    self.scratch_loads = values;
                 } else if let Some(s) = src {
-                    let mut values = std::mem::take(&mut self.scratch_stores);
-                    values.clear();
-                    {
-                        let w = self.warps[slot].as_ref().expect("live warp");
-                        values.extend(
-                            addrs
-                                .iter()
-                                .map(|&(lane, a)| (a, w.regs[lane * num_regs + s.index()])),
-                        );
-                    }
+                    let w = self.warps[slot].as_ref().expect("live warp");
                     let cta = self.ctas[cta_slot].as_mut().expect("live cta");
-                    for &(a, v) in &values {
-                        write_smem(&mut cta.smem, a, v);
+                    let addrs = &self.scratch.addrs;
+                    let sbase = s.index() * ws;
+                    let mut m = mask;
+                    while m != 0 {
+                        let lane = m.trailing_zeros() as usize;
+                        m &= m - 1;
+                        write_smem(&mut cta.smem, addrs[lane], w.regs[sbase + lane]);
                     }
-                    values.clear();
-                    self.scratch_stores = values;
                 }
                 self.busy_ldst = self
                     .busy_ldst
@@ -1422,36 +1638,49 @@ impl Core {
             }
             MemSpace::Const => {
                 // Constant addresses live in the staged constant segment.
-                words.extend(addrs.iter().map(|&(_, a)| ctx.const_base.wrapping_add(a)));
-                let unique = ldst::const_unique(&words);
-                self.stats[Ev::ConstAccesses] += unique as u64;
-                // Functional read.
-                if let Some(d) = dst {
-                    let mut values = std::mem::take(&mut self.scratch_loads);
-                    values.clear();
-                    values.extend(addrs.iter().map(|&(lane, a)| {
-                        (lane, self.read_global(mem, ctx.const_base.wrapping_add(a)))
-                    }));
-                    let w = self.warps[slot].as_mut().expect("live warp");
-                    for &(lane, v) in &values {
-                        w.regs[lane * num_regs + d.index()] = v;
+                {
+                    let LaneScratch { addrs, words, .. } = &mut self.scratch;
+                    words.clear();
+                    let mut m = mask;
+                    while m != 0 {
+                        let lane = m.trailing_zeros() as usize;
+                        m &= m - 1;
+                        words.push(ctx.const_base.wrapping_add(addrs[lane]));
                     }
-                    values.clear();
-                    self.scratch_loads = values;
+                }
+                let unique = ldst::const_unique_lanes(&self.scratch.words);
+                self.stats[Ev::ConstAccesses] += unique as u64;
+                // Functional read through this core's store overlay.
+                if let Some(d) = dst {
+                    let w = self.warps[slot].as_mut().expect("live warp");
+                    let addrs = &self.scratch.addrs;
+                    let store_buf = &self.store_buf;
+                    let dbase = d.index() * ws;
+                    let mut m = mask;
+                    while m != 0 {
+                        let lane = m.trailing_zeros() as usize;
+                        m &= m - 1;
+                        w.regs[dbase + lane] = read_global_overlay(
+                            store_buf,
+                            mem,
+                            ctx.const_base.wrapping_add(addrs[lane]),
+                        );
+                    }
                 }
                 // Probe the constant cache per distinct 64 B line.
-                let mut lines = std::mem::take(&mut self.scratch_segs);
-                lines.clear();
-                ldst::coalesce_into(&words, 64, &mut lines);
+                {
+                    let LaneScratch { words, segs, .. } = &mut self.scratch;
+                    segs.clear();
+                    ldst::coalesce_into(words, 64, segs);
+                }
                 let mut misses = 0;
-                for &line in &lines {
+                for i in 0..self.scratch.segs.len() {
+                    let line = self.scratch.segs[i];
                     if self.const_cache.read(line) == Probe::Miss {
                         self.stats[Ev::ConstMisses] += 1;
                         misses += self.issue_read_request(slot, dst, line & !127, cfg);
                     }
                 }
-                lines.clear();
-                self.scratch_segs = lines;
                 if misses == 0 {
                     Some((cycle + dispatch + cfg.const_latency as u64, dst))
                 } else {
@@ -1460,56 +1689,60 @@ impl Core {
                 }
             }
             MemSpace::Global => {
-                words.extend(addrs.iter().map(|&(_, a)| a));
-                self.stats[Ev::CoalescerInputs] += words.len() as u64;
-                let mut segments = std::mem::take(&mut self.scratch_segs);
-                segments.clear();
-                ldst::coalesce_into(&words, 128, &mut segments);
-                self.stats[Ev::CoalescerOutputs] += segments.len() as u64;
+                {
+                    let LaneScratch { addrs, words, .. } = &mut self.scratch;
+                    words.clear();
+                    let mut m = mask;
+                    while m != 0 {
+                        let lane = m.trailing_zeros() as usize;
+                        m &= m - 1;
+                        words.push(addrs[lane]);
+                    }
+                }
+                self.stats[Ev::CoalescerInputs] += self.scratch.words.len() as u64;
+                {
+                    let LaneScratch { words, segs, .. } = &mut self.scratch;
+                    segs.clear();
+                    ldst::coalesce_into(words, 128, segs);
+                }
+                self.stats[Ev::CoalescerOutputs] += self.scratch.segs.len() as u64;
 
                 // Functional access first. Loads see this core's own
                 // buffered stores (read-your-own-writes via the overlay);
                 // stores buffer until the serial commit phase.
                 if let Some(d) = dst {
-                    let mut values = std::mem::take(&mut self.scratch_loads);
-                    values.clear();
-                    values.extend(
-                        addrs
-                            .iter()
-                            .map(|&(lane, a)| (lane, self.read_global(mem, a))),
-                    );
                     let w = self.warps[slot].as_mut().expect("live warp");
-                    for &(lane, v) in &values {
-                        w.regs[lane * num_regs + d.index()] = v;
+                    let addrs = &self.scratch.addrs;
+                    let store_buf = &self.store_buf;
+                    let dbase = d.index() * ws;
+                    let mut m = mask;
+                    while m != 0 {
+                        let lane = m.trailing_zeros() as usize;
+                        m &= m - 1;
+                        w.regs[dbase + lane] = read_global_overlay(store_buf, mem, addrs[lane]);
                     }
-                    values.clear();
-                    self.scratch_loads = values;
                 } else if let Some(s) = src {
-                    let mut values = std::mem::take(&mut self.scratch_stores);
-                    values.clear();
-                    {
-                        let w = self.warps[slot].as_ref().expect("live warp");
-                        values.extend(
-                            addrs
-                                .iter()
-                                .map(|&(lane, a)| (a, w.regs[lane * num_regs + s.index()])),
-                        );
+                    let w = self.warps[slot].as_ref().expect("live warp");
+                    let addrs = &self.scratch.addrs;
+                    let store_buf = &mut self.store_buf;
+                    let sbase = s.index() * ws;
+                    let mut m = mask;
+                    while m != 0 {
+                        let lane = m.trailing_zeros() as usize;
+                        m &= m - 1;
+                        buffer_store_into(store_buf, mem, addrs[lane], w.regs[sbase + lane]);
                     }
-                    for &(a, v) in &values {
-                        self.buffer_store(mem, a, v);
-                    }
-                    values.clear();
-                    self.scratch_stores = values;
                 }
 
-                let out = if dst.is_some() {
+                if dst.is_some() {
                     // Load: probe L1 (if present), send misses out.
                     let mut misses = 0;
-                    for seg in &segments {
+                    for i in 0..self.scratch.segs.len() {
+                        let seg = self.scratch.segs[i];
                         let hit = match &mut self.l1 {
                             Some(l1) => {
                                 self.stats[Ev::L1Accesses] += 1;
-                                let probe = l1.read(*seg);
+                                let probe = l1.read(seg);
                                 if probe == Probe::Miss {
                                     self.stats[Ev::L1Misses] += 1;
                                 }
@@ -1518,7 +1751,7 @@ impl Core {
                             None => false,
                         };
                         if !hit {
-                            misses += self.issue_read_request(slot, dst, *seg, cfg);
+                            misses += self.issue_read_request(slot, dst, seg, cfg);
                         }
                     }
                     if misses == 0 {
@@ -1529,35 +1762,31 @@ impl Core {
                     }
                 } else {
                     // Store: write-through, no allocate, no reply.
-                    for seg in &segments {
+                    for i in 0..self.scratch.segs.len() {
+                        let seg = self.scratch.segs[i];
                         if let Some(l1) = &mut self.l1 {
                             self.stats[Ev::L1Accesses] += 1;
-                            let _ = l1.write(*seg);
+                            let _ = l1.write(seg);
                         }
                         // Size the write by the lanes that fall in this
                         // segment (32 B granularity like the DRAM burst).
-                        let in_seg =
-                            addrs.iter().filter(|&&(_, a)| a & !127 == *seg).count() as u32;
+                        let in_seg = self
+                            .scratch
+                            .words
+                            .iter()
+                            .filter(|&&a| a & !127 == seg)
+                            .count() as u32;
                         self.out_requests.push(MemRequest {
                             core: self.id,
                             write: true,
-                            addr: *seg,
+                            addr: seg,
                             bytes: (in_seg * 4).clamp(32, 128),
                         });
                     }
                     Some((cycle + dispatch + 2, None))
-                };
-                segments.clear();
-                self.scratch_segs = segments;
-                out
+                }
             }
-        };
-
-        addrs.clear();
-        self.scratch_lanes = addrs;
-        words.clear();
-        self.scratch_words = words;
-        result
+        }
     }
 
     /// Registers a read for `line` in the MSHR; returns 1 if this created
@@ -1601,7 +1830,7 @@ impl Core {
 
     // --- fetch / decode -----------------------------------------------------------
 
-    fn fetch_stage(&mut self, _cycle: u64, ctx: &LaunchCtx<'_>) {
+    fn fetch_stage(&mut self, cycle: u64, cfg: &GpuConfig, ctx: &LaunchCtx<'_>) {
         let n = self.max_warps;
         // Wrap-around slot index — same visit order as the former
         // `(fetch_rr + i) % n`, without a division per probed slot.
@@ -1623,7 +1852,7 @@ impl Core {
                 }
                 scanned += dist + 1;
                 slot = next;
-                if self.try_fetch(slot, ctx) {
+                if self.try_fetch(slot, cycle, cfg, ctx) {
                     return;
                 }
                 clear_hint(&mut self.fetch_ready, slot);
@@ -1634,7 +1863,7 @@ impl Core {
             }
         } else {
             for _ in 0..n {
-                if self.try_fetch(slot, ctx) {
+                if self.try_fetch(slot, cycle, cfg, ctx) {
                     return;
                 }
                 slot += 1;
@@ -1649,7 +1878,7 @@ impl Core {
     /// the fetch pointer and returns `true`. Every failure is silent
     /// (no stats, no `work`), which is what lets the hinted scan skip
     /// cleared slots.
-    fn try_fetch(&mut self, slot: usize, ctx: &LaunchCtx<'_>) -> bool {
+    fn try_fetch(&mut self, slot: usize, cycle: u64, cfg: &GpuConfig, ctx: &LaunchCtx<'_>) -> bool {
         let pc = self.warps[slot].as_ref().and_then(|w| {
             if w.done || w.ibuf.is_some() {
                 return None;
@@ -1676,8 +1905,45 @@ impl Core {
         self.fetch_rr = if slot + 1 == n { 0 } else { slot + 1 };
         clear_hint(&mut self.fetch_ready, slot);
         set_hint(&mut self.issue_ready, slot);
+        // Fetch runs after issue within a tick, so the refilled warp can
+        // issue at `cycle + 1` at the earliest. Barrel: refine an engaged
+        // stall by this candidate's own unit-free time (usually it is
+        // still executing, in which case its commit event refines
+        // instead). Scoreboard: cancel outright — see `candidate_wake`.
+        if self.issue_stall_until > cycle + 1 {
+            self.issue_stall_until = if cfg.scoreboard {
+                0
+            } else {
+                self.issue_stall_until
+                    .min(self.candidate_wake(slot, cycle + 1, ctx))
+            };
+        }
         true
     }
+}
+
+/// Reads a global-memory word through a core's store overlay
+/// (read-your-own-writes within the current cycle). A free function —
+/// rather than a `&self` method — so the load path can hold the warp's
+/// register file mutably while it reads.
+fn read_global_overlay(store_buf: &BTreeMap<u32, u32>, mem: &GpuMemory, addr: u32) -> u32 {
+    if !store_buf.is_empty() {
+        if let Some(v) = store_buf.get(&(addr & !3)) {
+            return *v;
+        }
+    }
+    mem.load_word(addr)
+}
+
+/// Buffers a global-memory store for the commit phase. Bounds are
+/// checked now so an out-of-range kernel store still fails inside the
+/// offending core's compute phase.
+fn buffer_store_into(store_buf: &mut BTreeMap<u32, u32>, mem: &GpuMemory, addr: u32, value: u32) {
+    let a = addr & !3;
+    if a as usize + 4 > mem.capacity() {
+        panic!("kernel write past end of simulated memory: 0x{addr:08x}");
+    }
+    store_buf.insert(a, value);
 }
 
 fn read_smem(smem: &[u8], addr: u32) -> u32 {

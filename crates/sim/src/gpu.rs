@@ -404,6 +404,38 @@ impl Gpu {
         kernel: &Kernel,
         launch: LaunchConfig,
     ) -> Result<LaunchReport, SimError> {
+        self.launch_outer(kernel, launch, None)
+    }
+
+    /// Runs `kernel` like [`Gpu::launch`], reusing a pre-decoded
+    /// instruction table instead of decoding the kernel again.
+    ///
+    /// `decoded` must come from
+    /// [`PredecodedKernel::specialize`](crate::core::PredecodedKernel::specialize)
+    /// (or [`DecodedInstr::decode_kernel`]) for *this* GPU's
+    /// configuration and *this* kernel; a table of the wrong length is
+    /// ignored and the kernel is decoded locally. This is the per-config
+    /// entry point of [`SimPool::run_sweep`](crate::SimPool::run_sweep),
+    /// which pays the decode cost once for N configurations.
+    ///
+    /// # Errors
+    ///
+    /// As [`Gpu::launch`].
+    pub fn launch_decoded(
+        &mut self,
+        kernel: &Kernel,
+        launch: LaunchConfig,
+        decoded: &[DecodedInstr],
+    ) -> Result<LaunchReport, SimError> {
+        self.launch_outer(kernel, launch, Some(decoded))
+    }
+
+    fn launch_outer(
+        &mut self,
+        kernel: &Kernel,
+        launch: LaunchConfig,
+        decoded: Option<&[DecodedInstr]>,
+    ) -> Result<LaunchReport, SimError> {
         // Taking the slot lets `launch_impl` borrow the sink and the GPU
         // simultaneously; it is restored afterwards either way.
         if let Some(mut slot) = self.attached.take() {
@@ -411,11 +443,12 @@ impl Gpu {
                 kernel,
                 launch,
                 Some((slot.window_cycles, slot.sink.as_mut())),
+                decoded,
             );
             self.attached = Some(slot);
             result
         } else {
-            self.launch_impl(kernel, launch, None)
+            self.launch_impl(kernel, launch, None, decoded)
         }
     }
 
@@ -472,7 +505,7 @@ impl Gpu {
                 "sampling window must be at least one cycle".to_string(),
             ));
         }
-        self.launch_impl(kernel, launch, Some((window_cycles, sink)))
+        self.launch_impl(kernel, launch, Some((window_cycles, sink)), None)
     }
 
     fn launch_impl(
@@ -480,22 +513,31 @@ impl Gpu {
         kernel: &Kernel,
         launch: LaunchConfig,
         mut sampling: Option<(u64, &mut dyn ActivitySink)>,
+        predecoded: Option<&[DecodedInstr]>,
     ) -> Result<LaunchReport, SimError> {
         self.check_launch(kernel, launch)?;
         // Stage the constant bank into its global-memory segment.
         self.memory
             .write_u32_slice(DevicePtr(self.const_base), kernel.const_words());
         let cfg = self.config.clone();
-        // Decode every instruction once per launch; the issue hot path
+        // Decode every instruction once per launch — the issue hot path
         // reads metadata from this table instead of re-deriving operand
-        // lists and bank conflicts each cycle.
-        let decoded = DecodedInstr::decode_kernel(kernel, &cfg);
+        // lists and bank conflicts each cycle — unless the caller
+        // already shares a table across launches (sweeps).
+        let decoded_local;
+        let decoded: &[DecodedInstr] = match predecoded {
+            Some(d) if d.len() == kernel.code().len() => d,
+            _ => {
+                decoded_local = DecodedInstr::decode_kernel(kernel, &cfg);
+                &decoded_local
+            }
+        };
         let ctx = LaunchCtx {
             kernel,
             launch,
             const_base: self.const_base,
             const_bytes: (kernel.const_words().len() * 4).max(4) as u32,
-            decoded: &decoded,
+            decoded,
         };
         for core in &mut self.cores {
             core.begin_launch();

@@ -93,6 +93,89 @@ pub fn const_unique(addrs: &[u32]) -> u32 {
     set.len() as u32
 }
 
+/// Largest warp bundle the allocation-free `_lanes` analyses handle on
+/// the stack (the `LaneMask` width). Larger bundles fall back to the
+/// reference implementations.
+pub const MAX_BUNDLE: usize = 64;
+
+/// Allocation-free form of [`smem_conflicts`] for warp-sized bundles.
+///
+/// Sorts `(bank, word)` composite keys in a fixed stack array, then a
+/// single dedup scan derives both outputs: distinct keys are distinct
+/// `(bank, word)` pairs (each one bank access), and the longest run of
+/// distinct words within one bank is the pass count. Returns exactly
+/// what [`smem_conflicts`] returns, for any input — the equivalence
+/// tests below pin this.
+///
+/// # Panics
+///
+/// Panics if `banks` is not a power of two.
+pub fn smem_conflicts_lanes(word_addrs: &[u32], banks: u32) -> SmemAccessPlan {
+    assert!(banks.is_power_of_two(), "bank count must be a power of two");
+    if word_addrs.is_empty() {
+        return SmemAccessPlan {
+            passes: 0,
+            bank_accesses: 0,
+        };
+    }
+    if word_addrs.len() > MAX_BUNDLE {
+        return smem_conflicts(word_addrs, banks);
+    }
+    let mut keys = [0u64; MAX_BUNDLE];
+    for (k, &w) in keys.iter_mut().zip(word_addrs) {
+        *k = (((w & (banks - 1)) as u64) << 32) | w as u64;
+    }
+    let keys = &mut keys[..word_addrs.len()];
+    keys.sort_unstable();
+    let mut bank_accesses = 0u32;
+    let mut passes = 0u32;
+    let mut run = 0u32;
+    // `u64::MAX` cannot collide with a real key: the bank half is at
+    // most `banks - 1 < 2^31`.
+    let mut prev_key = u64::MAX;
+    let mut prev_bank = u64::MAX;
+    for &k in keys.iter() {
+        if k == prev_key {
+            continue;
+        }
+        prev_key = k;
+        bank_accesses += 1;
+        let bank = k >> 32;
+        if bank == prev_bank {
+            run += 1;
+        } else {
+            prev_bank = bank;
+            run = 1;
+        }
+        passes = passes.max(run);
+    }
+    SmemAccessPlan {
+        passes: passes.max(1),
+        bank_accesses,
+    }
+}
+
+/// Allocation-free form of [`const_unique`] for warp-sized bundles:
+/// sort in a fixed stack array and count distinct values.
+pub fn const_unique_lanes(addrs: &[u32]) -> u32 {
+    if addrs.len() > MAX_BUNDLE {
+        return const_unique(addrs);
+    }
+    let mut buf = [0u32; MAX_BUNDLE];
+    buf[..addrs.len()].copy_from_slice(addrs);
+    let buf = &mut buf[..addrs.len()];
+    buf.sort_unstable();
+    let mut unique = 0u32;
+    let mut prev = None;
+    for &a in buf.iter() {
+        if Some(a) != prev {
+            unique += 1;
+            prev = Some(a);
+        }
+    }
+    unique
+}
+
 /// Sub-AGU activations needed to generate `lanes` addresses with
 /// `per_sagu` addresses produced per activation.
 ///
@@ -199,5 +282,65 @@ mod tests {
     #[should_panic(expected = "power of two")]
     fn bad_segment_size_panics() {
         let _ = coalesce(&[0], 100);
+    }
+
+    /// Deterministic pseudo-random address bundles spanning broadcast,
+    /// strided, clustered and adversarial same-bank shapes.
+    fn bundles() -> Vec<Vec<u32>> {
+        let mut out: Vec<Vec<u32>> = vec![
+            vec![],
+            vec![7],
+            vec![42; 32],
+            (0..16).collect(),
+            (0..32).collect(),
+            (0..64).collect(),
+            (0..16).map(|i| i * 2).collect(),
+            (0..16).map(|i| i * 16).collect(),
+            (0..32).map(|i| i * 17).collect(),
+            vec![1, 2, 1, 2],
+        ];
+        let mut x = 0x9E37_79B9u64;
+        for len in [3usize, 8, 15, 31, 32, 33, 63, 64] {
+            let mut v = Vec::with_capacity(len);
+            for _ in 0..len {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                v.push((x as u32) % 512);
+            }
+            out.push(v);
+        }
+        out
+    }
+
+    #[test]
+    fn smem_conflicts_lanes_matches_reference() {
+        for bundle in bundles() {
+            for banks in [1u32, 2, 16, 32] {
+                assert_eq!(
+                    smem_conflicts_lanes(&bundle, banks),
+                    smem_conflicts(&bundle, banks),
+                    "bundle {bundle:?} banks {banks}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn const_unique_lanes_matches_reference() {
+        for bundle in bundles() {
+            assert_eq!(
+                const_unique_lanes(&bundle),
+                const_unique(&bundle),
+                "bundle {bundle:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_bundles_fall_back_to_reference() {
+        let big: Vec<u32> = (0..200).map(|i| (i * 13) % 97).collect();
+        assert_eq!(smem_conflicts_lanes(&big, 16), smem_conflicts(&big, 16));
+        assert_eq!(const_unique_lanes(&big), const_unique(&big));
     }
 }

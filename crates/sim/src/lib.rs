@@ -67,6 +67,7 @@ pub mod stats;
 pub mod uncore;
 
 pub use config::{ConfigError, DramConfig, GpuConfig, L2Config, WarpSchedPolicy};
+pub use core::{DecodedInstr, PredecodedKernel, MAX_LANES};
 pub use events::{ActivityVector, ComponentId, EventKind, Scope};
 pub use gpu::{Gpu, LaunchReport, ScopedActivity, SimError};
 pub use mem::{DevicePtr, GpuMemory};

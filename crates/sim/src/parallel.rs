@@ -24,8 +24,10 @@ use std::sync::Mutex;
 use std::thread::JoinHandle;
 
 use crate::config::GpuConfig;
-use crate::core::{Core, LaunchCtx};
+use crate::core::{Core, DecodedInstr, LaunchCtx, PredecodedKernel};
+use crate::gpu::{Gpu, LaunchReport, SimError};
 use crate::mem::GpuMemory;
+use gpusimpow_isa::{Kernel, LaunchConfig};
 
 /// Number of hardware threads available to this process (at least 1).
 pub fn available_threads() -> usize {
@@ -280,6 +282,63 @@ impl SimPool {
                     .expect("every job completed")
             })
             .collect()
+    }
+
+    /// Runs one kernel under N GPU configurations in a single pass.
+    ///
+    /// The kernel is pre-decoded **once** ([`PredecodedKernel::new`]) and
+    /// specialized once per *distinct* register-file bank count — the
+    /// only configuration-dependent decode field — so a sweep over M
+    /// configs that share a bank count (both stock presets use 16) pays
+    /// for one decode and one specialization total, instead of M full
+    /// decodes. Per-config back-end state stays fully private: each job
+    /// builds its own [`Gpu`], runs the caller's `stage` closure (host
+    /// program: allocations, copies, launch parameters), then launches
+    /// through [`Gpu::launch_decoded`] against the shared table. Jobs
+    /// fan out over the pool's threads and results return in config
+    /// order.
+    ///
+    /// `stage` prepares one GPU and returns the launch geometry; it is
+    /// called once per config with that config's index in `configs`
+    /// (ladders that vary launch geometry key off the index) and may
+    /// inspect the GPU's configuration to scale inputs.
+    ///
+    /// # Errors
+    ///
+    /// Each config's slot carries its own [`SimError`]; one config
+    /// failing does not disturb the others.
+    pub fn run_sweep<S>(
+        &self,
+        kernel: &Kernel,
+        configs: &[GpuConfig],
+        stage: S,
+    ) -> Vec<Result<LaunchReport, SimError>>
+    where
+        S: Fn(usize, &mut Gpu) -> Result<LaunchConfig, SimError> + Sync,
+    {
+        // Shared front end: decode once, specialize per distinct bank
+        // count.
+        let predecoded = PredecodedKernel::new(kernel);
+        let mut tables: Vec<(usize, Vec<DecodedInstr>)> = Vec::new();
+        for cfg in configs {
+            if !tables.iter().any(|(banks, _)| *banks == cfg.regfile_banks) {
+                tables.push((cfg.regfile_banks, predecoded.specialize(cfg)));
+            }
+        }
+        let tables = &tables;
+        let stage = &stage;
+        let jobs: Vec<(usize, GpuConfig)> = configs.iter().cloned().enumerate().collect();
+        self.run(jobs, move |(idx, cfg)| {
+            let banks = cfg.regfile_banks;
+            let table = &tables
+                .iter()
+                .find(|(b, _)| *b == banks)
+                .expect("every config's bank count was specialized")
+                .1;
+            let mut gpu = Gpu::new(cfg)?;
+            let launch = stage(idx, &mut gpu)?;
+            gpu.launch_decoded(kernel, launch, table)
+        })
     }
 }
 

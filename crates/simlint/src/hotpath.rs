@@ -1,0 +1,141 @@
+//! Hot-path allocation lint: no heap allocation inside loop bodies of
+//! the SoA warp pipeline.
+//!
+//! The steady-state contract of the execute/LD-ST hot path is that a
+//! warm `Gpu` allocates nothing per executed instruction — lane
+//! operands live in [`LaneScratch`]-style reusable buffers, and the
+//! coalescer and uncore queues recycle their capacity. The runtime side
+//! of that contract is enforced by `tests/steady_state_alloc.rs` (a
+//! counting global allocator); this lint is the static side, catching
+//! the regression at review time instead of in a ratio assertion:
+//! an allocating expression (`vec!`, `Vec::new`, `.collect()`, …)
+//! written inside a `for`/`while`/`loop` body of a hot-path file.
+//!
+//! Scope: `crates/sim/src/{core,func,ldst}.rs` — the files the per-
+//! cycle pipeline lives in. Launch-setup allocations that happen to sit
+//! in loops (one register file per dispatched warp, for example) are
+//! grid-proportional, not cycle-proportional, and carry a justified
+//! `simlint: allow(lane_loop_alloc)` marker.
+//!
+//! Like every simlint pass this is a token heuristic, not type
+//! analysis: loop bodies are found by brace matching from the loop
+//! keyword (a closure literal between a `for`'s `in` and its body brace
+//! would confuse it), and method names are matched textually. Precision
+//! comes from the narrow file scope.
+
+use crate::lexer::{TokKind, Token};
+use crate::{in_regions, match_close, test_regions, Diagnostic, SourceFile};
+
+/// Heap allocation inside a loop body of a hot-path file.
+pub const LANE_LOOP_ALLOC: &str = "lane_loop_alloc";
+
+/// Owning container/smart-pointer types whose `::new`-style
+/// constructors allocate (or will on first push).
+const ALLOC_TYPES: &[&str] = &[
+    "Vec",
+    "VecDeque",
+    "BTreeMap",
+    "BTreeSet",
+    "BinaryHeap",
+    "Box",
+    "String",
+    "Rc",
+    "Arc",
+];
+
+/// Constructor names that pair with [`ALLOC_TYPES`].
+const ALLOC_CTORS: &[&str] = &["new", "with_capacity", "from"];
+
+/// Method calls that produce a fresh owned allocation.
+const ALLOC_METHODS: &[&str] = &["collect", "to_vec", "to_string", "to_owned"];
+
+/// Macros that expand to an allocation.
+const ALLOC_MACROS: &[&str] = &["vec", "format"];
+
+/// The files whose loop bodies are the per-cycle hot path.
+pub fn scope(rel_path: &str) -> bool {
+    matches!(
+        rel_path,
+        "crates/sim/src/core.rs" | "crates/sim/src/func.rs" | "crates/sim/src/ldst.rs"
+    )
+}
+
+/// Token ranges (inclusive) of `for`/`while`/`loop` bodies.
+///
+/// A `for` is only a loop when an `in` keyword appears before its body
+/// brace — this is what separates `for x in xs {` from `impl Trait for
+/// Type {` and from `for<'a>` higher-ranked bounds, neither of which
+/// can contain a bare `in` before the brace.
+fn loop_bodies(tokens: &[Token]) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let keyword = t.text.as_str();
+        if !matches!(keyword, "for" | "while" | "loop") {
+            continue;
+        }
+        let Some(open) = (i + 1..tokens.len())
+            .find(|&j| tokens[j].kind == TokKind::Punct && tokens[j].text == "{")
+        else {
+            continue;
+        };
+        if keyword == "for"
+            && !tokens[i + 1..open]
+                .iter()
+                .any(|t| t.kind == TokKind::Ident && t.text == "in")
+        {
+            continue;
+        }
+        out.push((open, match_close(tokens, open)));
+    }
+    out
+}
+
+/// Flags allocating expressions inside loop bodies. Test regions are
+/// exempt — a `#[cfg(test)]` helper building a `Vec` per iteration
+/// costs nothing at simulation time.
+pub fn check(file: &SourceFile) -> Vec<Diagnostic> {
+    let toks = &file.lexed.tokens;
+    let bodies = loop_bodies(toks);
+    if bodies.is_empty() {
+        return Vec::new();
+    }
+    let tests = test_regions(toks);
+    let mut out = Vec::new();
+    let text = |j: usize| toks.get(j).map(|t| t.text.as_str()).unwrap_or("");
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident || !in_regions(&bodies, i) || in_regions(&tests, i) {
+            continue;
+        }
+        let name = t.text.as_str();
+        let what = if ALLOC_MACROS.contains(&name) && text(i + 1) == "!" {
+            format!("`{name}!`")
+        } else if ALLOC_TYPES.contains(&name)
+            && text(i + 1) == ":"
+            && text(i + 2) == ":"
+            && toks
+                .get(i + 3)
+                .is_some_and(|c| c.kind == TokKind::Ident && ALLOC_CTORS.contains(&c.text.as_str()))
+        {
+            format!("`{name}::{}`", text(i + 3))
+        } else if ALLOC_METHODS.contains(&name) && i > 0 && text(i - 1) == "." && text(i + 1) == "("
+        {
+            format!("`.{name}()`")
+        } else {
+            continue;
+        };
+        out.push(file.diag(
+            t.line,
+            LANE_LOOP_ALLOC,
+            format!(
+                "{what} allocates on every iteration of an enclosing loop in the \
+                 warp hot path; hoist the buffer out of the loop or reuse a \
+                 scratch field (see `LaneScratch`), so the steady state stays \
+                 allocation-free"
+            ),
+        ));
+    }
+    out
+}

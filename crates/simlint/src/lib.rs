@@ -16,6 +16,11 @@
 //!   `// SAFETY:` comment, and the full inventory is checked into
 //!   `UNSAFE.md` so new unsafe code cannot land without a reviewed
 //!   manifest diff.
+//! * **Hot-path allocation** ([`hotpath`]): the SoA warp pipeline's
+//!   steady state must not allocate per executed instruction, so loop
+//!   bodies in `crates/sim/src/{core,func,ldst}.rs` must not contain
+//!   allocating expressions (`vec!`, `Vec::new`, `.collect()`, …) —
+//!   the static twin of `tests/steady_state_alloc.rs`.
 //! * **Registry coverage** ([`registry`]): every `EventKind` of the
 //!   component-event registry must be priced by an `EnergyMap`,
 //!   consumed by the empirical base model, or documented as
@@ -37,6 +42,7 @@
 //! exist is `unknown_lint` — suppressions cannot rot silently.
 
 pub mod determinism;
+pub mod hotpath;
 pub mod lexer;
 pub mod registry;
 pub mod units;
@@ -53,6 +59,7 @@ pub const LINTS: &[&str] = &[
     determinism::NONDETERMINISTIC_COLLECTION,
     determinism::WALL_CLOCK,
     units::RAW_UNIT_MATH,
+    hotpath::LANE_LOOP_ALLOC,
     unsafety::UNDOCUMENTED_UNSAFE,
     unsafety::UNSAFE_MANIFEST_DRIFT,
     registry::UNPRICED_EVENT,
@@ -336,6 +343,9 @@ pub fn check_source(rel_path: &str, src: &str) -> Vec<Diagnostic> {
     }
     if units_scope(rel_path) {
         raw.extend(units::check(&file));
+    }
+    if hotpath::scope(rel_path) {
+        raw.extend(hotpath::check(&file));
     }
     raw.extend(unsafety::check(&file));
     let mut out: Vec<Diagnostic> = raw

@@ -1,0 +1,25 @@
+//! Fixture: every lane_loop_alloc pattern, one per loop flavour.
+
+fn per_cycle(values: &[u32]) -> u32 {
+    let mut acc = 0;
+    for v in values {
+        let lanes = vec![0u32; 32]; // vec! in a for body
+        let spill: Vec<u32> = Vec::new(); // Vec::new in a for body
+        acc += lanes.len() as u32 + spill.len() as u32 + v;
+    }
+    let mut i = 0;
+    while i < values.len() {
+        let copy = values.to_vec(); // .to_vec() in a while body
+        let label = format!("lane {i}"); // format! in a while body
+        acc += copy.len() as u32 + label.len() as u32;
+        i += 1;
+    }
+    loop {
+        let gathered: Vec<u32> = values.iter().copied().collect(); // .collect() in a loop body
+        let queue: std::collections::BinaryHeap<u32> =
+            std::collections::BinaryHeap::with_capacity(8);
+        acc += gathered.len() as u32 + queue.capacity() as u32;
+        break;
+    }
+    acc
+}

@@ -190,3 +190,44 @@ fn diagnostics_render_as_file_line_lint_message() {
         "{rendered}"
     );
 }
+
+#[test]
+fn hotpath_bad_fires_once_per_allocation_site() {
+    let diags = check_source("crates/sim/src/core.rs", &fixture("hotpath_bad.rs"));
+    let allocs: Vec<&Diagnostic> = diags
+        .iter()
+        .filter(|d| d.lint == "lane_loop_alloc")
+        .collect();
+    // vec! + Vec::new (for), .to_vec() + format! (while),
+    // .collect() + BinaryHeap::with_capacity (loop).
+    assert_eq!(allocs.len(), 6, "{diags:#?}");
+    for expected in [
+        "`vec!`",
+        "`Vec::new`",
+        "`.to_vec()`",
+        "`format!`",
+        "`.collect()`",
+        "`BinaryHeap::with_capacity`",
+    ] {
+        assert!(
+            allocs.iter().any(|d| d.message.contains(expected)),
+            "missing {expected}: {diags:#?}"
+        );
+    }
+}
+
+#[test]
+fn hotpath_good_is_clean() {
+    let diags = check_source("crates/sim/src/ldst.rs", &fixture("hotpath_good.rs"));
+    assert!(diags.is_empty(), "{diags:#?}");
+}
+
+#[test]
+fn hotpath_lint_only_covers_the_hot_files() {
+    // The same allocating loops are fine in, say, the bench crate.
+    let diags = check_source("crates/bench/src/report.rs", &fixture("hotpath_bad.rs"));
+    assert!(
+        diags.iter().all(|d| d.lint != "lane_loop_alloc"),
+        "{diags:#?}"
+    );
+}

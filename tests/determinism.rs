@@ -80,3 +80,24 @@ fn blackscholes_gt240_counts_are_pinned() {
     assert_eq!(r.launch.time_s.to_bits(), 0x3ec261f80d2e3a2e);
     assert_eq!(r.power.total_power().watts().to_bits(), 0x40424222c3bfa612);
 }
+
+/// Second golden anchor, on the scoreboarded GTX580 preset: the SoA
+/// gather/dense-compute/masked-scatter pipeline must reproduce exactly
+/// the counts and bit patterns the lane-by-lane path produced. The
+/// instruction counts match GT240 (same kernel, same warps); cycles,
+/// time and power are preset-specific.
+#[test]
+fn blackscholes_gtx580_counts_are_pinned() {
+    let mut sim = Simulator::gtx580().expect("preset builds");
+    let reports = sim
+        .run_benchmark(&BlackScholes { options: 2048 })
+        .expect("verifies");
+    let r = &reports[0];
+    let s = &r.launch.stats;
+    assert_eq!(s.shader_cycles, 1378);
+    assert_eq!(s.warp_instructions, 4544);
+    assert_eq!(s.thread_instructions, 145_408);
+    assert_eq!(s.dram_read_bursts, 768);
+    assert_eq!(r.launch.time_s.to_bits(), 0x3eaa36471788359c);
+    assert_eq!(r.power.total_power().watts().to_bits(), 0x405f3dc2db7dd43e);
+}
