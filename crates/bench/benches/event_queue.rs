@@ -1,0 +1,90 @@
+//! Microbenchmarks of the per-core event scheduler: the calendar wheel
+//! (`EventWheel`) against the `BinaryHeap<Reverse<(fire, seq)>>` it
+//! replaced (DESIGN.md §17).
+//!
+//! Each round models one steady-state retire/schedule cycle at three
+//! pending-queue depths — 1 (a single in-flight warp), 8 (one warp per
+//! slot of a GT240 core) and 64 (a saturated scoreboarded core): pop
+//! everything due at the current cycle, then schedule a replacement a
+//! pipeline latency ahead. The wheel's contract is O(1) per operation
+//! with no comparison sifting; the heap pays O(log n) and a `Reverse`
+//! comparison per hop. Run via `cargo bench -p gpusimpow-bench --bench
+//! event_queue`; CI uploads the output next to the warp hot-path runs.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use gpusimpow_sim::wheel::EventWheel;
+
+/// Pending-event depths: single warp, one warp per barrel slot, and a
+/// saturated scoreboarded core.
+const DEPTHS: &[usize] = &[1, 8, 64];
+
+/// Cycles each benchmark iteration advances through.
+const ROUNDS: u64 = 256;
+
+/// Fixed completion latency: far enough to keep `depth` events in
+/// flight, near enough to stay inside the wheel window.
+const LATENCY: u64 = 24;
+
+fn bench_wheel(c: &mut Criterion) {
+    for &depth in DEPTHS {
+        // Constructed once and `reset` per iteration, like a core
+        // reuses its wheel across launches — the measurement is the
+        // steady-state schedule/pop traffic, not slot setup.
+        let mut wheel: EventWheel<u32> = EventWheel::new();
+        c.bench_function(&format!("event_queue/wheel-{depth}"), |bch| {
+            bch.iter(|| {
+                wheel.reset();
+                for i in 0..depth as u64 {
+                    wheel.schedule(1 + i % LATENCY, i as u32);
+                }
+                let mut acc = 0u32;
+                for cycle in 1..=ROUNDS {
+                    while let Some(tag) = wheel.pop_due(cycle) {
+                        acc = acc.wrapping_add(tag);
+                        wheel.schedule(cycle + LATENCY, tag);
+                    }
+                }
+                black_box(acc)
+            })
+        });
+    }
+}
+
+fn bench_heap(c: &mut Criterion) {
+    for &depth in DEPTHS {
+        let mut heap: BinaryHeap<Reverse<(u64, u64, u32)>> = BinaryHeap::new();
+        c.bench_function(&format!("event_queue/heap-{depth}"), |bch| {
+            bch.iter(|| {
+                // The pre-wheel scheduler: (fire, seq) min-heap with an
+                // explicit insertion sequence for FIFO ties. Cleared
+                // per iteration, retaining capacity like the wheel.
+                heap.clear();
+                let mut seq = 0u64;
+                for i in 0..depth as u64 {
+                    seq += 1;
+                    heap.push(Reverse((1 + i % LATENCY, seq, i as u32)));
+                }
+                let mut acc = 0u32;
+                for cycle in 1..=ROUNDS {
+                    while let Some(Reverse((fire, _, tag))) = heap.peek().copied() {
+                        if fire > cycle {
+                            break;
+                        }
+                        heap.pop();
+                        acc = acc.wrapping_add(tag);
+                        seq += 1;
+                        heap.push(Reverse((cycle + LATENCY, seq, tag)));
+                    }
+                }
+                black_box(acc)
+            })
+        });
+    }
+}
+
+criterion_group!(benches, bench_wheel, bench_heap);
+criterion_main!(benches);

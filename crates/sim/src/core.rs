@@ -14,8 +14,7 @@
 //! barrel blocking — the warp stalls until its previous instruction
 //! commits (Tesla-class, Table II "Scoreboard ✗").
 
-use std::cmp::Reverse;
-use std::collections::{BTreeMap, BinaryHeap};
+use std::collections::BTreeMap;
 
 use gpusimpow_isa::{
     Instr, InstrClass, Kernel, LaunchConfig, MemSpace, Operand, Pc, Reg, SpecialReg,
@@ -28,6 +27,7 @@ use crate::func;
 use crate::ldst;
 use crate::mem::GpuMemory;
 use crate::simt_stack::{LaneMask, SimtStack};
+use crate::wheel::EventWheel;
 
 /// Per-launch context shared by all cores.
 #[derive(Debug, Clone, Copy)]
@@ -216,25 +216,6 @@ enum Completion {
     Commit { warp: usize, dst: Option<Reg> },
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct Event {
-    cycle: u64,
-    seq: u64,
-    completion: Completion,
-}
-
-impl Ord for Event {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.cycle, self.seq).cmp(&(other.cycle, other.seq))
-    }
-}
-
-impl PartialOrd for Event {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
 /// An in-flight coalesced load group (one warp load instruction).
 #[derive(Debug)]
 struct LoadGroup {
@@ -288,6 +269,20 @@ fn set_hint(mask: &mut u64, slot: usize) {
 fn clear_hint(mask: &mut u64, slot: usize) {
     if slot < 64 {
         *mask &= !(1u64 << slot);
+    }
+}
+
+/// Index of an instruction class in the per-unit-class ready masks
+/// ([`Core`]'s `class_next`). `Control` has no execution unit and is
+/// never masked.
+#[inline]
+fn class_index(class: InstrClass) -> Option<usize> {
+    match class {
+        InstrClass::Int => Some(0),
+        InstrClass::Fp => Some(1),
+        InstrClass::Sfu => Some(2),
+        InstrClass::Mem => Some(3),
+        InstrClass::Control => None,
     }
 }
 
@@ -436,8 +431,12 @@ pub struct Core {
     busy_fp: u64,
     busy_sfu: u64,
     busy_ldst: u64,
-    events: BinaryHeap<Reverse<Event>>,
-    seq: u64,
+    /// Pending completion events, ordered by (fire cycle, insertion) —
+    /// the calendar wheel preserves the FIFO same-cycle semantics of
+    /// the `BinaryHeap<(cycle, seq)>` it replaced (see
+    /// [`crate::wheel`]), so retire order and every golden bit pattern
+    /// are unchanged.
+    events: EventWheel<Completion>,
     mshr: Mshr<u32>,
     groups: BTreeMap<u32, LoadGroup>,
     next_group: u32,
@@ -475,6 +474,26 @@ pub struct Core {
     /// `ScoreboardReads` every cycle, so skipping scans would change
     /// the activity counters.
     issue_stall_until: u64,
+    /// Per-unit-class issue candidates: bit `s` of `class_next[c]` is
+    /// set iff warp slot `s` currently satisfies *every* probe
+    /// precondition short of unit availability — live, not done, not
+    /// parked at a barrier, not executing (barrel `busy`) — and its
+    /// i-buffer holds a decoded instruction of unit class `c` (see
+    /// [`class_index`]). Under that invariant, probing a masked slot
+    /// while unit `c` is busy is *proven* to return a silent
+    /// [`IssueProbe::UnitBusy`], so the hinted issue scan folds such
+    /// slots into its gap distance instead of probing them —
+    /// generalizing the whole-scan `issue_stall_until` short-circuit to
+    /// per-warp, per-unit-class granularity. Maintained at the i-buffer
+    /// fill (set when neither busy nor at a barrier), the issue (the
+    /// i-buffer empties: clear), the writeback retire and barrier
+    /// release (the withheld bit is set once the blocking condition
+    /// lifts), and the launch boundary. Scoreboard configs maintain but
+    /// never consult these masks: their failed probes count
+    /// `ScoreboardReads`, so skipping them would change the counters.
+    /// Slots ≥ 64 are never masked (the scans fall back to full
+    /// probing).
+    class_next: [u64; 4],
     /// Fetch-scan hint, same contract as `issue_ready`: bit `s` set
     /// means slot `s` might fetch. Every fetch failure is sticky (an
     /// empty i-buffer can only reappear via issue, a freed slot via
@@ -519,8 +538,7 @@ impl Core {
             busy_fp: 0,
             busy_sfu: 0,
             busy_ldst: 0,
-            events: BinaryHeap::new(),
-            seq: 0,
+            events: EventWheel::new(),
             // Generously sized: the pending-request table of the
             // coalescer merges requests chip-side in our model.
             mshr: Mshr::new(128, 4096),
@@ -533,6 +551,7 @@ impl Core {
             work: false,
             issue_ready: !0,
             issue_stall_until: 0,
+            class_next: [0; 4],
             fetch_ready: !0,
             scratch: LaneScratch::new(),
             stats: ActivityVector::new(),
@@ -642,6 +661,13 @@ impl Core {
             set_hint(&mut self.issue_ready, slot);
             self.issue_stall_until = 0;
             set_hint(&mut self.fetch_ready, slot);
+            // A fresh warp has an empty i-buffer: no unit-class mask may
+            // claim it (its previous occupant's bits were cleared when
+            // that warp issued its final instruction; this keeps the
+            // invariant robust regardless).
+            for mask in &mut self.class_next {
+                clear_hint(mask, slot);
+            }
             warp_slots.push(slot);
         }
         self.smem_in_use += ctx.kernel.smem_bytes();
@@ -656,12 +682,7 @@ impl Core {
     }
 
     fn schedule(&mut self, cycle: u64, completion: Completion) {
-        self.seq += 1;
-        self.events.push(Reverse(Event {
-            cycle,
-            seq: self.seq,
-            completion,
-        }));
+        self.events.schedule(cycle, completion);
     }
 
     /// Prepares the core for a new kernel launch: resets pipeline
@@ -673,6 +694,9 @@ impl Core {
     /// Panics if work from a previous launch is still in flight.
     pub fn begin_launch(&mut self) {
         assert!(!self.is_busy(), "core still busy at kernel-launch boundary");
+        // Cycle numbers restart at zero: rewind the wheel's window base
+        // along with them (the wheel is drained — `is_busy` was false).
+        self.events.reset();
         self.busy_int = 0;
         self.busy_fp = 0;
         self.busy_sfu = 0;
@@ -683,6 +707,7 @@ impl Core {
         self.pending_rr = 0;
         self.issue_ready = !0;
         self.issue_stall_until = 0;
+        self.class_next = [0; 4];
         self.fetch_ready = !0;
         self.icache.flush();
         self.const_cache.flush();
@@ -718,12 +743,24 @@ impl Core {
         }
     }
 
+    /// `true` while this core holds compute-phase side effects the
+    /// serial commit phase has not applied yet: buffered global stores
+    /// or un-drained memory requests. The batched steady-state stepping
+    /// in `Gpu::launch_impl` may only run the compute phase for a cycle
+    /// without its commit phase when this is `false` for every live
+    /// core — then the commit would have been a no-op, and every load
+    /// in the next cycle reads the same frozen memory either way.
+    #[inline]
+    pub fn has_pending_effects(&self) -> bool {
+        !self.out_requests.is_empty() || !self.store_buf.is_empty()
+    }
+
     /// The earliest future cycle at which this core could make progress
     /// again, assuming no memory responses arrive: the next writeback
     /// event or pipeline-busy release. `None` when nothing is scheduled
     /// (the core is idle, or deadlocked at a barrier).
     pub fn next_wake(&self, cycle: u64) -> Option<u64> {
-        let mut wake = self.events.peek().map(|Reverse(e)| e.cycle);
+        let mut wake = self.events.next_fire();
         for busy in [self.busy_int, self.busy_fp, self.busy_sfu, self.busy_ldst] {
             if busy > cycle {
                 wake = Some(wake.map_or(busy, |w: u64| w.min(busy)));
@@ -819,13 +856,9 @@ impl Core {
     // --- writeback / retire ---------------------------------------------------
 
     fn retire(&mut self, cycle: u64, cfg: &GpuConfig, ctx: &LaunchCtx<'_>) {
-        while let Some(Reverse(ev)) = self.events.peek() {
-            if ev.cycle > cycle {
-                break;
-            }
+        while let Some(completion) = self.events.pop_due(cycle) {
             self.work = true;
-            let ev = self.events.pop().expect("peeked").0;
-            match ev.completion {
+            match completion {
                 Completion::Commit { warp, dst } => {
                     if let Some(w) = self.warps[warp].as_mut() {
                         if let Some(dst) = dst {
@@ -835,6 +868,17 @@ impl Core {
                         }
                         w.busy = false;
                         set_hint(&mut self.issue_ready, warp);
+                        // The retired warp may already hold a fetched
+                        // next instruction (fetch ignores `busy`); now
+                        // that it stopped executing it is a real issue
+                        // candidate, so publish its unit class.
+                        if !w.at_barrier {
+                            if let Some(pc) = w.ibuf {
+                                if let Some(ci) = class_index(ctx.decoded[pc as usize].class) {
+                                    set_hint(&mut self.class_next[ci], warp);
+                                }
+                            }
+                        }
                         if self.issue_stall_until > cycle {
                             // Barrel: keep sleeping until the retired
                             // warp's own unit frees (its next instruction
@@ -892,7 +936,34 @@ impl Core {
                     // set-site fires — both covered below.
                     let mut only_unit_busy = true;
                     while issued < cfg.issue_width && scanned < n {
-                        let hints = self.issue_ready & window;
+                        let mut hints = self.issue_ready & window;
+                        // Per-unit-class skip (barrel only): a slot
+                        // whose published next-instruction class
+                        // targets a busy unit would probe to a silent
+                        // `UnitBusy` — fold it into the jump distance.
+                        // Recomputed every iteration because an issue
+                        // above makes its own unit busy mid-scan. The
+                        // skipped probes mutate nothing and keep their
+                        // hints, `scanned` advances by the same total
+                        // (gap + 1 arithmetic), and `only_unit_busy`
+                        // stays true — so engage/stall decisions, visit
+                        // order and all counters are bit-identical to
+                        // the probing scan. Scoreboard probes are
+                        // observable and are never skipped.
+                        if !cfg.scoreboard {
+                            if self.busy_int > cycle {
+                                hints &= !self.class_next[0];
+                            }
+                            if self.busy_fp > cycle {
+                                hints &= !self.class_next[1];
+                            }
+                            if self.busy_sfu > cycle {
+                                hints &= !self.class_next[2];
+                            }
+                            if self.busy_ldst > cycle {
+                                hints &= !self.class_next[3];
+                            }
+                        }
                         if hints == 0 {
                             break;
                         }
@@ -1171,7 +1242,11 @@ impl Core {
             InstrClass::Control => 1,
         };
 
-        // Commit to issuing.
+        // Commit to issuing. The i-buffer empties below, so the slot
+        // stops being a unit-class candidate until the next fetch.
+        if let Some(ci) = class_index(class) {
+            clear_hint(&mut self.class_next[ci], slot);
+        }
         self.work = true;
         self.account_issue(&di, mask);
         let latency = match class {
@@ -1464,7 +1539,7 @@ impl Core {
                     cta.waiting_at_barrier >= cta.live_warps
                 };
                 if release {
-                    self.release_barrier(cta_slot);
+                    self.release_barrier(cta_slot, ctx);
                 }
             }
             Instr::Exit => {
@@ -1475,7 +1550,7 @@ impl Core {
                     (w.stack.finished(), w.cta_slot)
                 };
                 if finished {
-                    self.finish_warp(slot, cta_slot);
+                    self.finish_warp(slot, cta_slot, ctx);
                 }
             }
             Instr::Nop => {
@@ -1494,7 +1569,7 @@ impl Core {
         }
     }
 
-    fn release_barrier(&mut self, cta_slot: usize) {
+    fn release_barrier(&mut self, cta_slot: usize, ctx: &LaunchCtx<'_>) {
         let slots = {
             let cta = self.ctas[cta_slot].as_mut().expect("live cta");
             cta.waiting_at_barrier = 0;
@@ -1505,11 +1580,22 @@ impl Core {
                 w.at_barrier = false;
                 set_hint(&mut self.issue_ready, s);
                 self.issue_stall_until = 0;
+                // A released warp with a fetched instruction and no
+                // in-flight execution becomes a unit-class candidate
+                // again (fetch ignores `at_barrier`, so its i-buffer
+                // may have refilled while parked).
+                if !w.busy {
+                    if let Some(pc) = w.ibuf {
+                        if let Some(ci) = class_index(ctx.decoded[pc as usize].class) {
+                            set_hint(&mut self.class_next[ci], s);
+                        }
+                    }
+                }
             }
         }
     }
 
-    fn finish_warp(&mut self, slot: usize, cta_slot: usize) {
+    fn finish_warp(&mut self, slot: usize, cta_slot: usize, ctx: &LaunchCtx<'_>) {
         {
             let w = self.warps[slot].as_mut().expect("live warp");
             w.done = true;
@@ -1523,7 +1609,7 @@ impl Core {
             )
         };
         if needs_release {
-            self.release_barrier(cta_slot);
+            self.release_barrier(cta_slot, ctx);
         }
         if cta_done {
             let cta = self.ctas[cta_slot].take().expect("live cta");
@@ -1900,11 +1986,24 @@ impl Core {
         self.stats[Ev::IbufferWrites] += 1;
         // The i-buffer holds the PC; operands and metadata come from
         // the launch-wide decoded table (`LaunchCtx::decoded`).
-        self.warps[slot].as_mut().expect("checked above").ibuf = Some(pc);
+        let (busy, at_barrier) = {
+            let w = self.warps[slot].as_mut().expect("checked above");
+            w.ibuf = Some(pc);
+            (w.busy, w.at_barrier)
+        };
         let n = self.max_warps;
         self.fetch_rr = if slot + 1 == n { 0 } else { slot + 1 };
         clear_hint(&mut self.fetch_ready, slot);
         set_hint(&mut self.issue_ready, slot);
+        // Publish the fetched instruction's unit class — but only for a
+        // warp that could actually probe to `UnitBusy` right now. For a
+        // still-executing or barrier-parked warp the bit is withheld
+        // here and set by the retire/release site that lifts the block.
+        if !busy && !at_barrier {
+            if let Some(ci) = class_index(ctx.decoded[pc as usize].class) {
+                set_hint(&mut self.class_next[ci], slot);
+            }
+        }
         // Fetch runs after issue within a tick, so the refilled warp can
         // issue at `cycle + 1` at the earliest. Barrel: refine an engaged
         // stall by this candidate's own unit-free time (usually it is

@@ -348,6 +348,16 @@ impl ActivityVector {
         self.0.iter().all(|&v| v == 0)
     }
 
+    /// Adds `units * span` to an event slot — the span-multiply
+    /// primitive shared by the stall-aware fast-forward and the batched
+    /// steady-state stepping in `Gpu::launch_impl`: both commit a run
+    /// of cycles wholesale after proving the per-cycle contribution
+    /// (`units`) is constant across the whole span.
+    #[inline]
+    pub fn add_span(&mut self, event: EventKind, units: u64, span: u64) {
+        self.0[event.index()] += units * span;
+    }
+
     /// Slot-wise difference `self − earlier` between two cumulative
     /// snapshots of the same launch — the primitive behind windowed
     /// power sampling (see `ActivityStats::delta_from` for the

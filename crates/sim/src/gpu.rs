@@ -185,6 +185,7 @@ pub struct Gpu {
     threads: usize,
     pool: Option<CorePool>,
     fast_forward: bool,
+    batch_stepping: bool,
 }
 
 /// An attached sampling sink plus its window width.
@@ -244,6 +245,7 @@ impl Gpu {
             threads: 1,
             pool: None,
             fast_forward: true,
+            batch_stepping: true,
         })
     }
 
@@ -280,6 +282,33 @@ impl Gpu {
     /// Whether stall-aware fast-forward is enabled.
     pub fn fast_forward(&self) -> bool {
         self.fast_forward
+    }
+
+    /// Enables or disables batched steady-state stepping (enabled by
+    /// default) — the complement of fast-forward: where fast-forward
+    /// jumps over runs of provably *inert* cycles, batched stepping
+    /// accelerates runs of provably *pure-compute* cycles. While the
+    /// uncore is idle and every live core keeps progressing without
+    /// emitting memory traffic, buffering stores, completing CTAs or
+    /// going idle, the main loop runs only the per-core compute phase
+    /// cycle after cycle and commits the skipped per-cycle machinery
+    /// (empty commit phase, idle uncore advance, busy/cluster
+    /// accounting) wholesale for the whole run, with event counts
+    /// span-multiplied (`ActivityVector::add_span`).
+    ///
+    /// Batched stepping never changes results: the batch ends *at* the
+    /// first cycle with a side effect — that cycle flows through the
+    /// ordinary commit path — and sampling windows, DVFS epochs and the
+    /// watchdog bound the batch horizon, so every counter, window delta
+    /// and `time_s` is bit-identical with the flag off (enforced by
+    /// `tests/batched_stepping.rs` golden pins).
+    pub fn set_batch_stepping(&mut self, enabled: bool) {
+        self.batch_stepping = enabled;
+    }
+
+    /// Whether batched steady-state stepping is enabled.
+    pub fn batch_stepping(&self) -> bool {
+        self.batch_stepping
     }
 
     /// Sets how many OS threads step cores during the per-cycle compute
@@ -608,41 +637,180 @@ impl Gpu {
         // dispatch, pruned during busy accounting; ascending order keeps
         // the serial commit order identical to the all-cores walk.
         let mut live: Vec<usize> = Vec::with_capacity(self.cores.len());
+        // Per-core wake-up times for the batched fast path, indexed like
+        // `live`; hoisted so short batches don't reallocate.
+        let mut batch_wakes: Vec<u64> = Vec::with_capacity(self.cores.len());
 
         loop {
             let stepped = cycle >= skip_until;
             if stepped {
                 // --- global block scheduler -----------------------------
+                let mut just_dispatched = false;
                 if dispatch_dirty && next_block < total_blocks {
                     next_block = self.dispatch_blocks(&ctx, next_block, total_blocks);
                     dispatch_dirty = false;
+                    just_dispatched = true;
                     live.clear();
                     let cores = &self.cores;
                     live.extend((0..cores.len()).filter(|&i| cores[i].is_busy()));
                 }
 
+                // --- batched steady-state stepping -----------------------
+                // Pure-compute fast path: while the uncore is idle and
+                // every live core keeps progressing without side effects
+                // (no buffered stores, no memory requests, no CTA
+                // completion, nobody going idle), each cycle's commit
+                // phase is provably a no-op and no response, dispatch or
+                // termination event can occur — so run only the compute
+                // phase, cycle after cycle, and commit the whole run of
+                // `pre` cycles wholesale afterwards: one idle
+                // `Uncore::advance(pre)` keeps the clock-domain and
+                // refresh accounting cycle-exact, and the busy counters
+                // span-multiply exactly like a fast-forward jump (the
+                // live set *is* the busy set and is invariant across the
+                // run). The first cycle that breaks the regime becomes
+                // the loop's current cycle and flows through the
+                // ordinary commit/accounting path below, so results are
+                // bit-identical with this path disabled. Not entered on
+                // a dispatch cycle (the cached busy counts are stale
+                // until the accounting below recomputes them), and the
+                // horizon stops short of the next sampling-window
+                // boundary and the watchdog trip.
+                let mut batched: Option<bool> = None;
+                if self.batch_stepping && !just_dispatched && !live.is_empty() && uncore.is_idle() {
+                    let horizon = next_window_at.min(self.watchdog_cycles + 1);
+                    let pre_max = horizon.saturating_sub(cycle + 1);
+                    if pre_max > 0 {
+                        let live_completed: u64 =
+                            live.iter().map(|&id| self.cores[id].completed_ctas()).sum();
+                        // Last cycle the batch may tick; the final ticked
+                        // cycle is handed to the ordinary path below.
+                        let c_end = cycle + pre_max;
+                        let mut c = cycle;
+                        // Per-core wake gating: a core whose last tick did
+                        // not progress is provably inert until its next
+                        // writeback event or pipeline release
+                        // (`Core::next_wake`) — compute phases have no
+                        // cross-core coupling and the idle uncore delivers
+                        // nothing — so its ticks are skipped entirely until
+                        // then. Ticks run serially here regardless of the
+                        // pool: the gate leaves only a couple of cores per
+                        // cycle, and compute phases are order-independent,
+                        // so the bits cannot move for any thread count.
+                        batch_wakes.clear();
+                        batch_wakes.resize(live.len(), cycle);
+                        loop {
+                            let mut progressed = false;
+                            {
+                                let Gpu { cores, memory, .. } = &mut *self;
+                                let mem: &GpuMemory = memory;
+                                for (wake, &id) in batch_wakes.iter_mut().zip(&live) {
+                                    if *wake <= c {
+                                        let p = cores[id].tick(c, &cfg, &ctx, mem);
+                                        progressed |= p;
+                                        *wake = if p {
+                                            c + 1
+                                        } else {
+                                            cores[id].next_wake(c).unwrap_or(u64::MAX)
+                                        };
+                                    }
+                                }
+                            }
+                            if progressed {
+                                // Side-effect scan: any buffered store,
+                                // drained request, idle transition or CTA
+                                // completion ends the batch at this cycle.
+                                // Only a ticked core can change these, but
+                                // the probes are cheap field reads — scan
+                                // every live core for simplicity.
+                                let mut effects = false;
+                                let mut completed_now = 0u64;
+                                for &id in &live {
+                                    let core = &self.cores[id];
+                                    effects |= core.has_pending_effects() || !core.is_busy();
+                                    completed_now += core.completed_ctas();
+                                }
+                                if effects || completed_now != live_completed {
+                                    batched = Some(true);
+                                    break;
+                                }
+                            } else if !self.fast_forward {
+                                // Dense mode: hand no-progress cycles to
+                                // the ordinary path so the outer loop
+                                // marches cycle by cycle as configured.
+                                batched = Some(false);
+                                break;
+                            }
+                            if c == c_end {
+                                batched = Some(progressed);
+                                break;
+                            }
+                            // Jump to the earliest cycle any core can act
+                            // again — the in-batch counterpart of the
+                            // stall-aware fast-forward (memory responses
+                            // are impossible while the uncore is idle).
+                            // Past the horizon, stay on the current cycle
+                            // and let the outer fast-forward take over.
+                            let next_c = batch_wakes.iter().copied().min().unwrap_or(u64::MAX);
+                            debug_assert!(next_c > c, "wake-up in the past");
+                            if next_c > c_end {
+                                batched = Some(progressed);
+                                break;
+                            }
+                            c = next_c;
+                        }
+                        let pre = c - cycle;
+                        if pre > 0 {
+                            // Commit the side-effect-free prefix. The
+                            // uncore was idle and stays idle across it:
+                            // it consumes the full span and delivers
+                            // nothing (`advance` only stops early on a
+                            // response or a drain, neither of which an
+                            // idle uncore can produce).
+                            let consumed = uncore.advance(pre, &mut responses, &mut stats);
+                            debug_assert_eq!(consumed, pre, "idle uncore consumes the span");
+                            debug_assert!(responses.is_empty(), "idle uncore stays silent");
+                            stats.add_span(Ev::CoreBusyCycles, busy_cores as u64, pre);
+                            stats.add_span(Ev::ClusterBusyCycles, busy_clusters as u64, pre);
+                            for &id in &live {
+                                core_busy_acc[id] += pre;
+                            }
+                            for (c, flag) in cluster_busy.iter().enumerate() {
+                                if *flag {
+                                    cluster_busy_acc[c] += pre;
+                                }
+                            }
+                            cycle += pre;
+                        }
+                    }
+                }
+
                 // --- shader domain: parallel compute phase ---------------
                 // Cores read the frozen memory snapshot (global stores are
                 // buffered per core) so chunks can step concurrently
-                // without changing any counter.
-                let progressed = {
-                    let Gpu {
-                        cores,
-                        memory,
-                        pool,
-                        ..
-                    } = &mut *self;
-                    let mem: &GpuMemory = memory;
-                    match pool {
-                        Some(pool) => pool.tick_cores(cores, cycle, &cfg, &ctx, mem),
-                        None => {
-                            // Dead cores tick to a no-op `false`; walk
-                            // only the live ones.
-                            let mut any = false;
-                            for &id in &live {
-                                any |= cores[id].tick(cycle, &cfg, &ctx, mem);
+                // without changing any counter. A batched run above has
+                // already ticked the current cycle.
+                let progressed = match batched {
+                    Some(progressed) => progressed,
+                    None => {
+                        let Gpu {
+                            cores,
+                            memory,
+                            pool,
+                            ..
+                        } = &mut *self;
+                        let mem: &GpuMemory = memory;
+                        match pool {
+                            Some(pool) => pool.tick_cores(cores, cycle, &cfg, &ctx, mem),
+                            None => {
+                                // Dead cores tick to a no-op `false`; walk
+                                // only the live ones.
+                                let mut any = false;
+                                for &id in &live {
+                                    any |= cores[id].tick(cycle, &cfg, &ctx, mem);
+                                }
+                                any
                             }
-                            any
                         }
                     }
                 };
@@ -730,8 +898,8 @@ impl Gpu {
             // whole span. After the retain above, `live` holds exactly
             // the busy cores (and is frozen across a skip), so the
             // scoped accumulators use the identical span-multiply.
-            stats[Ev::CoreBusyCycles] += busy_cores as u64 * consumed;
-            stats[Ev::ClusterBusyCycles] += busy_clusters as u64 * consumed;
+            stats.add_span(Ev::CoreBusyCycles, busy_cores as u64, consumed);
+            stats.add_span(Ev::ClusterBusyCycles, busy_clusters as u64, consumed);
             for &id in &live {
                 core_busy_acc[id] += consumed;
             }

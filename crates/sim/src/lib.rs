@@ -65,6 +65,7 @@ pub mod simt_stack;
 pub mod sink;
 pub mod stats;
 pub mod uncore;
+pub mod wheel;
 
 pub use config::{ConfigError, DramConfig, GpuConfig, L2Config, WarpSchedPolicy};
 pub use core::{DecodedInstr, PredecodedKernel, MAX_LANES};

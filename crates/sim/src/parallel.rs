@@ -10,7 +10,13 @@
 //!   during that phase (stores are buffered per core; see
 //!   [`Core::commit_stores`]), so any interleaving produces the same
 //!   per-core state and the serial commit phase applies side effects in
-//!   fixed core-id order.
+//!   fixed core-id order. The batched steady-state fast path in
+//!   `Gpu::launch_impl` leans on the same split from the other side: a
+//!   cycle whose cores buffered nothing (`Core::has_pending_effects` is
+//!   `false` everywhere) has a provably empty commit phase, so the
+//!   batch runs compute phases back to back — serially, gated per core
+//!   on `Core::next_wake` — and skips those commits wholesale. Results
+//!   are bit-identical either way, for any thread count.
 //! * [`SimPool`] runs independent jobs (each owning its own `Gpu`) and
 //!   returns results positionally, so output order never depends on
 //!   which thread finished first.

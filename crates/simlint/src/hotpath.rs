@@ -11,11 +11,20 @@
 //! an allocating expression (`vec!`, `Vec::new`, `.collect()`, …)
 //! written inside a `for`/`while`/`loop` body of a hot-path file.
 //!
-//! Scope: `crates/sim/src/{core,func,ldst}.rs` — the files the per-
-//! cycle pipeline lives in. Launch-setup allocations that happen to sit
-//! in loops (one register file per dispatched warp, for example) are
-//! grid-proportional, not cycle-proportional, and carry a justified
+//! Scope: `crates/sim/src/{core,func,ldst,wheel}.rs` — the files the
+//! per-cycle pipeline lives in. Launch-setup allocations that happen to
+//! sit in loops (one register file per dispatched warp, for example)
+//! are grid-proportional, not cycle-proportional, and carry a justified
 //! `simlint: allow(lane_loop_alloc)` marker.
+//!
+//! A second, sharper pass guards the core scheduler specifically:
+//! [`UNBOUNDED_QUEUE_IN_CORE`] flags `BinaryHeap`/`VecDeque`
+//! construction inside loop bodies of `crates/sim/src/{core,wheel}.rs`.
+//! The calendar wheel replaced the per-core heap precisely because
+//! comparison-queue traffic dominated the Fig. 4 hot path (DESIGN.md
+//! §16–§17); a queue built per iteration would reintroduce both the
+//! allocation and the O(log n) discipline in one move, so it gets a
+//! dedicated name a reviewer can `allow` only with a written reason.
 //!
 //! Like every simlint pass this is a token heuristic, not type
 //! analysis: loop bodies are found by brace matching from the loop
@@ -28,6 +37,14 @@ use crate::{in_regions, match_close, test_regions, Diagnostic, SourceFile};
 
 /// Heap allocation inside a loop body of a hot-path file.
 pub const LANE_LOOP_ALLOC: &str = "lane_loop_alloc";
+
+/// `BinaryHeap`/`VecDeque` construction inside a loop body of the core
+/// scheduler files — reintroducing the comparison queue the calendar
+/// wheel removed.
+pub const UNBOUNDED_QUEUE_IN_CORE: &str = "unbounded_queue_in_core";
+
+/// Queue types the core scheduler must not rebuild per iteration.
+const QUEUE_TYPES: &[&str] = &["BinaryHeap", "VecDeque"];
 
 /// Owning container/smart-pointer types whose `::new`-style
 /// constructors allocate (or will on first push).
@@ -56,7 +73,18 @@ const ALLOC_MACROS: &[&str] = &["vec", "format"];
 pub fn scope(rel_path: &str) -> bool {
     matches!(
         rel_path,
-        "crates/sim/src/core.rs" | "crates/sim/src/func.rs" | "crates/sim/src/ldst.rs"
+        "crates/sim/src/core.rs"
+            | "crates/sim/src/func.rs"
+            | "crates/sim/src/ldst.rs"
+            | "crates/sim/src/wheel.rs"
+    )
+}
+
+/// The core scheduler files [`UNBOUNDED_QUEUE_IN_CORE`] guards.
+pub fn queue_scope(rel_path: &str) -> bool {
+    matches!(
+        rel_path,
+        "crates/sim/src/core.rs" | "crates/sim/src/wheel.rs"
     )
 }
 
@@ -134,6 +162,49 @@ pub fn check(file: &SourceFile) -> Vec<Diagnostic> {
                  warp hot path; hoist the buffer out of the loop or reuse a \
                  scratch field (see `LaneScratch`), so the steady state stays \
                  allocation-free"
+            ),
+        ));
+    }
+    out
+}
+
+/// Flags `BinaryHeap`/`VecDeque` construction inside loop bodies of the
+/// core scheduler files. Test regions are exempt (the wheel's own
+/// differential test drives a reference `BinaryHeap` on purpose); real
+/// scheduler state must justify itself with an
+/// `allow(unbounded_queue_in_core)` marker.
+pub fn check_queues(file: &SourceFile) -> Vec<Diagnostic> {
+    let toks = &file.lexed.tokens;
+    let bodies = loop_bodies(toks);
+    if bodies.is_empty() {
+        return Vec::new();
+    }
+    let tests = test_regions(toks);
+    let mut out = Vec::new();
+    let text = |j: usize| toks.get(j).map(|t| t.text.as_str()).unwrap_or("");
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident || !in_regions(&bodies, i) || in_regions(&tests, i) {
+            continue;
+        }
+        let name = t.text.as_str();
+        if !QUEUE_TYPES.contains(&name)
+            || text(i + 1) != ":"
+            || text(i + 2) != ":"
+            || !toks
+                .get(i + 3)
+                .is_some_and(|c| c.kind == TokKind::Ident && ALLOC_CTORS.contains(&c.text.as_str()))
+        {
+            continue;
+        }
+        out.push(file.diag(
+            t.line,
+            UNBOUNDED_QUEUE_IN_CORE,
+            format!(
+                "`{name}::{}` builds a comparison/deque queue inside a loop of the \
+                 core scheduler; the calendar wheel (`EventWheel`) replaced exactly \
+                 this structure in the per-cycle hot path — reuse it or a hoisted \
+                 scratch queue instead",
+                text(i + 3)
             ),
         ));
     }

@@ -60,6 +60,7 @@ pub const LINTS: &[&str] = &[
     determinism::WALL_CLOCK,
     units::RAW_UNIT_MATH,
     hotpath::LANE_LOOP_ALLOC,
+    hotpath::UNBOUNDED_QUEUE_IN_CORE,
     unsafety::UNDOCUMENTED_UNSAFE,
     unsafety::UNSAFE_MANIFEST_DRIFT,
     registry::UNPRICED_EVENT,
@@ -346,6 +347,9 @@ pub fn check_source(rel_path: &str, src: &str) -> Vec<Diagnostic> {
     }
     if hotpath::scope(rel_path) {
         raw.extend(hotpath::check(&file));
+    }
+    if hotpath::queue_scope(rel_path) {
+        raw.extend(hotpath::check_queues(&file));
     }
     raw.extend(unsafety::check(&file));
     let mut out: Vec<Diagnostic> = raw

@@ -1,0 +1,21 @@
+//! Fixture: queue construction inside core-scheduler loop bodies —
+//! every pattern unbounded_queue_in_core must flag.
+
+use std::collections::{BinaryHeap, VecDeque};
+
+fn retire_all(cores: &[u32]) -> u32 {
+    let mut acc = 0;
+    for c in cores {
+        // Rebuilding the comparison heap the calendar wheel replaced.
+        let mut events: BinaryHeap<u32> = BinaryHeap::new();
+        events.push(*c);
+        acc += events.len() as u32;
+    }
+    let mut i = 0;
+    while i < cores.len() {
+        let pending: VecDeque<u32> = VecDeque::with_capacity(8);
+        acc += pending.capacity() as u32;
+        i += 1;
+    }
+    acc
+}

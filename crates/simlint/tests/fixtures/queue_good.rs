@@ -1,0 +1,52 @@
+//! Fixture: queue use the core scheduler is allowed — construction
+//! hoisted out of loops, retained state reused per iteration, a
+//! reference heap inside a test region, and a justified `allow` for a
+//! launch-boundary rebuild.
+
+use std::collections::{BinaryHeap, VecDeque};
+
+struct Scheduler {
+    pending: VecDeque<u32>,
+}
+
+impl Scheduler {
+    fn new() -> Self {
+        // Construction outside any loop is launch setup.
+        Scheduler {
+            pending: VecDeque::with_capacity(64),
+        }
+    }
+
+    fn drain(&mut self, cycles: &[u32]) -> u32 {
+        let mut acc = 0;
+        for c in cycles {
+            // Reuse of retained capacity, no construction.
+            self.pending.push_back(*c);
+            acc += self.pending.len() as u32;
+        }
+        acc
+    }
+
+    fn rebuild(&mut self, launches: &[u32]) {
+        for _ in launches {
+            // One rebuild per kernel launch, not per cycle.
+            // simlint: allow(unbounded_queue_in_core): launch-boundary
+            // rebuild, grid-proportional not cycle-proportional
+            self.pending = VecDeque::with_capacity(64);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_heap_in_tests_is_fine() {
+        for i in 0..4 {
+            let mut reference: BinaryHeap<u32> = BinaryHeap::new();
+            reference.push(i);
+            assert_eq!(reference.len(), 1);
+        }
+    }
+}

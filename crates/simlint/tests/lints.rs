@@ -231,3 +231,53 @@ fn hotpath_lint_only_covers_the_hot_files() {
         "{diags:#?}"
     );
 }
+
+#[test]
+fn queue_bad_fires_once_per_construction_site() {
+    let diags = check_source("crates/sim/src/wheel.rs", &fixture("queue_bad.rs"));
+    let queues: Vec<&Diagnostic> = diags
+        .iter()
+        .filter(|d| d.lint == "unbounded_queue_in_core")
+        .collect();
+    // BinaryHeap::new (for) + VecDeque::with_capacity (while).
+    assert_eq!(queues.len(), 2, "{diags:#?}");
+    for expected in ["`BinaryHeap::new`", "`VecDeque::with_capacity`"] {
+        assert!(
+            queues.iter().any(|d| d.message.contains(expected)),
+            "missing {expected}: {diags:#?}"
+        );
+    }
+    // The same sites also violate the broader hot-path allocation rule;
+    // both names must point at the scheduler rebuild.
+    assert!(
+        diags.iter().any(|d| d.lint == "lane_loop_alloc"),
+        "{diags:#?}"
+    );
+}
+
+#[test]
+fn queue_good_is_clean_with_justified_allow() {
+    // Hoisted construction, retained-capacity reuse, a reference heap
+    // inside `#[cfg(test)]` and a justified launch-boundary `allow` —
+    // none may survive as an unbounded_queue_in_core finding.
+    let diags = check_source("crates/sim/src/core.rs", &fixture("queue_good.rs"));
+    assert!(
+        diags.iter().all(|d| d.lint != "unbounded_queue_in_core"),
+        "{diags:#?}"
+    );
+}
+
+#[test]
+fn queue_lint_only_covers_the_scheduler_files() {
+    // The LD/ST unit is hot-path scope but not scheduler scope: the
+    // broad allocation lint fires there, the queue lint must not.
+    let diags = check_source("crates/sim/src/ldst.rs", &fixture("queue_bad.rs"));
+    assert!(
+        diags.iter().any(|d| d.lint == "lane_loop_alloc"),
+        "{diags:#?}"
+    );
+    assert!(
+        diags.iter().all(|d| d.lint != "unbounded_queue_in_core"),
+        "{diags:#?}"
+    );
+}
