@@ -44,8 +44,13 @@ const BASELINE_PATH: &str = "BENCH_sim_throughput.json";
 /// 4 = the sweep section stops claiming a `speedup` on single-CPU
 /// hosts (`speedup: null` plus `predecode_shared_wall_s`, the
 /// predecode saving that is the only real difference there) and the
-/// `--check` gate compares per-stage times, not just the suite total.
-const SCHEMA_VERSION: u32 = 4;
+/// `--check` gate compares per-stage times, not just the suite total;
+/// 5 = adds the `trace` section (capture wall vs plain live wall, a
+/// replay-only sweep from one capture vs independent live runs, and
+/// the encoded trace size), with the same single-CPU honesty rule as
+/// v4: serial replay beats serial live runs by skipping the functional
+/// layer, which is a per-member saving, never pool fan-out.
+const SCHEMA_VERSION: u32 = 5;
 
 /// Wall-time regression the gate tolerates (noise headroom).
 const CHECK_TOLERANCE: f64 = 1.10;
@@ -116,6 +121,54 @@ fn sweep_walls(pool: &SimPool) -> (f64, f64) {
     (sweep_s, independent_s)
 }
 
+/// Walls of the trace frontend (schema v5): capture wall next to a
+/// plain live wall (the capture tax), then a replay-only two-config
+/// sweep from that single capture next to the same two launches run
+/// live and independently (the workload of "re-price this captured
+/// workload on N chips"). Returns `(live_s, capture_s, replay_sweep_s,
+/// live_independent_s, trace_bytes)`.
+fn trace_walls(pool: &SimPool) -> (f64, f64, f64, f64, usize) {
+    let kernel = micro::cluster_step_kernel(2048);
+    let launch = LaunchConfig::linear(8, 128);
+    let configs = [GpuConfig::gt240(), GpuConfig::gtx580()];
+
+    // Warm-up all three code paths.
+    let mut gpu = Gpu::new(GpuConfig::gt240()).expect("preset is valid");
+    let (_, trace) = gpu.launch_traced(&kernel, launch).expect("kernel captures");
+    pool.run_sweep_replay(&trace, &configs, |_, _| Ok(()));
+
+    let start = Instant::now();
+    let mut gpu = Gpu::new(GpuConfig::gt240()).expect("preset is valid");
+    gpu.launch(&kernel, launch).expect("kernel runs");
+    let live_s = start.elapsed().as_secs_f64();
+
+    let start = Instant::now();
+    let mut gpu = Gpu::new(GpuConfig::gt240()).expect("preset is valid");
+    let (_, trace) = gpu.launch_traced(&kernel, launch).expect("kernel captures");
+    let capture_s = start.elapsed().as_secs_f64();
+
+    let start = Instant::now();
+    for r in pool.run_sweep_replay(&trace, &configs, |_, _| Ok(())) {
+        r.expect("sweep member replays");
+    }
+    let replay_sweep_s = start.elapsed().as_secs_f64();
+
+    let start = Instant::now();
+    for cfg in &configs {
+        let mut gpu = Gpu::new(cfg.clone()).expect("preset is valid");
+        gpu.launch(&kernel, launch).expect("kernel runs");
+    }
+    let live_independent_s = start.elapsed().as_secs_f64();
+
+    (
+        live_s,
+        capture_s,
+        replay_sweep_s,
+        live_independent_s,
+        trace.encode().len(),
+    )
+}
+
 /// The commit this baseline was measured at, for provenance when
 /// comparing committed BENCH files across history.
 fn git_commit() -> String {
@@ -176,7 +229,7 @@ fn main() {
         None
     };
 
-    eprintln!("[1/4] per-kernel throughput");
+    eprintln!("[1/5] per-kernel throughput");
     let samples = [
         sample_kernel(
             "vectoradd-2048-gt240",
@@ -197,17 +250,19 @@ fn main() {
     ];
 
     let machine = gpusimpow_sim::parallel::available_threads();
-    eprintln!("[2/4] experiment suite, sequential");
+    eprintln!("[2/5] experiment suite, sequential");
     let (sequential_s, stages) = suite_wall(&SimPool::new(1), small);
     let parallel_s = if machine > 1 {
-        eprintln!("[3/4] experiment suite, {} threads", pool.threads());
+        eprintln!("[3/5] experiment suite, {} threads", pool.threads());
         Some(suite_wall(&pool, small).0)
     } else {
-        eprintln!("[3/4] single-CPU host: skipping the parallel comparison");
+        eprintln!("[3/5] single-CPU host: skipping the parallel comparison");
         None
     };
-    eprintln!("[4/4] one-pass sweep vs independent runs");
+    eprintln!("[4/5] one-pass sweep vs independent runs");
     let (sweep_s, independent_s) = sweep_walls(&pool);
+    eprintln!("[5/5] trace capture + replay-only sweep");
+    let (live_s, capture_s, replay_sweep_s, live_independent_s, trace_bytes) = trace_walls(&pool);
 
     // Hand-rolled JSON: the offline workspace vendors no serializer.
     let mut json = String::new();
@@ -299,6 +354,46 @@ fn main() {
             json,
             "    \"note\": \"single-CPU host (available_parallelism = 1): sweep members \
              ran serially, so the delta is the shared predecode, not pool fan-out\""
+        );
+    }
+    json.push_str("  },\n");
+    // Trace frontend (schema v5): the capture tax on a live run, and a
+    // replay-only sweep from one capture against independent live runs.
+    // The same honesty rule as the sweep section applies: on one CPU
+    // the replay advantage is the skipped functional layer (register
+    // gather/eval/scatter and memory contents) plus the shared decode,
+    // reported as a per-member ratio, never as pool fan-out.
+    json.push_str("  \"trace\": {\n");
+    let _ = writeln!(
+        json,
+        "    \"name\": \"GT240 cluster_step capture + replay-only GT240+GTX580 sweep\","
+    );
+    let _ = writeln!(json, "    \"threads\": {},", pool.threads());
+    let _ = writeln!(json, "    \"live_wall_s\": {live_s:.3},");
+    let _ = writeln!(json, "    \"capture_wall_s\": {capture_s:.3},");
+    let _ = writeln!(json, "    \"replay_sweep_wall_s\": {replay_sweep_s:.3},");
+    let _ = writeln!(
+        json,
+        "    \"live_independent_wall_s\": {live_independent_s:.3},"
+    );
+    let _ = writeln!(json, "    \"trace_bytes\": {trace_bytes},");
+    if machine > 1 {
+        let _ = writeln!(
+            json,
+            "    \"replay_speedup\": {:.3}",
+            live_independent_s / replay_sweep_s.max(1e-9)
+        );
+    } else {
+        let _ = writeln!(
+            json,
+            "    \"serial_replay_ratio\": {:.3},",
+            live_independent_s / replay_sweep_s.max(1e-9)
+        );
+        let _ = writeln!(
+            json,
+            "    \"note\": \"single-CPU host (available_parallelism = 1): members replayed \
+             serially, so the ratio is the skipped functional layer plus the shared decode, \
+             not pool fan-out\""
         );
     }
     json.push_str("  }\n}\n");

@@ -9,11 +9,19 @@
 //! average power — and reports energy / time / EDP deltas per kernel.
 //!
 //! ```text
-//! cargo run --release -p gpusimpow-bench --bin power_trace [out_dir] [--threads N]
+//! cargo run --release -p gpusimpow-bench --bin power_trace \
+//!     [out_dir] [--threads N] [--trace-out=DIR] [--trace-in=DIR]
 //! ```
 //!
 //! With an `out_dir` argument, per-kernel CSV and Chrome-trace JSON
 //! files of the ondemand run are written there.
+//!
+//! `--trace-out=DIR` additionally captures each launch's instruction
+//! trace (the `gpusimpow-trace` v1 format) into `DIR`; `--trace-in=DIR`
+//! skips live execution entirely and regenerates the recordings by
+//! *replaying* the `.gspt` files found in `DIR` — same windows, same
+//! numbers, no functional execution (the determinism contract makes the
+//! two frontends bit-identical).
 //!
 //! Each benchmark simulates on its own freshly-built GT240 (benchmarks
 //! are self-contained, so recordings match a one-benchmark-per-process
@@ -26,36 +34,99 @@ use gpusimpow_pm::{Baseline, ClusterGating, Ondemand, PowerCap, PowerTracer};
 use gpusimpow_power::GpuChip;
 use gpusimpow_sim::sink::RecordedLaunch;
 use gpusimpow_sim::{Gpu, GpuConfig, WindowRecorder};
+use gpusimpow_trace::KernelTrace;
 
 const WINDOW_CYCLES: u64 = 2048;
+
+/// Detaches the window recorder and takes its recordings.
+fn take_recordings(gpu: &mut Gpu) -> Vec<RecordedLaunch> {
+    let mut sink = gpu.detach_sink().expect("sink was attached");
+    let recorder = sink
+        .as_any_mut()
+        .expect("WindowRecorder is 'static")
+        .downcast_mut::<WindowRecorder>()
+        .expect("attached sink is a WindowRecorder");
+    std::mem::take(recorder).into_launches()
+}
+
+/// The `.gspt` files of a capture directory, in name order (capture
+/// writes zero-padded indices, so name order is launch order).
+fn trace_files(dir: &str) -> Vec<std::path::PathBuf> {
+    let mut files: Vec<_> = std::fs::read_dir(dir)
+        .unwrap_or_else(|e| panic!("--trace-in={dir}: {e}"))
+        .filter_map(|entry| {
+            let path = entry.expect("directory entry").path();
+            (path.extension().is_some_and(|x| x == "gspt")).then_some(path)
+        })
+        .collect();
+    files.sort();
+    assert!(!files.is_empty(), "--trace-in={dir}: no .gspt files");
+    files
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let pool = cli::pool_from_args(&args);
+    let trace_out = cli::eq_flag(&args, "trace-out");
+    let trace_in = cli::eq_flag(&args, "trace-in");
     let out_dir = args.iter().skip(1).find(|a| !a.starts_with("--")).cloned();
     let cfg = GpuConfig::gt240();
     let chip = GpuChip::new(&cfg).expect("GT240 chip builds");
 
-    // --- simulate, one recording GPU per benchmark ------------------------
-    // Jobs are identified by suite index; each reconstructs the suite to
-    // sidestep sending benchmark trait objects across threads.
-    let n_benches = small_benchmarks().len();
-    let recorded = pool.run((0..n_benches).collect(), |i| {
-        let bench = &small_benchmarks()[i];
-        let mut gpu = Gpu::new(GpuConfig::gt240()).expect("GT240 config builds");
-        gpu.attach_sink(WINDOW_CYCLES, Box::new(WindowRecorder::new()));
-        if let Err(e) = bench.run(&mut gpu) {
-            eprintln!("skipping {}: {e}", bench.name());
+    let launches: Vec<RecordedLaunch> = if let Some(dir) = &trace_in {
+        // --- replay frontend: recordings from captured traces -------------
+        let files = trace_files(dir);
+        println!("replaying {} captured traces from {dir}", files.len());
+        let recorded = pool.run(files, |path| {
+            let bytes = std::fs::read(&path).expect("trace file readable");
+            let trace =
+                KernelTrace::decode(&bytes).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+            let mut gpu = Gpu::new(GpuConfig::gt240()).expect("GT240 config builds");
+            gpu.attach_sink(WINDOW_CYCLES, Box::new(WindowRecorder::new()));
+            if let Err(e) = gpu.launch_replay(&trace) {
+                eprintln!("skipping {}: {e}", path.display());
+            }
+            take_recordings(&mut gpu)
+        });
+        recorded.into_iter().flatten().collect()
+    } else {
+        // --- live frontend, one recording GPU per benchmark ---------------
+        // Jobs are identified by suite index; each reconstructs the suite
+        // to sidestep sending benchmark trait objects across threads.
+        let capture = trace_out.is_some();
+        let n_benches = small_benchmarks().len();
+        let recorded = pool.run((0..n_benches).collect(), move |i| {
+            let bench = &small_benchmarks()[i];
+            let mut gpu = Gpu::new(GpuConfig::gt240()).expect("GT240 config builds");
+            gpu.attach_sink(WINDOW_CYCLES, Box::new(WindowRecorder::new()));
+            gpu.set_tracing(capture);
+            if let Err(e) = bench.run(&mut gpu) {
+                eprintln!("skipping {}: {e}", bench.name());
+            }
+            (take_recordings(&mut gpu), gpu.take_traces())
+        });
+        if let Some(dir) = &trace_out {
+            std::fs::create_dir_all(dir).expect("trace directory");
+            let mut written = 0usize;
+            for (_, traces) in &recorded {
+                for trace in traces {
+                    let safe: String = trace
+                        .name
+                        .chars()
+                        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+                        .collect();
+                    std::fs::write(format!("{dir}/{written:03}_{safe}.gspt"), trace.encode())
+                        .expect("trace written");
+                    written += 1;
+                }
+            }
+            println!("captured {written} traces into {dir}");
         }
-        let mut sink = gpu.detach_sink().expect("sink was attached");
-        let recorder = sink
-            .as_any_mut()
-            .expect("WindowRecorder is 'static")
-            .downcast_mut::<WindowRecorder>()
-            .expect("attached sink is a WindowRecorder");
-        std::mem::take(recorder).into_launches()
-    });
-    let launches: Vec<RecordedLaunch> = recorded.into_iter().flatten().collect();
+        recorded
+            .into_iter()
+            .flat_map(|(launches, _)| launches)
+            .collect()
+    };
 
     // --- replay under each governor ---------------------------------------
     let ungoverned = PowerTracer::new(chip.clone());

@@ -1,0 +1,151 @@
+//! CI gate for the trace frontend: captures GT240 traces of one suite
+//! benchmark (BlackScholes) and one micro kernel (the §III-D LFSR
+//! probe), replays them, and exits non-zero unless every replay is
+//! bit-identical to its live run — same counters, same time bits, same
+//! scoped breakdown. Also checks the two properties that make traces
+//! useful beyond checksumming: a GT240 capture replayed on the GTX580
+//! equals a live GTX580 run, and a `run_sweep_replay` from one capture
+//! equals per-config independent live runs.
+//!
+//! ```text
+//! cargo run --release -p gpusimpow-bench --bin trace_replay_check [out.json]
+//! ```
+//!
+//! Writes a trace-size stats artifact (`trace_stats.json` by default):
+//! per-trace encoded size, instruction counts and bytes/instruction,
+//! so format-bloat regressions show up in CI history.
+
+use std::fmt::Write as _;
+
+use gpusimpow_isa::LaunchConfig;
+use gpusimpow_kernels::{blackscholes::BlackScholes, micro, Benchmark};
+use gpusimpow_sim::{Gpu, GpuConfig, LaunchReport, SimPool};
+use gpusimpow_trace::KernelTrace;
+
+/// One captured launch, with everything the checks below compare.
+struct Captured {
+    label: &'static str,
+    live: LaunchReport,
+    trace: KernelTrace,
+}
+
+fn check_identical(live: &LaunchReport, replayed: &LaunchReport, what: &str) {
+    let mut bad = Vec::new();
+    if live.stats != replayed.stats {
+        bad.push("activity counters");
+    }
+    if live.time_s.to_bits() != replayed.time_s.to_bits() {
+        bad.push("time bits");
+    }
+    if live.scoped != replayed.scoped {
+        bad.push("scoped activity");
+    }
+    if bad.is_empty() {
+        println!("  ok: {what}");
+    } else {
+        eprintln!("FAIL: {what}: replay diverged in {}", bad.join(", "));
+        std::process::exit(1);
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let out_path = args
+        .iter()
+        .skip(1)
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "trace_stats.json".to_string());
+
+    // --- capture on GT240 --------------------------------------------------
+    println!("capturing GT240 traces");
+    let mut captured = Vec::new();
+
+    let mut gpu = Gpu::new(GpuConfig::gt240()).expect("preset builds");
+    gpu.set_tracing(true);
+    let live = BlackScholes { options: 2048 }
+        .run(&mut gpu)
+        .expect("benchmark verifies")
+        .remove(0);
+    captured.push(Captured {
+        label: "blackscholes",
+        live,
+        trace: gpu.take_traces().remove(0),
+    });
+
+    let lfsr = micro::lfsr_kernel(32, 64);
+    let mut gpu = Gpu::new(GpuConfig::gt240()).expect("preset builds");
+    gpu.set_tracing(true);
+    let live = gpu
+        .launch(&lfsr, LaunchConfig::linear(4, 128))
+        .expect("micro kernel runs");
+    captured.push(Captured {
+        label: "lfsr",
+        live,
+        trace: gpu.take_traces().remove(0),
+    });
+
+    // --- replay bit-identity (through the byte format) ---------------------
+    println!("replay vs live, GT240");
+    for c in &captured {
+        let decoded = KernelTrace::decode(&c.trace.encode()).expect("trace roundtrips");
+        let mut gpu = Gpu::new(GpuConfig::gt240()).expect("preset builds");
+        let replayed = gpu.launch_replay(&decoded).expect("trace replays");
+        check_identical(&c.live, &replayed, c.label);
+    }
+
+    // --- cross-config: GT240 capture on GTX580 -----------------------------
+    println!("GT240 captures replayed on GTX580 vs live GTX580");
+    {
+        let mut gpu = Gpu::new(GpuConfig::gtx580()).expect("preset builds");
+        let live = gpu
+            .launch(&lfsr, LaunchConfig::linear(4, 128))
+            .expect("micro kernel runs");
+        let mut gpu = Gpu::new(GpuConfig::gtx580()).expect("preset builds");
+        let replayed = gpu
+            .launch_replay(&captured[1].trace)
+            .expect("trace replays");
+        check_identical(&live, &replayed, "lfsr cross-config");
+    }
+
+    // --- sweep from one capture vs independent live runs -------------------
+    println!("one-capture sweep vs independent live runs");
+    {
+        let configs = [GpuConfig::gt240(), GpuConfig::gtx580()];
+        let pool = SimPool::new(2);
+        let swept = pool.run_sweep_replay(&captured[1].trace, &configs, |_, _| Ok(()));
+        for (cfg, swept) in configs.iter().zip(swept) {
+            let swept = swept.expect("sweep member replays");
+            let mut gpu = Gpu::new(cfg.clone()).expect("preset builds");
+            let live = gpu
+                .launch(&lfsr, LaunchConfig::linear(4, 128))
+                .expect("micro kernel runs");
+            check_identical(&live, &swept, "lfsr sweep member");
+        }
+    }
+
+    // --- size stats artifact ------------------------------------------------
+    // Hand-rolled JSON: the offline workspace vendors no serializer.
+    let mut json = String::new();
+    json.push_str("{\n  \"generated_by\": \"trace_replay_check\",\n  \"traces\": [\n");
+    for (i, c) in captured.iter().enumerate() {
+        let bytes = c.trace.encode().len();
+        let instrs = c.trace.warp_instructions();
+        let _ = writeln!(
+            json,
+            "    {{\"name\": \"{}\", \"warps\": {}, \"warp_instructions\": {}, \
+             \"encoded_bytes\": {}, \"bytes_per_instruction\": {:.3}}}{}",
+            c.label,
+            c.trace.streams.len(),
+            instrs,
+            bytes,
+            bytes as f64 / instrs.max(1) as f64,
+            if i + 1 < captured.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, &json).expect("write trace stats json");
+    eprintln!("wrote {out_path}");
+    print!("{json}");
+    println!("trace replay check: OK");
+}

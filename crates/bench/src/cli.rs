@@ -40,6 +40,16 @@ pub fn threads_from_args(args: &[String]) -> usize {
     0
 }
 
+/// Extracts the value of a `--name=VALUE` flag. Only the `=` form is
+/// accepted: several binaries scan for a *positional* output directory
+/// as "the first argument not starting with `--`", and a space-
+/// separated flag value would be swallowed by that scan.
+pub fn eq_flag(args: &[String], name: &str) -> Option<String> {
+    let prefix = format!("--{name}=");
+    args.iter()
+        .find_map(|a| a.strip_prefix(&prefix).map(str::to_string))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -62,6 +72,15 @@ mod tests {
             pool_from_args(&args(&["bin", "--threads", "1"])).threads(),
             1
         );
+    }
+
+    #[test]
+    fn eq_flag_parses_only_the_equals_form() {
+        let a = args(&["bin", "--trace-out=traces", "--threads", "2"]);
+        assert_eq!(eq_flag(&a, "trace-out"), Some("traces".to_string()));
+        assert_eq!(eq_flag(&a, "trace-in"), None);
+        let spaced = args(&["bin", "--trace-out", "traces"]);
+        assert_eq!(eq_flag(&spaced, "trace-out"), None);
     }
 
     #[test]

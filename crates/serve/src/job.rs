@@ -22,6 +22,7 @@ use gpusimpow_pm::{Baseline, ClusterOndemand, Governor, Ondemand, PowerCap, Powe
 use gpusimpow_power::{GpuChip, ScopedPowerReport};
 use gpusimpow_sim::{Gpu, GpuConfig, LaunchReport, RecordedLaunch, WindowRecorder};
 use gpusimpow_tech::units::Power;
+use gpusimpow_trace::{KernelTrace, TraceDigest};
 
 use crate::digest::JobDigest;
 use crate::wire::{Reader, WireError, Writer};
@@ -46,6 +47,12 @@ const MAX_BLOCKS: u32 = 65_536;
 
 /// Upper bound on loop-iteration parameters of the micro kernels.
 const MAX_ITERATIONS: u32 = 1 << 20;
+
+/// Upper bound on an embedded trace payload. Well under the wire
+/// frame limit (`crate::wire::MAX_LEN`), and far above any trace the
+/// small suite captures, but low enough that a garbage submission
+/// cannot pin a worker decoding gigabytes.
+pub const MAX_TRACE_BYTES: usize = 16 << 20;
 
 /// A job failure: the spec was invalid, or the simulation itself
 /// failed.
@@ -234,6 +241,16 @@ pub enum KernelSpec {
         /// `true` for the reduced workload sizes.
         small: bool,
     },
+    /// A client-captured instruction trace, replayed through the
+    /// timing pipeline ([`Gpu::launch_replay`]). The job embeds the
+    /// encoded v1 trace verbatim, so the canonical bytes — and hence
+    /// the digest — are a content address of the trace itself: the
+    /// same capture resubmitted from anywhere hits the same cache
+    /// slot, and sweeps replay one capture across presets.
+    Trace {
+        /// The `gpusimpow-trace` v1 encoding ([`KernelTrace::encode`]).
+        bytes: Vec<u8>,
+    },
 }
 
 impl KernelSpec {
@@ -271,6 +288,11 @@ impl KernelSpec {
             KernelSpec::Suite { index, small } => format!(
                 "suite[{index}]{}",
                 if *small { " (small)" } else { " (default)" }
+            ),
+            KernelSpec::Trace { bytes } => format!(
+                "trace({}, {} bytes)",
+                &TraceDigest::compute(bytes).to_hex()[..8],
+                bytes.len()
             ),
         }
     }
@@ -338,6 +360,10 @@ impl KernelSpec {
                 w.put_u8(index);
                 w.put_u8(u8::from(small));
             }
+            KernelSpec::Trace { ref bytes } => {
+                w.put_u8(6);
+                w.put_bytes(bytes);
+            }
         }
     }
 
@@ -382,6 +408,9 @@ impl KernelSpec {
                         )))
                     }
                 },
+            },
+            6 => KernelSpec::Trace {
+                bytes: r.bytes("trace bytes")?.to_vec(),
             },
             t => Err(WireError::Malformed(format!("unknown kernel tag {t}")))?,
         })
@@ -480,6 +509,20 @@ impl KernelSpec {
                     )));
                 }
                 Ok(())
+            }
+            KernelSpec::Trace { ref bytes } => {
+                if bytes.len() > MAX_TRACE_BYTES {
+                    return Err(JobError::Invalid(format!(
+                        "trace is {} bytes, cap is {MAX_TRACE_BYTES}",
+                        bytes.len()
+                    )));
+                }
+                // Full decode: magic/version, structural bounds, the
+                // integrity digest and the geometry checks all run
+                // here, so a worker never sees a malformed trace.
+                KernelTrace::decode(bytes)
+                    .map(|_| ())
+                    .map_err(|e| JobError::Invalid(format!("trace rejected: {e}")))
             }
         }
     }
@@ -764,6 +807,22 @@ fn simulate(
             let recorded = take_recordings(sim.gpu_mut(), spec.window_cycles);
             Ok((reports.into_iter().map(|r| r.launch).collect(), recorded))
         }
+        KernelSpec::Trace { bytes } => {
+            // validate() already proved the bytes decode; decode again
+            // here rather than thread the parsed trace through, so the
+            // worker path stays a pure function of the spec.
+            let trace = KernelTrace::decode(bytes)
+                .map_err(|e| JobError::Invalid(format!("trace rejected: {e}")))?;
+            let mut gpu = Gpu::new(cfg).map_err(|e| JobError::Sim(e.to_string()))?;
+            if spec.window_cycles > 0 {
+                gpu.attach_sink(spec.window_cycles, Box::new(WindowRecorder::new()));
+            }
+            let report = gpu
+                .launch_replay(&trace)
+                .map_err(|e| JobError::Sim(e.to_string()))?;
+            let recorded = take_recordings(&mut gpu, spec.window_cycles);
+            Ok((vec![report], recorded))
+        }
         micro_spec => {
             let (kernel, launch) = match *micro_spec {
                 KernelSpec::ClusterStep {
@@ -809,7 +868,9 @@ fn simulate(
                     micro::conflict_kernel(stride, iterations),
                     LaunchConfig::linear(blocks, threads),
                 ),
-                KernelSpec::Suite { .. } => unreachable!("handled above"),
+                KernelSpec::Suite { .. } | KernelSpec::Trace { .. } => {
+                    unreachable!("handled above")
+                }
             };
             let mut gpu = Gpu::new(cfg).map_err(|e| JobError::Sim(e.to_string()))?;
             if spec.window_cycles > 0 {
@@ -977,6 +1038,57 @@ mod tests {
             // And the decoder refuses the same encoding.
             assert!(JobSpec::decode(&spec.canonical_bytes()).is_err());
         }
+    }
+
+    fn trace_spec() -> JobSpec {
+        JobSpec {
+            kernel: KernelSpec::Trace {
+                bytes: gpusimpow_trace::synth::stride_family(2, 2, 4, 2).encode(),
+            },
+            gpu: GpuPreset::Gt240,
+            governor: GovernorSpec::Baseline,
+            window_cycles: 0,
+        }
+    }
+
+    #[test]
+    fn trace_job_roundtrips_and_is_content_addressed() {
+        let spec = trace_spec();
+        let bytes = spec.canonical_bytes();
+        let back = JobSpec::decode(&bytes).unwrap();
+        assert_eq!(back, spec);
+        // Rebuilding the same capture yields the same digest — the
+        // trace bytes, not the submission, are the cache identity.
+        assert_eq!(trace_spec().digest(), spec.digest());
+    }
+
+    #[test]
+    fn trace_job_validation_rejects_corruption_and_oversize() {
+        let mut corrupt = trace_spec();
+        if let KernelSpec::Trace { ref mut bytes } = corrupt.kernel {
+            let mid = bytes.len() / 2;
+            bytes[mid] ^= 0x40;
+        }
+        assert!(matches!(corrupt.validate(), Err(JobError::Invalid(_))));
+        assert!(JobSpec::decode(&corrupt.canonical_bytes()).is_err());
+
+        let oversized = JobSpec {
+            kernel: KernelSpec::Trace {
+                bytes: vec![0; MAX_TRACE_BYTES + 1],
+            },
+            ..trace_spec()
+        };
+        assert!(matches!(oversized.validate(), Err(JobError::Invalid(_))));
+    }
+
+    #[test]
+    fn trace_job_runs_and_repeats_bit_identically() {
+        let spec = trace_spec();
+        let a = run_job(&spec).unwrap();
+        let b = run_job(&spec).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.reports.len(), 1);
+        assert!(a.reports[0].report.total_power().watts() > 0.0);
     }
 
     #[test]

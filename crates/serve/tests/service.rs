@@ -183,6 +183,59 @@ fn cached_result_is_byte_identical_to_direct_run() {
     server.join();
 }
 
+/// A captured trace submitted as a job round-trips the whole service —
+/// capture on the "client", replay on a server worker, power-evaluate,
+/// cache, ship — and the answer equals a local power evaluation of the
+/// *live* run it was captured from (exact f64 bits). Resubmission hits
+/// the cache: the digest is a content address of the trace bytes.
+#[test]
+fn trace_job_matches_local_evaluation_of_the_captured_run() {
+    use gpusimpow_kernels::{blackscholes::BlackScholes, Benchmark};
+    use gpusimpow_power::GpuChip;
+    use gpusimpow_sim::{Gpu, GpuConfig};
+
+    let cfg = GpuConfig::gt240();
+    let mut gpu = Gpu::new(cfg.clone()).unwrap();
+    gpu.set_tracing(true);
+    let live = BlackScholes { options: 1024 }
+        .run(&mut gpu)
+        .unwrap()
+        .remove(0);
+    let trace = gpu.take_traces().remove(0);
+    let chip = GpuChip::new(&cfg).unwrap();
+    let local = chip.evaluate_scoped(&live.kernel, &live.stats, &live.scoped);
+
+    let spec = JobSpec {
+        kernel: KernelSpec::Trace {
+            bytes: trace.encode(),
+        },
+        gpu: GpuPreset::Gt240,
+        governor: GovernorSpec::Baseline,
+        window_cycles: 0,
+    };
+
+    let server = start_server();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let cold = client
+        .submit(std::slice::from_ref(&spec))
+        .unwrap()
+        .remove(0);
+    assert_eq!(cold.source, ResultSource::Simulated);
+    let served = decode_result(cold.payload.as_ref().unwrap()).unwrap();
+    assert_eq!(served.reports.len(), 1);
+    assert_eq!(
+        served.reports[0], local,
+        "served replay evaluation equals local live-run evaluation"
+    );
+
+    let warm = client.submit(&[spec]).unwrap().remove(0);
+    assert_eq!(warm.source, ResultSource::MemoryHit);
+    assert_eq!(warm.payload, cold.payload);
+
+    client.shutdown().unwrap();
+    server.join();
+}
+
 /// A multi-preset sweep is pure server-side expansion: its outcomes
 /// are byte-identical to individually submitted per-preset jobs, and
 /// sweep members share cache slots with individual submissions in both

@@ -26,6 +26,7 @@ use crate::events::{ActivityVector, EventKind as Ev};
 use crate::func;
 use crate::ldst;
 use crate::mem::GpuMemory;
+use crate::replay::{ReplaySource, Tracer, WarpCapture};
 use crate::simt_stack::{LaneMask, SimtStack};
 use crate::wheel::EventWheel;
 
@@ -43,6 +44,10 @@ pub struct LaunchCtx<'a> {
     /// Pre-decoded metadata for every instruction of the kernel,
     /// indexed by PC (see [`DecodedInstr::decode_kernel`]).
     pub decoded: &'a [DecodedInstr],
+    /// Recorded warp streams driving this launch, when the replay
+    /// frontend is active (see [`crate::replay::ReplaySource`]); `None`
+    /// under the live frontend.
+    pub replay: Option<&'a ReplaySource<'a>>,
 }
 
 /// Pre-decoded instruction metadata, derived once per launch and shared
@@ -506,6 +511,12 @@ pub struct Core {
     /// events), merged by the GPU after a launch and exposed per-core
     /// through [`crate::gpu::ScopedActivity`].
     pub stats: ActivityVector,
+    /// Capture/replay frontend state for the current launch (`Off`
+    /// under the live frontend; see [`crate::replay::Tracer`]). Capture
+    /// records the issued-PC/branch-mask/address streams without
+    /// touching stats or timing; replay substitutes them for the
+    /// functional value layer.
+    tracer: Tracer,
 }
 
 impl Core {
@@ -555,6 +566,7 @@ impl Core {
             fetch_ready: !0,
             scratch: LaneScratch::new(),
             stats: ActivityVector::new(),
+            tracer: Tracer::Off,
         }
     }
 
@@ -668,6 +680,8 @@ impl Core {
             for mask in &mut self.class_next {
                 clear_hint(mask, slot);
             }
+            self.tracer
+                .attach_warp(slot, block_x, block_y, w as u32, ctx.replay);
             warp_slots.push(slot);
         }
         self.smem_in_use += ctx.kernel.smem_bytes();
@@ -679,6 +693,34 @@ impl Core {
         });
         self.cta_coords.insert(cta_slot, (block_x, block_y));
         self.stats[Ev::CtasDispatched] += 1;
+    }
+
+    /// Switches the frontend back to live execution, dropping any
+    /// capture/replay state from a previous launch.
+    pub(crate) fn set_tracer_off(&mut self) {
+        self.tracer.set_off();
+    }
+
+    /// Arms stream capture for the next launch.
+    pub(crate) fn set_tracer_capture(&mut self) {
+        self.tracer.set_capture(self.max_warps);
+    }
+
+    /// Arms trace replay for the next launch (streams arrive through
+    /// `LaunchCtx::replay`).
+    pub(crate) fn set_tracer_replay(&mut self) {
+        self.tracer.set_replay(self.max_warps);
+    }
+
+    /// Drains the capture buffers of every warp retired since capture
+    /// was armed.
+    pub(crate) fn take_captured_warps(&mut self) -> Vec<WarpCapture> {
+        self.tracer.take_captured()
+    }
+
+    /// The first trace/pipeline divergence recorded during replay.
+    pub(crate) fn take_replay_desync(&mut self) -> Option<String> {
+        self.tracer.take_desync()
     }
 
     fn schedule(&mut self, cycle: u64, completion: Completion) {
@@ -1158,7 +1200,7 @@ impl Core {
         ctx: &LaunchCtx<'_>,
         mem: &GpuMemory,
     ) -> IssueProbe {
-        let (di, mask) = {
+        let (di, mask, pc) = {
             let w = match self.warps[slot].as_ref() {
                 Some(w) => w,
                 None => return IssueProbe::Blocked,
@@ -1197,7 +1239,7 @@ impl Core {
                 Some(e) => e,
                 None => return IssueProbe::Blocked,
             };
-            (di, entry.mask)
+            (di, entry.mask, pc)
         };
 
         // Unit availability. On barrel configs these failures are
@@ -1249,6 +1291,9 @@ impl Core {
         }
         self.work = true;
         self.account_issue(&di, mask);
+        // Capture records the issued PC; replay checks it against the
+        // recorded stream. No-op on the live frontend.
+        self.tracer.on_issue(slot, pc, ctx.replay);
         let latency = match class {
             InstrClass::Int => cfg.int_latency as u64,
             InstrClass::Fp => cfg.fp_latency as u64,
@@ -1379,6 +1424,12 @@ impl Core {
     ) -> Option<(u64, Option<Reg>)> {
         let ws = cfg.warp_size;
         let full = warp_full_mask(ws);
+        // The replay frontend skips the functional value layer: register
+        // contents are never read (branch masks and memory addresses come
+        // from the recorded streams instead), so the gather/eval/scatter
+        // work below is elided while the architectural PC advancement —
+        // which the timing model does consume — runs identically.
+        let replaying = self.tracer.is_replay();
 
         macro_rules! warp {
             () => {
@@ -1390,34 +1441,40 @@ impl Core {
         // staging copies, no allocation.
         macro_rules! unary {
             ($a:expr, $dst:expr, $eval:expr) => {{
-                let w = self.warps[slot].as_mut().expect("live warp");
-                let sc = &mut self.scratch;
-                gather_row(&w.regs, ws, $a, &mut sc.a);
-                $eval(&sc.a[..ws], &mut sc.out[..ws]);
-                scatter_row(&mut w.regs, ws, $dst, &sc.out, mask, full);
+                if !replaying {
+                    let w = self.warps[slot].as_mut().expect("live warp");
+                    let sc = &mut self.scratch;
+                    gather_row(&w.regs, ws, $a, &mut sc.a);
+                    $eval(&sc.a[..ws], &mut sc.out[..ws]);
+                    scatter_row(&mut w.regs, ws, $dst, &sc.out, mask, full);
+                }
                 self.advance(slot, cycle);
             }};
         }
         macro_rules! binary {
             ($a:expr, $b:expr, $dst:expr, $eval:expr) => {{
-                let w = self.warps[slot].as_mut().expect("live warp");
-                let sc = &mut self.scratch;
-                gather_row(&w.regs, ws, $a, &mut sc.a);
-                gather_row(&w.regs, ws, $b, &mut sc.b);
-                $eval(&sc.a[..ws], &sc.b[..ws], &mut sc.out[..ws]);
-                scatter_row(&mut w.regs, ws, $dst, &sc.out, mask, full);
+                if !replaying {
+                    let w = self.warps[slot].as_mut().expect("live warp");
+                    let sc = &mut self.scratch;
+                    gather_row(&w.regs, ws, $a, &mut sc.a);
+                    gather_row(&w.regs, ws, $b, &mut sc.b);
+                    $eval(&sc.a[..ws], &sc.b[..ws], &mut sc.out[..ws]);
+                    scatter_row(&mut w.regs, ws, $dst, &sc.out, mask, full);
+                }
                 self.advance(slot, cycle);
             }};
         }
         macro_rules! ternary {
             ($a:expr, $b:expr, $c:expr, $dst:expr, $eval:expr) => {{
-                let w = self.warps[slot].as_mut().expect("live warp");
-                let sc = &mut self.scratch;
-                gather_row(&w.regs, ws, $a, &mut sc.a);
-                gather_row(&w.regs, ws, $b, &mut sc.b);
-                gather_row(&w.regs, ws, $c, &mut sc.c);
-                $eval(&sc.a[..ws], &sc.b[..ws], &sc.c[..ws], &mut sc.out[..ws]);
-                scatter_row(&mut w.regs, ws, $dst, &sc.out, mask, full);
+                if !replaying {
+                    let w = self.warps[slot].as_mut().expect("live warp");
+                    let sc = &mut self.scratch;
+                    gather_row(&w.regs, ws, $a, &mut sc.a);
+                    gather_row(&w.regs, ws, $b, &mut sc.b);
+                    gather_row(&w.regs, ws, $c, &mut sc.c);
+                    $eval(&sc.a[..ws], &sc.b[..ws], &sc.c[..ws], &mut sc.out[..ws]);
+                    scatter_row(&mut w.regs, ws, $dst, &sc.out, mask, full);
+                }
                 self.advance(slot, cycle);
             }};
         }
@@ -1447,6 +1504,10 @@ impl Core {
                 ternary!(Operand::Reg(cond), a, b, dst, func::eval_sel_lanes)
             }
             Instr::S2R { dst, sr } => {
+                if replaying {
+                    self.advance(slot, cycle);
+                    return None;
+                }
                 let block = ctx.launch.block;
                 let grid = ctx.launch.grid;
                 let (bx, by) = {
@@ -1498,20 +1559,31 @@ impl Core {
                 reconv,
             } => {
                 self.stats[Ev::Branches] += 1;
-                let (taken, fallthrough) = {
+                let (computed, fallthrough) = {
                     let w = self.warps[slot].as_ref().expect("live warp");
                     let entry = w.stack.current().expect("executing warp has a token");
-                    // Dense truth mask over the whole condition row,
-                    // confined to the active lanes afterwards.
-                    let base = cond.index() * ws;
-                    let row = &w.regs[base..base + ws];
-                    let mut truth: LaneMask = 0;
-                    for (lane, &c) in row.iter().enumerate() {
-                        truth |= ((c != 0) as u64) << lane;
-                    }
-                    let taken = if negate { mask & !truth } else { mask & truth };
+                    let taken = if replaying {
+                        // Substituted from the recorded stream below;
+                        // the register row holds no values in replay.
+                        0
+                    } else {
+                        // Dense truth mask over the whole condition row,
+                        // confined to the active lanes afterwards.
+                        let base = cond.index() * ws;
+                        let row = &w.regs[base..base + ws];
+                        let mut truth: LaneMask = 0;
+                        for (lane, &c) in row.iter().enumerate() {
+                            truth |= ((c != 0) as u64) << lane;
+                        }
+                        if negate {
+                            mask & !truth
+                        } else {
+                            mask & truth
+                        }
+                    };
                     (taken, entry.pc + 1)
                 };
+                let taken = self.tracer.branch_mask(slot, computed, mask, ctx.replay);
                 let w = warp!();
                 let act = w.stack.branch(target, reconv, taken, fallthrough);
                 if act.diverged {
@@ -1600,6 +1672,9 @@ impl Core {
             let w = self.warps[slot].as_mut().expect("live warp");
             w.done = true;
         }
+        // Capture banks the retired warp's streams; replay verifies the
+        // recorded stream was consumed exactly.
+        self.tracer.finish_warp(slot, ctx.replay);
         let (cta_done, needs_release) = {
             let cta = self.ctas[cta_slot].as_mut().expect("live cta");
             cta.live_warps -= 1;
@@ -1663,14 +1738,23 @@ impl Core {
         };
 
         // Dense per-lane address generation over the contiguous register
-        // row.
-        {
-            let w = self.warps[slot].as_ref().expect("live warp");
-            let base = addr_reg.index() * ws;
-            let row = &w.regs[base..base + ws];
-            for (o, &b) in self.scratch.addrs[..ws].iter_mut().zip(row) {
-                *o = b.wrapping_add(offset as u32);
+        // row — or, under the replay frontend, the recorded active-lane
+        // addresses (same values the capture run generated here).
+        let replaying = self.tracer.is_replay();
+        if replaying {
+            self.tracer
+                .fill_addrs(slot, mask, &mut self.scratch.addrs[..ws], ctx.replay);
+        } else {
+            {
+                let w = self.warps[slot].as_ref().expect("live warp");
+                let base = addr_reg.index() * ws;
+                let row = &w.regs[base..base + ws];
+                for (o, &b) in self.scratch.addrs[..ws].iter_mut().zip(row) {
+                    *o = b.wrapping_add(offset as u32);
+                }
             }
+            self.tracer
+                .record_addrs(slot, mask, &self.scratch.addrs[..ws]);
         }
 
         match space {
@@ -1688,30 +1772,35 @@ impl Core {
                 let plan = ldst::smem_conflicts_lanes(&self.scratch.words, cfg.smem_banks as u32);
                 self.stats[Ev::SmemAccesses] += plan.bank_accesses as u64;
                 self.stats[Ev::SmemBankConflictCycles] += plan.passes.saturating_sub(1) as u64;
-                let cta_slot = self.warps[slot].as_ref().expect("live warp").cta_slot;
                 // Functional access to the CTA's shared array; `warps`,
-                // `ctas` and `scratch` are disjoint fields.
-                if let Some(d) = dst {
-                    let w = self.warps[slot].as_mut().expect("live warp");
-                    let cta = self.ctas[cta_slot].as_ref().expect("live cta");
-                    let addrs = &self.scratch.addrs;
-                    let dbase = d.index() * ws;
-                    let mut m = mask;
-                    while m != 0 {
-                        let lane = m.trailing_zeros() as usize;
-                        m &= m - 1;
-                        w.regs[dbase + lane] = read_smem(&cta.smem, addrs[lane]);
-                    }
-                } else if let Some(s) = src {
-                    let w = self.warps[slot].as_ref().expect("live warp");
-                    let cta = self.ctas[cta_slot].as_mut().expect("live cta");
-                    let addrs = &self.scratch.addrs;
-                    let sbase = s.index() * ws;
-                    let mut m = mask;
-                    while m != 0 {
-                        let lane = m.trailing_zeros() as usize;
-                        m &= m - 1;
-                        write_smem(&mut cta.smem, addrs[lane], w.regs[sbase + lane]);
+                // `ctas` and `scratch` are disjoint fields. Skipped by
+                // the replay frontend (no register/memory values), which
+                // also keeps the shared-array bounds asserts out of
+                // reach of hostile trace addresses.
+                if !replaying {
+                    let cta_slot = self.warps[slot].as_ref().expect("live warp").cta_slot;
+                    if let Some(d) = dst {
+                        let w = self.warps[slot].as_mut().expect("live warp");
+                        let cta = self.ctas[cta_slot].as_ref().expect("live cta");
+                        let addrs = &self.scratch.addrs;
+                        let dbase = d.index() * ws;
+                        let mut m = mask;
+                        while m != 0 {
+                            let lane = m.trailing_zeros() as usize;
+                            m &= m - 1;
+                            w.regs[dbase + lane] = read_smem(&cta.smem, addrs[lane]);
+                        }
+                    } else if let Some(s) = src {
+                        let w = self.warps[slot].as_ref().expect("live warp");
+                        let cta = self.ctas[cta_slot].as_mut().expect("live cta");
+                        let addrs = &self.scratch.addrs;
+                        let sbase = s.index() * ws;
+                        let mut m = mask;
+                        while m != 0 {
+                            let lane = m.trailing_zeros() as usize;
+                            m &= m - 1;
+                            write_smem(&mut cta.smem, addrs[lane], w.regs[sbase + lane]);
+                        }
                     }
                 }
                 self.busy_ldst = self
@@ -1736,21 +1825,24 @@ impl Core {
                 }
                 let unique = ldst::const_unique_lanes(&self.scratch.words);
                 self.stats[Ev::ConstAccesses] += unique as u64;
-                // Functional read through this core's store overlay.
-                if let Some(d) = dst {
-                    let w = self.warps[slot].as_mut().expect("live warp");
-                    let addrs = &self.scratch.addrs;
-                    let store_buf = &self.store_buf;
-                    let dbase = d.index() * ws;
-                    let mut m = mask;
-                    while m != 0 {
-                        let lane = m.trailing_zeros() as usize;
-                        m &= m - 1;
-                        w.regs[dbase + lane] = read_global_overlay(
-                            store_buf,
-                            mem,
-                            ctx.const_base.wrapping_add(addrs[lane]),
-                        );
+                // Functional read through this core's store overlay
+                // (skipped under replay: no register values to fill).
+                if !replaying {
+                    if let Some(d) = dst {
+                        let w = self.warps[slot].as_mut().expect("live warp");
+                        let addrs = &self.scratch.addrs;
+                        let store_buf = &self.store_buf;
+                        let dbase = d.index() * ws;
+                        let mut m = mask;
+                        while m != 0 {
+                            let lane = m.trailing_zeros() as usize;
+                            m &= m - 1;
+                            w.regs[dbase + lane] = read_global_overlay(
+                                store_buf,
+                                mem,
+                                ctx.const_base.wrapping_add(addrs[lane]),
+                            );
+                        }
                     }
                 }
                 // Probe the constant cache per distinct 64 B line.
@@ -1795,28 +1887,35 @@ impl Core {
 
                 // Functional access first. Loads see this core's own
                 // buffered stores (read-your-own-writes via the overlay);
-                // stores buffer until the serial commit phase.
-                if let Some(d) = dst {
-                    let w = self.warps[slot].as_mut().expect("live warp");
-                    let addrs = &self.scratch.addrs;
-                    let store_buf = &self.store_buf;
-                    let dbase = d.index() * ws;
-                    let mut m = mask;
-                    while m != 0 {
-                        let lane = m.trailing_zeros() as usize;
-                        m &= m - 1;
-                        w.regs[dbase + lane] = read_global_overlay(store_buf, mem, addrs[lane]);
-                    }
-                } else if let Some(s) = src {
-                    let w = self.warps[slot].as_ref().expect("live warp");
-                    let addrs = &self.scratch.addrs;
-                    let store_buf = &mut self.store_buf;
-                    let sbase = s.index() * ws;
-                    let mut m = mask;
-                    while m != 0 {
-                        let lane = m.trailing_zeros() as usize;
-                        m &= m - 1;
-                        buffer_store_into(store_buf, mem, addrs[lane], w.regs[sbase + lane]);
+                // stores buffer until the serial commit phase. The
+                // replay frontend skips this value layer entirely —
+                // timing-wise a store is represented by the NoC request
+                // pushed below in the same tick, so the batched-stepping
+                // side-effect scan fires on the identical cycle either
+                // way.
+                if !replaying {
+                    if let Some(d) = dst {
+                        let w = self.warps[slot].as_mut().expect("live warp");
+                        let addrs = &self.scratch.addrs;
+                        let store_buf = &self.store_buf;
+                        let dbase = d.index() * ws;
+                        let mut m = mask;
+                        while m != 0 {
+                            let lane = m.trailing_zeros() as usize;
+                            m &= m - 1;
+                            w.regs[dbase + lane] = read_global_overlay(store_buf, mem, addrs[lane]);
+                        }
+                    } else if let Some(s) = src {
+                        let w = self.warps[slot].as_ref().expect("live warp");
+                        let addrs = &self.scratch.addrs;
+                        let store_buf = &mut self.store_buf;
+                        let sbase = s.index() * ws;
+                        let mut m = mask;
+                        while m != 0 {
+                            let lane = m.trailing_zeros() as usize;
+                            m &= m - 1;
+                            buffer_store_into(store_buf, mem, addrs[lane], w.regs[sbase + lane]);
+                        }
                     }
                 }
 

@@ -9,12 +9,14 @@
 use std::fmt;
 
 use gpusimpow_isa::{Kernel, LaunchConfig};
+use gpusimpow_trace::{KernelTrace, WarpStream};
 
 use crate::config::{ConfigError, GpuConfig};
 use crate::core::{Core, DecodedInstr, LaunchCtx, MemRequest};
 use crate::events::{ActivityVector, EventKind as Ev};
 use crate::mem::{DevicePtr, GpuMemory};
 use crate::parallel::{available_threads, CorePool};
+use crate::replay::ReplaySource;
 use crate::sink::{ActivitySink, ActivityWindow};
 use crate::stats::ActivityStats;
 use crate::uncore::{RouteToken, Uncore};
@@ -32,6 +34,11 @@ pub enum SimError {
         /// Cycle count at which the simulation was aborted.
         cycles: u64,
     },
+    /// A trace could not drive the replay frontend: it was rejected up
+    /// front (bad geometry, wrong warp size, invalid kernel image) or
+    /// it diverged from the pipeline mid-run (wrong PC, exhausted
+    /// stream).
+    Replay(String),
 }
 
 impl fmt::Display for SimError {
@@ -42,6 +49,7 @@ impl fmt::Display for SimError {
             SimError::Watchdog { cycles } => {
                 write!(f, "simulation watchdog tripped after {cycles} cycles")
             }
+            SimError::Replay(msg) => write!(f, "trace replay failed: {msg}"),
         }
     }
 }
@@ -186,6 +194,10 @@ pub struct Gpu {
     pool: Option<CorePool>,
     fast_forward: bool,
     batch_stepping: bool,
+    /// Whether live launches also capture their warp streams.
+    tracing: bool,
+    /// Traces banked by capture-enabled launches, in launch order.
+    captured: Vec<KernelTrace>,
 }
 
 /// An attached sampling sink plus its window width.
@@ -246,6 +258,8 @@ impl Gpu {
             pool: None,
             fast_forward: true,
             batch_stepping: true,
+            tracing: false,
+            captured: Vec::new(),
         })
     }
 
@@ -433,7 +447,7 @@ impl Gpu {
         kernel: &Kernel,
         launch: LaunchConfig,
     ) -> Result<LaunchReport, SimError> {
-        self.launch_outer(kernel, launch, None)
+        self.launch_outer(kernel, launch, None, None)
     }
 
     /// Runs `kernel` like [`Gpu::launch`], reusing a pre-decoded
@@ -456,7 +470,7 @@ impl Gpu {
         launch: LaunchConfig,
         decoded: &[DecodedInstr],
     ) -> Result<LaunchReport, SimError> {
-        self.launch_outer(kernel, launch, Some(decoded))
+        self.launch_outer(kernel, launch, Some(decoded), None)
     }
 
     fn launch_outer(
@@ -464,6 +478,7 @@ impl Gpu {
         kernel: &Kernel,
         launch: LaunchConfig,
         decoded: Option<&[DecodedInstr]>,
+        replay: Option<&ReplaySource<'_>>,
     ) -> Result<LaunchReport, SimError> {
         // Taking the slot lets `launch_impl` borrow the sink and the GPU
         // simultaneously; it is restored afterwards either way.
@@ -473,12 +488,123 @@ impl Gpu {
                 launch,
                 Some((slot.window_cycles, slot.sink.as_mut())),
                 decoded,
+                replay,
             );
             self.attached = Some(slot);
             result
         } else {
-            self.launch_impl(kernel, launch, None, decoded)
+            self.launch_impl(kernel, launch, None, decoded, replay)
         }
+    }
+
+    // --- trace capture & replay -----------------------------------------------
+
+    /// Enables or disables warp-stream capture for subsequent live
+    /// launches. While enabled, every [`Gpu::launch`] /
+    /// [`Gpu::launch_decoded`] additionally records the per-warp
+    /// instruction, branch-mask and memory-address streams the pipeline
+    /// consumes and banks them as a [`KernelTrace`] (drain with
+    /// [`Gpu::take_traces`]). Capture never perturbs results: the
+    /// recorded run's report is bit-identical to an untraced one.
+    pub fn set_tracing(&mut self, enabled: bool) {
+        self.tracing = enabled;
+    }
+
+    /// Whether warp-stream capture is enabled.
+    pub fn tracing(&self) -> bool {
+        self.tracing
+    }
+
+    /// Drains the traces banked by capture-enabled launches, in launch
+    /// order.
+    pub fn take_traces(&mut self) -> Vec<KernelTrace> {
+        std::mem::take(&mut self.captured)
+    }
+
+    /// Runs `kernel` like [`Gpu::launch`] and also returns the captured
+    /// trace of the launch. Equivalent to wrapping the launch in
+    /// [`Gpu::set_tracing`] and draining [`Gpu::take_traces`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Gpu::launch`].
+    pub fn launch_traced(
+        &mut self,
+        kernel: &Kernel,
+        launch: LaunchConfig,
+    ) -> Result<(LaunchReport, KernelTrace), SimError> {
+        let prev = self.tracing;
+        self.tracing = true;
+        let result = self.launch(kernel, launch);
+        self.tracing = prev;
+        let report = result?;
+        let trace = self
+            .captured
+            .pop()
+            .expect("capture banks one trace per successful launch");
+        Ok((report, trace))
+    }
+
+    /// Replays a captured (or synthesised) trace through the timing
+    /// pipeline. The kernel image, launch geometry and PCIe attribution
+    /// all come from the trace; the functional value layer is skipped
+    /// and the pipeline consumes the recorded streams instead. For a
+    /// trace captured on a GPU with the same warp size, the returned
+    /// report is bit-identical to the live run on *this* GPU's
+    /// configuration (the streams are configuration-independent, so
+    /// capture once / replay under many configs is sound — see
+    /// [`SimPool::run_sweep_replay`](crate::SimPool::run_sweep_replay)).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Replay`] when the trace is rejected up front or
+    /// diverges from the pipeline mid-run; otherwise as [`Gpu::launch`].
+    pub fn launch_replay(&mut self, trace: &KernelTrace) -> Result<LaunchReport, SimError> {
+        self.launch_replay_outer(trace, None)
+    }
+
+    /// Replays a trace like [`Gpu::launch_replay`], reusing a
+    /// pre-decoded instruction table (the sweep entry point; see
+    /// [`Gpu::launch_decoded`] for the table contract).
+    ///
+    /// # Errors
+    ///
+    /// As [`Gpu::launch_replay`].
+    pub fn launch_replay_decoded(
+        &mut self,
+        trace: &KernelTrace,
+        decoded: &[DecodedInstr],
+    ) -> Result<LaunchReport, SimError> {
+        self.launch_replay_outer(trace, Some(decoded))
+    }
+
+    fn launch_replay_outer(
+        &mut self,
+        trace: &KernelTrace,
+        decoded: Option<&[DecodedInstr]>,
+    ) -> Result<LaunchReport, SimError> {
+        if trace.warp_size != self.config.warp_size as u32 {
+            return Err(SimError::Replay(format!(
+                "trace was recorded with warp size {}, this GPU runs {}",
+                trace.warp_size, self.config.warp_size
+            )));
+        }
+        // Re-validate even though decode() already did: synthesised or
+        // hand-built traces arrive here without passing the decoder.
+        trace
+            .validate()
+            .map_err(|e| SimError::Replay(format!("trace rejected: {e}")))?;
+        let kernel = trace
+            .to_kernel()
+            .map_err(|e| SimError::Replay(format!("trace rejected: {e}")))?;
+        let launch = trace.launch_config();
+        let source = ReplaySource::new(trace);
+        // PCIe attribution comes from the trace, *replacing* any pending
+        // host transfers so the replayed report matches the capture run
+        // regardless of what the host did to this GPU beforehand.
+        self.pending_h2d = trace.h2d_bytes;
+        self.pending_d2h = trace.d2h_bytes;
+        self.launch_outer(&kernel, launch, decoded, Some(&source))
     }
 
     /// Attaches a sampling sink that observes *every* subsequent
@@ -534,7 +660,7 @@ impl Gpu {
                 "sampling window must be at least one cycle".to_string(),
             ));
         }
-        self.launch_impl(kernel, launch, Some((window_cycles, sink)), None)
+        self.launch_impl(kernel, launch, Some((window_cycles, sink)), None, None)
     }
 
     fn launch_impl(
@@ -543,6 +669,7 @@ impl Gpu {
         launch: LaunchConfig,
         mut sampling: Option<(u64, &mut dyn ActivitySink)>,
         predecoded: Option<&[DecodedInstr]>,
+        replay: Option<&ReplaySource<'_>>,
     ) -> Result<LaunchReport, SimError> {
         self.check_launch(kernel, launch)?;
         // Stage the constant bank into its global-memory segment.
@@ -567,8 +694,19 @@ impl Gpu {
             const_base: self.const_base,
             const_bytes: (kernel.const_words().len() * 4).max(4) as u32,
             decoded,
+            replay,
         };
+        // Arm each core's frontend for this launch: replay when a trace
+        // drives it, capture when tracing is enabled, live otherwise.
+        let capture = self.tracing && replay.is_none();
         for core in &mut self.cores {
+            if replay.is_some() {
+                core.set_tracer_replay();
+            } else if capture {
+                core.set_tracer_capture();
+            } else {
+                core.set_tracer_off();
+            }
             core.begin_launch();
         }
         // Chip-scoped registry slots; core-scoped events accumulate in
@@ -994,6 +1132,43 @@ impl Gpu {
             let core_stats = std::mem::take(&mut core.stats);
             stats += &core_stats;
             per_core.push(core_stats);
+        }
+        if replay.is_some() {
+            // A desync means the trace did not describe this kernel; the
+            // run completed (replay substitutes benign values) but its
+            // numbers are meaningless, so surface the divergence instead.
+            for core in &mut self.cores {
+                if let Some(msg) = core.take_replay_desync() {
+                    return Err(SimError::Replay(msg));
+                }
+            }
+        } else if capture {
+            let mut streams: Vec<WarpStream> = Vec::new();
+            for core in &mut self.cores {
+                streams.extend(
+                    core.take_captured_warps()
+                        .into_iter()
+                        .map(crate::replay::WarpCapture::into_stream),
+                );
+            }
+            // Canonical stream order — capture collects in per-core
+            // retirement order, which is not stable across configs.
+            streams.sort_by_key(|s| (s.block_y, s.block_x, s.warp));
+            self.captured.push(KernelTrace {
+                name: kernel.name().to_string(),
+                code: kernel.code().to_vec(),
+                num_regs: kernel.num_regs(),
+                smem_bytes: kernel.smem_bytes(),
+                const_words: kernel.const_words().to_vec(),
+                grid_x: launch.grid.x,
+                grid_y: launch.grid.y,
+                block_x: launch.block.x,
+                block_y: launch.block.y,
+                warp_size: cfg.warp_size as u32,
+                h2d_bytes: stats[Ev::PcieH2dBytes],
+                d2h_bytes: stats[Ev::PcieD2hBytes],
+                streams,
+            });
         }
         self.total_launches += 1;
         let time_s = cycle as f64 / (self.config.shader_mhz() * 1e6);

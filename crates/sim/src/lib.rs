@@ -61,6 +61,7 @@ pub mod ldst;
 pub mod mem;
 pub mod noc;
 pub mod parallel;
+pub mod replay;
 pub mod simt_stack;
 pub mod sink;
 pub mod stats;
@@ -73,5 +74,6 @@ pub use events::{ActivityVector, ComponentId, EventKind, Scope};
 pub use gpu::{Gpu, LaunchReport, ScopedActivity, SimError};
 pub use mem::{DevicePtr, GpuMemory};
 pub use parallel::SimPool;
+pub use replay::ReplaySource;
 pub use sink::{ActivitySink, ActivityWindow, RecordedLaunch, WindowRecorder};
 pub use stats::ActivityStats;

@@ -34,6 +34,7 @@ use crate::core::{Core, DecodedInstr, LaunchCtx, PredecodedKernel};
 use crate::gpu::{Gpu, LaunchReport, SimError};
 use crate::mem::GpuMemory;
 use gpusimpow_isa::{Kernel, LaunchConfig};
+use gpusimpow_trace::KernelTrace;
 
 /// Number of hardware threads available to this process (at least 1).
 pub fn available_threads() -> usize {
@@ -344,6 +345,65 @@ impl SimPool {
             let mut gpu = Gpu::new(cfg)?;
             let launch = stage(idx, &mut gpu)?;
             gpu.launch_decoded(kernel, launch, table)
+        })
+    }
+
+    /// Replays one captured trace under N GPU configurations in a
+    /// single pass — the trace-frontend counterpart of
+    /// [`SimPool::run_sweep`]. The kernel image is reconstructed and
+    /// pre-decoded **once** from the trace and shared across all
+    /// configs (specialized per distinct register-file bank count);
+    /// each job then builds its own [`Gpu`], runs the caller's `stage`
+    /// closure (thread counts, watchdogs — replay needs no host
+    /// allocations or copies, so `stage` returns no launch geometry),
+    /// and replays through [`Gpu::launch_replay_decoded`].
+    ///
+    /// Because the recorded streams are configuration-independent for a
+    /// fixed warp size, each config's report is bit-identical to an
+    /// independent live run of the original kernel under that config
+    /// (pinned by `tests/trace_replay.rs`).
+    ///
+    /// # Errors
+    ///
+    /// A trace rejected up front fails every slot with
+    /// [`SimError::Replay`]; per-config failures stay in their own
+    /// slot, as in [`SimPool::run_sweep`].
+    pub fn run_sweep_replay<S>(
+        &self,
+        trace: &KernelTrace,
+        configs: &[GpuConfig],
+        stage: S,
+    ) -> Vec<Result<LaunchReport, SimError>>
+    where
+        S: Fn(usize, &mut Gpu) -> Result<(), SimError> + Sync,
+    {
+        let kernel = match trace.to_kernel() {
+            Ok(kernel) => kernel,
+            Err(e) => {
+                let err = SimError::Replay(format!("trace rejected: {e}"));
+                return configs.iter().map(|_| Err(err.clone())).collect();
+            }
+        };
+        let predecoded = PredecodedKernel::new(&kernel);
+        let mut tables: Vec<(usize, Vec<DecodedInstr>)> = Vec::new();
+        for cfg in configs {
+            if !tables.iter().any(|(banks, _)| *banks == cfg.regfile_banks) {
+                tables.push((cfg.regfile_banks, predecoded.specialize(cfg)));
+            }
+        }
+        let tables = &tables;
+        let stage = &stage;
+        let jobs: Vec<(usize, GpuConfig)> = configs.iter().cloned().enumerate().collect();
+        self.run(jobs, move |(idx, cfg)| {
+            let banks = cfg.regfile_banks;
+            let table = &tables
+                .iter()
+                .find(|(b, _)| *b == banks)
+                .expect("every config's bank count was specialized")
+                .1;
+            let mut gpu = Gpu::new(cfg)?;
+            stage(idx, &mut gpu)?;
+            gpu.launch_replay_decoded(trace, table)
         })
     }
 }

@@ -323,13 +323,23 @@ fn determinism_scope(rel_path: &str) -> bool {
         // held to the same lints. Its socket/filesystem edges carry
         // explicit `simlint: allow` markers.
         "crates/serve/src/",
+        // Traces are archival, content-addressed artifacts: capturing
+        // the same run twice must produce the same bytes, and replay
+        // must be as deterministic as live execution. Iteration-order
+        // or wall-clock dependence in the trace crate would silently
+        // fork digests.
+        "crates/trace/src/",
     ]
     .iter()
     .any(|p| rel_path.starts_with(p))
 }
 
 fn units_scope(rel_path: &str) -> bool {
-    rel_path.starts_with("crates/power/src/")
+    // The trace crate is in scope alongside the power model: trace
+    // records carry byte/cycle quantities next to code that also sees
+    // unit-typed values, and raw-f64 unit math there would leak into
+    // the replay-derived reports.
+    rel_path.starts_with("crates/power/src/") || rel_path.starts_with("crates/trace/src/")
 }
 
 /// Runs every per-file pass applicable to `rel_path` on `src` and

@@ -1,0 +1,21 @@
+// Fixture: everything the trace crate must never do — an order-
+// randomised stream index, wall-clock capture timing, and raw f64
+// math on an unwrapped unit value feeding a trace record.
+use std::collections::HashMap;
+use std::time::Instant;
+
+use gpusimpow_tech::units::Time;
+
+fn index_streams(streams: &[(u32, u32)]) -> HashMap<(u32, u32), usize> {
+    let start = Instant::now();
+    let mut index = HashMap::new();
+    for (i, key) in streams.iter().enumerate() {
+        index.insert(*key, i);
+    }
+    let _ = start.elapsed();
+    index
+}
+
+fn window_cost(window: Time) -> f64 {
+    window.seconds() * 2.0
+}

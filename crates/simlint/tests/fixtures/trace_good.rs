@@ -1,0 +1,17 @@
+// Fixture: the deterministic, unit-safe equivalents — ordered index,
+// no clocks, unit arithmetic kept inside the newtype.
+use std::collections::BTreeMap;
+
+use gpusimpow_tech::units::Time;
+
+fn index_streams(streams: &[(u32, u32)]) -> BTreeMap<(u32, u32), usize> {
+    let mut index = BTreeMap::new();
+    for (i, key) in streams.iter().enumerate() {
+        index.insert(*key, i);
+    }
+    index
+}
+
+fn window_cost(window: Time) -> Time {
+    window * 2.0
+}

@@ -72,6 +72,31 @@ fn determinism_lints_cover_the_service_crate() {
 }
 
 #[test]
+fn trace_crate_is_held_to_determinism_and_unit_lints() {
+    // Traces are content-addressed archival artifacts, so the trace
+    // crate sits in both scopes: the bad fixture fires the ordered-
+    // collection, wall-clock and raw-unit-math lints at once...
+    let diags = check_source("crates/trace/src/fixture.rs", &fixture("trace_bad.rs"));
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.lint == "nondeterministic_collection"),
+        "{diags:#?}"
+    );
+    assert!(diags.iter().any(|d| d.lint == "wall_clock"), "{diags:#?}");
+    assert!(
+        diags.iter().any(|d| d.lint == "raw_unit_math"),
+        "{diags:#?}"
+    );
+    // ...the ordered/typed twin is clean...
+    let diags = check_source("crates/trace/src/fixture.rs", &fixture("trace_good.rs"));
+    assert!(diags.is_empty(), "{diags:#?}");
+    // ...and the same bad source stays fine outside the scoped crates.
+    let diags = check_source("crates/bench/src/fixture.rs", &fixture("trace_bad.rs"));
+    assert!(diags.is_empty(), "{diags:#?}");
+}
+
+#[test]
 fn units_bad_flags_each_raw_operation() {
     let diags = check_source("crates/power/src/fixture.rs", &fixture("units_bad.rs"));
     assert!(

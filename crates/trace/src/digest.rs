@@ -1,0 +1,110 @@
+//! 128-bit integrity digest for trace payloads.
+//!
+//! Deliberately the same construction as the serve crate's job digest
+//! (`crates/serve/src/digest.rs`): two independent FNV-1a-style lanes
+//! over the payload bytes — the second lane rotating and salting each
+//! byte so the lanes cannot cancel — finished through a SplitMix64
+//! avalanche with the length folded in. The duplication is a
+//! dependency-direction necessity (serve depends on sim which depends
+//! on this crate), and it keeps the property the service relies on:
+//! one digest family across the workspace, so a trace's footer digest
+//! can double as its content address.
+//!
+//! This is an integrity check against accidental corruption, not a
+//! cryptographic MAC.
+
+use std::fmt;
+
+const OFFSET0: u64 = 0xcbf2_9ce4_8422_2325;
+const PRIME0: u64 = 0x0000_0100_0000_01b3;
+const OFFSET1: u64 = 0x9e37_79b9_7f4a_7c15;
+const PRIME1: u64 = 0xff51_afd7_ed55_8ccd;
+
+/// SplitMix64-style finalizer: full-width bit diffusion.
+fn avalanche(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^= x >> 31;
+    x
+}
+
+/// A 128-bit content digest of an encoded trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TraceDigest(pub [u8; 16]);
+
+impl TraceDigest {
+    /// Digests a byte payload.
+    pub fn compute(bytes: &[u8]) -> Self {
+        let mut h0 = OFFSET0;
+        let mut h1 = OFFSET1;
+        for &b in bytes {
+            h0 = (h0 ^ b as u64).wrapping_mul(PRIME0);
+            h1 = (h1 ^ (b.rotate_left(3) ^ 0xa5) as u64).wrapping_mul(PRIME1);
+        }
+        let len = bytes.len() as u64;
+        let a = avalanche(h0 ^ len);
+        let b = avalanche(h1 ^ len.rotate_left(32) ^ a);
+        let a = avalanche(a ^ b.rotate_left(17));
+        let mut out = [0u8; 16];
+        out[..8].copy_from_slice(&a.to_le_bytes());
+        out[8..].copy_from_slice(&b.to_le_bytes());
+        TraceDigest(out)
+    }
+
+    /// Lower-hex rendering (32 chars), for golden tests and logs.
+    pub fn to_hex(self) -> String {
+        let mut s = String::with_capacity(32);
+        for b in self.0 {
+            s.push(char::from_digit((b >> 4) as u32, 16).expect("nibble"));
+            s.push(char::from_digit((b & 0xf) as u32, 16).expect("nibble"));
+        }
+        s
+    }
+}
+
+impl fmt::Display for TraceDigest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_hex())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distinct_inputs_distinct_digests() {
+        let a = TraceDigest::compute(b"abc");
+        let b = TraceDigest::compute(b"abd");
+        let c = TraceDigest::compute(b"abc\0");
+        assert_ne!(a, b);
+        assert_ne!(a, c, "length is folded into the finalizer");
+    }
+
+    #[test]
+    fn single_bit_flip_changes_many_bits() {
+        let base = TraceDigest::compute(&[0u8; 64]);
+        let mut flipped = [0u8; 64];
+        flipped[20] ^= 0x10;
+        let other = TraceDigest::compute(&flipped);
+        let differing: u32 = base
+            .0
+            .iter()
+            .zip(other.0.iter())
+            .map(|(x, y)| (x ^ y).count_ones())
+            .sum();
+        assert!(
+            (32..=96).contains(&differing),
+            "poor diffusion: {differing} differing bits"
+        );
+    }
+
+    #[test]
+    fn hex_is_stable() {
+        let d = TraceDigest::compute(b"gpusimpow");
+        assert_eq!(d.to_hex().len(), 32);
+        assert_eq!(d, TraceDigest::compute(b"gpusimpow"));
+    }
+}

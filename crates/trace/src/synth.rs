@@ -1,0 +1,382 @@
+//! Synthetic trace generators: parameterised workload families that
+//! exist only as traces — no host program, no functional execution.
+//!
+//! Each family emits a [`KernelTrace`] whose per-warp streams are
+//! consistent with the simulator's SIMT reconvergence semantics (taken
+//! path first, reconvergence pops at the immediate post-dominator), so
+//! replay consumes them without desync. They open scenario diversity
+//! beyond the built-in kernels: memory stride sweeps, occupancy
+//! ladders, shared-memory bank-conflict ladders and divergence
+//! fractions become one-liner workload definitions.
+//!
+//! All families use the 32-lane warp width of the modelled GPUs and
+//! fully-populated warps (block threads = `warps_per_block * 32`).
+
+use gpusimpow_isa::{Instr, IntOp, MemSpace, Operand, Reg, SpecialReg};
+
+use crate::format::{KernelTrace, WarpStream};
+
+/// Warp width of every synthesised trace.
+pub const WARP_SIZE: u32 = 32;
+
+/// Full 32-lane active mask.
+const FULL_MASK: u64 = 0xffff_ffff;
+
+fn check_shape(blocks: u32, warps_per_block: u32) {
+    assert!(blocks >= 1, "a trace needs at least one block");
+    assert!(
+        (1..=32).contains(&warps_per_block),
+        "warps_per_block must be 1..=32 (block limit 1024 threads)"
+    );
+}
+
+fn base_trace(name: String, blocks: u32, warps_per_block: u32) -> KernelTrace {
+    KernelTrace {
+        name,
+        code: Vec::new(),
+        num_regs: 0,
+        smem_bytes: 0,
+        const_words: Vec::new(),
+        grid_x: blocks,
+        grid_y: 1,
+        block_x: warps_per_block * WARP_SIZE,
+        block_y: 1,
+        warp_size: WARP_SIZE,
+        h2d_bytes: 0,
+        d2h_bytes: 0,
+        streams: Vec::new(),
+    }
+}
+
+/// Straight-line program-order PC stream: `0, 1, …, code_len - 1`.
+fn straight_pcs(code_len: usize) -> Vec<u32> {
+    (0..code_len as u32).collect()
+}
+
+/// Global-memory stride family: each warp performs `accesses` strided
+/// loads and one store. `stride_words` is the per-thread stride in
+/// 32-bit words — 1 gives perfectly coalesced accesses, 32 gives one
+/// 128-byte segment per lane.
+///
+/// # Panics
+///
+/// Panics on an empty grid, `warps_per_block` outside `1..=32`, or
+/// `accesses == 0`.
+pub fn stride_family(
+    blocks: u32,
+    warps_per_block: u32,
+    stride_words: u32,
+    accesses: u32,
+) -> KernelTrace {
+    check_shape(blocks, warps_per_block);
+    assert!(accesses >= 1, "the stride family needs at least one load");
+    let mut trace = base_trace(
+        format!("synth_stride_b{blocks}_w{warps_per_block}_s{stride_words}_a{accesses}"),
+        blocks,
+        warps_per_block,
+    );
+    let mut code = vec![Instr::S2R {
+        dst: Reg(0),
+        sr: SpecialReg::TidX,
+    }];
+    for i in 0..accesses {
+        code.push(Instr::Ld {
+            space: MemSpace::Global,
+            dst: Reg(1),
+            addr: Reg(0),
+            offset: (i * 4) as i32,
+        });
+    }
+    code.push(Instr::IAlu {
+        op: IntOp::Add,
+        dst: Reg(2),
+        a: Operand::Reg(Reg(1)),
+        b: Operand::Imm(1),
+    });
+    code.push(Instr::St {
+        space: MemSpace::Global,
+        src: Reg(2),
+        addr: Reg(0),
+        offset: 0,
+    });
+    code.push(Instr::Exit);
+    trace.num_regs = 3;
+    let pcs = straight_pcs(code.len());
+    trace.code = code;
+    for block in 0..blocks {
+        for warp in 0..warps_per_block {
+            let warp_base =
+                (block as u64 * warps_per_block as u64 + warp as u64) * WARP_SIZE as u64;
+            let mut mem_addrs = Vec::with_capacity((accesses as usize + 1) * WARP_SIZE as usize);
+            for access in 0..=accesses {
+                // `accesses` loads then the store re-walking access 0.
+                let offset = if access < accesses { access * 4 } else { 0 };
+                for lane in 0..WARP_SIZE {
+                    let tid = warp_base + lane as u64;
+                    let addr = (tid as u32)
+                        .wrapping_mul(stride_words * 4)
+                        .wrapping_add(offset);
+                    mem_addrs.push(addr);
+                }
+            }
+            trace.streams.push(WarpStream {
+                block_x: block,
+                block_y: 0,
+                warp,
+                pcs: pcs.clone(),
+                branch_taken: Vec::new(),
+                mem_addrs,
+            });
+        }
+    }
+    trace
+}
+
+/// Occupancy family: pure-compute FMA chains. Sweeping `blocks` and
+/// `warps_per_block` sweeps occupancy with a fixed per-warp workload.
+///
+/// # Panics
+///
+/// Panics on an empty grid, `warps_per_block` outside `1..=32`, or
+/// `fma_chain == 0`.
+pub fn occupancy_family(blocks: u32, warps_per_block: u32, fma_chain: u32) -> KernelTrace {
+    check_shape(blocks, warps_per_block);
+    assert!(
+        fma_chain >= 1,
+        "the occupancy family needs at least one FMA"
+    );
+    let mut trace = base_trace(
+        format!("synth_occupancy_b{blocks}_w{warps_per_block}_f{fma_chain}"),
+        blocks,
+        warps_per_block,
+    );
+    let mut code = vec![Instr::Mov {
+        dst: Reg(0),
+        src: Operand::Imm(1.0f32.to_bits()),
+    }];
+    for _ in 0..fma_chain {
+        code.push(Instr::FFma {
+            dst: Reg(0),
+            a: Operand::Reg(Reg(0)),
+            b: Operand::Imm(1.0009f32.to_bits()),
+            c: Operand::Imm(0.25f32.to_bits()),
+        });
+    }
+    code.push(Instr::Exit);
+    trace.num_regs = 1;
+    let pcs = straight_pcs(code.len());
+    trace.code = code;
+    for block in 0..blocks {
+        for warp in 0..warps_per_block {
+            trace.streams.push(WarpStream {
+                block_x: block,
+                block_y: 0,
+                warp,
+                pcs: pcs.clone(),
+                branch_taken: Vec::new(),
+                mem_addrs: Vec::new(),
+            });
+        }
+    }
+    trace
+}
+
+/// Shared-memory bank-conflict family: `accesses` shared loads whose
+/// per-lane word stride controls the conflict degree (`stride_words`
+/// odd → conflict-free on power-of-two bank counts; 2/4/8/… → 2/4/8-way
+/// conflicts; 0 → full broadcast).
+///
+/// # Panics
+///
+/// Panics on an empty grid, `warps_per_block` outside `1..=32`, or
+/// `accesses == 0`.
+pub fn conflict_family(
+    blocks: u32,
+    warps_per_block: u32,
+    stride_words: u32,
+    accesses: u32,
+) -> KernelTrace {
+    check_shape(blocks, warps_per_block);
+    assert!(
+        accesses >= 1,
+        "the conflict family needs at least one access"
+    );
+    let mut trace = base_trace(
+        format!("synth_conflict_b{blocks}_w{warps_per_block}_s{stride_words}_a{accesses}"),
+        blocks,
+        warps_per_block,
+    );
+    let mut code = vec![Instr::S2R {
+        dst: Reg(0),
+        sr: SpecialReg::TidX,
+    }];
+    for _ in 0..accesses {
+        code.push(Instr::Ld {
+            space: MemSpace::Shared,
+            dst: Reg(1),
+            addr: Reg(0),
+            offset: 0,
+        });
+    }
+    code.push(Instr::Exit);
+    trace.num_regs = 2;
+    trace.smem_bytes = 4096;
+    let pcs = straight_pcs(code.len());
+    let mut mem_addrs = Vec::with_capacity(accesses as usize * WARP_SIZE as usize);
+    for _ in 0..accesses {
+        for lane in 0..WARP_SIZE {
+            let word = lane.wrapping_mul(stride_words) % (trace.smem_bytes / 4);
+            mem_addrs.push(word * 4);
+        }
+    }
+    trace.code = code;
+    for block in 0..blocks {
+        for warp in 0..warps_per_block {
+            trace.streams.push(WarpStream {
+                block_x: block,
+                block_y: 0,
+                warp,
+                pcs: pcs.clone(),
+                branch_taken: Vec::new(),
+                mem_addrs: mem_addrs.clone(),
+            });
+        }
+    }
+    trace
+}
+
+/// Divergence family: a single if/else diamond where the first
+/// `taken_lanes` of each warp take the branch. `0` and `32` exercise
+/// the uniform paths, anything between forces a push/pop divergence
+/// per warp.
+///
+/// The PC sequences encode the simulator's reconvergence-stack
+/// semantics: the taken path executes first, each path pops at the
+/// immediate post-dominator.
+///
+/// # Panics
+///
+/// Panics on an empty grid, `warps_per_block` outside `1..=32`, or
+/// `taken_lanes > 32`.
+pub fn divergence_family(blocks: u32, warps_per_block: u32, taken_lanes: u32) -> KernelTrace {
+    check_shape(blocks, warps_per_block);
+    assert!(
+        taken_lanes <= WARP_SIZE,
+        "taken_lanes is a lane count (0..=32)"
+    );
+    let mut trace = base_trace(
+        format!("synth_divergence_b{blocks}_w{warps_per_block}_t{taken_lanes}"),
+        blocks,
+        warps_per_block,
+    );
+    // 0: s2r  r0 <- tid.x
+    // 1: bra  r0 != 0 -> 4, reconv 6
+    // 2:   xor r1 <- r0 ^ 1      (fallthrough arm)
+    // 3:   jmp 6
+    // 4:   add r1 <- r0 + 1      (taken arm)
+    // 5:   nop
+    // 6: exit
+    trace.code = vec![
+        Instr::S2R {
+            dst: Reg(0),
+            sr: SpecialReg::TidX,
+        },
+        Instr::Bra {
+            cond: Reg(0),
+            negate: false,
+            target: 4,
+            reconv: 6,
+        },
+        Instr::IAlu {
+            op: IntOp::Xor,
+            dst: Reg(1),
+            a: Operand::Reg(Reg(0)),
+            b: Operand::Imm(1),
+        },
+        Instr::Jmp { target: 6 },
+        Instr::IAlu {
+            op: IntOp::Add,
+            dst: Reg(1),
+            a: Operand::Reg(Reg(0)),
+            b: Operand::Imm(1),
+        },
+        Instr::Nop,
+        Instr::Exit,
+    ];
+    trace.num_regs = 2;
+    let taken_mask: u64 = if taken_lanes == 0 {
+        0
+    } else {
+        FULL_MASK >> (WARP_SIZE - taken_lanes)
+    };
+    // Taken path first (stack pushes fallthrough below taken), each
+    // path ends at the reconvergence pc 6 where the join pops.
+    let pcs: Vec<u32> = if taken_mask == FULL_MASK {
+        vec![0, 1, 4, 5, 6]
+    } else if taken_mask == 0 {
+        vec![0, 1, 2, 3, 6]
+    } else {
+        vec![0, 1, 4, 5, 2, 3, 6]
+    };
+    for block in 0..blocks {
+        for warp in 0..warps_per_block {
+            trace.streams.push(WarpStream {
+                block_x: block,
+                block_y: 0,
+                warp,
+                pcs: pcs.clone(),
+                branch_taken: vec![taken_mask],
+                mem_addrs: Vec::new(),
+            });
+        }
+    }
+    trace
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn families_produce_valid_traces_and_kernels() {
+        for trace in [
+            stride_family(4, 2, 8, 2),
+            occupancy_family(8, 8, 16),
+            conflict_family(2, 4, 2, 4),
+            divergence_family(3, 2, 0),
+            divergence_family(3, 2, 16),
+            divergence_family(3, 2, 32),
+        ] {
+            trace.validate().expect("synth traces validate");
+            trace
+                .to_kernel()
+                .expect("synth kernel images are well-formed");
+            assert_eq!(
+                trace.streams.len() as u64,
+                trace.grid_x as u64 * trace.grid_y as u64 * (trace.block_x / WARP_SIZE) as u64
+            );
+        }
+    }
+
+    #[test]
+    fn divergence_masks_cover_the_extremes() {
+        assert_eq!(divergence_family(1, 1, 0).streams[0].branch_taken, vec![0]);
+        assert_eq!(
+            divergence_family(1, 1, 32).streams[0].branch_taken,
+            vec![FULL_MASK]
+        );
+        assert_eq!(
+            divergence_family(1, 1, 5).streams[0].branch_taken,
+            vec![0b11111]
+        );
+    }
+
+    #[test]
+    fn stride_family_records_every_lane_address() {
+        let t = stride_family(1, 1, 4, 2);
+        // 2 loads + 1 store, 32 lanes each.
+        assert_eq!(t.streams[0].mem_addrs.len(), 3 * 32);
+        // Lane 1 of the first load sits one stride (16 bytes) up.
+        assert_eq!(t.streams[0].mem_addrs[1], 16);
+    }
+}

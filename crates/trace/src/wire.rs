@@ -1,0 +1,319 @@
+//! Varint-level reader/writer and the typed trace-decoding error.
+//!
+//! The encoding primitives are msgpack-like in spirit but simpler:
+//! unsigned scalars are LEB128 varints (7 payload bits per byte,
+//! continuation in the high bit), signed byte offsets are
+//! zigzag-folded first, strings are a varint length + UTF-8 bytes.
+//! Every [`TraceReader`] method is bounds-checked and returns a typed
+//! error; element counts are additionally capped against the number of
+//! bytes actually remaining, so a corrupted count can never trigger an
+//! oversized allocation.
+
+use std::fmt;
+
+/// Decoding failure for a trace payload. Each variant is terminal: the
+/// decoder returns before constructing any partial [`crate::KernelTrace`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceError {
+    /// The payload does not start with the `GSPT` magic.
+    BadMagic,
+    /// The header names a format version this reader does not speak.
+    UnsupportedVersion(u16),
+    /// The payload ended inside the named field.
+    Truncated {
+        /// Field being decoded when the bytes ran out.
+        what: &'static str,
+    },
+    /// A field decoded but violates the format's invariants.
+    Malformed(String),
+    /// The footer digest does not match the payload bytes (bit flip or
+    /// truncation that happened to keep the header parseable).
+    DigestMismatch,
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::BadMagic => write!(f, "not a trace: bad magic"),
+            TraceError::UnsupportedVersion(v) => {
+                write!(f, "unsupported trace format version {v}")
+            }
+            TraceError::Truncated { what } => write!(f, "trace truncated while reading {what}"),
+            TraceError::Malformed(msg) => write!(f, "malformed trace: {msg}"),
+            TraceError::DigestMismatch => write!(f, "trace integrity digest mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+/// Append-only encoder for the trace body.
+#[derive(Debug, Default)]
+pub struct TraceWriter {
+    buf: Vec<u8>,
+}
+
+impl TraceWriter {
+    /// A fresh, empty writer.
+    pub fn new() -> Self {
+        TraceWriter::default()
+    }
+
+    /// The encoded bytes so far.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes written so far (the digest footer covers this prefix).
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// `true` while nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Appends one raw byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a fixed-width little-endian u16 (header use only).
+    pub fn put_u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an LEB128 varint.
+    pub fn put_varint(&mut self, mut v: u64) {
+        loop {
+            let byte = (v & 0x7f) as u8;
+            v >>= 7;
+            if v == 0 {
+                self.buf.push(byte);
+                return;
+            }
+            self.buf.push(byte | 0x80);
+        }
+    }
+
+    /// Appends a zigzag-folded signed varint.
+    pub fn put_varint_i32(&mut self, v: i32) {
+        let folded = (v.wrapping_shl(1) ^ (v >> 31)) as u32;
+        self.put_varint(folded as u64);
+    }
+
+    /// Appends a varint length followed by the UTF-8 bytes.
+    pub fn put_str(&mut self, s: &str) {
+        self.put_varint(s.len() as u64);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    /// Appends raw bytes with no length prefix (footer digest).
+    pub fn put_raw(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+}
+
+/// Bounds-checked decoder over a trace payload.
+#[derive(Debug)]
+pub struct TraceReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> TraceReader<'a> {
+    /// Wraps a payload for decoding.
+    pub fn new(buf: &'a [u8]) -> Self {
+        TraceReader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Bytes consumed so far (== the digest coverage boundary when the
+    /// reader sits on the footer).
+    pub fn consumed(&self) -> usize {
+        self.pos
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self, what: &'static str) -> Result<u8, TraceError> {
+        let b = *self
+            .buf
+            .get(self.pos)
+            .ok_or(TraceError::Truncated { what })?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    /// Reads a fixed-width little-endian u16.
+    pub fn u16(&mut self, what: &'static str) -> Result<u16, TraceError> {
+        let bytes = self.raw(2, what)?;
+        Ok(u16::from_le_bytes([bytes[0], bytes[1]]))
+    }
+
+    /// Reads an LEB128 varint (at most 10 bytes; longer is malformed).
+    pub fn varint(&mut self, what: &'static str) -> Result<u64, TraceError> {
+        let mut v: u64 = 0;
+        for i in 0..10 {
+            let byte = self.u8(what)?;
+            let payload = (byte & 0x7f) as u64;
+            if i == 9 && payload > 1 {
+                return Err(TraceError::Malformed(format!("varint overflow in {what}")));
+            }
+            v |= payload << (7 * i);
+            if byte & 0x80 == 0 {
+                return Ok(v);
+            }
+        }
+        Err(TraceError::Malformed(format!(
+            "unterminated varint in {what}"
+        )))
+    }
+
+    /// Reads a varint constrained to u32 range.
+    pub fn varint_u32(&mut self, what: &'static str) -> Result<u32, TraceError> {
+        let v = self.varint(what)?;
+        u32::try_from(v)
+            .map_err(|_| TraceError::Malformed(format!("{what} exceeds 32-bit range ({v})")))
+    }
+
+    /// Reads a zigzag-folded signed varint.
+    pub fn varint_i32(&mut self, what: &'static str) -> Result<i32, TraceError> {
+        let folded = self.varint_u32(what)?;
+        Ok(((folded >> 1) as i32) ^ -((folded & 1) as i32))
+    }
+
+    /// Reads an element count for a list whose elements occupy at
+    /// least `min_elem_bytes` each, capped at `cap`. Tying the count
+    /// to the remaining payload means a flipped count byte cannot
+    /// request a multi-gigabyte allocation.
+    pub fn count(
+        &mut self,
+        cap: usize,
+        min_elem_bytes: usize,
+        what: &'static str,
+    ) -> Result<usize, TraceError> {
+        let n = self.varint(what)?;
+        let n = usize::try_from(n)
+            .map_err(|_| TraceError::Malformed(format!("{what} count does not fit usize")))?;
+        if n > cap {
+            return Err(TraceError::Malformed(format!(
+                "{what} count {n} exceeds the format cap {cap}"
+            )));
+        }
+        if n.saturating_mul(min_elem_bytes.max(1)) > self.remaining() {
+            return Err(TraceError::Truncated { what });
+        }
+        Ok(n)
+    }
+
+    /// Reads a varint length + UTF-8 string, capped at `cap` bytes.
+    pub fn str(&mut self, cap: usize, what: &'static str) -> Result<String, TraceError> {
+        let len = self.count(cap, 1, what)?;
+        let bytes = self.raw(len, what)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| TraceError::Malformed(format!("{what} is not UTF-8")))
+    }
+
+    /// Reads exactly `n` raw bytes.
+    pub fn raw(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], TraceError> {
+        if self.remaining() < n {
+            return Err(TraceError::Truncated { what });
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Asserts the payload is fully consumed (trailing garbage would
+    /// mean the digest covered bytes the decoder never looked at).
+    pub fn finish(&self, what: &'static str) -> Result<(), TraceError> {
+        if self.remaining() != 0 {
+            return Err(TraceError::Malformed(format!(
+                "{} trailing bytes after {what}",
+                self.remaining()
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varint_roundtrip_edges() {
+        let values = [
+            0u64,
+            1,
+            127,
+            128,
+            16_383,
+            16_384,
+            u32::MAX as u64,
+            u64::MAX - 1,
+            u64::MAX,
+        ];
+        let mut w = TraceWriter::new();
+        for &v in &values {
+            w.put_varint(v);
+        }
+        let bytes = w.into_bytes();
+        let mut r = TraceReader::new(&bytes);
+        for &v in &values {
+            assert_eq!(r.varint("v").unwrap(), v);
+        }
+        r.finish("tail").unwrap();
+    }
+
+    #[test]
+    fn zigzag_roundtrip() {
+        let values = [0i32, -1, 1, i32::MIN, i32::MAX, -4096, 4096];
+        let mut w = TraceWriter::new();
+        for &v in &values {
+            w.put_varint_i32(v);
+        }
+        let bytes = w.into_bytes();
+        let mut r = TraceReader::new(&bytes);
+        for &v in &values {
+            assert_eq!(r.varint_i32("v").unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn truncated_varint_is_typed() {
+        // A lone continuation byte: the next byte never arrives.
+        let mut r = TraceReader::new(&[0x80]);
+        assert_eq!(
+            r.varint("field"),
+            Err(TraceError::Truncated { what: "field" })
+        );
+    }
+
+    #[test]
+    fn overlong_varint_is_malformed() {
+        let bytes = [0xff; 11];
+        let mut r = TraceReader::new(&bytes);
+        assert!(matches!(r.varint("field"), Err(TraceError::Malformed(_))));
+    }
+
+    #[test]
+    fn count_is_capped_by_remaining_bytes() {
+        // Count claims 1000 elements of >=1 byte but only 2 bytes follow.
+        let mut w = TraceWriter::new();
+        w.put_varint(1000);
+        w.put_u8(0);
+        w.put_u8(0);
+        let bytes = w.into_bytes();
+        let mut r = TraceReader::new(&bytes);
+        assert_eq!(
+            r.count(1 << 20, 1, "list"),
+            Err(TraceError::Truncated { what: "list" })
+        );
+    }
+}

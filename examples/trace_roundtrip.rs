@@ -1,0 +1,60 @@
+//! Trace roundtrip: capture a kernel's instruction streams, encode
+//! them to the versioned binary format, replay from the decoded bytes
+//! — on the same chip and on a different one — and verify the replays
+//! are bit-identical to live execution.
+//!
+//! ```text
+//! cargo run --example trace_roundtrip
+//! ```
+
+use gpusimpow_kernels::{blackscholes::BlackScholes, Benchmark};
+use gpusimpow_sim::{Gpu, GpuConfig};
+use gpusimpow_trace::KernelTrace;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Capture: run the benchmark live with tracing on. The capture
+    //    has zero effect on the run — same counters, same time bits.
+    let mut gpu = Gpu::new(GpuConfig::gt240())?;
+    gpu.set_tracing(true);
+    let live = BlackScholes { options: 2048 }.run(&mut gpu)?.remove(0);
+    let trace = gpu.take_traces().remove(0);
+    println!(
+        "captured `{}`: {} warps, {} warp instructions",
+        trace.name,
+        trace.streams.len(),
+        trace.warp_instructions()
+    );
+
+    // 2. Archive: the encoding is self-contained (kernel image, launch
+    //    geometry, streams) and integrity-checked by a digest footer.
+    let bytes = trace.encode();
+    println!(
+        "encoded: {} bytes ({:.2} bytes/instruction), digest {}",
+        bytes.len(),
+        bytes.len() as f64 / trace.warp_instructions() as f64,
+        trace.content_digest().to_hex()
+    );
+
+    // 3. Replay on the same chip: no functional execution — the three
+    //    recorded streams drive the full timing pipeline.
+    let decoded = KernelTrace::decode(&bytes)?;
+    let replayed = Gpu::new(GpuConfig::gt240())?.launch_replay(&decoded)?;
+    assert_eq!(replayed.stats, live.stats);
+    assert_eq!(replayed.time_s.to_bits(), live.time_s.to_bits());
+    println!(
+        "GT240 replay: {} cycles, bit-identical to the live run",
+        replayed.stats.shader_cycles
+    );
+
+    // 4. Replay on a different chip: the streams are configuration-
+    //    independent, so one capture re-prices anywhere (and matches a
+    //    live GTX580 run bit for bit — see tests/trace_replay.rs).
+    let cross = Gpu::new(GpuConfig::gtx580())?.launch_replay(&decoded)?;
+    println!(
+        "GTX580 replay: {} cycles ({:.2} us vs {:.2} us on GT240)",
+        cross.stats.shader_cycles,
+        cross.time_s * 1e6,
+        replayed.time_s * 1e6
+    );
+    Ok(())
+}

@@ -10,3 +10,4 @@ pub use gpusimpow_measure as measure;
 pub use gpusimpow_power as power;
 pub use gpusimpow_sim as sim;
 pub use gpusimpow_tech as tech;
+pub use gpusimpow_trace as trace;

@@ -81,6 +81,30 @@ fn blackscholes_gt240_counts_are_pinned() {
     assert_eq!(r.power.total_power().watts().to_bits(), 0x40424222c3bfa612);
 }
 
+/// The golden anchor, reached through the *replay* frontend: capture
+/// the same kernel into a trace, replay it on a fresh GPU, and demand
+/// the exact pinned counts and time bits above. If capture perturbs
+/// the live run, or replay drives the pipeline even one cycle apart
+/// from live execution, this fires with the same precision as the
+/// live-frontend pin.
+#[test]
+fn blackscholes_gt240_replay_counts_are_pinned() {
+    let mut gpu = Gpu::new(GpuConfig::gt240()).expect("preset builds");
+    gpu.set_tracing(true);
+    BlackScholes { options: 2048 }
+        .run(&mut gpu)
+        .expect("verifies");
+    let trace = gpu.take_traces().remove(0);
+
+    let mut fresh = Gpu::new(GpuConfig::gt240()).expect("preset builds");
+    let r = fresh.launch_replay(&trace).expect("trace replays");
+    assert_eq!(r.stats.shader_cycles, 2977);
+    assert_eq!(r.stats.warp_instructions, 4544);
+    assert_eq!(r.stats.thread_instructions, 145_408);
+    assert_eq!(r.stats.dram_read_bursts, 768);
+    assert_eq!(r.time_s.to_bits(), 0x3ec261f80d2e3a2e);
+}
+
 /// Second golden anchor, on the scoreboarded GTX580 preset: the SoA
 /// gather/dense-compute/masked-scatter pipeline must reproduce exactly
 /// the counts and bit patterns the lane-by-lane path produced. The

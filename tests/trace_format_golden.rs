@@ -1,0 +1,67 @@
+//! Golden pins for the v1 trace byte format. The synthetic families are
+//! pure functions of their parameters, so their encodings are stable
+//! byte strings; pinning length and content digest means any change to
+//! the wire layout — header fields, varint packing, record order,
+//! footer — trips here instead of silently invalidating every trace
+//! archived by users. A layout change requires a version bump and new
+//! goldens, in that order.
+
+use gpusimpow_trace::{synth, KernelTrace, TraceDigest, TRACE_MAGIC, TRACE_VERSION};
+
+fn families() -> Vec<(&'static str, KernelTrace)> {
+    vec![
+        ("stride", synth::stride_family(4, 2, 4, 3)),
+        ("occupancy", synth::occupancy_family(6, 4, 16)),
+        ("conflict", synth::conflict_family(2, 2, 8, 4)),
+        ("divergence", synth::divergence_family(3, 2, 11)),
+    ]
+}
+
+#[test]
+fn v1_encoding_is_pinned_byte_for_byte() {
+    let golden: &[(&str, usize, &str)] = &[
+        ("stride", 2218, "614e43da2723ab91443d034f4fce45b4"),
+        ("occupancy", 902, "74922306ff0faed91ecd43a4718003db"),
+        ("conflict", 1098, "80c821bf4897c9e0b208553e4b36858f"),
+        ("divergence", 177, "5b1a70da39c376223262cf76a9f40466"),
+    ];
+    for ((tag, trace), (gtag, glen, ghex)) in families().iter().zip(golden) {
+        assert_eq!(tag, gtag);
+        let bytes = trace.encode();
+        assert_eq!(bytes.len(), *glen, "{tag}: encoded length drifted");
+        assert_eq!(
+            TraceDigest::compute(&bytes).to_hex(),
+            *ghex,
+            "{tag}: encoded bytes drifted — wire-format change without a version bump?"
+        );
+    }
+}
+
+#[test]
+fn header_leads_with_magic_and_version() {
+    for (tag, trace) in families() {
+        let bytes = trace.encode();
+        assert_eq!(&bytes[..4], TRACE_MAGIC, "{tag}: magic");
+        assert_eq!(
+            u16::from_le_bytes([bytes[4], bytes[5]]),
+            TRACE_VERSION,
+            "{tag}: version"
+        );
+    }
+}
+
+#[test]
+fn goldens_survive_a_decode_reencode_cycle() {
+    // Decoding and re-encoding must be the identity on the byte level,
+    // not just the structural level — otherwise re-archived traces get
+    // new digests and content-addressed caches double up.
+    for (tag, trace) in families() {
+        let bytes = trace.encode();
+        let decoded = KernelTrace::decode(&bytes).expect("golden traces decode");
+        assert_eq!(
+            decoded.encode(),
+            bytes,
+            "{tag}: re-encode is not the identity"
+        );
+    }
+}
