@@ -22,7 +22,7 @@
 //! Labels are `@name:` definitions and `@name` references; branches take
 //! `cond, @target, @reconv` with a `.z` suffix for branch-if-zero.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 
 use crate::instr::{CmpOp, FpOp, Instr, IntOp, MemSpace, Operand, Reg, SfuOp, SpecialReg};
@@ -103,7 +103,7 @@ enum PendingRef {
 struct Parser {
     code: Vec<Instr>,
     pending: Vec<(usize, usize, PendingRef)>, // (line, code index, ref)
-    labels: HashMap<String, u32>,
+    labels: BTreeMap<String, u32>,
     regs: Option<u8>,
     smem: u32,
     consts: Vec<u32>,
@@ -114,7 +114,7 @@ impl Parser {
         Parser {
             code: Vec::new(),
             pending: Vec::new(),
-            labels: HashMap::new(),
+            labels: BTreeMap::new(),
             regs: None,
             smem: 0,
             consts: Vec::new(),

@@ -804,7 +804,7 @@ fn simulate(
             let reports = sim
                 .run_benchmark(bench.as_ref())
                 .map_err(|e| JobError::Sim(e.to_string()))?;
-            let recorded = take_recordings(sim.gpu_mut(), spec.window_cycles);
+            let recorded = take_recordings(sim.gpu_mut(), spec.window_cycles)?;
             Ok((reports.into_iter().map(|r| r.launch).collect(), recorded))
         }
         KernelSpec::Trace { bytes } => {
@@ -820,7 +820,7 @@ fn simulate(
             let report = gpu
                 .launch_replay(&trace)
                 .map_err(|e| JobError::Sim(e.to_string()))?;
-            let recorded = take_recordings(&mut gpu, spec.window_cycles);
+            let recorded = take_recordings(&mut gpu, spec.window_cycles)?;
             Ok((vec![report], recorded))
         }
         micro_spec => {
@@ -869,7 +869,9 @@ fn simulate(
                     LaunchConfig::linear(blocks, threads),
                 ),
                 KernelSpec::Suite { .. } | KernelSpec::Trace { .. } => {
-                    unreachable!("handled above")
+                    return Err(JobError::Sim(
+                        "suite/trace specs are dispatched by the arms above".into(),
+                    ))
                 }
             };
             let mut gpu = Gpu::new(cfg).map_err(|e| JobError::Sim(e.to_string()))?;
@@ -879,25 +881,29 @@ fn simulate(
             let report = gpu
                 .launch(&kernel, launch)
                 .map_err(|e| JobError::Sim(e.to_string()))?;
-            let recorded = take_recordings(&mut gpu, spec.window_cycles);
+            let recorded = take_recordings(&mut gpu, spec.window_cycles)?;
             Ok((vec![report], recorded))
         }
     }
 }
 
 /// Detaches and downcasts the window recorder attached by
-/// [`simulate`]; empty when the job sampled no windows.
-fn take_recordings(gpu: &mut Gpu, window_cycles: u64) -> Vec<RecordedLaunch> {
+/// [`simulate`]; empty when the job sampled no windows. A missing or
+/// foreign sink is an internal invariant break — it surfaces as a
+/// typed job failure rather than killing the worker.
+fn take_recordings(gpu: &mut Gpu, window_cycles: u64) -> Result<Vec<RecordedLaunch>, JobError> {
     if window_cycles == 0 {
-        return Vec::new();
+        return Ok(Vec::new());
     }
-    let mut sink = gpu.detach_sink().expect("recorder was attached");
+    let mut sink = gpu
+        .detach_sink()
+        .ok_or_else(|| JobError::Sim("window recorder missing after launch".into()))?;
     let recorder = sink
         .as_any_mut()
-        .expect("WindowRecorder is 'static")
+        .ok_or_else(|| JobError::Sim("window sink does not expose Any".into()))?
         .downcast_mut::<WindowRecorder>()
-        .expect("attached sink is a WindowRecorder");
-    std::mem::take(recorder).into_launches()
+        .ok_or_else(|| JobError::Sim("attached sink is not a WindowRecorder".into()))?;
+    Ok(std::mem::take(recorder).into_launches())
 }
 
 /// Flattens a [`gpusimpow_pm::PowerTrace`] to wire scalars.

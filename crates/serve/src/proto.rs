@@ -93,6 +93,9 @@ pub fn read_frame(stream: &mut impl Read) -> Result<Option<Vec<u8>>, WireError> 
     let mut len_bytes = [0u8; 4];
     let mut filled = 0;
     while filled < 4 {
+        // simlint: allow(panic_path): `filled` stays below 4 by the loop
+        // condition and `read` returns at most the slice length, so the
+        // range start can never pass the end of the 4-byte buffer.
         let n = stream.read(&mut len_bytes[filled..])?;
         if n == 0 {
             if filled == 0 {
@@ -398,7 +401,12 @@ impl Response {
                 let mut outcomes = Vec::with_capacity(count.min(1024));
                 for _ in 0..count {
                     let digest =
-                        JobDigest(r.raw(16, "outcome digest")?.try_into().expect("16 bytes"));
+                        JobDigest(r.raw(16, "outcome digest")?.try_into().map_err(|_| {
+                            WireError::Truncated {
+                                what: "outcome digest",
+                                missing: 16,
+                            }
+                        })?);
                     let source = ResultSource::from_tag(r.u8("result source")?)?;
                     let payload = match r.u8("outcome kind")? {
                         1 => Ok(r.bytes("result payload")?.to_vec()),
@@ -531,7 +539,8 @@ fn get_scoped(r: &mut Reader<'_>) -> Result<ScopedPowerReport, WireError> {
     let mut clusters = Vec::with_capacity(n.min(4096));
     for _ in 0..n {
         clusters.push(ClusterPowerRow {
-            cluster: r.u64("cluster index")? as usize,
+            cluster: usize::try_from(r.u64("cluster index")?)
+                .map_err(|_| WireError::Malformed("cluster index does not fit usize".into()))?,
             power: get_split(r, "cluster power")?,
             busy_fraction: r.f64("cluster busy fraction")?,
             avg_busy_cores: r.f64("cluster avg busy cores")?,

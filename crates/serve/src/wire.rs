@@ -143,29 +143,48 @@ impl<'a> Reader<'a> {
                 missing: n - self.remaining(),
             });
         }
-        let out = &self.buf[self.pos..self.pos + n];
-        self.pos += n;
+        let end = self.pos.checked_add(n).ok_or(WireError::TooLarge(n))?;
+        let out = self
+            .buf
+            .get(self.pos..end)
+            .ok_or(WireError::Truncated { what, missing: n })?;
+        self.pos = end;
         Ok(out)
     }
 
     /// Reads one byte.
     pub fn u8(&mut self, what: &'static str) -> Result<u8, WireError> {
-        Ok(self.take(1, what)?[0])
+        let b = self.take(1, what)?;
+        b.first()
+            .copied()
+            .ok_or(WireError::Truncated { what, missing: 1 })
     }
 
     /// Reads a little-endian `u16`.
     pub fn u16(&mut self, what: &'static str) -> Result<u16, WireError> {
-        Ok(u16::from_le_bytes(self.take(2, what)?.try_into().unwrap()))
+        let bytes = self
+            .take(2, what)?
+            .try_into()
+            .map_err(|_| WireError::Truncated { what, missing: 2 })?;
+        Ok(u16::from_le_bytes(bytes))
     }
 
     /// Reads a little-endian `u32`.
     pub fn u32(&mut self, what: &'static str) -> Result<u32, WireError> {
-        Ok(u32::from_le_bytes(self.take(4, what)?.try_into().unwrap()))
+        let bytes = self
+            .take(4, what)?
+            .try_into()
+            .map_err(|_| WireError::Truncated { what, missing: 4 })?;
+        Ok(u32::from_le_bytes(bytes))
     }
 
     /// Reads a little-endian `u64`.
     pub fn u64(&mut self, what: &'static str) -> Result<u64, WireError> {
-        Ok(u64::from_le_bytes(self.take(8, what)?.try_into().unwrap()))
+        let bytes = self
+            .take(8, what)?
+            .try_into()
+            .map_err(|_| WireError::Truncated { what, missing: 8 })?;
+        Ok(u64::from_le_bytes(bytes))
     }
 
     /// Reads an `f64` from its exact bit pattern.

@@ -222,6 +222,10 @@ mod fma_x86 {
     /// Whether this CPU executes the AVX+FMA row kernel.
     #[inline]
     pub fn supported() -> bool {
+        // simlint: allow(phase_interior_mut): the cached probe is
+        // write-once monotone — every thread computes the same answer
+        // from the same CPU, so racing ticks can only agree; no
+        // simulated state flows through it.
         match HW.load(Ordering::Relaxed) {
             0 => {
                 let yes = is_x86_feature_detected!("avx") && is_x86_feature_detected!("fma");
@@ -243,6 +247,8 @@ mod fma_x86 {
     /// [`supported`] returned `true`.
     // SAFETY: contract above; `eval_ffma_lanes` is the only caller.
     #[target_feature(enable = "avx,fma")]
+    // simlint: allow(float_cfg_divergence): pinned bit-identical to the
+    // scalar fallback by `lane_rows_match_scalar_helpers_bit_for_bit`.
     pub unsafe fn ffma_rows(a: &[u32], b: &[u32], c: &[u32], out: &mut [u32]) {
         let n = out.len().min(a.len()).min(b.len()).min(c.len());
         let canon = _mm256_castsi256_ps(_mm256_set1_epi32(CANONICAL_NAN as i32));

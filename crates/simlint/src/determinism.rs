@@ -12,9 +12,16 @@
 //! * `Instant`/`SystemTime`/`thread::current()` import host-machine
 //!   state; simulated time must come from the cycle counters.
 //!
-//! Scope: `crates/{sim,power,pm}/src` — the crates whose outputs feed
-//! results. Benchmarks (`crates/bench`) legitimately read the wall
-//! clock and are out of scope.
+//! Scope: every workspace member discovered from the root manifest
+//! (see [`crate::scope`]), minus the documented opt-outs —
+//! `crates/bench` legitimately reads the wall clock.
+//!
+//! Deliberately a *token* pass, not an IR pass: a `HashMap` in a
+//! struct field, a type alias, or a generic bound is just as
+//! order-unstable as one in an expression, and the item IR skips type
+//! positions by design. Scanning every identifier token catches all
+//! of them at the cost of also flagging mentions in type context —
+//! which is exactly the coverage this lint wants.
 
 use crate::lexer::TokKind;
 use crate::{Diagnostic, SourceFile};

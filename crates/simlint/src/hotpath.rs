@@ -26,14 +26,16 @@
 //! allocation and the O(log n) discipline in one move, so it gets a
 //! dedicated name a reviewer can `allow` only with a written reason.
 //!
-//! Like every simlint pass this is a token heuristic, not type
-//! analysis: loop bodies are found by brace matching from the loop
-//! keyword (a closure literal between a `for`'s `in` and its body brace
-//! would confuse it), and method names are matched textually. Precision
-//! comes from the narrow file scope.
+//! Both passes walk the expression IR: loop bodies are [`Expr::Loop`]
+//! nodes (so `impl Trait for Type` and `for<'a>` bounds can no longer
+//! even look like loops), allocation sites are macro-call, path and
+//! method-call nodes, and closures inside a loop body inherit the
+//! loop context (the closure runs per iteration). Test items are
+//! exempt — a `#[cfg(test)]` helper building a `Vec` per iteration
+//! costs nothing at simulation time.
 
-use crate::lexer::{TokKind, Token};
-use crate::{in_regions, match_close, test_regions, Diagnostic, SourceFile};
+use crate::syntax::{Expr, Item, Stmt};
+use crate::{Diagnostic, SourceFile};
 
 /// Heap allocation inside a loop body of a hot-path file.
 pub const LANE_LOOP_ALLOC: &str = "lane_loop_alloc";
@@ -88,74 +90,179 @@ pub fn queue_scope(rel_path: &str) -> bool {
     )
 }
 
-/// Token ranges (inclusive) of `for`/`while`/`loop` bodies.
-///
-/// A `for` is only a loop when an `in` keyword appears before its body
-/// brace — this is what separates `for x in xs {` from `impl Trait for
-/// Type {` and from `for<'a>` higher-ranked bounds, neither of which
-/// can contain a bare `in` before the brace.
-fn loop_bodies(tokens: &[Token]) -> Vec<(usize, usize)> {
-    let mut out = Vec::new();
-    for (i, t) in tokens.iter().enumerate() {
-        if t.kind != TokKind::Ident {
-            continue;
+/// A `Type::ctor` path match: the last two segments name an allocating
+/// constructor on one of `types` (`std::collections::BinaryHeap::new`
+/// matches through its full path).
+fn ctor_path<'e>(e: &'e Expr, types: &[&str]) -> Option<(&'e str, &'e str, u32)> {
+    if let Expr::Path { segs, line } = e {
+        if segs.len() >= 2 {
+            let ty = &segs[segs.len() - 2];
+            let ctor = &segs[segs.len() - 1];
+            if types.contains(&ty.as_str()) && ALLOC_CTORS.contains(&ctor.as_str()) {
+                return Some((ty, ctor, *line));
+            }
         }
-        let keyword = t.text.as_str();
-        if !matches!(keyword, "for" | "while" | "loop") {
-            continue;
-        }
-        let Some(open) = (i + 1..tokens.len())
-            .find(|&j| tokens[j].kind == TokKind::Punct && tokens[j].text == "{")
-        else {
-            continue;
-        };
-        if keyword == "for"
-            && !tokens[i + 1..open]
-                .iter()
-                .any(|t| t.kind == TokKind::Ident && t.text == "in")
-        {
-            continue;
-        }
-        out.push((open, match_close(tokens, open)));
     }
-    out
+    None
 }
 
-/// Flags allocating expressions inside loop bodies. Test regions are
-/// exempt — a `#[cfg(test)]` helper building a `Vec` per iteration
-/// costs nothing at simulation time.
-pub fn check(file: &SourceFile) -> Vec<Diagnostic> {
-    let toks = &file.lexed.tokens;
-    let bodies = loop_bodies(toks);
-    if bodies.is_empty() {
-        return Vec::new();
+/// Walks `e` reporting sites for which `hit` returns a diagnostic,
+/// tracking whether the site sits inside a loop body. The traversal
+/// mirrors [`Expr::walk`] but threads the loop context: loop bodies set
+/// it, loop heads and everything else inherit it (so an allocation in
+/// the condition of a `while` nested in a `for` is still a per-
+/// iteration allocation of the outer loop).
+fn scan_expr(e: &Expr, in_loop: bool, sink: &mut impl FnMut(&Expr)) {
+    if in_loop {
+        sink(e);
     }
-    let tests = test_regions(toks);
-    let mut out = Vec::new();
-    let text = |j: usize| toks.get(j).map(|t| t.text.as_str()).unwrap_or("");
-    for (i, t) in toks.iter().enumerate() {
-        if t.kind != TokKind::Ident || !in_regions(&bodies, i) || in_regions(&tests, i) {
-            continue;
+    match e {
+        Expr::Loop { head, body, .. } => {
+            if let Some(h) = head {
+                scan_expr(h, in_loop, sink);
+            }
+            scan_block(body, true, sink);
         }
-        let name = t.text.as_str();
-        let what = if ALLOC_MACROS.contains(&name) && text(i + 1) == "!" {
-            format!("`{name}!`")
-        } else if ALLOC_TYPES.contains(&name)
-            && text(i + 1) == ":"
-            && text(i + 2) == ":"
-            && toks
-                .get(i + 3)
-                .is_some_and(|c| c.kind == TokKind::Ident && ALLOC_CTORS.contains(&c.text.as_str()))
-        {
-            format!("`{name}::{}`", text(i + 3))
-        } else if ALLOC_METHODS.contains(&name) && i > 0 && text(i - 1) == "." && text(i + 1) == "("
-        {
-            format!("`.{name}()`")
-        } else {
-            continue;
+        Expr::Path { .. } | Expr::Lit { .. } | Expr::Opaque { .. } => {}
+        Expr::MethodCall { recv, args, .. } => {
+            scan_expr(recv, in_loop, sink);
+            for a in args {
+                scan_expr(a, in_loop, sink);
+            }
+        }
+        Expr::Call { callee, args, .. } => {
+            scan_expr(callee, in_loop, sink);
+            for a in args {
+                scan_expr(a, in_loop, sink);
+            }
+        }
+        Expr::Index { recv, index, .. } => {
+            scan_expr(recv, in_loop, sink);
+            scan_expr(index, in_loop, sink);
+        }
+        Expr::Field { recv, .. } => scan_expr(recv, in_loop, sink),
+        Expr::Binary { lhs, rhs, .. } | Expr::Assign { lhs, rhs, .. } => {
+            scan_expr(lhs, in_loop, sink);
+            scan_expr(rhs, in_loop, sink);
+        }
+        Expr::Unary { expr, .. }
+        | Expr::Ref { expr, .. }
+        | Expr::Cast { expr, .. }
+        | Expr::Try { expr, .. }
+        | Expr::Paren { expr, .. } => scan_expr(expr, in_loop, sink),
+        Expr::MacroCall { args, .. } => {
+            for a in args {
+                scan_expr(a, in_loop, sink);
+            }
+        }
+        Expr::Tuple { items, .. } | Expr::Array { items, .. } => {
+            for x in items {
+                scan_expr(x, in_loop, sink);
+            }
+        }
+        Expr::Range { lo, hi, .. } => {
+            if let Some(x) = lo {
+                scan_expr(x, in_loop, sink);
+            }
+            if let Some(x) = hi {
+                scan_expr(x, in_loop, sink);
+            }
+        }
+        Expr::StructLit { fields, .. } => {
+            for x in fields {
+                scan_expr(x, in_loop, sink);
+            }
+        }
+        Expr::Block { block, .. } => scan_block(block, in_loop, sink),
+        Expr::If {
+            cond, then, els, ..
+        } => {
+            scan_expr(cond, in_loop, sink);
+            scan_block(then, in_loop, sink);
+            if let Some(x) = els {
+                scan_expr(x, in_loop, sink);
+            }
+        }
+        Expr::Match {
+            scrutinee, arms, ..
+        } => {
+            scan_expr(scrutinee, in_loop, sink);
+            for arm in arms {
+                if let Some(g) = &arm.guard {
+                    scan_expr(g, in_loop, sink);
+                }
+                scan_expr(&arm.body, in_loop, sink);
+            }
+        }
+        Expr::Closure { body, .. } => scan_expr(body, in_loop, sink),
+        Expr::Jump { expr, .. } => {
+            if let Some(x) = expr {
+                scan_expr(x, in_loop, sink);
+            }
+        }
+    }
+}
+
+fn scan_block(b: &crate::syntax::Block, in_loop: bool, sink: &mut impl FnMut(&Expr)) {
+    for stmt in &b.stmts {
+        match stmt {
+            Stmt::Let { init, els, .. } => {
+                if let Some(e) = init {
+                    scan_expr(e, in_loop, sink);
+                }
+                if let Some(eb) = els {
+                    scan_block(eb, in_loop, sink);
+                }
+            }
+            Stmt::Expr(e) => scan_expr(e, in_loop, sink),
+            Stmt::Item(item) => scan_item(item, sink),
+        }
+    }
+}
+
+/// Items reset the loop context: a `fn` defined inside a loop body does
+/// not run per iteration by virtue of its position.
+fn scan_item(item: &Item, sink: &mut impl FnMut(&Expr)) {
+    if item.is_test_only() {
+        return;
+    }
+    if let Some(init) = &item.init {
+        scan_expr(init, false, sink);
+    }
+    if let Some(body) = &item.body {
+        scan_block(body, false, sink);
+    }
+    for child in &item.children {
+        scan_item(child, sink);
+    }
+}
+
+/// Runs `sink` over every expression that executes inside a loop body
+/// of `file`, skipping test items.
+fn in_loop_exprs(file: &SourceFile, sink: &mut impl FnMut(&Expr)) {
+    for item in &file.ast.items {
+        scan_item(item, sink);
+    }
+}
+
+/// Flags allocating expressions inside loop bodies.
+pub fn check(file: &SourceFile) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    in_loop_exprs(file, &mut |e| {
+        let (what, line) = match e {
+            Expr::MacroCall { name, line, .. } if ALLOC_MACROS.contains(&name.as_str()) => {
+                (format!("`{name}!`"), *line)
+            }
+            Expr::MethodCall { method, line, .. } if ALLOC_METHODS.contains(&method.as_str()) => {
+                (format!("`.{method}()`"), *line)
+            }
+            _ => match ctor_path(e, ALLOC_TYPES) {
+                Some((ty, ctor, line)) => (format!("`{ty}::{ctor}`"), line),
+                None => return,
+            },
         };
         out.push(file.diag(
-            t.line,
+            line,
             LANE_LOOP_ALLOC,
             format!(
                 "{what} allocates on every iteration of an enclosing loop in the \
@@ -164,49 +271,31 @@ pub fn check(file: &SourceFile) -> Vec<Diagnostic> {
                  allocation-free"
             ),
         ));
-    }
+    });
     out
 }
 
 /// Flags `BinaryHeap`/`VecDeque` construction inside loop bodies of the
-/// core scheduler files. Test regions are exempt (the wheel's own
+/// core scheduler files. Test items are exempt (the wheel's own
 /// differential test drives a reference `BinaryHeap` on purpose); real
 /// scheduler state must justify itself with an
 /// `allow(unbounded_queue_in_core)` marker.
 pub fn check_queues(file: &SourceFile) -> Vec<Diagnostic> {
-    let toks = &file.lexed.tokens;
-    let bodies = loop_bodies(toks);
-    if bodies.is_empty() {
-        return Vec::new();
-    }
-    let tests = test_regions(toks);
     let mut out = Vec::new();
-    let text = |j: usize| toks.get(j).map(|t| t.text.as_str()).unwrap_or("");
-    for (i, t) in toks.iter().enumerate() {
-        if t.kind != TokKind::Ident || !in_regions(&bodies, i) || in_regions(&tests, i) {
-            continue;
-        }
-        let name = t.text.as_str();
-        if !QUEUE_TYPES.contains(&name)
-            || text(i + 1) != ":"
-            || text(i + 2) != ":"
-            || !toks
-                .get(i + 3)
-                .is_some_and(|c| c.kind == TokKind::Ident && ALLOC_CTORS.contains(&c.text.as_str()))
-        {
-            continue;
-        }
+    in_loop_exprs(file, &mut |e| {
+        let Some((ty, ctor, line)) = ctor_path(e, QUEUE_TYPES) else {
+            return;
+        };
         out.push(file.diag(
-            t.line,
+            line,
             UNBOUNDED_QUEUE_IN_CORE,
             format!(
-                "`{name}::{}` builds a comparison/deque queue inside a loop of the \
+                "`{ty}::{ctor}` builds a comparison/deque queue inside a loop of the \
                  core scheduler; the calendar wheel (`EventWheel`) replaced exactly \
                  this structure in the per-cycle hot path — reuse it or a hoisted \
-                 scratch queue instead",
-                text(i + 3)
+                 scratch queue instead"
             ),
         ));
-    }
+    });
     out
 }

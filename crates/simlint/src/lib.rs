@@ -2,12 +2,31 @@
 //!
 //! `rustc` and clippy enforce language rules; this crate enforces the
 //! *simulator's* rules — the cross-cutting contracts this workspace
-//! depends on but no compiler knows about:
+//! depends on but no compiler knows about. It is dependency-free: a
+//! comment/string-aware lexer ([`lexer`]) feeds a recovering parser
+//! ([`syntax`]) whose typed item/expression IR the structural passes
+//! walk; lint scopes are discovered from the workspace manifest
+//! ([`scope`]) so new crates are covered from their first commit.
 //!
 //! * **Determinism** ([`determinism`]): simulation results must be
 //!   bit-identical run to run (EXPERIMENTS.md is regenerated and
 //!   byte-compared in CI), so result-bearing crates must not iterate
 //!   `HashMap`/`HashSet` or consult the wall clock.
+//! * **Panic-free decoding** ([`untrusted`]): the service and trace
+//!   wire formats parse bytes that arrive from outside the process, so
+//!   everything reachable from a decode entry point must return typed
+//!   errors — no `unwrap`/indexing/`panic!` (`panic_path`) and no
+//!   unchecked arithmetic or narrowing casts on decoded lengths and
+//!   counts (`decode_arith`).
+//! * **Float determinism** ([`floats`]): results are byte-compared in
+//!   CI and float addition is not associative, so float reductions
+//!   must not iterate unordered sources (`float_reduce_order`) and
+//!   `#[cfg]`-divergent kernels must not do float math unless pinned
+//!   bit-identical to the fallback (`float_cfg_divergence`).
+//! * **Phase discipline** ([`phase`]): the parallel engine's compute
+//!   phase — everything reachable from `tick`, cross-file — must not
+//!   take `&mut GpuMemory`, touch interior mutability, or call the
+//!   commit API before the barrier (`phase_*`).
 //! * **Unit safety** ([`units`]): energy/power/time arithmetic in the
 //!   power model must stay inside the `gpusimpow_tech::units` newtypes;
 //!   unwrapping to raw `f64` mid-computation is where dimensional bugs
@@ -29,8 +48,9 @@
 //!
 //! Run it as `cargo run -p simlint` from the workspace root; it prints
 //! `file:line: lint: message` per finding and exits non-zero when
-//! anything fires. Findings are suppressed per site with a justified
-//! marker comment:
+//! anything fires (`--json PATH` additionally writes a
+//! schema-versioned machine-readable report). Findings are suppressed
+//! per site with a justified marker comment:
 //!
 //! ```text
 //! // simlint: allow(nondeterministic_collection): keyed access only,
@@ -42,13 +62,19 @@
 //! exist is `unknown_lint` — suppressions cannot rot silently.
 
 pub mod determinism;
+pub mod floats;
 pub mod hotpath;
 pub mod lexer;
+pub mod phase;
 pub mod registry;
+pub mod scope;
+pub mod syntax;
 pub mod units;
 pub mod unsafety;
+pub mod untrusted;
 
-use lexer::{lex, Lexed, TokKind, Token};
+use lexer::{lex, Lexed};
+use scope::ScopeConfig;
 use std::fmt;
 use std::fs;
 use std::io;
@@ -66,6 +92,13 @@ pub const LINTS: &[&str] = &[
     registry::UNPRICED_EVENT,
     registry::UNKNOWN_EVENT,
     registry::CONFLICTING_PRICE,
+    untrusted::PANIC_PATH,
+    untrusted::DECODE_ARITH,
+    floats::FLOAT_REDUCE_ORDER,
+    floats::FLOAT_CFG_DIVERGENCE,
+    phase::PHASE_MUT_MEMORY,
+    phase::PHASE_INTERIOR_MUT,
+    phase::PHASE_COMMIT_API,
     MISSING_JUSTIFICATION,
     UNKNOWN_LINT,
 ];
@@ -119,6 +152,8 @@ pub struct SourceFile {
     pub rel_path: String,
     /// Token and comment streams.
     pub lexed: Lexed,
+    /// Item/expression IR parsed from the token stream ([`syntax`]).
+    pub ast: syntax::Ast,
     allows: Vec<Allow>,
 }
 
@@ -164,9 +199,11 @@ impl SourceFile {
                 });
             }
         }
+        let ast = syntax::parse(&lexed);
         SourceFile {
             rel_path: rel_path.to_string(),
             lexed,
+            ast,
             allows,
         }
     }
@@ -217,142 +254,28 @@ impl SourceFile {
     }
 }
 
-/// Index of the `}` matching the `{`/`(`/`[` at `open`, or the last
-/// token if unbalanced.
-pub(crate) fn match_close(tokens: &[Token], open: usize) -> usize {
-    let (o, c) = match tokens[open].text.as_str() {
-        "{" => ("{", "}"),
-        "(" => ("(", ")"),
-        _ => ("[", "]"),
-    };
-    let mut depth = 0usize;
-    for (i, t) in tokens.iter().enumerate().skip(open) {
-        if t.kind == TokKind::Punct {
-            if t.text == o {
-                depth += 1;
-            } else if t.text == c {
-                depth -= 1;
-                if depth == 0 {
-                    return i;
-                }
-            }
-        }
-    }
-    tokens.len().saturating_sub(1)
-}
-
-fn is_punct(t: &Token, s: &str) -> bool {
-    t.kind == TokKind::Punct && t.text == s
-}
-
-fn is_ident(t: &Token, s: &str) -> bool {
-    t.kind == TokKind::Ident && t.text == s
-}
-
-/// Token ranges (inclusive) of `#[cfg(test)]`-gated items and
-/// `#[test]` functions — code whose behaviour never reaches simulation
-/// results.
-pub(crate) fn test_regions(tokens: &[Token]) -> Vec<(usize, usize)> {
-    let mut out = Vec::new();
-    let mut i = 0;
-    while i + 2 < tokens.len() {
-        let gated = is_punct(&tokens[i], "#")
-            && is_punct(&tokens[i + 1], "[")
-            && ((is_ident(&tokens[i + 2], "cfg")
-                && tokens.get(i + 4).is_some_and(|t| is_ident(t, "test")))
-                || is_ident(&tokens[i + 2], "test"));
-        if gated {
-            let attr_end = match_close(tokens, i + 1);
-            if let Some(open) = (attr_end..tokens.len()).find(|&j| is_punct(&tokens[j], "{")) {
-                let close = match_close(tokens, open);
-                out.push((i, close));
-                i = close + 1;
-                continue;
-            }
-        }
-        i += 1;
-    }
-    out
-}
-
-/// Token ranges of `impl …Display/Debug… for …` blocks — rendering
-/// code, exempt from [`units::RAW_UNIT_MATH`] because percent columns
-/// and unit formatting legitimately divide raw magnitudes.
-pub(crate) fn fmt_impl_regions(tokens: &[Token]) -> Vec<(usize, usize)> {
-    let mut out = Vec::new();
-    let mut i = 0;
-    while i < tokens.len() {
-        if is_ident(&tokens[i], "impl") {
-            let mut saw_fmt_trait = false;
-            let mut saw_for = false;
-            let mut j = i + 1;
-            while j < tokens.len() && !is_punct(&tokens[j], "{") {
-                if is_ident(&tokens[j], "Display") || is_ident(&tokens[j], "Debug") {
-                    saw_fmt_trait = true;
-                }
-                if is_ident(&tokens[j], "for") {
-                    saw_for = true;
-                }
-                j += 1;
-            }
-            if j < tokens.len() && saw_fmt_trait && saw_for {
-                let close = match_close(tokens, j);
-                out.push((i, close));
-                i = close + 1;
-                continue;
-            }
-        }
-        i += 1;
-    }
-    out
-}
-
 /// Whether token index `idx` lies inside any of `regions`.
 pub(crate) fn in_regions(regions: &[(usize, usize)], idx: usize) -> bool {
     regions.iter().any(|&(a, b)| a <= idx && idx <= b)
 }
 
-fn determinism_scope(rel_path: &str) -> bool {
-    [
-        "crates/sim/src/",
-        "crates/power/src/",
-        "crates/pm/src/",
-        // The result cache turns the determinism contract into a
-        // correctness requirement (a digest is only a content address
-        // if re-simulation is bit-identical), so the service crate is
-        // held to the same lints. Its socket/filesystem edges carry
-        // explicit `simlint: allow` markers.
-        "crates/serve/src/",
-        // Traces are archival, content-addressed artifacts: capturing
-        // the same run twice must produce the same bytes, and replay
-        // must be as deterministic as live execution. Iteration-order
-        // or wall-clock dependence in the trace crate would silently
-        // fork digests.
-        "crates/trace/src/",
-    ]
-    .iter()
-    .any(|p| rel_path.starts_with(p))
-}
-
-fn units_scope(rel_path: &str) -> bool {
-    // The trace crate is in scope alongside the power model: trace
-    // records carry byte/cycle quantities next to code that also sees
-    // unit-typed values, and raw-f64 unit math there would leak into
-    // the replay-derived reports.
-    rel_path.starts_with("crates/power/src/") || rel_path.starts_with("crates/trace/src/")
-}
-
-/// Runs every per-file pass applicable to `rel_path` on `src` and
-/// returns the surviving (non-suppressed) findings. This is the entry
-/// point the fixture tests drive; [`run_workspace`] uses it for real
-/// files.
+/// Runs every per-file pass applicable to `rel_path` on `src` under the
+/// static default scopes and returns the surviving (non-suppressed)
+/// findings. This is the entry point the fixture tests drive;
+/// [`run_workspace`] discovers scopes from the manifest and goes
+/// through [`check_source_with`].
 pub fn check_source(rel_path: &str, src: &str) -> Vec<Diagnostic> {
+    check_source_with(&ScopeConfig::default_static(), rel_path, src)
+}
+
+/// [`check_source`] with explicit lint scopes.
+pub fn check_source_with(scopes: &ScopeConfig, rel_path: &str, src: &str) -> Vec<Diagnostic> {
     let file = SourceFile::parse(rel_path, src);
     let mut raw = Vec::new();
-    if determinism_scope(rel_path) {
+    if scopes.determinism(rel_path) {
         raw.extend(determinism::check(&file));
     }
-    if units_scope(rel_path) {
+    if scopes.units(rel_path) {
         raw.extend(units::check(&file));
     }
     if hotpath::scope(rel_path) {
@@ -360,6 +283,12 @@ pub fn check_source(rel_path: &str, src: &str) -> Vec<Diagnostic> {
     }
     if hotpath::queue_scope(rel_path) {
         raw.extend(hotpath::check_queues(&file));
+    }
+    if untrusted::scope(rel_path) {
+        raw.extend(untrusted::check(&file));
+    }
+    if scopes.floats(rel_path) {
+        raw.extend(floats::check(&file));
     }
     raw.extend(unsafety::check(&file));
     let mut out: Vec<Diagnostic> = raw
@@ -415,6 +344,7 @@ fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
 /// file (vendored stubs, build outputs and simlint's own lint fixtures
 /// excluded), the registry-coverage contract, and `UNSAFE.md` drift.
 pub fn run_workspace(root: &Path) -> io::Result<WorkspaceReport> {
+    let scopes = ScopeConfig::discover(root)?;
     let mut paths = Vec::new();
     collect_rs_files(root, &mut paths)?;
 
@@ -423,15 +353,19 @@ pub fn run_workspace(root: &Path) -> io::Result<WorkspaceReport> {
     let mut events_file = None;
     let mut registry_file = None;
     let mut pricing_files = Vec::new();
+    let mut phase_files = Vec::new();
 
     for path in &paths {
         let rel_path = rel(root, path);
         let src = fs::read_to_string(path)?;
-        diagnostics.extend(check_source(&rel_path, &src));
+        diagnostics.extend(check_source_with(&scopes, &rel_path, &src));
         let file = SourceFile::parse(&rel_path, &src);
         let sites = unsafety::sites(&file);
         if !sites.is_empty() {
             unsafe_files.push((rel_path.clone(), sites));
+        }
+        if phase::scope(&rel_path) {
+            phase_files.push(SourceFile::parse(&rel_path, &src));
         }
         match rel_path.as_str() {
             "crates/sim/src/events.rs" => events_file = Some(file),
@@ -448,6 +382,9 @@ pub fn run_workspace(root: &Path) -> io::Result<WorkspaceReport> {
     if let (Some(events), Some(reg)) = (&events_file, &registry_file) {
         diagnostics.extend(registry::check(events, reg, &pricing_files));
     }
+
+    let phase_refs: Vec<&SourceFile> = phase_files.iter().collect();
+    diagnostics.extend(phase::check(&phase_refs));
 
     let unsafe_manifest = unsafety::manifest(&unsafe_files);
     let on_disk = fs::read_to_string(root.join("UNSAFE.md")).unwrap_or_default();
@@ -468,4 +405,97 @@ pub fn run_workspace(root: &Path) -> io::Result<WorkspaceReport> {
         unsafe_manifest,
         files_checked: paths.len(),
     })
+}
+
+/// Version of the [`json_report`] schema. Bump on any change to the
+/// object shape — CI consumers key on it.
+pub const JSON_SCHEMA_VERSION: u32 = 1;
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders findings as the machine-readable report the CI job uploads:
+/// a single JSON object with `schema_version`, `files_checked`,
+/// `finding_count`, and a `findings` array of
+/// `{file, line, lint, message}` rows in emission order. Hand-rolled —
+/// simlint takes no dependencies — so the shape is pinned by
+/// [`JSON_SCHEMA_VERSION`] and the round-trip test, not a serde
+/// contract.
+pub fn json_report(diagnostics: &[Diagnostic], files_checked: usize) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{{\n  \"schema_version\": {JSON_SCHEMA_VERSION},\n  \
+         \"files_checked\": {files_checked},\n  \
+         \"finding_count\": {},\n  \"findings\": [",
+        diagnostics.len()
+    ));
+    for (i, d) in diagnostics.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"file\": \"{}\", \"line\": {}, \"lint\": \"{}\", \"message\": \"{}\"}}",
+            json_escape(&d.file),
+            d.line,
+            json_escape(d.lint),
+            json_escape(&d.message)
+        ));
+    }
+    if !diagnostics.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod json_tests {
+    use super::*;
+
+    #[test]
+    fn json_report_escapes_and_counts() {
+        let diags = vec![
+            Diagnostic {
+                file: "crates/a/src/lib.rs".to_string(),
+                line: 7,
+                lint: "panic_path",
+                message: "uses `.unwrap()` — \"bad\"\non two lines".to_string(),
+            },
+            Diagnostic {
+                file: "crates\\b.rs".to_string(),
+                line: 1,
+                lint: "decode_arith",
+                message: "tab\there".to_string(),
+            },
+        ];
+        let json = json_report(&diags, 42);
+        assert!(json.contains("\"schema_version\": 1"), "{json}");
+        assert!(json.contains("\"files_checked\": 42"), "{json}");
+        assert!(json.contains("\"finding_count\": 2"), "{json}");
+        assert!(json.contains("\\\"bad\\\"\\non two lines"), "{json}");
+        assert!(json.contains("crates\\\\b.rs"), "{json}");
+        assert!(json.contains("tab\\there"), "{json}");
+    }
+
+    #[test]
+    fn json_report_with_no_findings_is_a_closed_empty_array() {
+        let json = json_report(&[], 173);
+        assert!(json.contains("\"findings\": []"), "{json}");
+        assert!(json.contains("\"finding_count\": 0"), "{json}");
+    }
 }

@@ -4,6 +4,7 @@
 //! cargo run -p simlint                              # check, exit 1 on findings
 //! cargo run -p simlint -- --root path/to/workspace
 //! cargo run -p simlint -- --update-unsafe-manifest  # rewrite UNSAFE.md
+//! cargo run -p simlint -- --json report.json        # machine-readable report
 //! ```
 
 use std::path::PathBuf;
@@ -12,6 +13,7 @@ use std::process::ExitCode;
 fn main() -> ExitCode {
     let mut root = PathBuf::from(".");
     let mut update_manifest = false;
+    let mut json_path: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -23,17 +25,29 @@ fn main() -> ExitCode {
                 }
             },
             "--update-unsafe-manifest" => update_manifest = true,
+            "--json" => match args.next() {
+                Some(p) => json_path = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("simlint: --json needs an output path (use - for stdout)");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--help" | "-h" => {
                 println!(
-                    "usage: simlint [--root PATH] [--update-unsafe-manifest]\n\
+                    "usage: simlint [--root PATH] [--update-unsafe-manifest] [--json PATH]\n\
                      \n\
                      Checks the workspace invariants no compiler enforces:\n\
                      determinism (no HashMap iteration / wall clock in\n\
                      result-bearing crates), unit safety (no raw f64 math on\n\
-                     unwrapped quantities in the power model), unsafe audit\n\
-                     (SAFETY comments + UNSAFE.md inventory), and registry\n\
-                     coverage (every EventKind priced, base-model, or\n\
-                     documented unpriced). Exits 1 when anything fires."
+                     unwrapped quantities in the power model), hot-path and\n\
+                     decode-path discipline (allocation, panic and arithmetic\n\
+                     rules), float determinism, the parallel engine's\n\
+                     two-phase contract, unsafe audit (SAFETY comments +\n\
+                     UNSAFE.md inventory), and registry coverage (every\n\
+                     EventKind priced, base-model, or documented unpriced).\n\
+                     Exits 1 when anything fires. `--json` additionally\n\
+                     writes a schema-versioned machine-readable report to\n\
+                     PATH (`-` for stdout)."
                 );
                 return ExitCode::SUCCESS;
             }
@@ -64,6 +78,16 @@ fn main() -> ExitCode {
         }
         println!("simlint: wrote {}", path.display());
         diagnostics.retain(|d| d.lint != simlint::unsafety::UNSAFE_MANIFEST_DRIFT);
+    }
+
+    if let Some(path) = &json_path {
+        let json = simlint::json_report(&diagnostics, report.files_checked);
+        if path.as_os_str() == "-" {
+            print!("{json}");
+        } else if let Err(e) = std::fs::write(path, &json) {
+            eprintln!("simlint: cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
     }
 
     for d in &diagnostics {

@@ -18,9 +18,17 @@
 //! missing from all three places — and, symmetrically, when the
 //! allowlist names an event that no longer exists or one that *is*
 //! priced (a stale allowlist is as misleading as a missing price).
+//!
+//! The pass reads the item IR where it can: the allowlists are the
+//! parsed initialisers of the `UNPRICED_EVENTS`/`BASE_MODEL_EVENTS`
+//! const items, and the 5-tuple scan for the event table is confined
+//! to the raw token span of the `for_each_event` macro definition —
+//! a lookalike tuple elsewhere in the file can no longer register a
+//! phantom event.
 
 use crate::lexer::{TokKind, Token};
-use crate::{in_regions, match_close, test_regions, Diagnostic, SourceFile};
+use crate::syntax::ItemKind;
+use crate::{in_regions, Diagnostic, SourceFile};
 
 /// An `EventKind` neither priced, base-model, nor allowlisted.
 pub const UNPRICED_EVENT: &str = "unpriced_event";
@@ -34,15 +42,27 @@ fn is_punct(t: &Token, s: &str) -> bool {
 }
 
 /// Variants declared in the `for_each_event!` table: every
-/// `(Variant, field, Component, Scope, "doc")` 5-tuple in the token
-/// stream. The shape is distinctive — `macro_rules!` matchers spell
-/// `$variant:ident` (extra `$`/`:` tokens) and the doc examples live in
-/// comments, so only the real table matches.
+/// `(Variant, field, Component, Scope, "doc")` 5-tuple inside the
+/// `macro_rules! for_each_event` definition. The tuple shape is
+/// distinctive — matcher arms spell `$variant:ident` (extra `$`/`:`
+/// tokens) and the doc examples live in comments — and confining the
+/// scan to the macro's own token span keeps any 5-tuple elsewhere in
+/// the file from registering as an event. Files without that macro
+/// (fixtures exercising odd shapes) fall back to a whole-file scan.
 pub fn event_table(events: &SourceFile) -> Vec<(String, u32)> {
     let toks = &events.lexed.tokens;
+    let mut range = (0usize, toks.len().saturating_sub(1));
+    events.ast.walk_items(&mut |item| {
+        if item.kind == ItemKind::MacroDef && item.name.as_deref() == Some("for_each_event") {
+            if let Some(span) = item.macro_args {
+                range = span;
+            }
+        }
+    });
+    let (lo, hi) = range;
     let mut out = Vec::new();
-    let mut i = 0;
-    while i + 10 < toks.len() {
+    let mut i = lo;
+    while i + 10 <= hi && i + 10 < toks.len() {
         let tuple = is_punct(&toks[i], "(")
             && toks[i + 1].kind == TokKind::Ident
             && is_punct(&toks[i + 2], ",")
@@ -64,48 +84,37 @@ pub fn event_table(events: &SourceFile) -> Vec<(String, u32)> {
     out
 }
 
-/// `EventKind::X` names inside the bracketed initialiser of
-/// `const_name` (e.g. `UNPRICED_EVENTS`) in `registry.rs`.
+/// `EventKind::X` names inside the parsed initialiser of `const_name`
+/// (e.g. `UNPRICED_EVENTS`) in `registry.rs`. Reads the const item's
+/// expression IR, so a mention in a doc comment or unrelated array
+/// cannot leak in.
 pub fn const_list(registry: &SourceFile, const_name: &str) -> Vec<(String, u32)> {
-    let toks = &registry.lexed.tokens;
-    let Some(decl) = toks
-        .iter()
-        .position(|t| t.kind == TokKind::Ident && t.text == const_name)
-    else {
-        return Vec::new();
-    };
-    // Seek the initialiser's `[`, not the `&[EventKind]` type's: skip
-    // to the `=` first.
-    let Some(eq) = (decl..toks.len()).find(|&j| is_punct(&toks[j], "=")) else {
-        return Vec::new();
-    };
-    let Some(open) = (eq..toks.len()).find(|&j| is_punct(&toks[j], "[")) else {
-        return Vec::new();
-    };
-    let close = match_close(toks, open);
     let mut out = Vec::new();
-    let mut i = open;
-    while i + 3 < close {
-        if toks[i].kind == TokKind::Ident
-            && toks[i].text == "EventKind"
-            && is_punct(&toks[i + 1], ":")
-            && is_punct(&toks[i + 2], ":")
-            && toks[i + 3].kind == TokKind::Ident
-        {
-            out.push((toks[i + 3].text.clone(), toks[i + 3].line));
-            i += 4;
-        } else {
-            i += 1;
+    registry.ast.walk_items(&mut |item| {
+        if item.kind != ItemKind::Const || item.name.as_deref() != Some(const_name) {
+            return;
         }
-    }
+        if let Some(init) = &item.init {
+            init.walk(&mut |e| {
+                if let crate::syntax::Expr::Path { segs, line } = e {
+                    if segs.len() >= 2 && segs[segs.len() - 2] == "EventKind" {
+                        out.push((segs[segs.len() - 1].clone(), *line));
+                    }
+                }
+            });
+        }
+    });
     out
 }
 
 /// `Ev::X` / `EventKind::X` mentions in a pricing file's non-test
 /// code — the statically visible "this component prices X" facts.
+/// Token-level on purpose: the mentions sit inside builder-macro
+/// arguments and match-arm patterns as well as plain expressions, and
+/// the test exemption comes from the item IR's spans.
 pub fn priced_mentions(file: &SourceFile) -> Vec<(String, u32)> {
     let toks = &file.lexed.tokens;
-    let tests = test_regions(toks);
+    let tests = file.ast.test_spans();
     let mut out = Vec::new();
     let mut i = 0;
     while i + 3 < toks.len() {

@@ -7,10 +7,17 @@
 //! extractor like `.watts()` and keeps computing on the raw `f64` —
 //! the compiler can no longer see that `joules * hertz` was meant.
 //!
-//! This pass flags an extractor call whose result immediately feeds a
-//! `*` or `/`. Two regions are exempt by construction:
+//! This pass walks the expression IR and flags an extractor call whose
+//! result feeds a `*` or `/` operand: either as the direct left operand
+//! of the operator, or anywhere on the receiver-chain spine of the
+//! right operand (`2.0 * total(p).watts()` taints `watts` through the
+//! chain). A parenthesised extractor — `(p.watts()) * x` — is a
+//! deliberate raw-math grouping and is left to the human, exactly as
+//! the original token-adjacency pass behaved.
 //!
-//! * `#[cfg(test)]` / `#[test]` code — assertions legitimately compare
+//! Two regions are exempt by construction:
+//!
+//! * `#[cfg(test)]` / `#[test]` items — assertions legitimately compare
 //!   raw magnitudes;
 //! * `Display`/`Debug` impls — percent columns and unit formatting are
 //!   rendering, not physics, and rewriting them through newtype
@@ -20,8 +27,8 @@
 //! `Voltage::squared` replacing `vdd.volts() * vdd.volts()`) or a
 //! justified `// simlint: allow(raw_unit_math): …` marker.
 
-use crate::lexer::{TokKind, Token};
-use crate::{fmt_impl_regions, in_regions, test_regions, Diagnostic, SourceFile};
+use crate::syntax::{exempt_item, visit_exprs, Expr};
+use crate::{Diagnostic, SourceFile};
 
 /// Raw `f64` multiplication/division on an unwrapped unit value.
 pub const RAW_UNIT_MATH: &str = "raw_unit_math";
@@ -42,78 +49,80 @@ const EXTRACTORS: &[&str] = &[
     "farads",
 ];
 
-/// Walks left from the `.` of an extractor call across the method-call
-/// chain (`s.total().watts()` → past `total()`, past `s`) and returns
-/// the first token *before* the chain — the operator, if any, whose
-/// right operand the extracted value is.
-fn token_before_chain(toks: &[Token], dot: usize) -> Option<&Token> {
-    let mut j = dot;
-    while j > 0 {
-        j -= 1;
-        let t = &toks[j];
-        match t.kind {
-            TokKind::Ident | TokKind::Num => continue,
-            TokKind::Punct => match t.text.as_str() {
-                "." | ":" => continue,
-                ")" | "]" => {
-                    // Skip back over the balanced group.
-                    let close = t.text.as_str();
-                    let open = if close == ")" { "(" } else { "[" };
-                    let mut depth = 1usize;
-                    while j > 0 && depth > 0 {
-                        j -= 1;
-                        if toks[j].kind == TokKind::Punct {
-                            if toks[j].text == close {
-                                depth += 1;
-                            } else if toks[j].text == open {
-                                depth -= 1;
-                            }
-                        }
-                    }
-                    continue;
-                }
-                _ => return Some(t),
-            },
-            _ => return Some(t),
+/// Whether `e` is a bare extractor call: `.name()` with no arguments.
+fn extractor_call(e: &Expr) -> Option<(&str, u32)> {
+    if let Expr::MethodCall {
+        method, args, line, ..
+    } = e
+    {
+        if args.is_empty() && EXTRACTORS.contains(&method.as_str()) {
+            return Some((method.as_str(), *line));
         }
     }
     None
 }
 
-/// Flags extractor calls feeding raw `*`/`/` arithmetic, outside test
-/// and `Display`/`Debug` regions.
-pub fn check(file: &SourceFile) -> Vec<Diagnostic> {
-    let toks = &file.lexed.tokens;
-    let mut exempt = test_regions(toks);
-    exempt.extend(fmt_impl_regions(toks));
-    let mut out = Vec::new();
-    for i in 0..toks.len().saturating_sub(3) {
-        let is_extractor_call = toks[i].kind == TokKind::Punct
-            && toks[i].text == "."
-            && toks[i + 1].kind == TokKind::Ident
-            && EXTRACTORS.contains(&toks[i + 1].text.as_str())
-            && toks[i + 2].text == "("
-            && toks[i + 3].text == ")";
-        if !is_extractor_call || in_regions(&exempt, i) {
-            continue;
+/// Extractor calls on the leftmost receiver-chain spine of `e` — the
+/// calls whose token stream a left-adjacent operator directly precedes.
+/// Parentheses end the spine (their contents are not left-adjacent to
+/// anything outside).
+fn spine_extractors<'e>(mut e: &'e Expr, out: &mut Vec<(&'e str, u32)>) {
+    loop {
+        if let Some(hit) = extractor_call(e) {
+            out.push(hit);
         }
-        let after = toks.get(i + 4).map(|t| t.text.as_str());
-        let before = token_before_chain(toks, i).map(|t| t.text.as_str());
-        let feeds_math =
-            matches!(after, Some("*") | Some("/")) || matches!(before, Some("*") | Some("/"));
-        if feeds_math {
-            out.push(file.diag(
-                toks[i + 1].line,
-                RAW_UNIT_MATH,
-                format!(
-                    "`.{}()` unwraps a typed quantity straight into raw f64 \
-                     arithmetic; use the newtype operators in \
-                     gpusimpow_tech::units (they encode the only physically \
-                     meaningful combinations) or justify with an allow marker",
-                    toks[i + 1].text
-                ),
-            ));
-        }
+        e = match e {
+            Expr::MethodCall { recv, .. } | Expr::Field { recv, .. } | Expr::Index { recv, .. } => {
+                recv
+            }
+            Expr::Call { callee, .. } => callee,
+            Expr::Cast { expr, .. } | Expr::Try { expr, .. } => expr,
+            _ => return,
+        };
     }
+}
+
+/// Flags extractor calls feeding raw `*`/`/` arithmetic, outside test
+/// items and `Display`/`Debug` impls.
+pub fn check(file: &SourceFile) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    visit_exprs(
+        &file.ast.items,
+        &|item| exempt_item(item, true),
+        &mut |node| {
+            let Expr::Binary {
+                op: "*" | "/",
+                lhs,
+                rhs,
+                ..
+            } = node
+            else {
+                return;
+            };
+            let mut hits = Vec::new();
+            // The left operand feeds the operator only when the
+            // extractor call itself ends it (`.watts() *`); a `?` or
+            // cast in between changes what the operator sees.
+            if let Some(hit) = extractor_call(lhs) {
+                hits.push(hit);
+            }
+            // The right operand is tainted along its whole receiver
+            // spine: every extractor there has the operator directly to
+            // its left.
+            spine_extractors(rhs, &mut hits);
+            for (method, line) in hits {
+                out.push(file.diag(
+                    line,
+                    RAW_UNIT_MATH,
+                    format!(
+                        "`.{method}()` unwraps a typed quantity straight into raw f64 \
+                         arithmetic; use the newtype operators in \
+                         gpusimpow_tech::units (they encode the only physically \
+                         meaningful combinations) or justify with an allow marker"
+                    ),
+                ));
+            }
+        },
+    );
     out
 }

@@ -1,0 +1,15 @@
+//! Second file of the compute unit for the bad phase fixture: the
+//! tick path reaches this kernel cross-file, and its lock must be
+//! flagged in *this* file.
+
+use std::sync::Mutex;
+
+static SCRATCH: Mutex<Vec<u32>> = Mutex::new(Vec::new());
+
+pub fn lane_kernel() {
+    SCRATCH.lock().unwrap().push(1);
+}
+
+pub fn unreached_helper() {
+    SCRATCH.lock().unwrap().clear();
+}

@@ -1,0 +1,40 @@
+//! The same engine spelled inside the two-phase contract — must stay
+//! clean: tick reads the shared snapshot, stores are buffered, and
+//! only the commit API takes `&mut GpuMemory`.
+
+pub struct GpuMemory;
+
+pub struct StoreBuf {
+    writes: Vec<(u64, u32)>,
+}
+
+pub struct Core {
+    stores: StoreBuf,
+}
+
+impl Core {
+    pub fn tick(&mut self, mem: &GpuMemory) {
+        let _ = mem;
+        self.execute();
+    }
+
+    fn execute(&mut self) {
+        self.stores.writes.push((0, 1));
+    }
+
+    pub fn commit_stores(&mut self, mem: &mut GpuMemory) {
+        let _ = mem;
+        self.stores.writes.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Mutex;
+
+    #[test]
+    fn tests_may_use_locks() {
+        let m = Mutex::new(0u32);
+        *m.lock().unwrap() += 1;
+    }
+}

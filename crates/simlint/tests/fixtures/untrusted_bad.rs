@@ -1,0 +1,43 @@
+//! Panics and raw length arithmetic on the decode path — each
+//! construct here must fire, and only on reachable functions.
+
+pub struct WireError;
+
+pub struct Reader {
+    buf: Vec<u8>,
+    pos: usize,
+}
+
+impl Reader {
+    fn u16(&mut self) -> u64 {
+        self.pos as u64
+    }
+
+    pub fn decode(&mut self) -> Result<u64, WireError> {
+        let n = self.u16();
+        let total = n * 4 + 8;
+        let first = self.buf[self.pos];
+        let small = total as u8;
+        self.pos += n as usize;
+        if first == 0 {
+            panic!("empty frame");
+        }
+        Ok(finish(total).min(u64::from(small)))
+    }
+}
+
+fn finish(len: u64) -> u64 {
+    len.checked_add(1).unwrap()
+}
+
+fn orphan(v: Option<u64>) -> u64 {
+    v.unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        Some(1u64).unwrap();
+    }
+}

@@ -1,0 +1,35 @@
+//! The same decode path spelled with typed errors and checked
+//! arithmetic — must stay clean.
+
+pub struct WireError;
+
+pub struct Reader {
+    buf: Vec<u8>,
+    pos: usize,
+}
+
+impl Reader {
+    fn u16(&mut self) -> u64 {
+        self.pos as u64
+    }
+
+    pub fn decode(&mut self) -> Result<u64, WireError> {
+        let n = self.u16();
+        let total = n
+            .checked_mul(4)
+            .and_then(|v| v.checked_add(8))
+            .ok_or(WireError)?;
+        let first = *self.buf.get(self.pos).ok_or(WireError)?;
+        let small = u8::try_from(total & 0xff).map_err(|_| WireError)?;
+        let step = usize::try_from(n).map_err(|_| WireError)?;
+        self.pos = self.pos.checked_add(step).ok_or(WireError)?;
+        if first == 0 {
+            return Err(WireError);
+        }
+        Ok(finish(total).min(u64::from(small)))
+    }
+}
+
+fn finish(len: u64) -> u64 {
+    len.saturating_add(1)
+}

@@ -4,7 +4,7 @@
 //! compiled) and are checked under synthetic workspace-relative paths
 //! so the path-scoping rules are exercised too.
 
-use simlint::{check_source, registry, unsafety, Diagnostic, SourceFile};
+use simlint::{check_source, phase, registry, unsafety, Diagnostic, SourceFile};
 use std::path::Path;
 
 fn fixture(name: &str) -> String {
@@ -290,6 +290,138 @@ fn queue_good_is_clean_with_justified_allow() {
         diags.iter().all(|d| d.lint != "unbounded_queue_in_core"),
         "{diags:#?}"
     );
+}
+
+#[test]
+fn untrusted_bad_flags_reachable_panics_and_tainted_arithmetic() {
+    let diags = check_source("crates/serve/src/wire.rs", &fixture("untrusted_bad.rs"));
+    let mut panics: Vec<u32> = diags
+        .iter()
+        .filter(|d| d.lint == "panic_path")
+        .map(|d| d.line)
+        .collect();
+    panics.sort_unstable();
+    // Indexing (19), panic! (23), and the unwrap inside the reachable
+    // helper `finish` (30). `orphan`'s unwrap and the #[cfg(test)]
+    // unwrap are off the decode path and must not fire.
+    assert_eq!(panics, vec![19, 23, 30], "{diags:#?}");
+    let mut arith: Vec<u32> = diags
+        .iter()
+        .filter(|d| d.lint == "decode_arith")
+        .map(|d| d.line)
+        .collect();
+    arith.sort_unstable();
+    // `n * 4 + 8` (two operators on 18), the narrowing `as u8` (20),
+    // and the compound `self.pos += n as usize` (21).
+    assert_eq!(arith, vec![18, 18, 20, 21], "{diags:#?}");
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.lint == "decode_arith" && d.message.contains("checked_mul")),
+        "{diags:#?}"
+    );
+}
+
+#[test]
+fn untrusted_good_checked_spellings_are_clean() {
+    let diags = check_source("crates/serve/src/wire.rs", &fixture("untrusted_good.rs"));
+    assert!(diags.is_empty(), "{diags:#?}");
+}
+
+#[test]
+fn untrusted_lints_only_cover_the_decode_files() {
+    // The same panicking decode is out of scope in the simulator core —
+    // its inputs come from inside the process, not the wire.
+    let diags = check_source("crates/sim/src/core.rs", &fixture("untrusted_bad.rs"));
+    assert!(
+        diags
+            .iter()
+            .all(|d| d.lint != "panic_path" && d.lint != "decode_arith"),
+        "{diags:#?}"
+    );
+}
+
+#[test]
+fn floats_bad_flags_unordered_reductions_and_divergent_kernels() {
+    let diags = check_source("crates/power/src/fixture.rs", &fixture("floats_bad.rs"));
+    let mut reduce: Vec<u32> = diags
+        .iter()
+        .filter(|d| d.lint == "float_reduce_order")
+        .map(|d| d.line)
+        .collect();
+    reduce.sort_unstable();
+    // `.values().sum::<f64>()` (7) and `.values().fold(0.0, ..)` (11).
+    assert_eq!(reduce, vec![7, 11], "{diags:#?}");
+    let divergent: Vec<&Diagnostic> = diags
+        .iter()
+        .filter(|d| d.lint == "float_cfg_divergence")
+        .collect();
+    assert_eq!(divergent.len(), 1, "{diags:#?}");
+    assert!(divergent[0].message.contains("lane_energy"), "{diags:#?}");
+}
+
+#[test]
+fn floats_good_ordered_reductions_are_clean() {
+    let diags = check_source("crates/power/src/fixture.rs", &fixture("floats_good.rs"));
+    assert!(diags.is_empty(), "{diags:#?}");
+}
+
+#[test]
+fn float_lints_only_cover_the_float_bearing_crates() {
+    // The serve crate moves floats around but computes none of the
+    // published results itself.
+    let diags = check_source("crates/serve/src/fixture.rs", &fixture("floats_bad.rs"));
+    assert!(
+        diags
+            .iter()
+            .all(|d| d.lint != "float_reduce_order" && d.lint != "float_cfg_divergence"),
+        "{diags:#?}"
+    );
+}
+
+#[test]
+fn phase_bad_flags_all_three_contract_violations_across_files() {
+    let core = SourceFile::parse("crates/sim/src/core.rs", &fixture("phase_bad.rs"));
+    let helper = SourceFile::parse("crates/sim/src/func.rs", &fixture("phase_bad_helper.rs"));
+    let diags = phase::check(&[&core, &helper]);
+    let mut muts: Vec<u32> = diags
+        .iter()
+        .filter(|d| d.lint == "phase_mut_memory")
+        .map(|d| d.line)
+        .collect();
+    muts.sort_unstable();
+    // `tick` (14) and the reachable `execute` (19); `commit_stores` is
+    // the commit API and may take `&mut GpuMemory`.
+    assert_eq!(muts, vec![14, 19], "{diags:#?}");
+    let commits: Vec<&Diagnostic> = diags
+        .iter()
+        .filter(|d| d.lint == "phase_commit_api")
+        .collect();
+    assert_eq!(commits.len(), 1, "{diags:#?}");
+    assert_eq!(commits[0].line, 16, "{diags:#?}");
+    // Interior mutability: the atomic counter in the core file and the
+    // Mutex the cross-file kernel reaches; the unreached helper's lock
+    // must not fire.
+    let interior: Vec<(&str, u32)> = diags
+        .iter()
+        .filter(|d| d.lint == "phase_interior_mut")
+        .map(|d| (d.file.as_str(), d.line))
+        .collect();
+    assert_eq!(
+        interior,
+        vec![
+            ("crates/sim/src/core.rs", 20),
+            ("crates/sim/src/func.rs", 10),
+        ],
+        "{diags:#?}"
+    );
+}
+
+#[test]
+fn phase_good_buffered_stores_are_clean() {
+    let core = SourceFile::parse("crates/sim/src/core.rs", &fixture("phase_good.rs"));
+    let diags = phase::check(&[&core]);
+    assert!(diags.is_empty(), "{diags:#?}");
 }
 
 #[test]

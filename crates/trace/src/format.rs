@@ -181,12 +181,19 @@ impl KernelTrace {
             });
         }
         let body_end = bytes.len() - 16;
-        let mut footer = [0u8; 16];
-        footer.copy_from_slice(&bytes[body_end..]);
-        if TraceDigest::compute(&bytes[..body_end]).0 != footer {
+        let body = bytes.get(..body_end).ok_or(TraceError::Truncated {
+            what: "digest footer",
+        })?;
+        let footer: [u8; 16] = bytes
+            .get(body_end..)
+            .and_then(|f| f.try_into().ok())
+            .ok_or(TraceError::Truncated {
+                what: "digest footer",
+            })?;
+        if TraceDigest::compute(body).0 != footer {
             return Err(TraceError::DigestMismatch);
         }
-        let mut r_body = TraceReader::new(&bytes[..body_end]);
+        let mut r_body = TraceReader::new(body);
         r_body.raw(4, "magic")?;
         r_body.u16("version")?;
         let mut r = r_body;

@@ -151,8 +151,11 @@ impl<'a> TraceReader<'a> {
 
     /// Reads a fixed-width little-endian u16.
     pub fn u16(&mut self, what: &'static str) -> Result<u16, TraceError> {
-        let bytes = self.raw(2, what)?;
-        Ok(u16::from_le_bytes([bytes[0], bytes[1]]))
+        let bytes = self
+            .raw(2, what)?
+            .try_into()
+            .map_err(|_| TraceError::Truncated { what })?;
+        Ok(u16::from_le_bytes(bytes))
     }
 
     /// Reads an LEB128 varint (at most 10 bytes; longer is malformed).
@@ -164,6 +167,10 @@ impl<'a> TraceReader<'a> {
             if i == 9 && payload > 1 {
                 return Err(TraceError::Malformed(format!("varint overflow in {what}")));
             }
+            // simlint: allow(decode_arith): the shift distance is `7 * i`
+            // with `i < 10`, at most 63, so the shift itself cannot
+            // overflow; the `i == 9` guard above already rejects payload
+            // bits that would not fit the u64.
             v |= payload << (7 * i);
             if byte & 0x80 == 0 {
                 return Ok(v);
@@ -224,8 +231,15 @@ impl<'a> TraceReader<'a> {
         if self.remaining() < n {
             return Err(TraceError::Truncated { what });
         }
-        let out = &self.buf[self.pos..self.pos + n];
-        self.pos += n;
+        let end = self
+            .pos
+            .checked_add(n)
+            .ok_or(TraceError::Truncated { what })?;
+        let out = self
+            .buf
+            .get(self.pos..end)
+            .ok_or(TraceError::Truncated { what })?;
+        self.pos = end;
         Ok(out)
     }
 
